@@ -1,0 +1,31 @@
+//! Runs every experiment in EXPERIMENTS.md order, printing each table
+//! and writing all CSVs (and SVG charts, where the table is plottable)
+//! under `results/`.
+
+use rts_bench::plot::chart_for;
+
+fn main() {
+    let dir = std::path::Path::new("results");
+    let mut summary = String::from("# Experiment tables\n\n");
+    for table in rts_bench::figures::all() {
+        summary.push_str(&table.to_markdown());
+        summary.push('\n');
+        print!("{}", table.render());
+        println!();
+        match table.write_csv(dir) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+        if let Some(chart) = chart_for(&table) {
+            match chart.write_svg(dir, &table.name) {
+                Ok(p) => eprintln!("wrote {}", p.display()),
+                Err(e) => eprintln!("could not write SVG: {e}"),
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(dir.join("summary.md"), summary) {
+        eprintln!("could not write summary.md: {e}");
+    } else {
+        eprintln!("wrote {}", dir.join("summary.md").display());
+    }
+}

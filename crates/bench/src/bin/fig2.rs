@@ -1,0 +1,11 @@
+//! Regenerates the paper's Fig2 series; prints the table and writes
+//! `results/fig2.csv`.
+
+fn main() {
+    let table = rts_bench::figures::fig2();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

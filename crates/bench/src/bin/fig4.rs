@@ -1,0 +1,11 @@
+//! Regenerates the paper's Fig4 series; prints the table and writes
+//! `results/fig4.csv`.
+
+fn main() {
+    let table = rts_bench::figures::fig4();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Slice-granularity sweep between the paper's two slicing extremes.
+
+fn main() {
+    let table = rts_bench::figures::granularity();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

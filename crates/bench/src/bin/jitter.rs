@@ -1,0 +1,11 @@
+//! Section 6 open-problem experiment: links with positive jitter, with
+//! and without jitter control.
+
+fn main() {
+    let table = rts_bench::figures::jitter();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Per-frame-kind delivery breakdown at the Figure 3 operating point.
+
+fn main() {
+    let table = rts_bench::figures::kind_breakdown();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

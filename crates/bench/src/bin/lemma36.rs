@@ -1,0 +1,11 @@
+//! Lemma 3.6 tightness experiment: measured throughput ratio between
+//! buffer sizes on the batch pattern equals B1/B2 exactly.
+
+fn main() {
+    let table = rts_bench::figures::lemma36();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! The lossless rate-delay frontier: how much peak bandwidth does
+//! smoothing save, as a function of the delay budget.
+
+fn main() {
+    let table = rts_bench::figures::lossless_frontier();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

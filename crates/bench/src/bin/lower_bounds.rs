@@ -1,0 +1,14 @@
+//! Theorems 4.7 and 4.8: the adversarial lower-bound constructions,
+//! measured against the exact offline optimum.
+
+fn main() {
+    let dir = std::path::Path::new("results");
+    for table in [rts_bench::figures::thm47(), rts_bench::figures::thm48()] {
+        print!("{}", table.render());
+        println!();
+        match table.write_csv(dir) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

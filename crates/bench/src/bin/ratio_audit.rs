@@ -1,0 +1,12 @@
+//! Randomized audit: opt/greedy stays within the Theorem 4.1 bound and
+//! the generic algorithm's throughput equals the unweighted optimum
+//! (Theorem 3.5) on random MPEG-like workloads.
+
+fn main() {
+    let table = rts_bench::figures::ratio_audit();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Smoothing vs renegotiated CBR (the introduction's RCBR alternative).
+
+fn main() {
+    let table = rts_bench::figures::renegotiation();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! tandem experiment (see rts_bench::figures).
+
+fn main() {
+    let table = rts_bench::figures::tandem();
+    print!("{}", table.render());
+    match table.write_csv(std::path::Path::new("results")) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,19 @@
+//! Section 3.3 tradeoff experiments: sweeps of buffer, delay, and rate
+//! around the `B = R·D` identity. Prints three tables and writes
+//! `results/tradeoff_{buffer,delay,rate}.csv`.
+
+fn main() {
+    let dir = std::path::Path::new("results");
+    for table in [
+        rts_bench::figures::tradeoff_buffer(),
+        rts_bench::figures::tradeoff_delay(),
+        rts_bench::figures::tradeoff_rate(),
+    ] {
+        print!("{}", table.render());
+        println!();
+        match table.write_csv(dir) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+    }
+}

@@ -1,0 +1,999 @@
+//! The figure and experiment computations (see DESIGN.md's
+//! per-experiment index).
+//!
+//! Every public `figN`/experiment function returns a [`Table`] with the
+//! same series the paper plots. The `_on` variants take an explicit
+//! trace/parameters so tests can run them at reduced scale; the
+//! plain variants use the canonical Section-5 workload.
+
+use rts_core::bounds;
+use rts_core::policy::{GreedyByteValue, TailDrop};
+use rts_core::tradeoff::SmoothingParams;
+use rts_offline::{optimal_frame_benefit, optimal_unit_benefit, optimal_unit_throughput};
+use rts_sim::{parallel_map, run_server_only, simulate, SimConfig};
+use rts_stream::gen::{
+    buffer_ratio_tightness, cbr, greedy_lower_bound_stream, two_scenario_adversary, Scenario,
+};
+use rts_stream::slicing::FrameSizeTrace;
+use rts_stream::{Bytes, InputStream, Weight};
+
+use crate::table::{f4, pct, Table};
+use crate::workload;
+
+fn greedy_loss(stream: &InputStream, buffer: Bytes, rate: Bytes) -> f64 {
+    run_server_only(stream, buffer, rate, GreedyByteValue::new()).weighted_loss()
+}
+
+fn tail_loss(stream: &InputStream, buffer: Bytes, rate: Bytes) -> f64 {
+    run_server_only(stream, buffer, rate, TailDrop::new()).weighted_loss()
+}
+
+fn optimal_byte_loss(stream: &InputStream, buffer: Bytes, rate: Bytes) -> f64 {
+    let opt = optimal_unit_benefit(stream, buffer, rate).expect("byte stream has unit slices");
+    1.0 - opt as f64 / stream.total_weight() as f64
+}
+
+fn optimal_frame_loss(stream: &InputStream, buffer: Bytes, rate: Bytes) -> f64 {
+    let opt = optimal_frame_benefit(stream, buffer, rate).expect("whole-frame stream");
+    1.0 - opt as f64 / stream.total_weight() as f64
+}
+
+/// Figures 2 and 3 share this sweep: weighted loss of Tail-Drop, Greedy
+/// and Optimal vs buffer size (in multiples of the max frame), at a link
+/// rate of `rate_factor ×` the stream's average rate, single-byte slices.
+pub fn loss_sweep_on(trace: &FrameSizeTrace, rate_factor: f64, name: &str) -> Table {
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, rate_factor);
+    let sweep = workload::buffer_sweep(trace);
+    let mut table = Table::new(
+        name,
+        format!(
+            "Weighted loss [%] vs buffer size, R = {rate_factor} x avg rate \
+             (R = {rate} units/step), byte slices, weights 12:8:1"
+        ),
+        &["k_max_frames", "buffer", "tail_drop", "greedy", "optimal"],
+    );
+    let rows = parallel_map(&sweep, None, |&(k, b)| {
+        (
+            k,
+            b,
+            tail_loss(&stream, b, rate),
+            greedy_loss(&stream, b, rate),
+            optimal_byte_loss(&stream, b, rate),
+        )
+    });
+    for (k, b, tail, greedy, opt) in rows {
+        table.push(vec![
+            k.to_string(),
+            b.to_string(),
+            pct(tail),
+            pct(greedy),
+            pct(opt),
+        ]);
+    }
+    table
+}
+
+/// Figure 2: link rate 10% above the average stream rate.
+pub fn fig2() -> Table {
+    loss_sweep_on(&workload::section5_trace(), 1.1, "fig2")
+}
+
+/// Figure 3: link rate 10% below the average stream rate.
+pub fn fig3() -> Table {
+    loss_sweep_on(&workload::section5_trace(), 0.9, "fig3")
+}
+
+/// Figure 4: benefit (fraction of total weight delivered) of Tail-Drop,
+/// Greedy and Optimal as the link rate varies from `0.4×` to `1.4×` the
+/// average rate; byte slices, buffer fixed at `buffer_frames ×` the
+/// largest frame.
+pub fn fig4_on(trace: &FrameSizeTrace, buffer_frames: u64) -> Table {
+    let stream = workload::byte_stream(trace);
+    let buffer = buffer_frames * trace.max_frame_bytes();
+    let factors: Vec<f64> = (4..=14).map(|i| i as f64 / 10.0).collect();
+    let mut table = Table::new(
+        "fig4",
+        format!(
+            "Benefit [%] of total vs link rate (x avg), byte slices, \
+             B = {buffer_frames} max frames ({buffer} units)"
+        ),
+        &["rate_factor", "rate", "tail_drop", "greedy", "optimal"],
+    );
+    let rows = parallel_map(&factors, None, |&f| {
+        let rate = workload::rate_at(trace, f);
+        (
+            f,
+            rate,
+            1.0 - tail_loss(&stream, buffer, rate),
+            1.0 - greedy_loss(&stream, buffer, rate),
+            1.0 - optimal_byte_loss(&stream, buffer, rate),
+        )
+    });
+    for (f, rate, tail, greedy, opt) in rows {
+        table.push(vec![
+            format!("{f:.1}"),
+            rate.to_string(),
+            pct(tail),
+            pct(greedy),
+            pct(opt),
+        ]);
+    }
+    table
+}
+
+/// Figure 4 at the canonical scale.
+pub fn fig4() -> Table {
+    fig4_on(&workload::section5_trace(), 8)
+}
+
+/// Figure 5: the optimal weighted loss as a function of the buffer size,
+/// single-byte slices vs whole-frame slices, link at the average rate.
+pub fn fig5_on(trace: &FrameSizeTrace) -> Table {
+    let by_byte = workload::byte_stream(trace);
+    let by_frame = workload::frame_stream(trace);
+    let rate = workload::rate_at(trace, 1.0);
+    // The whole-frame penalty bites when the buffer is comparable to a
+    // single frame (an oversized frame is all-or-nothing), so this sweep
+    // starts below one max frame, unlike the Figure 2/3/6 sweeps.
+    let max_frame = trace.max_frame_bytes();
+    let sweep: Vec<(f64, Bytes)> = [
+        0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0, 26.0,
+    ]
+    .iter()
+    .map(|&k| (k, (k * max_frame as f64).round() as Bytes))
+    .collect();
+    let mut table = Table::new(
+        "fig5",
+        format!("Optimal weighted loss [%] vs buffer size, R = avg rate ({rate}), byte vs whole-frame slices"),
+        &["k_max_frames", "buffer", "optimal_byte", "optimal_frame", "frame_to_byte_ratio"],
+    );
+    let rows = parallel_map(&sweep, None, |&(k, b)| {
+        (
+            k,
+            b,
+            optimal_byte_loss(&by_byte, b, rate),
+            optimal_frame_loss(&by_frame, b, rate),
+        )
+    });
+    for (k, b, byte, frame) in rows {
+        let ratio = if byte > 0.0 { frame / byte } else { f64::NAN };
+        table.push(vec![
+            format!("{k:.2}"),
+            b.to_string(),
+            pct(byte),
+            pct(frame),
+            f4(ratio),
+        ]);
+    }
+    table
+}
+
+/// Figure 5 at the canonical scale.
+pub fn fig5() -> Table {
+    fig5_on(&workload::section5_trace())
+}
+
+/// Figure 6: weighted loss of Tail-Drop and Greedy as a function of the
+/// buffer size, for single-byte and whole-frame slices, link at the
+/// average rate.
+pub fn fig6_on(trace: &FrameSizeTrace) -> Table {
+    let by_byte = workload::byte_stream(trace);
+    let by_frame = workload::frame_stream(trace);
+    let rate = workload::rate_at(trace, 1.0);
+    let sweep = workload::buffer_sweep(trace);
+    let mut table = Table::new(
+        "fig6",
+        format!("Weighted loss [%] vs buffer size, R = avg rate ({rate}): Tail-Drop and Greedy, byte vs whole-frame slices"),
+        &[
+            "k_max_frames",
+            "buffer",
+            "tail_byte",
+            "greedy_byte",
+            "tail_frame",
+            "greedy_frame",
+        ],
+    );
+    let rows = parallel_map(&sweep, None, |&(k, b)| {
+        (
+            k,
+            b,
+            tail_loss(&by_byte, b, rate),
+            greedy_loss(&by_byte, b, rate),
+            tail_loss(&by_frame, b, rate),
+            greedy_loss(&by_frame, b, rate),
+        )
+    });
+    for (k, b, tb, gb, tf, gf) in rows {
+        table.push(vec![
+            k.to_string(),
+            b.to_string(),
+            pct(tb),
+            pct(gb),
+            pct(tf),
+            pct(gf),
+        ]);
+    }
+    table
+}
+
+/// Figure 6 at the canonical scale.
+pub fn fig6() -> Table {
+    fig6_on(&workload::section5_trace())
+}
+
+/// Section 3.3 experiment (a): with `R` and `D` fixed, sweep the buffer
+/// across `R·D`. Loss decreases until `B = R·D` and is flat beyond —
+/// extra buffer is pure waste.
+pub fn tradeoff_buffer_on(trace: &FrameSizeTrace, delay: u64) -> Table {
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, 1.0);
+    let rd = rate * delay;
+    let buffers: Vec<Bytes> = (1..=8).map(|i| rd * i / 4).collect();
+    let mut table = Table::new(
+        "tradeoff_buffer",
+        format!("Byte loss [%] vs buffer, R = {rate}, D = {delay} fixed (R*D = {rd})"),
+        &["buffer", "b_over_rd", "class", "byte_loss", "client_drops"],
+    );
+    let rows = parallel_map(&buffers, None, |&b| {
+        let params = SmoothingParams {
+            buffer: b,
+            rate,
+            delay,
+            link_delay: 0,
+        };
+        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        (b, params, report)
+    });
+    for (b, params, report) in rows {
+        let class = match params.classify() {
+            rts_core::tradeoff::TradeoffClass::Balanced => "balanced",
+            rts_core::tradeoff::TradeoffClass::ExcessDelay { .. } => "B<RD (delay wasted)",
+            rts_core::tradeoff::TradeoffClass::ExcessBuffer { .. } => "B>RD (space wasted)",
+        };
+        table.push(vec![
+            b.to_string(),
+            format!("{:.2}", b as f64 / rd as f64),
+            class.to_string(),
+            pct(report.metrics.byte_loss()),
+            report.metrics.client_dropped_slices.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Section 3.3 experiment (a) at the canonical scale.
+pub fn tradeoff_buffer() -> Table {
+    tradeoff_buffer_on(&workload::section5_trace(), 16)
+}
+
+/// Section 3.3 experiment (b): with `B` and `R` fixed, sweep the delay
+/// across `B/R`. Below `B/R` data misses its deadline; above, the extra
+/// delay buys nothing.
+pub fn tradeoff_delay_on(trace: &FrameSizeTrace, buffer_over_rate: u64) -> Table {
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, 1.0);
+    let buffer = rate * buffer_over_rate;
+    let delays: Vec<u64> = (1..=2 * buffer_over_rate).collect();
+    let mut table = Table::new(
+        "tradeoff_delay",
+        format!(
+            "Byte loss [%] vs delay, B = {buffer}, R = {rate} fixed (B/R = {buffer_over_rate})"
+        ),
+        &["delay", "d_over_br", "byte_loss", "client_drops"],
+    );
+    let rows = parallel_map(&delays, None, |&d| {
+        let params = SmoothingParams {
+            buffer,
+            rate,
+            delay: d,
+            link_delay: 0,
+        };
+        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        (d, report)
+    });
+    for (d, report) in rows {
+        let late: u64 = report
+            .metrics
+            .client_drop_reasons
+            .iter()
+            .map(|(_, &c)| c)
+            .sum();
+        table.push(vec![
+            d.to_string(),
+            format!("{:.2}", d as f64 / buffer_over_rate as f64),
+            pct(report.metrics.byte_loss()),
+            late.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Section 3.3 experiment (b) at the canonical scale.
+pub fn tradeoff_delay() -> Table {
+    tradeoff_delay_on(&workload::section5_trace(), 16)
+}
+
+/// Section 3.3 experiment (c): a perfectly smooth (CBR) input of rate
+/// `C > B/D` — cutting the link rate toward `B/D` strictly loses
+/// throughput, so the `B = R·D` identity must be read as "given two
+/// parameters, derive the third", not "shrink any parameter to fit".
+pub fn tradeoff_rate_on(cbr_size: Bytes, steps: usize, buffer: Bytes, delay: u64) -> Table {
+    let stream =
+        cbr(steps, cbr_size).materialize(rts_stream::slicing::Slicing::PerByte, Default::default());
+    let rates: Vec<Bytes> = (1..=cbr_size + 2).collect();
+    let mut table = Table::new(
+        "tradeoff_rate",
+        format!(
+            "CBR input of rate {cbr_size}: byte loss [%] vs link rate, \
+             B = {buffer}, D = {delay} fixed (B/D = {})",
+            buffer / delay.max(1)
+        ),
+        &["rate", "byte_loss"],
+    );
+    let rows = parallel_map(&rates, None, |&r| {
+        let params = SmoothingParams {
+            buffer,
+            rate: r,
+            delay,
+            link_delay: 0,
+        };
+        // An ample client isolates the link-rate effect: the claim is
+        // about the server side (a smooth input at rate C needs R = C,
+        // not R = B/D).
+        let config = SimConfig {
+            params,
+            client_capacity: Some(u64::MAX / 4),
+        };
+        let report = simulate(&stream, config, TailDrop::new());
+        (r, report.metrics.byte_loss())
+    });
+    for (r, loss) in rows {
+        table.push(vec![r.to_string(), pct(loss)]);
+    }
+    table
+}
+
+/// Section 3.3 experiment (c) at the canonical scale.
+pub fn tradeoff_rate() -> Table {
+    tradeoff_rate_on(10, 200, 4, 1)
+}
+
+/// Lemma 3.6 tightness: on the batch pattern (bursts of `b2` unit
+/// slices every `b2` steps), the generic algorithm with buffer `b1`
+/// delivers exactly `(b1 + 1)/b2` of what buffer `b2` delivers — the
+/// `+1` is the slice transmitted during the burst step itself (Eq. 2
+/// lets `|S(t)| = R` ride on top of the `B`-limited buffer), so the
+/// measured ratio converges to the `b1/b2` bound from above as `b2`
+/// grows.
+pub fn lemma36_on(b2: u64, repeats: u64) -> Table {
+    let stream = buffer_ratio_tightness(b2, repeats);
+    let full = run_server_only(&stream, b2, 1, TailDrop::new()).throughput;
+    let mut table = Table::new(
+        "lemma36",
+        format!(
+            "Lemma 3.6 tightness: throughput ratio vs B1 (B2 = {b2}, {repeats} batches, R = 1)"
+        ),
+        &[
+            "b1",
+            "throughput_b1",
+            "throughput_b2",
+            "measured_ratio",
+            "bound_b1_over_b2",
+        ],
+    );
+    for b1 in 1..=b2 {
+        let got = run_server_only(&stream, b1, 1, TailDrop::new()).throughput;
+        let (n, d) = bounds::buffer_ratio_bound(b1, b2).expect("b1 <= b2");
+        table.push(vec![
+            b1.to_string(),
+            got.to_string(),
+            full.to_string(),
+            f4(got as f64 / full as f64),
+            f4(n as f64 / d as f64),
+        ]);
+    }
+    table
+}
+
+/// Lemma 3.6 tightness at the canonical scale.
+pub fn lemma36() -> Table {
+    lemma36_on(12, 50)
+}
+
+/// Theorem 4.7: Greedy against the optimal schedule on the parametric
+/// adversarial stream, for growing buffer sizes and weight ratios. The
+/// measured ratio matches the closed form exactly and approaches 2.
+pub fn thm47_on(cases: &[(u64, Weight)]) -> Table {
+    let mut table = Table::new(
+        "thm47",
+        "Theorem 4.7: opt/greedy on the adversarial stream (R = 1, unit slices)",
+        &[
+            "buffer",
+            "alpha",
+            "greedy",
+            "optimal",
+            "measured_ratio",
+            "closed_form",
+            "upper_bound_4",
+        ],
+    );
+    for &(b, alpha) in cases {
+        let stream = greedy_lower_bound_stream(b, 1, alpha);
+        let greedy = run_server_only(&stream, b, 1, GreedyByteValue::new()).benefit;
+        let opt = optimal_unit_benefit(&stream, b, 1).expect("unit slices");
+        let predicted = bounds::greedy_lower_bound(alpha as f64, b);
+        table.push(vec![
+            b.to_string(),
+            alpha.to_string(),
+            greedy.to_string(),
+            opt.to_string(),
+            f4(opt as f64 / greedy as f64),
+            f4(predicted),
+            f4(4.0),
+        ]);
+    }
+    table
+}
+
+/// Theorem 4.7 at the canonical scale.
+pub fn thm47() -> Table {
+    thm47_on(&[(10, 2), (10, 10), (100, 10), (100, 100), (1000, 100)])
+}
+
+/// Theorem 4.8: the two-scenario adversary. Reports the analytic bound
+/// (`z*`, ratio) for α = 2 and the Lotker–Sviridenko optimum, plus the
+/// ratio the adversary actually extracts from Greedy (whose last light
+/// send is at `t1 = B`), measured with the exact offline optimum.
+pub fn thm48_on(b: u64) -> Table {
+    let mut table = Table::new(
+        "thm48",
+        format!("Theorem 4.8: deterministic lower bound (measured vs Greedy at B = {b})"),
+        &[
+            "alpha",
+            "z_star",
+            "analytic_bound",
+            "greedy_scenario1",
+            "greedy_scenario2",
+            "adversary_vs_greedy",
+        ],
+    );
+    let (best_alpha, _best_ratio) = bounds::best_deterministic_lower_bound();
+    for &alpha in &[2.0, best_alpha] {
+        let z = bounds::adversary_optimal_z(alpha);
+        let bound = bounds::deterministic_lower_bound(alpha);
+        // Integer weights: encode alpha as w_high/w_low with w_low = 1000.
+        let w_low: Weight = 1000;
+        let w_high: Weight = (alpha * w_low as f64).round() as Weight;
+        // Greedy sends light slices until t = B, so the adversary's
+        // decision point is t1 = B.
+        let t1 = b;
+        let mut ratios = Vec::new();
+        for scenario in [Scenario::EndAtT1, Scenario::BurstAfterT1] {
+            let stream = two_scenario_adversary(b, t1, w_low, w_high, scenario);
+            let greedy = run_server_only(&stream, b, 1, GreedyByteValue::new()).benefit;
+            let opt = optimal_unit_benefit(&stream, b, 1).expect("unit slices");
+            ratios.push(opt as f64 / greedy as f64);
+        }
+        table.push(vec![
+            f4(alpha),
+            f4(z),
+            f4(bound),
+            f4(ratios[0]),
+            f4(ratios[1]),
+            f4(ratios[0].max(ratios[1])),
+        ]);
+    }
+    table
+}
+
+/// Theorem 4.8 at the canonical scale.
+pub fn thm48() -> Table {
+    thm48_on(500)
+}
+
+/// Randomized audit of the Section 3/4 guarantees: on assorted unit-slice
+/// workloads, the measured opt/greedy ratio must stay within the
+/// Theorem 4.1 bound of 4, and the generic algorithm's throughput must
+/// equal the unweighted optimum (Theorem 3.5).
+pub fn ratio_audit_on(frames: usize, seeds: &[u64]) -> Table {
+    let mut table = Table::new(
+        "ratio_audit",
+        "Competitive-ratio audit on random workloads (unit slices)",
+        &[
+            "workload",
+            "buffer",
+            "rate",
+            "greedy",
+            "optimal",
+            "ratio",
+            "bound",
+            "throughput_optimal",
+        ],
+    );
+    for &seed in seeds {
+        let trace = rts_stream::gen::MpegSource::new(rts_stream::gen::MpegConfig::cnn_like(), seed)
+            .frames(frames);
+        let stream = workload::byte_stream(&trace);
+        for &(bf, rf) in &[(1u64, 0.8f64), (2, 1.0), (4, 1.2)] {
+            let buffer = bf * trace.max_frame_bytes();
+            let rate = workload::rate_at(&trace, rf);
+            let greedy = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
+            let opt = optimal_unit_benefit(&stream, buffer, rate).expect("unit slices");
+            let ratio = opt as f64 / greedy.benefit.max(1) as f64;
+            let opt_tp = optimal_unit_throughput(&stream, buffer, rate).expect("unit");
+            let tp_ok = greedy.throughput == opt_tp;
+            table.push(vec![
+                format!("mpeg-{seed}"),
+                buffer.to_string(),
+                rate.to_string(),
+                greedy.benefit.to_string(),
+                opt.to_string(),
+                f4(ratio),
+                f4(4.0),
+                if tp_ok {
+                    "equal".into()
+                } else {
+                    format!("MISMATCH {opt_tp}")
+                },
+            ]);
+        }
+    }
+    table
+}
+
+/// Ratio audit at the canonical scale.
+pub fn ratio_audit() -> Table {
+    ratio_audit_on(250, &[1, 2, 3])
+}
+
+/// Section 6 open-problem experiment: links with positive jitter.
+/// Sweeps the jitter bound `Jmax` and reports (a) the weighted loss of
+/// an *optimistic* client that budgets only the base delay `P`, and
+/// (b) the loss (always zero), extra latency, and extra pipe content of
+/// a jitter-controlled run budgeting `P' = P + Jmax`.
+pub fn jitter_on(trace: &FrameSizeTrace, delay: u64, jmaxes: &[u64]) -> Table {
+    use rts_sim::{simulate_with_link, JitterControl, JitteredLink};
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, 1.0);
+    let p = 2;
+    let mut table = Table::new(
+        "jitter",
+        format!(
+            "Jitter sweep: weighted loss [%] with/without jitter control \
+             (P = {p}, R = {rate}, D = {delay}, B = R*D)"
+        ),
+        &[
+            "jmax",
+            "optimistic_loss",
+            "controlled_loss",
+            "controlled_latency",
+            "extra_in_flight",
+        ],
+    );
+    let base_params = SmoothingParams::balanced_from_rate_delay(rate, delay, p);
+    let baseline = simulate(&stream, SimConfig::new(base_params), GreedyByteValue::new());
+    let rows = parallel_map(jmaxes, None, |&jmax| {
+        let optimistic = simulate_with_link(
+            &stream,
+            SimConfig::new(base_params),
+            JitteredLink::new(p, jmax, JitterControl::None, 7 + jmax),
+            GreedyByteValue::new(),
+        );
+        let ctl_params = SmoothingParams::balanced_from_rate_delay(rate, delay, p + jmax);
+        let controlled = simulate_with_link(
+            &stream,
+            SimConfig::new(ctl_params),
+            JitteredLink::new(p, jmax, JitterControl::Absorb, 7 + jmax),
+            GreedyByteValue::new(),
+        );
+        (jmax, optimistic, controlled, ctl_params)
+    });
+    for (jmax, optimistic, controlled, ctl_params) in rows {
+        table.push(vec![
+            jmax.to_string(),
+            pct(optimistic.metrics.weighted_loss()),
+            pct(controlled.metrics.weighted_loss()),
+            ctl_params.playout_latency().to_string(),
+            controlled
+                .metrics
+                .link_in_flight_max
+                .saturating_sub(baseline.metrics.link_in_flight_max)
+                .to_string(),
+        ]);
+    }
+    table
+}
+
+/// Jitter sweep at the canonical scale.
+pub fn jitter() -> Table {
+    jitter_on(&workload::section5_trace(), 8, &[0, 1, 2, 4, 8, 16])
+}
+
+/// The lossless rate–delay frontier (the related-work baselines and the
+/// paper's introductory motivation): the minimal link rate that loses
+/// nothing, as a function of the smoothing delay, with the balanced
+/// buffer `B = R·D` alongside.
+pub fn lossless_frontier_on(trace: &FrameSizeTrace, delays: &[u64]) -> Table {
+    use rts_offline::{min_lossless_rate, peak_rate};
+    let stream = workload::byte_stream(trace);
+    let peak = peak_rate(&stream);
+    let avg = trace.average_rate();
+    let mut table = Table::new(
+        "lossless_frontier",
+        format!(
+            "Lossless smoothing frontier: minimal rate vs delay \
+             (peak = {peak}, avg = {avg:.1} units/step)"
+        ),
+        &[
+            "delay",
+            "min_rate",
+            "rate_over_avg",
+            "rate_over_peak",
+            "buffer",
+        ],
+    );
+    let rows = parallel_map(delays, None, |&d| (d, min_lossless_rate(&stream, d)));
+    for (d, r) in rows {
+        table.push(vec![
+            d.to_string(),
+            r.to_string(),
+            f4(r as f64 / avg),
+            f4(r as f64 / peak as f64),
+            (r * d).to_string(),
+        ]);
+    }
+    table
+}
+
+/// Lossless frontier at the canonical scale.
+pub fn lossless_frontier() -> Table {
+    lossless_frontier_on(
+        &workload::section5_trace(),
+        &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+    )
+}
+
+/// Slice-granularity sweep: the paper evaluates only the two extremes
+/// (every byte a slice; every frame a slice). This experiment
+/// interpolates with fixed-size chunks (e.g. network packets),
+/// quantifying how quickly the whole-frame penalty of Figures 5–6
+/// disappears as slices shrink.
+pub fn granularity_on(trace: &FrameSizeTrace, chunks: &[Bytes], buffer_frames: u64) -> Table {
+    use rts_offline::optimal_mixed_benefit;
+    use rts_stream::slicing::Slicing;
+    use rts_stream::weight::WeightAssignment;
+    let rate = workload::rate_at(trace, 1.0);
+    let buffer = buffer_frames * trace.max_frame_bytes();
+    let mut table = Table::new(
+        "granularity",
+        format!(
+            "Weighted loss [%] vs slice size (chunked slicing), R = avg rate ({rate}), \
+             B = {buffer_frames} max frames; optimal via knapsack-DP"
+        ),
+        &[
+            "chunk",
+            "lmax",
+            "tail_drop",
+            "greedy",
+            "optimal",
+            "greedy_guarantee",
+        ],
+    );
+    let rows = parallel_map(chunks, None, |&c| {
+        let stream = trace.materialize(Slicing::Chunks(c), WeightAssignment::MPEG_12_8_1);
+        let lmax = Slicing::Chunks(c).lmax(trace.max_frame_bytes());
+        let opt = optimal_mixed_benefit(&stream, buffer, rate);
+        let opt_loss = 1.0 - opt as f64 / stream.total_weight().max(1) as f64;
+        (
+            c,
+            lmax,
+            tail_loss(&stream, buffer, rate),
+            greedy_loss(&stream, buffer, rate),
+            opt_loss,
+        )
+    });
+    for (c, lmax, tail, greedy, opt) in rows {
+        let guarantee = bounds::throughput_guarantee(buffer, lmax)
+            .map(|(n, d)| f4(n as f64 / d as f64))
+            .unwrap_or_else(|| "-".into());
+        table.push(vec![
+            c.to_string(),
+            lmax.to_string(),
+            pct(tail),
+            pct(greedy),
+            pct(opt),
+            guarantee,
+        ]);
+    }
+    table
+}
+
+/// Granularity sweep at the canonical scale.
+pub fn granularity() -> Table {
+    granularity_on(
+        &workload::section5_trace(),
+        &[1, 2, 4, 8, 16, 32, 64, 120],
+        4,
+    )
+}
+
+/// Per-kind delivery breakdown (explains Figure 3): at a link below the
+/// average rate, which frame kinds does each policy sacrifice? The
+/// paper's reading — "in MPEG streams, the valuable bytes come in large
+/// bursts; since Tail-Drop loses part of the incoming burst, its
+/// weighted loss exceeds its unweighted loss" — becomes a table.
+pub fn kind_breakdown_on(trace: &FrameSizeTrace, rate_factor: f64, buffer_frames: u64) -> Table {
+    use rts_stream::FrameKind;
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, rate_factor);
+    let buffer = buffer_frames * trace.max_frame_bytes();
+    let params = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 0);
+    let mut table = Table::new(
+        "kind_breakdown",
+        format!(
+            "Delivered weight [%] by frame kind, R = {rate_factor} x avg \
+             ({rate}), B = {buffer_frames} max frames, byte slices"
+        ),
+        &[
+            "policy",
+            "weighted_loss",
+            "byte_loss",
+            "i_kept",
+            "p_kept",
+            "b_kept",
+        ],
+    );
+    let reports = [
+        simulate(&stream, SimConfig::new(params), TailDrop::new()),
+        simulate(&stream, SimConfig::new(params), GreedyByteValue::new()),
+    ];
+    for report in &reports {
+        let m = &report.metrics;
+        let kept = |k: FrameKind| -> String {
+            let offered = *m.offered_weight_by_kind.get(&k).unwrap_or(&0);
+            let got = *m.benefit_by_kind.get(&k).unwrap_or(&0);
+            if offered == 0 {
+                "-".into()
+            } else {
+                pct(got as f64 / offered as f64)
+            }
+        };
+        table.push(vec![
+            report.policy.to_string(),
+            pct(m.weighted_loss()),
+            pct(m.byte_loss()),
+            kept(FrameKind::I),
+            kept(FrameKind::P),
+            kept(FrameKind::B),
+        ]);
+    }
+    table
+}
+
+/// Kind breakdown at the canonical scale (the Figure 3 setting).
+pub fn kind_breakdown() -> Table {
+    kind_breakdown_on(&workload::section5_trace(), 0.9, 8)
+}
+
+/// Multiplexing gain: the paper's introduction lists statistical
+/// multiplexing as the classical alternative to smoothing; here the two
+/// compose. For `k` independent MPEG-like streams, compare the total
+/// lossless rate needed to smooth each stream on its own link against
+/// the rate needed for the merged aggregate on one shared link, across
+/// delay budgets.
+pub fn mux_gain_on(k: usize, frames: usize, delays: &[u64]) -> Table {
+    use rts_offline::min_lossless_rate;
+    use rts_stream::gen::{MpegConfig, MpegSource};
+    use rts_stream::merge;
+    use rts_stream::slicing::Slicing;
+    use rts_stream::weight::WeightAssignment;
+
+    let streams: Vec<InputStream> = (0..k)
+        .map(|i| {
+            MpegSource::new(MpegConfig::cnn_like(), 9000 + i as u64)
+                .frames(frames)
+                .materialize(Slicing::PerByte, WeightAssignment::Uniform(1))
+        })
+        .collect();
+    let merged = merge(&streams).stream;
+    let mut table = Table::new(
+        "mux_gain",
+        format!(
+            "Multiplexing gain: {k} streams, separate links vs one shared link (lossless rates)"
+        ),
+        &["delay", "sum_separate", "shared", "gain"],
+    );
+    let rows = parallel_map(delays, None, |&d| {
+        let separate: Bytes = streams.iter().map(|s| min_lossless_rate(s, d)).sum();
+        let shared = min_lossless_rate(&merged, d);
+        (d, separate, shared)
+    });
+    for (d, separate, shared) in rows {
+        table.push(vec![
+            d.to_string(),
+            separate.to_string(),
+            shared.to_string(),
+            f4(separate as f64 / shared as f64),
+        ]);
+    }
+    table
+}
+
+/// Multiplexing gain at the canonical scale.
+pub fn mux_gain() -> Table {
+    mux_gain_on(4, 900, &[0, 2, 4, 8, 16, 32, 64])
+}
+
+/// Tandem smoothing: loss and its location as the relay buffer of a
+/// two-hop chain varies (the Rexford–Towsley internetwork setting of
+/// the related work). The origin hop is fixed; the relay's buffer
+/// sweeps from starved to generous.
+pub fn tandem_on(trace: &FrameSizeTrace, relay_buffers: &[Bytes]) -> Table {
+    use rts_sim::{simulate_tandem, tandem_delay, HopConfig};
+    // Whole-frame slices so relays genuinely reassemble, and a relay
+    // link 20% slower than the origin's so the second hop is the
+    // bottleneck (the interesting internetwork case).
+    let stream = workload::frame_stream(trace);
+    let origin_rate = workload::rate_at(trace, 1.1);
+    let relay_rate = workload::rate_at(trace, 0.9);
+    let origin = HopConfig {
+        buffer: 4 * trace.max_frame_bytes(),
+        rate: origin_rate,
+        link_delay: 1,
+    };
+    let mut table = Table::new(
+        "tandem",
+        format!(
+            "Two-hop tandem: weighted loss vs relay buffer (origin B = {}, R = {origin_rate}; relay R = {relay_rate})",
+            origin.buffer
+        ),
+        &[
+            "relay_buffer",
+            "origin_drops",
+            "relay_drops",
+            "client_drops",
+            "weighted_loss",
+            "reassembly_peak",
+        ],
+    );
+    let rows = parallel_map(relay_buffers, None, |&rb| {
+        let relay = HopConfig {
+            buffer: rb,
+            rate: relay_rate,
+            link_delay: 1,
+        };
+        let hops = [origin, relay];
+        let delay = tandem_delay(&hops, 2);
+        let report = simulate_tandem(&stream, &hops, delay, |_| GreedyByteValue::new());
+        (rb, report)
+    });
+    for (rb, r) in rows {
+        table.push(vec![
+            rb.to_string(),
+            r.hop_drops[0].to_string(),
+            r.hop_drops[1].to_string(),
+            r.client_drops.to_string(),
+            pct(r.weighted_loss()),
+            r.reassembly_peak[1].to_string(),
+        ]);
+    }
+    table
+}
+
+/// Tandem experiment at the canonical scale.
+pub fn tandem() -> Table {
+    let trace = workload::section5_trace();
+    let max = trace.max_frame_bytes();
+    tandem_on(&trace, &[max / 4, max / 2, max, 2 * max, 4 * max, 8 * max])
+}
+
+/// Smoothing vs renegotiation (the RCBR alternative of the paper's
+/// introduction, reference \[9\]): a renegotiated link re-allocates its
+/// rate every `W` frames, each window's rate sized so its data drains
+/// by the window's end (the next window owns its own allocation);
+/// smoothing holds one fixed rate for the whole stream with delay `D`.
+/// Renegotiation's advantage is latency (bounded by the window), not
+/// capacity: its mean allocation matches smoothing's fixed rate while
+/// its *peak* allocation is far higher and it churns the network with
+/// signalling — the quantitative case for smoothing the intro argues.
+pub fn renegotiation_on(trace: &FrameSizeTrace, delay: u64, windows: &[usize]) -> Table {
+    use rts_offline::min_lossless_rate;
+    use rts_stream::slicing::Slicing;
+    use rts_stream::weight::WeightAssignment;
+
+    let full = trace.materialize(Slicing::PerByte, WeightAssignment::Uniform(1));
+    let mut table = Table::new(
+        "renegotiation",
+        format!(
+            "Fixed-rate smoothing (delay {delay}) vs renegotiated CBR \
+             (per-window lossless rates, intra-window delay)"
+        ),
+        &["approach", "mean_rate", "peak_allocation", "renegotiations"],
+    );
+    let fixed = min_lossless_rate(&full, delay);
+    table.push(vec![
+        format!("smoothing D={delay}"),
+        fixed.to_string(),
+        fixed.to_string(),
+        "0".to_string(),
+    ]);
+    for &w in windows {
+        let schedule = renegotiated_schedule(trace, w);
+        let mut total: u128 = 0;
+        let mut peak: Bytes = 0;
+        for (i, &(at, r)) in schedule.iter().enumerate() {
+            let end = schedule
+                .get(i + 1)
+                .map(|&(next, _)| next)
+                .unwrap_or(trace.len() as u64);
+            total += r as u128 * (end - at) as u128;
+            peak = peak.max(r);
+        }
+        let mean = (total / trace.len().max(1) as u128) as Bytes;
+        table.push(vec![
+            format!("renegotiate W={w}"),
+            mean.to_string(),
+            peak.to_string(),
+            schedule.len().saturating_sub(1).to_string(),
+        ]);
+    }
+    table
+}
+
+/// The per-window allocation a renegotiated link would use: each
+/// window's rate is sized so all its data drains by the window's end
+/// (for each suffix starting at local index `a`, the suffix bytes must
+/// fit in the `L − a` remaining steps). Returns `(from_step, rate)`
+/// entries suitable for
+/// [`run_server_with_rate_schedule`](rts_sim::run_server_with_rate_schedule);
+/// the tests verify the schedule is in fact lossless under simulation.
+pub fn renegotiated_schedule(trace: &FrameSizeTrace, w: usize) -> Vec<(u64, Bytes)> {
+    let mut schedule = Vec::new();
+    let mut start = 0usize;
+    while start < trace.len() {
+        let win = trace.window(start, w);
+        let sizes: Vec<Bytes> = win.frames().iter().map(|&(_, s)| s).collect();
+        let len = sizes.len() as u64;
+        let mut suffix: Bytes = 0;
+        let mut r: Bytes = 1;
+        for (a, &s) in sizes.iter().enumerate().rev() {
+            suffix += s;
+            let steps = len - a as u64;
+            r = r.max(suffix.div_ceil(steps));
+        }
+        schedule.push((start as u64, r));
+        start += w;
+    }
+    schedule
+}
+
+/// Renegotiation comparison at the canonical scale.
+pub fn renegotiation() -> Table {
+    renegotiation_on(&workload::section5_trace(), 16, &[30, 120, 480])
+}
+
+/// All canonical experiments, in EXPERIMENTS.md order.
+pub fn all() -> Vec<Table> {
+    vec![
+        fig2(),
+        fig3(),
+        fig4(),
+        fig5(),
+        fig6(),
+        tradeoff_buffer(),
+        tradeoff_delay(),
+        tradeoff_rate(),
+        lemma36(),
+        thm47(),
+        thm48(),
+        ratio_audit(),
+        jitter(),
+        lossless_frontier(),
+        granularity(),
+        kind_breakdown(),
+        mux_gain(),
+        tandem(),
+        renegotiation(),
+    ]
+}

@@ -1,0 +1,20 @@
+//! Experiment harness: the workloads, series computations, and table
+//! output behind every figure binary and criterion benchmark.
+//!
+//! Each `fig*` function in [`figures`] recomputes one figure of the
+//! paper's Section 5 (or one analytical experiment from Sections 3–4)
+//! and returns a [`Table`]; the binaries print it and write CSV under
+//! `results/`. Keeping the computations in the library lets the
+//! integration tests assert the *shape* of every figure — who wins,
+//! by roughly what factor, where the knees are.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod figures;
+pub mod plot;
+pub mod table;
+pub mod workload;
+
+pub use table::Table;

@@ -1,0 +1,414 @@
+//! Minimal SVG line charts for the experiment tables.
+//!
+//! No plotting dependency: the charts are hand-rolled SVG (polylines,
+//! ticks, legend) sized for inclusion in a README or paper draft.
+//! `all_figures` writes one `results/<name>.svg` next to each CSV whose
+//! table has a numeric x-column.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::table::Table;
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A simple multi-series line chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series, plotted in order.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 840.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 170.0;
+const MARGIN_T: f64 = 46.0;
+const MARGIN_B: f64 = 56.0;
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+impl LineChart {
+    /// Builds a chart from a table: `x_col` supplies the x values and
+    /// each of `y_cols` becomes a series. Returns `None` if any named
+    /// column is missing or fails to parse as numbers.
+    pub fn from_table(table: &Table, x_col: &str, y_cols: &[&str]) -> Option<LineChart> {
+        let xi = table.column(x_col)?;
+        let parse = |cell: &str| cell.parse::<f64>().ok();
+        let xs: Option<Vec<f64>> = table.rows.iter().map(|r| parse(&r[xi])).collect();
+        let xs = xs?;
+        let mut series = Vec::new();
+        for &name in y_cols {
+            let yi = table.column(name)?;
+            let ys: Option<Vec<f64>> = table.rows.iter().map(|r| parse(&r[yi])).collect();
+            series.push(Series {
+                name: name.to_string(),
+                points: xs.iter().copied().zip(ys?).collect(),
+            });
+        }
+        Some(LineChart {
+            title: table.title.clone(),
+            x_label: x_col.to_string(),
+            y_label: String::new(),
+            series,
+        })
+    }
+
+    /// Builds a chart from a table using the first column as x and
+    /// every other fully-numeric column as a series. Returns `None` if
+    /// the x column is not numeric or no numeric series exists.
+    pub fn auto_from_table(table: &Table) -> Option<LineChart> {
+        let x_col = table.headers.first()?;
+        let numeric: Vec<&str> = table
+            .headers
+            .iter()
+            .skip(1)
+            .filter(|h| {
+                let idx = table.column(h).expect("header exists");
+                !table.rows.is_empty() && table.rows.iter().all(|r| r[idx].parse::<f64>().is_ok())
+            })
+            .map(String::as_str)
+            .collect();
+        if numeric.is_empty() {
+            return None;
+        }
+        LineChart::from_table(table, x_col, &numeric)
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn render_svg(&self) -> String {
+        let mut pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            pts.push((0.0, 0.0));
+        }
+        let (mut x0, mut x1) = min_max(pts.iter().map(|p| p.0));
+        let (mut y0, mut y1) = min_max(pts.iter().map(|p| p.1));
+        if x0 == x1 {
+            x0 -= 0.5;
+            x1 += 0.5;
+        }
+        if y0 == y1 {
+            y0 -= 0.5;
+            y1 += 0.5;
+        }
+        // A little headroom on y; anchor at 0 when data is near it.
+        if y0 > 0.0 && y0 < 0.25 * y1 {
+            y0 = 0.0;
+        }
+        y1 += (y1 - y0) * 0.05;
+
+        let px = |x: f64| MARGIN_L + (x - x0) / (x1 - x0) * (WIDTH - MARGIN_L - MARGIN_R);
+        let py = |y: f64| HEIGHT - MARGIN_B - (y - y0) / (y1 - y0) * (HEIGHT - MARGIN_T - MARGIN_B);
+
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="24" font-size="14" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            escape(&self.title)
+        );
+
+        // Axes, ticks, gridlines.
+        for i in 0..=5 {
+            let f = i as f64 / 5.0;
+            let xv = x0 + f * (x1 - x0);
+            let yv = y0 + f * (y1 - y0);
+            let (gx, gy) = (px(xv), py(yv));
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{gx:.1}" y1="{:.1}" x2="{gx:.1}" y2="{:.1}" stroke="#eee"/>"##,
+                MARGIN_T,
+                HEIGHT - MARGIN_B
+            );
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{:.1}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#eee"/>"##,
+                MARGIN_L,
+                WIDTH - MARGIN_R
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{gx:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+                HEIGHT - MARGIN_B + 18.0,
+                tick(xv)
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+                MARGIN_L - 8.0,
+                gy + 4.0,
+                tick(yv)
+            );
+        }
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{:.1}" height="{:.1}" fill="none" stroke="#444"/>"##,
+            WIDTH - MARGIN_L - MARGIN_R,
+            HEIGHT - MARGIN_T - MARGIN_B
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            (MARGIN_L + WIDTH - MARGIN_R) / 2.0,
+            HEIGHT - 12.0,
+            escape(&self.x_label)
+        );
+
+        // Series + legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+                WIDTH - MARGIN_R + 12.0,
+                WIDTH - MARGIN_R + 36.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                WIDTH - MARGIN_R + 42.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Writes `<dir>/<name>.svg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_svg(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.svg"));
+        std::fs::write(&path, self.render_svg())?;
+        Ok(path)
+    }
+}
+
+/// The curated chart for a known experiment table: picks the x column
+/// and the series the paper plots (identifier columns like `buffer`
+/// stay off the y-axis). Unknown tables fall back to
+/// [`LineChart::auto_from_table`].
+pub fn chart_for(table: &Table) -> Option<LineChart> {
+    let spec: Option<(&str, &[&str])> = match table.name.as_str() {
+        "fig2" | "fig3" => Some(("k_max_frames", &["tail_drop", "greedy", "optimal"])),
+        "fig4" => Some(("rate_factor", &["tail_drop", "greedy", "optimal"])),
+        "fig5" => Some(("k_max_frames", &["optimal_byte", "optimal_frame"])),
+        "fig6" => Some((
+            "k_max_frames",
+            &["tail_byte", "greedy_byte", "tail_frame", "greedy_frame"],
+        )),
+        "tradeoff_buffer" => Some(("b_over_rd", &["byte_loss"])),
+        "tradeoff_delay" => Some(("d_over_br", &["byte_loss"])),
+        "tradeoff_rate" => Some(("rate", &["byte_loss"])),
+        "lemma36" => Some(("b1", &["measured_ratio", "bound_b1_over_b2"])),
+        "jitter" => Some(("jmax", &["optimistic_loss", "controlled_loss"])),
+        "lossless_frontier" => Some(("delay", &["min_rate"])),
+        "granularity" => Some(("chunk", &["tail_drop", "greedy", "optimal"])),
+        "mux_gain" => Some(("delay", &["gain"])),
+        "tandem" => Some(("relay_buffer", &["weighted_loss"])),
+        _ => None,
+    };
+    match spec {
+        Some((x, ys)) => LineChart::from_table(table, x, ys),
+        None => LineChart::auto_from_table(table),
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn tick(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("demo", "Demo <chart>", &["x", "a", "b", "label"]);
+        for i in 0..5 {
+            t.push(vec![
+                i.to_string(),
+                (i * i).to_string(),
+                (10 - i).to_string(),
+                "text".into(),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn from_table_builds_named_series() {
+        let chart = LineChart::from_table(&sample_table(), "x", &["a", "b"]).unwrap();
+        assert_eq!(chart.series.len(), 2);
+        assert_eq!(chart.series[0].points.len(), 5);
+        assert_eq!(chart.series[0].points[2], (2.0, 4.0));
+    }
+
+    #[test]
+    fn from_table_rejects_missing_or_textual_columns() {
+        assert!(LineChart::from_table(&sample_table(), "nope", &["a"]).is_none());
+        assert!(LineChart::from_table(&sample_table(), "x", &["label"]).is_none());
+    }
+
+    #[test]
+    fn auto_from_table_picks_numeric_columns_only() {
+        let chart = LineChart::auto_from_table(&sample_table()).unwrap();
+        let names: Vec<&str> = chart.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn auto_from_table_refuses_textual_x() {
+        let mut t = Table::new("n", "t", &["policy", "v"]);
+        t.push(vec!["greedy".into(), "1".into()]);
+        assert!(LineChart::auto_from_table(&t).is_none());
+    }
+
+    #[test]
+    fn svg_contains_polylines_title_and_legend() {
+        let chart = LineChart::auto_from_table(&sample_table()).unwrap();
+        let svg = chart.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Demo &lt;chart&gt;"), "title escaped");
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn svg_handles_degenerate_data() {
+        let chart = LineChart {
+            title: "flat".into(),
+            x_label: "x".into(),
+            y_label: String::new(),
+            series: vec![Series {
+                name: "s".into(),
+                points: vec![(1.0, 2.0), (1.0, 2.0)],
+            }],
+        };
+        let svg = chart.render_svg();
+        assert!(svg.contains("<polyline"));
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn svg_coordinates_stay_inside_the_canvas() {
+        let chart = LineChart::auto_from_table(&sample_table()).unwrap();
+        let svg = chart.render_svg();
+        for line in svg.lines().filter(|l| l.contains("<polyline")) {
+            let points = line
+                .split("points=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .unwrap();
+            for pair in points.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=WIDTH).contains(&x), "x {x}");
+                assert!((0.0..=HEIGHT).contains(&y), "y {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn chart_for_uses_curated_specs() {
+        let mut t = Table::new(
+            "fig2",
+            "Fig 2",
+            &["k_max_frames", "buffer", "tail_drop", "greedy", "optimal"],
+        );
+        t.push(vec![
+            "1".into(),
+            "120".into(),
+            "7.8".into(),
+            "1.8".into(),
+            "0.7".into(),
+        ]);
+        let chart = chart_for(&t).unwrap();
+        let names: Vec<&str> = chart.series.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["tail_drop", "greedy", "optimal"],
+            "buffer excluded"
+        );
+    }
+
+    #[test]
+    fn chart_for_falls_back_to_auto() {
+        let mut t = Table::new("unknown", "u", &["x", "y"]);
+        t.push(vec!["1".into(), "2".into()]);
+        assert!(chart_for(&t).is_some());
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let dir = std::env::temp_dir().join("rts_bench_plot_test");
+        let chart = LineChart::auto_from_table(&sample_table()).unwrap();
+        let path = chart.write_svg(&dir, "demo").unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimal table type: aligned console output plus CSV persistence.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A named result table (one per figure/experiment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Short machine name; the CSV is written as `<name>.csv`.
+    pub name: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name: name.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Looks up a column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// Parses a column as `f64` (for shape assertions in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header is unknown or a cell does not parse.
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let idx = self
+            .column(header)
+            .unwrap_or_else(|| panic!("no column named {header}"));
+        self.rows
+            .iter()
+            .map(|r| {
+                r[idx]
+                    .parse::<f64>()
+                    .unwrap_or_else(|e| panic!("cell {:?} in {header}: {e}", r[idx]))
+            })
+            .collect()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown serialization.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// CSV serialization (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<name>.csv`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (the paper's
+/// axis style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Formats a float with four decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", "A demo table", &["x", "y"]);
+        t.push(vec!["1".into(), "2.5".into()]);
+        t.push(vec!["10".into(), "3.5".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let r = sample().render();
+        assert!(r.contains("# A demo table"));
+        assert!(r.contains(" x"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next(), Some("x,y"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = sample();
+        assert_eq!(t.column("y"), Some(1));
+        assert_eq!(t.column_f64("y"), vec![2.5, 3.5]);
+        assert_eq!(t.column("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        sample().push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1234), "12.34");
+        assert_eq!(f4(1.23456), "1.2346");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### A demo table"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 10 | 3.5 |"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("rts_bench_table_test");
+        let path = sample().write_csv(&dir).unwrap();
+        assert!(path.ends_with("demo.csv"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("x,y"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

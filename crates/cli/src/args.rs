@@ -1,0 +1,153 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    command: String,
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when no subcommand is present, an
+    /// option is missing its value, or an option is repeated.
+    pub fn parse<I, S>(raw: I) -> Result<Args, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = raw.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| CliError::usage("missing subcommand"))?;
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage(format!("option --{key} needs a value")))?;
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(CliError::usage(format!("option --{key} given twice")));
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand name.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// The `i`-th positional argument, required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] naming `what` when absent.
+    pub fn positional(&self, i: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::usage(format!("missing {what}")))
+    }
+
+    /// An optional string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if present but unparsable.
+    pub fn opt_parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.opt(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| CliError::usage(format!("option --{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// A required parsed option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if absent or unparsable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        self.opt_parse(key)?
+            .ok_or_else(|| CliError::usage(format!("missing required option --{key}")))
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] if present but unparsable.
+    pub fn opt_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        Ok(self.opt_parse(key)?.unwrap_or(default))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let a = Args::parse(["simulate", "trace.txt", "--buffer", "10", "--rate", "3"]).unwrap();
+        assert_eq!(a.command(), "simulate");
+        assert_eq!(a.positional(0, "trace").unwrap(), "trace.txt");
+        assert_eq!(a.require::<u64>("buffer").unwrap(), 10);
+        assert_eq!(a.opt_or::<u64>("delay", 7).unwrap(), 7);
+        assert_eq!(a.opt("rate"), Some("3"));
+    }
+
+    #[test]
+    fn missing_subcommand() {
+        let e = Args::parse(Vec::<String>::new()).unwrap_err();
+        assert!(e.to_string().contains("missing subcommand"));
+    }
+
+    #[test]
+    fn option_without_value() {
+        let e = Args::parse(["x", "--flag"]).unwrap_err();
+        assert!(e.to_string().contains("--flag needs a value"));
+    }
+
+    #[test]
+    fn repeated_option_rejected() {
+        let e = Args::parse(["x", "--a", "1", "--a", "2"]).unwrap_err();
+        assert!(e.to_string().contains("given twice"));
+    }
+
+    #[test]
+    fn unparsable_option() {
+        let a = Args::parse(["x", "--n", "abc"]).unwrap();
+        assert!(a.require::<u64>("n").is_err());
+        assert!(a.opt_parse::<u64>("n").is_err());
+    }
+
+    #[test]
+    fn missing_positional_names_what() {
+        let a = Args::parse(["stats"]).unwrap();
+        let e = a.positional(0, "trace file").unwrap_err();
+        assert!(e.to_string().contains("missing trace file"));
+    }
+}

@@ -1,0 +1,552 @@
+//! The `smoothctl` subcommands as pure, testable functions.
+
+use std::fmt::Write as _;
+
+use rts_core::policy::{GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
+use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
+use rts_offline::{min_lossless_delay, min_lossless_rate, peak_rate};
+use rts_sim::{simulate, SimConfig, SimReport};
+use rts_stream::gen::{cbr, markov_onoff, MarkovOnOffConfig, MpegConfig, MpegSource};
+use rts_stream::slicing::Slicing;
+use rts_stream::weight::WeightAssignment;
+use rts_stream::{textio, InputStream};
+
+use crate::{Args, CliError, USAGE};
+
+/// Executes a parsed command line against the filesystem and returns
+/// the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage problems, unreadable files, or
+/// malformed traces.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "generate" => generate(args),
+        "convert" => convert(args),
+        "merge" => merge_cmd(args),
+        "stats" => stats(args),
+        "plan" => plan(args),
+        "simulate" => simulate_cmd(args),
+        "frontier" => frontier(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!(
+            "unknown subcommand '{other}' (try 'smoothctl help')"
+        ))),
+    }
+}
+
+fn load(path: &str) -> Result<InputStream, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
+    Ok(textio::parse_stream(&text)?)
+}
+
+fn parse_slicing(spec: &str) -> Result<Slicing, CliError> {
+    match spec {
+        "byte" => Ok(Slicing::PerByte),
+        "frame" => Ok(Slicing::WholeFrame),
+        other => match other.strip_prefix("chunk:") {
+            Some(n) => {
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| CliError::usage(format!("bad chunk size in {other:?}")))?;
+                if n == 0 {
+                    return Err(CliError::usage("chunk size must be positive"));
+                }
+                Ok(Slicing::Chunks(n))
+            }
+            None => Err(CliError::usage(format!(
+                "unknown slicing {other:?} (byte|frame|chunk:N)"
+            ))),
+        },
+    }
+}
+
+fn parse_weights(spec: &str) -> Result<WeightAssignment, CliError> {
+    match spec {
+        "mpeg" => Ok(WeightAssignment::MPEG_12_8_1),
+        "uniform" => Ok(WeightAssignment::Uniform(1)),
+        "size" => Ok(WeightAssignment::BySize),
+        other => Err(CliError::usage(format!(
+            "unknown weights {other:?} (mpeg|uniform|size)"
+        ))),
+    }
+}
+
+fn generate(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .opt("out")
+        .ok_or_else(|| CliError::usage("generate needs --out FILE"))?;
+    let frames: usize = args.opt_or("frames", 600)?;
+    let seed: u64 = args.opt_or("seed", 1)?;
+    let slicing = parse_slicing(args.opt("slicing").unwrap_or("frame"))?;
+    let weights = parse_weights(args.opt("weights").unwrap_or("mpeg"))?;
+    let trace = match args.opt("kind").unwrap_or("mpeg") {
+        "mpeg" => MpegSource::new(MpegConfig::cnn_like(), seed).frames(frames),
+        "markov" => markov_onoff(
+            MarkovOnOffConfig {
+                on_size: args.opt_or("on-size", 80)?,
+                off_size: args.opt_or("off-size", 10)?,
+                p_on_to_off: 0.05,
+                p_off_to_on: 0.02,
+            },
+            frames,
+            seed,
+        ),
+        "cbr" => cbr(frames, args.opt_or("size", 38)?),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown kind {other:?} (mpeg|markov|cbr)"
+            )))
+        }
+    };
+    let stream = trace.materialize(slicing, weights);
+    std::fs::write(out, textio::write_stream(&stream)).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "wrote {out}: {} frames, {} slices, {} bytes, weight {}\n",
+        stream.frames().len(),
+        stream.slice_count(),
+        stream.total_bytes(),
+        stream.total_weight()
+    ))
+}
+
+fn convert(args: &Args) -> Result<String, CliError> {
+    let input = args.positional(0, "frame-size file")?;
+    let out = args
+        .opt("out")
+        .ok_or_else(|| CliError::usage("convert needs --out FILE"))?;
+    let slicing = parse_slicing(args.opt("slicing").unwrap_or("frame"))?;
+    let weights = parse_weights(args.opt("weights").unwrap_or("mpeg"))?;
+    let text = std::fs::read_to_string(input).map_err(|e| CliError::io(input, e))?;
+    let trace = textio::parse_frame_sizes(&text)?;
+    let stream = trace.materialize(slicing, weights);
+    std::fs::write(out, textio::write_stream(&stream)).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "converted {input} -> {out}: {} frames, {} slices, {} bytes\n",
+        stream.frames().len(),
+        stream.slice_count(),
+        stream.total_bytes()
+    ))
+}
+
+fn merge_cmd(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .opt("out")
+        .ok_or_else(|| CliError::usage("merge needs --out FILE"))?;
+    let mut inputs = Vec::new();
+    let mut i = 0;
+    while let Ok(path) = args.positional(i, "input trace") {
+        inputs.push(load(path)?);
+        i += 1;
+    }
+    if inputs.len() < 2 {
+        return Err(CliError::usage("merge needs at least two input traces"));
+    }
+    let merged = rts_stream::merge(&inputs);
+    std::fs::write(out, textio::write_stream(&merged.stream)).map_err(|e| CliError::io(out, e))?;
+    Ok(format!(
+        "merged {} traces -> {out}: {} frames, {} slices, {} bytes\n",
+        inputs.len(),
+        merged.stream.frames().len(),
+        merged.stream.slice_count(),
+        merged.stream.total_bytes()
+    ))
+}
+
+fn stats(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace file")?;
+    let stream = load(path)?;
+    let st = stream.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "trace: {path}");
+    let _ = writeln!(out, "frames:        {}", st.frame_count);
+    let _ = writeln!(out, "slices:        {}", st.slice_count);
+    let _ = writeln!(out, "bytes:         {}", st.total_bytes);
+    let _ = writeln!(out, "weight:        {}", st.total_weight);
+    let _ = writeln!(out, "avg rate:      {:.2} bytes/step", st.average_rate);
+    let _ = writeln!(out, "max frame:     {} bytes", st.max_frame_bytes);
+    let _ = writeln!(out, "max slice:     {} bytes (Lmax)", st.max_slice_bytes);
+    if st.average_rate > 0.0 {
+        let _ = writeln!(
+            out,
+            "peak/mean:     {:.2}",
+            st.max_frame_bytes as f64 / st.average_rate
+        );
+    }
+    for kind in rts_stream::FrameKind::MPEG {
+        let frac = st.frame_fraction(kind);
+        if frac > 0.0 {
+            let _ = writeln!(out, "{kind} frames:      {:.1}%", frac * 100.0);
+        }
+    }
+    Ok(out)
+}
+
+fn plan(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace file")?;
+    let stream = load(path)?;
+    let link_delay: u64 = args.opt_or("link-delay", 0)?;
+    let params = match (
+        args.opt_parse::<u64>("delay")?,
+        args.opt_parse::<u64>("rate")?,
+    ) {
+        (Some(d), None) => {
+            let rate = min_lossless_rate(&stream, d);
+            SmoothingParams::balanced_from_rate_delay(rate.max(1), d, link_delay)
+        }
+        (None, Some(r)) => {
+            let d = min_lossless_delay(&stream, r)
+                .ok_or_else(|| CliError::usage("rate below the stream's long-run need"))?;
+            SmoothingParams::balanced_from_rate_delay(r, d, link_delay)
+        }
+        _ => {
+            return Err(CliError::usage(
+                "plan needs exactly one of --delay D or --rate R",
+            ))
+        }
+    };
+    let mut out = String::new();
+    let st = stream.stats();
+    let _ = writeln!(
+        out,
+        "trace: {path} (avg {:.1}, peak frame {})",
+        st.average_rate,
+        peak_rate(&stream)
+    );
+    let _ = writeln!(out, "lossless plan (B = R*D, Theorem 3.5):");
+    let _ = writeln!(out, "  link rate R:       {} bytes/step", params.rate);
+    let _ = writeln!(out, "  smoothing delay D: {} steps", params.delay);
+    let _ = writeln!(
+        out,
+        "  buffers B:         {} bytes at server AND client",
+        params.buffer
+    );
+    let _ = writeln!(
+        out,
+        "  playout latency:   {} steps (P + D)",
+        params.playout_latency()
+    );
+    let class = match params.classify() {
+        TradeoffClass::Balanced => "balanced".to_string(),
+        TradeoffClass::ExcessDelay { reducible_to } => {
+            format!("delay reducible to {reducible_to}")
+        }
+        TradeoffClass::ExcessBuffer { reducible_to } => {
+            format!("buffer reducible to {reducible_to}")
+        }
+    };
+    let _ = writeln!(out, "  classification:    {class}");
+    Ok(out)
+}
+
+fn report_text(report: &SimReport) -> String {
+    let m = &report.metrics;
+    let mut out = String::new();
+    let _ = writeln!(out, "policy:        {}", report.policy);
+    let _ = writeln!(
+        out,
+        "played:        {} / {} bytes ({} / {} slices)",
+        m.played_bytes,
+        m.offered_bytes,
+        m.played_slices,
+        m.played_slices + m.server_dropped_slices + m.client_dropped_slices
+    );
+    let _ = writeln!(
+        out,
+        "benefit:       {} / {} (weighted loss {:.2}%)",
+        m.benefit,
+        m.offered_weight,
+        m.weighted_loss() * 100.0
+    );
+    let _ = writeln!(out, "server drops:  {} slices", m.server_dropped_slices);
+    let _ = writeln!(
+        out,
+        "client drops:  {} slices {:?}",
+        m.client_dropped_slices, m.client_drop_reasons
+    );
+    let server = report.record.server_occupancy_summary();
+    let client = report.record.client_occupancy_summary();
+    let _ = writeln!(
+        out,
+        "server occ:    p50 {} / p99 {} / max {}",
+        server.p50, server.p99, server.max
+    );
+    let _ = writeln!(
+        out,
+        "client occ:    p50 {} / p99 {} / max {}",
+        client.p50, client.p99, client.max
+    );
+    out
+}
+
+fn simulate_cmd(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace file")?;
+    let stream = load(path)?;
+    let params = SmoothingParams {
+        buffer: args.require("buffer")?,
+        rate: args.require("rate")?,
+        delay: args.require("delay")?,
+        link_delay: args.opt_or("link-delay", 0)?,
+    };
+    if params.rate == 0 {
+        return Err(CliError::usage("--rate must be positive"));
+    }
+    let config = SimConfig {
+        params,
+        client_capacity: args.opt_parse("client-buffer")?,
+    };
+    let report = match args.opt("policy").unwrap_or("greedy") {
+        "greedy" => simulate(&stream, config, GreedyByteValue::new()),
+        "tail" => simulate(&stream, config, TailDrop::new()),
+        "head" => simulate(&stream, config, HeadDrop::new()),
+        "random" => simulate(&stream, config, RandomDrop::new(args.opt_or("seed", 0)?)),
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown policy {other:?} (greedy|tail|head|random)"
+            )))
+        }
+    };
+    let mut out = report_text(&report);
+    if let Some(path) = args.opt("timeline") {
+        let mut csv =
+            String::from("time,server_occupancy,client_occupancy,sent_bytes,link_in_flight\n");
+        for s in report.record.steps() {
+            csv.push_str(&format!(
+                "{},{},{},{},{}\n",
+                s.time, s.server_occupancy, s.client_occupancy, s.sent_bytes, s.link_in_flight
+            ));
+        }
+        std::fs::write(path, csv).map_err(|e| CliError::io(path, e))?;
+        out.push_str(&format!("timeline:      wrote {path}\n"));
+    }
+    Ok(out)
+}
+
+fn frontier(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace file")?;
+    let stream = load(path)?;
+    let delays: Vec<u64> = match args.opt("delays") {
+        Some(spec) => spec
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<u64>()
+                    .map_err(|_| CliError::usage(format!("bad delay {tok:?} in --delays")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => vec![0, 1, 2, 4, 8, 16, 32, 64],
+    };
+    let mut out = String::new();
+    let avg = stream.stats().average_rate;
+    let _ = writeln!(out, "lossless frontier of {path} (avg rate {avg:.1}):");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>10}",
+        "delay", "min rate", "rate/avg", "B = R*D"
+    );
+    for d in delays {
+        let r = min_lossless_rate(&stream, d);
+        let _ = writeln!(
+            out,
+            "{d:>8} {r:>10} {:>12.3} {:>10}",
+            if avg > 0.0 { r as f64 / avg } else { 0.0 },
+            r * d
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("smoothctl_test_{name}_{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
+        run(&Args::parse(line.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_line(&["help"]).unwrap();
+        assert!(out.contains("smoothctl"));
+        assert!(out.contains("frontier"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        let e = run_line(&["bogus"]).unwrap_err();
+        assert!(e.to_string().contains("unknown subcommand 'bogus'"));
+    }
+
+    #[test]
+    fn generate_stats_plan_simulate_frontier_roundtrip() {
+        let file = tmp("roundtrip");
+        let out = run_line(&[
+            "generate",
+            "--out",
+            &file,
+            "--kind",
+            "mpeg",
+            "--frames",
+            "120",
+            "--seed",
+            "9",
+            "--slicing",
+            "frame",
+        ])
+        .unwrap();
+        assert!(out.contains("120 frames"));
+
+        let out = run_line(&["stats", &file]).unwrap();
+        assert!(out.contains("avg rate"));
+        assert!(out.contains("I frames"));
+
+        let out = run_line(&["plan", &file, "--delay", "8"]).unwrap();
+        assert!(out.contains("lossless plan"));
+        assert!(out.contains("balanced"));
+
+        let out = run_line(&[
+            "simulate", &file, "--buffer", "400", "--rate", "40", "--delay", "10", "--policy",
+            "greedy",
+        ])
+        .unwrap();
+        assert!(out.contains("policy:        Greedy"));
+        assert!(out.contains("weighted loss"));
+
+        let out = run_line(&["frontier", &file, "--delays", "0,4,16"]).unwrap();
+        assert_eq!(out.lines().count(), 2 + 3);
+
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn generate_markov_and_cbr() {
+        let file = tmp("kinds");
+        for kind in ["markov", "cbr"] {
+            let out = run_line(&[
+                "generate",
+                "--out",
+                &file,
+                "--kind",
+                kind,
+                "--frames",
+                "50",
+                "--slicing",
+                "chunk:8",
+                "--weights",
+                "size",
+            ])
+            .unwrap();
+            assert!(out.contains("50 frames"), "{kind}: {out}");
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn generate_rejects_bad_inputs() {
+        assert!(run_line(&["generate"]).is_err()); // missing --out
+        assert!(run_line(&["generate", "--out", "x", "--kind", "avi"]).is_err());
+        assert!(run_line(&["generate", "--out", "x", "--slicing", "chunk:0"]).is_err());
+        assert!(run_line(&["generate", "--out", "x", "--weights", "gold"]).is_err());
+    }
+
+    #[test]
+    fn plan_needs_exactly_one_of_rate_delay() {
+        let file = tmp("plan");
+        run_line(&["generate", "--out", &file, "--frames", "30"]).unwrap();
+        assert!(run_line(&["plan", &file]).is_err());
+        assert!(run_line(&["plan", &file, "--delay", "2", "--rate", "9"]).is_err());
+        let by_rate = run_line(&["plan", &file, "--rate", "200"]).unwrap();
+        assert!(by_rate.contains("link rate R:       200"));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_policy_and_zero_rate() {
+        let file = tmp("sim");
+        run_line(&["generate", "--out", &file, "--frames", "20"]).unwrap();
+        let e = run_line(&[
+            "simulate", &file, "--buffer", "5", "--rate", "0", "--delay", "1",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("--rate must be positive"));
+        let e = run_line(&[
+            "simulate", &file, "--buffer", "5", "--rate", "2", "--delay", "1", "--policy", "yolo",
+        ])
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown policy"));
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn merge_combines_traces() {
+        let a = tmp("merge_a");
+        let b = tmp("merge_b");
+        let out = tmp("merge_out");
+        run_line(&["generate", "--out", &a, "--frames", "20", "--seed", "1"]).unwrap();
+        run_line(&["generate", "--out", &b, "--frames", "30", "--seed", "2"]).unwrap();
+        let msg = run_line(&["merge", &a, &b, "--out", &out]).unwrap();
+        assert!(msg.contains("merged 2 traces"));
+        assert!(msg.contains("30 frames"));
+        let stats = run_line(&["stats", &out]).unwrap();
+        assert!(stats.contains("slices:        50"));
+        assert!(run_line(&["merge", &a, "--out", &out]).is_err()); // one input
+        for f in [&a, &b, &out] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn convert_ingests_raw_sizes() {
+        let sizes = tmp("sizes");
+        let out = tmp("converted");
+        std::fs::write(&sizes, "I 120\n38\nB 12\n").unwrap();
+        let msg = run_line(&["convert", &sizes, "--out", &out, "--slicing", "byte"]).unwrap();
+        assert!(msg.contains("3 frames"));
+        assert!(msg.contains("170 bytes"));
+        let stats = run_line(&["stats", &out]).unwrap();
+        assert!(stats.contains("bytes:         170"));
+        assert!(run_line(&["convert", &sizes]).is_err()); // missing --out
+        let _ = std::fs::remove_file(&sizes);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn simulate_timeline_export() {
+        let file = tmp("timeline_trace");
+        let timeline = tmp("timeline_csv");
+        run_line(&["generate", "--out", &file, "--frames", "30"]).unwrap();
+        let out = run_line(&[
+            "simulate",
+            &file,
+            "--buffer",
+            "100",
+            "--rate",
+            "40",
+            "--delay",
+            "3",
+            "--timeline",
+            &timeline,
+        ])
+        .unwrap();
+        assert!(out.contains("timeline:"));
+        let csv = std::fs::read_to_string(&timeline).unwrap();
+        assert!(csv.starts_with("time,server_occupancy"));
+        assert!(csv.lines().count() > 30);
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(&timeline);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = run_line(&["stats", "/nonexistent/definitely/missing.txt"]).unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }));
+    }
+}

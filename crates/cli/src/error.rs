@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the `smoothctl` user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line was malformed; the message says how.
+    Usage(String),
+    /// A trace file could not be read or written.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A trace file was syntactically invalid.
+    Trace(rts_stream::StreamError),
+}
+
+impl CliError {
+    pub(crate) fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    pub(crate) fn io(path: &str, source: std::io::Error) -> CliError {
+        CliError::Io {
+            path: path.to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            CliError::Trace(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io { source, .. } => Some(source),
+            CliError::Trace(e) => Some(e),
+            CliError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<rts_stream::StreamError> for CliError {
+    fn from(e: rts_stream::StreamError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            CliError::usage("missing thing").to_string(),
+            "usage error: missing thing"
+        );
+        let io = CliError::io("f.txt", std::io::Error::other("nope"));
+        assert!(io.to_string().contains("f.txt"));
+        let tr = CliError::from(rts_stream::StreamError::EmptySlice { time: 1 });
+        assert!(tr.to_string().contains("invalid trace"));
+        assert!(Error::source(&tr).is_some());
+    }
+}

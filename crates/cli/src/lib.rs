@@ -1,0 +1,49 @@
+//! `smoothctl`: a command-line front end for the smoothing library.
+//!
+//! Subcommands (see `smoothctl help`):
+//!
+//! * `generate` — synthesize a trace (MPEG-like, Markov on/off, CBR)
+//!   into the text trace format;
+//! * `stats` — inspect a trace: sizes, rates, burst structure;
+//! * `plan` — capacity planning around `B = R·D` (Theorem 3.5) plus the
+//!   lossless requirement;
+//! * `simulate` — run the generic algorithm with a chosen drop policy
+//!   and print the schedule metrics;
+//! * `frontier` — the lossless rate–delay frontier of a trace.
+//!
+//! Every command is a pure function from parsed arguments to an output
+//! string (errors are typed), so the whole surface is unit-tested; the
+//! binary only does I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::Args;
+pub use commands::run;
+pub use error::CliError;
+
+/// Usage text printed by `smoothctl help` and on usage errors.
+pub const USAGE: &str = "\
+smoothctl — optimal smoothing schedules for real-time streams
+
+USAGE:
+  smoothctl generate --out FILE [--kind mpeg|markov|cbr] [--frames N]
+            [--seed S] [--slicing byte|frame|chunk:N]
+            [--weights mpeg|uniform|size]
+  smoothctl convert SIZES_FILE --out FILE [--slicing ...] [--weights ...]
+            (SIZES_FILE: one frame per line, '<size>' or '<kind> <size>')
+  smoothctl merge FILE FILE... --out FILE
+  smoothctl stats FILE
+  smoothctl plan FILE (--delay D | --rate R) [--link-delay P]
+  smoothctl simulate FILE --buffer B --rate R --delay D
+            [--policy greedy|tail|head|random] [--link-delay P]
+            [--client-buffer BC] [--timeline CSV]
+  smoothctl frontier FILE [--delays 0,1,2,4,8,...]
+  smoothctl help
+
+Traces use the plain-text format of rts-stream (see its docs).
+";

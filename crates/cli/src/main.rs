@@ -1,0 +1,21 @@
+//! `smoothctl` binary entry point: parse, run, print.
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = if raw.is_empty() {
+        Err(rts_cli::CliError::Usage("missing subcommand".into()))
+    } else {
+        rts_cli::Args::parse(raw)
+    };
+    let result = parsed.and_then(|args| rts_cli::run(&args));
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("smoothctl: {e}");
+            if matches!(e, rts_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", rts_cli::USAGE);
+            }
+            std::process::exit(2);
+        }
+    }
+}

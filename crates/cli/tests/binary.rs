@@ -1,0 +1,70 @@
+//! End-to-end tests of the actual `smoothctl` binary (spawned as a
+//! process, exercising argument parsing, exit codes, and I/O).
+
+use std::process::Command;
+
+fn smoothctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_smoothctl"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("smoothctl_bin_{name}_{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = smoothctl(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn no_arguments_is_a_usage_error_with_exit_2() {
+    let out = smoothctl(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"));
+    assert!(err.contains("USAGE"), "usage text printed on stderr");
+}
+
+#[test]
+fn unknown_subcommand_exit_2() {
+    let out = smoothctl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let trace = tmp("flow");
+    let gen = smoothctl(&["generate", "--out", &trace, "--frames", "80", "--seed", "3"]);
+    assert!(gen.status.success(), "{:?}", gen);
+
+    let stats = smoothctl(&["stats", &trace]);
+    assert!(stats.status.success());
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("avg rate"));
+
+    let plan = smoothctl(&["plan", &trace, "--delay", "6"]);
+    assert!(plan.status.success());
+    assert!(String::from_utf8_lossy(&plan.stdout).contains("balanced"));
+
+    let sim = smoothctl(&[
+        "simulate", &trace, "--buffer", "300", "--rate", "50", "--delay", "6",
+    ]);
+    assert!(sim.status.success());
+    assert!(String::from_utf8_lossy(&sim.stdout).contains("weighted loss"));
+
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn io_error_reports_the_path() {
+    let out = smoothctl(&["stats", "/no/such/file.trace"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/file.trace"));
+}

@@ -1,0 +1,222 @@
+//! Closed-form bounds from Sections 3 and 4.
+//!
+//! * [`throughput_guarantee`] — Theorem 3.9: the generic algorithm's
+//!   throughput is at least `(B − Lmax + 1)/B` of the best possible.
+//! * [`buffer_ratio_bound`] — Lemma 3.6: a buffer of size `B1` delivers
+//!   at least `B1/B2` of the throughput of a buffer of size `B2 ≥ B1`.
+//! * [`greedy_upper_bound`] — Theorem 4.1: Greedy is
+//!   `4B/(B − 2(Lmax − 1))`-competitive.
+//! * [`greedy_lower_bound`] — Theorem 4.7: on the parametric adversarial
+//!   stream, opt/greedy is at least `((2B+1)α + 1)/((B+1)(α+1))`, which
+//!   approaches 2.
+//! * [`deterministic_lower_bound`] / [`best_deterministic_lower_bound`] —
+//!   Theorem 4.8 and the Lotker–Sviridenko remark: no deterministic
+//!   online algorithm beats ≈1.2287 (α = 2), or ≈1.28197 at the optimal
+//!   α ≈ 4.015.
+
+use rts_stream::Bytes;
+
+/// Theorem 3.9 / Corollary 3.8: the fraction of the optimal throughput
+/// guaranteed by the generic algorithm with buffer `b` and maximum slice
+/// size `lmax`, as the exact rational `(B − Lmax + 1, B)`.
+///
+/// Returns `None` if the guarantee is vacuous (`lmax > b` or `b == 0`).
+pub fn throughput_guarantee(b: Bytes, lmax: Bytes) -> Option<(u64, u64)> {
+    if b == 0 || lmax == 0 || lmax > b {
+        return None;
+    }
+    Some((b - lmax + 1, b))
+}
+
+/// Lemma 3.6: the guaranteed throughput ratio `B1/B2` between two generic
+/// servers with buffers `b1 ≤ b2` on the same unit-slice stream.
+///
+/// Returns `None` if `b1 > b2` or `b2 == 0`.
+pub fn buffer_ratio_bound(b1: Bytes, b2: Bytes) -> Option<(u64, u64)> {
+    if b2 == 0 || b1 > b2 {
+        return None;
+    }
+    Some((b1, b2))
+}
+
+/// Theorem 4.1: the competitive ratio of the greedy policy with buffer
+/// `b` and maximum slice size `lmax`, as the exact rational
+/// `(4B, B − 2(Lmax − 1))`.
+///
+/// Returns `None` when the bound is vacuous (`b ≤ 2(lmax − 1)` or a zero
+/// argument). For unit slices (`lmax = 1`) this is exactly 4.
+pub fn greedy_upper_bound(b: Bytes, lmax: Bytes) -> Option<(u64, u64)> {
+    if b == 0 || lmax == 0 {
+        return None;
+    }
+    let penalty = 2 * (lmax - 1);
+    if b <= penalty {
+        return None;
+    }
+    Some((4 * b, b - penalty))
+}
+
+/// Theorem 4.7: the ratio achieved against Greedy by the optimal schedule
+/// on the parametric stream with buffer `b` and weight ratio `alpha > 1`:
+/// `((2B+1)α + 1) / ((B+1)(α+1))`, which is at least
+/// `2 − (2/(α+1) + 1/(B+1))`.
+pub fn greedy_lower_bound(alpha: f64, b: Bytes) -> f64 {
+    let b = b as f64;
+    ((2.0 * b + 1.0) * alpha + 1.0) / ((b + 1.0) * (alpha + 1.0))
+}
+
+/// The adversary's optimal `z = B/t1` for [`deterministic_lower_bound`]:
+/// the positive root of `αz² + (1 − α)z − α² = 0`, at which the two
+/// scenario ratios of Theorem 4.8 coincide. For `α = 2` this is
+/// `(1 + √33)/4 ≈ 1.6861`.
+pub fn adversary_optimal_z(alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "the adversary needs alpha > 1");
+    ((alpha - 1.0) + ((alpha - 1.0).powi(2) + 4.0 * alpha.powi(3)).sqrt()) / (2.0 * alpha)
+}
+
+/// Theorem 4.8 (asymptotic in `B`): the lower bound on the competitive
+/// ratio of every deterministic online algorithm, with heavy/light weight
+/// ratio `alpha`:
+///
+/// ```text
+/// min over z of max( (z + α)/(1 + α), α(1 + z)/(1 + αz) )
+/// ```
+///
+/// attained at [`adversary_optimal_z`]. For `α = 2` this evaluates to
+/// ≈ 1.2287.
+pub fn deterministic_lower_bound(alpha: f64) -> f64 {
+    let z = adversary_optimal_z(alpha);
+    (z + alpha) / (1.0 + alpha)
+}
+
+/// The two Theorem 4.8 scenario ratios at a given `z = B/t1`, for
+/// inspection and plotting: `(scenario1, scenario2)`.
+pub fn scenario_ratios(alpha: f64, z: f64) -> (f64, f64) {
+    (
+        (z + alpha) / (1.0 + alpha),
+        alpha * (1.0 + z) / (1.0 + alpha * z),
+    )
+}
+
+/// Maximizes [`deterministic_lower_bound`] over `alpha` (the
+/// Lotker–Sviridenko improvement): returns `(alpha, ratio)` ≈
+/// `(4.015, 1.28197)`.
+pub fn best_deterministic_lower_bound() -> (f64, f64) {
+    // The objective is smooth and unimodal on (1, ∞); golden-section
+    // search over a generous bracket.
+    let (mut lo, mut hi) = (1.000_001_f64, 64.0_f64);
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    for _ in 0..200 {
+        let m1 = hi - phi * (hi - lo);
+        let m2 = lo + phi * (hi - lo);
+        if deterministic_lower_bound(m1) < deterministic_lower_bound(m2) {
+            lo = m1;
+        } else {
+            hi = m2;
+        }
+    }
+    let alpha = (lo + hi) / 2.0;
+    (alpha, deterministic_lower_bound(alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn as_f64((n, d): (u64, u64)) -> f64 {
+        n as f64 / d as f64
+    }
+
+    #[test]
+    fn throughput_guarantee_values() {
+        assert_eq!(throughput_guarantee(10, 1), Some((10, 10)));
+        assert_eq!(throughput_guarantee(10, 4), Some((7, 10)));
+        assert_eq!(throughput_guarantee(10, 10), Some((1, 10)));
+        assert_eq!(throughput_guarantee(3, 4), None);
+        assert_eq!(throughput_guarantee(0, 1), None);
+        assert_eq!(throughput_guarantee(10, 0), None);
+    }
+
+    #[test]
+    fn buffer_ratio_values() {
+        assert_eq!(buffer_ratio_bound(3, 12), Some((3, 12)));
+        assert_eq!(buffer_ratio_bound(12, 12), Some((12, 12)));
+        assert_eq!(buffer_ratio_bound(13, 12), None);
+        assert_eq!(buffer_ratio_bound(0, 0), None);
+    }
+
+    #[test]
+    fn greedy_upper_bound_is_4_for_unit_slices() {
+        let (n, d) = greedy_upper_bound(100, 1).unwrap();
+        assert_eq!((n, d), (400, 100));
+        assert!((as_f64((n, d)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_upper_bound_degrades_with_lmax() {
+        let r = as_f64(greedy_upper_bound(100, 11).unwrap());
+        assert!((r - 400.0 / 80.0).abs() < 1e-12);
+        // Vacuous when B <= 2(Lmax-1).
+        assert_eq!(greedy_upper_bound(20, 11), None);
+        assert_eq!(greedy_upper_bound(21, 11), Some((84, 1)));
+    }
+
+    #[test]
+    fn greedy_lower_bound_matches_theorem_47_form() {
+        // 2 - (2/(α+1) + 1/(B+1)) is a lower bound on the exact ratio.
+        for &(alpha, b) in &[(2.0, 10u64), (10.0, 100), (100.0, 1000)] {
+            let exact = greedy_lower_bound(alpha, b);
+            let simple = 2.0 - (2.0 / (alpha + 1.0) + 1.0 / (b as f64 + 1.0));
+            assert!(
+                exact >= simple - 1e-12,
+                "exact {exact} should dominate {simple}"
+            );
+            assert!(exact < 2.0);
+        }
+        // Approaches 2 as both grow.
+        assert!(greedy_lower_bound(1e6, 1_000_000) > 1.999);
+    }
+
+    #[test]
+    fn adversary_z_for_alpha_2_matches_paper() {
+        let z = adversary_optimal_z(2.0);
+        assert!((z - 1.6861).abs() < 1e-3, "z = {z}");
+    }
+
+    #[test]
+    fn deterministic_lower_bound_for_alpha_2_is_1_2287() {
+        let r = deterministic_lower_bound(2.0);
+        assert!((r - 1.2287).abs() < 1e-4, "ratio = {r}");
+    }
+
+    #[test]
+    fn scenario_ratios_coincide_at_optimal_z() {
+        for &alpha in &[1.5, 2.0, 4.015, 10.0] {
+            let z = adversary_optimal_z(alpha);
+            let (r1, r2) = scenario_ratios(alpha, z);
+            assert!((r1 - r2).abs() < 1e-9, "alpha {alpha}: {r1} vs {r2}");
+        }
+    }
+
+    #[test]
+    fn scenario_ratios_move_in_opposite_directions() {
+        let z = adversary_optimal_z(2.0);
+        let (lo1, lo2) = scenario_ratios(2.0, z - 0.5);
+        let (hi1, hi2) = scenario_ratios(2.0, z + 0.5);
+        assert!(lo1 < hi1, "scenario 1 increases in z");
+        assert!(lo2 > hi2, "scenario 2 decreases in z");
+    }
+
+    #[test]
+    fn lotker_sviridenko_optimum() {
+        let (alpha, ratio) = best_deterministic_lower_bound();
+        assert!((alpha - 4.015).abs() < 0.01, "alpha = {alpha}");
+        assert!((ratio - 1.28197).abs() < 1e-4, "ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn adversary_rejects_alpha_at_most_one() {
+        adversary_optimal_z(1.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The server's pushout FIFO buffer.
+//!
+//! The paper's model (Section 2.1) requires a *random-access* (pushout)
+//! buffer: any stored slice may be removed to free space, except that "a
+//! slice cannot be dropped after it starts being transmitted" (no
+//! preemption). Transmission is strictly FIFO in arrival order.
+//!
+//! The buffer is keyed by a monotone admission sequence number [`Seq`],
+//! giving O(log n) admission, mid-queue drop, and head transmission.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rts_stream::{Bytes, Slice};
+
+/// Monotone admission sequence number; FIFO transmission order is `Seq`
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Seq(pub u64);
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A slice resident in the server buffer, together with its transmission
+/// progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferedSlice {
+    /// Admission sequence number.
+    pub seq: Seq,
+    /// The stored slice.
+    pub slice: Slice,
+    /// Bytes of the slice already submitted to the link. Only the FIFO
+    /// head can have `sent > 0`.
+    pub sent: Bytes,
+}
+
+impl BufferedSlice {
+    /// Bytes of the slice still occupying buffer space.
+    #[inline]
+    pub fn remaining(&self) -> Bytes {
+        self.slice.size - self.sent
+    }
+
+    /// Whether transmission of this slice has started (and it therefore
+    /// can no longer be dropped).
+    #[inline]
+    pub fn in_transmission(&self) -> bool {
+        self.sent > 0
+    }
+}
+
+/// The server's pushout FIFO buffer.
+///
+/// Invariants maintained:
+/// * at most one slice (the FIFO head) has partial transmission progress;
+/// * [`occupancy`](Self::occupancy) always equals the sum of
+///   [`BufferedSlice::remaining`] over all stored slices;
+/// * a partially transmitted slice cannot be dropped.
+#[derive(Debug, Clone, Default)]
+pub struct ServerBuffer {
+    entries: BTreeMap<Seq, BufferedSlice>,
+    occupancy: Bytes,
+    next_seq: u64,
+}
+
+impl ServerBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current occupancy in bytes (`|Bs(t)|` in the paper).
+    #[inline]
+    pub fn occupancy(&self) -> Bytes {
+        self.occupancy
+    }
+
+    /// Number of stored slices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no slices.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Admits a slice, assigning it the next sequence number.
+    pub fn admit(&mut self, slice: Slice) -> Seq {
+        let seq = Seq(self.next_seq);
+        self.next_seq += 1;
+        self.occupancy += slice.size;
+        let prev = self.entries.insert(
+            seq,
+            BufferedSlice {
+                seq,
+                slice,
+                sent: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "sequence numbers are unique");
+        seq
+    }
+
+    /// Looks up a stored slice.
+    pub fn get(&self, seq: Seq) -> Option<&BufferedSlice> {
+        self.entries.get(&seq)
+    }
+
+    /// Whether `seq` is still stored.
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.entries.contains_key(&seq)
+    }
+
+    /// The FIFO head (next slice to transmit from).
+    pub fn head(&self) -> Option<&BufferedSlice> {
+        self.entries.values().next()
+    }
+
+    /// The FIFO tail (most recently admitted stored slice).
+    pub fn tail(&self) -> Option<&BufferedSlice> {
+        self.entries.values().next_back()
+    }
+
+    /// The sequence number of the slice currently in transmission, if the
+    /// head has partial progress. Such a slice must not be dropped.
+    pub fn protected(&self) -> Option<Seq> {
+        self.head().filter(|b| b.in_transmission()).map(|b| b.seq)
+    }
+
+    /// Iterates over stored slices in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &BufferedSlice> + '_ {
+        self.entries.values()
+    }
+
+    /// Removes a slice by sequence number (an overflow or early drop).
+    ///
+    /// Returns the removed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not stored or if the slice is already in
+    /// transmission — callers (the server) must only drop victims
+    /// returned by a [`DropPolicy`](crate::DropPolicy), which are
+    /// guaranteed droppable; violating this is a programming error, not a
+    /// recoverable condition.
+    pub fn drop_slice(&mut self, seq: Seq) -> Slice {
+        let entry = self
+            .entries
+            .remove(&seq)
+            .unwrap_or_else(|| panic!("drop of {seq} which is not stored"));
+        assert!(
+            !entry.in_transmission(),
+            "attempt to preempt {seq} after transmission started"
+        );
+        self.occupancy -= entry.slice.size;
+        entry.slice
+    }
+
+    /// Transmits up to `rate` bytes from the FIFO head, advancing partial
+    /// progress. Returns `(seq, slice, bytes_now, completed)` tuples in
+    /// transmission order; completed slices leave the buffer.
+    pub fn transmit(&mut self, rate: Bytes) -> Vec<(Seq, Slice, Bytes, bool)> {
+        let mut budget = rate;
+        let mut out = Vec::new();
+        while budget > 0 {
+            let Some((&seq, entry)) = self.entries.iter_mut().next() else {
+                break;
+            };
+            let take = entry.remaining().min(budget);
+            entry.sent += take;
+            budget -= take;
+            self.occupancy -= take;
+            let completed = entry.remaining() == 0;
+            let slice = entry.slice;
+            if completed {
+                self.entries.remove(&seq);
+            }
+            out.push((seq, slice, take, completed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_stream::{FrameKind, SliceId};
+
+    fn slice(id: u64, size: Bytes, weight: u64) -> Slice {
+        Slice {
+            id: SliceId(id),
+            frame: 0,
+            arrival: 0,
+            size,
+            weight,
+            kind: FrameKind::Generic,
+        }
+    }
+
+    #[test]
+    fn admit_tracks_occupancy_and_order() {
+        let mut b = ServerBuffer::new();
+        let s1 = b.admit(slice(0, 3, 1));
+        let s2 = b.admit(slice(1, 2, 1));
+        assert_eq!(b.occupancy(), 5);
+        assert_eq!(b.len(), 2);
+        assert!(s1 < s2);
+        assert_eq!(b.head().unwrap().seq, s1);
+        assert_eq!(b.tail().unwrap().seq, s2);
+    }
+
+    #[test]
+    fn transmit_follows_fifo_and_splits_across_slices() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 3, 1));
+        b.admit(slice(1, 2, 1));
+        let sent = b.transmit(4);
+        assert_eq!(sent.len(), 2);
+        assert_eq!((sent[0].2, sent[0].3), (3, true));
+        assert_eq!((sent[1].2, sent[1].3), (1, false));
+        assert_eq!(b.occupancy(), 1);
+        // Second slice now protected (partially transmitted head).
+        let prot = b.protected().unwrap();
+        assert_eq!(b.get(prot).unwrap().remaining(), 1);
+    }
+
+    #[test]
+    fn transmit_with_empty_buffer_sends_nothing() {
+        let mut b = ServerBuffer::new();
+        assert!(b.transmit(10).is_empty());
+        assert_eq!(b.occupancy(), 0);
+    }
+
+    #[test]
+    fn transmit_zero_rate_is_a_noop() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 2, 1));
+        assert!(b.transmit(0).is_empty());
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.protected(), None);
+    }
+
+    #[test]
+    fn partial_transmission_completes_later() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 5, 1));
+        let first = b.transmit(2);
+        assert_eq!((first[0].2, first[0].3), (2, false));
+        let second = b.transmit(2);
+        assert_eq!((second[0].2, second[0].3), (2, false));
+        let third = b.transmit(2);
+        assert_eq!((third[0].2, third[0].3), (1, true));
+        assert!(b.is_empty());
+        assert_eq!(b.protected(), None);
+    }
+
+    #[test]
+    fn drop_mid_queue_slice() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 1, 1));
+        let mid = b.admit(slice(1, 4, 9));
+        b.admit(slice(2, 1, 1));
+        let dropped = b.drop_slice(mid);
+        assert_eq!(dropped.id, SliceId(1));
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.len(), 2);
+        // FIFO order of survivors unchanged.
+        let ids: Vec<u64> = b.iter().map(|e| e.slice.id.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn drop_of_unknown_seq_panics() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 1, 1));
+        b.drop_slice(Seq(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "preempt")]
+    fn drop_of_transmitting_slice_panics() {
+        let mut b = ServerBuffer::new();
+        let s = b.admit(slice(0, 5, 1));
+        b.transmit(2); // partial
+        b.drop_slice(s);
+    }
+
+    #[test]
+    fn protected_is_only_partial_head() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 2, 1));
+        b.admit(slice(1, 2, 1));
+        assert_eq!(b.protected(), None);
+        b.transmit(2); // completes head exactly: nothing protected
+        assert_eq!(b.protected(), None);
+        b.transmit(1); // partial into second slice
+        assert!(b.protected().is_some());
+    }
+
+    #[test]
+    fn seq_numbers_never_reused_after_drops() {
+        let mut b = ServerBuffer::new();
+        let a = b.admit(slice(0, 1, 1));
+        b.drop_slice(a);
+        let c = b.admit(slice(1, 1, 1));
+        assert!(c > a);
+    }
+
+    #[test]
+    fn occupancy_is_sum_of_remaining() {
+        let mut b = ServerBuffer::new();
+        b.admit(slice(0, 4, 1));
+        b.admit(slice(1, 3, 1));
+        b.transmit(5);
+        let sum: Bytes = b.iter().map(|e| e.remaining()).sum();
+        assert_eq!(b.occupancy(), sum);
+        assert_eq!(sum, 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! The client's algorithm (Section 3.1.2).
+//!
+//! "The client's algorithm is even simpler: when the first slice arrives
+//! at the client's buffer, a timer is set to `D` time units. When the
+//! timer expires, all available slices of the first frame are played out;
+//! thereafter, at each step `t`, frame `t` is displayed." Formally:
+//!
+//! ```text
+//! P(t) = { s : AT(s) = t − P − D, RT(s) ≤ t }
+//! ```
+//!
+//! Because the link delay `P` is constant, setting the timer on the first
+//! arrival is equivalent to playing frame `f` at time `f + P + D`. Both
+//! mechanisms are provided — [`Client::new`] uses the closed form,
+//! [`Client::with_timer`] the deployment-style timer (no clock
+//! synchronization, Section 3.3's practical remarks) — and a property
+//! test asserts they produce identical schedules.
+//!
+//! The client makes no algorithmic drop decisions. It only discards data
+//! it cannot use: bytes that miss their playout deadline (possible only
+//! when `D < B/R`, by Lemma 3.3), slices that are incomplete at their
+//! deadline, and arrivals that would overflow a client buffer smaller
+//! than `B` (impossible when `Bc = B = R·D`, by Lemma 3.4).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use rts_stream::{Bytes, Slice, SliceId, Time};
+
+use crate::server::SentChunk;
+
+/// Why the client discarded a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClientDropReason {
+    /// The client buffer had no room for the arriving bytes.
+    Overflow,
+    /// The first bytes of the slice arrived after its playout deadline.
+    Late,
+    /// The playout deadline passed while parts of the slice were still in
+    /// transit.
+    Incomplete,
+}
+
+/// A slice discarded by the client, with the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientDrop {
+    /// The discarded slice.
+    pub slice: Slice,
+    /// Why it was discarded.
+    pub reason: ClientDropReason,
+}
+
+/// The outcome of one client step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClientStep {
+    /// Slices played out this step (`P(t)`), complete by construction.
+    pub played: Vec<Slice>,
+    /// Slices discarded this step.
+    pub dropped: Vec<ClientDrop>,
+    /// Occupancy after playout (`|Bc(t)|`).
+    pub occupancy: Bytes,
+    /// Peak occupancy within the step (after deliveries, before playout).
+    pub peak_occupancy: Bytes,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    slice: Slice,
+    received: Bytes,
+}
+
+/// How the client knows *when* to play a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlayoutClock {
+    /// The link delay `P` is known: frame `f` plays at `f + P + D`.
+    Known { link_delay: Time },
+    /// Section 3.1.2's deployment mechanism: no clock synchronization —
+    /// when the first slice arrives, a timer is set to `D`; when it
+    /// expires the first frame plays, and thereafter one frame per
+    /// step. `origin` is `(first receive time, its frame's arrival)`.
+    Timer { origin: Option<(Time, Time)> },
+}
+
+/// The client: buffer capacity `Bc`, smoothing delay `D`, link delay `P`.
+///
+/// # Example
+///
+/// ```
+/// use rts_core::{Client, SentChunk};
+/// use rts_stream::{FrameKind, Slice, SliceId};
+///
+/// let slice = Slice {
+///     id: SliceId(0), frame: 0, arrival: 0, size: 1, weight: 1,
+///     kind: FrameKind::Generic,
+/// };
+/// // D = 2, P = 0: a slice sent at t=0 plays at t=2.
+/// let mut client = Client::new(10, 2, 0);
+/// let chunk = SentChunk { time: 0, slice, bytes: 1, completed: true };
+/// assert!(client.step(0, &[chunk]).played.is_empty());
+/// assert!(client.step(1, &[]).played.is_empty());
+/// assert_eq!(client.step(2, &[]).played.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Client {
+    capacity: Bytes,
+    delay: Time,
+    clock: PlayoutClock,
+    pending: HashMap<SliceId, Pending>,
+    deadlines: BTreeMap<Time, Vec<SliceId>>,
+    rejected: HashSet<SliceId>,
+    occupancy: Bytes,
+}
+
+impl Client {
+    /// Creates a client with buffer capacity `capacity` (`Bc`), smoothing
+    /// delay `delay` (`D`) and link delay `link_delay` (`P`).
+    pub fn new(capacity: Bytes, delay: Time, link_delay: Time) -> Self {
+        Client {
+            capacity,
+            delay,
+            clock: PlayoutClock::Known { link_delay },
+            pending: HashMap::new(),
+            deadlines: BTreeMap::new(),
+            rejected: HashSet::new(),
+            occupancy: 0,
+        }
+    }
+
+    /// Creates a client that does **not** know the link delay: it starts
+    /// a timer of `delay` steps when the first slice arrives and plays
+    /// one frame per step from then on (the deployment mechanism of
+    /// Section 3.1.2 — "the algorithm works without explicit clock
+    /// synchronization").
+    ///
+    /// This is behaviourally identical to [`new`](Self::new) with the
+    /// true link delay: the first transmitted chunk of any schedule is
+    /// sent in the very step its slice arrived (the server is
+    /// work-conserving and empty before it), so the timer origin lands
+    /// exactly on `AT + P`. A property test asserts the equivalence on
+    /// random schedules.
+    pub fn with_timer(capacity: Bytes, delay: Time) -> Self {
+        Client {
+            capacity,
+            delay,
+            clock: PlayoutClock::Timer { origin: None },
+            pending: HashMap::new(),
+            deadlines: BTreeMap::new(),
+            rejected: HashSet::new(),
+            occupancy: 0,
+        }
+    }
+
+    /// Buffer capacity `Bc`.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Smoothing delay `D`.
+    pub fn delay(&self) -> Time {
+        self.delay
+    }
+
+    /// The playout deadline of a slice: `AT(s) + P + D`.
+    ///
+    /// For a timer-based client ([`with_timer`](Self::with_timer)) this
+    /// is `None` until the first slice has arrived and anchored the
+    /// timer.
+    pub fn deadline_of(&self, slice: &Slice) -> Option<Time> {
+        match self.clock {
+            PlayoutClock::Known { link_delay } => Some(slice.arrival + link_delay + self.delay),
+            PlayoutClock::Timer { origin } => origin
+                .map(|(first_rt, first_at)| first_rt + self.delay + (slice.arrival - first_at)),
+        }
+    }
+
+    /// Current occupancy in bytes.
+    pub fn occupancy(&self) -> Bytes {
+        self.occupancy
+    }
+
+    /// Whether all stored data has been played or discarded.
+    pub fn is_drained(&self) -> bool {
+        self.occupancy == 0
+    }
+
+    /// Executes one client step at time `t`: absorbs the chunks delivered
+    /// by the link this step (their bytes' `RT` equals `t`), plays out
+    /// the frame due at `t`, then enforces the buffer capacity on the
+    /// end-of-step state.
+    ///
+    /// Capacity applies to `|Bc(t)|`, the data stored *between* steps —
+    /// bytes played in the same step they arrive never occupy the buffer
+    /// (this is what makes `Bc = B` sufficient in Lemma 3.4).
+    pub fn step(&mut self, t: Time, delivered: &[SentChunk]) -> ClientStep {
+        let mut out = ClientStep::default();
+
+        for chunk in delivered {
+            self.receive(t, chunk, &mut out);
+        }
+        out.peak_occupancy = self.occupancy;
+
+        // Playout: every slice whose deadline is (or has passed) t.
+        // Deadlines earlier than t can linger only if no step() call
+        // happened at that exact time; processing them here keeps the
+        // client robust to sparse stepping.
+        while let Some((&due, _)) = self.deadlines.first_key_value() {
+            if due > t {
+                break;
+            }
+            let (_, ids) = self.deadlines.pop_first().expect("checked non-empty");
+            for id in ids {
+                let Some(p) = self.pending.remove(&id) else {
+                    continue; // already discarded (overflow)
+                };
+                self.occupancy -= p.received;
+                if p.received == p.slice.size {
+                    out.played.push(p.slice);
+                } else {
+                    self.rejected.insert(id);
+                    out.dropped.push(ClientDrop {
+                        slice: p.slice,
+                        reason: ClientDropReason::Incomplete,
+                    });
+                }
+            }
+        }
+
+        // Client overflow: if the data that must be stored past this
+        // step exceeds the capacity, whole slices are discarded. The
+        // paper leaves the victim unspecified (with Bc = B = R·D
+        // overflow never occurs, Lemma 3.4); we discard the data that
+        // would be played *last* — the newest deadlines first — which
+        // preserves the most imminent frames.
+        while self.occupancy > self.capacity {
+            let Some(mut last) = self.deadlines.last_entry() else {
+                unreachable!("positive occupancy implies registered pending slices");
+            };
+            let ids = last.get_mut();
+            let victim = ids.pop();
+            if ids.is_empty() {
+                last.remove();
+            }
+            if let Some(id) = victim {
+                if let Some(p) = self.pending.get(&id) {
+                    let slice = p.slice;
+                    self.discard(id, slice, ClientDropReason::Overflow, &mut out);
+                }
+            }
+        }
+
+        out.occupancy = self.occupancy;
+        out
+    }
+
+    fn receive(&mut self, t: Time, chunk: &SentChunk, out: &mut ClientStep) {
+        let id = chunk.slice.id;
+        if self.rejected.contains(&id) {
+            return; // remainder of an already-discarded slice
+        }
+        // First arrival anchors the timer-based clock.
+        if let PlayoutClock::Timer {
+            origin: origin @ None,
+        } = &mut self.clock
+        {
+            *origin = Some((t, chunk.slice.arrival));
+        }
+        let deadline = self
+            .deadline_of(&chunk.slice)
+            .expect("clock is anchored by the arrival being processed");
+        if t > deadline {
+            // Too late to ever play. Free anything stored and reject the
+            // rest of the slice.
+            self.discard(id, chunk.slice, ClientDropReason::Late, out);
+            return;
+        }
+        let entry = self.pending.entry(id).or_insert_with(|| {
+            self.deadlines.entry(deadline).or_default().push(id);
+            Pending {
+                slice: chunk.slice,
+                received: 0,
+            }
+        });
+        entry.received += chunk.bytes;
+        self.occupancy += chunk.bytes;
+        debug_assert!(
+            entry.received <= entry.slice.size,
+            "received more bytes than the slice holds"
+        );
+    }
+
+    fn discard(
+        &mut self,
+        id: SliceId,
+        slice: Slice,
+        reason: ClientDropReason,
+        out: &mut ClientStep,
+    ) {
+        if let Some(p) = self.pending.remove(&id) {
+            self.occupancy -= p.received;
+        }
+        self.rejected.insert(id);
+        out.dropped.push(ClientDrop { slice, reason });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_stream::FrameKind;
+
+    fn slice(id: u64, arrival: Time, size: Bytes) -> Slice {
+        Slice {
+            id: SliceId(id),
+            frame: arrival,
+            arrival,
+            size,
+            weight: size,
+            kind: FrameKind::Generic,
+        }
+    }
+
+    fn chunk(s: Slice, time: Time, bytes: Bytes, completed: bool) -> SentChunk {
+        SentChunk {
+            time,
+            slice: s,
+            bytes,
+            completed,
+        }
+    }
+
+    #[test]
+    fn plays_at_arrival_plus_p_plus_d() {
+        let mut c = Client::new(100, 3, 2);
+        let s = slice(0, 0, 2);
+        // Sent at t=0, delivered at t=2 (P=2), played at t=5 (D=3).
+        assert!(c.step(2, &[chunk(s, 0, 2, true)]).played.is_empty());
+        assert!(c.step(3, &[]).played.is_empty());
+        assert!(c.step(4, &[]).played.is_empty());
+        let st = c.step(5, &[]);
+        assert_eq!(st.played, vec![s]);
+        assert!(c.is_drained());
+    }
+
+    #[test]
+    fn chunk_arriving_exactly_at_deadline_still_plays() {
+        // P(t) requires RT(s) <= t: equality is on time.
+        let mut c = Client::new(100, 1, 0);
+        let s = slice(0, 0, 2);
+        let st0 = c.step(0, &[chunk(s, 0, 1, false)]);
+        assert!(st0.played.is_empty());
+        let st1 = c.step(1, &[chunk(s, 1, 1, true)]);
+        assert_eq!(st1.played, vec![s]);
+        assert!(st1.dropped.is_empty());
+    }
+
+    #[test]
+    fn incomplete_slice_discarded_at_deadline() {
+        let mut c = Client::new(100, 1, 0);
+        let s = slice(0, 0, 3);
+        c.step(0, &[chunk(s, 0, 1, false)]);
+        let st = c.step(1, &[]);
+        assert!(st.played.is_empty());
+        assert_eq!(st.dropped.len(), 1);
+        assert_eq!(st.dropped[0].reason, ClientDropReason::Incomplete);
+        assert_eq!(st.occupancy, 0, "incomplete bytes are freed");
+        // The straggler byte is ignored silently (already recorded).
+        let st2 = c.step(2, &[chunk(s, 2, 1, false)]);
+        assert!(st2.dropped.is_empty());
+        assert_eq!(st2.occupancy, 0);
+    }
+
+    #[test]
+    fn fully_late_slice_recorded_once() {
+        let mut c = Client::new(100, 0, 0);
+        let s = slice(0, 0, 2);
+        // Deadline is t=0; bytes arrive at t=3 and t=4.
+        let st3 = c.step(3, &[chunk(s, 3, 1, false)]);
+        assert_eq!(st3.dropped.len(), 1);
+        assert_eq!(st3.dropped[0].reason, ClientDropReason::Late);
+        let st4 = c.step(4, &[chunk(s, 4, 1, true)]);
+        assert!(st4.dropped.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_arriving_slice_and_keeps_old_data() {
+        let mut c = Client::new(2, 5, 0);
+        let a = slice(0, 0, 2);
+        let b = slice(1, 0, 1);
+        let st = c.step(0, &[chunk(a, 0, 2, true), chunk(b, 0, 1, true)]);
+        assert_eq!(st.dropped.len(), 1);
+        assert_eq!(st.dropped[0].slice.id, SliceId(1));
+        assert_eq!(st.dropped[0].reason, ClientDropReason::Overflow);
+        assert_eq!(st.occupancy, 2);
+        // The stored slice still plays at its deadline.
+        for t in 1..5 {
+            assert!(c.step(t, &[]).played.is_empty());
+        }
+        assert_eq!(c.step(5, &[]).played, vec![a]);
+    }
+
+    #[test]
+    fn overflow_of_partial_slice_frees_its_stored_bytes() {
+        let mut c = Client::new(2, 5, 0);
+        let a = slice(0, 0, 3);
+        c.step(0, &[chunk(a, 0, 2, false)]);
+        assert_eq!(c.occupancy(), 2);
+        // Third byte overflows; the whole slice is discarded.
+        let st = c.step(1, &[chunk(a, 1, 1, true)]);
+        assert_eq!(st.dropped.len(), 1);
+        assert_eq!(st.dropped[0].reason, ClientDropReason::Overflow);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn peak_occupancy_sees_pre_playout_level() {
+        let mut c = Client::new(100, 0, 0);
+        let s = slice(0, 0, 4);
+        // D=0, P=0: deadline == arrival; delivered and played in step 0.
+        let st = c.step(0, &[chunk(s, 0, 4, true)]);
+        assert_eq!(st.peak_occupancy, 4);
+        assert_eq!(st.occupancy, 0);
+        assert_eq!(st.played, vec![s]);
+    }
+
+    #[test]
+    fn multiple_slices_same_deadline() {
+        let mut c = Client::new(100, 1, 0);
+        let a = slice(0, 0, 1);
+        let b = slice(1, 0, 2);
+        c.step(0, &[chunk(a, 0, 1, true), chunk(b, 0, 2, true)]);
+        let st = c.step(1, &[]);
+        assert_eq!(st.played.len(), 2);
+    }
+
+    #[test]
+    fn sparse_stepping_catches_up_on_old_deadlines() {
+        let mut c = Client::new(100, 1, 0);
+        let s = slice(0, 0, 1);
+        c.step(0, &[chunk(s, 0, 1, true)]);
+        // Jump straight to t=9: the deadline-1 playout happens now.
+        let st = c.step(9, &[]);
+        assert_eq!(st.played, vec![s]);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = Client::new(7, 3, 2);
+        assert_eq!(c.capacity(), 7);
+        assert_eq!(c.delay(), 3);
+        assert_eq!(c.deadline_of(&slice(0, 10, 1)), Some(15));
+        assert!(c.is_drained());
+    }
+}

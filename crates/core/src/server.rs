@@ -1,0 +1,424 @@
+//! The generic algorithm's server (Section 3.1.1).
+//!
+//! "The server's job is extremely simple: whenever the server's buffer is
+//! non-empty, its contents is transmitted, in FIFO order, to the client
+//! at the maximal possible rate", with overflow drops restoring the
+//! occupancy constraint. Formally, per step `t` (Equations 2–3):
+//!
+//! ```text
+//! |S(t)| = min(R, |Bs(t-1)| + |A(t)|)
+//! |D(t)| = max(0, |Bs(t-1)| + |A(t)| - |S(t)| - B)
+//! ```
+//!
+//! The identity of the dropped slices is unrestricted (any stored,
+//! not-in-transmission slice); a [`DropPolicy`](crate::DropPolicy)
+//! supplies the choice. With variable slice sizes, whole slices are
+//! dropped until the surviving data fits, which is where the
+//! `(B - Lmax + 1)/B` degradation of Theorem 3.9 comes from.
+
+use rts_stream::{Bytes, Slice, Time};
+
+use crate::buffer::{Seq, ServerBuffer};
+use crate::policy::DropPolicy;
+
+/// A contiguous group of bytes of one slice submitted to the link in one
+/// step. Bytes of a large slice may span several chunks across steps; the
+/// link preserves FIFO order, so the client reassembles by slice id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentChunk {
+    /// Step at which the chunk entered the link (`ST` of these bytes).
+    pub time: Time,
+    /// The slice the bytes belong to.
+    pub slice: Slice,
+    /// Number of bytes submitted in this step.
+    pub bytes: Bytes,
+    /// Whether this chunk completes the slice's transmission.
+    pub completed: bool,
+}
+
+/// The outcome of one server step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerStep {
+    /// Bytes submitted to the link this step, in FIFO order (`S(t)`).
+    pub sent: Vec<SentChunk>,
+    /// Slices dropped this step (`D(t)`).
+    pub dropped: Vec<Slice>,
+    /// Buffer occupancy after the step (`|Bs(t)|`).
+    pub occupancy: Bytes,
+}
+
+impl ServerStep {
+    /// Total bytes submitted this step (`|S(t)|`).
+    pub fn sent_bytes(&self) -> Bytes {
+        self.sent.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total bytes dropped this step (`|D(t)|`).
+    pub fn dropped_bytes(&self) -> Bytes {
+        self.dropped.iter().map(|s| s.size).sum()
+    }
+}
+
+/// The generic algorithm's server: buffer capacity `B`, link rate `R`,
+/// and a drop policy resolving overflows.
+///
+/// # Example
+///
+/// ```
+/// use rts_core::{Server, TailDrop};
+/// use rts_stream::{FrameKind, InputStream, SliceSpec};
+///
+/// let stream = InputStream::from_frames([vec![SliceSpec::unit(); 5]]);
+/// let mut server = Server::new(2, 1, TailDrop::new());
+/// let step = server.step(0, &stream.frames()[0].slices);
+/// // Rate 1 sends one byte; capacity 2 keeps two; the rest is dropped.
+/// assert_eq!(step.sent_bytes(), 1);
+/// assert_eq!(step.dropped.len(), 2);
+/// assert_eq!(step.occupancy, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server<P> {
+    buffer: ServerBuffer,
+    policy: P,
+    capacity: Bytes,
+    rate: Bytes,
+}
+
+impl<P: DropPolicy> Server<P> {
+    /// Creates a server with buffer capacity `capacity` (the paper's
+    /// `B`), link rate `rate` (`R`), and the given drop policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0` (the link could never drain).
+    pub fn new(capacity: Bytes, rate: Bytes, policy: P) -> Self {
+        assert!(rate > 0, "link rate must be positive");
+        Server {
+            buffer: ServerBuffer::new(),
+            policy,
+            capacity,
+            rate,
+        }
+    }
+
+    /// Buffer capacity `B`.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// Link rate `R`.
+    pub fn rate(&self) -> Bytes {
+        self.rate
+    }
+
+    /// Changes the link rate from the next step on (a renegotiation
+    /// event — the dynamic-allocation alternative of the paper's
+    /// introduction, reference \[9\]). Takes effect for subsequent
+    /// [`step`](Self::step) calls; the buffer and its contents are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn set_rate(&mut self, rate: Bytes) {
+        assert!(rate > 0, "link rate must be positive");
+        self.rate = rate;
+    }
+
+    /// Access to the underlying buffer (for inspection).
+    pub fn buffer(&self) -> &ServerBuffer {
+        &self.buffer
+    }
+
+    /// The policy's display name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Whether the server still holds data to transmit.
+    pub fn is_drained(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Executes one time step: admit `arrivals`, resolve overflows via
+    /// the drop policy, then transmit up to `R` bytes in FIFO order.
+    ///
+    /// Following Equations (2)–(3), drops restore
+    /// `|Bs| + |A| − |S| ≤ B`: since `|S| = min(R, |Bs| + |A|)`, whole
+    /// slices are dropped until the occupancy is at most `B + R` (when
+    /// above `R`), so that after transmission at most `B` bytes remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drop policy fails to produce a victim while
+    /// droppable slices remain (a policy bug).
+    pub fn step(&mut self, time: Time, arrivals: &[Slice]) -> ServerStep {
+        // 1. Arrivals join the buffer (and the policy's index).
+        for slice in arrivals {
+            debug_assert!(slice.size > 0, "streams validate slice sizes");
+            let seq = self.buffer.admit(*slice);
+            self.policy.on_admit(seq, slice);
+        }
+
+        // 2a. Early drops, if the policy is proactive (Section 2.1).
+        let mut dropped = Vec::new();
+        while let Some(victim) = self.policy.early_victim(&self.buffer) {
+            self.validate_victim(victim);
+            let slice = self.buffer.drop_slice(victim);
+            self.policy.on_remove(victim);
+            dropped.push(slice);
+        }
+
+        // 2b. Overflow resolution. After sending min(R, occ) bytes the
+        // residue must fit in B, so the droppable threshold is B + R
+        // (drops are whole-slice, transmission is byte-granular).
+        while self.buffer.occupancy() > self.capacity + self.rate {
+            let victim = self.policy.next_victim(&self.buffer).unwrap_or_else(|| {
+                panic!(
+                    "policy {} returned no victim at occupancy {} (capacity {}, rate {})",
+                    self.policy.name(),
+                    self.buffer.occupancy(),
+                    self.capacity,
+                    self.rate
+                )
+            });
+            self.validate_victim(victim);
+            let slice = self.buffer.drop_slice(victim);
+            self.policy.on_remove(victim);
+            dropped.push(slice);
+        }
+
+        // 3. Transmission at the maximal possible rate, FIFO order.
+        let sent: Vec<SentChunk> = self
+            .buffer
+            .transmit(self.rate)
+            .into_iter()
+            .map(|(seq, slice, bytes, completed)| {
+                if completed {
+                    self.policy.on_remove(seq);
+                }
+                SentChunk {
+                    time,
+                    slice,
+                    bytes,
+                    completed,
+                }
+            })
+            .collect();
+
+        debug_assert!(
+            self.buffer.occupancy() <= self.capacity,
+            "post-step occupancy {} exceeds capacity {}",
+            self.buffer.occupancy(),
+            self.capacity
+        );
+
+        ServerStep {
+            sent,
+            dropped,
+            occupancy: self.buffer.occupancy(),
+        }
+    }
+
+    /// Runs drain steps (no arrivals) until the buffer empties, starting
+    /// at `from` (exclusive of prior steps). Returns the per-step outputs.
+    pub fn drain(&mut self, mut from: Time) -> Vec<(Time, ServerStep)> {
+        let mut out = Vec::new();
+        while !self.buffer.is_empty() {
+            let step = self.step(from, &[]);
+            out.push((from, step));
+            from += 1;
+        }
+        out
+    }
+
+    fn validate_victim(&self, victim: Seq) {
+        assert!(
+            self.buffer.contains(victim),
+            "policy {} chose victim {victim} which is not stored",
+            self.policy.name()
+        );
+        assert!(
+            self.buffer.protected() != Some(victim),
+            "policy {} chose the in-transmission slice {victim}",
+            self.policy.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GreedyByteValue, HeadDrop, TailDrop};
+    use rts_stream::{FrameKind, InputStream, SliceSpec};
+
+    fn unit_frames(counts: &[usize]) -> InputStream {
+        InputStream::from_frames(
+            counts
+                .iter()
+                .map(|&c| vec![SliceSpec::unit(); c])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn run_throughput<P: DropPolicy>(server: &mut Server<P>, stream: &InputStream) -> Bytes {
+        let mut sent = 0;
+        for frame in stream.frames() {
+            sent += server.step(frame.time, &frame.slices).sent_bytes();
+        }
+        let last = stream.last_arrival().unwrap_or(0);
+        sent + server
+            .drain(last + 1)
+            .iter()
+            .map(|(_, s)| s.sent_bytes())
+            .sum::<Bytes>()
+    }
+
+    #[test]
+    fn eq2_eq3_unit_slices() {
+        // B=2, R=1: burst of 5 at t=0 → send 1, keep 2, drop 2.
+        let stream = unit_frames(&[5]);
+        let mut server = Server::new(2, 1, TailDrop::new());
+        let step = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(step.sent_bytes(), 1);
+        assert_eq!(step.dropped_bytes(), 2);
+        assert_eq!(step.occupancy, 2);
+    }
+
+    #[test]
+    fn no_drop_when_burst_fits_b_plus_r() {
+        // B=2, R=2: burst of 4 → send 2, keep 2, drop 0.
+        let stream = unit_frames(&[4]);
+        let mut server = Server::new(2, 2, TailDrop::new());
+        let step = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(step.sent_bytes(), 2);
+        assert_eq!(step.dropped_bytes(), 0);
+        assert_eq!(step.occupancy, 2);
+    }
+
+    #[test]
+    fn server_is_work_conserving() {
+        // Arrivals 3,0,0 with R=1: sends exactly one byte per step while
+        // non-empty (Lemma 3.1's greedy property).
+        let stream = unit_frames(&[3, 0, 0]);
+        let mut server = Server::new(10, 1, TailDrop::new());
+        for frame in stream.frames() {
+            let step = server.step(frame.time, &frame.slices);
+            assert_eq!(step.sent_bytes(), 1);
+        }
+    }
+
+    #[test]
+    fn buffer_requirement_is_b() {
+        // Lemma 3.2: occupancy never exceeds B.
+        let stream = unit_frames(&[9, 9, 9, 0, 9]);
+        let mut server = Server::new(3, 2, TailDrop::new());
+        for frame in stream.frames() {
+            let step = server.step(frame.time, &frame.slices);
+            assert!(step.occupancy <= 3);
+        }
+    }
+
+    #[test]
+    fn fifo_transmission_order() {
+        let stream = unit_frames(&[2, 2]);
+        let mut server = Server::new(10, 1, TailDrop::new());
+        let mut ids = Vec::new();
+        for frame in stream.frames() {
+            for c in server.step(frame.time, &frame.slices).sent {
+                ids.push(c.slice.id.0);
+            }
+        }
+        for (_, s) in server.drain(2) {
+            for c in s.sent {
+                ids.push(c.slice.id.0);
+            }
+        }
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn variable_size_no_preemption() {
+        // A 4-byte slice with R=2 takes two steps; mid-transmission a
+        // burst forces drops, which must spare the transmitting slice.
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::new(4, 100, FrameKind::Generic)]);
+        b.frame(1, vec![SliceSpec::new(1, 1, FrameKind::Generic); 8]);
+        let stream = b.build();
+
+        let mut server = Server::new(2, 2, GreedyByteValue::new());
+        let s0 = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(s0.sent_bytes(), 2); // half the big slice
+        let s1 = server.step(1, &stream.frames()[1].slices);
+        // Occupancy before drops: 2 (big remainder) + 8 = 10 > B+R = 4;
+        // greedy drops 1-weight units, never the transmitting slice.
+        assert!(s1.dropped.iter().all(|s| s.weight == 1));
+        assert_eq!(s1.sent_bytes(), 2); // big slice completes
+        assert!(s1.sent.iter().any(|c| c.completed && c.slice.size == 4));
+    }
+
+    #[test]
+    fn oversized_slice_is_eventually_dropped() {
+        // A slice larger than B + R cannot fit; the tail-drop policy
+        // must discard it (it is the only droppable slice).
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::new(10, 1, FrameKind::Generic)]);
+        let stream = b.build();
+        let mut server = Server::new(2, 1, TailDrop::new());
+        let step = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(step.dropped_bytes(), 10);
+        assert_eq!(step.sent_bytes(), 0);
+    }
+
+    #[test]
+    fn drain_flushes_everything() {
+        let stream = unit_frames(&[5]);
+        let mut server = Server::new(10, 2, TailDrop::new());
+        let first = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(first.sent_bytes(), 2);
+        let rest = server.drain(1);
+        let drained: Bytes = rest.iter().map(|(_, s)| s.sent_bytes()).sum();
+        assert_eq!(drained, 3);
+        assert!(server.is_drained());
+        assert_eq!(rest.len(), 2); // 2 + 1 bytes over two steps
+    }
+
+    #[test]
+    fn throughput_independent_of_policy_for_unit_slices() {
+        // Theorem 3.5's under-specification: with unit slices every
+        // policy loses the same number of slices.
+        let stream = unit_frames(&[7, 0, 9, 1, 0, 0, 12]);
+        let t_tail = run_throughput(&mut Server::new(3, 2, TailDrop::new()), &stream);
+        let t_head = run_throughput(&mut Server::new(3, 2, HeadDrop::new()), &stream);
+        let t_greedy = run_throughput(&mut Server::new(3, 2, GreedyByteValue::new()), &stream);
+        assert_eq!(t_tail, t_head);
+        assert_eq!(t_tail, t_greedy);
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let server = Server::new(4, 2, TailDrop::new());
+        assert_eq!(server.capacity(), 4);
+        assert_eq!(server.rate(), 2);
+        assert_eq!(server.policy_name(), "Tail-Drop");
+        assert!(server.is_drained());
+        assert_eq!(server.buffer().occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = Server::new(4, 0, TailDrop::new());
+    }
+
+    #[test]
+    fn zero_capacity_buffer_is_cut_through() {
+        // B=0, R=2: at most R bytes pass per step, nothing is stored.
+        let stream = unit_frames(&[3, 3]);
+        let mut server = Server::new(0, 2, TailDrop::new());
+        let s0 = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(s0.sent_bytes(), 2);
+        assert_eq!(s0.dropped_bytes(), 1);
+        assert_eq!(s0.occupancy, 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The space–delay–rate tradeoff (Theorem 3.5 and Section 3.3).
+//!
+//! The central identity of the paper: with buffer space `B` at the server
+//! and the client, smoothing delay `D` and link rate `R`, the minimal
+//! number of slices is lost exactly when
+//!
+//! ```text
+//! B = R · D
+//! ```
+//!
+//! Given any two of the three parameters, [`SmoothingParams`] computes
+//! the balanced value of the third; [`SmoothingParams::classify`] reports
+//! which resource is wasted when the identity is violated, following the
+//! case analysis of Section 3.3:
+//!
+//! * `B < R·D` — every byte waits at least `D − B/R` unnecessary steps at
+//!   the client; the delay can be cut to `⌈B/R⌉` without increasing loss.
+//! * `B > R·D` — buffer space beyond `R·D` can never be used by the
+//!   generic algorithm without causing client overflow; it can be
+//!   reclaimed without increasing loss.
+
+use rts_stream::{Bytes, Time};
+
+/// A complete smoothing configuration: buffer space `B` (server and
+/// client), link rate `R`, smoothing delay `D`, and link propagation
+/// delay `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SmoothingParams {
+    /// Buffer space `B` at the server and at the client.
+    pub buffer: Bytes,
+    /// Link rate `R` in bytes per step.
+    pub rate: Bytes,
+    /// Smoothing delay `D` in steps (server + client queueing).
+    pub delay: Time,
+    /// Link propagation delay `P` in steps (constant, 0-jitter model).
+    pub link_delay: Time,
+}
+
+/// The Section 3.3 classification of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TradeoffClass {
+    /// `B = R·D`: no resource is wasted.
+    Balanced,
+    /// `B < R·D`: latency is wasted; the delay can be reduced to the
+    /// contained value with no increase in loss (Section 3.3, case 1).
+    ExcessDelay {
+        /// The minimal delay `⌈B/R⌉` that still avoids late arrivals.
+        reducible_to: Time,
+    },
+    /// `B > R·D`: memory is wasted; both buffers can be reduced to the
+    /// contained value with no increase in loss (Section 3.3, case 2).
+    ExcessBuffer {
+        /// The largest usable buffer `R·D`.
+        reducible_to: Bytes,
+    },
+}
+
+impl SmoothingParams {
+    /// Balanced configuration from a given rate and delay: `B = R·D`
+    /// exactly (Equation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn balanced_from_rate_delay(rate: Bytes, delay: Time, link_delay: Time) -> Self {
+        assert!(rate > 0, "link rate must be positive");
+        SmoothingParams {
+            buffer: rate * delay,
+            rate,
+            delay,
+            link_delay,
+        }
+    }
+
+    /// Balanced configuration from a given buffer and rate: the minimal
+    /// safe delay is `⌈B/R⌉` (any smaller delay makes some byte miss its
+    /// deadline by Lemma 3.3; any larger delay is pure added latency).
+    ///
+    /// When `R` does not divide `B` the result has `R·D` slightly above
+    /// `B`; [`classify`](Self::classify) then reports the at most `R − 1`
+    /// bytes of spare delay-bandwidth product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn balanced_from_buffer_rate(buffer: Bytes, rate: Bytes, link_delay: Time) -> Self {
+        assert!(rate > 0, "link rate must be positive");
+        SmoothingParams {
+            buffer,
+            rate,
+            delay: buffer.div_ceil(rate),
+            link_delay,
+        }
+    }
+
+    /// Balanced configuration from a given buffer and delay: the minimal
+    /// sufficient rate is `⌈B/D⌉` (Section 3.3, case 1c: reducing the
+    /// rate below `B/D` strictly loses throughput on smooth inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0` while `buffer > 0` (a buffer can only be
+    /// drained within the playout deadline if there is some delay), or if
+    /// both are zero (the rate is unconstrained).
+    pub fn balanced_from_buffer_delay(buffer: Bytes, delay: Time, link_delay: Time) -> Self {
+        assert!(
+            delay > 0,
+            "delay must be positive to derive a finite balanced rate"
+        );
+        SmoothingParams {
+            buffer,
+            rate: buffer.div_ceil(delay).max(1),
+            delay,
+            link_delay,
+        }
+    }
+
+    /// The delay-bandwidth product `R·D`.
+    pub fn delay_bandwidth_product(&self) -> Bytes {
+        self.rate * self.delay
+    }
+
+    /// Whether the identity `B = R·D` holds exactly.
+    pub fn is_balanced(&self) -> bool {
+        self.buffer == self.delay_bandwidth_product()
+    }
+
+    /// Classifies the configuration per Section 3.3.
+    pub fn classify(&self) -> TradeoffClass {
+        let rd = self.delay_bandwidth_product();
+        if self.buffer == rd {
+            TradeoffClass::Balanced
+        } else if self.buffer < rd {
+            TradeoffClass::ExcessDelay {
+                reducible_to: self.buffer.div_ceil(self.rate),
+            }
+        } else {
+            TradeoffClass::ExcessBuffer { reducible_to: rd }
+        }
+    }
+
+    /// End-to-end playout latency of a non-dropped byte: `P + D`
+    /// (sojourn time of a real-time schedule, Definition 2.5).
+    pub fn playout_latency(&self) -> Time {
+        self.link_delay + self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rate_delay_is_exactly_balanced() {
+        let p = SmoothingParams::balanced_from_rate_delay(38, 4, 2);
+        assert_eq!(p.buffer, 152);
+        assert!(p.is_balanced());
+        assert_eq!(p.classify(), TradeoffClass::Balanced);
+        assert_eq!(p.playout_latency(), 6);
+    }
+
+    #[test]
+    fn from_buffer_rate_rounds_delay_up() {
+        // B=10, R=4: D = ceil(10/4) = 3; R*D = 12 > 10 (spare 2 bytes).
+        let p = SmoothingParams::balanced_from_buffer_rate(10, 4, 0);
+        assert_eq!(p.delay, 3);
+        assert_eq!(p.classify(), TradeoffClass::ExcessDelay { reducible_to: 3 });
+        // When R divides B the result is exactly balanced.
+        let q = SmoothingParams::balanced_from_buffer_rate(12, 4, 0);
+        assert_eq!(q.delay, 3);
+        assert!(q.is_balanced());
+    }
+
+    #[test]
+    fn from_buffer_delay_rounds_rate_up() {
+        let p = SmoothingParams::balanced_from_buffer_delay(10, 4, 0);
+        assert_eq!(p.rate, 3);
+        let q = SmoothingParams::balanced_from_buffer_delay(12, 4, 0);
+        assert_eq!(q.rate, 3);
+        assert!(q.is_balanced());
+    }
+
+    #[test]
+    fn zero_buffer_with_delay_gets_minimal_rate() {
+        let p = SmoothingParams::balanced_from_buffer_delay(0, 2, 0);
+        assert_eq!(p.rate, 1);
+        assert_eq!(p.classify(), TradeoffClass::ExcessDelay { reducible_to: 0 });
+    }
+
+    #[test]
+    fn classify_excess_delay() {
+        // B=4, R=4, D=3: R*D=12 > 4; delay could be 1.
+        let p = SmoothingParams {
+            buffer: 4,
+            rate: 4,
+            delay: 3,
+            link_delay: 0,
+        };
+        assert_eq!(p.classify(), TradeoffClass::ExcessDelay { reducible_to: 1 });
+    }
+
+    #[test]
+    fn classify_excess_buffer() {
+        // B=20, R=4, D=3: R*D=12 < 20; 8 bytes of buffer are unusable.
+        let p = SmoothingParams {
+            buffer: 20,
+            rate: 4,
+            delay: 3,
+            link_delay: 0,
+        };
+        assert_eq!(
+            p.classify(),
+            TradeoffClass::ExcessBuffer { reducible_to: 12 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_rejected() {
+        SmoothingParams::balanced_from_rate_delay(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be positive")]
+    fn zero_delay_rejected_for_rate_derivation() {
+        SmoothingParams::balanced_from_buffer_delay(10, 0, 0);
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+use rts_stream::{Bytes, SliceId, Time};
+
+/// Errors from the offline optimizers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OfflineError {
+    /// The flow-based optimum requires unit-size slices.
+    NonUnitSlice {
+        /// The offending slice.
+        id: SliceId,
+        /// Its size.
+        size: Bytes,
+    },
+    /// The frame DP requires at most one slice per frame.
+    NotWholeFrame {
+        /// The offending frame's arrival time.
+        time: Time,
+        /// How many slices it carries.
+        slices: usize,
+    },
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfflineError::NonUnitSlice { id, size } => {
+                write!(
+                    f,
+                    "slice {id} has size {size}; the unit optimum requires size 1"
+                )
+            }
+            OfflineError::NotWholeFrame { time, slices } => write!(
+                f,
+                "frame at time {time} has {slices} slices; the frame optimum requires at most 1"
+            ),
+        }
+    }
+}
+
+impl Error for OfflineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = OfflineError::NonUnitSlice {
+            id: SliceId(3),
+            size: 5,
+        };
+        assert_eq!(
+            e.to_string(),
+            "slice s3 has size 5; the unit optimum requires size 1"
+        );
+        let e = OfflineError::NotWholeFrame { time: 2, slices: 4 };
+        assert!(e.to_string().contains("frame at time 2 has 4 slices"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<OfflineError>();
+    }
+}

@@ -1,0 +1,292 @@
+//! A generic min-cost max-profit flow solver.
+//!
+//! Successive shortest augmenting paths with Johnson potentials: an
+//! initial Bellman–Ford pass absorbs the negative (profit) arcs, after
+//! which every augmentation runs Dijkstra on non-negative reduced costs.
+//! Augmentation stops when the cheapest residual source→sink path has
+//! non-negative true cost, which for profit-encoded networks (profit `w`
+//! as cost `−w`) yields the flow of **maximum total profit** rather than
+//! maximum volume — exactly what the offline smoothing optimum needs:
+//! accepting a slice is optional, so only profitable augmenting paths
+//! should be taken.
+//!
+//! Capacities are `u64`, costs `i64`; all arithmetic is exact.
+
+/// Sentinel for "unreachable" in potential space.
+const INF: i64 = i64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: usize,
+    cap: u64,
+    cost: i64,
+}
+
+/// A min-cost flow network.
+///
+/// # Example
+///
+/// ```
+/// use rts_offline::flow::MinCostFlow;
+///
+/// // Two units of profit-3 flow and one unit of profit-1 flow compete
+/// // for a capacity-2 bottleneck.
+/// let mut net = MinCostFlow::new(4);
+/// let hi = net.add_edge(0, 1, 2, -3);
+/// let lo = net.add_edge(0, 1, 1, -1);
+/// net.add_edge(1, 2, 2, 0);
+/// net.add_edge(2, 3, 9, 0);
+/// let (flow, cost) = net.max_profit(0, 3);
+/// assert_eq!((flow, -cost), (2, 6)); // both profit-3 units, nothing else
+/// assert_eq!(net.flow_on(hi), 2);
+/// assert_eq!(net.flow_on(lo), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    adj: Vec<Vec<usize>>,
+    arcs: Vec<Arc>,
+}
+
+impl MinCostFlow {
+    /// Creates a network with `n` nodes (`0 .. n`).
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge and returns its id (for [`flow_on`](Self::flow_on)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64, cost: i64) -> usize {
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Flow currently routed through edge `id` (the residual capacity of
+    /// its reverse arc).
+    pub fn flow_on(&self, id: usize) -> u64 {
+        self.arcs[id + 1].cap
+    }
+
+    /// Sends flow from `s` to `t` along cost-increasing shortest paths
+    /// while the path cost stays negative; returns `(flow, total cost)`.
+    /// With profits encoded as negative costs, `-total cost` is the
+    /// maximum achievable profit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_profit(&mut self, s: usize, t: usize) -> (u64, i64) {
+        assert!(s < self.adj.len() && t < self.adj.len() && s != t);
+        let n = self.adj.len();
+        let mut potential = self.bellman_ford(s);
+        let mut total_flow = 0u64;
+        let mut total_cost = 0i64;
+
+        loop {
+            // Dijkstra on reduced costs.
+            let mut dist = vec![INF; n];
+            let mut parent_arc = vec![usize::MAX; n];
+            let mut heap = std::collections::BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(std::cmp::Reverse((0i64, s)));
+            while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                if d > dist[u] {
+                    continue;
+                }
+                for &id in &self.adj[u] {
+                    let arc = &self.arcs[id];
+                    if arc.cap == 0 || potential[u] >= INF || potential[arc.to] >= INF {
+                        continue;
+                    }
+                    let reduced = arc.cost + potential[u] - potential[arc.to];
+                    debug_assert!(reduced >= 0, "reduced cost must be non-negative");
+                    let nd = d + reduced;
+                    if nd < dist[arc.to] {
+                        dist[arc.to] = nd;
+                        parent_arc[arc.to] = id;
+                        heap.push(std::cmp::Reverse((nd, arc.to)));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                break;
+            }
+            let path_cost = dist[t] + potential[t] - potential[s];
+            if path_cost >= 0 {
+                break; // further flow can only reduce total profit
+            }
+
+            // Bottleneck along the parent chain.
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let id = parent_arc[v];
+                bottleneck = bottleneck.min(self.arcs[id].cap);
+                v = self.arcs[id ^ 1].to;
+            }
+            debug_assert!(bottleneck > 0 && bottleneck < u64::MAX);
+
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let id = parent_arc[v];
+                self.arcs[id].cap -= bottleneck;
+                self.arcs[id ^ 1].cap += bottleneck;
+                v = self.arcs[id ^ 1].to;
+            }
+            total_flow += bottleneck;
+            total_cost += path_cost * bottleneck as i64;
+
+            // Update potentials for the reachable set.
+            for v in 0..n {
+                if dist[v] < INF && potential[v] < INF {
+                    potential[v] += dist[v];
+                }
+            }
+        }
+        (total_flow, total_cost)
+    }
+
+    /// Bellman–Ford distances from `s` over arcs with positive capacity
+    /// (handles the initial negative profit arcs).
+    fn bellman_ford(&self, s: usize) -> Vec<i64> {
+        let n = self.adj.len();
+        let mut dist = vec![INF; n];
+        dist[s] = 0;
+        for round in 0..n {
+            let mut changed = false;
+            for u in 0..n {
+                if dist[u] >= INF {
+                    continue;
+                }
+                for &id in &self.adj[u] {
+                    let arc = &self.arcs[id];
+                    if arc.cap == 0 {
+                        continue;
+                    }
+                    let nd = dist[u] + arc.cost;
+                    if nd < dist[arc.to] {
+                        dist[arc.to] = nd;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            assert!(round + 1 < n, "negative cycle in flow network");
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_profitable_path() {
+        let mut net = MinCostFlow::new(3);
+        net.add_edge(0, 1, 5, -2);
+        net.add_edge(1, 2, 3, 0);
+        let (flow, cost) = net.max_profit(0, 2);
+        assert_eq!((flow, cost), (3, -6));
+    }
+
+    #[test]
+    fn prefers_higher_profit_paths() {
+        let mut net = MinCostFlow::new(4);
+        let hi = net.add_edge(0, 1, 1, -10);
+        let lo = net.add_edge(0, 2, 1, -1);
+        net.add_edge(1, 3, 1, 0);
+        net.add_edge(2, 3, 1, 0);
+        let (flow, cost) = net.max_profit(0, 3);
+        assert_eq!(flow, 2);
+        assert_eq!(cost, -11);
+        assert_eq!(net.flow_on(hi), 1);
+        assert_eq!(net.flow_on(lo), 1);
+    }
+
+    #[test]
+    fn stops_at_zero_profit() {
+        let mut net = MinCostFlow::new(3);
+        net.add_edge(0, 1, 4, 0); // no profit: not worth routing
+        net.add_edge(1, 2, 4, 0);
+        let (flow, cost) = net.max_profit(0, 2);
+        assert_eq!((flow, cost), (0, 0));
+    }
+
+    #[test]
+    fn rerouting_via_residual_arcs() {
+        // Classic rerouting: the greedy first path must be partially
+        // undone to admit a second profitable unit.
+        let mut net = MinCostFlow::new(4);
+        net.add_edge(0, 1, 1, -4);
+        net.add_edge(0, 2, 1, -3);
+        net.add_edge(1, 2, 1, 0);
+        net.add_edge(1, 3, 1, -1);
+        net.add_edge(2, 3, 2, -2);
+        let (flow, cost) = net.max_profit(0, 3);
+        assert_eq!(flow, 2);
+        // Best: 0→1→2→3 (−6) and 0→2→3 (−5) = −11.
+        assert_eq!(cost, -11);
+    }
+
+    #[test]
+    fn mixed_sign_paths() {
+        // A path with positive-cost legs is taken only while the net
+        // path cost stays negative.
+        let mut net = MinCostFlow::new(3);
+        net.add_edge(0, 1, 10, -5);
+        net.add_edge(1, 2, 10, 3);
+        let (flow, cost) = net.max_profit(0, 2);
+        assert_eq!(flow, 10);
+        assert_eq!(cost, -20);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut net = MinCostFlow::new(3);
+        net.add_edge(0, 1, 5, -1);
+        let (flow, cost) = net.max_profit(0, 2);
+        assert_eq!((flow, cost), (0, 0));
+    }
+
+    #[test]
+    fn flow_on_reports_per_edge_flow() {
+        let mut net = MinCostFlow::new(3);
+        let a = net.add_edge(0, 1, 7, -1);
+        let b = net.add_edge(1, 2, 4, 0);
+        net.max_profit(0, 2);
+        assert_eq!(net.flow_on(a), 4);
+        assert_eq!(net.flow_on(b), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn rejects_bad_nodes() {
+        MinCostFlow::new(2).add_edge(0, 5, 1, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline optimal smoothing schedules — the paper's "Optimal"
+//! comparator.
+//!
+//! Section 5 compares every online policy against the best schedule an
+//! omniscient algorithm could produce with the same buffer and rate.
+//! This crate computes that optimum exactly for the paper's two slicing
+//! extremes, plus the machinery to verify both:
+//!
+//! * [`optimal_unit_benefit`] — unit-size slices, via a min-cost flow
+//!   over the time chain ([`flow`]); exact and polynomial;
+//! * [`optimal_frame_benefit`] — whole-frame slices, via dynamic
+//!   programming over buffer occupancy (an occupancy DP); exact in
+//!   `O(T · B)`;
+//! * [`optimal_brute_force`] — subset enumeration for any slice sizes
+//!   (subset enumeration); the oracle the two fast solvers are tested against;
+//! * [`feasible`] — the `(σ = B, ρ = R)` leaky-bucket characterization of
+//!   deliverable subsets.
+//!
+//! # Example
+//!
+//! ```
+//! use rts_offline::{optimal_brute_force, optimal_unit_benefit};
+//! use rts_stream::{FrameKind, InputStream, SliceSpec};
+//!
+//! // A burst of four weighted unit slices into a size-2 buffer at R=1.
+//! let stream = InputStream::from_frames([vec![
+//!     SliceSpec::new(1, 9, FrameKind::I),
+//!     SliceSpec::new(1, 1, FrameKind::B),
+//!     SliceSpec::new(1, 8, FrameKind::P),
+//!     SliceSpec::new(1, 1, FrameKind::B),
+//! ]]);
+//! let opt = optimal_unit_benefit(&stream, 2, 1).unwrap();
+//! assert_eq!(opt, 18); // keep 9 and 8 and one of the 1s
+//! assert_eq!(opt, optimal_brute_force(&stream, 2, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod error;
+pub mod feasible;
+pub mod flow;
+mod framedp;
+pub mod lossless;
+mod mixed;
+mod unit;
+
+pub use brute::{optimal_brute_force, MAX_BRUTE_SLICES};
+pub use error::OfflineError;
+pub use framedp::{optimal_frame_benefit, optimal_frame_plan};
+pub use lossless::{min_lossless_delay, min_lossless_rate, peak_rate, rate_delay_frontier};
+pub use mixed::{optimal_mixed_benefit, optimal_mixed_plan};
+pub use unit::{optimal_unit_benefit, optimal_unit_plan, optimal_unit_throughput};

@@ -1,0 +1,260 @@
+//! Offline optimal benefit for unit-size slices, via min-cost flow.
+//!
+//! The paper's "Optimal" comparator (Section 5): the best benefit any
+//! schedule — online or offline — can extract from a buffer of size `B`
+//! drained at rate `R`. For unit slices the accepted sets are exactly the
+//! `(σ = B, ρ = R)` leaky-bucket-conformant substreams (see
+//! [`feasible`](crate::feasible)), and the optimum is computed exactly by
+//! a flow over the time chain:
+//!
+//! ```text
+//! source ──(count, −w)──► node_t ──(R, 0)──► sink        (transmit at t)
+//!                         node_t ──(B, 0)──► node_{t+1}  (buffer carry)
+//! ```
+//!
+//! The carry edge encodes `|Bs(t)| ≤ B` between steps; the transmit edge
+//! encodes the link rate; item edges carry profit. A final drain node
+//! absorbs whatever remains after the last arrival (no deadline in the
+//! single-buffer model). The max-profit flow therefore *is* an admissible
+//! drop schedule, and conversely every schedule induces such a flow.
+
+use std::collections::{BTreeMap, HashSet};
+
+use rts_stream::{Bytes, InputStream, SliceId, Weight};
+
+use crate::error::OfflineError;
+use crate::flow::MinCostFlow;
+
+/// Computes the maximum total weight deliverable from `stream` through a
+/// server buffer of size `buffer` and a link of rate `rate`.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1 (use
+/// [`optimal_frame_benefit`](crate::optimal_frame_benefit) for
+/// whole-frame slices).
+///
+/// # Panics
+///
+/// Panics if `rate == 0`.
+pub fn optimal_unit_benefit(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<Weight, OfflineError> {
+    solve(stream, buffer, rate, false).map(|(benefit, _)| benefit)
+}
+
+/// Like [`optimal_unit_benefit`], but also returns the set of slices an
+/// optimal schedule **rejects** (drops on arrival).
+///
+/// Feeding the rejected set to
+/// [`PlannedDrops`](rts_core::PlannedDrops) makes the generic server
+/// reproduce the optimum exactly — the optimum is a real schedule, not
+/// just a bound. Slices of weight 0 are always placed in the rejected
+/// set (accepting them cannot add benefit). Ties within a
+/// `(time, weight)` class are broken by accepting the lowest ids.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1.
+///
+/// # Panics
+///
+/// Panics if `rate == 0`.
+pub fn optimal_unit_plan(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<(Weight, HashSet<SliceId>), OfflineError> {
+    solve(stream, buffer, rate, true)
+        .map(|(benefit, rejected)| (benefit, rejected.expect("plan requested")))
+}
+
+#[allow(clippy::type_complexity)]
+fn solve(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+    want_plan: bool,
+) -> Result<(Weight, Option<HashSet<SliceId>>), OfflineError> {
+    assert!(rate > 0, "link rate must be positive");
+    for s in stream.slices() {
+        if s.size != 1 {
+            return Err(OfflineError::NonUnitSlice {
+                id: s.id,
+                size: s.size,
+            });
+        }
+    }
+    let horizon = stream.horizon() as usize;
+    if horizon == 0 {
+        return Ok((0, want_plan.then(HashSet::new)));
+    }
+
+    // Node layout: 0 = source, 1 = sink, 2 + t = time node, drain last.
+    let source = 0usize;
+    let sink = 1usize;
+    let node = |t: usize| 2 + t;
+    let drain = node(horizon);
+    let mut net = MinCostFlow::new(drain + 1);
+
+    // Item edges, grouped by (time, weight) class; remember the slice
+    // ids of each class so the flow can be turned back into a plan.
+    let mut class_edges: Vec<(usize, Vec<SliceId>)> = Vec::new();
+    let mut zero_weight: Vec<SliceId> = Vec::new();
+    for frame in stream.frames() {
+        let mut classes: BTreeMap<Weight, Vec<SliceId>> = BTreeMap::new();
+        for s in &frame.slices {
+            if s.weight == 0 {
+                zero_weight.push(s.id); // cannot add profit: reject
+            } else {
+                classes.entry(s.weight).or_default().push(s.id);
+            }
+        }
+        for (w, ids) in classes {
+            let cost = -i64::try_from(w).expect("weights fit in i64");
+            let edge = net.add_edge(source, node(frame.time as usize), ids.len() as u64, cost);
+            if want_plan {
+                class_edges.push((edge, ids));
+            }
+        }
+    }
+    // Time chain.
+    for t in 0..horizon {
+        net.add_edge(node(t), sink, rate, 0);
+        let next = if t + 1 < horizon { node(t + 1) } else { drain };
+        net.add_edge(node(t), next, buffer, 0);
+    }
+    // Whatever survives to the drain eventually goes out (≤ B bytes,
+    // drained at R per step with no further arrivals — always possible).
+    net.add_edge(drain, sink, buffer, 0);
+
+    let (_, cost) = net.max_profit(source, sink);
+    let benefit = u64::try_from(-cost).expect("profit is non-negative");
+
+    let rejected = want_plan.then(|| {
+        let mut rejected: HashSet<SliceId> = zero_weight.into_iter().collect();
+        for (edge, ids) in class_edges {
+            let accepted = net.flow_on(edge) as usize;
+            for &id in &ids[accepted..] {
+                rejected.insert(id);
+            }
+        }
+        rejected
+    });
+    Ok((benefit, rejected))
+}
+
+/// Maximum number of unit slices deliverable (the unweighted optimum of
+/// Section 3): every slice is treated as weight 1 regardless of its
+/// declared weight.
+///
+/// By Theorem 3.5 this equals the throughput of the generic algorithm
+/// with any drop policy — the integration tests verify exactly that.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1.
+pub fn optimal_unit_throughput(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<u64, OfflineError> {
+    let mut b = InputStream::builder();
+    for frame in stream.frames() {
+        b.frame(
+            frame.time,
+            frame.slices.iter().map(|s| rts_stream::SliceSpec {
+                size: s.size,
+                weight: 1,
+                kind: s.kind,
+            }),
+        );
+    }
+    optimal_unit_benefit(&b.build(), buffer, rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_stream::{FrameKind, SliceSpec};
+
+    fn units(frames: &[&[Weight]]) -> InputStream {
+        InputStream::from_frames(frames.iter().map(|ws| {
+            ws.iter()
+                .map(|&w| SliceSpec::new(1, w, FrameKind::Generic))
+                .collect::<Vec<_>>()
+        }))
+    }
+
+    #[test]
+    fn lossless_when_capacity_suffices() {
+        let s = units(&[&[5, 5], &[5], &[]]);
+        assert_eq!(optimal_unit_benefit(&s, 10, 2).unwrap(), 15);
+    }
+
+    #[test]
+    fn bufferless_link_keeps_best_r_per_step() {
+        // B=0, R=1: one slice per step survives; the best one.
+        let s = units(&[&[1, 9, 3], &[2, 2]]);
+        assert_eq!(optimal_unit_benefit(&s, 0, 1).unwrap(), 9 + 2);
+    }
+
+    #[test]
+    fn buffer_defers_excess_to_quiet_steps() {
+        // Burst of 4 at t=0 then silence: R=1 sends one per step, B=3
+        // stores the rest; everything survives.
+        let s = units(&[&[7, 7, 7, 7], &[], &[], &[]]);
+        assert_eq!(optimal_unit_benefit(&s, 3, 1).unwrap(), 28);
+        // With B=2 one slice must die.
+        assert_eq!(optimal_unit_benefit(&s, 2, 1).unwrap(), 21);
+    }
+
+    #[test]
+    fn optimal_prefers_heavy_slices_across_time() {
+        // The Theorem 4.7 shape: sacrifice cheap early slices to keep
+        // buffer space for the heavy burst.
+        let s = units(&[&[1, 1, 1], &[9], &[9, 9, 9]]);
+        // B=2, R=1: opt keeps one 1 (sent at 0), then 9 at 1, and all
+        // three nines: send 9@t1? Let's trust the bound: at most R*T+B
+        // in any window. Total heavy = 4*9 = 36, plus one light = 37.
+        assert_eq!(optimal_unit_benefit(&s, 2, 1).unwrap(), 37);
+    }
+
+    #[test]
+    fn zero_weight_slices_contribute_nothing() {
+        let s = units(&[&[0, 0, 4]]);
+        assert_eq!(optimal_unit_benefit(&s, 10, 1).unwrap(), 4);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = InputStream::builder().build();
+        assert_eq!(optimal_unit_benefit(&s, 5, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_variable_slices() {
+        let s = InputStream::from_frames([[SliceSpec::new(3, 1, FrameKind::Generic)]]);
+        let err = optimal_unit_benefit(&s, 5, 1).unwrap_err();
+        assert!(matches!(err, OfflineError::NonUnitSlice { size: 3, .. }));
+    }
+
+    #[test]
+    fn throughput_ignores_weights() {
+        let s = units(&[&[100, 1, 1, 1]]);
+        // B=1, R=1: keep 2 of 4 regardless of weight.
+        assert_eq!(optimal_unit_throughput(&s, 1, 1).unwrap(), 2);
+    }
+
+    #[test]
+    fn sparse_frames_use_idle_steps() {
+        // Arrivals at t=0 and t=3; the gap drains the buffer.
+        let mut b = InputStream::builder();
+        b.frame(0, vec![SliceSpec::unit(); 3]);
+        b.frame(3, vec![SliceSpec::unit(); 3]);
+        let s = b.build();
+        assert_eq!(optimal_unit_benefit(&s, 2, 1).unwrap(), 6);
+    }
+}

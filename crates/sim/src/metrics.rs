@@ -1,0 +1,217 @@
+//! Aggregate metrics of a schedule (Definition 2.4 and the Section 5
+//! measures).
+
+use std::collections::BTreeMap;
+
+use rts_core::ClientDropReason;
+use rts_stream::{Bytes, FrameKind, Weight};
+
+use crate::record::{Fate, ScheduleRecord};
+
+/// Aggregate performance measures of a schedule.
+///
+/// *Throughput* is the total number of bytes played out (Definition 2.4);
+/// *benefit* is the total weight of played slices (Definition 2.6);
+/// *weighted loss* is the complement fraction the paper plots in
+/// Figures 2–3 and 5–6.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Metrics {
+    /// Bytes offered by the source.
+    pub offered_bytes: Bytes,
+    /// Weight offered by the source.
+    pub offered_weight: Weight,
+    /// Bytes played out (throughput).
+    pub played_bytes: Bytes,
+    /// Weight played out (benefit).
+    pub benefit: Weight,
+    /// Played slice count.
+    pub played_slices: u64,
+    /// Slices dropped at the server.
+    pub server_dropped_slices: u64,
+    /// Bytes dropped at the server.
+    pub server_dropped_bytes: Bytes,
+    /// Slices discarded by the client.
+    pub client_dropped_slices: u64,
+    /// Client discard counts by reason.
+    pub client_drop_reasons: BTreeMapReason,
+    /// Offered weight per frame kind.
+    pub offered_weight_by_kind: BTreeMap<FrameKind, Weight>,
+    /// Played weight per frame kind.
+    pub benefit_by_kind: BTreeMap<FrameKind, Weight>,
+    /// Maximum server occupancy over the run (buffer requirement).
+    pub server_occupancy_max: Bytes,
+    /// Maximum end-of-step client occupancy (client buffer requirement).
+    pub client_occupancy_max: Bytes,
+    /// Maximum intra-step client occupancy (before playout).
+    pub client_peak_max: Bytes,
+    /// Maximum bytes submitted to the link in one step (link rate
+    /// requirement).
+    pub link_rate_max: Bytes,
+    /// Maximum bytes in flight on the link.
+    pub link_in_flight_max: Bytes,
+}
+
+/// Client drop counts keyed by reason.
+pub type BTreeMapReason = BTreeMap<ClientDropReason, u64>;
+
+impl Metrics {
+    /// Computes metrics from a completed schedule record.
+    pub fn from_record(record: &ScheduleRecord) -> Metrics {
+        let mut m = Metrics::default();
+        for r in record.slices() {
+            m.offered_bytes += r.slice.size;
+            m.offered_weight += r.slice.weight;
+            *m.offered_weight_by_kind.entry(r.slice.kind).or_default() += r.slice.weight;
+            match r.fate {
+                Some(Fate::Played { .. }) => {
+                    m.played_bytes += r.slice.size;
+                    m.benefit += r.slice.weight;
+                    m.played_slices += 1;
+                    *m.benefit_by_kind.entry(r.slice.kind).or_default() += r.slice.weight;
+                }
+                Some(Fate::ServerDropped { .. }) => {
+                    m.server_dropped_slices += 1;
+                    m.server_dropped_bytes += r.slice.size;
+                }
+                Some(Fate::ClientDropped { reason, .. }) => {
+                    m.client_dropped_slices += 1;
+                    *m.client_drop_reasons.entry(reason).or_default() += 1;
+                }
+                None => {
+                    debug_assert!(false, "metrics computed over an unresolved record");
+                }
+            }
+        }
+        for s in record.steps() {
+            m.server_occupancy_max = m.server_occupancy_max.max(s.server_occupancy);
+            m.client_occupancy_max = m.client_occupancy_max.max(s.client_occupancy);
+            m.client_peak_max = m.client_peak_max.max(s.client_peak);
+            m.link_rate_max = m.link_rate_max.max(s.sent_bytes);
+            m.link_in_flight_max = m.link_in_flight_max.max(s.link_in_flight);
+        }
+        m
+    }
+
+    /// Bytes not played out.
+    pub fn lost_bytes(&self) -> Bytes {
+        self.offered_bytes - self.played_bytes
+    }
+
+    /// Weight not played out.
+    pub fn lost_weight(&self) -> Weight {
+        self.offered_weight - self.benefit
+    }
+
+    /// Fraction of offered weight lost, in `[0, 1]` — the paper's
+    /// "weighted loss" (Figures 2, 3, 5, 6). Zero for an empty stream.
+    pub fn weighted_loss(&self) -> f64 {
+        if self.offered_weight == 0 {
+            0.0
+        } else {
+            self.lost_weight() as f64 / self.offered_weight as f64
+        }
+    }
+
+    /// Fraction of offered weight delivered, in `[0, 1]` — the paper's
+    /// "benefit relative to total benefit" (Figure 4).
+    pub fn benefit_fraction(&self) -> f64 {
+        if self.offered_weight == 0 {
+            1.0
+        } else {
+            self.benefit as f64 / self.offered_weight as f64
+        }
+    }
+
+    /// Fraction of offered bytes lost (unweighted loss).
+    pub fn byte_loss(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            0.0
+        } else {
+            self.lost_bytes() as f64 / self.offered_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Fate, StepSample};
+    use rts_stream::{InputStream, SliceSpec};
+
+    fn resolved_record() -> ScheduleRecord {
+        let stream = InputStream::from_frames([vec![
+            SliceSpec::new(2, 24, FrameKind::I),
+            SliceSpec::new(1, 1, FrameKind::B),
+            SliceSpec::new(3, 24, FrameKind::P),
+        ]]);
+        let mut r = ScheduleRecord::for_slices(stream.slices());
+        r.resolve(rts_stream::SliceId(0), Fate::Played { playout: 5 });
+        r.resolve(rts_stream::SliceId(1), Fate::ServerDropped { time: 0 });
+        r.resolve(
+            rts_stream::SliceId(2),
+            Fate::ClientDropped {
+                time: 4,
+                reason: ClientDropReason::Late,
+            },
+        );
+        r.push_step(StepSample {
+            time: 0,
+            server_occupancy: 4,
+            client_occupancy: 1,
+            client_peak: 3,
+            sent_bytes: 2,
+            link_in_flight: 2,
+        });
+        r
+    }
+
+    #[test]
+    fn aggregates_by_fate() {
+        let m = Metrics::from_record(&resolved_record());
+        assert_eq!(m.offered_bytes, 6);
+        assert_eq!(m.offered_weight, 49);
+        assert_eq!(m.played_bytes, 2);
+        assert_eq!(m.benefit, 24);
+        assert_eq!(m.played_slices, 1);
+        assert_eq!(m.server_dropped_slices, 1);
+        assert_eq!(m.server_dropped_bytes, 1);
+        assert_eq!(m.client_dropped_slices, 1);
+        assert_eq!(m.client_drop_reasons[&ClientDropReason::Late], 1);
+    }
+
+    #[test]
+    fn loss_fractions() {
+        let m = Metrics::from_record(&resolved_record());
+        assert_eq!(m.lost_bytes(), 4);
+        assert_eq!(m.lost_weight(), 25);
+        assert!((m.weighted_loss() - 25.0 / 49.0).abs() < 1e-12);
+        assert!((m.benefit_fraction() - 24.0 / 49.0).abs() < 1e-12);
+        assert!((m.byte_loss() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_kind_weights() {
+        let m = Metrics::from_record(&resolved_record());
+        assert_eq!(m.offered_weight_by_kind[&FrameKind::I], 24);
+        assert_eq!(m.benefit_by_kind.get(&FrameKind::P), None);
+        assert_eq!(m.benefit_by_kind[&FrameKind::I], 24);
+    }
+
+    #[test]
+    fn step_maxima() {
+        let m = Metrics::from_record(&resolved_record());
+        assert_eq!(m.server_occupancy_max, 4);
+        assert_eq!(m.client_occupancy_max, 1);
+        assert_eq!(m.client_peak_max, 3);
+        assert_eq!(m.link_rate_max, 2);
+        assert_eq!(m.link_in_flight_max, 2);
+    }
+
+    #[test]
+    fn empty_metrics_are_neutral() {
+        let m = Metrics::default();
+        assert_eq!(m.weighted_loss(), 0.0);
+        assert_eq!(m.benefit_fraction(), 1.0);
+        assert_eq!(m.byte_loss(), 0.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The full schedule record: the functions `ST`, `RT`, `PT`, `DT` of
+//! Definition 2.2, materialized per slice, plus per-step occupancy
+//! series. Everything the paper's definitions talk about can be checked
+//! against this record (see [`validate`](crate::validate)).
+
+use rts_core::ClientDropReason;
+use rts_stream::{Bytes, Slice, SliceId, Time};
+
+/// The final fate of a slice in a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Played out at the recorded time (`PT(s)`); sojourn time is
+    /// `PT − AT`.
+    Played {
+        /// Playout time.
+        playout: Time,
+    },
+    /// Dropped from the server's buffer (`DT(s)` finite, never sent).
+    ServerDropped {
+        /// Drop time.
+        time: Time,
+    },
+    /// Discarded by the client.
+    ClientDropped {
+        /// Discard time.
+        time: Time,
+        /// Why the client discarded it.
+        reason: ClientDropReason,
+    },
+}
+
+impl Fate {
+    /// Whether the slice was played out.
+    pub fn is_played(&self) -> bool {
+        matches!(self, Fate::Played { .. })
+    }
+}
+
+/// Per-slice schedule entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceRecord {
+    /// The slice (carries `AT`, size, weight, kind).
+    pub slice: Slice,
+    /// Send time of the slice's first byte, if any byte was sent.
+    pub first_send: Option<Time>,
+    /// Send time of the slice's last byte, if fully sent.
+    pub last_send: Option<Time>,
+    /// Resolved fate. `None` only transiently during simulation.
+    pub fate: Option<Fate>,
+}
+
+/// Per-step occupancy and usage sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepSample {
+    /// Time of the sample.
+    pub time: Time,
+    /// Server occupancy after the step (`|Bs(t)|`).
+    pub server_occupancy: Bytes,
+    /// Client occupancy after the step (`|Bc(t)|`).
+    pub client_occupancy: Bytes,
+    /// Client occupancy before playout (intra-step peak).
+    pub client_peak: Bytes,
+    /// Bytes submitted to the link this step (`|S(t)|`).
+    pub sent_bytes: Bytes,
+    /// Bytes in flight on the link after the step.
+    pub link_in_flight: Bytes,
+}
+
+/// The complete record of one simulated schedule.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleRecord {
+    slices: Vec<SliceRecord>,
+    steps: Vec<StepSample>,
+}
+
+impl ScheduleRecord {
+    /// Creates a record pre-populated with every slice of the stream (in
+    /// id order), all unresolved.
+    pub fn for_slices<'a>(slices: impl Iterator<Item = &'a Slice>) -> Self {
+        ScheduleRecord {
+            slices: slices
+                .map(|&slice| SliceRecord {
+                    slice,
+                    first_send: None,
+                    last_send: None,
+                    fate: None,
+                })
+                .collect(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// All slice records, indexed by slice id.
+    pub fn slices(&self) -> &[SliceRecord] {
+        &self.slices
+    }
+
+    /// The per-step samples, in time order.
+    pub fn steps(&self) -> &[StepSample] {
+        &self.steps
+    }
+
+    /// Record of one slice.
+    pub fn slice(&self, id: SliceId) -> &SliceRecord {
+        &self.slices[id.index()]
+    }
+
+    pub(crate) fn note_send(&mut self, id: SliceId, time: Time, completed: bool) {
+        let r = &mut self.slices[id.index()];
+        if r.first_send.is_none() {
+            r.first_send = Some(time);
+        }
+        if completed {
+            debug_assert!(r.last_send.is_none(), "slice completed twice");
+            r.last_send = Some(time);
+        }
+    }
+
+    pub(crate) fn resolve(&mut self, id: SliceId, fate: Fate) {
+        let r = &mut self.slices[id.index()];
+        debug_assert!(r.fate.is_none(), "slice {id} resolved twice: {:?}", r.fate);
+        r.fate = Some(fate);
+    }
+
+    pub(crate) fn push_step(&mut self, sample: StepSample) {
+        debug_assert!(
+            self.steps.last().is_none_or(|s| s.time + 1 == sample.time),
+            "step samples must be consecutive"
+        );
+        self.steps.push(sample);
+    }
+
+    /// Iterates over played slices with their playout times.
+    pub fn played(&self) -> impl Iterator<Item = (&SliceRecord, Time)> + '_ {
+        self.slices.iter().filter_map(|r| match r.fate {
+            Some(Fate::Played { playout }) => Some((r, playout)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_stream::{FrameKind, InputStream, SliceSpec};
+
+    fn record() -> ScheduleRecord {
+        let stream = InputStream::from_frames([
+            vec![SliceSpec::new(2, 5, FrameKind::I)],
+            vec![SliceSpec::unit()],
+        ]);
+        ScheduleRecord::for_slices(stream.slices())
+    }
+
+    #[test]
+    fn prepopulated_unresolved() {
+        let r = record();
+        assert_eq!(r.slices().len(), 2);
+        assert!(r.slices().iter().all(|s| s.fate.is_none()));
+        assert_eq!(r.slice(SliceId(1)).slice.arrival, 1);
+    }
+
+    #[test]
+    fn send_notes_first_and_last() {
+        let mut r = record();
+        r.note_send(SliceId(0), 3, false);
+        r.note_send(SliceId(0), 4, true);
+        let s = r.slice(SliceId(0));
+        assert_eq!(s.first_send, Some(3));
+        assert_eq!(s.last_send, Some(4));
+    }
+
+    #[test]
+    fn resolve_and_played_iterator() {
+        let mut r = record();
+        r.resolve(SliceId(0), Fate::Played { playout: 9 });
+        r.resolve(SliceId(1), Fate::ServerDropped { time: 1 });
+        let played: Vec<_> = r.played().collect();
+        assert_eq!(played.len(), 1);
+        assert_eq!(played[0].1, 9);
+        assert!(r.slice(SliceId(0)).fate.unwrap().is_played());
+        assert!(!r.slice(SliceId(1)).fate.unwrap().is_played());
+    }
+
+    #[test]
+    fn step_samples_accumulate() {
+        let mut r = record();
+        r.push_step(StepSample {
+            time: 0,
+            server_occupancy: 2,
+            ..Default::default()
+        });
+        r.push_step(StepSample {
+            time: 1,
+            server_occupancy: 1,
+            ..Default::default()
+        });
+        assert_eq!(r.steps().len(), 2);
+        assert_eq!(r.steps()[1].server_occupancy, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Parallel parameter sweeps.
+//!
+//! The figures of Section 5 are sweeps over buffer sizes and link rates,
+//! with several policies per point. [`parallel_map`] fans the points out
+//! over OS threads (crossbeam scoped threads — no `'static` bounds
+//! needed), preserving input order in the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a pool of `threads` workers (defaults to
+/// the machine's available parallelism when `None`), returning results in
+/// input order.
+///
+/// `f` must be `Sync` because multiple workers call it concurrently.
+///
+/// # Example
+///
+/// ```
+/// let squares = rts_sim::parallel_map(&[1u64, 2, 3, 4], None, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, U, F>(items: &[T], threads: Option<usize>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let worker_count = threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+        .min(items.len().max(1));
+
+    if worker_count <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                results.lock().expect("no panics while holding lock")[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    results
+        .into_inner()
+        .expect("scope joined all workers")
+        .into_iter()
+        .map(|o| o.expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&input, Some(8), |&x| x + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let out = parallel_map(&[3, 1, 4], Some(1), |&x| x * 2);
+        assert_eq!(out, vec![6, 2, 8]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = parallel_map(&[] as &[u64], None, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(&[7u64], Some(32), |&x| x);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let offset = 10u64;
+        let out = parallel_map(&[1u64, 2], Some(2), |&x| x + offset);
+        assert_eq!(out, vec![11, 12]);
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing or parsing input streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// A slice was declared with size zero; Definition 2.1 requires every
+    /// slice to contain at least one byte.
+    EmptySlice {
+        /// Arrival time of the offending slice.
+        time: u64,
+    },
+    /// Frames must be added in strictly increasing arrival-time order.
+    NonMonotonicTime {
+        /// Arrival time of the previous frame.
+        previous: u64,
+        /// Arrival time of the offending frame.
+        offending: u64,
+    },
+    /// A trace file line could not be parsed.
+    Parse {
+        /// 1-based line number within the trace text.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::EmptySlice { time } => {
+                write!(f, "slice of size zero at time {time}")
+            }
+            StreamError::NonMonotonicTime {
+                previous,
+                offending,
+            } => write!(
+                f,
+                "frame time {offending} does not exceed previous frame time {previous}"
+            ),
+            StreamError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for StreamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = StreamError::EmptySlice { time: 7 };
+        assert_eq!(e.to_string(), "slice of size zero at time 7");
+        let e = StreamError::NonMonotonicTime {
+            previous: 5,
+            offending: 5,
+        };
+        assert!(e.to_string().contains("does not exceed"));
+        let e = StreamError::Parse {
+            line: 3,
+            message: "bad kind".into(),
+        };
+        assert!(e.to_string().starts_with("trace parse error on line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

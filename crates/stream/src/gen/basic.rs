@@ -1,0 +1,96 @@
+//! Elementary sources: CBR, on/off bursts, uniform noise.
+//!
+//! These drive the tradeoff experiments of Section 3.3 (e.g. the
+//! "perfectly smooth input with rate R > B/D" counterexample) and serve
+//! as simple fixtures for unit and property tests.
+
+use crate::rng::SplitMix64;
+use crate::slicing::FrameSizeTrace;
+use crate::{Bytes, FrameKind};
+
+/// A constant-bit-rate trace: `n` frames of exactly `size` bytes each.
+///
+/// With `size > R` the stream is "perfectly smooth with rate above the
+/// link rate", the scenario in which Section 3.3 shows that *reducing* the
+/// link rate to `B/D` necessarily reduces throughput.
+pub fn cbr(n: usize, size: Bytes) -> FrameSizeTrace {
+    FrameSizeTrace::new(vec![(FrameKind::Generic, size); n])
+}
+
+/// An on/off burst trace: alternating bursts of `on` frames of `burst_size`
+/// bytes and `off` silent frames (size 0 produces an empty frame slot,
+/// encoded here as a 0-byte record that materializes to an empty frame).
+///
+/// # Panics
+///
+/// Panics if `on == 0` (the pattern would contain no data).
+pub fn on_off_bursts(n: usize, on: usize, off: usize, burst_size: Bytes) -> FrameSizeTrace {
+    assert!(on > 0, "on-period must contain at least one frame");
+    let period = on + off;
+    let frames = (0..n)
+        .map(|t| {
+            if t % period < on {
+                (FrameKind::Generic, burst_size)
+            } else {
+                (FrameKind::Generic, 0)
+            }
+        })
+        .collect();
+    FrameSizeTrace::new(frames)
+}
+
+/// A uniformly random trace: each frame size drawn independently from
+/// `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform_random(n: usize, lo: Bytes, hi: Bytes, seed: u64) -> FrameSizeTrace {
+    assert!(lo <= hi, "uniform_random requires lo <= hi");
+    let mut rng = SplitMix64::new(seed);
+    let frames = (0..n)
+        .map(|_| (FrameKind::Generic, rng.range_u64(lo, hi)))
+        .collect();
+    FrameSizeTrace::new(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_is_flat() {
+        let t = cbr(10, 7);
+        assert_eq!(t.len(), 10);
+        assert!(t.frames().iter().all(|&(_, b)| b == 7));
+        assert_eq!(t.total_bytes(), 70);
+        assert!((t.average_rate() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursts_follow_period() {
+        let t = on_off_bursts(8, 2, 2, 5);
+        let sizes: Vec<Bytes> = t.frames().iter().map(|&(_, b)| b).collect();
+        assert_eq!(sizes, vec![5, 5, 0, 0, 5, 5, 0, 0]);
+    }
+
+    #[test]
+    fn bursts_with_no_off_period() {
+        let t = on_off_bursts(4, 1, 0, 3);
+        assert_eq!(t.total_bytes(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "on-period")]
+    fn bursts_reject_empty_on() {
+        on_off_bursts(4, 0, 2, 3);
+    }
+
+    #[test]
+    fn uniform_in_bounds_and_deterministic() {
+        let a = uniform_random(100, 2, 9, 11);
+        let b = uniform_random(100, 2, 9, 11);
+        assert_eq!(a, b);
+        assert!(a.frames().iter().all(|&(_, s)| (2..=9).contains(&s)));
+    }
+}

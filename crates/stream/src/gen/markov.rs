@@ -1,0 +1,139 @@
+//! A two-state Markov-modulated (on/off) VBR source.
+//!
+//! The classic burst model of the VBR-traffic literature (the setting
+//! of the paper's references [12, 19, 20]): the source alternates
+//! between an *on* state emitting large frames and an *off* state
+//! emitting small (or no) frames, with geometric sojourn times. Unlike
+//! the MPEG source, burst lengths here are memoryless, which makes the
+//! model convenient for analytical cross-checks (expected rate is a
+//! closed form, tested below).
+
+use crate::rng::SplitMix64;
+use crate::slicing::FrameSizeTrace;
+use crate::{Bytes, FrameKind};
+
+/// Configuration of the on/off Markov source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovOnOffConfig {
+    /// Frame size while *on*.
+    pub on_size: Bytes,
+    /// Frame size while *off* (0 produces empty frames).
+    pub off_size: Bytes,
+    /// Probability of leaving the *on* state per step, in `(0, 1]`.
+    pub p_on_to_off: f64,
+    /// Probability of leaving the *off* state per step, in `(0, 1]`.
+    pub p_off_to_on: f64,
+}
+
+impl MarkovOnOffConfig {
+    /// Long-run fraction of time spent in the *on* state.
+    pub fn on_fraction(&self) -> f64 {
+        self.p_off_to_on / (self.p_on_to_off + self.p_off_to_on)
+    }
+
+    /// Long-run average rate in bytes per step.
+    pub fn mean_rate(&self) -> f64 {
+        let on = self.on_fraction();
+        on * self.on_size as f64 + (1.0 - on) * self.off_size as f64
+    }
+}
+
+/// Generates `n` frames from the on/off chain, starting in the *off*
+/// state.
+///
+/// # Panics
+///
+/// Panics if a transition probability is outside `(0, 1]`.
+pub fn markov_onoff(config: MarkovOnOffConfig, n: usize, seed: u64) -> FrameSizeTrace {
+    assert!(
+        config.p_on_to_off > 0.0 && config.p_on_to_off <= 1.0,
+        "p_on_to_off must be in (0, 1]"
+    );
+    assert!(
+        config.p_off_to_on > 0.0 && config.p_off_to_on <= 1.0,
+        "p_off_to_on must be in (0, 1]"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut on = false;
+    let frames = (0..n)
+        .map(|_| {
+            let flip = rng.chance(if on {
+                config.p_on_to_off
+            } else {
+                config.p_off_to_on
+            });
+            if flip {
+                on = !on;
+            }
+            let size = if on { config.on_size } else { config.off_size };
+            (FrameKind::Generic, size)
+        })
+        .collect();
+    FrameSizeTrace::new(frames)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MarkovOnOffConfig {
+        MarkovOnOffConfig {
+            on_size: 10,
+            off_size: 2,
+            p_on_to_off: 0.1,
+            p_off_to_on: 0.05,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(markov_onoff(cfg(), 500, 3), markov_onoff(cfg(), 500, 3));
+        assert_ne!(markov_onoff(cfg(), 500, 3), markov_onoff(cfg(), 500, 4));
+    }
+
+    #[test]
+    fn only_two_sizes_appear() {
+        let t = markov_onoff(cfg(), 300, 1);
+        assert!(t.frames().iter().all(|&(_, s)| s == 10 || s == 2));
+    }
+
+    #[test]
+    fn long_run_rate_matches_closed_form() {
+        let c = cfg();
+        let t = markov_onoff(c, 60_000, 7);
+        let expect = c.mean_rate(); // on fraction = 1/3 → 10/3 + 2*2/3
+        assert!((c.on_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        let got = t.average_rate();
+        assert!(
+            (got - expect).abs() < 0.25,
+            "measured {got} vs closed form {expect}"
+        );
+    }
+
+    #[test]
+    fn bursts_have_geometric_lengths() {
+        let c = cfg();
+        let t = markov_onoff(c, 60_000, 9);
+        // Mean on-burst length should be ~1/p_on_to_off = 10.
+        let mut bursts = Vec::new();
+        let mut cur = 0u64;
+        for &(_, s) in t.frames() {
+            if s == c.on_size {
+                cur += 1;
+            } else if cur > 0 {
+                bursts.push(cur);
+                cur = 0;
+            }
+        }
+        let mean = bursts.iter().sum::<u64>() as f64 / bursts.len() as f64;
+        assert!((mean - 10.0).abs() < 1.0, "mean burst {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_off_to_on")]
+    fn rejects_bad_probability() {
+        let mut c = cfg();
+        c.p_off_to_on = 0.0;
+        markov_onoff(c, 10, 0);
+    }
+}

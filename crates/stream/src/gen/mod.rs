@@ -1,0 +1,23 @@
+//! Trace generators.
+//!
+//! Three families:
+//!
+//! * [`mpeg`] — a synthetic MPEG-like VBR video source, the substitute for
+//!   the proprietary CNN-archive clips of Section 5 (see DESIGN.md for the
+//!   substitution argument);
+//! * [`basic`] — elementary sources (constant bit rate, on/off bursts,
+//!   uniform noise) used for unit tests and the tradeoff experiments;
+//! * [`adversarial`] — the exact arrival patterns from the paper's lower
+//!   bound constructions (Lemma 3.6 tightness, Theorem 4.7, Theorem 4.8).
+
+pub mod adversarial;
+pub mod basic;
+pub mod markov;
+pub mod mpeg;
+
+pub use adversarial::{
+    buffer_ratio_tightness, greedy_lower_bound_stream, two_scenario_adversary, Scenario,
+};
+pub use basic::{cbr, on_off_bursts, uniform_random};
+pub use markov::{markov_onoff, MarkovOnOffConfig};
+pub use mpeg::{MpegConfig, MpegSource};

@@ -1,0 +1,213 @@
+//! A small deterministic PRNG for reproducible trace generation.
+//!
+//! Traces drive every figure in EXPERIMENTS.md, so they must be exactly
+//! reproducible from a recorded `u64` seed, independent of external crate
+//! versions. [`SplitMix64`] (Steele, Lea & Flood 2014) is tiny, passes
+//! BigCrush when used as a 64-bit generator, and is the standard seeding
+//! primitive of the xoshiro family.
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use rts_stream::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every distinct seed yields an
+    /// independent-looking sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_u64 requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Rejection sampling over a widened modulus avoids modulo bias.
+        let m = span + 1;
+        let zone = u64::MAX - (u64::MAX % m);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % m;
+            }
+        }
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller; one of the pair is discarded to
+    /// keep the generator stateless beyond `state`).
+    pub fn normal(&mut self) -> f64 {
+        // Avoid ln(0) by drawing from (0, 1].
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal draw with the given parameters of the underlying normal.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Geometric draw: number of failures before the first success with
+    /// success probability `p` in `(0, 1]`, i.e. mean `(1 - p) / p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric requires p in (0, 1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = 1.0 - self.next_f64(); // in (0, 1]
+        let draws = u.ln() / (1.0 - p).ln();
+        draws.floor().min(u64::MAX as f64 / 2.0) as u64
+    }
+
+    /// Derives an independent child generator (for splitting one seed into
+    /// per-component streams).
+    pub fn split(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_reference_values() {
+        // Reference outputs of SplitMix64 with seed 0 (from the public
+        // domain reference implementation by Sebastiano Vigna).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_inclusive_and_covering() {
+        let mut r = SplitMix64::new(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.range_u64(10, 14);
+            assert!((10..=14).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range should occur");
+        assert_eq!(r.range_u64(3, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn range_rejects_inverted_bounds() {
+        SplitMix64::new(0).range_u64(2, 1);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut r = SplitMix64::new(3);
+        let n = 20_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = r.normal();
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.06, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..1000 {
+            assert!(r.lognormal(3.0, 0.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut r = SplitMix64::new(5);
+        let p = 0.25;
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        let expect = (1.0 - p) / p; // = 3
+        assert!(
+            (mean - expect).abs() < 0.15,
+            "geometric mean {mean} vs {expect}"
+        );
+        assert_eq!(r.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut r = SplitMix64::new(6);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn split_produces_diverging_generators() {
+        let mut parent = SplitMix64::new(9);
+        let mut a = parent.split();
+        let mut b = parent.split();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,345 @@
+use crate::stats::StreamStats;
+use crate::{Bytes, Frame, FrameKind, Slice, SliceId, StreamError, Time, Weight};
+
+/// Declarative description of one slice, used with [`StreamBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceSpec {
+    /// Size in bytes (must be at least 1).
+    pub size: Bytes,
+    /// Local weight.
+    pub weight: Weight,
+    /// Frame kind.
+    pub kind: FrameKind,
+}
+
+impl SliceSpec {
+    /// Creates a slice specification.
+    pub fn new(size: Bytes, weight: Weight, kind: FrameKind) -> Self {
+        SliceSpec { size, weight, kind }
+    }
+
+    /// A unit-size slice whose weight equals 1 (the unweighted model of
+    /// Section 3, where only slice counts matter).
+    pub fn unit() -> Self {
+        SliceSpec::new(1, 1, FrameKind::Generic)
+    }
+
+    /// A slice whose weight equals its size, so that benefit equals
+    /// throughput (the remark after Definition 2.6).
+    pub fn sized(size: Bytes, kind: FrameKind) -> Self {
+        SliceSpec::new(size, size, kind)
+    }
+}
+
+/// Incremental builder for [`InputStream`]; see
+/// [`InputStream::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct StreamBuilder {
+    frames: Vec<Frame>,
+    next_id: u64,
+}
+
+impl StreamBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a frame arriving at `time` with the given slices.
+    ///
+    /// Empty frames are allowed (a step with no arrivals) and may be used
+    /// to extend the stream horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is not strictly greater than the previous frame's
+    /// time, or if any slice has size 0. Use [`try_frame`](Self::try_frame)
+    /// for a fallible variant.
+    pub fn frame<I>(&mut self, time: Time, slices: I) -> &mut Self
+    where
+        I: IntoIterator<Item = SliceSpec>,
+    {
+        self.try_frame(time, slices)
+            .expect("invalid frame passed to StreamBuilder::frame");
+        self
+    }
+
+    /// Fallible variant of [`frame`](Self::frame).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::NonMonotonicTime`] if `time` does not exceed
+    /// the previous frame's time, or [`StreamError::EmptySlice`] if any
+    /// slice has size 0.
+    pub fn try_frame<I>(&mut self, time: Time, slices: I) -> Result<&mut Self, StreamError>
+    where
+        I: IntoIterator<Item = SliceSpec>,
+    {
+        if let Some(last) = self.frames.last() {
+            if time <= last.time {
+                return Err(StreamError::NonMonotonicTime {
+                    previous: last.time,
+                    offending: time,
+                });
+            }
+        }
+        let index = self.frames.len() as u64;
+        let mut out = Vec::new();
+        for spec in slices {
+            if spec.size == 0 {
+                return Err(StreamError::EmptySlice { time });
+            }
+            out.push(Slice {
+                id: SliceId(self.next_id + out.len() as u64),
+                frame: index,
+                arrival: time,
+                size: spec.size,
+                weight: spec.weight,
+                kind: spec.kind,
+            });
+        }
+        self.next_id += out.len() as u64;
+        self.frames.push(Frame {
+            index,
+            time,
+            slices: out,
+        });
+        Ok(self)
+    }
+
+    /// Finishes the builder and produces the stream.
+    pub fn build(self) -> InputStream {
+        InputStream {
+            frames: self.frames,
+        }
+    }
+}
+
+/// An input stream: a set of slices with arrival times (Definition 2.1),
+/// organized into frames.
+///
+/// The stream is immutable once built; this guarantees that every
+/// algorithm, the offline optimum, and the validators all see exactly the
+/// same arrival sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InputStream {
+    frames: Vec<Frame>,
+}
+
+impl InputStream {
+    /// Starts building a stream frame by frame.
+    pub fn builder() -> StreamBuilder {
+        StreamBuilder::new()
+    }
+
+    /// Builds a stream with one frame per time step `0, 1, 2, …`, each
+    /// frame given as a list of slice specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice has size 0.
+    pub fn from_frames<I, F>(frames: I) -> Self
+    where
+        I: IntoIterator<Item = F>,
+        F: IntoIterator<Item = SliceSpec>,
+    {
+        let mut b = StreamBuilder::new();
+        for (t, f) in frames.into_iter().enumerate() {
+            b.frame(t as Time, f);
+        }
+        b.build()
+    }
+
+    /// The frames of the stream, in arrival order.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Iterates over every slice in arrival (= id) order.
+    pub fn slices(&self) -> impl Iterator<Item = &Slice> + '_ {
+        self.frames.iter().flat_map(|f| f.slices.iter())
+    }
+
+    /// Total number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.frames.iter().map(|f| f.slices.len()).sum()
+    }
+
+    /// Total size of the stream in bytes (`|B|` of Definition 2.1).
+    pub fn total_bytes(&self) -> Bytes {
+        self.frames.iter().map(Frame::bytes).sum()
+    }
+
+    /// Total weight of the stream (the maximum possible benefit).
+    pub fn total_weight(&self) -> Weight {
+        self.frames.iter().map(Frame::weight).sum()
+    }
+
+    /// The arrival time of the last frame, or `None` for an empty stream.
+    pub fn last_arrival(&self) -> Option<Time> {
+        self.frames.last().map(|f| f.time)
+    }
+
+    /// Number of time steps spanned: `last_arrival + 1`, or 0 if empty.
+    pub fn horizon(&self) -> Time {
+        self.last_arrival().map_or(0, |t| t + 1)
+    }
+
+    /// Computes descriptive statistics over the stream.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats::of(self)
+    }
+
+    /// Looks up a slice by id.
+    ///
+    /// Ids are dense in arrival order, so this is a direct index.
+    pub fn slice(&self, id: SliceId) -> Option<&Slice> {
+        // Binary-search the frame containing the id, then index within it.
+        let target = id.0;
+        let mut lo = 0usize;
+        let mut hi = self.frames.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let f = &self.frames[mid];
+            let first = f.slices.first().map(|s| s.id.0);
+            match first {
+                Some(first) if target < first => hi = mid,
+                Some(first) if target >= first + f.slices.len() as u64 => lo = mid + 1,
+                Some(first) => return Some(&f.slices[(target - first) as usize]),
+                None => {
+                    // Empty frame: ids continue on either side. Narrow by
+                    // scanning linearly from here (empty frames are rare).
+                    return self.slices().find(|s| s.id == id);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<Frame> for InputStream {
+    /// Reassembles a stream from frames produced by another stream.
+    ///
+    /// Used by trace I/O; the frames must already carry consistent ids and
+    /// strictly increasing times (checked in debug builds).
+    fn from_iter<T: IntoIterator<Item = Frame>>(iter: T) -> Self {
+        let frames: Vec<Frame> = iter.into_iter().collect();
+        debug_assert!(frames.windows(2).all(|w| w[0].time < w[1].time));
+        InputStream { frames }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InputStream {
+        let mut b = InputStream::builder();
+        b.frame(
+            0,
+            [
+                SliceSpec::new(3, 12, FrameKind::I),
+                SliceSpec::new(1, 1, FrameKind::B),
+            ],
+        );
+        b.frame(2, []);
+        b.frame(5, [SliceSpec::new(2, 8, FrameKind::P)]);
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids_in_arrival_order() {
+        let s = sample();
+        let ids: Vec<u64> = s.slices().map(|x| x.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(s.slice_count(), 3);
+    }
+
+    #[test]
+    fn totals() {
+        let s = sample();
+        assert_eq!(s.total_bytes(), 6);
+        assert_eq!(s.total_weight(), 21);
+        assert_eq!(s.last_arrival(), Some(5));
+        assert_eq!(s.horizon(), 6);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = InputStream::builder().build();
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.horizon(), 0);
+        assert_eq!(s.last_arrival(), None);
+        assert_eq!(s.slice(SliceId(0)), None);
+    }
+
+    #[test]
+    fn slice_lookup_by_id() {
+        let s = sample();
+        assert_eq!(s.slice(SliceId(0)).unwrap().size, 3);
+        assert_eq!(s.slice(SliceId(2)).unwrap().arrival, 5);
+        assert_eq!(s.slice(SliceId(99)), None);
+    }
+
+    #[test]
+    fn slice_lookup_with_many_empty_frames() {
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::unit()]);
+        for t in 1..10 {
+            b.frame(t, []);
+        }
+        b.frame(10, [SliceSpec::unit(), SliceSpec::unit()]);
+        let s = b.build();
+        assert_eq!(s.slice(SliceId(2)).unwrap().arrival, 10);
+        assert_eq!(s.slice(SliceId(0)).unwrap().arrival, 0);
+    }
+
+    #[test]
+    fn non_monotonic_time_rejected() {
+        let mut b = InputStream::builder();
+        b.frame(3, [SliceSpec::unit()]);
+        let err = b.try_frame(3, [SliceSpec::unit()]).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::NonMonotonicTime {
+                previous: 3,
+                offending: 3
+            }
+        );
+    }
+
+    #[test]
+    fn zero_size_slice_rejected() {
+        let mut b = InputStream::builder();
+        let err = b
+            .try_frame(0, [SliceSpec::new(0, 5, FrameKind::Generic)])
+            .unwrap_err();
+        assert_eq!(err, StreamError::EmptySlice { time: 0 });
+    }
+
+    #[test]
+    fn from_frames_uses_consecutive_times() {
+        let s = InputStream::from_frames([
+            vec![SliceSpec::unit()],
+            vec![],
+            vec![SliceSpec::unit(), SliceSpec::unit()],
+        ]);
+        let times: Vec<Time> = s.frames().iter().map(|f| f.time).collect();
+        assert_eq!(times, vec![0, 1, 2]);
+        assert_eq!(s.slice_count(), 3);
+    }
+
+    #[test]
+    fn spec_helpers() {
+        assert_eq!(SliceSpec::unit(), SliceSpec::new(1, 1, FrameKind::Generic));
+        let s = SliceSpec::sized(7, FrameKind::P);
+        assert_eq!((s.size, s.weight), (7, 7));
+    }
+
+    #[test]
+    fn rebuild_from_frame_iter() {
+        let s = sample();
+        let t: InputStream = s.frames().iter().cloned().collect();
+        assert_eq!(s, t);
+    }
+}

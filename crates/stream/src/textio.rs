@@ -1,0 +1,310 @@
+//! Plain-text trace format.
+//!
+//! A deliberately simple line format so traces can be diffed, versioned,
+//! and produced by external tools:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! frame 0
+//! slice 3 12 I
+//! slice 1 1 B
+//! frame 2
+//! ```
+//!
+//! `frame <time>` opens a frame; each following `slice <size> <weight>
+//! <kind-letter>` belongs to it. Empty frames are legal and preserved.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), rts_stream::StreamError> {
+//! use rts_stream::{textio, FrameKind, InputStream, SliceSpec};
+//!
+//! let stream = InputStream::from_frames([[SliceSpec::new(2, 8, FrameKind::P)]]);
+//! let text = textio::write_stream(&stream);
+//! let back = textio::parse_stream(&text)?;
+//! assert_eq!(stream, back);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{FrameKind, InputStream, SliceSpec, StreamBuilder, StreamError, Time};
+
+/// Serializes a stream to the text format.
+pub fn write_stream(stream: &InputStream) -> String {
+    let mut out = String::new();
+    out.push_str("# rts-stream trace v1\n");
+    for frame in stream.frames() {
+        let _ = writeln!(out, "frame {}", frame.time);
+        for s in &frame.slices {
+            let _ = writeln!(out, "slice {} {} {}", s.size, s.weight, s.kind.letter());
+        }
+    }
+    out
+}
+
+/// Parses the text format back into a stream.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Parse`] for malformed lines,
+/// [`StreamError::NonMonotonicTime`] for out-of-order frames, and
+/// [`StreamError::EmptySlice`] for zero-size slices.
+pub fn parse_stream(text: &str) -> Result<InputStream, StreamError> {
+    let mut builder = StreamBuilder::new();
+    let mut current: Option<(Time, Vec<SliceSpec>)> = None;
+
+    let flush = |builder: &mut StreamBuilder,
+                 current: &mut Option<(Time, Vec<SliceSpec>)>|
+     -> Result<(), StreamError> {
+        if let Some((time, specs)) = current.take() {
+            builder.try_frame(time, specs)?;
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("frame") => {
+                flush(&mut builder, &mut current)?;
+                let time = parse_field(parts.next(), line_no, "frame time")?;
+                if parts.next().is_some() {
+                    return Err(parse_err(line_no, "trailing tokens after frame time"));
+                }
+                current = Some((time, Vec::new()));
+            }
+            Some("slice") => {
+                let Some((_, specs)) = current.as_mut() else {
+                    return Err(parse_err(line_no, "slice before any frame"));
+                };
+                let size = parse_field(parts.next(), line_no, "slice size")?;
+                let weight = parse_field(parts.next(), line_no, "slice weight")?;
+                let kind = match parts.next() {
+                    Some(tok) if tok.chars().count() == 1 => {
+                        FrameKind::from_letter(tok.chars().next().expect("one char"))
+                            .ok_or_else(|| parse_err(line_no, "unknown frame kind"))?
+                    }
+                    Some(_) => return Err(parse_err(line_no, "frame kind must be one letter")),
+                    None => return Err(parse_err(line_no, "missing frame kind")),
+                };
+                if parts.next().is_some() {
+                    return Err(parse_err(line_no, "trailing tokens after slice"));
+                }
+                specs.push(SliceSpec::new(size, weight, kind));
+            }
+            Some(other) => {
+                return Err(parse_err(line_no, &format!("unknown record '{other}'")));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    flush(&mut builder, &mut current)?;
+    Ok(builder.build())
+}
+
+/// Parses a raw frame-size listing: one frame per line, either
+/// `<size>` or `<kind-letter> <size>` (the format in which published
+/// VBR video traces — e.g. the classic Bellcore/"Star Wars" MPEG
+/// traces — circulate). `#` comments and blank lines are ignored.
+/// Line `i` (0-based among data lines) becomes the frame at time `i`.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Parse`] for malformed lines.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), rts_stream::StreamError> {
+/// let trace = rts_stream::textio::parse_frame_sizes("I 120\n38\nB 12\n")?;
+/// assert_eq!(trace.total_bytes(), 170);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_frame_sizes(text: &str) -> Result<crate::slicing::FrameSizeTrace, StreamError> {
+    let mut frames = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line has a token");
+        let (kind, size_tok) = match first.parse::<u64>() {
+            Ok(_) => (FrameKind::Generic, first),
+            Err(_) => {
+                let kind = (first.chars().count() == 1)
+                    .then(|| FrameKind::from_letter(first.chars().next().expect("one char")))
+                    .flatten()
+                    .ok_or_else(|| parse_err(line_no, "expected a size or a kind letter"))?;
+                let tok = parts
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing frame size"))?;
+                (kind, tok)
+            }
+        };
+        let size = size_tok
+            .parse::<u64>()
+            .map_err(|_| parse_err(line_no, &format!("invalid frame size '{size_tok}'")))?;
+        if parts.next().is_some() {
+            return Err(parse_err(line_no, "trailing tokens after frame size"));
+        }
+        frames.push((kind, size));
+    }
+    Ok(crate::slicing::FrameSizeTrace::new(frames))
+}
+
+/// Serializes a frame-size trace in the format accepted by
+/// [`parse_frame_sizes`].
+pub fn write_frame_sizes(trace: &crate::slicing::FrameSizeTrace) -> String {
+    let mut out = String::new();
+    out.push_str("# frame sizes: <kind-letter> <size>\n");
+    for &(kind, size) in trace.frames() {
+        let _ = writeln!(out, "{} {}", kind.letter(), size);
+    }
+    out
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u64, StreamError> {
+    let tok = tok.ok_or_else(|| parse_err(line, &format!("missing {what}")))?;
+    tok.parse::<u64>()
+        .map_err(|_| parse_err(line, &format!("invalid {what} '{tok}'")))
+}
+
+fn parse_err(line: usize, message: &str) -> StreamError {
+    StreamError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SliceSpec;
+
+    fn sample() -> InputStream {
+        let mut b = InputStream::builder();
+        b.frame(
+            0,
+            [
+                SliceSpec::new(3, 12, FrameKind::I),
+                SliceSpec::new(1, 1, FrameKind::B),
+            ],
+        );
+        b.frame(2, []);
+        b.frame(5, [SliceSpec::new(2, 8, FrameKind::P)]);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_stream() {
+        let s = sample();
+        let text = write_stream(&s);
+        let back = parse_stream(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn roundtrip_empty_stream() {
+        let s = InputStream::builder().build();
+        assert_eq!(parse_stream(&write_stream(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# header\nframe 0  # inline comment\nslice 1 5 G\n\n";
+        let s = parse_stream(text).unwrap();
+        assert_eq!(s.slice_count(), 1);
+        assert_eq!(s.slices().next().unwrap().weight, 5);
+    }
+
+    #[test]
+    fn slice_before_frame_is_an_error() {
+        let err = parse_stream("slice 1 1 G").unwrap_err();
+        assert!(matches!(err, StreamError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_kind_is_an_error() {
+        let err = parse_stream("frame 0\nslice 1 1 Z").unwrap_err();
+        assert!(matches!(err, StreamError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let err = parse_stream("frame zero").unwrap_err();
+        assert!(err.to_string().contains("invalid frame time"));
+    }
+
+    #[test]
+    fn trailing_tokens_are_errors() {
+        assert!(parse_stream("frame 0 1").is_err());
+        assert!(parse_stream("frame 0\nslice 1 1 G extra").is_err());
+    }
+
+    #[test]
+    fn unknown_record_is_an_error() {
+        let err = parse_stream("bogus 1").unwrap_err();
+        assert!(err.to_string().contains("unknown record 'bogus'"));
+    }
+
+    #[test]
+    fn out_of_order_frames_rejected() {
+        let err = parse_stream("frame 5\nframe 3").unwrap_err();
+        assert!(matches!(err, StreamError::NonMonotonicTime { .. }));
+    }
+
+    #[test]
+    fn zero_size_slice_rejected() {
+        let err = parse_stream("frame 0\nslice 0 1 G").unwrap_err();
+        assert!(matches!(err, StreamError::EmptySlice { time: 0 }));
+    }
+
+    #[test]
+    fn frame_sizes_bare_numbers() {
+        let t = parse_frame_sizes("10\n20\n\n# comment\n30\n").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_bytes(), 60);
+        assert!(t.frames().iter().all(|&(k, _)| k == FrameKind::Generic));
+    }
+
+    #[test]
+    fn frame_sizes_with_kinds() {
+        let t = parse_frame_sizes("I 120\nP 50  # inline\nB 12\n").unwrap();
+        assert_eq!(t.frames()[0], (FrameKind::I, 120));
+        assert_eq!(t.frames()[2], (FrameKind::B, 12));
+    }
+
+    #[test]
+    fn frame_sizes_roundtrip() {
+        let t = parse_frame_sizes("I 120\nG 38\nB 12\n").unwrap();
+        let back = parse_frame_sizes(&write_frame_sizes(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn frame_sizes_zero_is_an_empty_slot() {
+        let t = parse_frame_sizes("0\n5\n").unwrap();
+        assert_eq!(t.frames()[0].1, 0);
+    }
+
+    #[test]
+    fn frame_sizes_errors() {
+        assert!(parse_frame_sizes("X 12").is_err()); // unknown kind
+        assert!(parse_frame_sizes("I").is_err()); // missing size
+        assert!(parse_frame_sizes("I twelve").is_err()); // bad number
+        assert!(parse_frame_sizes("I 12 extra").is_err()); // trailing
+        let err = parse_frame_sizes("ok\nI 1\nbogus line").unwrap_err();
+        assert!(matches!(err, StreamError::Parse { line: 1, .. }));
+    }
+}

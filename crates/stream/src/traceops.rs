@@ -1,0 +1,196 @@
+//! Trace transforms and descriptive statistics on [`FrameSizeTrace`].
+//!
+//! Workload engineering helpers: compose recorded/synthetic traces
+//! (concatenate, repeat, window), rescale them to a different unit, and
+//! quantify their burst structure (percentiles, peak-to-mean ratio,
+//! autocorrelation) — the knobs the experiments and docs reason about.
+
+use crate::slicing::FrameSizeTrace;
+use crate::Bytes;
+
+impl FrameSizeTrace {
+    /// Concatenates two traces (the other plays after this one).
+    pub fn concat(&self, other: &FrameSizeTrace) -> FrameSizeTrace {
+        let mut frames = self.frames().to_vec();
+        frames.extend_from_slice(other.frames());
+        FrameSizeTrace::new(frames)
+    }
+
+    /// Repeats the trace `times` times end to end.
+    pub fn repeated(&self, times: usize) -> FrameSizeTrace {
+        let mut frames = Vec::with_capacity(self.len() * times);
+        for _ in 0..times {
+            frames.extend_from_slice(self.frames());
+        }
+        FrameSizeTrace::new(frames)
+    }
+
+    /// Rescales every frame size by `num/den` (rounding to nearest;
+    /// non-empty frames never shrink below 1 byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn scaled(&self, num: u64, den: u64) -> FrameSizeTrace {
+        assert!(den > 0, "scale denominator must be positive");
+        let frames = self
+            .frames()
+            .iter()
+            .map(|&(k, s)| {
+                if s == 0 {
+                    (k, 0)
+                } else {
+                    let scaled = (s as u128 * num as u128 + den as u128 / 2) / den as u128;
+                    (k, (scaled as Bytes).max(1))
+                }
+            })
+            .collect();
+        FrameSizeTrace::new(frames)
+    }
+
+    /// The sub-trace of `len` frames starting at `start` (clamped to the
+    /// trace end).
+    pub fn window(&self, start: usize, len: usize) -> FrameSizeTrace {
+        let end = (start + len).min(self.len());
+        let start = start.min(end);
+        FrameSizeTrace::new(self.frames()[start..end].to_vec())
+    }
+
+    /// The `p`-th percentile of frame sizes, `p` in `[0, 100]`.
+    ///
+    /// Returns 0 for an empty trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    pub fn size_percentile(&self, p: u32) -> Bytes {
+        assert!(p <= 100, "percentile must be within 0..=100");
+        if self.is_empty() {
+            return 0;
+        }
+        let mut sizes: Vec<Bytes> = self.frames().iter().map(|&(_, s)| s).collect();
+        sizes.sort_unstable();
+        let rank = (p as usize * (sizes.len() - 1) + 50) / 100;
+        sizes[rank.min(sizes.len() - 1)]
+    }
+
+    /// Peak-to-mean ratio of the frame sizes (the burstiness figure the
+    /// smoothing literature quotes; 1.0 for CBR).
+    pub fn peak_to_mean(&self) -> f64 {
+        let mean = self.average_rate();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        self.max_frame_bytes() as f64 / mean
+    }
+
+    /// Lag-`k` autocorrelation of the frame-size series, in `[-1, 1]`.
+    ///
+    /// Returns 0 when fewer than `k + 2` frames exist or the series is
+    /// constant.
+    pub fn autocorrelation(&self, lag: usize) -> f64 {
+        let n = self.len();
+        if n < lag + 2 {
+            return 0.0;
+        }
+        let xs: Vec<f64> = self.frames().iter().map(|&(_, s)| s as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+        if var == 0.0 {
+            return 0.0;
+        }
+        let cov: f64 = xs
+            .windows(lag + 1)
+            .map(|w| (w[0] - mean) * (w[lag] - mean))
+            .sum();
+        cov / var
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cbr, MpegConfig, MpegSource};
+    use crate::FrameKind;
+
+    fn trace(sizes: &[Bytes]) -> FrameSizeTrace {
+        FrameSizeTrace::new(sizes.iter().map(|&s| (FrameKind::Generic, s)).collect())
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        let a = trace(&[1, 2]);
+        let b = trace(&[3]);
+        assert_eq!(a.concat(&b), trace(&[1, 2, 3]));
+        assert_eq!(b.repeated(3), trace(&[3, 3, 3]));
+        assert_eq!(a.repeated(0), trace(&[]));
+    }
+
+    #[test]
+    fn scaling_rounds_and_clamps() {
+        let t = trace(&[10, 1, 0, 3]);
+        assert_eq!(t.scaled(1, 2), trace(&[5, 1, 0, 2])); // 1 -> 0.5 -> clamp 1; 3 -> 1.5 -> 2
+        assert_eq!(t.scaled(3, 1), trace(&[30, 3, 0, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        trace(&[1]).scaled(1, 0);
+    }
+
+    #[test]
+    fn window_clamps() {
+        let t = trace(&[1, 2, 3, 4]);
+        assert_eq!(t.window(1, 2), trace(&[2, 3]));
+        assert_eq!(t.window(3, 10), trace(&[4]));
+        assert_eq!(t.window(9, 2), trace(&[]));
+    }
+
+    #[test]
+    fn percentiles() {
+        let t = trace(&[1, 2, 3, 4, 100]);
+        assert_eq!(t.size_percentile(0), 1);
+        assert_eq!(t.size_percentile(50), 3);
+        assert_eq!(t.size_percentile(100), 100);
+        assert_eq!(trace(&[]).size_percentile(50), 0);
+    }
+
+    #[test]
+    fn peak_to_mean_of_cbr_is_one() {
+        let t = cbr(50, 7);
+        assert!((t.peak_to_mean() - 1.0).abs() < 1e-12);
+        assert_eq!(trace(&[]).peak_to_mean(), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_detects_burst_structure() {
+        // The MPEG source correlates strongly at GOP-period lags (the
+        // same frame kind under the same scene activity), while lag-1
+        // correlation is diluted by the I/B/P size alternation within a
+        // GOP; constants are 0 by convention.
+        let mpeg = MpegSource::new(MpegConfig::cnn_like(), 4).frames(3000);
+        let gop = MpegConfig::cnn_like().gop.len();
+        assert!(
+            mpeg.autocorrelation(gop) > 0.5,
+            "gop-lag correlation {}",
+            mpeg.autocorrelation(gop)
+        );
+        assert!(
+            mpeg.autocorrelation(gop) > mpeg.autocorrelation(1),
+            "GOP-period correlation should dominate lag-1"
+        );
+        let flat = cbr(100, 5);
+        assert_eq!(flat.autocorrelation(1), 0.0);
+        let alternating = trace(&[1, 9].repeat(200));
+        assert!(alternating.autocorrelation(1) < -0.8);
+        assert!(alternating.autocorrelation(2) > 0.8);
+    }
+
+    #[test]
+    fn autocorrelation_degenerate_inputs() {
+        assert_eq!(trace(&[]).autocorrelation(1), 0.0);
+        assert_eq!(trace(&[5]).autocorrelation(1), 0.0);
+        assert_eq!(trace(&[5, 5]).autocorrelation(5), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Local weight functions (Definition 2.6).
+
+use crate::{Bytes, FrameKind, Weight};
+
+/// A local weight function: assigns a weight to a slice from its kind and
+/// size, independent of all other slices ("local" in the paper's sense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightAssignment {
+    /// Every slice has the same weight; benefit counts slices. With weight
+    /// 1 and unit-size slices this is the unweighted model of Section 3.
+    Uniform(Weight),
+    /// The weight of a slice equals its size, so benefit equals
+    /// throughput (the remark after Definition 2.6).
+    BySize,
+    /// Per-frame-kind weight *per byte* of the slice: a slice of size `n`
+    /// in a kind-`k` frame gets weight `n * per_byte(k)`. With the paper's
+    /// 12 : 8 : 1 values this makes a byte of an I-frame worth 12 whether
+    /// slices are single bytes or whole frames, which is what makes the
+    /// byte-slice and frame-slice experiments of Section 5 comparable.
+    PerKindByte {
+        /// Weight per byte of an I-frame slice.
+        i: Weight,
+        /// Weight per byte of a P-frame slice.
+        p: Weight,
+        /// Weight per byte of a B-frame slice.
+        b: Weight,
+        /// Weight per byte of a [`FrameKind::Generic`] slice.
+        generic: Weight,
+    },
+}
+
+impl WeightAssignment {
+    /// The paper's Section 5 assignment: 12 : 8 : 1 per byte for I : P : B.
+    pub const MPEG_12_8_1: WeightAssignment = WeightAssignment::PerKindByte {
+        i: 12,
+        p: 8,
+        b: 1,
+        generic: 1,
+    };
+
+    /// Weight assigned to a slice of the given kind and size.
+    pub fn weight_of(&self, kind: FrameKind, size: Bytes) -> Weight {
+        match *self {
+            WeightAssignment::Uniform(w) => w,
+            WeightAssignment::BySize => size,
+            WeightAssignment::PerKindByte { i, p, b, generic } => {
+                let per_byte = match kind {
+                    FrameKind::I => i,
+                    FrameKind::P => p,
+                    FrameKind::B => b,
+                    FrameKind::Generic => generic,
+                };
+                per_byte.saturating_mul(size)
+            }
+        }
+    }
+
+    /// Weight per byte (the byte value every slice of this kind gets,
+    /// regardless of slicing granularity), as an exact pair `(num, den)`.
+    pub fn byte_value_of(&self, kind: FrameKind, size: Bytes) -> (Weight, Bytes) {
+        (self.weight_of(kind, size), size)
+    }
+}
+
+impl Default for WeightAssignment {
+    /// Defaults to the unweighted model (`Uniform(1)`).
+    fn default() -> Self {
+        WeightAssignment::Uniform(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ignores_kind_and_size() {
+        let w = WeightAssignment::Uniform(5);
+        assert_eq!(w.weight_of(FrameKind::I, 100), 5);
+        assert_eq!(w.weight_of(FrameKind::B, 1), 5);
+    }
+
+    #[test]
+    fn by_size_equals_size() {
+        let w = WeightAssignment::BySize;
+        assert_eq!(w.weight_of(FrameKind::P, 37), 37);
+    }
+
+    #[test]
+    fn mpeg_12_8_1_scales_with_size() {
+        let w = WeightAssignment::MPEG_12_8_1;
+        assert_eq!(w.weight_of(FrameKind::I, 1), 12);
+        assert_eq!(w.weight_of(FrameKind::I, 10), 120);
+        assert_eq!(w.weight_of(FrameKind::P, 3), 24);
+        assert_eq!(w.weight_of(FrameKind::B, 9), 9);
+        assert_eq!(w.weight_of(FrameKind::Generic, 2), 2);
+    }
+
+    #[test]
+    fn byte_value_is_granularity_invariant() {
+        // A byte of an I frame is worth 12 whether the slice is 1 byte or
+        // a whole 50-byte frame: w/s is 12/1 == 600/50.
+        let w = WeightAssignment::MPEG_12_8_1;
+        let (w1, s1) = w.byte_value_of(FrameKind::I, 1);
+        let (w2, s2) = w.byte_value_of(FrameKind::I, 50);
+        assert_eq!(w1 as u128 * s2 as u128, w2 as u128 * s1 as u128);
+    }
+
+    #[test]
+    fn default_is_unweighted() {
+        assert_eq!(WeightAssignment::default(), WeightAssignment::Uniform(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! Crate-local property tests for the stream model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rts_stream::gen::{markov_onoff, MarkovOnOffConfig};
+use rts_stream::rng::SplitMix64;
+use rts_stream::slicing::{FrameSizeTrace, Slicing};
+use rts_stream::weight::WeightAssignment;
+use rts_stream::{merge, textio, FrameKind, InputStream, SliceSpec};
+
+fn trace_strategy() -> impl Strategy<Value = FrameSizeTrace> {
+    vec(0u64..200, 0..40).prop_map(|sizes| {
+        FrameSizeTrace::new(sizes.into_iter().map(|s| (FrameKind::Generic, s)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every slicing policy partitions the frame exactly.
+    #[test]
+    fn slicing_partitions_exactly(size in 0u64..500, chunk in 1u64..64) {
+        for slicing in [Slicing::PerByte, Slicing::WholeFrame, Slicing::Chunks(chunk)] {
+            let parts = slicing.split(size);
+            prop_assert_eq!(parts.iter().sum::<u64>(), size);
+            prop_assert!(parts.iter().all(|&p| p >= 1));
+            if let Slicing::Chunks(c) = slicing {
+                prop_assert!(parts.iter().all(|&p| p <= c));
+            }
+        }
+    }
+
+    /// Materializing preserves total bytes at every granularity, and
+    /// per-kind-byte weights make total weight granularity-invariant.
+    #[test]
+    fn materialize_invariants(trace in trace_strategy(), chunk in 1u64..32) {
+        let w = WeightAssignment::MPEG_12_8_1;
+        let a = trace.materialize(Slicing::PerByte, w);
+        let b = trace.materialize(Slicing::WholeFrame, w);
+        let c = trace.materialize(Slicing::Chunks(chunk), w);
+        prop_assert_eq!(a.total_bytes(), trace.total_bytes());
+        prop_assert_eq!(b.total_bytes(), trace.total_bytes());
+        prop_assert_eq!(c.total_bytes(), trace.total_bytes());
+        prop_assert_eq!(a.total_weight(), b.total_weight());
+        prop_assert_eq!(a.total_weight(), c.total_weight());
+    }
+
+    /// Trace transforms compose sanely.
+    #[test]
+    fn transforms_preserve_counts(trace in trace_strategy(), times in 0usize..4) {
+        let repeated = trace.repeated(times);
+        prop_assert_eq!(repeated.len(), trace.len() * times);
+        prop_assert_eq!(repeated.total_bytes(), trace.total_bytes() * times as u64);
+        let windowed = trace.window(1, 5);
+        prop_assert!(windowed.len() <= 5);
+        let doubled = trace.scaled(2, 1);
+        prop_assert_eq!(doubled.total_bytes(), trace.total_bytes() * 2);
+    }
+
+    /// Merging preserves bytes, weight, and per-origin slice counts.
+    #[test]
+    fn merge_preserves_everything(
+        a in trace_strategy(),
+        b in trace_strategy(),
+    ) {
+        let sa = a.materialize(Slicing::WholeFrame, WeightAssignment::BySize);
+        let sb = b.materialize(Slicing::WholeFrame, WeightAssignment::BySize);
+        let m = merge(&[sa.clone(), sb.clone()]);
+        prop_assert_eq!(m.stream.total_bytes(), sa.total_bytes() + sb.total_bytes());
+        prop_assert_eq!(m.stream.total_weight(), sa.total_weight() + sb.total_weight());
+        let from_a = m.origin.iter().filter(|&&o| o == 0).count();
+        prop_assert_eq!(from_a, sa.slice_count());
+    }
+
+    /// Both text formats round-trip arbitrary content.
+    #[test]
+    fn both_text_formats_roundtrip(trace in trace_strategy()) {
+        let sizes_text = textio::write_frame_sizes(&trace);
+        prop_assert_eq!(&textio::parse_frame_sizes(&sizes_text).unwrap(), &trace);
+        let stream = trace.materialize(Slicing::Chunks(7), WeightAssignment::MPEG_12_8_1);
+        let stream_text = textio::write_stream(&stream);
+        prop_assert_eq!(textio::parse_stream(&stream_text).unwrap(), stream);
+    }
+
+    /// SplitMix64 ranges are honest for arbitrary bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = SplitMix64::new(seed);
+        let hi = lo + span;
+        for _ in 0..32 {
+            let v = rng.range_u64(lo, hi);
+            prop_assert!((lo..=hi).contains(&v));
+        }
+    }
+
+    /// The Markov source only emits its two configured sizes and is
+    /// reproducible.
+    #[test]
+    fn markov_emits_two_sizes(seed in any::<u64>(), n in 1usize..200) {
+        let cfg = MarkovOnOffConfig {
+            on_size: 9,
+            off_size: 2,
+            p_on_to_off: 0.2,
+            p_off_to_on: 0.1,
+        };
+        let t1 = markov_onoff(cfg, n, seed);
+        let t2 = markov_onoff(cfg, n, seed);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert!(t1.frames().iter().all(|&(_, s)| s == 9 || s == 2));
+    }
+
+    /// Builder ids are dense and ordered for arbitrary frame shapes.
+    #[test]
+    fn builder_ids_dense(frames in vec(vec((1u64..5, 0u64..9), 0..5), 0..10)) {
+        let stream = InputStream::from_frames(frames.iter().map(|f| {
+            f.iter()
+                .map(|&(s, w)| SliceSpec::new(s, w, FrameKind::Generic))
+                .collect::<Vec<_>>()
+        }));
+        for (i, s) in stream.slices().enumerate() {
+            prop_assert_eq!(s.id.index(), i);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Multiplexing: smoothing composes with statistical multiplexing.
+//!
+//! ```sh
+//! cargo run --release --example multiplexing
+//! ```
+//!
+//! A network operator carries several independent live feeds. The
+//! paper's introduction lists statistical multiplexing and smoothing as
+//! separate answers to variable bit rates; this example measures what
+//! happens when they are combined: the aggregate of `K` streams is much
+//! smoother than its parts, so one shared smoothed link needs less
+//! capacity than `K` individually smoothed links — and the generic
+//! algorithm plus Greedy runs on the merged stream unchanged.
+
+use realtime_smoothing::{
+    optimal_unit_benefit, simulate, GreedyByteValue, MpegConfig, MpegSource, SimConfig, Slicing,
+    SmoothingParams, WeightAssignment,
+};
+use rts_offline::min_lossless_rate;
+use rts_stream::{merge, InputStream};
+
+fn main() {
+    let k = 4;
+    let delay = 12;
+    let streams: Vec<InputStream> = (0..k)
+        .map(|i| {
+            MpegSource::new(MpegConfig::cnn_like(), 500 + i)
+                .frames(600)
+                .materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1)
+        })
+        .collect();
+    let merged = merge(&streams);
+
+    println!("{k} independent MPEG-like feeds, delay budget D = {delay}\n");
+    let mut separate_total = 0;
+    for (i, s) in streams.iter().enumerate() {
+        let r = min_lossless_rate(s, delay);
+        println!(
+            "  feed {i}: avg {:.1} KB/frame, lossless rate {r}",
+            s.stats().average_rate
+        );
+        separate_total += r;
+    }
+    let shared = min_lossless_rate(&merged.stream, delay);
+    println!("\nseparate links total: {separate_total} KB/frame-time");
+    println!("one shared link:      {shared} KB/frame-time");
+    println!(
+        "multiplexing gain:    {:.2}x",
+        separate_total as f64 / shared as f64
+    );
+
+    // Run the shared link slightly under-provisioned and see who pays:
+    // Greedy on the merged stream protects every feed's I/P frames.
+    let tight = (shared as f64 * 0.95) as u64;
+    let params = SmoothingParams::balanced_from_rate_delay(tight, delay, 2);
+    let report = simulate(
+        &merged.stream,
+        SimConfig::new(params),
+        GreedyByteValue::new(),
+    );
+    let opt = optimal_unit_benefit(&merged.stream, params.buffer, tight).expect("unit slices");
+    println!(
+        "\nshared link at 95% ({tight}): weighted loss {:.2}% (offline optimal {:.2}%)",
+        report.metrics.weighted_loss() * 100.0,
+        (1.0 - opt as f64 / merged.stream.total_weight() as f64) * 100.0
+    );
+
+    // Per-feed fairness: how much weight did each feed deliver?
+    let mut delivered = vec![0u64; k as usize];
+    let mut offered = vec![0u64; k as usize];
+    for rec in report.record.slices() {
+        let feed = merged.origin_of(rec.slice.id);
+        offered[feed] += rec.slice.weight;
+        if rec.fate.expect("resolved").is_played() {
+            delivered[feed] += rec.slice.weight;
+        }
+    }
+    println!("\nper-feed delivery under the shared link:");
+    for i in 0..k as usize {
+        println!(
+            "  feed {i}: {:.2}% of weight",
+            delivered[i] as f64 / offered[i] as f64 * 100.0
+        );
+    }
+    println!("\nThe shared buffer spreads the pain: no feed is starved, and the");
+    println!("loss lands on B frames across all feeds (Greedy's byte values are");
+    println!("comparable across streams because the 12:8:1 weighting is shared).");
+}

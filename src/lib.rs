@@ -1,0 +1,72 @@
+//! # realtime-smoothing
+//!
+//! A complete implementation of Mansour, Patt-Shamir and Lapid,
+//! *"Optimal smoothing schedules for real-time streams"* (PODC 2000 /
+//! Distributed Computing 2004): lossy smoothing of variable-bit-rate
+//! real-time streams over a constant-rate lossless FIFO link.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! * [`stream`] ([`rts_stream`]) — the input-stream model, synthetic
+//!   MPEG-like trace generators, and trace I/O;
+//! * [`core`] ([`rts_core`]) — the generic smoothing algorithm, drop
+//!   policies (Tail-Drop, Greedy, …), the `B = R·D` tradeoff, and the
+//!   competitive bounds;
+//! * [`sim`] ([`rts_sim`]) — the end-to-end slotted-time simulator with
+//!   schedule recording and validation;
+//! * [`offline`] ([`rts_offline`]) — exact offline optima (min-cost
+//!   flow, occupancy DP, brute force).
+//!
+//! The most common items are re-exported at the top level.
+//!
+//! # Quick start
+//!
+//! Smooth a synthetic MPEG-like stream over a link at 1.1× its average
+//! rate, with 4 steps of smoothing delay, comparing Greedy to Tail-Drop:
+//!
+//! ```
+//! use realtime_smoothing::{
+//!     simulate, GreedyByteValue, MpegConfig, MpegSource, SimConfig, Slicing,
+//!     SmoothingParams, TailDrop, WeightAssignment,
+//! };
+//!
+//! let trace = MpegSource::new(MpegConfig::cnn_like(), 42).frames(300);
+//! let stream = trace.materialize(Slicing::WholeFrame, WeightAssignment::MPEG_12_8_1);
+//!
+//! let rate = stream.stats().rate_at(1.1);
+//! let params = SmoothingParams::balanced_from_rate_delay(rate, 4, 2);
+//!
+//! let greedy = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
+//! let tail = simulate(&stream, SimConfig::new(params), TailDrop::new());
+//! assert!(greedy.metrics.weighted_loss() <= tail.metrics.weighted_loss());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rts_core as core;
+pub use rts_offline as offline;
+pub use rts_sim as sim;
+pub use rts_stream as stream;
+
+pub use rts_core::bounds;
+pub use rts_core::policy::{
+    DropPolicy, EarlyValueDrop, GreedyByteValue, GreedyRescan, HeadDrop, PlannedDrops, RandomDrop,
+    TailDrop,
+};
+pub use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
+pub use rts_core::{Client, Server};
+pub use rts_offline::{
+    min_lossless_delay, min_lossless_rate, optimal_brute_force, optimal_frame_benefit,
+    optimal_frame_plan, optimal_mixed_benefit, optimal_mixed_plan, optimal_unit_benefit,
+    optimal_unit_plan, optimal_unit_throughput, peak_rate,
+};
+pub use rts_sim::{
+    parallel_map, run_server_only, simulate, simulate_tandem, simulate_with_link, validate,
+    HopConfig, JitterControl, JitteredLink, Metrics, SimConfig, SimReport,
+};
+pub use rts_stream::gen::{markov_onoff, MarkovOnOffConfig, MpegConfig, MpegSource};
+pub use rts_stream::merge;
+pub use rts_stream::slicing::{FrameSizeTrace, Slicing};
+pub use rts_stream::weight::WeightAssignment;
+pub use rts_stream::{Frame, FrameKind, InputStream, Slice, SliceId, SliceSpec, StreamStats};

@@ -1,0 +1,166 @@
+//! Integration tests for Section 4: competitive guarantees of the
+//! greedy policy and the lower-bound constructions.
+
+use realtime_smoothing::{optimal_unit_benefit, GreedyByteValue, InputStream, SliceSpec, TailDrop};
+use rts_core::bounds;
+use rts_offline::optimal_brute_force;
+use rts_sim::run_server_only;
+use rts_stream::gen::{greedy_lower_bound_stream, two_scenario_adversary, Scenario};
+use rts_stream::rng::SplitMix64;
+use rts_stream::FrameKind;
+
+fn random_weighted_unit_stream(
+    rng: &mut SplitMix64,
+    steps: usize,
+    max_per_step: u64,
+) -> InputStream {
+    InputStream::from_frames((0..steps).map(|_| {
+        let n = rng.range_u64(0, max_per_step) as usize;
+        (0..n)
+            .map(|_| SliceSpec::new(1, rng.range_u64(1, 100), FrameKind::Generic))
+            .collect::<Vec<_>>()
+    }))
+}
+
+#[test]
+fn theorem_4_1_greedy_is_4_competitive_on_random_unit_streams() {
+    let mut rng = SplitMix64::new(41);
+    for trial in 0..80 {
+        let stream = random_weighted_unit_stream(&mut rng, 25, 8);
+        let b = rng.range_u64(1, 8);
+        let r = rng.range_u64(1, 3);
+        let greedy = run_server_only(&stream, b, r, GreedyByteValue::new()).benefit;
+        let opt = optimal_unit_benefit(&stream, b, r).expect("unit slices");
+        assert!(
+            opt <= 4 * greedy.max(1) || (opt == 0),
+            "trial {trial}: opt {opt} > 4x greedy {greedy} (B={b}, R={r})"
+        );
+    }
+}
+
+#[test]
+fn theorem_4_1_variable_sizes_within_refined_bound() {
+    // Competitive ratio <= 4B/(B - 2(Lmax - 1)) for slices up to Lmax,
+    // verified against the brute-force optimum on small instances.
+    let mut rng = SplitMix64::new(42);
+    for trial in 0..60 {
+        let lmax = rng.range_u64(1, 3);
+        let stream = InputStream::from_frames((0..5).map(|_| {
+            let n = rng.range_u64(0, 3) as usize;
+            (0..n)
+                .map(|_| {
+                    SliceSpec::new(
+                        rng.range_u64(1, lmax),
+                        rng.range_u64(1, 60),
+                        FrameKind::Generic,
+                    )
+                })
+                .collect::<Vec<_>>()
+        }));
+        if stream.slice_count() > 13 {
+            continue;
+        }
+        let b = rng.range_u64(2 * lmax, 2 * lmax + 4); // keep the bound non-vacuous
+        let r = rng.range_u64(1, 3);
+        let Some((num, den)) = bounds::greedy_upper_bound(b, lmax) else {
+            continue;
+        };
+        let greedy = run_server_only(&stream, b, r, GreedyByteValue::new()).benefit;
+        let opt = optimal_brute_force(&stream, b, r);
+        // opt/greedy <= num/den <=> opt*den <= greedy*num.
+        assert!(
+            opt as u128 * den as u128 <= (greedy as u128).max(1) * num as u128,
+            "trial {trial}: opt {opt} vs greedy {greedy}, bound {num}/{den} \
+             (B={b}, R={r}, Lmax={lmax})"
+        );
+    }
+}
+
+#[test]
+fn theorem_4_7_measured_ratio_matches_closed_form_exactly() {
+    for (b, alpha) in [(5u64, 3u64), (20, 7), (50, 12), (200, 40)] {
+        let stream = greedy_lower_bound_stream(b, 1, alpha);
+        let greedy = run_server_only(&stream, b, 1, GreedyByteValue::new()).benefit;
+        let opt = optimal_unit_benefit(&stream, b, 1).expect("unit slices");
+        // Greedy keeps everything until the burst: (B+1)(1 + alpha).
+        assert_eq!(greedy, (b + 1) * (1 + alpha), "greedy closed form, b={b}");
+        // Optimal: one light slice plus all 2B+1 heavy ones.
+        assert_eq!(opt, 1 + alpha * (2 * b + 1), "optimal closed form, b={b}");
+        let measured = opt as f64 / greedy as f64;
+        let formula = bounds::greedy_lower_bound(alpha as f64, b);
+        assert!(
+            (measured - formula).abs() < 1e-12,
+            "b={b}: measured {measured} vs formula {formula}"
+        );
+    }
+}
+
+#[test]
+fn theorem_4_7_ratio_approaches_two() {
+    let stream = greedy_lower_bound_stream(2000, 1, 1000);
+    let greedy = run_server_only(&stream, 2000, 1, GreedyByteValue::new()).benefit;
+    let opt = optimal_unit_benefit(&stream, 2000, 1).expect("unit slices");
+    let ratio = opt as f64 / greedy as f64;
+    assert!(ratio > 1.99, "ratio {ratio} should approach 2");
+    assert!(ratio < 2.0, "the greedy lower bound never reaches 2");
+}
+
+#[test]
+fn theorem_4_8_adversary_beats_greedy_beyond_the_universal_bound() {
+    let b = 300;
+    let universal = bounds::deterministic_lower_bound(2.0); // ~1.2287
+    let mut worst: f64 = 1.0;
+    for scenario in [Scenario::EndAtT1, Scenario::BurstAfterT1] {
+        let stream = two_scenario_adversary(b, b, 1, 2, scenario);
+        let greedy = run_server_only(&stream, b, 1, GreedyByteValue::new()).benefit;
+        let opt = optimal_unit_benefit(&stream, b, 1).expect("unit slices");
+        worst = worst.max(opt as f64 / greedy as f64);
+    }
+    assert!(
+        worst >= universal - 1e-9,
+        "the adversary should extract at least the universal bound from \
+         any deterministic algorithm; got {worst} vs {universal}"
+    );
+}
+
+#[test]
+fn greedy_dominates_taildrop_on_value_skewed_streams() {
+    // Not a theorem, but the paper's empirical claim (Section 5):
+    // when weights are skewed, Greedy's benefit is never below
+    // Tail-Drop's on these workloads.
+    let mut rng = SplitMix64::new(55);
+    for _ in 0..30 {
+        let stream = InputStream::from_frames((0..30).map(|_| {
+            let n = rng.range_u64(0, 6) as usize;
+            (0..n)
+                .map(|_| {
+                    let heavy = rng.chance(0.2);
+                    SliceSpec::new(1, if heavy { 50 } else { 1 }, FrameKind::Generic)
+                })
+                .collect::<Vec<_>>()
+        }));
+        let b = rng.range_u64(1, 6);
+        let greedy = run_server_only(&stream, b, 1, GreedyByteValue::new()).benefit;
+        let tail = run_server_only(&stream, b, 1, TailDrop::new()).benefit;
+        assert!(
+            greedy >= tail,
+            "greedy {greedy} below tail-drop {tail} (B={b})"
+        );
+    }
+}
+
+#[test]
+fn bounds_are_internally_consistent() {
+    // The greedy lower bound never exceeds the upper bound.
+    for b in [3u64, 10, 100, 1000] {
+        for alpha in [1.5, 2.0, 10.0, 1000.0] {
+            let lower = bounds::greedy_lower_bound(alpha, b);
+            let (num, den) = bounds::greedy_upper_bound(b, 1).expect("unit");
+            assert!(lower <= num as f64 / den as f64 + 1e-12);
+        }
+    }
+    // The universal deterministic bound is below the greedy-specific one
+    // in the limit (1.28 < 2).
+    let (_, best) = bounds::best_deterministic_lower_bound();
+    assert!(best < bounds::greedy_lower_bound(1e9, 1_000_000_000));
+}

@@ -1,0 +1,167 @@
+//! Edge-case coverage for the full pipeline: degenerate parameters and
+//! pathological streams must produce valid (if lossy) schedules, never
+//! panics or stuck loops.
+
+use realtime_smoothing::{
+    simulate, validate, GreedyByteValue, InputStream, SimConfig, SliceSpec, SmoothingParams,
+    TailDrop,
+};
+use rts_sim::run_server_only;
+use rts_stream::FrameKind;
+
+fn params(buffer: u64, rate: u64, delay: u64, link_delay: u64) -> SimConfig {
+    SimConfig::new(SmoothingParams {
+        buffer,
+        rate,
+        delay,
+        link_delay,
+    })
+}
+
+#[test]
+fn zero_delay_zero_link_delay_is_cut_through() {
+    // D = 0, P = 0: a slice plays in the very step it arrives, if the
+    // link can carry it whole that step.
+    let stream = InputStream::from_frames(vec![vec![SliceSpec::unit(); 2]; 5]);
+    let report = simulate(&stream, params(0, 2, 0, 0), TailDrop::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 10);
+    for (rec, playout) in report.record.played() {
+        assert_eq!(playout, rec.slice.arrival);
+    }
+}
+
+#[test]
+fn zero_delay_with_multi_byte_slices_loses_them() {
+    // A 2-byte slice cannot complete by its own arrival step at R = 1:
+    // with D = 0 it always misses the deadline.
+    let stream = InputStream::from_frames([[SliceSpec::new(2, 2, FrameKind::Generic)]]);
+    let report = simulate(&stream, params(4, 1, 0, 0), TailDrop::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 0);
+    assert_eq!(report.metrics.client_dropped_slices, 1);
+}
+
+#[test]
+fn zero_client_capacity_only_plays_same_step_arrivals() {
+    // Bc = 0: anything that must wait at the client dies; data that
+    // arrives exactly at its deadline still plays (it never occupies
+    // the buffer between steps).
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 4], vec![], vec![], vec![]]);
+    let config = SimConfig {
+        params: SmoothingParams {
+            buffer: 4,
+            rate: 1,
+            delay: 3,
+            link_delay: 0,
+        },
+        client_capacity: Some(0),
+    };
+    let report = simulate(&stream, config, TailDrop::new());
+    validate(&report).unwrap();
+    // The slice sent at t=3 arrives exactly at the frame-0 deadline.
+    assert_eq!(report.metrics.played_bytes, 1, "{:?}", report.metrics);
+}
+
+#[test]
+fn very_large_link_delay() {
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 3]]);
+    let report = simulate(&stream, params(3, 1, 3, 1000), TailDrop::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 3);
+    for (_, playout) in report.record.played() {
+        assert_eq!(playout, 1003);
+    }
+}
+
+#[test]
+fn stream_of_only_empty_frames() {
+    let stream = InputStream::from_frames(vec![Vec::<SliceSpec>::new(); 20]);
+    let report = simulate(&stream, params(4, 2, 2, 1), GreedyByteValue::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.offered_bytes, 0);
+    assert_eq!(report.metrics.played_bytes, 0);
+}
+
+#[test]
+fn giant_slice_straddles_many_steps() {
+    // One 100-byte slice at R = 3 takes 34 steps; balanced params make
+    // it play on time.
+    let mut b = InputStream::builder();
+    b.frame(0, [SliceSpec::new(100, 1000, FrameKind::I)]);
+    let stream = b.build();
+    let p = SmoothingParams::balanced_from_buffer_rate(100, 3, 0);
+    let report = simulate(&stream, SimConfig::new(p), TailDrop::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 100);
+    assert_eq!(report.metrics.benefit, 1000);
+}
+
+#[test]
+fn zero_weight_streams_have_zero_benefit_but_full_throughput() {
+    let stream = InputStream::from_frames([vec![
+        SliceSpec::new(1, 0, FrameKind::B),
+        SliceSpec::new(1, 0, FrameKind::B),
+    ]]);
+    let run = run_server_only(&stream, 2, 2, GreedyByteValue::new());
+    assert_eq!(run.benefit, 0);
+    assert_eq!(run.throughput, 2);
+    assert_eq!(run.weighted_loss(), 0.0, "nothing of value was lost");
+}
+
+#[test]
+fn arrivals_long_after_silence() {
+    let mut b = InputStream::builder();
+    b.frame(0, [SliceSpec::unit()]);
+    b.frame(10_000, [SliceSpec::unit()]);
+    let stream = b.build();
+    let report = simulate(&stream, params(2, 1, 2, 1), TailDrop::new());
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 2);
+}
+
+#[test]
+fn heavily_overloaded_stream_keeps_exactly_capacity() {
+    // 1000 slices at once into B = 3, R = 2: exactly B + R*drain
+    // survive... i.e. 3 stored + 2 sent per step while draining: total
+    // kept = 2 (step 0) + 3 stored = 5.
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 1000]]);
+    let run = run_server_only(&stream, 3, 2, TailDrop::new());
+    assert_eq!(run.throughput, 5);
+    assert_eq!(run.dropped_slices, 995);
+}
+
+#[test]
+fn alternating_feast_and_famine() {
+    let stream = InputStream::from_frames(
+        (0..40)
+            .map(|t| {
+                if t % 2 == 0 {
+                    vec![SliceSpec::unit(); 6]
+                } else {
+                    vec![]
+                }
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Average rate 3; R = 3 with B = 3 loses nothing (burst 6 = B + R).
+    let report = simulate(
+        &stream,
+        SimConfig::new(SmoothingParams::balanced_from_rate_delay(3, 1, 0)),
+        TailDrop::new(),
+    );
+    validate(&report).unwrap();
+    assert_eq!(report.metrics.played_bytes, 120);
+}
+
+#[test]
+fn weights_at_u64_extremes_do_not_overflow_comparisons() {
+    let stream = InputStream::from_frames([vec![
+        SliceSpec::new(1, u64::MAX / 4, FrameKind::I),
+        SliceSpec::new(1, 1, FrameKind::B),
+        SliceSpec::new(1, u64::MAX / 4, FrameKind::I),
+    ]]);
+    let run = run_server_only(&stream, 1, 1, GreedyByteValue::new());
+    assert_eq!(run.benefit, u64::MAX / 4 * 2);
+    assert_eq!(run.dropped_slices, 1);
+}

@@ -1,0 +1,187 @@
+//! Links with positive jitter (the paper's Section 6 open problem),
+//! made executable: jitter control restores every Section 3 guarantee
+//! at a quantifiable cost in delay and buffer space.
+
+use realtime_smoothing::{
+    simulate, GreedyByteValue, InputStream, SimConfig, SliceSpec, SmoothingParams, TailDrop,
+};
+use rts_core::ClientDropReason;
+use rts_sim::{simulate_with_link, JitterControl, JitteredLink};
+use rts_stream::gen::{MpegConfig, MpegSource};
+use rts_stream::rng::SplitMix64;
+use rts_stream::slicing::Slicing;
+use rts_stream::weight::WeightAssignment;
+use rts_stream::FrameKind;
+
+fn random_stream(rng: &mut SplitMix64, steps: usize) -> InputStream {
+    InputStream::from_frames((0..steps).map(|_| {
+        let n = rng.range_u64(0, 5) as usize;
+        (0..n)
+            .map(|_| SliceSpec::new(1, rng.range_u64(1, 20), FrameKind::Generic))
+            .collect::<Vec<_>>()
+    }))
+}
+
+#[test]
+fn controlled_jitter_is_identical_to_constant_delay_p_plus_jmax() {
+    let mut rng = SplitMix64::new(600);
+    for trial in 0..20 {
+        let stream = random_stream(&mut rng, 25);
+        let (p, jmax) = (rng.range_u64(0, 3), rng.range_u64(0, 5));
+        let rate = rng.range_u64(1, 4);
+        let delay = rng.range_u64(1, 5);
+
+        // Controlled jittered run: the client plans for P' = P + Jmax.
+        let params_ctl = SmoothingParams {
+            buffer: rate * delay,
+            rate,
+            delay,
+            link_delay: p + jmax,
+        };
+        let jittered = simulate_with_link(
+            &stream,
+            SimConfig::new(params_ctl),
+            JitteredLink::new(p, jmax, JitterControl::Absorb, trial),
+            TailDrop::new(),
+        );
+
+        // Reference: a genuinely constant link at P'.
+        let constant = simulate(&stream, SimConfig::new(params_ctl), TailDrop::new());
+
+        assert_eq!(
+            jittered.metrics.benefit, constant.metrics.benefit,
+            "trial {trial}"
+        );
+        assert_eq!(
+            jittered.metrics.played_bytes, constant.metrics.played_bytes,
+            "trial {trial}"
+        );
+        assert_eq!(jittered.metrics.client_dropped_slices, 0, "trial {trial}");
+        // Identical playout times slice by slice.
+        for (a, b) in jittered.record.played().zip(constant.record.played()) {
+            assert_eq!(a.0.slice.id, b.0.slice.id);
+            assert_eq!(a.1, b.1, "trial {trial}: playout diverged");
+        }
+    }
+}
+
+#[test]
+fn uncontrolled_jitter_with_optimistic_client_loses_late_data() {
+    // The client assumes the base delay P; the network adds up to Jmax.
+    let stream = InputStream::from_frames(vec![vec![SliceSpec::unit(); 2]; 40]);
+    let params = SmoothingParams {
+        buffer: 4,
+        rate: 2,
+        delay: 2,
+        link_delay: 1, // optimistic: true delay is 1..=1+jmax
+    };
+    let report = simulate_with_link(
+        &stream,
+        SimConfig::new(params),
+        JitteredLink::new(1, 4, JitterControl::None, 99),
+        TailDrop::new(),
+    );
+    let late = report
+        .metrics
+        .client_drop_reasons
+        .get(&ClientDropReason::Late)
+        .copied()
+        .unwrap_or(0)
+        + report
+            .metrics
+            .client_drop_reasons
+            .get(&ClientDropReason::Incomplete)
+            .copied()
+            .unwrap_or(0);
+    assert!(
+        late > 0,
+        "optimistic client should lose late chunks: {:?}",
+        report.metrics.client_drop_reasons
+    );
+}
+
+#[test]
+fn budgeting_the_full_jitter_bound_restores_losslessness() {
+    // Same jittery network, but the client budgets P' = P + Jmax (and
+    // the smoothing delay rides on top): no loss, exactly as the
+    // paper's "justified by jitter control algorithms" remark claims.
+    let stream = InputStream::from_frames(vec![vec![SliceSpec::unit(); 2]; 40]);
+    let params = SmoothingParams {
+        buffer: 4,
+        rate: 2,
+        delay: 2,
+        link_delay: 5, // P + Jmax = 1 + 4
+    };
+    let report = simulate_with_link(
+        &stream,
+        SimConfig::new(params),
+        JitteredLink::new(1, 4, JitterControl::Absorb, 99),
+        TailDrop::new(),
+    );
+    assert_eq!(report.metrics.client_dropped_slices, 0);
+    assert_eq!(report.metrics.played_bytes, 80);
+}
+
+#[test]
+fn jitter_control_buffer_cost_is_at_most_r_times_jmax() {
+    // The absorbed chunks wait on the "link side", but the client-side
+    // cost shows up as extra occupancy headroom needed when the client
+    // *also* budgets the delay: client occupancy stays within B even
+    // with the larger P', i.e. the extra space lives in the re-timing
+    // stage whose depth is at most R * Jmax bytes beyond the constant
+    // link's pipe content.
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 5).frames(150);
+    let stream = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+    let rate = stream.stats().rate_at(1.0);
+    let (p, jmax) = (2, 6);
+    let params = SmoothingParams::balanced_from_rate_delay(rate, 5, p + jmax);
+    let jittered = simulate_with_link(
+        &stream,
+        SimConfig::new(params),
+        JitteredLink::new(p, jmax, JitterControl::Absorb, 3),
+        GreedyByteValue::new(),
+    );
+    let baseline = simulate(
+        &stream,
+        SimConfig::new(SmoothingParams::balanced_from_rate_delay(rate, 5, p)),
+        GreedyByteValue::new(),
+    );
+    // Same benefit either way (the server side is identical)...
+    assert_eq!(jittered.metrics.benefit, baseline.metrics.benefit);
+    // ...and the pipe holds at most R * Jmax more than the constant
+    // link's R * P.
+    assert!(
+        jittered.metrics.link_in_flight_max <= baseline.metrics.link_in_flight_max + rate * jmax,
+        "in-flight {} vs baseline {} + R*Jmax {}",
+        jittered.metrics.link_in_flight_max,
+        baseline.metrics.link_in_flight_max,
+        rate * jmax
+    );
+    // Client buffer requirement is unchanged (Lemma 3.4 with P' in
+    // place of P).
+    assert!(jittered.metrics.client_occupancy_max <= params.buffer);
+}
+
+#[test]
+fn loss_grows_with_jitter_for_optimistic_clients() {
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 11).frames(150);
+    let stream = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+    let rate = stream.stats().rate_at(1.0);
+    let params = SmoothingParams::balanced_from_rate_delay(rate, 4, 2);
+    let mut prev_loss = -1.0;
+    for jmax in [0, 2, 4, 8] {
+        let report = simulate_with_link(
+            &stream,
+            SimConfig::new(params),
+            JitteredLink::new(2, jmax, JitterControl::None, 1),
+            GreedyByteValue::new(),
+        );
+        let loss = report.metrics.weighted_loss();
+        assert!(
+            loss >= prev_loss - 0.02,
+            "loss should broadly grow with jitter: {loss} after {prev_loss}"
+        );
+        prev_loss = loss;
+    }
+    assert!(prev_loss > 0.05, "jmax=8 should hurt an optimistic client");
+}

@@ -1,0 +1,113 @@
+//! The lossless closed forms against the actual machinery: the minimal
+//! rate/delay computed analytically must be exactly the threshold at
+//! which the simulated generic algorithm stops losing data.
+
+use realtime_smoothing::{simulate, SimConfig, SmoothingParams, TailDrop};
+use rts_offline::{min_lossless_delay, min_lossless_rate, peak_rate};
+use rts_stream::gen::{MpegConfig, MpegSource};
+use rts_stream::rng::SplitMix64;
+use rts_stream::slicing::Slicing;
+use rts_stream::weight::WeightAssignment;
+use rts_stream::{InputStream, SliceSpec};
+
+fn random_unit_stream(rng: &mut SplitMix64, steps: usize, max_per_step: u64) -> InputStream {
+    InputStream::from_frames((0..steps).map(|_| {
+        let n = rng.range_u64(0, max_per_step) as usize;
+        vec![SliceSpec::unit(); n]
+    }))
+}
+
+fn loss_at(stream: &InputStream, rate: u64, delay: u64) -> u64 {
+    let params = SmoothingParams::balanced_from_rate_delay(rate, delay, 0);
+    let report = simulate(stream, SimConfig::new(params), TailDrop::new());
+    report.metrics.lost_bytes()
+}
+
+#[test]
+fn min_rate_is_exactly_the_lossless_threshold() {
+    let mut rng = SplitMix64::new(700);
+    for trial in 0..25 {
+        let stream = random_unit_stream(&mut rng, 30, 8);
+        if stream.total_bytes() == 0 {
+            continue;
+        }
+        for delay in [0u64, 1, 3, 7] {
+            let r = min_lossless_rate(&stream, delay);
+            assert_eq!(
+                loss_at(&stream, r, delay),
+                0,
+                "trial {trial}: rate {r} at delay {delay} should be lossless"
+            );
+            if r > 1 {
+                assert!(
+                    loss_at(&stream, r - 1, delay) > 0,
+                    "trial {trial}: rate {} at delay {delay} should lose data",
+                    r - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn min_delay_is_exactly_the_lossless_threshold() {
+    let mut rng = SplitMix64::new(701);
+    for trial in 0..25 {
+        let stream = random_unit_stream(&mut rng, 30, 8);
+        if stream.total_bytes() == 0 {
+            continue;
+        }
+        for rate in [1u64, 2, 4] {
+            let d = min_lossless_delay(&stream, rate).expect("finite stream");
+            assert_eq!(
+                loss_at(&stream, rate, d),
+                0,
+                "trial {trial}: delay {d} at rate {rate} should be lossless"
+            );
+            if d > 0 {
+                assert!(
+                    loss_at(&stream, rate, d - 1) > 0,
+                    "trial {trial}: delay {} at rate {rate} should lose data",
+                    d - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_delay_threshold_is_the_peak_rate() {
+    let mut rng = SplitMix64::new(702);
+    let stream = random_unit_stream(&mut rng, 40, 12);
+    assert_eq!(min_lossless_rate(&stream, 0), peak_rate(&stream));
+}
+
+#[test]
+fn mpeg_frontier_validates_against_simulation() {
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 77).frames(200);
+    let stream = trace.materialize(Slicing::PerByte, WeightAssignment::Uniform(1));
+    for delay in [0u64, 2, 8, 24] {
+        let r = min_lossless_rate(&stream, delay);
+        assert_eq!(loss_at(&stream, r, delay), 0, "delay {delay}, rate {r}");
+        assert!(
+            loss_at(&stream, r - 1, delay) > 0,
+            "delay {delay}: rate {} unexpectedly lossless",
+            r - 1
+        );
+    }
+}
+
+#[test]
+fn smoothing_halves_the_peak_within_modest_delay() {
+    // The paper's introductory claim, as an assertion: on MPEG-like
+    // traffic a delay of a dozen frame-times cuts the required rate to
+    // well under half the peak.
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 78).frames(600);
+    let stream = trace.materialize(Slicing::PerByte, WeightAssignment::Uniform(1));
+    let peak = peak_rate(&stream);
+    let smoothed = min_lossless_rate(&stream, 12);
+    assert!(
+        (smoothed as f64) < 0.55 * peak as f64,
+        "rate {smoothed} vs peak {peak}"
+    );
+}

@@ -1,0 +1,192 @@
+//! The single-buffer reduction: with balanced parameters (`B = R·D`,
+//! `Bc = B`) the end-to-end pipeline delivers exactly what the server
+//! alone delivers (Lemmas 3.3/3.4), and the schedule validator accepts
+//! every balanced run. Unbalanced configurations exhibit exactly the
+//! pathologies Section 3.3 predicts.
+
+use realtime_smoothing::{
+    simulate, validate, GreedyByteValue, InputStream, SimConfig, SliceSpec, SmoothingParams,
+    TailDrop, TradeoffClass,
+};
+use rts_core::ClientDropReason;
+use rts_sim::run_server_only;
+use rts_stream::gen::{MpegConfig, MpegSource};
+use rts_stream::rng::SplitMix64;
+use rts_stream::slicing::Slicing;
+use rts_stream::weight::WeightAssignment;
+use rts_stream::FrameKind;
+
+fn random_stream(rng: &mut SplitMix64, steps: usize, lmax: u64) -> InputStream {
+    InputStream::from_frames((0..steps).map(|_| {
+        let n = rng.range_u64(0, 4) as usize;
+        (0..n)
+            .map(|_| {
+                SliceSpec::new(
+                    rng.range_u64(1, lmax),
+                    rng.range_u64(1, 20),
+                    FrameKind::Generic,
+                )
+            })
+            .collect::<Vec<_>>()
+    }))
+}
+
+#[test]
+fn balanced_pipeline_equals_server_only_benefit() {
+    let mut rng = SplitMix64::new(77);
+    for trial in 0..50 {
+        let lmax = rng.range_u64(1, 4);
+        let stream = random_stream(&mut rng, 30, lmax);
+        let rate = rng.range_u64(1, 5);
+        let delay = rng.range_u64(1, 6);
+        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, rng.range_u64(0, 3));
+        if params.buffer < lmax {
+            continue; // oversized slices would be dropped on sight anyway
+        }
+        let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
+        let server = run_server_only(&stream, params.buffer, params.rate, GreedyByteValue::new());
+        assert_eq!(
+            report.metrics.benefit, server.benefit,
+            "trial {trial}: pipeline and single-buffer benefits differ \
+             (B={}, R={rate}, D={delay})",
+            params.buffer
+        );
+        assert_eq!(
+            report.metrics.played_bytes, server.throughput,
+            "trial {trial}"
+        );
+        assert_eq!(report.metrics.client_dropped_slices, 0, "trial {trial}");
+    }
+}
+
+#[test]
+fn balanced_schedules_always_validate() {
+    let mut rng = SplitMix64::new(78);
+    for trial in 0..40 {
+        let stream = random_stream(&mut rng, 25, 3);
+        let params = SmoothingParams::balanced_from_rate_delay(
+            rng.range_u64(1, 5),
+            rng.range_u64(1, 5),
+            rng.range_u64(0, 4),
+        );
+        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        validate(&report).unwrap_or_else(|e| panic!("trial {trial}: {e:?}"));
+    }
+}
+
+#[test]
+fn mpeg_workload_balanced_validation_all_policies() {
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 1234).frames(200);
+    for slicing in [Slicing::PerByte, Slicing::WholeFrame, Slicing::Chunks(16)] {
+        let stream = trace.materialize(slicing, WeightAssignment::MPEG_12_8_1);
+        let rate = stream.stats().rate_at(0.95);
+        let params = SmoothingParams::balanced_from_rate_delay(rate, 6, 2);
+        let greedy = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
+        let tail = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        validate(&greedy).unwrap_or_else(|e| panic!("{slicing:?} greedy: {e:?}"));
+        validate(&tail).unwrap_or_else(|e| panic!("{slicing:?} tail: {e:?}"));
+        assert!(
+            greedy.metrics.benefit >= tail.metrics.benefit,
+            "{slicing:?}"
+        );
+    }
+}
+
+#[test]
+fn section_3_3_delay_below_b_over_r_causes_underflow() {
+    // B = 8, R = 1, D = 2 < B/R: bytes can be held up to 8 steps at the
+    // server, so some must miss their deadline.
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 8]]);
+    let params = SmoothingParams {
+        buffer: 8,
+        rate: 1,
+        delay: 2,
+        link_delay: 0,
+    };
+    assert_eq!(
+        params.classify(),
+        TradeoffClass::ExcessBuffer { reducible_to: 2 },
+        "B = 8 exceeds R*D = 2: only 2 bytes of buffer are usable in time"
+    );
+    let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+    let late = report
+        .metrics
+        .client_drop_reasons
+        .get(&ClientDropReason::Late)
+        .copied()
+        .unwrap_or(0);
+    // Slices sent at steps 3..7 arrive after their deadline (t = 2).
+    assert_eq!(late, 5, "{:?}", report.metrics.client_drop_reasons);
+    assert_eq!(report.metrics.played_bytes, 3);
+}
+
+#[test]
+fn section_3_3_excess_buffer_turns_into_late_losses() {
+    // B > R*D: the generic server holds data longer than the deadline
+    // allows — the Section 3.3 advice is to shrink B to R*D.
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 12]]);
+    let balanced = SmoothingParams {
+        buffer: 4,
+        rate: 1,
+        delay: 4,
+        link_delay: 0,
+    };
+    let oversized = SmoothingParams {
+        buffer: 12,
+        rate: 1,
+        delay: 4,
+        link_delay: 0,
+    };
+    let at_balance = simulate(&stream, SimConfig::new(balanced), TailDrop::new());
+    let above = simulate(&stream, SimConfig::new(oversized), TailDrop::new());
+    assert!(
+        above.metrics.played_bytes <= at_balance.metrics.played_bytes,
+        "using buffer beyond R*D should not help: {} vs {}",
+        above.metrics.played_bytes,
+        at_balance.metrics.played_bytes
+    );
+    assert!(above
+        .metrics
+        .client_drop_reasons
+        .contains_key(&ClientDropReason::Late));
+}
+
+#[test]
+fn small_client_buffer_overflows_exactly_when_below_rd() {
+    let stream = InputStream::from_frames([vec![SliceSpec::unit(); 10], vec![], vec![]]);
+    let params = SmoothingParams::balanced_from_rate_delay(2, 5, 0); // B = 10
+                                                                     // Bc = B: no client drops.
+    let ok = simulate(&stream, SimConfig::new(params), TailDrop::new());
+    assert_eq!(ok.metrics.client_dropped_slices, 0);
+    // Bc = 3 < R*D: overflow.
+    let starved = simulate(
+        &stream,
+        SimConfig {
+            params,
+            client_capacity: Some(3),
+        },
+        TailDrop::new(),
+    );
+    assert!(starved
+        .metrics
+        .client_drop_reasons
+        .contains_key(&ClientDropReason::Overflow));
+    assert!(starved.metrics.played_bytes < ok.metrics.played_bytes);
+}
+
+#[test]
+fn link_delay_shifts_playout_but_not_loss() {
+    let mut rng = SplitMix64::new(79);
+    let stream = random_stream(&mut rng, 20, 2);
+    let base = SmoothingParams::balanced_from_rate_delay(2, 3, 0);
+    let shifted = SmoothingParams::balanced_from_rate_delay(2, 3, 7);
+    let a = simulate(&stream, SimConfig::new(base), TailDrop::new());
+    let b = simulate(&stream, SimConfig::new(shifted), TailDrop::new());
+    assert_eq!(a.metrics.benefit, b.metrics.benefit);
+    assert_eq!(a.metrics.played_bytes, b.metrics.played_bytes);
+    // Every played slice is delayed by exactly the extra link delay.
+    for (ra, rb) in a.record.played().zip(b.record.played()) {
+        assert_eq!(ra.0.slice.id, rb.0.slice.id);
+        assert_eq!(ra.1 + 7, rb.1);
+    }
+}

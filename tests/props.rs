@@ -1,0 +1,218 @@
+//! Property-based tests (proptest) over the whole stack: random
+//! streams, random parameters, and the model invariants that must hold
+//! for every one of them.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use realtime_smoothing::{
+    optimal_unit_benefit, simulate, validate, GreedyByteValue, InputStream, SimConfig, SliceSpec,
+    SmoothingParams, TailDrop,
+};
+use rts_sim::run_server_only;
+use rts_stream::textio;
+use rts_stream::FrameKind;
+
+/// Strategy: a random stream as per-frame lists of (size, weight, kind).
+fn stream_strategy(
+    max_steps: usize,
+    max_per_step: usize,
+    max_size: u64,
+) -> impl Strategy<Value = InputStream> {
+    let kind = prop_oneof![
+        Just(FrameKind::I),
+        Just(FrameKind::P),
+        Just(FrameKind::B),
+        Just(FrameKind::Generic),
+    ];
+    let slice = (1..=max_size, 0u64..50, kind).prop_map(|(s, w, k)| SliceSpec::new(s, w, k));
+    vec(vec(slice, 0..=max_per_step), 1..=max_steps).prop_map(InputStream::from_frames)
+}
+
+/// Strategy: unit-size slices only.
+fn unit_stream_strategy(
+    max_steps: usize,
+    max_per_step: usize,
+) -> impl Strategy<Value = InputStream> {
+    stream_strategy(max_steps, max_per_step, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: every offered byte is either played or lost, for
+    /// arbitrary (even unbalanced) configurations.
+    #[test]
+    fn conservation_holds_for_any_configuration(
+        stream in stream_strategy(12, 4, 3),
+        buffer in 0u64..12,
+        rate in 1u64..5,
+        delay in 0u64..6,
+        link_delay in 0u64..4,
+    ) {
+        let params = SmoothingParams { buffer, rate, delay, link_delay };
+        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        let m = &report.metrics;
+        prop_assert_eq!(m.played_bytes + m.lost_bytes(), m.offered_bytes);
+        prop_assert_eq!(
+            m.played_slices + m.server_dropped_slices + m.client_dropped_slices,
+            stream.slice_count() as u64
+        );
+        // The structural validator accepts every schedule the engine
+        // produces (balanced-only clauses fire only when balanced).
+        prop_assert!(validate(&report).is_ok(),
+            "validator rejected: {:?}", validate(&report).err());
+    }
+
+    /// Balanced configurations never lose at the client, and the
+    /// pipeline equals the single-buffer model.
+    #[test]
+    fn balanced_equals_server_only(
+        stream in stream_strategy(12, 4, 2),
+        rate in 1u64..5,
+        delay in 1u64..6,
+        link_delay in 0u64..3,
+    ) {
+        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, link_delay);
+        prop_assume!(params.buffer >= 2); // room for the largest slice
+        let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
+        let single = run_server_only(&stream, params.buffer, rate, GreedyByteValue::new());
+        prop_assert_eq!(report.metrics.benefit, single.benefit);
+        prop_assert_eq!(report.metrics.client_dropped_slices, 0);
+    }
+
+    /// The server buffer never exceeds its capacity and the link is
+    /// never over-driven, for any policy and configuration.
+    #[test]
+    fn resource_requirements_respected(
+        stream in stream_strategy(10, 5, 3),
+        buffer in 3u64..15,
+        rate in 1u64..6,
+    ) {
+        let run = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
+        prop_assert!(run.throughput <= stream.total_bytes());
+        let params = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 1);
+        let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
+        prop_assert!(report.metrics.server_occupancy_max <= buffer);
+        prop_assert!(report.metrics.link_rate_max <= rate);
+    }
+
+    /// The offline optimum dominates every online policy (it had better:
+    /// it is an upper bound over all schedules).
+    #[test]
+    fn optimal_dominates_online(
+        stream in unit_stream_strategy(10, 5),
+        buffer in 0u64..8,
+        rate in 1u64..4,
+    ) {
+        let opt = optimal_unit_benefit(&stream, buffer, rate).unwrap();
+        let greedy = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit;
+        let tail = run_server_only(&stream, buffer, rate, TailDrop::new()).benefit;
+        prop_assert!(opt >= greedy, "opt {} < greedy {}", opt, greedy);
+        prop_assert!(opt >= tail, "opt {} < tail {}", opt, tail);
+        // And within the Theorem 4.1 factor of greedy.
+        prop_assert!(opt <= 4 * greedy.max(1) || opt == 0);
+    }
+
+    /// Text trace round-trip is lossless for arbitrary streams.
+    #[test]
+    fn textio_roundtrip(stream in stream_strategy(8, 4, 5)) {
+        let text = textio::write_stream(&stream);
+        let back = textio::parse_stream(&text).unwrap();
+        prop_assert_eq!(stream, back);
+    }
+
+    /// Sojourn times are constant (the real-time property) for every
+    /// played slice under any balanced configuration.
+    #[test]
+    fn constant_sojourn_for_played_slices(
+        stream in stream_strategy(10, 4, 2),
+        rate in 1u64..4,
+        delay in 1u64..5,
+        link_delay in 0u64..3,
+    ) {
+        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, link_delay);
+        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
+        for (rec, playout) in report.record.played() {
+            prop_assert_eq!(playout - rec.slice.arrival, link_delay + delay);
+        }
+    }
+
+    /// Unit-slice throughput is policy-independent (the Theorem 3.5
+    /// under-specification), on arbitrary streams and configurations.
+    #[test]
+    fn unit_throughput_policy_independent(
+        stream in unit_stream_strategy(12, 6),
+        buffer in 0u64..10,
+        rate in 1u64..4,
+    ) {
+        let a = run_server_only(&stream, buffer, rate, TailDrop::new()).throughput;
+        let b = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).throughput;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Differential test: the lazy-heap greedy and the O(n) rescan
+    /// greedy produce byte-identical schedules on arbitrary weighted
+    /// variable-size streams.
+    #[test]
+    fn greedy_heap_equals_greedy_rescan(
+        stream in stream_strategy(14, 5, 4),
+        buffer in 0u64..14,
+        rate in 1u64..5,
+    ) {
+        let heap = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
+        let scan = run_server_only(&stream, buffer, rate, rts_core::GreedyRescan::new());
+        prop_assert_eq!(heap, scan);
+    }
+
+    /// Replaying the offline plan through the server achieves the
+    /// optimum for arbitrary weighted unit-slice streams.
+    #[test]
+    fn planned_drops_always_achieve_the_optimum(
+        stream in unit_stream_strategy(12, 5),
+        buffer in 0u64..8,
+        rate in 1u64..4,
+    ) {
+        let (opt, rejected) =
+            rts_offline::optimal_unit_plan(&stream, buffer, rate).unwrap();
+        let replay =
+            run_server_only(&stream, buffer, rate, rts_core::PlannedDrops::new(rejected));
+        prop_assert_eq!(replay.benefit, opt);
+    }
+
+    /// The timer-based client (Section 3.1.2's deployment mechanism,
+    /// which never learns the link delay) plays exactly what the
+    /// closed-form client plays, at exactly the same times, on
+    /// arbitrary schedules produced by the generic server.
+    #[test]
+    fn timer_client_equals_closed_form_client(
+        stream in stream_strategy(10, 4, 2),
+        buffer in 1u64..10,
+        rate in 1u64..4,
+        delay in 0u64..5,
+        link_delay in 0u64..4,
+    ) {
+        use rts_core::{Client, Server};
+        use rts_sim::{Link, LinkModel};
+
+        let mut server = Server::new(buffer, rate, TailDrop::new());
+        let mut link = Link::new(link_delay);
+        let mut known = Client::new(buffer.max(4), delay, link_delay);
+        let mut timer = Client::with_timer(buffer.max(4), delay);
+
+        let horizon = stream.horizon() + link_delay + delay + stream.total_bytes() + 4;
+        let mut frames = stream.frames().iter().peekable();
+        for t in 0..horizon {
+            let arrivals: &[_] = match frames.peek() {
+                Some(f) if f.time == t => &frames.next().unwrap().slices,
+                _ => &[],
+            };
+            let sstep = server.step(t, arrivals);
+            link.submit(&sstep.sent);
+            let delivered = link.deliver(t);
+            let a = known.step(t, &delivered);
+            let b = timer.step(t, &delivered);
+            prop_assert_eq!(a, b, "diverged at t={}", t);
+        }
+    }
+}
