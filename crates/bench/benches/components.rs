@@ -1,12 +1,11 @@
 //! Micro-benchmarks of the building blocks: buffer operations, the
 //! greedy heap, the PRNG, the flow solver, and the frame DP.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use rts_core::policy::{DropPolicy, GreedyByteValue};
+use rts_bench::timing::{bb, Harness};
+use rts_core::policy::{DropPolicy, EarlyValueDrop, GreedyByteValue, GreedyRescan};
 use rts_core::ServerBuffer;
 use rts_offline::{optimal_frame_benefit, optimal_unit_benefit};
+use rts_sim::run_server_only;
 use rts_stream::gen::{MpegConfig, MpegSource};
 use rts_stream::rng::SplitMix64;
 use rts_stream::slicing::Slicing;
@@ -24,135 +23,89 @@ fn slice(id: u64, size: u64, weight: u64) -> Slice {
     }
 }
 
-fn bench_buffer(c: &mut Criterion) {
-    c.bench_function("buffer/admit_transmit_1k", |b| {
-        b.iter(|| {
-            let mut buf = ServerBuffer::new();
-            for i in 0..1000u64 {
-                buf.admit(slice(i, 1 + i % 4, i % 13));
+fn main() {
+    let mut h = Harness::from_env();
+
+    h.bench("buffer/admit_transmit_1k", || {
+        let mut buf = ServerBuffer::new();
+        for i in 0..1000u64 {
+            buf.admit(slice(i, 1 + i % 4, i % 13));
+        }
+        let mut sent = 0u64;
+        while !buf.is_empty() {
+            sent += buf.transmit(16).iter().map(|x| x.2).sum::<u64>();
+        }
+        bb(sent)
+    });
+
+    h.bench("buffer/greedy_overflow_churn", || {
+        let mut buf = ServerBuffer::new();
+        let mut policy = GreedyByteValue::new();
+        let mut dropped = 0u64;
+        for i in 0..2000u64 {
+            let s = slice(i, 1, i % 97);
+            let seq = buf.admit(s);
+            policy.on_admit(seq, &s);
+            while buf.occupancy() > 64 {
+                let victim = policy.next_victim(&buf).expect("droppable");
+                buf.drop_slice(victim);
+                policy.on_remove(victim);
+                dropped += 1;
             }
-            let mut sent = 0u64;
-            while !buf.is_empty() {
-                sent += buf.transmit(16).iter().map(|x| x.2).sum::<u64>();
-            }
-            black_box(sent)
-        })
+        }
+        bb(dropped)
     });
 
-    c.bench_function("buffer/greedy_overflow_churn", |b| {
-        b.iter(|| {
-            let mut buf = ServerBuffer::new();
-            let mut policy = GreedyByteValue::new();
-            let mut dropped = 0u64;
-            for i in 0..2000u64 {
-                let s = slice(i, 1, i % 97);
-                let seq = buf.admit(s);
-                policy.on_admit(seq, &s);
-                while buf.occupancy() > 64 {
-                    let victim = policy.next_victim(&buf).expect("droppable");
-                    buf.drop_slice(victim);
-                    policy.on_remove(victim);
-                    dropped += 1;
-                }
-            }
-            black_box(dropped)
-        })
-    });
-}
+    let mut rng = SplitMix64::new(1);
+    h.bench("rng/splitmix_next_u64", || bb(rng.next_u64()));
+    let mut rng = SplitMix64::new(1);
+    h.bench("rng/lognormal", || bb(rng.lognormal(3.0, 0.3)));
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/splitmix_next_u64", |b| {
-        let mut rng = SplitMix64::new(1);
-        b.iter(|| black_box(rng.next_u64()))
+    h.bench("gen/mpeg_1k_frames", || {
+        let trace = MpegSource::new(MpegConfig::cnn_like(), 7).frames(1000);
+        bb(trace.total_bytes())
     });
-    c.bench_function("rng/lognormal", |b| {
-        let mut rng = SplitMix64::new(1);
-        b.iter(|| black_box(rng.lognormal(3.0, 0.3)))
-    });
-}
 
-fn bench_generator(c: &mut Criterion) {
-    c.bench_function("gen/mpeg_1k_frames", |b| {
-        b.iter(|| {
-            let trace = MpegSource::new(MpegConfig::cnn_like(), 7).frames(1000);
-            black_box(trace.total_bytes())
-        })
-    });
-}
-
-fn bench_offline(c: &mut Criterion) {
     let trace = MpegSource::new(MpegConfig::cnn_like(), 9).frames(150);
     let by_byte = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
     let by_frame = trace.materialize(Slicing::WholeFrame, WeightAssignment::MPEG_12_8_1);
     let rate = (trace.average_rate().round() as u64).max(1);
     let buffer = 4 * trace.max_frame_bytes();
 
-    c.bench_function("offline/flow_unit_150_frames", |b| {
-        b.iter(|| black_box(optimal_unit_benefit(&by_byte, buffer, rate).unwrap()))
+    h.bench("offline/flow_unit_150_frames", || {
+        bb(optimal_unit_benefit(&by_byte, buffer, rate).unwrap())
     });
-    c.bench_function("offline/dp_frame_150_frames", |b| {
-        b.iter(|| black_box(optimal_frame_benefit(&by_frame, buffer, rate).unwrap()))
+    h.bench("offline/dp_frame_150_frames", || {
+        bb(optimal_frame_benefit(&by_frame, buffer, rate).unwrap())
     });
-}
 
-/// Ablation: the lazy-heap greedy index vs. the O(n)-per-victim rescan
-/// baseline (identical schedules; the heap is the design choice
-/// DESIGN.md calls out).
-fn bench_greedy_ablation(c: &mut Criterion) {
-    use rts_core::policy::GreedyRescan;
-    use rts_sim::run_server_only;
-    use rts_stream::gen::MpegSource;
-
+    // Ablation: the lazy-heap greedy index vs. the O(n)-per-victim rescan
+    // baseline (identical schedules; the heap is the design choice
+    // DESIGN.md calls out).
     let trace = MpegSource::new(MpegConfig::cnn_like(), 13).frames(250);
     let stream = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
     let rate = (trace.average_rate().round() as u64).max(1);
-    let buffer = trace.max_frame_bytes(); // small buffer → many drops
-
-    let mut g = c.benchmark_group("greedy_index_ablation");
-    g.bench_function("lazy_heap", |b| {
-        b.iter(|| black_box(run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit))
+    let small = trace.max_frame_bytes(); // small buffer → many drops
+    h.bench("greedy_index_ablation/lazy_heap", || {
+        bb(run_server_only(&stream, small, rate, GreedyByteValue::new()).benefit)
     });
-    g.bench_function("full_rescan", |b| {
-        b.iter(|| black_box(run_server_only(&stream, buffer, rate, GreedyRescan::new()).benefit))
+    h.bench("greedy_index_ablation/full_rescan", || {
+        bb(run_server_only(&stream, small, rate, GreedyRescan::new()).benefit)
     });
-    g.finish();
-}
 
-/// Ablation: plain greedy overflow handling vs. the proactive
-/// early-dropping variant (the Section 6 "pro-active algorithms"
-/// question): cost of the extra per-step check.
-fn bench_proactive_ablation(c: &mut Criterion) {
-    use rts_core::policy::EarlyValueDrop;
-    use rts_sim::run_server_only;
-    use rts_stream::gen::MpegSource;
-
+    // Ablation: plain greedy overflow handling vs. the proactive
+    // early-dropping variant (the Section 6 "pro-active algorithms"
+    // question): cost of the extra per-step check.
     let trace = MpegSource::new(MpegConfig::cnn_like(), 14).frames(250);
     let stream = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
     let rate = (trace.average_rate().round() as u64).max(1);
     let buffer = 2 * trace.max_frame_bytes();
+    h.bench("proactive_ablation/greedy", || {
+        bb(run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit)
+    });
+    h.bench("proactive_ablation/early_value_drop", || {
+        bb(run_server_only(&stream, buffer, rate, EarlyValueDrop::new(buffer, 3, 4, 2)).benefit)
+    });
 
-    let mut g = c.benchmark_group("proactive_ablation");
-    g.bench_function("greedy", |b| {
-        b.iter(|| black_box(run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit))
-    });
-    g.bench_function("early_value_drop", |b| {
-        b.iter(|| {
-            black_box(
-                run_server_only(&stream, buffer, rate, EarlyValueDrop::new(buffer, 3, 4, 2))
-                    .benefit,
-            )
-        })
-    });
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_buffer,
-    bench_rng,
-    bench_generator,
-    bench_offline,
-    bench_greedy_ablation,
-    bench_proactive_ablation
-);
-criterion_main!(benches);

@@ -2,10 +2,8 @@
 //! binaries regenerate the full-scale tables; these benches track the
 //! cost of each figure's computation over time).
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, Criterion};
 use rts_bench::figures;
+use rts_bench::timing::{bb, Harness};
 use rts_stream::gen::{MpegConfig, MpegSource};
 use rts_stream::slicing::FrameSizeTrace;
 
@@ -13,67 +11,57 @@ fn small_trace() -> FrameSizeTrace {
     MpegSource::new(MpegConfig::cnn_like(), rts_bench::workload::SEED).frames(120)
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let trace = small_trace();
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
-    g.bench_function("fig2_loss_sweep", |b| {
-        b.iter(|| black_box(figures::loss_sweep_on(&trace, 1.1, "bench")))
-    });
-    g.bench_function("fig3_loss_sweep", |b| {
-        b.iter(|| black_box(figures::loss_sweep_on(&trace, 0.9, "bench")))
-    });
-    g.bench_function("fig4_rate_sweep", |b| {
-        b.iter(|| black_box(figures::fig4_on(&trace, 8)))
-    });
-    g.bench_function("fig5_optimal_granularity", |b| {
-        b.iter(|| black_box(figures::fig5_on(&trace)))
-    });
-    g.bench_function("fig6_policy_granularity", |b| {
-        b.iter(|| black_box(figures::fig6_on(&trace)))
-    });
-    g.bench_function("tradeoff_buffer", |b| {
-        b.iter(|| black_box(figures::tradeoff_buffer_on(&trace, 8)))
-    });
-    g.bench_function("tradeoff_delay", |b| {
-        b.iter(|| black_box(figures::tradeoff_delay_on(&trace, 8)))
-    });
-    g.bench_function("tradeoff_rate", |b| {
-        b.iter(|| black_box(figures::tradeoff_rate_on(10, 100, 4, 1)))
-    });
-    g.bench_function("lemma36", |b| {
-        b.iter(|| black_box(figures::lemma36_on(8, 20)))
-    });
-    g.bench_function("thm47", |b| {
-        b.iter(|| black_box(figures::thm47_on(&[(50, 10)])))
-    });
-    g.bench_function("thm48", |b| b.iter(|| black_box(figures::thm48_on(100))));
-    g.bench_function("ratio_audit", |b| {
-        b.iter(|| black_box(figures::ratio_audit_on(60, &[1])))
-    });
-    g.bench_function("jitter", |b| {
-        b.iter(|| black_box(figures::jitter_on(&trace, 4, &[0, 2, 4])))
-    });
-    g.bench_function("lossless_frontier", |b| {
-        b.iter(|| black_box(figures::lossless_frontier_on(&trace, &[0, 4, 16])))
-    });
-    g.bench_function("granularity", |b| {
-        b.iter(|| black_box(figures::granularity_on(&trace, &[1, 16, 120], 4)))
-    });
-    g.bench_function("kind_breakdown", |b| {
-        b.iter(|| black_box(figures::kind_breakdown_on(&trace, 0.9, 4)))
-    });
-    g.bench_function("mux_gain", |b| {
-        b.iter(|| black_box(figures::mux_gain_on(2, 120, &[0, 8])))
-    });
-    g.bench_function("tandem", |b| {
-        b.iter(|| black_box(figures::tandem_on(&trace, &[60, 240])))
-    });
-    g.bench_function("renegotiation", |b| {
-        b.iter(|| black_box(figures::renegotiation_on(&trace, 8, &[30, 60])))
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);
+    h.bench("figures/fig2_loss_sweep", || {
+        bb(figures::loss_sweep_on(&trace, 1.1, "bench"))
+    });
+    h.bench("figures/fig3_loss_sweep", || {
+        bb(figures::loss_sweep_on(&trace, 0.9, "bench"))
+    });
+    h.bench("figures/fig4_rate_sweep", || bb(figures::fig4_on(&trace, 8)));
+    h.bench("figures/fig5_optimal_granularity", || {
+        bb(figures::fig5_on(&trace))
+    });
+    h.bench("figures/fig6_policy_granularity", || {
+        bb(figures::fig6_on(&trace))
+    });
+    h.bench("figures/tradeoff_buffer", || {
+        bb(figures::tradeoff_buffer_on(&trace, 8))
+    });
+    h.bench("figures/tradeoff_delay", || {
+        bb(figures::tradeoff_delay_on(&trace, 8))
+    });
+    h.bench("figures/tradeoff_rate", || {
+        bb(figures::tradeoff_rate_on(10, 100, 4, 1))
+    });
+    h.bench("figures/lemma36", || bb(figures::lemma36_on(8, 20)));
+    h.bench("figures/thm47", || bb(figures::thm47_on(&[(50, 10)])));
+    h.bench("figures/thm48", || bb(figures::thm48_on(100)));
+    h.bench("figures/ratio_audit", || {
+        bb(figures::ratio_audit_on(60, &[1]))
+    });
+    h.bench("figures/jitter", || {
+        bb(figures::jitter_on(&trace, 4, &[0, 2, 4]))
+    });
+    h.bench("figures/lossless_frontier", || {
+        bb(figures::lossless_frontier_on(&trace, &[0, 4, 16]))
+    });
+    h.bench("figures/granularity", || {
+        bb(figures::granularity_on(&trace, &[1, 16, 120], 4))
+    });
+    h.bench("figures/kind_breakdown", || {
+        bb(figures::kind_breakdown_on(&trace, 0.9, 4))
+    });
+    h.bench("figures/mux_gain", || {
+        bb(figures::mux_gain_on(2, 120, &[0, 8]))
+    });
+    h.bench("figures/tandem", || bb(figures::tandem_on(&trace, &[60, 240])));
+    h.bench("figures/renegotiation", || {
+        bb(figures::renegotiation_on(&trace, 8, &[30, 60]))
+    });
+
+    h.finish();
+}

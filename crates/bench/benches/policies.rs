@@ -1,9 +1,7 @@
 //! End-to-end policy benchmarks: one full single-buffer run per
 //! iteration, per policy and slicing granularity.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use rts_bench::timing::{bb, Harness};
 use rts_core::policy::{GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
 use rts_core::tradeoff::SmoothingParams;
 use rts_sim::{run_server_only, simulate, SimConfig};
@@ -11,51 +9,42 @@ use rts_stream::gen::{MpegConfig, MpegSource};
 use rts_stream::slicing::Slicing;
 use rts_stream::weight::WeightAssignment;
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
+
     let trace = MpegSource::new(MpegConfig::cnn_like(), 5).frames(400);
     let by_byte = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
     let by_frame = trace.materialize(Slicing::WholeFrame, WeightAssignment::MPEG_12_8_1);
     let rate = (trace.average_rate().round() as u64).max(1);
     let buffer = 4 * trace.max_frame_bytes();
 
-    let mut g = c.benchmark_group("server_only_byte_slices");
-    g.bench_function("tail_drop", |b| {
-        b.iter(|| black_box(run_server_only(&by_byte, buffer, rate, TailDrop::new()).benefit))
+    h.bench("server_only_byte_slices/tail_drop", || {
+        bb(run_server_only(&by_byte, buffer, rate, TailDrop::new()).benefit)
     });
-    g.bench_function("greedy", |b| {
-        b.iter(|| {
-            black_box(run_server_only(&by_byte, buffer, rate, GreedyByteValue::new()).benefit)
-        })
+    h.bench("server_only_byte_slices/greedy", || {
+        bb(run_server_only(&by_byte, buffer, rate, GreedyByteValue::new()).benefit)
     });
-    g.bench_function("head_drop", |b| {
-        b.iter(|| black_box(run_server_only(&by_byte, buffer, rate, HeadDrop::new()).benefit))
+    h.bench("server_only_byte_slices/head_drop", || {
+        bb(run_server_only(&by_byte, buffer, rate, HeadDrop::new()).benefit)
     });
-    g.bench_function("random_drop", |b| {
-        b.iter(|| black_box(run_server_only(&by_byte, buffer, rate, RandomDrop::new(3)).benefit))
+    h.bench("server_only_byte_slices/random_drop", || {
+        bb(run_server_only(&by_byte, buffer, rate, RandomDrop::new(3)).benefit)
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("server_only_frame_slices");
-    g.bench_function("tail_drop", |b| {
-        b.iter(|| black_box(run_server_only(&by_frame, buffer, rate, TailDrop::new()).benefit))
+    h.bench("server_only_frame_slices/tail_drop", || {
+        bb(run_server_only(&by_frame, buffer, rate, TailDrop::new()).benefit)
     });
-    g.bench_function("greedy", |b| {
-        b.iter(|| {
-            black_box(run_server_only(&by_frame, buffer, rate, GreedyByteValue::new()).benefit)
-        })
+    h.bench("server_only_frame_slices/greedy", || {
+        bb(run_server_only(&by_frame, buffer, rate, GreedyByteValue::new()).benefit)
     });
-    g.finish();
 
     // The full pipeline (server + link + client) for comparison with the
     // single-buffer reduction.
     let params = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 3);
-    c.bench_function("full_pipeline/greedy_byte_slices", |b| {
-        b.iter(|| {
-            let report = simulate(&by_byte, SimConfig::new(params), GreedyByteValue::new());
-            black_box(report.metrics.benefit)
-        })
+    h.bench("full_pipeline/greedy_byte_slices", || {
+        let report = simulate(&by_byte, SimConfig::new(params), GreedyByteValue::new());
+        bb(report.metrics.benefit)
     });
-}
 
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);
+    h.finish();
+}

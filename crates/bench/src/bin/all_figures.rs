@@ -5,19 +5,19 @@
 use rts_bench::plot::chart_for;
 
 fn main() {
-    let dir = std::path::Path::new("results");
+    let dir = rts_bench::results_dir();
     let mut summary = String::from("# Experiment tables\n\n");
     for table in rts_bench::figures::all() {
         summary.push_str(&table.to_markdown());
         summary.push('\n');
         print!("{}", table.render());
         println!();
-        match table.write_csv(dir) {
+        match table.write_csv(&dir) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write CSV: {e}"),
         }
         if let Some(chart) = chart_for(&table) {
-            match chart.write_svg(dir, &table.name) {
+            match chart.write_svg(&dir, &table.name) {
                 Ok(p) => eprintln!("wrote {}", p.display()),
                 Err(e) => eprintln!("could not write SVG: {e}"),
             }

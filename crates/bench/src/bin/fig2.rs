@@ -4,7 +4,7 @@
 fn main() {
     let table = rts_bench::figures::fig2();
     print!("{}", table.render());
-    match table.write_csv(std::path::Path::new("results")) {
+    match table.write_csv(&rts_bench::results_dir()) {
         Ok(p) => eprintln!("wrote {}", p.display()),
         Err(e) => eprintln!("could not write CSV: {e}"),
     }

@@ -2,11 +2,11 @@
 //! measured against the exact offline optimum.
 
 fn main() {
-    let dir = std::path::Path::new("results");
+    let dir = rts_bench::results_dir();
     for table in [rts_bench::figures::thm47(), rts_bench::figures::thm48()] {
         print!("{}", table.render());
         println!();
-        match table.write_csv(dir) {
+        match table.write_csv(&dir) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write CSV: {e}"),
         }

@@ -1,10 +1,21 @@
-//! mux experiment (see rts_bench::figures).
+//! Multiplexing experiments (see rts_bench::figures).
+//!
+//! Prints the offline multiplexing-gain table (`mux_gain`) and the
+//! online shared-vs-dedicated comparison (`mux_online`: dedicated-link
+//! loss vs shared-link loss vs the offline per-session bound, for each
+//! link scheduler × drop policy), then writes both as CSV to
+//! `$RESULTS_DIR` (default `results/`).
 
 fn main() {
-    let table = rts_bench::figures::mux_gain();
-    print!("{}", table.render());
-    match table.write_csv(std::path::Path::new("results")) {
-        Ok(p) => eprintln!("wrote {}", p.display()),
-        Err(e) => eprintln!("could not write CSV: {e}"),
+    let dir = rts_bench::results_dir();
+    for table in [
+        rts_bench::figures::mux_gain(),
+        rts_bench::figures::mux_online(),
+    ] {
+        print!("{}", table.render());
+        match table.write_csv(&dir) {
+            Ok(p) => eprintln!("wrote {}", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
     }
 }

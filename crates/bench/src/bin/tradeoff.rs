@@ -3,7 +3,7 @@
 //! `results/tradeoff_{buffer,delay,rate}.csv`.
 
 fn main() {
-    let dir = std::path::Path::new("results");
+    let dir = rts_bench::results_dir();
     for table in [
         rts_bench::figures::tradeoff_buffer(),
         rts_bench::figures::tradeoff_delay(),
@@ -11,7 +11,7 @@ fn main() {
     ] {
         print!("{}", table.render());
         println!();
-        match table.write_csv(dir) {
+        match table.write_csv(&dir) {
             Ok(p) => eprintln!("wrote {}", p.display()),
             Err(e) => eprintln!("could not write CSV: {e}"),
         }

@@ -825,6 +825,121 @@ pub fn mux_gain() -> Table {
     mux_gain_on(4, 900, &[0, 2, 4, 8, 16, 32, 64])
 }
 
+/// Online multiplexing: `k` under-provisioned sessions share one link
+/// of rate `Σ R_i` under a real link scheduler, against the same
+/// sessions on dedicated links of rate `R_i`, against the per-session
+/// offline optimum (a lower bound on dedicated-link loss). Each session
+/// runs at `factor ×` its own average rate so drops genuinely occur;
+/// weighted-fair weights are proportional to nominal rates.
+pub fn mux_online_on(k: usize, frames: usize, delay: u64, factor: f64) -> Table {
+    use rts_core::policy::DropPolicy;
+    use rts_mux::{
+        GreedyAcrossSessions, LinkScheduler, Mux, RoundRobin, SessionSpec, WeightedFair,
+    };
+    use rts_stream::gen::{MpegConfig, MpegSource};
+    use rts_stream::slicing::Slicing;
+    use rts_stream::weight::WeightAssignment;
+
+    let streams: Vec<InputStream> = (0..k)
+        .map(|i| {
+            MpegSource::new(MpegConfig::cnn_like(), 9000 + i as u64)
+                .frames(frames)
+                .materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1)
+        })
+        .collect();
+    let rates: Vec<Bytes> = streams.iter().map(|s| s.stats().rate_at(factor)).collect();
+    let link_rate: Bytes = rates.iter().sum();
+    let offered: Weight = streams.iter().map(|s| s.total_weight()).sum();
+
+    fn policy_of(name: &str) -> Box<dyn DropPolicy> {
+        match name {
+            "Tail-Drop" => Box::new(TailDrop::new()),
+            _ => Box::new(GreedyByteValue::new()),
+        }
+    }
+
+    let policies = ["Tail-Drop", "Greedy"];
+    // Dedicated links: each session smoothed alone at its nominal rate.
+    let dedicated: Vec<(&str, f64)> = parallel_map(&policies, None, |&pol| {
+        let delivered: Weight = streams
+            .iter()
+            .zip(&rates)
+            .map(|(s, &r)| {
+                let params = SmoothingParams::balanced_from_rate_delay(r, delay, 1);
+                simulate(s, SimConfig::new(params), policy_of(pol)).metrics.benefit
+            })
+            .sum();
+        (pol, 1.0 - delivered as f64 / offered as f64)
+    });
+    // The offline per-session bound on those dedicated links.
+    let opt_delivered: Weight = parallel_map(&streams.iter().zip(&rates).collect::<Vec<_>>(), None, |(s, &r)| {
+        optimal_unit_benefit(s, r * delay, r).expect("per-byte slices")
+    })
+    .into_iter()
+    .sum();
+    let bound_loss = 1.0 - opt_delivered as f64 / offered as f64;
+
+    let combos: Vec<(&str, &str)> = ["Round-Robin", "Weighted-Fair", "Greedy-Across-Sessions"]
+        .into_iter()
+        .flat_map(|s| policies.into_iter().map(move |p| (s, p)))
+        .collect();
+    let rows = parallel_map(&combos, None, |&(sched, pol)| {
+        let scheduler: Box<dyn LinkScheduler> = match sched {
+            "Round-Robin" => Box::new(RoundRobin::new()),
+            "Weighted-Fair" => Box::new(WeightedFair::new()),
+            _ => Box::new(GreedyAcrossSessions::new()),
+        };
+        let mut mux = Mux::new(link_rate, scheduler);
+        for (s, &r) in streams.iter().zip(&rates) {
+            let params = SmoothingParams::balanced_from_rate_delay(r, delay, 1);
+            mux.admit(
+                SessionSpec::new(s.clone(), params, policy_of(pol)).with_weight(r),
+            )
+            .expect("Σ nominal rates equals the link rate");
+        }
+        let report = mux.run();
+        (sched, pol, report.weighted_loss(), report.utilization())
+    });
+
+    let mut table = Table::new(
+        "mux_online",
+        format!(
+            "Online multiplexing: {k} sessions at {factor}x average rate, shared link C = {link_rate} \
+             vs dedicated links (delay D = {delay}; offline bound {})",
+            pct(bound_loss)
+        ),
+        &[
+            "scheduler",
+            "policy",
+            "dedicated_loss",
+            "shared_loss",
+            "offline_bound",
+            "link_util",
+        ],
+    );
+    for (sched, pol, shared_loss, util) in rows {
+        let ded = dedicated
+            .iter()
+            .find(|(p, _)| *p == pol)
+            .expect("policy computed")
+            .1;
+        table.push(vec![
+            sched.to_string(),
+            pol.to_string(),
+            pct(ded),
+            pct(shared_loss),
+            pct(bound_loss),
+            f4(util),
+        ]);
+    }
+    table
+}
+
+/// Online multiplexing comparison at the canonical scale.
+pub fn mux_online() -> Table {
+    mux_online_on(4, 900, 8, 0.9)
+}
+
 /// Tandem smoothing: loss and its location as the relay buffer of a
 /// two-hop chain varies (the Rexford–Towsley internetwork setting of
 /// the related work). The origin hop is fixed; the relay's buffer
@@ -993,6 +1108,7 @@ pub fn all() -> Vec<Table> {
         granularity(),
         kind_breakdown(),
         mux_gain(),
+        mux_online(),
         tandem(),
         renegotiation(),
     ]

@@ -1,5 +1,5 @@
 //! Experiment harness: the workloads, series computations, and table
-//! output behind every figure binary and criterion benchmark.
+//! output behind every figure binary and timing benchmark.
 //!
 //! Each `fig*` function in [`figures`] recomputes one figure of the
 //! paper's Section 5 (or one analytical experiment from Sections 3–4)
@@ -14,7 +14,10 @@
 pub mod adversary;
 pub mod figures;
 pub mod plot;
+pub mod results;
 pub mod table;
+pub mod timing;
 pub mod workload;
 
+pub use results::results_dir;
 pub use table::Table;

@@ -1,0 +1,51 @@
+//! Where figure binaries write their CSVs.
+//!
+//! Historically every binary hardcoded `results/` relative to the
+//! current working directory, which scattered output when run from a
+//! crate subdirectory. [`results_dir`] centralizes the choice: the
+//! `RESULTS_DIR` environment variable wins when set (and non-empty),
+//! otherwise `results/` under the CWD as before. The directory is
+//! created if missing so `Table::write_csv` never fails on a fresh
+//! checkout.
+
+use std::path::PathBuf;
+
+/// Environment variable overriding the CSV output directory.
+pub const RESULTS_DIR_ENV: &str = "RESULTS_DIR";
+
+/// Resolves (and creates) the directory figure binaries write CSVs to.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — the binaries have no
+/// useful way to continue without an output location.
+pub fn results_dir() -> PathBuf {
+    let dir = match std::env::var(RESULTS_DIR_ENV) {
+        Ok(v) if !v.is_empty() => PathBuf::from(v),
+        _ => PathBuf::from("results"),
+    };
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_results_under_cwd() {
+        // The override is process-global, so only assert the fallback
+        // path shape rather than mutating the environment in parallel
+        // with other tests.
+        if std::env::var(RESULTS_DIR_ENV).is_err() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+
+    #[test]
+    fn creates_the_directory() {
+        let dir = results_dir();
+        assert!(dir.is_dir());
+    }
+}

@@ -1,0 +1,158 @@
+//! A small self-contained timing harness for `harness = false` bench
+//! targets — no external crates, so the workspace builds offline.
+//!
+//! The protocol mirrors what cargo expects of a bench binary:
+//!
+//! * `cargo bench` passes `--bench` plus an optional name filter;
+//! * `cargo test --benches` passes `--test`, which we treat as smoke
+//!   mode (each benchmark runs exactly once, no timing).
+//!
+//! Timing is deliberately simple: a short warm-up, then batches of
+//! iterations until a wall-clock budget is spent, reporting the median
+//! batch as ns/iter. That is enough to track regressions over time; it
+//! does not attempt criterion-grade statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench files keep using `black_box` from one place.
+pub use std::hint::black_box as bb;
+
+/// Per-benchmark wall-clock budget once warmed up.
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Iterations per timed batch are tuned so a batch lasts roughly this long.
+const TARGET_BATCH: Duration = Duration::from_millis(10);
+
+/// A tiny bench runner; construct with [`Harness::from_env`] and call
+/// [`Harness::bench`] once per benchmark.
+pub struct Harness {
+    filter: Option<String>,
+    smoke: bool,
+    ran: usize,
+}
+
+impl Harness {
+    /// Parses cargo's bench-binary arguments (`--bench`, `--test`, an
+    /// optional name filter; everything else is ignored).
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Harness {
+            filter,
+            smoke,
+            ran: 0,
+        }
+    }
+
+    /// Runs one named benchmark: skipped if a filter was given and does
+    /// not match; one smoke iteration under `cargo test`; otherwise
+    /// warm-up, calibration, and timed batches with a median report.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+        if self.smoke {
+            black_box(f());
+            println!("smoke {name}: ok");
+            return;
+        }
+
+        // Warm up and calibrate the batch size on the fly.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let deadline = Instant::now() + BUDGET;
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!("bench {name}: median {} (best {}), {} batches x {per_batch} iters",
+            fmt_ns(median),
+            fmt_ns(best),
+            samples.len()
+        );
+    }
+
+    /// Prints a footer; call at the end of `main`.
+    pub fn finish(self) {
+        if self.ran == 0 {
+            println!("no benchmarks matched the filter");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us/iter", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns/iter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut h = Harness {
+            filter: None,
+            smoke: true,
+            ran: 0,
+        };
+        let mut count = 0;
+        h.bench("demo", || count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(h.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = Harness {
+            filter: Some("buffer".into()),
+            smoke: true,
+            ran: 0,
+        };
+        let mut count = 0;
+        h.bench("rng/next", || count += 1);
+        assert_eq!(count, 0);
+        h.bench("buffer/admit", || count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns/iter"));
+        assert!(fmt_ns(12_000.0).ends_with("us/iter"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms/iter"));
+        assert!(fmt_ns(2e9).ends_with("s/iter"));
+    }
+}

@@ -2,8 +2,11 @@
 
 use std::fmt::Write as _;
 
-use rts_core::policy::{GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
+use rts_core::policy::{DropPolicy, GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
 use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
+use rts_mux::{
+    GreedyAcrossSessions, LinkScheduler, Mux, MuxReport, RoundRobin, SessionSpec, WeightedFair,
+};
 use rts_offline::{min_lossless_delay, min_lossless_rate, peak_rate};
 use rts_sim::{simulate, SimConfig, SimReport};
 use rts_stream::gen::{cbr, markov_onoff, MarkovOnOffConfig, MpegConfig, MpegSource};
@@ -28,6 +31,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "stats" => stats(args),
         "plan" => plan(args),
         "simulate" => simulate_cmd(args),
+        "mux" => mux_cmd(args),
         "frontier" => frontier(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
@@ -323,6 +327,181 @@ fn simulate_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_policy_box(name: &str, seed: u64) -> Result<Box<dyn DropPolicy>, CliError> {
+    match name {
+        "greedy" => Ok(Box::new(GreedyByteValue::new())),
+        "tail" => Ok(Box::new(TailDrop::new())),
+        "head" => Ok(Box::new(HeadDrop::new())),
+        "random" => Ok(Box::new(RandomDrop::new(seed))),
+        other => Err(CliError::usage(format!(
+            "unknown policy {other:?} (greedy|tail|head|random)"
+        ))),
+    }
+}
+
+fn parse_scheduler(name: &str) -> Result<Box<dyn LinkScheduler>, CliError> {
+    match name {
+        "rr" | "round-robin" => Ok(Box::new(RoundRobin::new())),
+        "wfq" | "weighted-fair" => Ok(Box::new(WeightedFair::new())),
+        "greedy" => Ok(Box::new(GreedyAcrossSessions::new())),
+        other => Err(CliError::usage(format!(
+            "unknown scheduler {other:?} (rr|wfq|greedy)"
+        ))),
+    }
+}
+
+fn parse_overbook(spec: &str) -> Result<(u64, u64), CliError> {
+    let bad = || CliError::usage(format!("bad --overbook {spec:?} (want NUM/DEN, e.g. 5/4)"));
+    let (num, den) = spec.split_once(['/', ':']).ok_or_else(bad)?;
+    let num: u64 = num.trim().parse().map_err(|_| bad())?;
+    let den: u64 = den.trim().parse().map_err(|_| bad())?;
+    if den == 0 {
+        return Err(CliError::usage("--overbook denominator must be positive"));
+    }
+    Ok((num, den))
+}
+
+fn mux_cmd(args: &Args) -> Result<String, CliError> {
+    // Sessions come from trace files, or a generated MPEG-like demo set.
+    let mut streams: Vec<(String, InputStream)> = Vec::new();
+    let mut i = 0;
+    while let Ok(path) = args.positional(i, "input trace") {
+        streams.push((path.to_string(), load(path)?));
+        i += 1;
+    }
+    let seed: u64 = args.opt_or("seed", 1)?;
+    if streams.is_empty() {
+        let k: usize = args.opt_or("sessions", 3)?;
+        if k == 0 {
+            return Err(CliError::usage("--sessions must be positive"));
+        }
+        let frames: usize = args.opt_or("frames", 300)?;
+        for j in 0..k {
+            let stream = MpegSource::new(MpegConfig::cnn_like(), seed + j as u64)
+                .frames(frames)
+                .materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+            streams.push((format!("mpeg-{j}"), stream));
+        }
+    }
+    let factor: f64 = args.opt_or("factor", 0.9)?;
+    if factor <= 0.0 {
+        return Err(CliError::usage("--factor must be positive"));
+    }
+    let delay: u64 = args.opt_or("delay", 8)?;
+    let link_delay: u64 = args.opt_or("link-delay", 0)?;
+    let rates: Vec<u64> = streams
+        .iter()
+        .map(|(_, s)| s.stats().rate_at(factor).max(1))
+        .collect();
+    let link_rate: u64 = args.opt_or("link-rate", rates.iter().sum())?;
+    let (num, den) = parse_overbook(args.opt("overbook").unwrap_or("1/1"))?;
+    let total_offered: u64 = streams.iter().map(|(_, s)| s.total_weight()).sum();
+    if total_offered == 0 {
+        return Err(CliError::usage("all input traces are empty"));
+    }
+
+    // One shared-link run: admit every session, then step to completion.
+    let shared = |scheduler: Box<dyn LinkScheduler>,
+                  policy_name: &str|
+     -> Result<MuxReport, CliError> {
+        let mut mux = Mux::with_overbooking(link_rate, scheduler, num, den);
+        for ((label, s), &r) in streams.iter().zip(&rates) {
+            let params = SmoothingParams::balanced_from_rate_delay(r, delay, link_delay);
+            let spec = SessionSpec::new(s.clone(), params, parse_policy_box(policy_name, seed)?)
+                .with_weight(r)
+                .with_label(label.clone());
+            mux.admit(spec).map_err(|e| {
+                CliError::usage(format!(
+                    "session '{label}' rejected: {e} (raise --link-rate or --overbook)"
+                ))
+            })?;
+        }
+        Ok(mux.run())
+    };
+    // Dedicated baseline: each session alone on a link of its nominal rate.
+    let dedicated = |policy_name: &str| -> Result<f64, CliError> {
+        let mut delivered = 0u64;
+        for ((_, s), &r) in streams.iter().zip(&rates) {
+            let params = SmoothingParams::balanced_from_rate_delay(r, delay, link_delay);
+            delivered += simulate(s, SimConfig::new(params), parse_policy_box(policy_name, seed)?)
+                .metrics
+                .benefit;
+        }
+        Ok(1.0 - delivered as f64 / total_offered as f64)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mux: {} sessions, shared link C = {link_rate} (nominal rates {:?}), D = {delay}, \
+         admission x{num}/{den}",
+        streams.len(),
+        rates
+    );
+    if args.opt("scheduler").is_some() || args.opt("policy").is_some() {
+        // Detailed single run.
+        let sched = parse_scheduler(args.opt("scheduler").unwrap_or("rr"))?;
+        let policy = args.opt("policy").unwrap_or("greedy");
+        let report = shared(sched, policy)?;
+        let _ = writeln!(out, "scheduler:     {}", report.scheduler);
+        let _ = writeln!(
+            out,
+            "{:>12} {:>6} {:>8} {:>12} {:>12} {:>8} {:>10} {:>9}",
+            "session", "rate", "B", "offered_w", "played_w", "loss%", "drops", "occ/B"
+        );
+        for (m, &r) in report.sessions.iter().zip(&rates) {
+            let _ = writeln!(
+                out,
+                "{:>12} {:>6} {:>8} {:>12} {:>12} {:>8.2} {:>10} {:>4}/{}",
+                m.label,
+                r,
+                m.buffer_capacity,
+                m.offered_weight,
+                m.delivered_weight,
+                m.weighted_loss() * 100.0,
+                m.server_dropped_slices + m.client_dropped_slices,
+                m.server_occupancy_max,
+                m.buffer_capacity
+            );
+        }
+        let _ = writeln!(
+            out,
+            "aggregate:     weighted loss {:.2}%, link util {:.4}, peak slot {} / {link_rate}",
+            report.weighted_loss() * 100.0,
+            report.utilization(),
+            report.max_slot_sent()
+        );
+    } else {
+        // Comparison: every scheduler x {tail, greedy} vs dedicated links.
+        let policies = ["tail", "greedy"];
+        let mut ded = Vec::new();
+        for p in policies {
+            ded.push((p, dedicated(p)?));
+        }
+        let _ = writeln!(
+            out,
+            "{:>22} {:>8} {:>15} {:>12} {:>10}",
+            "scheduler", "policy", "dedicated_loss%", "shared_loss%", "link_util"
+        );
+        for sched_key in ["rr", "wfq", "greedy"] {
+            for p in policies {
+                let report = shared(parse_scheduler(sched_key)?, p)?;
+                let ded_loss = ded.iter().find(|(q, _)| *q == p).map_or(0.0, |(_, l)| *l);
+                let _ = writeln!(
+                    out,
+                    "{:>22} {:>8} {:>15.2} {:>12.2} {:>10.4}",
+                    report.scheduler,
+                    p,
+                    ded_loss * 100.0,
+                    report.weighted_loss() * 100.0,
+                    report.utilization()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn frontier(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "trace file")?;
     let stream = load(path)?;
@@ -542,6 +721,51 @@ mod tests {
         assert!(csv.lines().count() > 30);
         let _ = std::fs::remove_file(&file);
         let _ = std::fs::remove_file(&timeline);
+    }
+
+    #[test]
+    fn mux_demo_compares_schedulers_and_policies() {
+        let out = run_line(&["mux", "--sessions", "2", "--frames", "60"]).unwrap();
+        assert!(out.contains("mux: 2 sessions"), "{out}");
+        for name in ["Round-Robin", "Weighted-Fair", "Greedy-Across-Sessions"] {
+            assert_eq!(out.matches(name).count(), 2, "{name} x 2 policies: {out}");
+        }
+        // header + 3 schedulers x 2 policies + banner
+        assert_eq!(out.lines().count(), 2 + 6);
+    }
+
+    #[test]
+    fn mux_single_run_reports_per_session() {
+        let out = run_line(&[
+            "mux", "--sessions", "3", "--frames", "60", "--scheduler", "wfq", "--policy", "tail",
+        ])
+        .unwrap();
+        assert!(out.contains("scheduler:     Weighted-Fair"), "{out}");
+        assert_eq!(out.matches("mpeg-").count(), 3, "{out}");
+        assert!(out.contains("aggregate:"), "{out}");
+    }
+
+    #[test]
+    fn mux_accepts_trace_files() {
+        let file = tmp("mux_trace");
+        run_line(&["generate", "--out", &file, "--frames", "40", "--slicing", "byte"]).unwrap();
+        let out = run_line(&[
+            "mux", &file, &file, "--scheduler", "rr", "--factor", "1.1", "--delay", "4",
+        ])
+        .unwrap();
+        assert!(out.contains("mux: 2 sessions"), "{out}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn mux_rejects_bad_inputs() {
+        assert!(run_line(&["mux", "--sessions", "0"]).is_err());
+        assert!(run_line(&["mux", "--scheduler", "fifo", "--frames", "10"]).is_err());
+        assert!(run_line(&["mux", "--overbook", "3", "--frames", "10"]).is_err());
+        assert!(run_line(&["mux", "--overbook", "1/0", "--frames", "10"]).is_err());
+        // A link far below the nominal sum trips admission control.
+        let e = run_line(&["mux", "--frames", "40", "--link-rate", "1"]).unwrap_err();
+        assert!(e.to_string().contains("rejected"), "{e}");
     }
 
     #[test]

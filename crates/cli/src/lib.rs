@@ -9,6 +9,8 @@
 //!   lossless requirement;
 //! * `simulate` — run the generic algorithm with a chosen drop policy
 //!   and print the schedule metrics;
+//! * `mux` — run several sessions over one shared link (rts-mux) and
+//!   compare schedulers and drop policies against dedicated links;
 //! * `frontier` — the lossless rate–delay frontier of a trace.
 //!
 //! Every command is a pure function from parsed arguments to an output
@@ -42,6 +44,13 @@ USAGE:
   smoothctl simulate FILE --buffer B --rate R --delay D
             [--policy greedy|tail|head|random] [--link-delay P]
             [--client-buffer BC] [--timeline CSV]
+  smoothctl mux [FILE...] [--sessions K] [--frames N] [--seed S]
+            [--factor F] [--delay D] [--link-delay P] [--link-rate C]
+            [--overbook NUM/DEN] [--scheduler rr|wfq|greedy]
+            [--policy greedy|tail|head|random]
+            (no FILEs: generates K MPEG-like demo sessions; without
+            --scheduler/--policy: compares all schedulers x policies
+            against dedicated links)
   smoothctl frontier FILE [--delays 0,1,2,4,8,...]
   smoothctl help
 

@@ -66,6 +66,30 @@ pub trait DropPolicy {
     }
 }
 
+/// Boxed policies delegate, so heterogeneous policy sets (one per
+/// multiplexed session, say) can share a `Server<Box<dyn DropPolicy>>`.
+impl<P: DropPolicy + ?Sized> DropPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_admit(&mut self, seq: Seq, slice: &Slice) {
+        (**self).on_admit(seq, slice)
+    }
+
+    fn on_remove(&mut self, seq: Seq) {
+        (**self).on_remove(seq)
+    }
+
+    fn next_victim(&mut self, buffer: &ServerBuffer) -> Option<Seq> {
+        (**self).next_victim(buffer)
+    }
+
+    fn early_victim(&mut self, buffer: &ServerBuffer) -> Option<Seq> {
+        (**self).early_victim(buffer)
+    }
+}
+
 /// Drops the newest stored slice first (the paper's Tail-Drop baseline).
 ///
 /// On an overflow at time `i` the victims are the just-arrived slices of

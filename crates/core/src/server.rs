@@ -153,13 +153,39 @@ impl<P: DropPolicy> Server<P> {
     /// Panics if the drop policy fails to produce a victim while
     /// droppable slices remain (a policy bug).
     pub fn step(&mut self, time: Time, arrivals: &[Slice]) -> ServerStep {
-        // 1. Arrivals join the buffer (and the policy's index).
+        self.step_with_budget(time, arrivals, self.rate)
+    }
+
+    /// Like [`step`](Self::step), but transmits at most `budget` bytes
+    /// this step instead of the configured rate `R`.
+    ///
+    /// This is the shared-link building block: a multiplexer grants each
+    /// session a per-slot share of one link, possibly zero, and the
+    /// overflow threshold scales with the grant (`B + budget` instead of
+    /// `B + R`) so the post-step occupancy still never exceeds `B`.
+    /// With `budget == R` this is exactly the dedicated-link step.
+    pub fn step_with_budget(&mut self, time: Time, arrivals: &[Slice], budget: Bytes) -> ServerStep {
+        self.admit_arrivals(arrivals);
+        self.step_admitted(time, budget)
+    }
+
+    /// Phase 1 of a step: arrivals join the buffer (and the policy's
+    /// index). Splitting admission from [`step_admitted`](Self::step_admitted)
+    /// lets a link scheduler look at every session's post-arrival demand
+    /// before deciding the per-session transmission budgets.
+    pub fn admit_arrivals(&mut self, arrivals: &[Slice]) {
         for slice in arrivals {
             debug_assert!(slice.size > 0, "streams validate slice sizes");
             let seq = self.buffer.admit(*slice);
             self.policy.on_admit(seq, slice);
         }
+    }
 
+    /// Phases 2–3 of a step: early drops, overflow resolution against a
+    /// droppable threshold of `B + budget`, then transmission of up to
+    /// `budget` bytes in FIFO order. Arrivals must already have been
+    /// admitted via [`admit_arrivals`](Self::admit_arrivals).
+    pub fn step_admitted(&mut self, time: Time, budget: Bytes) -> ServerStep {
         // 2a. Early drops, if the policy is proactive (Section 2.1).
         let mut dropped = Vec::new();
         while let Some(victim) = self.policy.early_victim(&self.buffer) {
@@ -169,17 +195,18 @@ impl<P: DropPolicy> Server<P> {
             dropped.push(slice);
         }
 
-        // 2b. Overflow resolution. After sending min(R, occ) bytes the
-        // residue must fit in B, so the droppable threshold is B + R
-        // (drops are whole-slice, transmission is byte-granular).
-        while self.buffer.occupancy() > self.capacity + self.rate {
+        // 2b. Overflow resolution. After sending min(budget, occ) bytes
+        // the residue must fit in B, so the droppable threshold is
+        // B + budget (drops are whole-slice, transmission is
+        // byte-granular).
+        while self.buffer.occupancy() > self.capacity + budget {
             let victim = self.policy.next_victim(&self.buffer).unwrap_or_else(|| {
                 panic!(
-                    "policy {} returned no victim at occupancy {} (capacity {}, rate {})",
+                    "policy {} returned no victim at occupancy {} (capacity {}, budget {})",
                     self.policy.name(),
                     self.buffer.occupancy(),
                     self.capacity,
-                    self.rate
+                    budget
                 )
             });
             self.validate_victim(victim);
@@ -188,10 +215,10 @@ impl<P: DropPolicy> Server<P> {
             dropped.push(slice);
         }
 
-        // 3. Transmission at the maximal possible rate, FIFO order.
+        // 3. Transmission at the maximal granted rate, FIFO order.
         let sent: Vec<SentChunk> = self
             .buffer
-            .transmit(self.rate)
+            .transmit(budget)
             .into_iter()
             .map(|(seq, slice, bytes, completed)| {
                 if completed {
@@ -409,6 +436,52 @@ mod tests {
     #[should_panic(expected = "link rate must be positive")]
     fn zero_rate_rejected() {
         let _ = Server::new(4, 0, TailDrop::new());
+    }
+
+    #[test]
+    fn zero_budget_step_transmits_nothing() {
+        // A multiplexer may grant a session no link share this slot; the
+        // buffer must hold (and overflow against B alone).
+        let stream = unit_frames(&[3]);
+        let mut server = Server::new(2, 5, TailDrop::new());
+        let step = server.step_with_budget(0, &stream.frames()[0].slices, 0);
+        assert_eq!(step.sent_bytes(), 0);
+        assert_eq!(step.dropped_bytes(), 1); // 3 arrivals, B = 2, grant 0
+        assert_eq!(step.occupancy, 2);
+    }
+
+    #[test]
+    fn full_budget_step_equals_dedicated_step() {
+        let stream = unit_frames(&[5, 2, 0, 7]);
+        let mut dedicated = Server::new(3, 2, GreedyByteValue::new());
+        let mut granted = Server::new(3, 2, GreedyByteValue::new());
+        for frame in stream.frames() {
+            let a = dedicated.step(frame.time, &frame.slices);
+            let b = granted.step_with_budget(frame.time, &frame.slices, 2);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn split_admit_then_step_equals_one_call() {
+        let stream = unit_frames(&[6]);
+        let mut whole = Server::new(2, 2, TailDrop::new());
+        let mut split = Server::new(2, 2, TailDrop::new());
+        let a = whole.step(0, &stream.frames()[0].slices);
+        split.admit_arrivals(&stream.frames()[0].slices);
+        let b = split.step_admitted(0, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxed_policy_delegates() {
+        let stream = unit_frames(&[5]);
+        let boxed: Box<dyn DropPolicy> = Box::new(TailDrop::new());
+        let mut server = Server::new(2, 1, boxed);
+        assert_eq!(server.policy_name(), "Tail-Drop");
+        let step = server.step(0, &stream.frames()[0].slices);
+        assert_eq!(step.sent_bytes(), 1);
+        assert_eq!(step.dropped_bytes(), 2);
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Crate-local property tests for the server buffer and algorithms.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Crate-local randomized tests for the server buffer and algorithms,
+//! driven by the workspace's deterministic `SplitMix64` PRNG so they run
+//! with no external test-framework dependency.
 
 use rts_core::policy::{GreedyByteValue, HeadDrop, TailDrop};
 use rts_core::tradeoff::SmoothingParams;
 use rts_core::{DropPolicy, Server, ServerBuffer};
+use rts_stream::rng::SplitMix64;
 use rts_stream::{Bytes, FrameKind, Slice, SliceId};
+
+const CASES: u64 = 128;
 
 fn slice(id: u64, size: Bytes, weight: u64) -> Slice {
     Slice {
@@ -27,22 +29,27 @@ enum Op {
     DropTail,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u64..6, 0u64..20).prop_map(|(size, weight)| Op::Admit { size, weight }),
-        (0u64..8).prop_map(|rate| Op::Transmit { rate }),
-        Just(Op::DropTail),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    match rng.range_u64(0, 2) {
+        0 => Op::Admit {
+            size: rng.range_u64(1, 5),
+            weight: rng.range_u64(0, 19),
+        },
+        1 => Op::Transmit {
+            rate: rng.range_u64(0, 7),
+        },
+        _ => Op::DropTail,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The buffer's cached occupancy always equals the sum of its
-    /// entries' remaining bytes, across arbitrary operation sequences,
-    /// and FIFO order is never violated.
-    #[test]
-    fn buffer_occupancy_is_always_consistent(ops in vec(op_strategy(), 0..60)) {
+/// The buffer's cached occupancy always equals the sum of its entries'
+/// remaining bytes, across arbitrary operation sequences, and FIFO
+/// order is never violated.
+#[test]
+fn buffer_occupancy_is_always_consistent() {
+    let mut rng = SplitMix64::new(0xC0DE_0001);
+    for case in 0..CASES {
+        let ops: Vec<Op> = (0..rng.range_u64(0, 59)).map(|_| random_op(&mut rng)).collect();
         let mut buf = ServerBuffer::new();
         let mut next_id = 0u64;
         for op in ops {
@@ -53,7 +60,7 @@ proptest! {
                 }
                 Op::Transmit { rate } => {
                     let sent: Bytes = buf.transmit(rate).iter().map(|x| x.2).sum();
-                    prop_assert!(sent <= rate);
+                    assert!(sent <= rate, "case {case}");
                 }
                 Op::DropTail => {
                     let protected = buf.protected();
@@ -65,108 +72,120 @@ proptest! {
                 }
             }
             let sum: Bytes = buf.iter().map(|e| e.remaining()).sum();
-            prop_assert_eq!(buf.occupancy(), sum);
+            assert_eq!(buf.occupancy(), sum, "case {case}");
             // FIFO order: seqs strictly increasing.
             let seqs: Vec<_> = buf.iter().map(|e| e.seq).collect();
-            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+            assert!(seqs.windows(2).all(|w| w[0] < w[1]), "case {case}");
             // At most the head may be partially transmitted.
             let partial = buf.iter().filter(|e| e.in_transmission()).count();
-            prop_assert!(partial <= 1);
+            assert!(partial <= 1, "case {case}");
             if partial == 1 {
-                prop_assert!(buf.head().expect("non-empty").in_transmission());
+                assert!(buf.head().expect("non-empty").in_transmission(), "case {case}");
             }
         }
     }
+}
 
-    /// One server step conserves bytes: arrivals = sent + dropped +
-    /// occupancy delta, for every policy.
-    #[test]
-    fn server_step_conserves_bytes(
-        arrivals in vec((1u64..5, 0u64..10), 0..12),
-        buffer in 0u64..12,
-        rate in 1u64..5,
-    ) {
-        fn check<P: DropPolicy>(
-            arrivals: &[(u64, u64)],
-            buffer: u64,
-            rate: u64,
-            policy: P,
-        ) -> Result<(), TestCaseError> {
-            let mut server = Server::new(buffer, rate, policy);
-            let slices: Vec<Slice> = arrivals
-                .iter()
-                .enumerate()
-                .map(|(i, &(size, weight))| slice(i as u64, size, weight))
-                .collect();
-            let before = server.buffer().occupancy();
-            let step = server.step(0, &slices);
-            let arrived: Bytes = slices.iter().map(|s| s.size).sum();
-            prop_assert_eq!(
-                before + arrived,
-                step.sent_bytes() + step.dropped_bytes() + step.occupancy
-            );
-            prop_assert!(step.occupancy <= buffer);
-            prop_assert!(step.sent_bytes() <= rate);
-            Ok(())
-        }
-        check(&arrivals, buffer, rate, TailDrop::new())?;
-        check(&arrivals, buffer, rate, HeadDrop::new())?;
-        check(&arrivals, buffer, rate, GreedyByteValue::new())?;
+/// One server step conserves bytes: arrivals = sent + dropped +
+/// occupancy delta, for every policy.
+#[test]
+fn server_step_conserves_bytes() {
+    fn check<P: DropPolicy>(case: u64, arrivals: &[(u64, u64)], buffer: u64, rate: u64, policy: P) {
+        let mut server = Server::new(buffer, rate, policy);
+        let slices: Vec<Slice> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, weight))| slice(i as u64, size, weight))
+            .collect();
+        let before = server.buffer().occupancy();
+        let step = server.step(0, &slices);
+        let arrived: Bytes = slices.iter().map(|s| s.size).sum();
+        assert_eq!(
+            before + arrived,
+            step.sent_bytes() + step.dropped_bytes() + step.occupancy,
+            "case {case}"
+        );
+        assert!(step.occupancy <= buffer, "case {case}");
+        assert!(step.sent_bytes() <= rate, "case {case}");
     }
 
-    /// The tradeoff solver always produces configurations satisfying
-    /// its own classification.
-    #[test]
-    fn balanced_constructors_classify_consistently(
-        rate in 1u64..50,
-        delay in 1u64..50,
-        buffer in 0u64..2000,
-    ) {
+    let mut rng = SplitMix64::new(0xC0DE_0002);
+    for case in 0..CASES {
+        let arrivals: Vec<(u64, u64)> = (0..rng.range_u64(0, 11))
+            .map(|_| (rng.range_u64(1, 4), rng.range_u64(0, 9)))
+            .collect();
+        let buffer = rng.range_u64(0, 11);
+        let rate = rng.range_u64(1, 4);
+        check(case, &arrivals, buffer, rate, TailDrop::new());
+        check(case, &arrivals, buffer, rate, HeadDrop::new());
+        check(case, &arrivals, buffer, rate, GreedyByteValue::new());
+    }
+}
+
+/// The tradeoff solver always produces configurations satisfying its
+/// own classification.
+#[test]
+fn balanced_constructors_classify_consistently() {
+    let mut rng = SplitMix64::new(0xC0DE_0003);
+    for case in 0..CASES {
+        let rate = rng.range_u64(1, 49);
+        let delay = rng.range_u64(1, 49);
+        let buffer = rng.range_u64(0, 1999);
         let p = SmoothingParams::balanced_from_rate_delay(rate, delay, 0);
-        prop_assert!(p.is_balanced());
+        assert!(p.is_balanced(), "case {case}");
         let q = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 0);
         // Never under-provisioned: the delay covers B/R.
-        prop_assert!(q.rate * q.delay >= buffer);
-        prop_assert!(q.rate * q.delay < buffer + rate);
+        assert!(q.rate * q.delay >= buffer, "case {case}");
+        assert!(q.rate * q.delay < buffer + rate, "case {case}");
         let r = SmoothingParams::balanced_from_buffer_delay(buffer, delay, 0);
-        prop_assert!(r.rate * r.delay >= buffer);
+        assert!(r.rate * r.delay >= buffer, "case {case}");
+    }
+}
+
+/// Greedy never yields less benefit than Tail-Drop or Head-Drop on
+/// single-burst workloads (where FIFO position is irrelevant and only
+/// value-awareness matters).
+#[test]
+fn greedy_wins_single_bursts() {
+    fn benefit<P: DropPolicy>(arrivals: &[(u64, u64)], buffer: u64, rate: u64, policy: P) -> u64 {
+        let mut server = Server::new(buffer, rate, policy);
+        let slices: Vec<Slice> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, weight))| slice(i as u64, size, weight))
+            .collect();
+        let mut total = 0;
+        let step = server.step(0, &slices);
+        total += step
+            .sent
+            .iter()
+            .filter(|c| c.completed)
+            .map(|c| c.slice.weight)
+            .sum::<u64>();
+        for (_, step) in server.drain(1) {
+            total += step
+                .sent
+                .iter()
+                .filter(|c| c.completed)
+                .map(|c| c.slice.weight)
+                .sum::<u64>();
+        }
+        total
     }
 
-    /// Greedy never yields less benefit than Tail-Drop or Head-Drop on
-    /// single-burst workloads (where FIFO position is irrelevant and
-    /// only value-awareness matters).
-    #[test]
-    fn greedy_wins_single_bursts(
-        arrivals in vec((1u64..4, 1u64..30), 1..14),
-        buffer in 0u64..10,
-        rate in 1u64..4,
-    ) {
-        fn benefit<P: DropPolicy>(
-            arrivals: &[(u64, u64)],
-            buffer: u64,
-            rate: u64,
-            policy: P,
-        ) -> u64 {
-            let mut server = Server::new(buffer, rate, policy);
-            let slices: Vec<Slice> = arrivals
-                .iter()
-                .enumerate()
-                .map(|(i, &(size, weight))| slice(i as u64, size, weight))
-                .collect();
-            let mut total = 0;
-            let step = server.step(0, &slices);
-            total += step.sent.iter().filter(|c| c.completed).map(|c| c.slice.weight).sum::<u64>();
-            for (_, step) in server.drain(1) {
-                total += step.sent.iter().filter(|c| c.completed).map(|c| c.slice.weight).sum::<u64>();
-            }
-            total
-        }
+    let mut rng = SplitMix64::new(0xC0DE_0004);
+    for case in 0..CASES {
+        let arrivals: Vec<(u64, u64)> = (0..rng.range_u64(1, 13))
+            .map(|_| (rng.range_u64(1, 3), rng.range_u64(1, 29)))
+            .collect();
+        let buffer = rng.range_u64(0, 9);
+        let rate = rng.range_u64(1, 3);
         let greedy = benefit(&arrivals, buffer, rate, GreedyByteValue::new());
         let tail = benefit(&arrivals, buffer, rate, TailDrop::new());
-        prop_assert!(greedy >= tail.min(greedy)); // greedy is defined
+        assert!(greedy >= tail.min(greedy), "case {case}"); // greedy is defined
         // For unit-size slices greedy provably dominates on one burst.
         if arrivals.iter().all(|&(s, _)| s == 1) {
-            prop_assert!(greedy >= tail, "greedy {} < tail {}", greedy, tail);
+            assert!(greedy >= tail, "case {case}: greedy {greedy} < tail {tail}");
         }
     }
 }

@@ -1,0 +1,256 @@
+//! Admission control: which sessions may join the shared link.
+//!
+//! A session asking for `SmoothingParams { buffer: B, rate: R, delay: D, .. }`
+//! is feasible on a dedicated link of rate `R` exactly when `B ≤ R·D`
+//! (Theorem 3.5's tradeoff: the client has `D` slots of slack, so a
+//! buffer larger than `R·D` necessarily holds bytes that will miss
+//! their deadline). On a shared link, the controller additionally
+//! checks the session's nominal rate against the *residual* capacity:
+//!
+//! ```text
+//! Σ admitted R_i + R_new ≤ C · num / den
+//! ```
+//!
+//! where `num/den ≥ 1` is the **overbooking factor**. At `1/1` (the
+//! default) the link is never oversubscribed and a max-min fair
+//! scheduler ([`RoundRobin`](crate::RoundRobin) /
+//! [`WeightedFair`](crate::WeightedFair) with weights ∝ rates) can
+//! serve every admitted CBR session losslessly. Factors above 1 trade
+//! that guarantee for utilization — statistical multiplexing in the
+//! sense of the paper's introduction: VBR peaks rarely coincide, so a
+//! modest oversubscription usually goes unnoticed, and when it does
+//! not, the drop policies decide who pays.
+
+use std::fmt;
+
+use rts_core::tradeoff::SmoothingParams;
+use rts_stream::Bytes;
+
+/// Why a session was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The session asked for a zero nominal rate (it could never drain).
+    ZeroRate,
+    /// `B > R·D`: the buffer outruns the playout slack, so even a
+    /// dedicated link at the nominal rate would miss deadlines.
+    InfeasibleTradeoff {
+        /// Requested buffer `B`.
+        buffer: Bytes,
+        /// The feasible maximum `R·D`.
+        max_feasible: Bytes,
+    },
+    /// The nominal rate does not fit the residual (overbooked) capacity.
+    InsufficientCapacity {
+        /// The rate the session asked for.
+        requested: Bytes,
+        /// Capacity still available under the overbooking factor.
+        residual: Bytes,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::ZeroRate => write!(f, "session requested a zero nominal rate"),
+            AdmissionError::InfeasibleTradeoff {
+                buffer,
+                max_feasible,
+            } => write!(
+                f,
+                "buffer {buffer} exceeds the feasible R*D = {max_feasible} (deadlines \
+                 would be missed even on a dedicated link)"
+            ),
+            AdmissionError::InsufficientCapacity {
+                requested,
+                residual,
+            } => write!(
+                f,
+                "rate {requested} exceeds residual link capacity {residual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Tracks committed nominal rates against an (optionally overbooked)
+/// link capacity.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    link_rate: Bytes,
+    overbook_num: u64,
+    overbook_den: u64,
+    committed: Bytes,
+}
+
+impl AdmissionController {
+    /// A controller with no overbooking (factor 1): admitted sessions'
+    /// nominal rates never exceed the link rate.
+    pub fn new(link_rate: Bytes) -> Self {
+        AdmissionController::with_overbooking(link_rate, 1, 1)
+    }
+
+    /// A controller admitting up to `link_rate · num / den` of nominal
+    /// rate. `num/den < 1` is allowed (head-room reservation) but the
+    /// usual use is `≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn with_overbooking(link_rate: Bytes, num: u64, den: u64) -> Self {
+        assert!(den > 0, "overbooking denominator must be positive");
+        AdmissionController {
+            link_rate,
+            overbook_num: num,
+            overbook_den: den,
+            committed: 0,
+        }
+    }
+
+    /// The raw link rate `C`.
+    pub fn link_rate(&self) -> Bytes {
+        self.link_rate
+    }
+
+    /// The admittable total: `C · num / den`, rounded down.
+    pub fn bookable_capacity(&self) -> Bytes {
+        (self.link_rate as u128 * self.overbook_num as u128 / self.overbook_den as u128) as Bytes
+    }
+
+    /// Total nominal rate already committed.
+    pub fn committed(&self) -> Bytes {
+        self.committed
+    }
+
+    /// Capacity still available for new sessions.
+    pub fn residual(&self) -> Bytes {
+        self.bookable_capacity().saturating_sub(self.committed)
+    }
+
+    /// Checks a candidate without committing it.
+    pub fn check(&self, params: &SmoothingParams) -> Result<(), AdmissionError> {
+        if params.rate == 0 {
+            return Err(AdmissionError::ZeroRate);
+        }
+        let max_feasible = params.rate * params.delay;
+        if params.buffer > max_feasible {
+            return Err(AdmissionError::InfeasibleTradeoff {
+                buffer: params.buffer,
+                max_feasible,
+            });
+        }
+        if params.rate > self.residual() {
+            return Err(AdmissionError::InsufficientCapacity {
+                requested: params.rate,
+                residual: self.residual(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Admits a session, committing its nominal rate.
+    pub fn admit(&mut self, params: &SmoothingParams) -> Result<(), AdmissionError> {
+        self.check(params)?;
+        self.committed += params.rate;
+        Ok(())
+    }
+
+    /// Releases a previously admitted session's rate (session teardown).
+    pub fn release(&mut self, params: &SmoothingParams) {
+        self.committed = self.committed.saturating_sub(params.rate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced(rate: Bytes, delay: u64) -> SmoothingParams {
+        SmoothingParams::balanced_from_rate_delay(rate, delay, 0)
+    }
+
+    #[test]
+    fn admits_until_capacity_is_committed() {
+        let mut ac = AdmissionController::new(10);
+        assert!(ac.admit(&balanced(4, 3)).is_ok());
+        assert!(ac.admit(&balanced(4, 3)).is_ok());
+        assert_eq!(ac.residual(), 2);
+        assert_eq!(
+            ac.admit(&balanced(4, 3)),
+            Err(AdmissionError::InsufficientCapacity {
+                requested: 4,
+                residual: 2
+            })
+        );
+        // A smaller session still fits.
+        assert!(ac.admit(&balanced(2, 3)).is_ok());
+        assert_eq!(ac.residual(), 0);
+    }
+
+    #[test]
+    fn rejects_infeasible_tradeoff() {
+        let ac = AdmissionController::new(10);
+        let p = SmoothingParams {
+            buffer: 9,
+            rate: 2,
+            delay: 3,
+            link_delay: 0,
+        };
+        assert_eq!(
+            ac.check(&p),
+            Err(AdmissionError::InfeasibleTradeoff {
+                buffer: 9,
+                max_feasible: 6
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        let ac = AdmissionController::new(10);
+        let p = SmoothingParams {
+            buffer: 0,
+            rate: 0,
+            delay: 3,
+            link_delay: 0,
+        };
+        assert_eq!(ac.check(&p), Err(AdmissionError::ZeroRate));
+    }
+
+    #[test]
+    fn overbooking_expands_the_book() {
+        let mut ac = AdmissionController::with_overbooking(10, 3, 2); // 15 bookable
+        assert_eq!(ac.bookable_capacity(), 15);
+        assert!(ac.admit(&balanced(10, 2)).is_ok());
+        assert!(ac.admit(&balanced(5, 2)).is_ok());
+        assert!(ac.admit(&balanced(1, 2)).is_err());
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut ac = AdmissionController::new(10);
+        let p = balanced(6, 2);
+        ac.admit(&p).unwrap();
+        assert!(ac.admit(&balanced(6, 2)).is_err());
+        ac.release(&p);
+        assert!(ac.admit(&balanced(6, 2)).is_ok());
+    }
+
+    #[test]
+    fn errors_display() {
+        let s = AdmissionError::ZeroRate.to_string();
+        assert!(s.contains("zero"));
+        let s = AdmissionError::InfeasibleTradeoff {
+            buffer: 9,
+            max_feasible: 6,
+        }
+        .to_string();
+        assert!(s.contains("9") && s.contains("6"));
+        let s = AdmissionError::InsufficientCapacity {
+            requested: 4,
+            residual: 2,
+        }
+        .to_string();
+        assert!(s.contains("4") && s.contains("2"));
+    }
+}

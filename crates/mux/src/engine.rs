@@ -1,0 +1,315 @@
+//! The multiplexer engine: K smoothed sessions, one link, slotted time.
+//!
+//! Per slot `t`:
+//!
+//! 1. every session admits its arrivals (phase 1 of the server step);
+//! 2. the [`LinkScheduler`] sees all post-arrival demands and divides
+//!    the link capacity `C` into integer grants;
+//! 3. each session resolves overflow against `B + grant` and transmits
+//!    up to its grant (phases 2–3), so per-session buffers never exceed
+//!    `B` and the link never carries more than `C` bytes per slot;
+//! 4. delivered chunks feed each session's client, which plays or
+//!    drops against its own deadline.
+//!
+//! The run ends when every session's stream, server, link, and client
+//! are empty. Byte conservation and the buffer bound are the engine's
+//! invariants; the integration tests re-check both per slot.
+
+use rts_stream::{Bytes, Time};
+
+use crate::admission::{AdmissionController, AdmissionError};
+use crate::scheduler::{LinkScheduler, SessionDemand};
+use crate::session::{Session, SessionMetrics, SessionSpec};
+
+/// Identifies a session inside one [`Mux`] (its index, in admission
+/// order).
+pub type SessionId = usize;
+
+/// The outcome of one multiplexed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MuxReport {
+    /// The link scheduler's display name.
+    pub scheduler: &'static str,
+    /// The shared link rate `C`.
+    pub link_rate: Bytes,
+    /// Number of slots simulated.
+    pub slots: u64,
+    /// Bytes put on the link in each slot (`≤ link_rate` each).
+    pub per_slot_sent: Vec<Bytes>,
+    /// Per-session outcomes, in admission order.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+impl MuxReport {
+    /// Total bytes carried by the link.
+    pub fn link_bytes_sent(&self) -> Bytes {
+        self.per_slot_sent.iter().sum()
+    }
+
+    /// The busiest slot's byte count.
+    pub fn max_slot_sent(&self) -> Bytes {
+        self.per_slot_sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean fraction of the link used over the run (0 for an empty run).
+    pub fn utilization(&self) -> f64 {
+        if self.slots == 0 || self.link_rate == 0 {
+            0.0
+        } else {
+            self.link_bytes_sent() as f64 / (self.slots * self.link_rate) as f64
+        }
+    }
+
+    /// Aggregate offered weight across sessions.
+    pub fn offered_weight(&self) -> u64 {
+        self.sessions.iter().map(|s| s.offered_weight).sum()
+    }
+
+    /// Aggregate delivered weight across sessions.
+    pub fn delivered_weight(&self) -> u64 {
+        self.sessions.iter().map(|s| s.delivered_weight).sum()
+    }
+
+    /// Aggregate weighted loss across sessions.
+    pub fn weighted_loss(&self) -> f64 {
+        let offered = self.offered_weight();
+        if offered == 0 {
+            0.0
+        } else {
+            (offered - self.delivered_weight()) as f64 / offered as f64
+        }
+    }
+}
+
+/// A multiplexer under construction: add sessions (through admission
+/// control), then [`run`](Mux::run) it to completion.
+pub struct Mux<S> {
+    scheduler: S,
+    admission: AdmissionController,
+    sessions: Vec<Session>,
+}
+
+impl<S: LinkScheduler> Mux<S> {
+    /// A multiplexer over a link of rate `link_rate` with no
+    /// overbooking: admission keeps `Σ nominal rates ≤ C`.
+    pub fn new(link_rate: Bytes, scheduler: S) -> Self {
+        Mux {
+            scheduler,
+            admission: AdmissionController::new(link_rate),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// A multiplexer admitting up to `link_rate · num / den` of nominal
+    /// rate (see [`AdmissionController::with_overbooking`]).
+    pub fn with_overbooking(link_rate: Bytes, scheduler: S, num: u64, den: u64) -> Self {
+        Mux {
+            scheduler,
+            admission: AdmissionController::with_overbooking(link_rate, num, den),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// The admission controller's view (committed/residual capacity).
+    pub fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+
+    /// Number of admitted sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Admits a session, or explains the refusal. The spec's
+    /// `params.rate` is the nominal rate checked against residual
+    /// capacity.
+    pub fn admit(&mut self, spec: SessionSpec) -> Result<SessionId, AdmissionError> {
+        self.admission.admit(&spec.params)?;
+        self.sessions.push(Session::start(spec));
+        Ok(self.sessions.len() - 1)
+    }
+
+    /// Adds a session bypassing the capacity check (the tradeoff
+    /// feasibility check still applies). For experiments that
+    /// deliberately oversubscribe the link beyond the configured
+    /// overbooking factor.
+    pub fn admit_unchecked(&mut self, spec: SessionSpec) -> Result<SessionId, AdmissionError> {
+        if let Err(
+            e @ (AdmissionError::ZeroRate | AdmissionError::InfeasibleTradeoff { .. }),
+        ) = self.admission.check(&spec.params)
+        {
+            return Err(e);
+        }
+        self.sessions.push(Session::start(spec));
+        Ok(self.sessions.len() - 1)
+    }
+
+    /// Runs every admitted session to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds a loose horizon bound (a scheduler
+    /// that starves a backlogged session forever would trip it).
+    pub fn run(mut self) -> MuxReport {
+        let link_rate = self.admission.link_rate();
+        let horizon: Time = self
+            .sessions
+            .iter()
+            .map(|s| s.horizon_bound())
+            .max()
+            .unwrap_or(0)
+            + self.sessions.len() as Time
+            + 16;
+
+        let mut per_slot_sent = Vec::new();
+        let mut t: Time = 0;
+        while !self.sessions.iter().all(|s| s.is_done()) {
+            assert!(
+                t <= horizon,
+                "mux run exceeded horizon {horizon} (scheduler {} starving a session?)",
+                self.scheduler.name()
+            );
+            for s in &mut self.sessions {
+                s.admit(t);
+            }
+            let demands: Vec<SessionDemand<'_>> = self
+                .sessions
+                .iter()
+                .map(|s| SessionDemand {
+                    pending: s.pending(),
+                    weight: s.weight,
+                    buffer: s.buffer(),
+                })
+                .collect();
+            let grants = self.scheduler.grants(&demands, link_rate);
+            debug_assert_eq!(grants.len(), self.sessions.len());
+            debug_assert!(grants.iter().sum::<Bytes>() <= link_rate);
+            drop(demands);
+
+            let mut slot_sent = 0;
+            for (s, &grant) in self.sessions.iter_mut().zip(&grants) {
+                slot_sent += s.transmit_and_play(t, grant);
+            }
+            debug_assert!(slot_sent <= link_rate, "link over-driven at t={t}");
+            per_slot_sent.push(slot_sent);
+            t += 1;
+        }
+
+        MuxReport {
+            scheduler: self.scheduler.name(),
+            link_rate,
+            slots: t,
+            per_slot_sent,
+            sessions: self.sessions.into_iter().map(|s| s.metrics).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{GreedyAcrossSessions, RoundRobin, WeightedFair};
+    use rts_core::policy::{GreedyByteValue, TailDrop};
+    use rts_core::tradeoff::SmoothingParams;
+    use rts_stream::{InputStream, SliceSpec};
+
+    fn cbr(rate: u64, slots: u64) -> InputStream {
+        InputStream::from_frames(
+            (0..slots)
+                .map(|_| vec![SliceSpec::unit(); rate as usize])
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn cbr_spec(rate: u64, slots: u64, delay: u64) -> SessionSpec {
+        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, 0);
+        SessionSpec::new(cbr(rate, slots), params, Box::new(TailDrop::new()))
+    }
+
+    #[test]
+    fn admitted_cbr_sessions_are_loss_free_round_robin() {
+        let mut mux = Mux::new(6, RoundRobin::new());
+        mux.admit(cbr_spec(3, 40, 2)).unwrap();
+        mux.admit(cbr_spec(2, 40, 2)).unwrap();
+        mux.admit(cbr_spec(1, 40, 2)).unwrap();
+        assert!(mux.admit(cbr_spec(1, 40, 2)).is_err()); // book is full
+        let report = mux.run();
+        for s in &report.sessions {
+            assert_eq!(s.weighted_loss(), 0.0, "{} lost data", s.label);
+        }
+        assert!(report.max_slot_sent() <= 6);
+    }
+
+    #[test]
+    fn admitted_cbr_sessions_are_loss_free_weighted_fair() {
+        let mut mux = Mux::new(6, WeightedFair::new());
+        // Weights proportional to nominal rates.
+        mux.admit(cbr_spec(3, 40, 2).with_weight(3)).unwrap();
+        mux.admit(cbr_spec(2, 40, 2).with_weight(2)).unwrap();
+        mux.admit(cbr_spec(1, 40, 2).with_weight(1)).unwrap();
+        let report = mux.run();
+        for s in &report.sessions {
+            assert_eq!(s.weighted_loss(), 0.0, "{} lost data", s.label);
+        }
+    }
+
+    #[test]
+    fn empty_mux_reports_cleanly() {
+        let report = Mux::new(4, RoundRobin::new()).run();
+        assert_eq!(report.slots, 0);
+        assert_eq!(report.utilization(), 0.0);
+        assert_eq!(report.weighted_loss(), 0.0);
+        assert_eq!(report.max_slot_sent(), 0);
+    }
+
+    #[test]
+    fn overbooked_link_loses_but_conserves() {
+        // Two rate-4 sessions on a C = 6 link at overbooking 4/3.
+        let mut mux = Mux::with_overbooking(6, GreedyAcrossSessions::new(), 4, 3);
+        mux.admit(cbr_spec(4, 30, 2)).unwrap();
+        mux.admit(cbr_spec(4, 30, 2)).unwrap();
+        let report = mux.run();
+        assert!(report.weighted_loss() > 0.0, "8 > 6 must lose");
+        assert!(report.max_slot_sent() <= 6);
+        for s in &report.sessions {
+            // Conservation per session: delivered + dropped = offered.
+            assert!(s.delivered_bytes <= s.offered_bytes);
+            assert!(s.server_occupancy_max <= 8); // B = R·D = 8
+        }
+    }
+
+    #[test]
+    fn admit_unchecked_skips_capacity_not_feasibility() {
+        let mut mux = Mux::new(2, RoundRobin::new());
+        // Over capacity: admit() refuses, admit_unchecked() allows.
+        assert!(mux.admit(cbr_spec(5, 10, 2)).is_err());
+        assert!(mux.admit_unchecked(cbr_spec(5, 10, 2)).is_ok());
+        // Infeasible tradeoff: both refuse.
+        let bad = SessionSpec::new(
+            cbr(1, 5),
+            SmoothingParams {
+                buffer: 10,
+                rate: 1,
+                delay: 2,
+                link_delay: 0,
+            },
+            Box::new(GreedyByteValue::new()),
+        );
+        assert!(mux.admit_unchecked(bad).is_err());
+        assert_eq!(mux.session_count(), 1);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut mux = Mux::new(4, RoundRobin::new());
+        mux.admit(cbr_spec(2, 10, 2).with_label("a")).unwrap();
+        mux.admit(cbr_spec(2, 10, 2).with_label("b")).unwrap();
+        let report = mux.run();
+        assert_eq!(report.scheduler, "Round-Robin");
+        assert_eq!(report.offered_weight(), 40);
+        assert_eq!(report.delivered_weight(), 40);
+        assert_eq!(report.link_bytes_sent(), 40);
+        assert!(report.utilization() > 0.0);
+        assert_eq!(report.sessions[0].label, "a");
+    }
+}

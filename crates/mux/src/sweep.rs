@@ -1,0 +1,74 @@
+//! Parallel sweeps over multiplexer configurations.
+//!
+//! Mux runs at different session counts (or link rates, schedulers, …)
+//! are independent, so they fan out over `rts-sim`'s
+//! [`parallel_map`](rts_sim::parallel_map) worker pool exactly like the
+//! figure sweeps do.
+
+use rts_sim::parallel_map;
+
+use crate::engine::MuxReport;
+
+/// Runs `build_and_run` once per session count, in parallel, returning
+/// reports in input order.
+///
+/// The closure builds a fresh multiplexer for count `k` and runs it;
+/// everything it captures must be `Sync`.
+///
+/// # Example
+///
+/// ```
+/// use rts_core::policy::TailDrop;
+/// use rts_core::tradeoff::SmoothingParams;
+/// use rts_mux::{sweep_session_counts, Mux, RoundRobin, SessionSpec};
+/// use rts_stream::{InputStream, SliceSpec};
+///
+/// let reports = sweep_session_counts(&[1, 2, 3], |k| {
+///     let mut mux = Mux::new(2 * k as u64, RoundRobin::new());
+///     for _ in 0..k {
+///         let stream = InputStream::from_frames(vec![vec![SliceSpec::unit(); 2]; 8]);
+///         let params = SmoothingParams::balanced_from_rate_delay(2, 2, 0);
+///         mux.admit(SessionSpec::new(stream, params, Box::new(TailDrop::new())))
+///             .expect("fits");
+///     }
+///     mux.run()
+/// });
+/// assert_eq!(reports.len(), 3);
+/// assert!(reports.iter().all(|r| r.weighted_loss() == 0.0));
+/// ```
+pub fn sweep_session_counts<F>(counts: &[usize], build_and_run: F) -> Vec<MuxReport>
+where
+    F: Fn(usize) -> MuxReport + Sync,
+{
+    parallel_map(counts, None, |&k| build_and_run(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::RoundRobin;
+    use crate::session::SessionSpec;
+    use crate::Mux;
+    use rts_core::policy::TailDrop;
+    use rts_core::tradeoff::SmoothingParams;
+    use rts_stream::{InputStream, SliceSpec};
+
+    #[test]
+    fn sweep_preserves_order_and_scales() {
+        let reports = sweep_session_counts(&[1, 2, 4], |k| {
+            let mut mux = Mux::new(k as u64, RoundRobin::new());
+            for _ in 0..k {
+                let stream = InputStream::from_frames(vec![vec![SliceSpec::unit()]; 6]);
+                let params = SmoothingParams::balanced_from_rate_delay(1, 1, 0);
+                mux.admit(SessionSpec::new(stream, params, Box::new(TailDrop::new())))
+                    .expect("fits");
+            }
+            mux.run()
+        });
+        assert_eq!(reports.len(), 3);
+        for (r, k) in reports.iter().zip([1usize, 2, 4]) {
+            assert_eq!(r.sessions.len(), k);
+            assert_eq!(r.weighted_loss(), 0.0);
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //!
 //! The figures of Section 5 are sweeps over buffer sizes and link rates,
 //! with several policies per point. [`parallel_map`] fans the points out
-//! over OS threads (crossbeam scoped threads — no `'static` bounds
-//! needed), preserving input order in the output.
+//! over OS threads (`std::thread::scope` — no `'static` bounds needed),
+//! preserving input order in the output.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -42,9 +42,9 @@ where
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..worker_count {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -53,8 +53,7 @@ where
                 results.lock().expect("no panics while holding lock")[i] = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     results
         .into_inner()

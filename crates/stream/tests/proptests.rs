@@ -1,7 +1,6 @@
-//! Crate-local property tests for the stream model.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Crate-local randomized tests for the stream model, driven by the
+//! crate's own deterministic `SplitMix64` PRNG so they run with no
+//! external test-framework dependency.
 
 use rts_stream::gen::{markov_onoff, MarkovOnOffConfig};
 use rts_stream::rng::SplitMix64;
@@ -9,95 +8,143 @@ use rts_stream::slicing::{FrameSizeTrace, Slicing};
 use rts_stream::weight::WeightAssignment;
 use rts_stream::{merge, textio, FrameKind, InputStream, SliceSpec};
 
-fn trace_strategy() -> impl Strategy<Value = FrameSizeTrace> {
-    vec(0u64..200, 0..40).prop_map(|sizes| {
-        FrameSizeTrace::new(sizes.into_iter().map(|s| (FrameKind::Generic, s)).collect())
-    })
+const CASES: u64 = 128;
+
+fn random_trace(rng: &mut SplitMix64) -> FrameSizeTrace {
+    let n = rng.range_u64(0, 39);
+    FrameSizeTrace::new(
+        (0..n)
+            .map(|_| (FrameKind::Generic, rng.range_u64(0, 199)))
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Every slicing policy partitions the frame exactly.
-    #[test]
-    fn slicing_partitions_exactly(size in 0u64..500, chunk in 1u64..64) {
+/// Every slicing policy partitions the frame exactly.
+#[test]
+fn slicing_partitions_exactly() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for case in 0..CASES {
+        let size = rng.range_u64(0, 499);
+        let chunk = rng.range_u64(1, 63);
         for slicing in [Slicing::PerByte, Slicing::WholeFrame, Slicing::Chunks(chunk)] {
             let parts = slicing.split(size);
-            prop_assert_eq!(parts.iter().sum::<u64>(), size);
-            prop_assert!(parts.iter().all(|&p| p >= 1));
+            assert_eq!(parts.iter().sum::<u64>(), size, "case {case}");
+            assert!(parts.iter().all(|&p| p >= 1), "case {case}");
             if let Slicing::Chunks(c) = slicing {
-                prop_assert!(parts.iter().all(|&p| p <= c));
+                assert!(parts.iter().all(|&p| p <= c), "case {case}");
             }
         }
     }
+}
 
-    /// Materializing preserves total bytes at every granularity, and
-    /// per-kind-byte weights make total weight granularity-invariant.
-    #[test]
-    fn materialize_invariants(trace in trace_strategy(), chunk in 1u64..32) {
+/// Materializing preserves total bytes at every granularity, and
+/// per-kind-byte weights make total weight granularity-invariant.
+#[test]
+fn materialize_invariants() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let chunk = rng.range_u64(1, 31);
         let w = WeightAssignment::MPEG_12_8_1;
         let a = trace.materialize(Slicing::PerByte, w);
         let b = trace.materialize(Slicing::WholeFrame, w);
         let c = trace.materialize(Slicing::Chunks(chunk), w);
-        prop_assert_eq!(a.total_bytes(), trace.total_bytes());
-        prop_assert_eq!(b.total_bytes(), trace.total_bytes());
-        prop_assert_eq!(c.total_bytes(), trace.total_bytes());
-        prop_assert_eq!(a.total_weight(), b.total_weight());
-        prop_assert_eq!(a.total_weight(), c.total_weight());
+        assert_eq!(a.total_bytes(), trace.total_bytes(), "case {case}");
+        assert_eq!(b.total_bytes(), trace.total_bytes(), "case {case}");
+        assert_eq!(c.total_bytes(), trace.total_bytes(), "case {case}");
+        assert_eq!(a.total_weight(), b.total_weight(), "case {case}");
+        assert_eq!(a.total_weight(), c.total_weight(), "case {case}");
     }
+}
 
-    /// Trace transforms compose sanely.
-    #[test]
-    fn transforms_preserve_counts(trace in trace_strategy(), times in 0usize..4) {
+/// Trace transforms compose sanely.
+#[test]
+fn transforms_preserve_counts() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let times = rng.range_u64(0, 3) as usize;
         let repeated = trace.repeated(times);
-        prop_assert_eq!(repeated.len(), trace.len() * times);
-        prop_assert_eq!(repeated.total_bytes(), trace.total_bytes() * times as u64);
+        assert_eq!(repeated.len(), trace.len() * times, "case {case}");
+        assert_eq!(
+            repeated.total_bytes(),
+            trace.total_bytes() * times as u64,
+            "case {case}"
+        );
         let windowed = trace.window(1, 5);
-        prop_assert!(windowed.len() <= 5);
+        assert!(windowed.len() <= 5, "case {case}");
         let doubled = trace.scaled(2, 1);
-        prop_assert_eq!(doubled.total_bytes(), trace.total_bytes() * 2);
+        assert_eq!(doubled.total_bytes(), trace.total_bytes() * 2, "case {case}");
     }
+}
 
-    /// Merging preserves bytes, weight, and per-origin slice counts.
-    #[test]
-    fn merge_preserves_everything(
-        a in trace_strategy(),
-        b in trace_strategy(),
-    ) {
+/// Merging preserves bytes, weight, and per-origin slice counts.
+#[test]
+fn merge_preserves_everything() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for case in 0..CASES {
+        let a = random_trace(&mut rng);
+        let b = random_trace(&mut rng);
         let sa = a.materialize(Slicing::WholeFrame, WeightAssignment::BySize);
         let sb = b.materialize(Slicing::WholeFrame, WeightAssignment::BySize);
         let m = merge(&[sa.clone(), sb.clone()]);
-        prop_assert_eq!(m.stream.total_bytes(), sa.total_bytes() + sb.total_bytes());
-        prop_assert_eq!(m.stream.total_weight(), sa.total_weight() + sb.total_weight());
+        assert_eq!(
+            m.stream.total_bytes(),
+            sa.total_bytes() + sb.total_bytes(),
+            "case {case}"
+        );
+        assert_eq!(
+            m.stream.total_weight(),
+            sa.total_weight() + sb.total_weight(),
+            "case {case}"
+        );
         let from_a = m.origin.iter().filter(|&&o| o == 0).count();
-        prop_assert_eq!(from_a, sa.slice_count());
+        assert_eq!(from_a, sa.slice_count(), "case {case}");
     }
+}
 
-    /// Both text formats round-trip arbitrary content.
-    #[test]
-    fn both_text_formats_roundtrip(trace in trace_strategy()) {
+/// Both text formats round-trip arbitrary content.
+#[test]
+fn both_text_formats_roundtrip() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
         let sizes_text = textio::write_frame_sizes(&trace);
-        prop_assert_eq!(&textio::parse_frame_sizes(&sizes_text).unwrap(), &trace);
+        assert_eq!(
+            &textio::parse_frame_sizes(&sizes_text).unwrap(),
+            &trace,
+            "case {case}"
+        );
         let stream = trace.materialize(Slicing::Chunks(7), WeightAssignment::MPEG_12_8_1);
         let stream_text = textio::write_stream(&stream);
-        prop_assert_eq!(textio::parse_stream(&stream_text).unwrap(), stream);
+        assert_eq!(textio::parse_stream(&stream_text).unwrap(), stream, "case {case}");
     }
+}
 
-    /// SplitMix64 ranges are honest for arbitrary bounds.
-    #[test]
-    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+/// SplitMix64 ranges are honest for arbitrary bounds.
+#[test]
+fn rng_range_bounds() {
+    let mut meta = SplitMix64::new(0x5EED_0006);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let lo = meta.range_u64(0, 999);
+        let hi = lo + meta.range_u64(0, 999);
         let mut rng = SplitMix64::new(seed);
-        let hi = lo + span;
         for _ in 0..32 {
             let v = rng.range_u64(lo, hi);
-            prop_assert!((lo..=hi).contains(&v));
+            assert!((lo..=hi).contains(&v), "case {case}");
         }
     }
+}
 
-    /// The Markov source only emits its two configured sizes and is
-    /// reproducible.
-    #[test]
-    fn markov_emits_two_sizes(seed in any::<u64>(), n in 1usize..200) {
+/// The Markov source only emits its two configured sizes and is
+/// reproducible.
+#[test]
+fn markov_emits_two_sizes() {
+    let mut meta = SplitMix64::new(0x5EED_0007);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let n = meta.range_u64(1, 199) as usize;
         let cfg = MarkovOnOffConfig {
             on_size: 9,
             off_size: 2,
@@ -106,20 +153,31 @@ proptest! {
         };
         let t1 = markov_onoff(cfg, n, seed);
         let t2 = markov_onoff(cfg, n, seed);
-        prop_assert_eq!(&t1, &t2);
-        prop_assert!(t1.frames().iter().all(|&(_, s)| s == 9 || s == 2));
+        assert_eq!(&t1, &t2, "case {case}");
+        assert!(
+            t1.frames().iter().all(|&(_, s)| s == 9 || s == 2),
+            "case {case}"
+        );
     }
+}
 
-    /// Builder ids are dense and ordered for arbitrary frame shapes.
-    #[test]
-    fn builder_ids_dense(frames in vec(vec((1u64..5, 0u64..9), 0..5), 0..10)) {
-        let stream = InputStream::from_frames(frames.iter().map(|f| {
-            f.iter()
-                .map(|&(s, w)| SliceSpec::new(s, w, FrameKind::Generic))
-                .collect::<Vec<_>>()
-        }));
+/// Builder ids are dense and ordered for arbitrary frame shapes.
+#[test]
+fn builder_ids_dense() {
+    let mut rng = SplitMix64::new(0x5EED_0008);
+    for case in 0..CASES {
+        let frames: Vec<Vec<SliceSpec>> = (0..rng.range_u64(0, 9))
+            .map(|_| {
+                (0..rng.range_u64(0, 4))
+                    .map(|_| {
+                        SliceSpec::new(rng.range_u64(1, 4), rng.range_u64(0, 8), FrameKind::Generic)
+                    })
+                    .collect()
+            })
+            .collect();
+        let stream = InputStream::from_frames(frames);
         for (i, s) in stream.slices().enumerate() {
-            prop_assert_eq!(s.id.index(), i);
+            assert_eq!(s.id.index(), i, "case {case}");
         }
     }
 }

@@ -13,8 +13,8 @@
 //! algorithm plus Greedy runs on the merged stream unchanged.
 
 use realtime_smoothing::{
-    optimal_unit_benefit, simulate, GreedyByteValue, MpegConfig, MpegSource, SimConfig, Slicing,
-    SmoothingParams, WeightAssignment,
+    optimal_unit_benefit, simulate, GreedyByteValue, MpegConfig, MpegSource, Mux, SessionSpec,
+    SimConfig, Slicing, SmoothingParams, WeightAssignment, WeightedFair,
 };
 use rts_offline::min_lossless_rate;
 use rts_stream::{merge, InputStream};
@@ -85,4 +85,40 @@ fn main() {
     println!("\nThe shared buffer spreads the pain: no feed is starved, and the");
     println!("loss lands on B frames across all feeds (Greedy's byte values are");
     println!("comparable across streams because the 12:8:1 weighting is shared).");
+
+    // The merged-stream model above pools all buffers into one. rts-mux
+    // instead keeps each feed's server buffer, drop policy, and playout
+    // deadline separate, and a link scheduler divides each slot of the
+    // shared link — the operator's view, with admission control.
+    let mut mux = Mux::new(tight, WeightedFair::new());
+    for (i, s) in streams.iter().enumerate() {
+        // Book each feed at its share of the tight link.
+        let r = (tight * min_lossless_rate(s, delay)) / separate_total.max(1);
+        let params = SmoothingParams::balanced_from_rate_delay(r.max(1), delay, 2);
+        mux.admit(
+            SessionSpec::new(s.clone(), params, Box::new(GreedyByteValue::new()))
+                .with_weight(r.max(1))
+                .with_label(format!("feed {i}")),
+        )
+        .expect("shares sum to at most the link rate");
+    }
+    let report = mux.run();
+    println!("\nsame link under rts-mux (per-feed buffers, Weighted-Fair + Greedy):");
+    for m in &report.sessions {
+        println!(
+            "  {}: {:.2}% of weight delivered (B = {}, peak occupancy {})",
+            m.label,
+            m.benefit_fraction() * 100.0,
+            m.buffer_capacity,
+            m.server_occupancy_max
+        );
+    }
+    println!(
+        "  aggregate weighted loss {:.2}%, link utilization {:.3}",
+        report.weighted_loss() * 100.0,
+        report.utilization()
+    );
+    println!("\nIsolation costs a little loss versus the pooled buffer, but no");
+    println!("feed can push its bursts into a neighbour's buffer, and admission");
+    println!("control (B = R*D against residual capacity) is enforced per feed.");
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full offline verification: release build, the whole test suite, and
+# clippy with warnings denied. This is exactly what CI runs; the
+# workspace has no external dependencies, so it works with no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "verify: build, tests, and clippy all clean"

@@ -15,7 +15,9 @@
 //! * [`sim`] ([`rts_sim`]) — the end-to-end slotted-time simulator with
 //!   schedule recording and validation;
 //! * [`offline`] ([`rts_offline`]) — exact offline optima (min-cost
-//!   flow, occupancy DP, brute force).
+//!   flow, occupancy DP, brute force);
+//! * [`mux`] ([`rts_mux`]) — shared-link multiplexing of many sessions
+//!   with link schedulers, admission control, and per-session metrics.
 //!
 //! The most common items are re-exported at the top level.
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use rts_core as core;
+pub use rts_mux as mux;
 pub use rts_offline as offline;
 pub use rts_sim as sim;
 pub use rts_stream as stream;
@@ -56,6 +59,10 @@ pub use rts_core::policy::{
 };
 pub use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
 pub use rts_core::{Client, Server};
+pub use rts_mux::{
+    AdmissionController, AdmissionError, GreedyAcrossSessions, LinkScheduler, Mux, MuxReport,
+    RoundRobin, SessionMetrics, SessionSpec, WeightedFair,
+};
 pub use rts_offline::{
     min_lossless_delay, min_lossless_rate, optimal_brute_force, optimal_frame_benefit,
     optimal_frame_plan, optimal_mixed_benefit, optimal_mixed_plan, optimal_unit_benefit,

@@ -1,0 +1,180 @@
+//! Integration tests for the rts-mux shared-link subsystem: the link
+//! and buffer invariants under random MPEG-like workloads, loss-free
+//! admission-controlled CBR, and a regression pin on the multiplexing
+//! gain figure.
+//!
+//! Cases use the workspace's deterministic [`SplitMix64`] PRNG so the
+//! suite runs offline and failures reproduce exactly.
+
+use realtime_smoothing::{
+    DropPolicy, GreedyAcrossSessions, GreedyByteValue, InputStream, LinkScheduler, MpegConfig,
+    MpegSource, Mux, MuxReport, RoundRobin, SessionSpec, SliceSpec, Slicing, SmoothingParams,
+    TailDrop, WeightAssignment, WeightedFair,
+};
+use rts_stream::rng::SplitMix64;
+
+const CASES: u64 = 24;
+
+fn scheduler_for(case: u64) -> Box<dyn LinkScheduler> {
+    match case % 3 {
+        0 => Box::new(RoundRobin::new()),
+        1 => Box::new(WeightedFair::new()),
+        _ => Box::new(GreedyAcrossSessions::new()),
+    }
+}
+
+fn policy_for(case: u64) -> Box<dyn DropPolicy> {
+    if case.is_multiple_of(2) {
+        Box::new(TailDrop::new())
+    } else {
+        Box::new(GreedyByteValue::new())
+    }
+}
+
+/// A random MPEG-like multiplexer: 1–4 sessions, random frame counts,
+/// random smoothing parameters, mixed schedulers and policies. The link
+/// may be under-provisioned (overbooked admission), so losses happen —
+/// the invariants must hold regardless.
+fn random_mux(rng: &mut SplitMix64, case: u64) -> (MuxReport, u64) {
+    let k = rng.range_u64(1, 4);
+    let mut rates = Vec::new();
+    let mut specs = Vec::new();
+    for i in 0..k {
+        let stream = MpegSource::new(MpegConfig::cnn_like(), rng.next_u64())
+            .frames(rng.range_u64(20, 120) as usize)
+            .materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+        let factor = 0.6 + rng.next_f64();
+        let rate = stream.stats().rate_at(factor).max(1);
+        let delay = rng.range_u64(1, 12);
+        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, rng.range_u64(0, 3));
+        rates.push(rate);
+        specs.push(
+            SessionSpec::new(stream, params, policy_for(case + i))
+                .with_weight(rng.range_u64(1, 9))
+                .with_label(format!("s{i}")),
+        );
+    }
+    // Link between half and the full sum of nominal rates; admit with a
+    // matching overbooking factor so every session gets in.
+    let sum: u64 = rates.iter().sum();
+    let link_rate = (sum.div_ceil(2) + rng.range_u64(0, sum / 2)).max(1);
+    let mut mux = Mux::with_overbooking(link_rate, scheduler_for(case), 2, 1);
+    for spec in specs {
+        mux.admit(spec).expect("2x overbooking covers the sum");
+    }
+    (mux.run(), link_rate)
+}
+
+#[test]
+fn link_conservation_under_random_workloads() {
+    let mut rng = SplitMix64::new(0x0A0B_0001);
+    for case in 0..CASES {
+        let (report, link_rate) = random_mux(&mut rng, case);
+        assert!(
+            report.per_slot_sent.iter().all(|&s| s <= link_rate),
+            "case {case} ({}): some slot sent more than the link rate {link_rate}",
+            report.scheduler
+        );
+        assert_eq!(
+            report.per_slot_sent.iter().sum::<u64>(),
+            report.link_bytes_sent(),
+            "case {case}: per-slot sum disagrees with the aggregate"
+        );
+        let session_sent: u64 = report.sessions.iter().map(|m| m.sent_bytes).sum();
+        assert_eq!(
+            session_sent,
+            report.link_bytes_sent(),
+            "case {case}: sessions and link disagree on bytes sent"
+        );
+        assert!(
+            report.utilization() <= 1.0 + 1e-12,
+            "case {case}: utilization above 1"
+        );
+    }
+}
+
+#[test]
+fn buffer_bounds_under_random_workloads() {
+    let mut rng = SplitMix64::new(0x0A0B_0002);
+    for case in 0..CASES {
+        let (report, _) = random_mux(&mut rng, case);
+        for m in &report.sessions {
+            assert!(
+                m.server_occupancy_max <= m.buffer_capacity,
+                "case {case} session {}: occupancy {} exceeded B = {}",
+                m.label,
+                m.server_occupancy_max,
+                m.buffer_capacity
+            );
+            assert!(
+                m.delivered_weight <= m.offered_weight,
+                "case {case} session {}: delivered more weight than offered",
+                m.label
+            );
+            assert!(
+                m.delivered_bytes + m.server_dropped_bytes <= m.offered_bytes,
+                "case {case} session {}: bytes not conserved",
+                m.label
+            );
+        }
+    }
+}
+
+/// Admission-controlled CBR sessions never lose a byte, whichever
+/// max-min scheduler runs the link (Theorem 3.5's B = R·D guarantee
+/// survives sharing).
+#[test]
+fn admitted_cbr_is_loss_free_for_fair_schedulers() {
+    for fair in [0u64, 1] {
+        let mut mux = Mux::new(10, scheduler_for(fair));
+        for (i, rate) in [5u64, 3, 2].into_iter().enumerate() {
+            let stream = InputStream::from_frames(vec![
+                vec![SliceSpec::unit(); rate as usize];
+                40
+            ]);
+            let params = SmoothingParams::balanced_from_rate_delay(rate, 3, 1);
+            mux.admit(
+                SessionSpec::new(stream, params, policy_for(i as u64))
+                    .with_weight(rate),
+            )
+            .expect("rates sum exactly to the link");
+        }
+        let report = mux.run();
+        assert_eq!(
+            report.weighted_loss(),
+            0.0,
+            "{}: admitted CBR lost weight",
+            report.scheduler
+        );
+        assert!(report.max_slot_sent() <= 10);
+    }
+}
+
+/// Regression pin on the multiplexing-gain figure: sharing one link
+/// never needs more capacity than dedicated links (gain >= 1), and the
+/// lossless rates fall as the delay budget grows.
+#[test]
+fn mux_gain_shape_and_monotonicity() {
+    let delays = [0u64, 4, 16];
+    let table = rts_bench::figures::mux_gain_on(2, 120, &delays);
+    assert_eq!(table.headers, ["delay", "sum_separate", "shared", "gain"]);
+    assert_eq!(table.rows.len(), delays.len());
+    let mut prev_sep = u64::MAX;
+    let mut prev_shared = u64::MAX;
+    for (row, d) in table.rows.iter().zip(delays) {
+        assert_eq!(row[0], d.to_string());
+        let sep: u64 = row[1].parse().expect("sum_separate is integral");
+        let shared: u64 = row[2].parse().expect("shared is integral");
+        let gain: f64 = row[3].parse().expect("gain is numeric");
+        assert!(shared <= sep, "delay {d}: sharing needed more capacity");
+        assert!(gain >= 1.0 - 1e-9, "delay {d}: gain below 1");
+        assert!(
+            (gain - sep as f64 / shared as f64).abs() < 1e-3,
+            "delay {d}: gain column inconsistent with rates"
+        );
+        assert!(sep <= prev_sep, "delay {d}: separate rate increased");
+        assert!(shared <= prev_shared, "delay {d}: shared rate increased");
+        prev_sep = sep;
+        prev_shared = shared;
+    }
+}

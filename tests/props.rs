@@ -1,199 +1,250 @@
-//! Property-based tests (proptest) over the whole stack: random
-//! streams, random parameters, and the model invariants that must hold
-//! for every one of them.
-
-use proptest::collection::vec;
-use proptest::prelude::*;
+//! Randomized property tests over the whole stack: random streams,
+//! random parameters, and the model invariants that must hold for every
+//! one of them.
+//!
+//! Cases are generated with the workspace's own deterministic
+//! [`SplitMix64`] PRNG (no external test-framework dependency, so the
+//! suite runs offline). Every assertion message carries the case index;
+//! reproduce a failure by re-running the test — the sequence is fixed.
 
 use realtime_smoothing::{
     optimal_unit_benefit, simulate, validate, GreedyByteValue, InputStream, SimConfig, SliceSpec,
     SmoothingParams, TailDrop,
 };
 use rts_sim::run_server_only;
+use rts_stream::rng::SplitMix64;
 use rts_stream::textio;
 use rts_stream::FrameKind;
 
-/// Strategy: a random stream as per-frame lists of (size, weight, kind).
-fn stream_strategy(
-    max_steps: usize,
-    max_per_step: usize,
+const CASES: u64 = 64;
+
+fn kind(rng: &mut SplitMix64) -> FrameKind {
+    match rng.range_u64(0, 3) {
+        0 => FrameKind::I,
+        1 => FrameKind::P,
+        2 => FrameKind::B,
+        _ => FrameKind::Generic,
+    }
+}
+
+/// A random stream as per-frame lists of (size, weight, kind).
+fn random_stream(
+    rng: &mut SplitMix64,
+    max_steps: u64,
+    max_per_step: u64,
     max_size: u64,
-) -> impl Strategy<Value = InputStream> {
-    let kind = prop_oneof![
-        Just(FrameKind::I),
-        Just(FrameKind::P),
-        Just(FrameKind::B),
-        Just(FrameKind::Generic),
-    ];
-    let slice = (1..=max_size, 0u64..50, kind).prop_map(|(s, w, k)| SliceSpec::new(s, w, k));
-    vec(vec(slice, 0..=max_per_step), 1..=max_steps).prop_map(InputStream::from_frames)
+) -> InputStream {
+    let steps = rng.range_u64(1, max_steps);
+    let frames: Vec<Vec<SliceSpec>> = (0..steps)
+        .map(|_| {
+            let n = rng.range_u64(0, max_per_step);
+            (0..n)
+                .map(|_| {
+                    SliceSpec::new(
+                        rng.range_u64(1, max_size),
+                        rng.range_u64(0, 49),
+                        kind(rng),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    InputStream::from_frames(frames)
 }
 
-/// Strategy: unit-size slices only.
-fn unit_stream_strategy(
-    max_steps: usize,
-    max_per_step: usize,
-) -> impl Strategy<Value = InputStream> {
-    stream_strategy(max_steps, max_per_step, 1)
+/// Unit-size slices only.
+fn random_unit_stream(rng: &mut SplitMix64, max_steps: u64, max_per_step: u64) -> InputStream {
+    random_stream(rng, max_steps, max_per_step, 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Conservation: every offered byte is either played or lost, for
-    /// arbitrary (even unbalanced) configurations.
-    #[test]
-    fn conservation_holds_for_any_configuration(
-        stream in stream_strategy(12, 4, 3),
-        buffer in 0u64..12,
-        rate in 1u64..5,
-        delay in 0u64..6,
-        link_delay in 0u64..4,
-    ) {
-        let params = SmoothingParams { buffer, rate, delay, link_delay };
+/// Conservation: every offered byte is either played or lost, for
+/// arbitrary (even unbalanced) configurations.
+#[test]
+fn conservation_holds_for_any_configuration() {
+    let mut rng = SplitMix64::new(0x00D0_0001);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 12, 4, 3);
+        let params = SmoothingParams {
+            buffer: rng.range_u64(0, 11),
+            rate: rng.range_u64(1, 4),
+            delay: rng.range_u64(0, 5),
+            link_delay: rng.range_u64(0, 3),
+        };
         let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
         let m = &report.metrics;
-        prop_assert_eq!(m.played_bytes + m.lost_bytes(), m.offered_bytes);
-        prop_assert_eq!(
+        assert_eq!(m.played_bytes + m.lost_bytes(), m.offered_bytes, "case {case}");
+        assert_eq!(
             m.played_slices + m.server_dropped_slices + m.client_dropped_slices,
-            stream.slice_count() as u64
+            stream.slice_count() as u64,
+            "case {case}"
         );
         // The structural validator accepts every schedule the engine
         // produces (balanced-only clauses fire only when balanced).
-        prop_assert!(validate(&report).is_ok(),
-            "validator rejected: {:?}", validate(&report).err());
+        assert!(
+            validate(&report).is_ok(),
+            "case {case}: validator rejected: {:?}",
+            validate(&report).err()
+        );
     }
+}
 
-    /// Balanced configurations never lose at the client, and the
-    /// pipeline equals the single-buffer model.
-    #[test]
-    fn balanced_equals_server_only(
-        stream in stream_strategy(12, 4, 2),
-        rate in 1u64..5,
-        delay in 1u64..6,
-        link_delay in 0u64..3,
-    ) {
-        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, link_delay);
-        prop_assume!(params.buffer >= 2); // room for the largest slice
+/// Balanced configurations never lose at the client, and the pipeline
+/// equals the single-buffer model.
+#[test]
+fn balanced_equals_server_only() {
+    let mut rng = SplitMix64::new(0x00D0_0002);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 12, 4, 2);
+        let params = SmoothingParams::balanced_from_rate_delay(
+            rng.range_u64(1, 4),
+            rng.range_u64(1, 5),
+            rng.range_u64(0, 2),
+        );
+        if params.buffer < 2 {
+            continue; // room for the largest slice
+        }
         let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
-        let single = run_server_only(&stream, params.buffer, rate, GreedyByteValue::new());
-        prop_assert_eq!(report.metrics.benefit, single.benefit);
-        prop_assert_eq!(report.metrics.client_dropped_slices, 0);
+        let single = run_server_only(&stream, params.buffer, params.rate, GreedyByteValue::new());
+        assert_eq!(report.metrics.benefit, single.benefit, "case {case}");
+        assert_eq!(report.metrics.client_dropped_slices, 0, "case {case}");
     }
+}
 
-    /// The server buffer never exceeds its capacity and the link is
-    /// never over-driven, for any policy and configuration.
-    #[test]
-    fn resource_requirements_respected(
-        stream in stream_strategy(10, 5, 3),
-        buffer in 3u64..15,
-        rate in 1u64..6,
-    ) {
+/// The server buffer never exceeds its capacity and the link is never
+/// over-driven, for any policy and configuration.
+#[test]
+fn resource_requirements_respected() {
+    let mut rng = SplitMix64::new(0x00D0_0003);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 10, 5, 3);
+        let buffer = rng.range_u64(3, 14);
+        let rate = rng.range_u64(1, 5);
         let run = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
-        prop_assert!(run.throughput <= stream.total_bytes());
+        assert!(run.throughput <= stream.total_bytes(), "case {case}");
         let params = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 1);
         let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
-        prop_assert!(report.metrics.server_occupancy_max <= buffer);
-        prop_assert!(report.metrics.link_rate_max <= rate);
+        assert!(report.metrics.server_occupancy_max <= buffer, "case {case}");
+        assert!(report.metrics.link_rate_max <= rate, "case {case}");
     }
+}
 
-    /// The offline optimum dominates every online policy (it had better:
-    /// it is an upper bound over all schedules).
-    #[test]
-    fn optimal_dominates_online(
-        stream in unit_stream_strategy(10, 5),
-        buffer in 0u64..8,
-        rate in 1u64..4,
-    ) {
+/// The offline optimum dominates every online policy (it had better: it
+/// is an upper bound over all schedules).
+#[test]
+fn optimal_dominates_online() {
+    let mut rng = SplitMix64::new(0x00D0_0004);
+    for case in 0..CASES {
+        let stream = random_unit_stream(&mut rng, 10, 5);
+        let buffer = rng.range_u64(0, 7);
+        let rate = rng.range_u64(1, 3);
         let opt = optimal_unit_benefit(&stream, buffer, rate).unwrap();
         let greedy = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit;
         let tail = run_server_only(&stream, buffer, rate, TailDrop::new()).benefit;
-        prop_assert!(opt >= greedy, "opt {} < greedy {}", opt, greedy);
-        prop_assert!(opt >= tail, "opt {} < tail {}", opt, tail);
+        assert!(opt >= greedy, "case {case}: opt {opt} < greedy {greedy}");
+        assert!(opt >= tail, "case {case}: opt {opt} < tail {tail}");
         // And within the Theorem 4.1 factor of greedy.
-        prop_assert!(opt <= 4 * greedy.max(1) || opt == 0);
+        assert!(opt <= 4 * greedy.max(1) || opt == 0, "case {case}");
     }
+}
 
-    /// Text trace round-trip is lossless for arbitrary streams.
-    #[test]
-    fn textio_roundtrip(stream in stream_strategy(8, 4, 5)) {
+/// Text trace round-trip is lossless for arbitrary streams.
+#[test]
+fn textio_roundtrip() {
+    let mut rng = SplitMix64::new(0x00D0_0005);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 8, 4, 5);
         let text = textio::write_stream(&stream);
         let back = textio::parse_stream(&text).unwrap();
-        prop_assert_eq!(stream, back);
+        assert_eq!(stream, back, "case {case}");
     }
+}
 
-    /// Sojourn times are constant (the real-time property) for every
-    /// played slice under any balanced configuration.
-    #[test]
-    fn constant_sojourn_for_played_slices(
-        stream in stream_strategy(10, 4, 2),
-        rate in 1u64..4,
-        delay in 1u64..5,
-        link_delay in 0u64..3,
-    ) {
-        let params = SmoothingParams::balanced_from_rate_delay(rate, delay, link_delay);
+/// Sojourn times are constant (the real-time property) for every played
+/// slice under any balanced configuration.
+#[test]
+fn constant_sojourn_for_played_slices() {
+    let mut rng = SplitMix64::new(0x00D0_0006);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 10, 4, 2);
+        let link_delay = rng.range_u64(0, 2);
+        let params = SmoothingParams::balanced_from_rate_delay(
+            rng.range_u64(1, 3),
+            rng.range_u64(1, 4),
+            link_delay,
+        );
         let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
         for (rec, playout) in report.record.played() {
-            prop_assert_eq!(playout - rec.slice.arrival, link_delay + delay);
+            assert_eq!(
+                playout - rec.slice.arrival,
+                link_delay + params.delay,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Unit-slice throughput is policy-independent (the Theorem 3.5
-    /// under-specification), on arbitrary streams and configurations.
-    #[test]
-    fn unit_throughput_policy_independent(
-        stream in unit_stream_strategy(12, 6),
-        buffer in 0u64..10,
-        rate in 1u64..4,
-    ) {
+/// Unit-slice throughput is policy-independent (the Theorem 3.5
+/// under-specification), on arbitrary streams and configurations.
+#[test]
+fn unit_throughput_policy_independent() {
+    let mut rng = SplitMix64::new(0x00D0_0007);
+    for case in 0..CASES {
+        let stream = random_unit_stream(&mut rng, 12, 6);
+        let buffer = rng.range_u64(0, 9);
+        let rate = rng.range_u64(1, 3);
         let a = run_server_only(&stream, buffer, rate, TailDrop::new()).throughput;
         let b = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).throughput;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Differential test: the lazy-heap greedy and the O(n) rescan
-    /// greedy produce byte-identical schedules on arbitrary weighted
-    /// variable-size streams.
-    #[test]
-    fn greedy_heap_equals_greedy_rescan(
-        stream in stream_strategy(14, 5, 4),
-        buffer in 0u64..14,
-        rate in 1u64..5,
-    ) {
+/// Differential test: the lazy-heap greedy and the O(n) rescan greedy
+/// produce byte-identical schedules on arbitrary weighted variable-size
+/// streams.
+#[test]
+fn greedy_heap_equals_greedy_rescan() {
+    let mut rng = SplitMix64::new(0x00D0_0008);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 14, 5, 4);
+        let buffer = rng.range_u64(0, 13);
+        let rate = rng.range_u64(1, 4);
         let heap = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
         let scan = run_server_only(&stream, buffer, rate, rts_core::GreedyRescan::new());
-        prop_assert_eq!(heap, scan);
+        assert_eq!(heap, scan, "case {case}");
     }
+}
 
-    /// Replaying the offline plan through the server achieves the
-    /// optimum for arbitrary weighted unit-slice streams.
-    #[test]
-    fn planned_drops_always_achieve_the_optimum(
-        stream in unit_stream_strategy(12, 5),
-        buffer in 0u64..8,
-        rate in 1u64..4,
-    ) {
-        let (opt, rejected) =
-            rts_offline::optimal_unit_plan(&stream, buffer, rate).unwrap();
-        let replay =
-            run_server_only(&stream, buffer, rate, rts_core::PlannedDrops::new(rejected));
-        prop_assert_eq!(replay.benefit, opt);
+/// Replaying the offline plan through the server achieves the optimum
+/// for arbitrary weighted unit-slice streams.
+#[test]
+fn planned_drops_always_achieve_the_optimum() {
+    let mut rng = SplitMix64::new(0x00D0_0009);
+    for case in 0..CASES {
+        let stream = random_unit_stream(&mut rng, 12, 5);
+        let buffer = rng.range_u64(0, 7);
+        let rate = rng.range_u64(1, 3);
+        let (opt, rejected) = rts_offline::optimal_unit_plan(&stream, buffer, rate).unwrap();
+        let replay = run_server_only(&stream, buffer, rate, rts_core::PlannedDrops::new(rejected));
+        assert_eq!(replay.benefit, opt, "case {case}");
     }
+}
 
-    /// The timer-based client (Section 3.1.2's deployment mechanism,
-    /// which never learns the link delay) plays exactly what the
-    /// closed-form client plays, at exactly the same times, on
-    /// arbitrary schedules produced by the generic server.
-    #[test]
-    fn timer_client_equals_closed_form_client(
-        stream in stream_strategy(10, 4, 2),
-        buffer in 1u64..10,
-        rate in 1u64..4,
-        delay in 0u64..5,
-        link_delay in 0u64..4,
-    ) {
-        use rts_core::{Client, Server};
-        use rts_sim::{Link, LinkModel};
+/// The timer-based client (Section 3.1.2's deployment mechanism, which
+/// never learns the link delay) plays exactly what the closed-form
+/// client plays, at exactly the same times, on arbitrary schedules
+/// produced by the generic server.
+#[test]
+fn timer_client_equals_closed_form_client() {
+    use rts_core::{Client, Server};
+    use rts_sim::{Link, LinkModel};
+
+    let mut rng = SplitMix64::new(0x00D0_000A);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng, 10, 4, 2);
+        let buffer = rng.range_u64(1, 9);
+        let rate = rng.range_u64(1, 3);
+        let delay = rng.range_u64(0, 4);
+        let link_delay = rng.range_u64(0, 3);
 
         let mut server = Server::new(buffer, rate, TailDrop::new());
         let mut link = Link::new(link_delay);
@@ -212,7 +263,7 @@ proptest! {
             let delivered = link.deliver(t);
             let a = known.step(t, &delivered);
             let b = timer.step(t, &delivered);
-            prop_assert_eq!(a, b, "diverged at t={}", t);
+            assert_eq!(a, b, "case {case}: diverged at t={t}");
         }
     }
 }
