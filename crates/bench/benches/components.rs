@@ -3,9 +3,11 @@
 
 use rts_bench::timing::{bb, Harness};
 use rts_core::policy::{DropPolicy, EarlyValueDrop, GreedyByteValue, GreedyRescan};
+use rts_core::tradeoff::SmoothingParams;
 use rts_core::ServerBuffer;
+use rts_obs::NoopProbe;
 use rts_offline::{optimal_frame_benefit, optimal_unit_benefit};
-use rts_sim::run_server_only;
+use rts_sim::{run_server_only, simulate, simulate_probed, SimConfig};
 use rts_stream::gen::{MpegConfig, MpegSource};
 use rts_stream::rng::SplitMix64;
 use rts_stream::slicing::Slicing;
@@ -105,6 +107,24 @@ fn main() {
     });
     h.bench("proactive_ablation/early_value_drop", || {
         bb(run_server_only(&stream, buffer, rate, EarlyValueDrop::new(buffer, 3, 4, 2)).benefit)
+    });
+
+    // The disabled probe must be free: the probed entry point with
+    // `NoopProbe` monomorphizes to the same code as the plain one, so
+    // these two should time identically.
+    let trace = MpegSource::new(MpegConfig::cnn_like(), 15).frames(250);
+    let stream = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+    let rate = (trace.average_rate().round() as u64).max(1);
+    let params = SmoothingParams::balanced_from_rate_delay(rate, 8, 2);
+    h.bench("obs/simulate_unprobed", || {
+        bb(simulate(&stream, SimConfig::new(params), GreedyByteValue::new()).metrics.benefit)
+    });
+    h.bench("obs/simulate_noop_probe", || {
+        bb(
+            simulate_probed(&stream, SimConfig::new(params), GreedyByteValue::new(), &mut NoopProbe)
+                .metrics
+                .benefit,
+        )
     });
 
     h.finish();

@@ -1,14 +1,17 @@
 //! The `smoothctl` subcommands as pure, testable functions.
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
 
 use rts_core::policy::{DropPolicy, GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
 use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
 use rts_mux::{
     GreedyAcrossSessions, LinkScheduler, Mux, MuxReport, RoundRobin, SessionSpec, WeightedFair,
 };
+use rts_obs::{Collector, CsvTimeSeries, Event, JsonlWriter, NoopProbe, Probe};
 use rts_offline::{min_lossless_delay, min_lossless_rate, peak_rate};
-use rts_sim::{simulate, SimConfig, SimReport};
+use rts_sim::{simulate, simulate_probed, SimConfig, SimReport};
 use rts_stream::gen::{cbr, markov_onoff, MarkovOnOffConfig, MpegConfig, MpegSource};
 use rts_stream::slicing::Slicing;
 use rts_stream::weight::WeightAssignment;
@@ -32,6 +35,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "plan" => plan(args),
         "simulate" => simulate_cmd(args),
         "mux" => mux_cmd(args),
+        "obs" => obs_cmd(args),
         "frontier" => frontier(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
@@ -43,6 +47,90 @@ pub fn run(args: &Args) -> Result<String, CliError> {
 fn load(path: &str) -> Result<InputStream, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::io(path, e))?;
     Ok(textio::parse_stream(&text)?)
+}
+
+/// The optional observability sinks behind `--trace-out` (JSONL event
+/// trace) and `--metrics-out` (per-slot CSV time series). Relative
+/// paths land under `$RESULTS_DIR` when that is set.
+struct OutProbe {
+    trace: Option<(String, JsonlWriter<BufWriter<File>>)>,
+    series: Option<(String, CsvTimeSeries<BufWriter<File>>)>,
+}
+
+impl OutProbe {
+    fn from_args(args: &Args) -> Result<OutProbe, CliError> {
+        let open = |path: &str| -> Result<(String, BufWriter<File>), CliError> {
+            let resolved = rts_obs::resolve_out_path(std::path::Path::new(path))
+                .display()
+                .to_string();
+            let sink = rts_obs::create_sink(std::path::Path::new(path))
+                .map_err(|e| CliError::io(&resolved, e))?;
+            Ok((resolved, sink))
+        };
+        let trace = match args.opt("trace-out") {
+            Some(p) => {
+                let (resolved, sink) = open(p)?;
+                Some((resolved, JsonlWriter::new(sink)))
+            }
+            None => None,
+        };
+        let series = match args.opt("metrics-out") {
+            Some(p) => {
+                let (resolved, sink) = open(p)?;
+                Some((resolved, CsvTimeSeries::new(sink)))
+            }
+            None => None,
+        };
+        Ok(OutProbe { trace, series })
+    }
+
+    /// Flushes both sinks, surfacing any write error latched during the
+    /// run, and appends a "wrote ..." line per sink to `out`.
+    fn finish(self, out: &mut String) -> Result<(), CliError> {
+        if let Some((path, writer)) = self.trace {
+            let events = writer.lines();
+            writer
+                .finish()
+                .and_then(|mut w| w.flush())
+                .map_err(|e| CliError::io(&path, e))?;
+            let _ = writeln!(out, "trace:         wrote {path} ({events} events)");
+        }
+        if let Some((path, writer)) = self.series {
+            let rows = writer.rows();
+            writer
+                .finish()
+                .and_then(|mut w| w.flush())
+                .map_err(|e| CliError::io(&path, e))?;
+            let _ = writeln!(out, "metrics:       wrote {path} ({rows} slots)");
+        }
+        Ok(())
+    }
+}
+
+impl Probe for OutProbe {
+    fn enabled(&self) -> bool {
+        self.trace.is_some() || self.series.is_some()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Some((_, w)) = &mut self.trace {
+            w.on_event(event);
+        }
+        if let Some((_, w)) = &mut self.series {
+            w.on_event(event);
+        }
+    }
+}
+
+fn obs_cmd(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "event-trace file (JSONL)")?;
+    let file = File::open(path).map_err(|e| CliError::io(path, e))?;
+    let mut collector = Collector::new();
+    let events = rts_obs::replay(std::io::BufReader::new(file), &mut collector)
+        .map_err(|e| CliError::events(path, e))?;
+    let mut out = format!("replayed {path}: {events} events\n");
+    out.push_str(&collector.summary());
+    Ok(out)
 }
 
 fn parse_slicing(spec: &str) -> Result<Slicing, CliError> {
@@ -300,11 +388,17 @@ fn simulate_cmd(args: &Args) -> Result<String, CliError> {
         params,
         client_capacity: args.opt_parse("client-buffer")?,
     };
+    let mut probe = OutProbe::from_args(args)?;
     let report = match args.opt("policy").unwrap_or("greedy") {
-        "greedy" => simulate(&stream, config, GreedyByteValue::new()),
-        "tail" => simulate(&stream, config, TailDrop::new()),
-        "head" => simulate(&stream, config, HeadDrop::new()),
-        "random" => simulate(&stream, config, RandomDrop::new(args.opt_or("seed", 0)?)),
+        "greedy" => simulate_probed(&stream, config, GreedyByteValue::new(), &mut probe),
+        "tail" => simulate_probed(&stream, config, TailDrop::new(), &mut probe),
+        "head" => simulate_probed(&stream, config, HeadDrop::new(), &mut probe),
+        "random" => simulate_probed(
+            &stream,
+            config,
+            RandomDrop::new(args.opt_or("seed", 0)?),
+            &mut probe,
+        ),
         other => {
             return Err(CliError::usage(format!(
                 "unknown policy {other:?} (greedy|tail|head|random)"
@@ -312,6 +406,7 @@ fn simulate_cmd(args: &Args) -> Result<String, CliError> {
         }
     };
     let mut out = report_text(&report);
+    probe.finish(&mut out)?;
     if let Some(path) = args.opt("timeline") {
         let mut csv =
             String::from("time,server_occupancy,client_occupancy,sent_bytes,link_in_flight\n");
@@ -402,7 +497,8 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
 
     // One shared-link run: admit every session, then step to completion.
     let shared = |scheduler: Box<dyn LinkScheduler>,
-                  policy_name: &str|
+                  policy_name: &str,
+                  probe: &mut dyn Probe|
      -> Result<MuxReport, CliError> {
         let mut mux = Mux::with_overbooking(link_rate, scheduler, num, den);
         for ((label, s), &r) in streams.iter().zip(&rates) {
@@ -416,7 +512,7 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
                 ))
             })?;
         }
-        Ok(mux.run())
+        Ok(mux.run_probed(&mut &mut *probe))
     };
     // Dedicated baseline: each session alone on a link of its nominal rate.
     let dedicated = |policy_name: &str| -> Result<f64, CliError> {
@@ -440,9 +536,11 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
     );
     if args.opt("scheduler").is_some() || args.opt("policy").is_some() {
         // Detailed single run.
+        let mut probe = OutProbe::from_args(args)?;
         let sched = parse_scheduler(args.opt("scheduler").unwrap_or("rr"))?;
         let policy = args.opt("policy").unwrap_or("greedy");
-        let report = shared(sched, policy)?;
+        let report = shared(sched, policy, &mut probe)?;
+        probe.finish(&mut out)?;
         let _ = writeln!(out, "scheduler:     {}", report.scheduler);
         let _ = writeln!(
             out,
@@ -473,6 +571,11 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
         );
     } else {
         // Comparison: every scheduler x {tail, greedy} vs dedicated links.
+        if args.opt("trace-out").is_some() || args.opt("metrics-out").is_some() {
+            return Err(CliError::usage(
+                "--trace-out/--metrics-out need a single run: add --scheduler and/or --policy",
+            ));
+        }
         let policies = ["tail", "greedy"];
         let mut ded = Vec::new();
         for p in policies {
@@ -485,7 +588,7 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
         );
         for sched_key in ["rr", "wfq", "greedy"] {
             for p in policies {
-                let report = shared(parse_scheduler(sched_key)?, p)?;
+                let report = shared(parse_scheduler(sched_key)?, p, &mut NoopProbe)?;
                 let ded_loss = ded.iter().find(|(q, _)| *q == p).map_or(0.0, |(_, l)| *l);
                 let _ = writeln!(
                     out,
@@ -772,5 +875,74 @@ mod tests {
     fn missing_file_is_io_error() {
         let e = run_line(&["stats", "/nonexistent/definitely/missing.txt"]).unwrap_err();
         assert!(matches!(e, CliError::Io { .. }));
+    }
+
+    #[test]
+    fn simulate_trace_out_roundtrips_through_obs() {
+        let file = tmp("obs_trace");
+        let events = tmp("obs_events");
+        let series = tmp("obs_series");
+        run_line(&["generate", "--out", &file, "--frames", "40"]).unwrap();
+        let out = run_line(&[
+            "simulate",
+            &file,
+            "--buffer",
+            "200",
+            "--rate",
+            "40",
+            "--delay",
+            "5",
+            "--trace-out",
+            &events,
+            "--metrics-out",
+            &series,
+        ])
+        .unwrap();
+        assert!(out.contains("trace:         wrote"), "{out}");
+        assert!(out.contains("metrics:       wrote"), "{out}");
+
+        let csv = std::fs::read_to_string(&series).unwrap();
+        assert!(csv.starts_with(rts_obs::CSV_HEADER), "{csv}");
+
+        let summary = run_line(&["obs", &events]).unwrap();
+        assert!(summary.contains("replayed"), "{summary}");
+        assert!(summary.contains("sojourn"), "{summary}");
+        for f in [&file, &events, &series] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn mux_single_run_writes_trace() {
+        let events = tmp("mux_events");
+        let out = run_line(&[
+            "mux", "--sessions", "2", "--frames", "40", "--scheduler", "rr", "--trace-out",
+            &events,
+        ])
+        .unwrap();
+        assert!(out.contains("trace:         wrote"), "{out}");
+        let summary = run_line(&["obs", &events]).unwrap();
+        assert!(summary.contains("sessions=2"), "{summary}");
+        let _ = std::fs::remove_file(&events);
+    }
+
+    #[test]
+    fn mux_comparison_mode_rejects_trace_out() {
+        let e = run_line(&["mux", "--frames", "10", "--trace-out", "x.jsonl"]).unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)), "{e}");
+    }
+
+    #[test]
+    fn obs_rejects_missing_and_malformed_traces() {
+        let e = run_line(&["obs", "/no/such/trace.jsonl"]).unwrap_err();
+        assert!(matches!(e, CliError::Io { .. }));
+        assert!(e.to_string().contains("/no/such/trace.jsonl"));
+
+        let bad = tmp("obs_bad");
+        std::fs::write(&bad, "{\"ev\":\"run_start\",\"t\":0,\"sessions\":1}\nnot json\n").unwrap();
+        let e = run_line(&["obs", &bad]).unwrap_err();
+        assert!(matches!(e, CliError::Events { .. }), "{e}");
+        assert!(e.to_string().contains("line 2"), "{e}");
+        let _ = std::fs::remove_file(&bad);
     }
 }

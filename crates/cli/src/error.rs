@@ -16,6 +16,13 @@ pub enum CliError {
     },
     /// A trace file was syntactically invalid.
     Trace(rts_stream::StreamError),
+    /// An event-trace (JSONL) file could not be replayed.
+    Events {
+        /// The file involved.
+        path: String,
+        /// The underlying error (I/O or malformed line).
+        source: rts_obs::ReplayError,
+    },
 }
 
 impl CliError {
@@ -29,6 +36,23 @@ impl CliError {
             source,
         }
     }
+
+    pub(crate) fn events(path: &str, source: rts_obs::ReplayError) -> CliError {
+        CliError::Events {
+            path: path.to_string(),
+            source,
+        }
+    }
+
+    /// The process exit code this error deserves: 2 for command-line
+    /// misuse (with usage text), 1 for runtime failures (unreadable
+    /// files, malformed traces).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -37,6 +61,9 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
             CliError::Trace(e) => write!(f, "invalid trace: {e}"),
+            CliError::Events { path, source } => {
+                write!(f, "cannot replay event trace {path}: {source}")
+            }
         }
     }
 }
@@ -46,6 +73,7 @@ impl Error for CliError {
         match self {
             CliError::Io { source, .. } => Some(source),
             CliError::Trace(e) => Some(e),
+            CliError::Events { source, .. } => Some(source),
             CliError::Usage(_) => None,
         }
     }
@@ -72,5 +100,21 @@ mod tests {
         let tr = CliError::from(rts_stream::StreamError::EmptySlice { time: 1 });
         assert!(tr.to_string().contains("invalid trace"));
         assert!(Error::source(&tr).is_some());
+        let ev = CliError::events(
+            "e.jsonl",
+            rts_obs::ReplayError::Io(std::io::Error::other("gone")),
+        );
+        assert!(ev.to_string().contains("e.jsonl"));
+        assert!(Error::source(&ev).is_some());
+    }
+
+    #[test]
+    fn exit_codes_separate_usage_from_runtime_failures() {
+        assert_eq!(CliError::usage("x").exit_code(), 2);
+        assert_eq!(CliError::io("f", std::io::Error::other("nope")).exit_code(), 1);
+        assert_eq!(
+            CliError::from(rts_stream::StreamError::EmptySlice { time: 0 }).exit_code(),
+            1
+        );
     }
 }

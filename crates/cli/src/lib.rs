@@ -11,6 +11,8 @@
 //!   and print the schedule metrics;
 //! * `mux` — run several sessions over one shared link (rts-mux) and
 //!   compare schedulers and drop policies against dedicated links;
+//! * `obs` — replay a `--trace-out` JSONL event trace through the
+//!   streaming collector and print its summary;
 //! * `frontier` — the lossless rate–delay frontier of a trace.
 //!
 //! Every command is a pure function from parsed arguments to an output
@@ -44,15 +46,22 @@ USAGE:
   smoothctl simulate FILE --buffer B --rate R --delay D
             [--policy greedy|tail|head|random] [--link-delay P]
             [--client-buffer BC] [--timeline CSV]
+            [--trace-out JSONL] [--metrics-out CSV]
   smoothctl mux [FILE...] [--sessions K] [--frames N] [--seed S]
             [--factor F] [--delay D] [--link-delay P] [--link-rate C]
             [--overbook NUM/DEN] [--scheduler rr|wfq|greedy]
             [--policy greedy|tail|head|random]
+            [--trace-out JSONL] [--metrics-out CSV]
             (no FILEs: generates K MPEG-like demo sessions; without
             --scheduler/--policy: compares all schedulers x policies
             against dedicated links)
+  smoothctl obs TRACE.jsonl
+            (replay a --trace-out event trace and print the streaming
+            summary: counts, drops by site/reason, quantiles)
   smoothctl frontier FILE [--delays 0,1,2,4,8,...]
   smoothctl help
 
 Traces use the plain-text format of rts-stream (see its docs).
+--trace-out/--metrics-out resolve relative paths under $RESULTS_DIR
+when it is set.
 ";

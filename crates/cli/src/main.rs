@@ -15,7 +15,7 @@ fn main() {
             if matches!(e, rts_cli::CliError::Usage(_)) {
                 eprintln!("\n{}", rts_cli::USAGE);
             }
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

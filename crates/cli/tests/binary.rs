@@ -63,8 +63,60 @@ fn full_workflow_through_the_binary() {
 }
 
 #[test]
-fn io_error_reports_the_path() {
+fn io_error_reports_the_path_and_exits_1() {
     let out = smoothctl(&["stats", "/no/such/file.trace"]);
-    assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("/no/such/file.trace"));
+    assert_eq!(out.status.code(), Some(1), "I/O failures are not usage errors");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/no/such/file.trace"), "{err}");
+    assert!(!err.contains("USAGE"), "no usage dump for runtime failures");
+}
+
+#[test]
+fn obs_on_missing_trace_reports_the_path_and_exits_1() {
+    let out = smoothctl(&["obs", "/no/such/events.jsonl"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("/no/such/events.jsonl"), "{err}");
+}
+
+#[test]
+fn trace_out_roundtrips_through_obs() {
+    let trace = tmp("obs_flow");
+    let events = tmp("obs_flow_events");
+    let gen = smoothctl(&["generate", "--out", &trace, "--frames", "50", "--seed", "5"]);
+    assert!(gen.status.success(), "{gen:?}");
+    let sim = smoothctl(&[
+        "simulate", &trace, "--buffer", "300", "--rate", "50", "--delay", "6", "--trace-out",
+        &events,
+    ]);
+    assert!(sim.status.success(), "{sim:?}");
+    let obs = smoothctl(&["obs", &events]);
+    assert!(obs.status.success(), "{obs:?}");
+    let summary = String::from_utf8_lossy(&obs.stdout);
+    assert!(summary.contains("played:"), "{summary}");
+    assert!(summary.contains("sojourn:"), "{summary}");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&events);
+}
+
+#[test]
+fn results_dir_redirects_relative_sinks() {
+    let trace = tmp("results_dir_trace");
+    let dir = tmp("results_dir_out");
+    std::fs::create_dir_all(&dir).unwrap();
+    let gen = smoothctl(&["generate", "--out", &trace, "--frames", "30"]);
+    assert!(gen.status.success());
+    let sim = Command::new(env!("CARGO_BIN_EXE_smoothctl"))
+        .args([
+            "simulate", &trace, "--buffer", "200", "--rate", "40", "--delay", "4", "--trace-out",
+            "events.jsonl",
+        ])
+        .env("RESULTS_DIR", &dir)
+        .output()
+        .expect("binary runs");
+    assert!(sim.status.success(), "{sim:?}");
+    let written = std::path::Path::new(&dir).join("events.jsonl");
+    assert!(written.is_file(), "sink lands under RESULTS_DIR");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -24,6 +24,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use rts_obs::{DropReason, DropSite, Event, Probe};
 use rts_stream::{Bytes, Slice, SliceId, Time};
 
 use crate::server::SentChunk;
@@ -38,6 +39,17 @@ pub enum ClientDropReason {
     /// The playout deadline passed while parts of the slice were still in
     /// transit.
     Incomplete,
+}
+
+impl ClientDropReason {
+    /// The observability-layer reason this maps to.
+    pub fn as_obs(self) -> DropReason {
+        match self {
+            ClientDropReason::Overflow => DropReason::Overflow,
+            ClientDropReason::Late => DropReason::Late,
+            ClientDropReason::Incomplete => DropReason::Incomplete,
+        }
+    }
 }
 
 /// A slice discarded by the client, with the reason.
@@ -251,6 +263,43 @@ impl Client {
         out
     }
 
+    /// [`step`](Self::step) with an observability probe: each playout
+    /// emits an [`Event::SlicePlayed`] (with its sojourn `t − AT(s)`)
+    /// and each discard an [`Event::SliceDropped`] at
+    /// [`DropSite::Client`].
+    pub fn step_probed<Pr: Probe>(
+        &mut self,
+        t: Time,
+        delivered: &[SentChunk],
+        probe: &mut Pr,
+    ) -> ClientStep {
+        let out = self.step(t, delivered);
+        if probe.enabled() {
+            for slice in &out.played {
+                probe.on_event(&Event::SlicePlayed {
+                    time: t,
+                    session: 0,
+                    id: slice.id.0,
+                    bytes: slice.size,
+                    weight: slice.weight,
+                    sojourn: t - slice.arrival,
+                });
+            }
+            for drop in &out.dropped {
+                probe.on_event(&Event::SliceDropped {
+                    time: t,
+                    session: 0,
+                    id: drop.slice.id.0,
+                    bytes: drop.slice.size,
+                    weight: drop.slice.weight,
+                    site: DropSite::Client,
+                    reason: drop.reason.as_obs(),
+                });
+            }
+        }
+        out
+    }
+
     fn receive(&mut self, t: Time, chunk: &SentChunk, out: &mut ClientStep) {
         let id = chunk.slice.id;
         if self.rejected.contains(&id) {
@@ -439,6 +488,44 @@ mod tests {
         // Jump straight to t=9: the deadline-1 playout happens now.
         let st = c.step(9, &[]);
         assert_eq!(st.played, vec![s]);
+    }
+
+    #[test]
+    fn probed_step_reports_playout_and_drops() {
+        use rts_obs::VecProbe;
+        let mut c = Client::new(100, 3, 2);
+        let mut probe = VecProbe::new();
+        let s = slice(0, 0, 2);
+        c.step_probed(2, &[chunk(s, 0, 2, true)], &mut probe);
+        assert!(probe.events.is_empty());
+        c.step_probed(5, &[], &mut probe);
+        assert_eq!(probe.events.len(), 1);
+        assert!(
+            matches!(
+                probe.events[0],
+                Event::SlicePlayed { time: 5, id: 0, bytes: 2, sojourn: 5, .. }
+            ),
+            "{:?}",
+            probe.events[0]
+        );
+
+        // A late slice shows up as a client drop.
+        let late = slice(1, 0, 1);
+        let mut strict = Client::new(100, 0, 0);
+        let mut probe = VecProbe::new();
+        strict.step_probed(3, &[chunk(late, 3, 1, true)], &mut probe);
+        assert!(
+            matches!(
+                probe.events[0],
+                Event::SliceDropped {
+                    site: DropSite::Client,
+                    reason: DropReason::Late,
+                    ..
+                }
+            ),
+            "{:?}",
+            probe.events[0]
+        );
     }
 
     #[test]

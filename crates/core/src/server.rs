@@ -16,6 +16,7 @@
 //! dropped until the surviving data fits, which is where the
 //! `(B - Lmax + 1)/B` degradation of Theorem 3.9 comes from.
 
+use rts_obs::{DropReason, DropSite, Event, NoopProbe, Probe};
 use rts_stream::{Bytes, Slice, Time};
 
 use crate::buffer::{Seq, ServerBuffer};
@@ -156,6 +157,19 @@ impl<P: DropPolicy> Server<P> {
         self.step_with_budget(time, arrivals, self.rate)
     }
 
+    /// [`step`](Self::step) with an observability probe: emits
+    /// [`Event::SliceAdmitted`], [`Event::SliceDropped`], and
+    /// [`Event::SliceSent`] as they happen. With a
+    /// [`NoopProbe`] this is exactly `step`.
+    pub fn step_probed<Pr: Probe>(
+        &mut self,
+        time: Time,
+        arrivals: &[Slice],
+        probe: &mut Pr,
+    ) -> ServerStep {
+        self.step_with_budget_probed(time, arrivals, self.rate, probe)
+    }
+
     /// Like [`step`](Self::step), but transmits at most `budget` bytes
     /// this step instead of the configured rate `R`.
     ///
@@ -169,15 +183,43 @@ impl<P: DropPolicy> Server<P> {
         self.step_admitted(time, budget)
     }
 
+    /// [`step_with_budget`](Self::step_with_budget) with a probe.
+    pub fn step_with_budget_probed<Pr: Probe>(
+        &mut self,
+        time: Time,
+        arrivals: &[Slice],
+        budget: Bytes,
+        probe: &mut Pr,
+    ) -> ServerStep {
+        self.admit_arrivals_probed(arrivals, probe);
+        self.step_admitted_probed(time, budget, probe)
+    }
+
     /// Phase 1 of a step: arrivals join the buffer (and the policy's
     /// index). Splitting admission from [`step_admitted`](Self::step_admitted)
     /// lets a link scheduler look at every session's post-arrival demand
     /// before deciding the per-session transmission budgets.
     pub fn admit_arrivals(&mut self, arrivals: &[Slice]) {
+        self.admit_arrivals_probed(arrivals, &mut NoopProbe);
+    }
+
+    /// [`admit_arrivals`](Self::admit_arrivals) with a probe: emits one
+    /// [`Event::SliceAdmitted`] per arrival, timed at the slice's own
+    /// arrival slot `AT(s)`.
+    pub fn admit_arrivals_probed<Pr: Probe>(&mut self, arrivals: &[Slice], probe: &mut Pr) {
         for slice in arrivals {
             debug_assert!(slice.size > 0, "streams validate slice sizes");
             let seq = self.buffer.admit(*slice);
             self.policy.on_admit(seq, slice);
+            if probe.enabled() {
+                probe.on_event(&Event::SliceAdmitted {
+                    time: slice.arrival,
+                    session: 0,
+                    id: slice.id.0,
+                    bytes: slice.size,
+                    weight: slice.weight,
+                });
+            }
         }
     }
 
@@ -186,12 +228,28 @@ impl<P: DropPolicy> Server<P> {
     /// `budget` bytes in FIFO order. Arrivals must already have been
     /// admitted via [`admit_arrivals`](Self::admit_arrivals).
     pub fn step_admitted(&mut self, time: Time, budget: Bytes) -> ServerStep {
+        self.step_admitted_probed(time, budget, &mut NoopProbe)
+    }
+
+    /// [`step_admitted`](Self::step_admitted) with a probe: early drops
+    /// emit [`Event::SliceDropped`] with [`DropReason::Policy`],
+    /// overflow drops with [`DropReason::Overflow`], and every link
+    /// submission an [`Event::SliceSent`].
+    pub fn step_admitted_probed<Pr: Probe>(
+        &mut self,
+        time: Time,
+        budget: Bytes,
+        probe: &mut Pr,
+    ) -> ServerStep {
         // 2a. Early drops, if the policy is proactive (Section 2.1).
         let mut dropped = Vec::new();
         while let Some(victim) = self.policy.early_victim(&self.buffer) {
             self.validate_victim(victim);
             let slice = self.buffer.drop_slice(victim);
             self.policy.on_remove(victim);
+            if probe.enabled() {
+                probe.on_event(&Self::drop_event(time, &slice, DropReason::Policy));
+            }
             dropped.push(slice);
         }
 
@@ -212,6 +270,9 @@ impl<P: DropPolicy> Server<P> {
             self.validate_victim(victim);
             let slice = self.buffer.drop_slice(victim);
             self.policy.on_remove(victim);
+            if probe.enabled() {
+                probe.on_event(&Self::drop_event(time, &slice, DropReason::Overflow));
+            }
             dropped.push(slice);
         }
 
@@ -223,6 +284,15 @@ impl<P: DropPolicy> Server<P> {
             .map(|(seq, slice, bytes, completed)| {
                 if completed {
                     self.policy.on_remove(seq);
+                }
+                if probe.enabled() {
+                    probe.on_event(&Event::SliceSent {
+                        time,
+                        session: 0,
+                        id: slice.id.0,
+                        bytes,
+                        completed,
+                    });
                 }
                 SentChunk {
                     time,
@@ -257,6 +327,18 @@ impl<P: DropPolicy> Server<P> {
             from += 1;
         }
         out
+    }
+
+    fn drop_event(time: Time, slice: &Slice, reason: DropReason) -> Event {
+        Event::SliceDropped {
+            time,
+            session: 0,
+            id: slice.id.0,
+            bytes: slice.size,
+            weight: slice.weight,
+            site: DropSite::Server,
+            reason,
+        }
     }
 
     fn validate_victim(&self, victim: Seq) {
@@ -482,6 +564,55 @@ mod tests {
         let step = server.step(0, &stream.frames()[0].slices);
         assert_eq!(step.sent_bytes(), 1);
         assert_eq!(step.dropped_bytes(), 2);
+    }
+
+    #[test]
+    fn probed_step_emits_matching_events() {
+        use rts_obs::VecProbe;
+        // B=2, R=1: burst of 5 → 1 admitted×5, 2 dropped, 1 sent.
+        let stream = unit_frames(&[5]);
+        let mut server = Server::new(2, 1, TailDrop::new());
+        let mut probe = VecProbe::new();
+        let step = server.step_probed(0, &stream.frames()[0].slices, &mut probe);
+
+        let admitted = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::SliceAdmitted { .. }))
+            .count();
+        let dropped: Vec<_> = probe
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SliceDropped { site, reason, .. } => Some((*site, *reason)),
+                _ => None,
+            })
+            .collect();
+        let sent_bytes: Bytes = probe
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SliceSent { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(admitted, 5);
+        assert_eq!(dropped, vec![(DropSite::Server, DropReason::Overflow); 2]);
+        assert_eq!(sent_bytes, step.sent_bytes());
+    }
+
+    #[test]
+    fn probed_step_equals_unprobed_step() {
+        let stream = unit_frames(&[5, 0, 9, 2]);
+        let mut plain = Server::new(3, 2, GreedyByteValue::new());
+        let mut probed = Server::new(3, 2, GreedyByteValue::new());
+        let mut probe = rts_obs::VecProbe::new();
+        for frame in stream.frames() {
+            let a = plain.step(frame.time, &frame.slices);
+            let b = probed.step_probed(frame.time, &frame.slices, &mut probe);
+            assert_eq!(a, b);
+        }
+        assert!(!probe.events.is_empty());
     }
 
     #[test]

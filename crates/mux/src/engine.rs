@@ -15,6 +15,7 @@
 //! are empty. Byte conservation and the buffer bound are the engine's
 //! invariants; the integration tests re-check both per slot.
 
+use rts_obs::{Event, NoopProbe, Probe, Tagged};
 use rts_stream::{Bytes, Time};
 
 use crate::admission::{AdmissionController, AdmissionError};
@@ -150,8 +151,24 @@ impl<S: LinkScheduler> Mux<S> {
     ///
     /// Panics if the run exceeds a loose horizon bound (a scheduler
     /// that starves a backlogged session forever would trip it).
-    pub fn run(mut self) -> MuxReport {
+    pub fn run(self) -> MuxReport {
+        self.run_probed(&mut NoopProbe)
+    }
+
+    /// [`run`](Mux::run) with an observability probe.
+    ///
+    /// Slice-level events carry the session's [`SessionId`] (its
+    /// admission-order index) as their `session` tag. One [`Event::SlotEnd`]
+    /// is emitted per slot with the occupancies summed across sessions
+    /// and the total bytes the shared link carried that slot.
+    pub fn run_probed<Pr: Probe>(mut self, probe: &mut Pr) -> MuxReport {
         let link_rate = self.admission.link_rate();
+        if probe.enabled() {
+            probe.on_event(&Event::RunStart {
+                time: 0,
+                sessions: self.sessions.len() as u32,
+            });
+        }
         let horizon: Time = self
             .sessions
             .iter()
@@ -169,8 +186,8 @@ impl<S: LinkScheduler> Mux<S> {
                 "mux run exceeded horizon {horizon} (scheduler {} starving a session?)",
                 self.scheduler.name()
             );
-            for s in &mut self.sessions {
-                s.admit(t);
+            for (i, s) in self.sessions.iter_mut().enumerate() {
+                s.admit_probed(t, &mut Tagged::new(probe, i as u32));
             }
             let demands: Vec<SessionDemand<'_>> = self
                 .sessions
@@ -187,14 +204,30 @@ impl<S: LinkScheduler> Mux<S> {
             drop(demands);
 
             let mut slot_sent = 0;
-            for (s, &grant) in self.sessions.iter_mut().zip(&grants) {
-                slot_sent += s.transmit_and_play(t, grant);
+            let mut server_occupancy = 0;
+            let mut client_occupancy = 0;
+            for (i, (s, &grant)) in self.sessions.iter_mut().zip(&grants).enumerate() {
+                let out = s.transmit_and_play_probed(t, grant, &mut Tagged::new(probe, i as u32));
+                slot_sent += out.sent;
+                server_occupancy += out.server_occupancy;
+                client_occupancy += out.client_occupancy;
             }
             debug_assert!(slot_sent <= link_rate, "link over-driven at t={t}");
             per_slot_sent.push(slot_sent);
+            if probe.enabled() {
+                probe.on_event(&Event::SlotEnd {
+                    time: t,
+                    server_occupancy,
+                    client_occupancy,
+                    link_bytes: slot_sent,
+                });
+            }
             t += 1;
         }
 
+        if probe.enabled() {
+            probe.on_event(&Event::RunEnd { time: t, slots: t });
+        }
         MuxReport {
             scheduler: self.scheduler.name(),
             link_rate,
@@ -297,6 +330,60 @@ mod tests {
         );
         assert!(mux.admit_unchecked(bad).is_err());
         assert_eq!(mux.session_count(), 1);
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_report() {
+        let build = || {
+            let mut mux = Mux::with_overbooking(6, GreedyAcrossSessions::new(), 4, 3);
+            mux.admit(cbr_spec(4, 30, 2)).unwrap();
+            mux.admit(cbr_spec(4, 30, 2)).unwrap();
+            mux
+        };
+        let plain = build().run();
+        let mut collector = rts_obs::Collector::new();
+        let probed = build().run_probed(&mut collector);
+        assert_eq!(plain, probed, "probing must not perturb the run");
+
+        // The collector agrees with the report's own accounting.
+        assert_eq!(collector.sessions, 2);
+        assert_eq!(collector.slots.get(), probed.slots);
+        assert_eq!(collector.sent_bytes.get(), probed.link_bytes_sent());
+        assert_eq!(
+            collector.played_bytes.get(),
+            probed.sessions.iter().map(|s| s.delivered_bytes).sum::<Bytes>()
+        );
+        assert_eq!(
+            collector.admitted_bytes.get(),
+            probed.sessions.iter().map(|s| s.offered_bytes).sum::<Bytes>()
+        );
+        assert_eq!(collector.link_rate_max.max(), probed.max_slot_sent());
+    }
+
+    #[test]
+    fn probed_run_tags_events_with_session_ids() {
+        let mut mux = Mux::new(4, RoundRobin::new());
+        mux.admit(cbr_spec(2, 5, 2)).unwrap();
+        mux.admit(cbr_spec(2, 5, 2)).unwrap();
+        let mut tape = rts_obs::VecProbe::new();
+        mux.run_probed(&mut tape);
+
+        let mut seen = std::collections::BTreeSet::new();
+        let mut slot_ends = 0u64;
+        for ev in &tape.events {
+            match ev {
+                rts_obs::Event::RunStart { sessions, .. } => assert_eq!(*sessions, 2),
+                rts_obs::Event::SliceAdmitted { session, .. }
+                | rts_obs::Event::SliceSent { session, .. }
+                | rts_obs::Event::SliceDropped { session, .. }
+                | rts_obs::Event::SlicePlayed { session, .. } => {
+                    seen.insert(*session);
+                }
+                rts_obs::Event::SlotEnd { .. } => slot_ends += 1,
+                rts_obs::Event::RunEnd { slots, .. } => assert_eq!(*slots, slot_ends),
+            }
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

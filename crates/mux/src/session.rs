@@ -4,6 +4,7 @@
 use rts_core::policy::DropPolicy;
 use rts_core::tradeoff::SmoothingParams;
 use rts_core::{Client, ClientStep, Server, ServerStep};
+use rts_obs::Probe;
 use rts_sim::{Link, LinkModel};
 use rts_stream::{Bytes, InputStream, Slice, Time, Weight};
 
@@ -115,6 +116,18 @@ impl SessionMetrics {
     }
 }
 
+/// What one session did in one slot, for the engine's aggregate
+/// per-slot accounting.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlotOutcome {
+    /// Bytes the session put on the link.
+    pub(crate) sent: Bytes,
+    /// End-of-slot server buffer occupancy.
+    pub(crate) server_occupancy: Bytes,
+    /// End-of-slot client buffer occupancy.
+    pub(crate) client_occupancy: Bytes,
+}
+
 /// A live session inside the multiplexer.
 pub(crate) struct Session {
     server: Server<Box<dyn DropPolicy>>,
@@ -165,12 +178,15 @@ impl Session {
         }
     }
 
-    /// Admits this slot's arrivals (phase 1 of the server step).
-    pub(crate) fn admit(&mut self, t: Time) {
+    /// Admits this slot's arrivals (phase 1 of the server step),
+    /// reporting them to the probe; the caller is responsible for
+    /// tagging events with the session index (pass
+    /// [`NoopProbe`](rts_obs::NoopProbe) to observe nothing).
+    pub(crate) fn admit_probed<Pr: Probe>(&mut self, t: Time, probe: &mut Pr) {
         let frames = self.stream.frames();
         while self.next_frame < frames.len() && frames[self.next_frame].time == t {
             let arrivals: &[Slice] = &frames[self.next_frame].slices;
-            self.server.admit_arrivals(arrivals);
+            self.server.admit_arrivals_probed(arrivals, probe);
             self.next_frame += 1;
         }
     }
@@ -184,10 +200,18 @@ impl Session {
         self.server.buffer()
     }
 
-    /// Runs phases 2–3 with the granted budget and feeds the client;
-    /// returns the bytes actually put on the link this slot.
-    pub(crate) fn transmit_and_play(&mut self, t: Time, grant: Bytes) -> Bytes {
-        let sstep: ServerStep = self.server.step_admitted(t, grant);
+    /// Runs phases 2–3 with the granted budget and feeds the client,
+    /// reporting slice events to the probe (caller tags them with the
+    /// session index); reports the bytes put on the link and the
+    /// end-of-slot occupancies so the engine can emit one aggregate
+    /// `SlotEnd` per slot.
+    pub(crate) fn transmit_and_play_probed<Pr: Probe>(
+        &mut self,
+        t: Time,
+        grant: Bytes,
+        probe: &mut Pr,
+    ) -> SlotOutcome {
+        let sstep: ServerStep = self.server.step_admitted_probed(t, grant, probe);
         let sent = sstep.sent_bytes();
         self.metrics.sent_bytes += sent;
         self.metrics.server_dropped_slices += sstep.dropped.len() as u64;
@@ -196,7 +220,7 @@ impl Session {
 
         self.link.submit(&sstep.sent);
         let delivered = self.link.deliver(t);
-        let cstep: ClientStep = self.client.step(t, &delivered);
+        let cstep: ClientStep = self.client.step_probed(t, &delivered, probe);
         for played in &cstep.played {
             self.metrics.played_slices += 1;
             self.metrics.delivered_bytes += played.size;
@@ -205,7 +229,11 @@ impl Session {
         self.metrics.client_dropped_slices += cstep.dropped.len() as u64;
         self.metrics.client_occupancy_max =
             self.metrics.client_occupancy_max.max(cstep.peak_occupancy);
-        sent
+        SlotOutcome {
+            sent,
+            server_occupancy: sstep.occupancy,
+            client_occupancy: cstep.occupancy,
+        }
     }
 
     /// Whether the session has no arrivals, buffered, in-flight, or
@@ -272,8 +300,8 @@ mod tests {
         let mut t = 0;
         while !s.is_done() {
             assert!(t <= s.horizon_bound(), "runaway session");
-            s.admit(t);
-            s.transmit_and_play(t, 2);
+            s.admit_probed(t, &mut rts_obs::NoopProbe);
+            s.transmit_and_play_probed(t, 2, &mut rts_obs::NoopProbe);
             t += 1;
         }
         // R = 2, D = 2 → B = 4: a burst of 4 fits exactly; loss-free.

@@ -2,7 +2,7 @@
 //!
 //! Mux runs at different session counts (or link rates, schedulers, …)
 //! are independent, so they fan out over `rts-sim`'s
-//! [`parallel_map`](rts_sim::parallel_map) worker pool exactly like the
+//! [`rts_sim::parallel_map`] worker pool exactly like the
 //! figure sweeps do.
 
 use rts_sim::parallel_map;

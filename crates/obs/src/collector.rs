@@ -1,0 +1,324 @@
+//! The streaming [`Collector`]: a probe that folds the event feed into
+//! counters, gauges, and histograms on the fly.
+//!
+//! A collector never stores events, so its memory footprint is constant
+//! in the length of the run — the point of the observability layer is
+//! that a billion-slot simulation can be summarized without a
+//! billion-entry trace. The same totals are recomputable after the fact
+//! from a full `ScheduleRecord`; the differential test in the root
+//! crate pins the two paths against each other.
+
+use std::collections::BTreeMap;
+
+use rts_stream::{Bytes, Time, Weight};
+
+use crate::event::{DropReason, DropSite, Event};
+use crate::hist::{Counter, Gauge, LogHistogram};
+use crate::probe::Probe;
+
+/// Per-(site, reason) drop tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Dropped slice count.
+    pub slices: u64,
+    /// Dropped bytes.
+    pub bytes: Bytes,
+    /// Dropped weight.
+    pub weight: Weight,
+}
+
+/// Streaming aggregation of one run's event feed.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    /// Slices admitted into a server buffer.
+    pub admitted_slices: Counter,
+    /// Bytes admitted.
+    pub admitted_bytes: Counter,
+    /// Weight admitted.
+    pub admitted_weight: Counter,
+    /// Individual link submissions (one slice may need several).
+    pub sends: Counter,
+    /// Bytes submitted to the link.
+    pub sent_bytes: Counter,
+    /// Slices whose transmission completed.
+    pub completed_slices: Counter,
+    /// Slices played out.
+    pub played_slices: Counter,
+    /// Bytes played out (throughput, Definition 2.4).
+    pub played_bytes: Counter,
+    /// Weight played out (benefit, Definition 2.6).
+    pub played_weight: Counter,
+    /// Drop tallies keyed by (site, reason).
+    pub drops: BTreeMap<(DropSite, DropReason), DropStats>,
+    /// Sojourn time (`PT − AT`) of played slices.
+    pub sojourn: LogHistogram,
+    /// Sizes of dropped slices.
+    pub drop_size: LogHistogram,
+    /// End-of-slot server occupancy (`|Bs(t)|`).
+    pub server_occupancy: LogHistogram,
+    /// End-of-slot client occupancy (`|Bc(t)|`).
+    pub client_occupancy: LogHistogram,
+    /// Per-slot bytes on the link (`|S(t)|`).
+    pub link_utilization: LogHistogram,
+    /// Server occupancy high-water mark (buffer requirement `B`).
+    pub server_occupancy_max: Gauge,
+    /// Client occupancy high-water mark.
+    pub client_occupancy_max: Gauge,
+    /// Link-rate high-water mark (rate requirement `R`).
+    pub link_rate_max: Gauge,
+    /// Slots observed via [`Event::SlotEnd`].
+    pub slots: Counter,
+    /// `RunStart` time, if one was seen.
+    pub run_start: Option<Time>,
+    /// `RunEnd` (time, slots), if one was seen.
+    pub run_end: Option<(Time, u64)>,
+    /// Sessions announced by `RunStart` (1 when absent).
+    pub sessions: u32,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Total bytes dropped, across sites and reasons.
+    pub fn dropped_bytes(&self) -> Bytes {
+        self.drops.values().map(|d| d.bytes).sum()
+    }
+
+    /// Total slices dropped, across sites and reasons.
+    pub fn dropped_slices(&self) -> u64 {
+        self.drops.values().map(|d| d.slices).sum()
+    }
+
+    /// Drop tallies for one site, summed over reasons.
+    pub fn drops_at(&self, site: DropSite) -> DropStats {
+        let mut total = DropStats::default();
+        for ((s, _), d) in &self.drops {
+            if *s == site {
+                total.slices += d.slices;
+                total.bytes += d.bytes;
+                total.weight += d.weight;
+            }
+        }
+        total
+    }
+
+    /// Folds another collector into this one (order-independent).
+    pub fn merge(&mut self, other: &Collector) {
+        self.admitted_slices.add(other.admitted_slices.get());
+        self.admitted_bytes.add(other.admitted_bytes.get());
+        self.admitted_weight.add(other.admitted_weight.get());
+        self.sends.add(other.sends.get());
+        self.sent_bytes.add(other.sent_bytes.get());
+        self.completed_slices.add(other.completed_slices.get());
+        self.played_slices.add(other.played_slices.get());
+        self.played_bytes.add(other.played_bytes.get());
+        self.played_weight.add(other.played_weight.get());
+        for (key, d) in &other.drops {
+            let e = self.drops.entry(*key).or_default();
+            e.slices += d.slices;
+            e.bytes += d.bytes;
+            e.weight += d.weight;
+        }
+        self.sojourn.merge(&other.sojourn);
+        self.drop_size.merge(&other.drop_size);
+        self.server_occupancy.merge(&other.server_occupancy);
+        self.client_occupancy.merge(&other.client_occupancy);
+        self.link_utilization.merge(&other.link_utilization);
+        self.server_occupancy_max.set(other.server_occupancy_max.max());
+        self.client_occupancy_max.set(other.client_occupancy_max.max());
+        self.link_rate_max.set(other.link_rate_max.max());
+        self.slots.add(other.slots.get());
+        self.sessions = self.sessions.max(other.sessions);
+        if self.run_start.is_none() {
+            self.run_start = other.run_start;
+        }
+        if let Some(end) = other.run_end {
+            self.run_end = Some(self.run_end.map_or(end, |(t, s)| (t.max(end.0), s.max(end.1))));
+        }
+    }
+
+    /// Renders the human-readable summary (`smoothctl obs` output).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let slots = self.run_end.map_or(self.slots.get(), |(_, s)| s);
+        out.push_str(&format!(
+            "run: slots={} sessions={}\n",
+            slots,
+            self.sessions.max(1)
+        ));
+        out.push_str(&format!(
+            "admitted: slices={} bytes={} weight={}\n",
+            self.admitted_slices.get(),
+            self.admitted_bytes.get(),
+            self.admitted_weight.get()
+        ));
+        out.push_str(&format!(
+            "sent: submissions={} bytes={} completed_slices={}\n",
+            self.sends.get(),
+            self.sent_bytes.get(),
+            self.completed_slices.get()
+        ));
+        out.push_str(&format!(
+            "played: slices={} bytes={} weight={}\n",
+            self.played_slices.get(),
+            self.played_bytes.get(),
+            self.played_weight.get()
+        ));
+        out.push_str(&format!(
+            "dropped: slices={} bytes={}\n",
+            self.dropped_slices(),
+            self.dropped_bytes()
+        ));
+        for ((site, reason), d) in &self.drops {
+            out.push_str(&format!(
+                "  {}/{}: slices={} bytes={} weight={}\n",
+                site.name(),
+                reason.name(),
+                d.slices,
+                d.bytes,
+                d.weight
+            ));
+        }
+        out.push_str(&format!(
+            "requirements: server_buffer={} client_buffer={} link_rate={}\n",
+            self.server_occupancy_max.max(),
+            self.client_occupancy_max.max(),
+            self.link_rate_max.max()
+        ));
+        out.push_str(&format!("sojourn: {}\n", self.sojourn.brief()));
+        out.push_str(&format!("drop_size: {}\n", self.drop_size.brief()));
+        out.push_str(&format!("server_occupancy: {}\n", self.server_occupancy.brief()));
+        out.push_str(&format!("client_occupancy: {}\n", self.client_occupancy.brief()));
+        out.push_str(&format!("link_utilization: {}\n", self.link_utilization.brief()));
+        out
+    }
+}
+
+impl Probe for Collector {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::RunStart { time, sessions } => {
+                self.run_start = Some(time);
+                self.sessions = self.sessions.max(sessions);
+            }
+            Event::SliceAdmitted { bytes, weight, .. } => {
+                self.admitted_slices.inc();
+                self.admitted_bytes.add(bytes);
+                self.admitted_weight.add(weight);
+            }
+            Event::SliceSent { bytes, completed, .. } => {
+                self.sends.inc();
+                self.sent_bytes.add(bytes);
+                if completed {
+                    self.completed_slices.inc();
+                }
+            }
+            Event::SliceDropped { bytes, weight, site, reason, .. } => {
+                let d = self.drops.entry((site, reason)).or_default();
+                d.slices += 1;
+                d.bytes += bytes;
+                d.weight += weight;
+                self.drop_size.record(bytes);
+            }
+            Event::SlicePlayed { bytes, weight, sojourn, .. } => {
+                self.played_slices.inc();
+                self.played_bytes.add(bytes);
+                self.played_weight.add(weight);
+                self.sojourn.record(sojourn);
+            }
+            Event::SlotEnd { server_occupancy, client_occupancy, link_bytes, .. } => {
+                self.slots.inc();
+                self.server_occupancy.record(server_occupancy);
+                self.client_occupancy.record(client_occupancy);
+                self.link_utilization.record(link_bytes);
+                self.server_occupancy_max.set(server_occupancy);
+                self.client_occupancy_max.set(client_occupancy);
+                self.link_rate_max.set(link_bytes);
+            }
+            Event::RunEnd { time, slots } => {
+                self.run_end = Some((time, slots));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(c: &mut Collector) {
+        c.on_event(&Event::RunStart { time: 0, sessions: 2 });
+        c.on_event(&Event::SliceAdmitted { time: 0, session: 0, id: 0, bytes: 10, weight: 5 });
+        c.on_event(&Event::SliceSent { time: 1, session: 0, id: 0, bytes: 6, completed: false });
+        c.on_event(&Event::SliceSent { time: 2, session: 0, id: 0, bytes: 4, completed: true });
+        c.on_event(&Event::SlicePlayed { time: 4, session: 0, id: 0, bytes: 10, weight: 5, sojourn: 4 });
+        c.on_event(&Event::SliceDropped {
+            time: 3,
+            session: 1,
+            id: 1,
+            bytes: 7,
+            weight: 2,
+            site: DropSite::Server,
+            reason: DropReason::Overflow,
+        });
+        c.on_event(&Event::SlotEnd { time: 0, server_occupancy: 10, client_occupancy: 0, link_bytes: 6 });
+        c.on_event(&Event::SlotEnd { time: 1, server_occupancy: 4, client_occupancy: 6, link_bytes: 4 });
+        c.on_event(&Event::RunEnd { time: 5, slots: 5 });
+    }
+
+    #[test]
+    fn folds_the_feed() {
+        let mut c = Collector::new();
+        feed(&mut c);
+        assert_eq!(c.admitted_slices.get(), 1);
+        assert_eq!(c.admitted_bytes.get(), 10);
+        assert_eq!(c.sends.get(), 2);
+        assert_eq!(c.sent_bytes.get(), 10);
+        assert_eq!(c.completed_slices.get(), 1);
+        assert_eq!(c.played_bytes.get(), 10);
+        assert_eq!(c.played_weight.get(), 5);
+        assert_eq!(c.dropped_slices(), 1);
+        assert_eq!(c.dropped_bytes(), 7);
+        assert_eq!(c.drops_at(DropSite::Server).weight, 2);
+        assert_eq!(c.drops_at(DropSite::Client).slices, 0);
+        assert_eq!(c.server_occupancy_max.max(), 10);
+        assert_eq!(c.link_rate_max.max(), 6);
+        assert_eq!(c.sojourn.max(), 4);
+        assert_eq!(c.slots.get(), 2);
+        assert_eq!(c.run_end, Some((5, 5)));
+        assert_eq!(c.sessions, 2);
+    }
+
+    #[test]
+    fn merge_equals_single_feed() {
+        let mut whole = Collector::new();
+        feed(&mut whole);
+        feed(&mut whole);
+        let mut a = Collector::new();
+        let mut b = Collector::new();
+        feed(&mut a);
+        feed(&mut b);
+        a.merge(&b);
+        assert_eq!(a.admitted_bytes.get(), whole.admitted_bytes.get());
+        assert_eq!(a.sent_bytes.get(), whole.sent_bytes.get());
+        assert_eq!(a.dropped_bytes(), whole.dropped_bytes());
+        assert_eq!(a.sojourn, whole.sojourn);
+        assert_eq!(a.server_occupancy, whole.server_occupancy);
+        assert_eq!(a.server_occupancy_max.max(), whole.server_occupancy_max.max());
+        assert_eq!(a.slots.get(), whole.slots.get());
+    }
+
+    #[test]
+    fn summary_mentions_the_headlines() {
+        let mut c = Collector::new();
+        feed(&mut c);
+        let s = c.summary();
+        assert!(s.contains("played: slices=1 bytes=10 weight=5"), "{s}");
+        assert!(s.contains("server/overflow: slices=1 bytes=7 weight=2"), "{s}");
+        assert!(s.contains("link_rate=6"), "{s}");
+        assert!(s.contains("sojourn:"), "{s}");
+    }
+}

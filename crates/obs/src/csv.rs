@@ -1,0 +1,91 @@
+//! CSV time-series sink: one row per slot.
+//!
+//! [`CsvTimeSeries`] is a probe that turns the [`Event::SlotEnd`]
+//! stream into the same `time,server_occupancy,client_occupancy,
+//! link_bytes` table the paper's figures are plotted from, suitable for
+//! a spreadsheet or gnuplot without any trace post-processing. Slice
+//! events pass through untouched, so it composes with the JSONL writer
+//! under a [`Tee`](crate::Tee).
+
+use std::io::{self, Write};
+
+use crate::event::Event;
+use crate::probe::Probe;
+
+/// Header row emitted before the first sample.
+pub const CSV_HEADER: &str = "time,server_occupancy,client_occupancy,link_bytes";
+
+/// A probe writing one CSV row per [`Event::SlotEnd`].
+#[derive(Debug)]
+pub struct CsvTimeSeries<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+    rows: u64,
+}
+
+impl<W: Write> CsvTimeSeries<W> {
+    /// Wraps a writer. For files, pass a `BufWriter`.
+    pub fn new(writer: W) -> Self {
+        CsvTimeSeries { writer, error: None, rows: 0 }
+    }
+
+    /// Data rows written so far (excluding the header).
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Flushes and returns the writer, or the first IO error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn write_row(&mut self, line: String) {
+        if self.error.is_some() {
+            return;
+        }
+        let result = if self.rows == 0 {
+            writeln!(self.writer, "{CSV_HEADER}").and_then(|()| writeln!(self.writer, "{line}"))
+        } else {
+            writeln!(self.writer, "{line}")
+        };
+        match result {
+            Ok(()) => self.rows += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> Probe for CsvTimeSeries<W> {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::SlotEnd { time, server_occupancy, client_occupancy, link_bytes } = *event {
+            self.write_row(format!("{time},{server_occupancy},{client_occupancy},{link_bytes}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_header_then_rows() {
+        let mut c = CsvTimeSeries::new(Vec::new());
+        c.on_event(&Event::RunStart { time: 0, sessions: 1 });
+        c.on_event(&Event::SlotEnd { time: 0, server_occupancy: 5, client_occupancy: 0, link_bytes: 3 });
+        c.on_event(&Event::SliceSent { time: 1, session: 0, id: 0, bytes: 1, completed: true });
+        c.on_event(&Event::SlotEnd { time: 1, server_occupancy: 2, client_occupancy: 3, link_bytes: 3 });
+        assert_eq!(c.rows(), 2);
+        let text = String::from_utf8(c.finish().unwrap()).unwrap();
+        assert_eq!(text, "time,server_occupancy,client_occupancy,link_bytes\n0,5,0,3\n1,2,3,3\n");
+    }
+
+    #[test]
+    fn empty_run_writes_nothing() {
+        let c = CsvTimeSeries::new(Vec::new());
+        assert!(c.finish().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! The typed event vocabulary of the observability layer.
+//!
+//! Each event mirrors one of the schedule functions of Definition 2.2:
+//! [`Event::SliceAdmitted`] is the arrival `AT(s)`, [`Event::SliceSent`]
+//! the (possibly partial) send `ST`, [`Event::SlicePlayed`] the playout
+//! `PT`, and [`Event::SliceDropped`] the drop `DT` — tagged with *where*
+//! the loss happened ([`DropSite`]) and *why* ([`DropReason`]).
+//! [`Event::SlotEnd`] samples the per-step state (`|Bs(t)|`, `|Bc(t)|`,
+//! `|S(t)|`), and the span-style [`Event::RunStart`]/[`Event::RunEnd`]
+//! bracket one run.
+//!
+//! Events are small `Copy` values so a no-op probe costs nothing: the
+//! instrumented hot paths construct them only when
+//! [`Probe::enabled`](crate::Probe::enabled) says someone is listening.
+
+use rts_stream::{Bytes, Time, Weight};
+
+/// Where in the pipeline a slice was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropSite {
+    /// Dropped from the server's smoothing buffer (never transmitted).
+    Server,
+    /// Discarded by the client.
+    Client,
+}
+
+/// Why a slice was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// Buffer occupancy exceeded capacity (Equation 3 at the server,
+    /// `Bc` at the client).
+    Overflow,
+    /// A proactive policy chose to evict it before any overflow.
+    Policy,
+    /// The slice's first bytes reached the client after its deadline.
+    Late,
+    /// The deadline passed while parts were still in transit.
+    Incomplete,
+}
+
+impl DropSite {
+    /// Stable lower-case name (used by the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropSite::Server => "server",
+            DropSite::Client => "client",
+        }
+    }
+}
+
+impl DropReason {
+    /// Stable lower-case name (used by the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Overflow => "overflow",
+            DropReason::Policy => "policy",
+            DropReason::Late => "late",
+            DropReason::Incomplete => "incomplete",
+        }
+    }
+}
+
+/// One observability event.
+///
+/// `session` tags slice-level events with the originating session in a
+/// multiplexed run (hop index in a tandem run); single-stream runs use
+/// session 0. [`Event::with_session`] retags an event, which is how the
+/// [`Tagged`](crate::Tagged) adapter scopes a shared probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A run began (span open).
+    RunStart {
+        /// First slot of the run.
+        time: Time,
+        /// Number of sessions that will emit events (1 for single-stream).
+        sessions: u32,
+    },
+    /// A slice entered a server buffer (`AT(s)`).
+    SliceAdmitted {
+        /// Arrival slot.
+        time: Time,
+        /// Originating session.
+        session: u32,
+        /// Slice id (unique within its session).
+        id: u64,
+        /// Slice size in bytes.
+        bytes: Bytes,
+        /// Slice weight.
+        weight: Weight,
+    },
+    /// Bytes of a slice were submitted to the link (`ST`).
+    SliceSent {
+        /// Send slot.
+        time: Time,
+        /// Originating session.
+        session: u32,
+        /// Slice id.
+        id: u64,
+        /// Bytes submitted this slot (a large slice spans several sends).
+        bytes: Bytes,
+        /// Whether this send completes the slice's transmission.
+        completed: bool,
+    },
+    /// A slice was lost (`DT`), at `site` because of `reason`.
+    SliceDropped {
+        /// Drop slot.
+        time: Time,
+        /// Originating session.
+        session: u32,
+        /// Slice id.
+        id: u64,
+        /// Full size of the dropped slice.
+        bytes: Bytes,
+        /// Weight of the dropped slice.
+        weight: Weight,
+        /// Where the loss happened.
+        site: DropSite,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A slice was played out on time (`PT`).
+    SlicePlayed {
+        /// Playout slot.
+        time: Time,
+        /// Originating session.
+        session: u32,
+        /// Slice id.
+        id: u64,
+        /// Slice size.
+        bytes: Bytes,
+        /// Slice weight (the benefit it contributes).
+        weight: Weight,
+        /// Sojourn time `PT − AT` (constant `P + D` for a valid
+        /// real-time schedule, Definition 2.5).
+        sojourn: Time,
+    },
+    /// End-of-slot state sample.
+    SlotEnd {
+        /// The slot that just ended.
+        time: Time,
+        /// Total server-buffer occupancy after the slot (`|Bs(t)|`).
+        server_occupancy: Bytes,
+        /// Total client-buffer occupancy after the slot (`|Bc(t)|`).
+        client_occupancy: Bytes,
+        /// Bytes put on the link this slot (`|S(t)|`).
+        link_bytes: Bytes,
+    },
+    /// The run drained (span close).
+    RunEnd {
+        /// First slot *after* the run.
+        time: Time,
+        /// Total number of slots simulated.
+        slots: u64,
+    },
+}
+
+impl Event {
+    /// The event's stable kind name (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::SliceAdmitted { .. } => "slice_admitted",
+            Event::SliceSent { .. } => "slice_sent",
+            Event::SliceDropped { .. } => "slice_dropped",
+            Event::SlicePlayed { .. } => "slice_played",
+            Event::SlotEnd { .. } => "slot_end",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+
+    /// The slot the event happened in.
+    pub fn time(&self) -> Time {
+        match *self {
+            Event::RunStart { time, .. }
+            | Event::SliceAdmitted { time, .. }
+            | Event::SliceSent { time, .. }
+            | Event::SliceDropped { time, .. }
+            | Event::SlicePlayed { time, .. }
+            | Event::SlotEnd { time, .. }
+            | Event::RunEnd { time, .. } => time,
+        }
+    }
+
+    /// A copy of the event with its session tag replaced (slot- and
+    /// run-level events are unchanged: they describe the whole run).
+    pub fn with_session(mut self, tag: u32) -> Event {
+        match &mut self {
+            Event::SliceAdmitted { session, .. }
+            | Event::SliceSent { session, .. }
+            | Event::SliceDropped { session, .. }
+            | Event::SlicePlayed { session, .. } => *session = tag,
+            Event::RunStart { .. } | Event::SlotEnd { .. } | Event::RunEnd { .. } => {}
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_time_cover_all_variants() {
+        let events = [
+            Event::RunStart { time: 0, sessions: 1 },
+            Event::SliceAdmitted { time: 1, session: 0, id: 0, bytes: 2, weight: 3 },
+            Event::SliceSent { time: 2, session: 0, id: 0, bytes: 2, completed: true },
+            Event::SliceDropped {
+                time: 3,
+                session: 0,
+                id: 1,
+                bytes: 4,
+                weight: 5,
+                site: DropSite::Server,
+                reason: DropReason::Overflow,
+            },
+            Event::SlicePlayed { time: 4, session: 0, id: 0, bytes: 2, weight: 3, sojourn: 4 },
+            Event::SlotEnd { time: 5, server_occupancy: 1, client_occupancy: 2, link_bytes: 3 },
+            Event::RunEnd { time: 6, slots: 6 },
+        ];
+        let kinds: Vec<_> = events.iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "run_start",
+                "slice_admitted",
+                "slice_sent",
+                "slice_dropped",
+                "slice_played",
+                "slot_end",
+                "run_end"
+            ]
+        );
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.time(), i as u64);
+        }
+    }
+
+    #[test]
+    fn with_session_retags_slice_events_only() {
+        let e = Event::SliceSent { time: 0, session: 0, id: 7, bytes: 1, completed: false };
+        assert!(matches!(e.with_session(3), Event::SliceSent { session: 3, .. }));
+        let slot = Event::SlotEnd { time: 0, server_occupancy: 0, client_occupancy: 0, link_bytes: 0 };
+        assert_eq!(slot.with_session(9), slot);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DropSite::Server.name(), "server");
+        assert_eq!(DropSite::Client.name(), "client");
+        assert_eq!(DropReason::Overflow.name(), "overflow");
+        assert_eq!(DropReason::Policy.name(), "policy");
+        assert_eq!(DropReason::Late.name(), "late");
+        assert_eq!(DropReason::Incomplete.name(), "incomplete");
+    }
+}

@@ -1,0 +1,345 @@
+//! Streaming instruments: counters and log-bucketed histograms.
+//!
+//! [`LogHistogram`] is an HDR-style histogram over `u64` values: each
+//! power-of-two octave is split into `2^4 = 16` linear sub-buckets, so
+//! any recorded value lands in a bucket whose width is at most 1/16 of
+//! its magnitude (≤ 6.25 % relative error), while the whole `u64` range
+//! fits in under a thousand buckets. Recording is O(1) with no
+//! allocation beyond the (lazily grown) bucket vector; merging two
+//! histograms is element-wise addition, so per-shard instruments
+//! combine associatively. Exact `min`/`max`/`count`/`sum` ride along so
+//! summary maxima match the paper's resource requirements exactly even
+//! though quantiles are bucket-resolution.
+
+/// Linear sub-bucket bits per octave (16 sub-buckets).
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// A log-bucketed streaming histogram over `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use rts_obs::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// // Quantiles are exact to one bucket (≤ 1/16 relative error).
+/// let p50 = h.quantile(0.50);
+/// assert!((470..=530).contains(&p50), "p50 {p50}");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    ///
+    /// Index 0 holds only the value 0; values below `2^5` get exact
+    /// singleton buckets; above that, each octave `[2^k, 2^{k+1})` is
+    /// split into 16 equal sub-buckets. Indices are monotone in the
+    /// value.
+    pub fn bucket_of(value: u64) -> usize {
+        if value < 2 * SUB {
+            return value as usize;
+        }
+        let k = 63 - value.leading_zeros(); // floor(log2 value) ≥ SUB_BITS + 1
+        let shift = k - SUB_BITS;
+        ((shift as u64 * SUB) + (value >> shift)) as usize
+    }
+
+    /// The inclusive `[low, high]` value range of a bucket index.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        let index = index as u64;
+        if index < 2 * SUB {
+            return (index, index);
+        }
+        let shift = (index / SUB) - 1;
+        let sub = index - shift * SUB; // in [SUB, 2·SUB)
+        let low = sub << shift;
+        (low, low + ((1 << shift) - 1))
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Records `n` occurrences of one value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_of(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, `q` in `[0, 1]`, resolved to the upper
+    /// bound of the containing bucket and clamped to the exact extremes
+    /// (so `quantile(0.0) == min()` and `quantile(1.0) == max()`).
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank: the smallest value with cumulative count ≥ ⌈q·n⌉.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, high) = Self::bucket_bounds(idx);
+                return high.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is associative
+    /// and commutative: any grouping of per-shard histograms yields the
+    /// same aggregate.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// One-line summary: `n=… mean=… p50=… p90=… p99=… max=…`.
+    pub fn brief(&self) -> String {
+        format!(
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A gauge tracking the last and largest value set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    last: u64,
+    max: u64,
+}
+
+impl Gauge {
+    /// Sets the gauge, updating the high-water mark.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.last = v;
+        self.max = self.max.max(v);
+    }
+
+    /// Most recent value.
+    #[inline]
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Largest value ever set (the resource requirement).
+    #[inline]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..(2 * SUB) {
+            let (lo, hi) = LogHistogram::bucket_bounds(LogHistogram::bucket_of(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_contain_their_values() {
+        for v in [32u64, 33, 47, 63, 64, 1000, 65_535, u64::MAX / 3, u64::MAX] {
+            let idx = LogHistogram::bucket_of(v);
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+            // Relative width ≤ 1/16 of the lower bound.
+            assert!(hi - lo <= lo / SUB + 1, "bucket [{lo}, {hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn indices_are_monotone_and_contiguous() {
+        let mut prev = 0;
+        for idx in 1..200usize {
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            assert_eq!(lo, prev + 1, "gap before bucket {idx}");
+            assert!(hi >= lo);
+            prev = hi;
+        }
+    }
+
+    #[test]
+    fn exact_extremes_and_mean() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 100, 3, 77, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 200_037.0).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(0.0), 3);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for _ in 0..7 {
+            a.record(42);
+        }
+        b.record_n(42, 7);
+        b.record_n(9, 0); // no-op
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_histogram_is_neutral() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut m = LogHistogram::new();
+        m.record(8);
+        let copy = m.clone();
+        m.merge(&h);
+        assert_eq!(m, copy, "merging an empty histogram changes nothing");
+    }
+
+    #[test]
+    fn brief_formats() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        let s = h.brief();
+        assert!(s.contains("n=1") && s.contains("max=10"), "{s}");
+    }
+
+    #[test]
+    fn counter_and_gauge() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let mut g = Gauge::default();
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.last(), 3);
+        assert_eq!(g.max(), 9);
+    }
+}

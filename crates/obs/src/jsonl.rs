@@ -1,0 +1,390 @@
+//! JSONL event traces: a line-oriented writer probe, a zero-dependency
+//! parser for the same encoding, and trace replay.
+//!
+//! Each event is one flat JSON object per line, e.g.
+//!
+//! ```text
+//! {"ev":"slice_dropped","t":3,"session":1,"id":1,"bytes":7,"weight":2,"site":"server","reason":"overflow"}
+//! ```
+//!
+//! The encoding is deliberately flat — every value is an unsigned
+//! integer, a boolean, or one of a fixed set of bare-word strings — so
+//! the hand-rolled parser stays small and the format is trivially
+//! consumed by `jq`, pandas, or a shell loop. [`replay`] reads a trace
+//! back and feeds it to any [`Probe`], which is how `smoothctl obs`
+//! recomputes a streaming summary from a file.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::event::{DropReason, DropSite, Event};
+use crate::probe::Probe;
+
+/// Encodes one event as its JSONL line (no trailing newline).
+pub fn encode(event: &Event) -> String {
+    match *event {
+        Event::RunStart { time, sessions } => {
+            format!("{{\"ev\":\"run_start\",\"t\":{time},\"sessions\":{sessions}}}")
+        }
+        Event::SliceAdmitted { time, session, id, bytes, weight } => format!(
+            "{{\"ev\":\"slice_admitted\",\"t\":{time},\"session\":{session},\"id\":{id},\"bytes\":{bytes},\"weight\":{weight}}}"
+        ),
+        Event::SliceSent { time, session, id, bytes, completed } => format!(
+            "{{\"ev\":\"slice_sent\",\"t\":{time},\"session\":{session},\"id\":{id},\"bytes\":{bytes},\"completed\":{completed}}}"
+        ),
+        Event::SliceDropped { time, session, id, bytes, weight, site, reason } => format!(
+            "{{\"ev\":\"slice_dropped\",\"t\":{time},\"session\":{session},\"id\":{id},\"bytes\":{bytes},\"weight\":{weight},\"site\":\"{}\",\"reason\":\"{}\"}}",
+            site.name(),
+            reason.name()
+        ),
+        Event::SlicePlayed { time, session, id, bytes, weight, sojourn } => format!(
+            "{{\"ev\":\"slice_played\",\"t\":{time},\"session\":{session},\"id\":{id},\"bytes\":{bytes},\"weight\":{weight},\"sojourn\":{sojourn}}}"
+        ),
+        Event::SlotEnd { time, server_occupancy, client_occupancy, link_bytes } => format!(
+            "{{\"ev\":\"slot_end\",\"t\":{time},\"server_occupancy\":{server_occupancy},\"client_occupancy\":{client_occupancy},\"link_bytes\":{link_bytes}}}"
+        ),
+        Event::RunEnd { time, slots } => {
+            format!("{{\"ev\":\"run_end\",\"t\":{time},\"slots\":{slots}}}")
+        }
+    }
+}
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number when parsing a whole trace, 0 for a bare line.
+    pub line: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "bad trace line: {}", self.message)
+        } else {
+            write!(f, "bad trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One parsed field value.
+enum Value<'a> {
+    Int(u64),
+    Bool(bool),
+    Str(&'a str),
+}
+
+/// Splits a flat JSON object into (key, value) pairs. Handles exactly
+/// the subset [`encode`] emits: string keys, and values that are
+/// unsigned integers, `true`/`false`, or escape-free strings.
+fn fields(line: &str) -> Result<Vec<(&str, Value<'_>)>, String> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut out = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let key_start = rest.strip_prefix('"').ok_or("expected quoted key")?;
+        let key_end = key_start.find('"').ok_or("unterminated key")?;
+        let key = &key_start[..key_end];
+        let after_key = key_start[key_end + 1..].trim_start();
+        let mut val_part = after_key.strip_prefix(':').ok_or("expected ':'")?.trim_start();
+        let value = if let Some(s) = val_part.strip_prefix('"') {
+            let end = s.find('"').ok_or("unterminated string value")?;
+            val_part = &s[end + 1..];
+            Value::Str(&s[..end])
+        } else {
+            let end = val_part.find(',').unwrap_or(val_part.len());
+            let raw = val_part[..end].trim();
+            val_part = &val_part[end..];
+            match raw {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                _ => Value::Int(raw.parse::<u64>().map_err(|_| format!("bad value {raw:?}"))?),
+            }
+        };
+        out.push((key, value));
+        rest = val_part.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected ',' between fields".into());
+        }
+    }
+    Ok(out)
+}
+
+struct FieldMap<'a>(Vec<(&'a str, Value<'a>)>);
+
+impl<'a> FieldMap<'a> {
+    fn int(&self, key: &str) -> Result<u64, String> {
+        match self.0.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::Int(v))) => Ok(*v),
+            Some(_) => Err(format!("field {key:?} is not an integer")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Result<bool, String> {
+        match self.0.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::Bool(v))) => Ok(*v),
+            Some(_) => Err(format!("field {key:?} is not a boolean")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn string(&self, key: &str) -> Result<&'a str, String> {
+        match self.0.iter().find(|(k, _)| *k == key) {
+            Some((_, Value::Str(v))) => Ok(v),
+            Some(_) => Err(format!("field {key:?} is not a string")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+/// Parses one JSONL line back into an [`Event`].
+pub fn decode(line: &str) -> Result<Event, ParseError> {
+    let err = |message: String| ParseError { line: 0, message };
+    let map = FieldMap(fields(line).map_err(err)?);
+    let event = (|| -> Result<Event, String> {
+        let time = map.int("t")?;
+        Ok(match map.string("ev")? {
+            "run_start" => Event::RunStart { time, sessions: map.int("sessions")? as u32 },
+            "slice_admitted" => Event::SliceAdmitted {
+                time,
+                session: map.int("session")? as u32,
+                id: map.int("id")?,
+                bytes: map.int("bytes")?,
+                weight: map.int("weight")?,
+            },
+            "slice_sent" => Event::SliceSent {
+                time,
+                session: map.int("session")? as u32,
+                id: map.int("id")?,
+                bytes: map.int("bytes")?,
+                completed: map.boolean("completed")?,
+            },
+            "slice_dropped" => Event::SliceDropped {
+                time,
+                session: map.int("session")? as u32,
+                id: map.int("id")?,
+                bytes: map.int("bytes")?,
+                weight: map.int("weight")?,
+                site: match map.string("site")? {
+                    "server" => DropSite::Server,
+                    "client" => DropSite::Client,
+                    other => return Err(format!("unknown drop site {other:?}")),
+                },
+                reason: match map.string("reason")? {
+                    "overflow" => DropReason::Overflow,
+                    "policy" => DropReason::Policy,
+                    "late" => DropReason::Late,
+                    "incomplete" => DropReason::Incomplete,
+                    other => return Err(format!("unknown drop reason {other:?}")),
+                },
+            },
+            "slice_played" => Event::SlicePlayed {
+                time,
+                session: map.int("session")? as u32,
+                id: map.int("id")?,
+                bytes: map.int("bytes")?,
+                weight: map.int("weight")?,
+                sojourn: map.int("sojourn")?,
+            },
+            "slot_end" => Event::SlotEnd {
+                time,
+                server_occupancy: map.int("server_occupancy")?,
+                client_occupancy: map.int("client_occupancy")?,
+                link_bytes: map.int("link_bytes")?,
+            },
+            "run_end" => Event::RunEnd { time, slots: map.int("slots")? },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    })()
+    .map_err(err)?;
+    Ok(event)
+}
+
+/// A probe that appends each event to `writer` as one JSONL line.
+///
+/// IO errors cannot surface from [`Probe::on_event`], so the writer
+/// latches the first failure and stops; call [`JsonlWriter::finish`] at
+/// the end of the run to flush and observe it.
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    writer: W,
+    error: Option<io::Error>,
+    lines: u64,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer. For files, pass a `BufWriter`.
+    pub fn new(writer: W) -> Self {
+        JsonlWriter { writer, error: None, lines: 0 }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the writer, or the first IO error hit.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Probe for JsonlWriter<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{}", encode(event)) {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+}
+
+/// An error while replaying a trace: IO or a malformed line.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Reading the trace failed.
+    Io(io::Error),
+    /// A line failed to parse (carries its 1-based line number).
+    Parse(ParseError),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReplayError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Reads a JSONL trace and feeds every event to `probe`, in order.
+/// Blank lines are skipped. Returns the number of events replayed.
+pub fn replay<R: BufRead, P: Probe>(reader: R, probe: &mut P) -> Result<u64, ReplayError> {
+    let mut events = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(ReplayError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = decode(&line).map_err(|mut e| {
+            e.line = i as u64 + 1;
+            ReplayError::Parse(e)
+        })?;
+        probe.on_event(&event);
+        events += 1;
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::probe::VecProbe;
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::RunStart { time: 0, sessions: 3 },
+            Event::SliceAdmitted { time: 1, session: 2, id: 9, bytes: 100, weight: 24 },
+            Event::SliceSent { time: 2, session: 2, id: 9, bytes: 60, completed: false },
+            Event::SliceSent { time: 3, session: 2, id: 9, bytes: 40, completed: true },
+            Event::SliceDropped {
+                time: 4,
+                session: 0,
+                id: 10,
+                bytes: 50,
+                weight: 1,
+                site: DropSite::Client,
+                reason: DropReason::Late,
+            },
+            Event::SlicePlayed { time: 5, session: 2, id: 9, bytes: 100, weight: 24, sojourn: 4 },
+            Event::SlotEnd { time: 5, server_occupancy: 7, client_occupancy: 8, link_bytes: 9 },
+            Event::RunEnd { time: 6, slots: 6 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for e in all_events() {
+            let line = encode(&e);
+            assert_eq!(decode(&line).unwrap(), e, "line {line}");
+        }
+    }
+
+    #[test]
+    fn decode_accepts_whitespace() {
+        let line = "  {\"ev\": \"run_end\", \"t\": 6, \"slots\": 6}  ";
+        assert_eq!(decode(line).unwrap(), Event::RunEnd { time: 6, slots: 6 });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for bad in [
+            "not json",
+            "{\"ev\":\"mystery\",\"t\":0}",
+            "{\"ev\":\"run_end\",\"t\":0}",
+            "{\"ev\":\"run_end\",\"t\":-1,\"slots\":0}",
+            "{\"ev\":\"slice_dropped\",\"t\":0,\"session\":0,\"id\":0,\"bytes\":0,\"weight\":0,\"site\":\"moon\",\"reason\":\"late\"}",
+        ] {
+            assert!(decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn writer_then_replay_preserves_the_feed() {
+        let mut w = JsonlWriter::new(Vec::new());
+        for e in all_events() {
+            w.on_event(&e);
+        }
+        assert_eq!(w.lines(), all_events().len() as u64);
+        let bytes = w.finish().unwrap();
+        let mut probe = VecProbe::new();
+        let n = replay(&bytes[..], &mut probe).unwrap();
+        assert_eq!(n, all_events().len() as u64);
+        assert_eq!(probe.events, all_events());
+    }
+
+    #[test]
+    fn replay_into_collector_summarizes() {
+        let mut w = JsonlWriter::new(Vec::new());
+        for e in all_events() {
+            w.on_event(&e);
+        }
+        let bytes = w.finish().unwrap();
+        let mut c = Collector::new();
+        replay(&bytes[..], &mut c).unwrap();
+        assert_eq!(c.played_bytes.get(), 100);
+        assert_eq!(c.dropped_bytes(), 50);
+        assert_eq!(c.run_end, Some((6, 6)));
+    }
+
+    #[test]
+    fn replay_reports_the_line_number() {
+        let trace = "{\"ev\":\"run_start\",\"t\":0,\"sessions\":1}\n\nbroken\n";
+        let mut c = Collector::new();
+        let err = replay(trace.as_bytes(), &mut c).unwrap_err();
+        match err {
+            ReplayError::Parse(p) => assert_eq!(p.line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Runtime observability for real-time smoothing, with zero external
+//! dependencies.
+//!
+//! The crate has three layers:
+//!
+//! 1. **Events and probes** — [`Event`] is the typed vocabulary of
+//!    things that happen inside a smoothing run, mirroring the schedule
+//!    functions of Definition 2.2 (admission `AT`, send `ST`, playout
+//!    `PT`, drop `DT`) plus per-slot state samples and run spans.
+//!    Instrumented code is generic over [`Probe`] and guards event
+//!    construction with [`Probe::enabled`], so the default
+//!    [`NoopProbe`] monomorphizes away and the hot loops cost nothing
+//!    when nobody is listening.
+//! 2. **Streaming instruments** — [`Counter`], [`Gauge`], and the
+//!    HDR-style log-bucketed [`LogHistogram`] (≤ 1/16 relative error,
+//!    O(1) record, associative [`LogHistogram::merge`]). [`Collector`]
+//!    folds an event feed into the full instrument set — sojourn time,
+//!    occupancies, per-slot link utilization, drop sizes — in constant
+//!    memory.
+//! 3. **Sinks** — [`JsonlWriter`] streams the raw trace as one flat
+//!    JSON object per line, [`CsvTimeSeries`] emits the per-slot table
+//!    the figures are plotted from, and [`Collector::summary`] renders
+//!    the human-readable report. [`replay`] reads a JSONL trace back
+//!    into any probe. File sinks honor the `RESULTS_DIR` environment
+//!    variable via [`resolve_out_path`].
+//!
+//! ```
+//! use rts_obs::{Collector, Event, Probe, Tee, JsonlWriter, replay};
+//!
+//! // Tee the live feed into a collector and a JSONL trace.
+//! let mut probe = Tee(Collector::new(), JsonlWriter::new(Vec::new()));
+//! probe.on_event(&Event::RunStart { time: 0, sessions: 1 });
+//! probe.on_event(&Event::SlotEnd {
+//!     time: 0, server_occupancy: 4, client_occupancy: 0, link_bytes: 2,
+//! });
+//! probe.on_event(&Event::RunEnd { time: 1, slots: 1 });
+//!
+//! // The trace replays into a fresh collector with identical totals.
+//! let trace = probe.1.finish().unwrap();
+//! let mut again = Collector::new();
+//! replay(&trace[..], &mut again).unwrap();
+//! assert_eq!(again.slots.get(), probe.0.slots.get());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod csv;
+mod event;
+mod hist;
+mod jsonl;
+mod probe;
+mod sink;
+
+pub use collector::{Collector, DropStats};
+pub use csv::{CsvTimeSeries, CSV_HEADER};
+pub use event::{DropReason, DropSite, Event};
+pub use hist::{Counter, Gauge, LogHistogram};
+pub use jsonl::{decode, encode, replay, JsonlWriter, ParseError, ReplayError};
+pub use probe::{NoopProbe, Probe, Tagged, Tee, VecProbe};
+pub use sink::{create_sink, resolve_out_path, RESULTS_DIR_ENV};

@@ -1,0 +1,200 @@
+//! The [`Probe`] trait and its composition adapters.
+//!
+//! A probe is a streaming event consumer. Instrumented code is generic
+//! over `P: Probe` and guards event construction with
+//! [`Probe::enabled`], so the default [`NoopProbe`] monomorphizes to
+//! nothing — the paper's hot loops cost the same with observability
+//! compiled in but disabled.
+
+use crate::event::Event;
+
+/// A streaming consumer of observability [`Event`]s.
+pub trait Probe {
+    /// Whether this probe wants events at all. Instrumented code checks
+    /// this before constructing events, so a disabled probe has zero
+    /// cost beyond the (inlined, constant) check itself.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The default probe: discards everything and reports itself disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopProbe;
+
+impl Probe for NoopProbe {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+impl<P: Probe + ?Sized> Probe for &mut P {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for Box<P> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+/// Fans every event out to two probes (nest for more).
+///
+/// Enabled iff either side is; a disabled side is skipped per event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Probe, B: Probe> Probe for Tee<A, B> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        if self.0.enabled() {
+            self.0.on_event(event);
+        }
+        if self.1.enabled() {
+            self.1.on_event(event);
+        }
+    }
+}
+
+/// Scopes a shared probe to one session: retags every slice-level event
+/// with a fixed session index before forwarding. The multiplexer wraps
+/// its run-wide probe in one `Tagged` per session; tandem runs use the
+/// hop index.
+#[derive(Debug)]
+pub struct Tagged<'a, P: ?Sized> {
+    inner: &'a mut P,
+    session: u32,
+}
+
+impl<'a, P: Probe + ?Sized> Tagged<'a, P> {
+    /// Wraps `inner` so its slice events carry `session`.
+    pub fn new(inner: &'a mut P, session: u32) -> Self {
+        Tagged { inner, session }
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for Tagged<'_, P> {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    #[inline]
+    fn on_event(&mut self, event: &Event) {
+        self.inner.on_event(&event.with_session(self.session));
+    }
+}
+
+/// A probe that buffers every event in memory (tests, replays).
+#[derive(Debug, Clone, Default)]
+pub struct VecProbe {
+    /// The events received, in order.
+    pub events: Vec<Event>,
+}
+
+impl VecProbe {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        VecProbe::default()
+    }
+}
+
+impl Probe for VecProbe {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sent(session: u32) -> Event {
+        Event::SliceSent { time: 0, session, id: 1, bytes: 2, completed: true }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let p = NoopProbe;
+        assert!(!p.enabled());
+        let mut p = p;
+        p.on_event(&sent(0)); // must not panic
+    }
+
+    #[test]
+    fn vec_probe_records_in_order() {
+        let mut p = VecProbe::new();
+        p.on_event(&sent(0));
+        p.on_event(&sent(1));
+        assert_eq!(p.events.len(), 2);
+        assert!(matches!(p.events[1], Event::SliceSent { session: 1, .. }));
+    }
+
+    #[test]
+    fn tee_feeds_both_sides() {
+        let mut t = Tee(VecProbe::new(), VecProbe::new());
+        assert!(t.enabled());
+        t.on_event(&sent(0));
+        assert_eq!(t.0.events.len(), 1);
+        assert_eq!(t.1.events.len(), 1);
+    }
+
+    #[test]
+    fn tee_of_noops_is_disabled() {
+        let t = Tee(NoopProbe, NoopProbe);
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn tagged_rewrites_sessions() {
+        let mut inner = VecProbe::new();
+        {
+            let mut tagged = Tagged::new(&mut inner, 7);
+            assert!(tagged.enabled());
+            tagged.on_event(&sent(0));
+        }
+        assert!(matches!(inner.events[0], Event::SliceSent { session: 7, .. }));
+    }
+
+    #[test]
+    fn mut_ref_and_box_delegate() {
+        let mut v = VecProbe::new();
+        {
+            let r: &mut VecProbe = &mut v;
+            assert!(r.enabled());
+            r.on_event(&sent(0));
+        }
+        assert_eq!(v.events.len(), 1);
+        let mut boxed: Box<dyn Probe> = Box::new(VecProbe::new());
+        assert!(boxed.enabled());
+        boxed.on_event(&sent(0));
+    }
+}

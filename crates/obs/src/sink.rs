@@ -1,0 +1,83 @@
+//! Output-path resolution shared by every file sink.
+//!
+//! All sinks honor the `RESULTS_DIR` environment variable, matching the
+//! convention the figure binaries use: when it is set (and non-empty),
+//! *relative* output paths land under it, so
+//! `RESULTS_DIR=/tmp/run smoothctl simulate --trace-out trace.jsonl`
+//! writes `/tmp/run/trace.jsonl`. Absolute paths and runs without the
+//! variable are untouched, so explicit destinations always win.
+
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// Environment variable redirecting relative sink paths.
+pub const RESULTS_DIR_ENV: &str = "RESULTS_DIR";
+
+/// Resolves a sink path against `RESULTS_DIR`.
+///
+/// Relative paths are joined under the variable's value when it is set
+/// and non-empty; absolute paths pass through unchanged.
+pub fn resolve_out_path(path: &Path) -> PathBuf {
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    match std::env::var(RESULTS_DIR_ENV) {
+        Ok(dir) if !dir.is_empty() => Path::new(&dir).join(path),
+        _ => path.to_path_buf(),
+    }
+}
+
+/// Opens a buffered sink file at the resolved path, creating parent
+/// directories as needed. Errors name the resolved path.
+pub fn create_sink(path: &Path) -> io::Result<BufWriter<File>> {
+    let resolved = resolve_out_path(path);
+    if let Some(parent) = resolved.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                io::Error::new(e.kind(), format!("cannot create {}: {e}", parent.display()))
+            })?;
+        }
+    }
+    let file = File::create(&resolved).map_err(|e| {
+        io::Error::new(e.kind(), format!("cannot create {}: {e}", resolved.display()))
+    })?;
+    Ok(BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_paths_pass_through() {
+        let p = Path::new("/tmp/x/trace.jsonl");
+        assert_eq!(resolve_out_path(p), p);
+    }
+
+    #[test]
+    fn relative_path_without_env_is_unchanged() {
+        // The variable is process-global; only assert the fallback when
+        // it is unset to stay safe under parallel tests.
+        if std::env::var(RESULTS_DIR_ENV).is_err() {
+            assert_eq!(resolve_out_path(Path::new("trace.jsonl")), Path::new("trace.jsonl"));
+        }
+    }
+
+    #[test]
+    fn create_sink_makes_parents() {
+        let dir = std::env::temp_dir().join("rts_obs_sink_test");
+        let target = dir.join("nested/deep/out.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = create_sink(&target).unwrap();
+        drop(w);
+        assert!(target.is_file());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_sink_error_names_the_path() {
+        let err = create_sink(Path::new("/dev/null/impossible/out.jsonl")).unwrap_err();
+        assert!(err.to_string().contains("/dev/null"), "{err}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for [`LogHistogram`] under the in-tree deterministic
+//! PRNG: bucket boundaries partition the value range, merge is
+//! associative, and quantiles are monotone in the rank.
+
+use rts_obs::LogHistogram;
+use rts_stream::rng::SplitMix64;
+
+/// Draws values across many magnitudes: uniform in `[0, 2^k)` for a
+/// random exponent `k`, so small and huge values are both exercised.
+fn skewed(rng: &mut SplitMix64) -> u64 {
+    let k = rng.range_u64(1, 64) as u32;
+    let v = rng.next_u64();
+    if k == 64 {
+        v
+    } else {
+        v & ((1u64 << k) - 1)
+    }
+}
+
+#[test]
+fn buckets_partition_the_range() {
+    // Walking bucket indices yields contiguous, non-overlapping
+    // [low, high] spans starting at 0; every random value round-trips
+    // into a bucket that contains it.
+    let top = LogHistogram::bucket_of(u64::MAX);
+    let mut next_expected = 0u64;
+    for idx in 0..=top {
+        let (lo, hi) = LogHistogram::bucket_bounds(idx);
+        assert_eq!(lo, next_expected, "bucket {idx} does not start where {} ended", idx.wrapping_sub(1));
+        assert!(hi >= lo, "bucket {idx} inverted");
+        assert_eq!(LogHistogram::bucket_of(lo), idx, "lower bound of {idx} maps elsewhere");
+        assert_eq!(LogHistogram::bucket_of(hi), idx, "upper bound of {idx} maps elsewhere");
+        if hi == u64::MAX {
+            assert_eq!(idx, top);
+            break;
+        }
+        next_expected = hi + 1;
+    }
+
+    let mut rng = SplitMix64::new(0xb0c4_e751);
+    for _ in 0..20_000 {
+        let v = skewed(&mut rng);
+        let idx = LogHistogram::bucket_of(v);
+        let (lo, hi) = LogHistogram::bucket_bounds(idx);
+        assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} = [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn bucket_relative_error_is_bounded() {
+    // The bucket containing v is never wider than v/16 + 1, the HDR
+    // guarantee the quantile accuracy contract rests on.
+    let mut rng = SplitMix64::new(0x5eed);
+    for _ in 0..20_000 {
+        let v = skewed(&mut rng);
+        let (lo, hi) = LogHistogram::bucket_bounds(LogHistogram::bucket_of(v));
+        assert!(hi - lo <= v / 16 + 1, "bucket [{lo}, {hi}] too wide for {v}");
+    }
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mut rng = SplitMix64::new(0xfeed_beef);
+    for _ in 0..50 {
+        let mut parts: Vec<LogHistogram> = Vec::new();
+        for _ in 0..3 {
+            let mut h = LogHistogram::new();
+            for _ in 0..rng.range_u64(0, 200) {
+                h.record(skewed(&mut rng));
+            }
+            parts.push(h);
+        }
+        let [a, b, c] = [&parts[0], &parts[1], &parts[2]];
+
+        // (a ∪ b) ∪ c
+        let mut left = a.clone();
+        left.merge(b);
+        left.merge(c);
+        // a ∪ (b ∪ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // c ∪ b ∪ a
+        let mut rev = c.clone();
+        rev.merge(b);
+        rev.merge(a);
+
+        assert_eq!(left, right, "merge is not associative");
+        assert_eq!(left, rev, "merge is not commutative");
+    }
+}
+
+#[test]
+fn merge_equals_recording_everything_in_one_histogram() {
+    let mut rng = SplitMix64::new(0xabcd);
+    let mut whole = LogHistogram::new();
+    let mut shards = vec![LogHistogram::new(); 4];
+    for i in 0..5_000 {
+        let v = skewed(&mut rng);
+        whole.record(v);
+        shards[i % 4].record(v);
+    }
+    let mut merged = LogHistogram::new();
+    for s in &shards {
+        merged.merge(s);
+    }
+    assert_eq!(merged, whole);
+}
+
+#[test]
+fn quantiles_are_monotone_and_within_one_bucket_of_exact() {
+    let mut rng = SplitMix64::new(0x1234_5678);
+    for _ in 0..20 {
+        let n = rng.range_u64(1, 2_000) as usize;
+        let mut h = LogHistogram::new();
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = skewed(&mut rng);
+            h.record(v);
+            values.push(v);
+        }
+        values.sort_unstable();
+
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut prev = 0;
+        for (i, &q) in qs.iter().enumerate() {
+            let approx = h.quantile(q);
+            if i > 0 {
+                assert!(approx >= prev, "quantile not monotone: q={q} gave {approx} < {prev}");
+            }
+            prev = approx;
+
+            // Nearest-rank exact quantile over the sorted sample.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            let diff =
+                LogHistogram::bucket_of(approx).abs_diff(LogHistogram::bucket_of(exact));
+            assert!(
+                diff <= 1,
+                "q={q}: approx {approx} and exact {exact} are {diff} buckets apart"
+            );
+        }
+        assert_eq!(h.quantile(1.0), *values.last().unwrap(), "p100 must be the exact max");
+        assert_eq!(h.quantile(0.0), values[0], "p0 must be the exact min");
+    }
+}

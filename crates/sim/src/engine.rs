@@ -3,6 +3,7 @@
 
 use rts_core::tradeoff::SmoothingParams;
 use rts_core::{Client, DropPolicy, Server};
+use rts_obs::{Event, NoopProbe, Probe};
 use rts_stream::{Bytes, InputStream, Time};
 
 use crate::link::{Link, LinkModel};
@@ -82,6 +83,21 @@ pub fn simulate<P: DropPolicy>(stream: &InputStream, config: SimConfig, policy: 
     simulate_with_link(stream, config, link, policy)
 }
 
+/// [`simulate`] with an observability probe: the run is bracketed by
+/// [`Event::RunStart`]/[`Event::RunEnd`], every slice's admission, link
+/// submission, drop, and playout is emitted as it happens, and each slot
+/// closes with an [`Event::SlotEnd`] state sample. With a
+/// [`NoopProbe`] this is exactly [`simulate`].
+pub fn simulate_probed<P: DropPolicy, Pr: Probe>(
+    stream: &InputStream,
+    config: SimConfig,
+    policy: P,
+    probe: &mut Pr,
+) -> SimReport {
+    let link = Link::new(config.params.link_delay);
+    simulate_with_link_probed(stream, config, link, policy, probe)
+}
+
 /// Runs the generic algorithm over an arbitrary [`LinkModel`] (e.g. a
 /// [`JitteredLink`](crate::JitteredLink)).
 ///
@@ -99,8 +115,20 @@ pub fn simulate<P: DropPolicy>(stream: &InputStream, config: SimConfig, policy: 
 pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
     stream: &InputStream,
     config: SimConfig,
+    link: L,
+    policy: P,
+) -> SimReport {
+    simulate_with_link_probed(stream, config, link, policy, &mut NoopProbe)
+}
+
+/// [`simulate_with_link`] with an observability probe (see
+/// [`simulate_probed`] for the events emitted).
+pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
+    stream: &InputStream,
+    config: SimConfig,
     mut link: L,
     policy: P,
+    probe: &mut Pr,
 ) -> SimReport {
     let params = config.params;
     let mut server = Server::new(params.buffer, params.rate, policy);
@@ -115,6 +143,10 @@ pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
         + stream.total_bytes() / params.rate
         + 4;
 
+    if probe.enabled() {
+        probe.on_event(&Event::RunStart { time: 0, sessions: 1 });
+    }
+
     let mut frames = stream.frames().iter().peekable();
     let mut t: Time = 0;
     loop {
@@ -126,7 +158,7 @@ pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
             }
             _ => &[],
         };
-        let sstep = server.step(t, arrivals);
+        let sstep = server.step_probed(t, arrivals, probe);
         for d in &sstep.dropped {
             record.resolve(d.id, Fate::ServerDropped { time: t });
         }
@@ -139,7 +171,7 @@ pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
         let delivered = link.deliver(t);
 
         // 3. The client absorbs deliveries and plays frame t - P - D.
-        let cstep = client.step(t, &delivered);
+        let cstep = client.step_probed(t, &delivered, probe);
         for s in &cstep.played {
             record.resolve(s.id, Fate::Played { playout: t });
         }
@@ -161,6 +193,14 @@ pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
             sent_bytes: sstep.sent_bytes(),
             link_in_flight: link.in_flight_bytes(),
         });
+        if probe.enabled() {
+            probe.on_event(&Event::SlotEnd {
+                time: t,
+                server_occupancy: sstep.occupancy,
+                client_occupancy: cstep.occupancy,
+                link_bytes: sstep.sent_bytes(),
+            });
+        }
 
         let done =
             t >= last_arrival && server.is_drained() && link.is_empty() && client.is_drained();
@@ -172,6 +212,10 @@ pub fn simulate_with_link<P: DropPolicy, L: LinkModel>(
             "schedule failed to drain by step {t} (horizon {horizon})"
         );
         t += 1;
+    }
+
+    if probe.enabled() {
+        probe.on_event(&Event::RunEnd { time: t + 1, slots: t + 1 });
     }
 
     let metrics = Metrics::from_record(&record);
@@ -322,6 +366,31 @@ mod tests {
         let report = simulate(&stream, balanced(1, 1, 0), TailDrop::new());
         assert_eq!(report.metrics.played_bytes, 0);
         assert_eq!(report.record.steps().len(), 1);
+    }
+
+    #[test]
+    fn probed_run_matches_unprobed_metrics() {
+        use rts_obs::Collector;
+        let stream = unit_frames(&[7, 0, 9, 3, 0, 0, 5, 12]);
+        let config = balanced(2, 2, 1);
+        let plain = simulate(&stream, config, GreedyByteValue::new());
+        let mut collector = Collector::new();
+        let probed = simulate_probed(&stream, config, GreedyByteValue::new(), &mut collector);
+        assert_eq!(plain.metrics, probed.metrics, "probe must not perturb the run");
+        assert_eq!(collector.played_bytes.get(), probed.metrics.played_bytes);
+        assert_eq!(collector.played_weight.get(), probed.metrics.benefit);
+        assert_eq!(collector.admitted_bytes.get(), probed.metrics.offered_bytes);
+        assert_eq!(
+            collector.server_occupancy_max.max(),
+            probed.metrics.server_occupancy_max
+        );
+        assert_eq!(collector.link_rate_max.max(), probed.metrics.link_rate_max);
+        assert_eq!(
+            collector.slots.get() as usize,
+            probed.record.steps().len(),
+            "one SlotEnd per recorded step"
+        );
+        assert!(collector.run_end.is_some());
     }
 
     #[test]

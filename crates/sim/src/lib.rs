@@ -51,13 +51,17 @@ mod sweep;
 pub mod tandem;
 pub mod validate;
 
-pub use engine::{simulate, simulate_with_link, SimConfig, SimReport};
+pub use engine::{
+    simulate, simulate_probed, simulate_with_link, simulate_with_link_probed, SimConfig, SimReport,
+};
 pub use jitter::{JitterControl, JitteredLink};
 pub use link::{Link, LinkModel};
-pub use metrics::Metrics;
+pub use metrics::{ConservationError, Metrics};
 pub use record::{Fate, ScheduleRecord, SliceRecord, StepSample};
-pub use server_only::{run_server_only, run_server_with_rate_schedule, ServerRun};
+pub use server_only::{
+    run_server_only, run_server_only_probed, run_server_with_rate_schedule, ServerRun,
+};
 pub use summary::Percentiles;
 pub use sweep::parallel_map;
-pub use tandem::{simulate_tandem, tandem_delay, HopConfig, TandemReport};
+pub use tandem::{simulate_tandem, simulate_tandem_probed, tandem_delay, HopConfig, TandemReport};
 pub use validate::validate;

@@ -32,6 +32,10 @@ pub struct Metrics {
     pub server_dropped_bytes: Bytes,
     /// Slices discarded by the client.
     pub client_dropped_slices: u64,
+    /// Bytes discarded by the client.
+    pub client_dropped_bytes: Bytes,
+    /// Bytes of slices with no resolved fate (0 for a drained run).
+    pub residual_bytes: Bytes,
     /// Client discard counts by reason.
     pub client_drop_reasons: BTreeMapReason,
     /// Offered weight per frame kind.
@@ -54,6 +58,31 @@ pub struct Metrics {
 /// Client drop counts keyed by reason.
 pub type BTreeMapReason = BTreeMap<ClientDropReason, u64>;
 
+/// A byte-conservation violation found by [`Metrics::check_conservation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConservationError {
+    /// Bytes offered by the source.
+    pub offered_bytes: Bytes,
+    /// Bytes accounted for (played + server-dropped + client-dropped +
+    /// residual).
+    pub accounted_bytes: Bytes,
+    /// `accounted − offered`: positive means double counting, negative
+    /// means bytes vanished.
+    pub delta: i128,
+}
+
+impl std::fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "byte conservation violated: accounted {} vs offered {} (delta {:+})",
+            self.accounted_bytes, self.offered_bytes, self.delta
+        )
+    }
+}
+
+impl std::error::Error for ConservationError {}
+
 impl Metrics {
     /// Computes metrics from a completed schedule record.
     pub fn from_record(record: &ScheduleRecord) -> Metrics {
@@ -75,10 +104,11 @@ impl Metrics {
                 }
                 Some(Fate::ClientDropped { reason, .. }) => {
                     m.client_dropped_slices += 1;
+                    m.client_dropped_bytes += r.slice.size;
                     *m.client_drop_reasons.entry(reason).or_default() += 1;
                 }
                 None => {
-                    debug_assert!(false, "metrics computed over an unresolved record");
+                    m.residual_bytes += r.slice.size;
                 }
             }
         }
@@ -90,6 +120,27 @@ impl Metrics {
             m.link_in_flight_max = m.link_in_flight_max.max(s.link_in_flight);
         }
         m
+    }
+
+    /// Byte-conservation self-check: every offered byte must be
+    /// accounted for exactly once as played, server-dropped,
+    /// client-dropped, or residual (unresolved). A violation means an
+    /// accounting bug — a slice resolved twice, or a counter drifting
+    /// from the record — and is returned with the offending delta.
+    pub fn check_conservation(&self) -> Result<(), ConservationError> {
+        let accounted = self.played_bytes
+            + self.server_dropped_bytes
+            + self.client_dropped_bytes
+            + self.residual_bytes;
+        if accounted == self.offered_bytes {
+            Ok(())
+        } else {
+            Err(ConservationError {
+                offered_bytes: self.offered_bytes,
+                accounted_bytes: accounted,
+                delta: accounted as i128 - self.offered_bytes as i128,
+            })
+        }
     }
 
     /// Bytes not played out.
@@ -176,7 +227,41 @@ mod tests {
         assert_eq!(m.server_dropped_slices, 1);
         assert_eq!(m.server_dropped_bytes, 1);
         assert_eq!(m.client_dropped_slices, 1);
+        assert_eq!(m.client_dropped_bytes, 3);
+        assert_eq!(m.residual_bytes, 0);
         assert_eq!(m.client_drop_reasons[&ClientDropReason::Late], 1);
+    }
+
+    #[test]
+    fn conservation_holds_on_resolved_records() {
+        let m = Metrics::from_record(&resolved_record());
+        m.check_conservation().expect("resolved record conserves bytes");
+    }
+
+    #[test]
+    fn conservation_reports_the_delta() {
+        let mut m = Metrics::from_record(&resolved_record());
+        m.played_bytes += 2; // double count
+        let err = m.check_conservation().unwrap_err();
+        assert_eq!(err.delta, 2);
+        assert_eq!(err.offered_bytes, 6);
+        assert_eq!(err.accounted_bytes, 8);
+        assert!(err.to_string().contains("+2"), "{err}");
+
+        m.played_bytes -= 2;
+        m.client_dropped_bytes -= 3; // vanish 3
+        let err = m.check_conservation().unwrap_err();
+        assert_eq!(err.delta, -3);
+    }
+
+    #[test]
+    fn unresolved_slices_count_as_residual() {
+        let stream = InputStream::from_frames([vec![SliceSpec::new(4, 1, FrameKind::Generic)]]);
+        let r = ScheduleRecord::for_slices(stream.slices());
+        let m = Metrics::from_record(&r);
+        assert_eq!(m.residual_bytes, 4);
+        m.check_conservation()
+            .expect("residual bytes balance the conservation equation");
     }
 
     #[test]

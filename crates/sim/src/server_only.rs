@@ -9,6 +9,7 @@
 //! reduction against [`simulate`](crate::simulate)).
 
 use rts_core::{DropPolicy, Server};
+use rts_obs::{Event, NoopProbe, Probe};
 use rts_stream::{Bytes, InputStream, Weight};
 
 /// Aggregate result of a single-buffer run.
@@ -75,22 +76,48 @@ pub fn run_server_only<P: DropPolicy>(
     rate: Bytes,
     policy: P,
 ) -> ServerRun {
+    run_server_only_probed(stream, buffer, rate, policy, &mut NoopProbe)
+}
+
+/// [`run_server_only`] with an observability probe. There is no client
+/// stage, so the feed has no playout events and each
+/// [`Event::SlotEnd`] reports a zero client occupancy; the per-slot
+/// `link_bytes` is the server's submitted bytes.
+pub fn run_server_only_probed<P: DropPolicy, Pr: Probe>(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+    policy: P,
+    probe: &mut Pr,
+) -> ServerRun {
     let mut server = Server::new(buffer, rate, policy);
     let mut run = ServerRun {
         offered_bytes: stream.total_bytes(),
         offered_weight: stream.total_weight(),
         ..ServerRun::default()
     };
-    let mut absorb = |sent: &[rts_core::SentChunk], dropped_count: u64| {
-        for c in sent {
-            if c.completed {
-                run.throughput += c.slice.size;
-                run.benefit += c.slice.weight;
-                run.sent_slices += 1;
+    if probe.enabled() {
+        probe.on_event(&Event::RunStart { time: 0, sessions: 1 });
+    }
+    let absorb =
+        |run: &mut ServerRun, step: &rts_core::ServerStep, t: u64, probe: &mut Pr| {
+            for c in &step.sent {
+                if c.completed {
+                    run.throughput += c.slice.size;
+                    run.benefit += c.slice.weight;
+                    run.sent_slices += 1;
+                }
             }
-        }
-        run.dropped_slices += dropped_count;
-    };
+            run.dropped_slices += step.dropped.len() as u64;
+            if probe.enabled() {
+                probe.on_event(&Event::SlotEnd {
+                    time: t,
+                    server_occupancy: step.occupancy,
+                    client_occupancy: 0,
+                    link_bytes: step.sent_bytes(),
+                });
+            }
+        };
 
     let mut frames = stream.frames().iter().peekable();
     let mut t = 0;
@@ -101,12 +128,17 @@ pub fn run_server_only<P: DropPolicy>(
         } else {
             &[]
         };
-        let step = server.step(t, arrivals);
-        absorb(&step.sent, step.dropped.len() as u64);
+        let step = server.step_probed(t, arrivals, probe);
+        absorb(&mut run, &step, t, probe);
         t += 1;
     }
-    for (_, step) in server.drain(t) {
-        absorb(&step.sent, step.dropped.len() as u64);
+    while !server.is_drained() {
+        let step = server.step_probed(t, &[], probe);
+        absorb(&mut run, &step, t, probe);
+        t += 1;
+    }
+    if probe.enabled() {
+        probe.on_event(&Event::RunEnd { time: t, slots: t });
     }
     run
 }

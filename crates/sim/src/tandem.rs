@@ -24,6 +24,7 @@
 use std::collections::HashMap;
 
 use rts_core::{Client, DropPolicy, SentChunk, Server};
+use rts_obs::{Event, NoopProbe, Probe, Tagged};
 use rts_stream::{Bytes, InputStream, Slice, SliceId, Time};
 
 use crate::link::{Link, LinkModel};
@@ -141,6 +142,31 @@ where
     P: DropPolicy,
     F: Fn(usize) -> P,
 {
+    simulate_tandem_probed(stream, hops, delay, make_policy, &mut NoopProbe)
+}
+
+/// [`simulate_tandem`] with an observability probe.
+///
+/// The shared probe is scoped per stage via [`Tagged`]: slice events
+/// from hop `k`'s server carry session tag `k`, and the final client's
+/// playouts and discards carry the last hop's tag `K−1` (the client
+/// terminates that hop's link). Note that in a tandem every surviving
+/// slice is admitted and sent once *per hop*, so trace-level admission
+/// counts are per-stage, not per-source-slice. [`Event::SlotEnd`]
+/// reports network-wide totals: summed hop occupancies, the client's
+/// occupancy, and the bytes submitted to all links that slot.
+pub fn simulate_tandem_probed<P, F, Pr>(
+    stream: &InputStream,
+    hops: &[HopConfig],
+    delay: Time,
+    make_policy: F,
+    probe: &mut Pr,
+) -> TandemReport
+where
+    P: DropPolicy,
+    F: Fn(usize) -> P,
+    Pr: Probe,
+{
     assert!(!hops.is_empty(), "a tandem needs at least one hop");
     let total_link_delay: Time = hops.iter().map(|h| h.link_delay).sum();
 
@@ -174,25 +200,35 @@ where
             / hops.iter().map(|h| h.rate).min().unwrap_or(1).max(1)
         + 8;
 
+    if probe.enabled() {
+        probe.on_event(&Event::RunStart { time: 0, sessions: hops.len() as u32 });
+    }
+
     let mut frames = stream.frames().iter().peekable();
     let mut t: Time = 0;
     loop {
+        let mut slot_sent: Bytes = 0;
+
         // Hop 0: source arrivals.
         let arrivals: &[_] = match frames.peek() {
             Some(f) if f.time == t => &frames.next().expect("peeked").slices,
             _ => &[],
         };
-        let step0 = origin.step(t, arrivals);
+        let step0 = origin.step_probed(t, arrivals, &mut Tagged::new(probe, 0));
         report.hop_drops[0] += step0.dropped.len() as u64;
+        slot_sent += step0.sent_bytes();
         links[0].submit(&step0.sent);
 
         // Relays: deliveries from the previous link, reassembly, send.
         for (i, relay) in relays.iter_mut().enumerate() {
             let delivered = links[i].deliver(t);
             let ready = relay.absorb(&delivered);
-            let step = relay.server.step(t, &ready);
+            let step = relay
+                .server
+                .step_probed(t, &ready, &mut Tagged::new(probe, i as u32 + 1));
             report.hop_drops[i + 1] += step.dropped.len() as u64;
             report.reassembly_peak[i + 1] = relay.reassembly_peak;
+            slot_sent += step.sent_bytes();
             links[i + 1].submit(&step.sent);
         }
 
@@ -210,13 +246,31 @@ where
                 ..c
             })
             .collect();
-        let cstep = client.step(t, &delivered);
+        let cstep = client.step_probed(
+            t,
+            &delivered,
+            &mut Tagged::new(probe, hops.len() as u32 - 1),
+        );
         for s in &cstep.played {
             report.benefit += s.weight;
             report.played_bytes += s.size;
             report.played_slices += 1;
         }
         report.client_drops += cstep.dropped.len() as u64;
+
+        if probe.enabled() {
+            let hop_occupancy = origin.buffer().occupancy()
+                + relays
+                    .iter()
+                    .map(|r| r.server.buffer().occupancy())
+                    .sum::<Bytes>();
+            probe.on_event(&Event::SlotEnd {
+                time: t,
+                server_occupancy: hop_occupancy,
+                client_occupancy: cstep.occupancy,
+                link_bytes: slot_sent,
+            });
+        }
 
         let drained = t >= last_arrival
             && origin.is_drained()
@@ -233,6 +287,9 @@ where
             "tandem failed to drain by {t} (horizon {horizon})"
         );
         t += 1;
+    }
+    if probe.enabled() {
+        probe.on_event(&Event::RunEnd { time: t + 1, slots: t + 1 });
     }
     report
 }
@@ -385,6 +442,38 @@ mod tests {
             },
         ];
         assert_eq!(tandem_delay(&hops, 2), 4 + 3 + 2);
+    }
+
+    #[test]
+    fn probed_tandem_matches_and_tags_hops() {
+        use rts_obs::{Collector, Event, Tee, VecProbe};
+        let stream = unit_frames(&[9, 3, 0, 14, 0, 5]);
+        let hops = [
+            HopConfig { buffer: 5, rate: 3, link_delay: 1 },
+            HopConfig { buffer: 4, rate: 2, link_delay: 0 },
+        ];
+        let delay = tandem_delay(&hops, 1);
+        let plain = simulate_tandem(&stream, &hops, delay, |_| TailDrop::new());
+        let mut probe = Tee(Collector::new(), VecProbe::new());
+        let probed =
+            simulate_tandem_probed(&stream, &hops, delay, |_| TailDrop::new(), &mut probe);
+        assert_eq!(plain, probed, "probe must not perturb the run");
+        let (collector, events) = (probe.0, probe.1.events);
+        assert_eq!(collector.played_slices.get(), probed.played_slices);
+        assert_eq!(collector.sessions, 2);
+        // Both hops emitted admissions under their own tag.
+        for hop in [0u32, 1] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, Event::SliceAdmitted { session, .. } if *session == hop)),
+                "no admissions tagged for hop {hop}"
+            );
+        }
+        // Playouts come from the client, tagged with the last hop.
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, Event::SlicePlayed { session, .. } if *session != 1)));
     }
 
     #[test]

@@ -151,6 +151,15 @@ pub fn validate(report: &SimReport) -> Result<(), Vec<String>> {
             m.offered_bytes
         ));
     }
+    if let Err(e) = m.check_conservation() {
+        errs.push(e.to_string());
+    }
+    if m.residual_bytes != 0 {
+        errs.push(format!(
+            "drained schedule left {} residual bytes unresolved",
+            m.residual_bytes
+        ));
+    }
 
     // Balanced configurations: the client never discards (Lemmas 3.3/3.4).
     if params.is_balanced() && report.config.client_capacity() >= params.buffer {
