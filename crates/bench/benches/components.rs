@@ -5,6 +5,7 @@ use rts_bench::timing::{bb, Harness};
 use rts_core::policy::{DropPolicy, EarlyValueDrop, GreedyByteValue, GreedyRescan};
 use rts_core::tradeoff::SmoothingParams;
 use rts_core::ServerBuffer;
+use rts_faults::{simulate_faulted, FaultPlan};
 use rts_obs::NoopProbe;
 use rts_offline::{optimal_frame_benefit, optimal_unit_benefit};
 use rts_sim::{run_server_only, simulate, simulate_probed, SimConfig};
@@ -122,6 +123,20 @@ fn main() {
     h.bench("obs/simulate_noop_probe", || {
         bb(
             simulate_probed(&stream, SimConfig::new(params), GreedyByteValue::new(), &mut NoopProbe)
+                .metrics
+                .benefit,
+        )
+    });
+
+    // An empty FaultPlan must also be free: FaultyLink's passthrough
+    // path forwards straight to the inner link, so the faulted entry
+    // point with no faults should time identically to the plain one.
+    h.bench("faults/simulate_plain", || {
+        bb(simulate(&stream, SimConfig::new(params), GreedyByteValue::new()).metrics.benefit)
+    });
+    h.bench("faults/simulate_empty_plan", || {
+        bb(
+            simulate_faulted(&stream, SimConfig::new(params), FaultPlan::new(0), GreedyByteValue::new())
                 .metrics
                 .benefit,
         )

@@ -342,8 +342,8 @@ pub fn tradeoff_rate_on(cbr_size: Bytes, steps: usize, buffer: Bytes, delay: u64
         // about the server side (a smooth input at rate C needs R = C,
         // not R = B/D).
         let config = SimConfig {
-            params,
             client_capacity: Some(u64::MAX / 4),
+            ..SimConfig::new(params)
         };
         let report = simulate(&stream, config, TailDrop::new());
         (r, report.metrics.byte_loss())

@@ -6,6 +6,8 @@ use std::io::{BufWriter, Write as _};
 
 use rts_core::policy::{DropPolicy, GreedyByteValue, HeadDrop, RandomDrop, TailDrop};
 use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
+use rts_core::ResyncPolicy;
+use rts_faults::{simulate_faulted_probed, FaultPlan};
 use rts_mux::{
     GreedyAcrossSessions, LinkScheduler, Mux, MuxReport, RoundRobin, SessionSpec, WeightedFair,
 };
@@ -384,26 +386,22 @@ fn simulate_cmd(args: &Args) -> Result<String, CliError> {
     if params.rate == 0 {
         return Err(CliError::usage("--rate must be positive"));
     }
-    let config = SimConfig {
-        params,
+    let seed: u64 = args.opt_or("seed", 0)?;
+    let mut config = SimConfig {
         client_capacity: args.opt_parse("client-buffer")?,
+        ..SimConfig::new(params)
     };
+    if let Some(spec) = args.opt("resync") {
+        config = config.with_resync(parse_resync(spec)?);
+    }
+    let policy = parse_policy_box(args.opt("policy").unwrap_or("greedy"), seed)?;
     let mut probe = OutProbe::from_args(args)?;
-    let report = match args.opt("policy").unwrap_or("greedy") {
-        "greedy" => simulate_probed(&stream, config, GreedyByteValue::new(), &mut probe),
-        "tail" => simulate_probed(&stream, config, TailDrop::new(), &mut probe),
-        "head" => simulate_probed(&stream, config, HeadDrop::new(), &mut probe),
-        "random" => simulate_probed(
-            &stream,
-            config,
-            RandomDrop::new(args.opt_or("seed", 0)?),
-            &mut probe,
-        ),
-        other => {
-            return Err(CliError::usage(format!(
-                "unknown policy {other:?} (greedy|tail|head|random)"
-            )))
+    let report = match args.opt("faults") {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec, seed).map_err(|e| CliError::usage(e.to_string()))?;
+            simulate_faulted_probed(&stream, config, plan, policy, &mut probe)
         }
+        None => simulate_probed(&stream, config, policy, &mut probe),
     };
     let mut out = report_text(&report);
     probe.finish(&mut out)?;
@@ -443,6 +441,14 @@ fn parse_scheduler(name: &str) -> Result<Box<dyn LinkScheduler>, CliError> {
             "unknown scheduler {other:?} (rr|wfq|greedy)"
         ))),
     }
+}
+
+fn parse_resync(spec: &str) -> Result<ResyncPolicy, CliError> {
+    let bad = || CliError::usage(format!("bad --resync {spec:?} (want SKEW/CATCHUP, e.g. 8/1)"));
+    let (skew, catchup) = spec.split_once(['/', ':']).ok_or_else(bad)?;
+    let skew: u64 = skew.trim().parse().map_err(|_| bad())?;
+    let catchup: u64 = catchup.trim().parse().map_err(|_| bad())?;
+    Ok(ResyncPolicy::new(skew, catchup))
 }
 
 fn parse_overbook(spec: &str) -> Result<(u64, u64), CliError> {
@@ -494,6 +500,16 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
     if total_offered == 0 {
         return Err(CliError::usage("all input traces are empty"));
     }
+    let faults: Option<FaultPlan> = match args.opt("faults") {
+        Some(spec) => {
+            Some(FaultPlan::parse(spec, seed).map_err(|e| CliError::usage(e.to_string()))?)
+        }
+        None => None,
+    };
+    let resync: Option<ResyncPolicy> = match args.opt("resync") {
+        Some(spec) => Some(parse_resync(spec)?),
+        None => None,
+    };
 
     // One shared-link run: admit every session, then step to completion.
     let shared = |scheduler: Box<dyn LinkScheduler>,
@@ -501,11 +517,18 @@ fn mux_cmd(args: &Args) -> Result<String, CliError> {
                   probe: &mut dyn Probe|
      -> Result<MuxReport, CliError> {
         let mut mux = Mux::with_overbooking(link_rate, scheduler, num, den);
-        for ((label, s), &r) in streams.iter().zip(&rates) {
+        for (idx, ((label, s), &r)) in streams.iter().zip(&rates).enumerate() {
             let params = SmoothingParams::balanced_from_rate_delay(r, delay, link_delay);
-            let spec = SessionSpec::new(s.clone(), params, parse_policy_box(policy_name, seed)?)
+            let mut spec = SessionSpec::new(s.clone(), params, parse_policy_box(policy_name, seed)?)
                 .with_weight(r)
                 .with_label(label.clone());
+            if let Some(plan) = &faults {
+                // Each session gets its own deterministic jitter stream.
+                spec = spec.with_faults(plan.clone().with_seed(seed.wrapping_add(idx as u64)));
+            }
+            if let Some(policy) = resync {
+                spec = spec.with_resync(policy);
+            }
             mux.admit(spec).map_err(|e| {
                 CliError::usage(format!(
                     "session '{label}' rejected: {e} (raise --link-rate or --overbook)"

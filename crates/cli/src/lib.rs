@@ -46,11 +46,13 @@ USAGE:
   smoothctl simulate FILE --buffer B --rate R --delay D
             [--policy greedy|tail|head|random] [--link-delay P]
             [--client-buffer BC] [--timeline CSV]
+            [--faults SPEC] [--resync SKEW/CATCHUP]
             [--trace-out JSONL] [--metrics-out CSV]
   smoothctl mux [FILE...] [--sessions K] [--frames N] [--seed S]
             [--factor F] [--delay D] [--link-delay P] [--link-rate C]
             [--overbook NUM/DEN] [--scheduler rr|wfq|greedy]
             [--policy greedy|tail|head|random]
+            [--faults SPEC] [--resync SKEW/CATCHUP]
             [--trace-out JSONL] [--metrics-out CSV]
             (no FILEs: generates K MPEG-like demo sessions; without
             --scheduler/--policy: compares all schedulers x policies
@@ -64,4 +66,14 @@ USAGE:
 Traces use the plain-text format of rts-stream (see its docs).
 --trace-out/--metrics-out resolve relative paths under $RESULTS_DIR
 when it is set.
+
+--faults SPEC injects deterministic faults (seeded by --seed); clauses
+are comma-separated: 'outage@A..B' (link dead on [A,B)),
+'dip@A..B=CAP' (egress capped at CAP bytes/slot), 'jitter@A..B+J'
+(up to J slots of extra delay), 'drift@S-1/P' / 'drift@S+1/P'
+(client clock slow/fast by one slot per P from slot S). Example:
+'outage@40..60,jitter@100..200+3'. --resync SKEW/CATCHUP lets the
+client re-anchor its playout timer after faults: arrivals late by at
+most SKEW slots are played (shifting playout) instead of dropped, and
+the accrued shift is recovered at CATCHUP slots per slot.
 ";

@@ -29,6 +29,90 @@ use rts_stream::{Bytes, Slice, SliceId, Time};
 
 use crate::server::SentChunk;
 
+/// Graceful-degradation policy: instead of dropping data whose deadline
+/// slipped past (e.g. after a link outage), the client may *re-anchor*
+/// its playout timer — pushing every subsequent deadline back by the
+/// observed skew — and then catch back up at a bounded rate.
+///
+/// The paper's model has no faults, so the default client (no policy
+/// installed) keeps the strict behaviour: anything past its deadline is
+/// a [`ClientDropReason::Late`] drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncPolicy {
+    /// Largest single re-anchor jump the client will absorb, in slots.
+    /// Arrivals later than this are genuinely dropped as late.
+    pub max_skew: Time,
+    /// How many slots of accumulated offset the client claws back per
+    /// step once data flows again (0 = never catch up; the added
+    /// latency becomes permanent).
+    pub catchup: Time,
+}
+
+impl ResyncPolicy {
+    /// A policy absorbing skews up to `max_skew` and recovering
+    /// `catchup` slots of latency per step.
+    pub fn new(max_skew: Time, catchup: Time) -> Self {
+        ResyncPolicy { max_skew, catchup }
+    }
+}
+
+/// A deterministic clock-skew model: from slot `start` on, the client's
+/// local clock gains or loses one slot every `period` wall slots.
+///
+/// A *slow* clock reads behind wall time, so frames play later than the
+/// paper's `AT + P + D` schedule; a *fast* clock reads ahead, so
+/// deadlines effectively arrive early and marginal slices miss them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDrift {
+    /// First wall slot at which drift starts accruing.
+    pub start: Time,
+    /// Wall slots per accrued slot of skew. Must be ≥ 2 so a slow
+    /// clock still advances (and every deadline is eventually reached).
+    pub period: Time,
+    /// `true` = clock runs slow (plays late); `false` = fast.
+    pub slow: bool,
+}
+
+impl ClockDrift {
+    /// A drift of one slot per `period` wall slots starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// If `period < 2`: a slow clock with period 1 would never advance.
+    pub fn new(start: Time, period: Time, slow: bool) -> Self {
+        assert!(period >= 2, "drift period must be at least 2, got {period}");
+        ClockDrift { start, period, slow }
+    }
+
+    /// Accrued skew at wall slot `t`.
+    pub fn skew_at(&self, t: Time) -> Time {
+        t.saturating_sub(self.start) / self.period
+    }
+
+    /// The client's local clock reading at wall slot `t`.
+    pub fn local(&self, t: Time) -> Time {
+        let skew = self.skew_at(t);
+        if self.slow {
+            t.saturating_sub(skew)
+        } else {
+            t.saturating_add(skew)
+        }
+    }
+
+    /// An upper bound on the wall slot at which the local clock reaches
+    /// `local_deadline` (equals `local_deadline` for a fast clock).
+    /// Used by simulation drivers to extend their drain horizon.
+    pub fn wall_bound(&self, local_deadline: Time) -> Time {
+        if !self.slow {
+            return local_deadline;
+        }
+        let past = local_deadline.saturating_sub(self.start);
+        self.start
+            .saturating_add(past.saturating_mul(self.period) / (self.period - 1))
+            .saturating_add(2)
+    }
+}
+
 /// Why the client discarded a slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ClientDropReason {
@@ -72,6 +156,9 @@ pub struct ClientStep {
     pub occupancy: Bytes,
     /// Peak occupancy within the step (after deliveries, before playout).
     pub peak_occupancy: Bytes,
+    /// Skews absorbed by timer re-anchoring this step (empty unless a
+    /// [`ResyncPolicy`] is installed and a deadline actually slipped).
+    pub resyncs: Vec<Time>,
 }
 
 #[derive(Debug, Clone)]
@@ -120,6 +207,11 @@ pub struct Client {
     deadlines: BTreeMap<Time, Vec<SliceId>>,
     rejected: HashSet<SliceId>,
     occupancy: Bytes,
+    resync: Option<ResyncPolicy>,
+    drift: Option<ClockDrift>,
+    /// Slots the playout timer is currently pushed back by (0 unless a
+    /// resync happened and has not yet been caught up).
+    offset: Time,
 }
 
 impl Client {
@@ -134,6 +226,9 @@ impl Client {
             deadlines: BTreeMap::new(),
             rejected: HashSet::new(),
             occupancy: 0,
+            resync: None,
+            drift: None,
+            offset: 0,
         }
     }
 
@@ -158,7 +253,44 @@ impl Client {
             deadlines: BTreeMap::new(),
             rejected: HashSet::new(),
             occupancy: 0,
+            resync: None,
+            drift: None,
+            offset: 0,
         }
+    }
+
+    /// Installs a graceful-degradation [`ResyncPolicy`]: late arrivals
+    /// within `max_skew` re-anchor the playout timer instead of being
+    /// dropped. Without this, the client keeps the paper's strict
+    /// semantics.
+    pub fn with_resync(mut self, policy: ResyncPolicy) -> Self {
+        self.resync = Some(policy);
+        self
+    }
+
+    /// Installs a [`ClockDrift`] on the playout clock: deadlines are
+    /// evaluated against the drifting local clock instead of wall time.
+    pub fn with_drift(mut self, drift: ClockDrift) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// The current timer re-anchor offset in slots (0 when no resync
+    /// has happened, or the catch-up has fully recovered it).
+    pub fn resync_offset(&self) -> Time {
+        self.offset
+    }
+
+    /// The client's effective "now" at wall slot `t`: the local clock
+    /// reading (under any [`ClockDrift`]) minus the resync offset.
+    /// Deadlines from [`deadline_of`](Self::deadline_of) are compared
+    /// against this, so a positive offset plays everything later.
+    fn virtual_now(&self, t: Time) -> Time {
+        let local = match self.drift {
+            Some(d) => d.local(t),
+            None => t,
+        };
+        local.saturating_sub(self.offset)
     }
 
     /// Buffer capacity `Bc`.
@@ -210,12 +342,15 @@ impl Client {
         }
         out.peak_occupancy = self.occupancy;
 
-        // Playout: every slice whose deadline is (or has passed) t.
-        // Deadlines earlier than t can linger only if no step() call
-        // happened at that exact time; processing them here keeps the
+        // Playout: every slice whose deadline is (or has passed) the
+        // effective now — wall time for the default client, shifted by
+        // clock drift and any un-recovered resync offset otherwise.
+        // Deadlines earlier than that can linger only if no step() call
+        // happened at the exact slot; processing them here keeps the
         // client robust to sparse stepping.
+        let now = self.virtual_now(t);
         while let Some((&due, _)) = self.deadlines.first_key_value() {
-            if due > t {
+            if due > now {
                 break;
             }
             let (_, ids) = self.deadlines.pop_first().expect("checked non-empty");
@@ -259,14 +394,22 @@ impl Client {
             }
         }
 
+        // Bounded catch-up: claw back some of the re-anchor offset so
+        // the extra latency decays once delivery recovers. Slices that
+        // cannot keep pace with the accelerated deadlines are dropped
+        // (and accounted) through the ordinary Late/Incomplete paths.
+        if let Some(policy) = self.resync {
+            self.offset = self.offset.saturating_sub(policy.catchup);
+        }
+
         out.occupancy = self.occupancy;
         out
     }
 
     /// [`step`](Self::step) with an observability probe: each playout
-    /// emits an [`Event::SlicePlayed`] (with its sojourn `t − AT(s)`)
-    /// and each discard an [`Event::SliceDropped`] at
-    /// [`DropSite::Client`].
+    /// emits an [`Event::SlicePlayed`] (with its sojourn `t − AT(s)`),
+    /// each discard an [`Event::SliceDropped`] at [`DropSite::Client`],
+    /// and each timer re-anchor an [`Event::ClientResync`].
     pub fn step_probed<Pr: Probe>(
         &mut self,
         t: Time,
@@ -275,6 +418,9 @@ impl Client {
     ) -> ClientStep {
         let out = self.step(t, delivered);
         if probe.enabled() {
+            for &skew in &out.resyncs {
+                probe.on_event(&Event::ClientResync { time: t, session: 0, skew });
+            }
             for slice in &out.played {
                 probe.on_event(&Event::SlicePlayed {
                     time: t,
@@ -315,11 +461,24 @@ impl Client {
         let deadline = self
             .deadline_of(&chunk.slice)
             .expect("clock is anchored by the arrival being processed");
-        if t > deadline {
-            // Too late to ever play. Free anything stored and reject the
-            // rest of the slice.
-            self.discard(id, chunk.slice, ClientDropReason::Late, out);
-            return;
+        let now = self.virtual_now(t);
+        if now > deadline {
+            // The deadline already slipped past. With a resync policy
+            // and a skew within bounds, re-anchor the playout timer so
+            // this slice's deadline becomes "now" and the rest of the
+            // stream shifts with it; otherwise the data is too late to
+            // ever play — free anything stored and reject the rest.
+            let skew = now - deadline;
+            match self.resync {
+                Some(policy) if skew <= policy.max_skew => {
+                    self.offset += skew;
+                    out.resyncs.push(skew);
+                }
+                _ => {
+                    self.discard(id, chunk.slice, ClientDropReason::Late, out);
+                    return;
+                }
+            }
         }
         let entry = self.pending.entry(id).or_insert_with(|| {
             self.deadlines.entry(deadline).or_default().push(id);
@@ -535,5 +694,106 @@ mod tests {
         assert_eq!(c.delay(), 3);
         assert_eq!(c.deadline_of(&slice(0, 10, 1)), Some(15));
         assert!(c.is_drained());
+        assert_eq!(c.resync_offset(), 0);
+    }
+
+    #[test]
+    fn resync_absorbs_a_late_arrival_and_plays_it() {
+        // Deadline is t=0 (D=0, P=0); the slice arrives 3 slots late.
+        // With resync the timer re-anchors and the slice still plays.
+        let mut c = Client::new(100, 0, 0).with_resync(ResyncPolicy::new(5, 0));
+        let s = slice(0, 0, 2);
+        let st = c.step(3, &[chunk(s, 3, 2, true)]);
+        assert_eq!(st.resyncs, vec![3]);
+        assert_eq!(st.played, vec![s], "re-anchored slice plays this step");
+        assert!(st.dropped.is_empty());
+        assert_eq!(c.resync_offset(), 3, "catchup 0 keeps the offset");
+
+        // The next slice (nominal deadline t=4) now plays at t=7.
+        let s2 = slice(1, 4, 1);
+        c.step(4, &[chunk(s2, 4, 1, true)]);
+        assert!(c.step(6, &[]).played.is_empty());
+        assert_eq!(c.step(7, &[]).played, vec![s2]);
+    }
+
+    #[test]
+    fn resync_skew_beyond_max_is_still_a_late_drop() {
+        let mut c = Client::new(100, 0, 0).with_resync(ResyncPolicy::new(2, 0));
+        let s = slice(0, 0, 1);
+        let st = c.step(3, &[chunk(s, 3, 1, true)]);
+        assert!(st.resyncs.is_empty());
+        assert_eq!(st.dropped.len(), 1);
+        assert_eq!(st.dropped[0].reason, ClientDropReason::Late);
+        assert_eq!(c.resync_offset(), 0);
+    }
+
+    #[test]
+    fn catchup_recovers_the_offset_at_a_bounded_rate() {
+        let mut c = Client::new(100, 0, 0).with_resync(ResyncPolicy::new(10, 1));
+        let s = slice(0, 0, 1);
+        c.step(4, &[chunk(s, 4, 1, true)]);
+        // Skew 4 absorbed, then 1 slot clawed back per step.
+        assert_eq!(c.resync_offset(), 3);
+        c.step(5, &[]);
+        assert_eq!(c.resync_offset(), 2);
+        c.step(6, &[]);
+        c.step(7, &[]);
+        c.step(8, &[]);
+        assert_eq!(c.resync_offset(), 0, "offset decays to zero, not below");
+    }
+
+    #[test]
+    fn probed_step_reports_resyncs() {
+        use rts_obs::VecProbe;
+        let mut c = Client::new(100, 0, 0).with_resync(ResyncPolicy::new(5, 0));
+        let mut probe = VecProbe::new();
+        let s = slice(0, 0, 1);
+        c.step_probed(2, &[chunk(s, 2, 1, true)], &mut probe);
+        assert!(
+            matches!(probe.events[0], Event::ClientResync { time: 2, session: 0, skew: 2 }),
+            "{:?}",
+            probe.events[0]
+        );
+    }
+
+    #[test]
+    fn slow_drift_plays_later_fast_drift_drops_marginal_slices() {
+        // Slow clock, 1 slot behind every 2 slots from t=0: a slice with
+        // nominal deadline 5 plays when local(t) = t - t/2 reaches 5,
+        // i.e. at wall slot 9.
+        let drift = ClockDrift::new(0, 2, true);
+        let mut c = Client::new(100, 5, 0).with_drift(drift);
+        let s = slice(0, 0, 1);
+        c.step(0, &[chunk(s, 0, 1, true)]);
+        for t in 1..9 {
+            assert!(c.step(t, &[]).played.is_empty(), "t={t} too early");
+        }
+        assert_eq!(c.step(9, &[]).played, vec![s]);
+        assert!(drift.wall_bound(5) >= 9, "horizon bound covers the real play time");
+
+        // Fast clock: local time runs ahead, so an arrival exactly at
+        // its nominal deadline is already late.
+        let mut fast = Client::new(100, 5, 0).with_drift(ClockDrift::new(0, 2, false));
+        let s2 = slice(1, 0, 1);
+        let st = fast.step(5, &[chunk(s2, 5, 1, true)]);
+        assert_eq!(st.dropped.len(), 1);
+        assert_eq!(st.dropped[0].reason, ClientDropReason::Late);
+    }
+
+    #[test]
+    fn drift_helpers_and_validation() {
+        let d = ClockDrift::new(10, 3, true);
+        assert_eq!(d.skew_at(9), 0);
+        assert_eq!(d.skew_at(10), 0);
+        assert_eq!(d.skew_at(13), 1);
+        assert_eq!(d.local(16), 14);
+        let fast = ClockDrift::new(0, 4, false);
+        assert_eq!(fast.local(8), 10);
+        assert_eq!(fast.wall_bound(100), 100, "fast clocks never extend the horizon");
+        // wall_bound is a genuine bound: local(wall_bound(L)) >= L.
+        for l in [0u64, 5, 11, 100, 1_000] {
+            assert!(d.local(d.wall_bound(l)) >= l, "bound too tight for {l}");
+        }
+        assert!(std::panic::catch_unwind(|| ClockDrift::new(0, 1, true)).is_err());
     }
 }

@@ -68,7 +68,7 @@ mod server;
 pub mod tradeoff;
 
 pub use buffer::{BufferedSlice, Seq, ServerBuffer};
-pub use client::{Client, ClientDrop, ClientDropReason, ClientStep};
+pub use client::{Client, ClientDrop, ClientDropReason, ClientStep, ClockDrift, ResyncPolicy};
 pub use policy::{
     DropPolicy, EarlyValueDrop, GreedyByteValue, GreedyRescan, HeadDrop, PlannedDrops, RandomDrop,
     TailDrop,

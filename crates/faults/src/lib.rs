@@ -1,0 +1,65 @@
+//! Fault injection and graceful degradation for real-time smoothing.
+//!
+//! The paper's model (Section 2.2) assumes an ideal channel — constant
+//! rate `R`, constant delay `P`, perfectly synchronized slotted clocks.
+//! This crate makes each of those assumptions *breakable*, one fault at
+//! a time, so the robustness of a smoothing schedule can be measured
+//! instead of assumed:
+//!
+//! * [`Fault`] / [`FaultPlan`] — deterministic, seeded fault schedules:
+//!   [`Fault::RateDip`], [`Fault::Outage`], [`Fault::JitterBurst`] on
+//!   the link, [`Fault::ClockDrift`] at the client, composable in one
+//!   plan and parseable from the `--faults` mini-language
+//!   ([`FaultPlan::parse`]).
+//! * [`FaultyLink`] — wraps any [`LinkModel`](rts_sim::LinkModel) and
+//!   degrades its egress according to the plan. No byte is ever
+//!   silently lost: held or throttled data flushes when the fault
+//!   window closes, and whatever then misses its deadline is dropped
+//!   *and accounted* by the client.
+//! * [`simulate_faulted`] — the end-to-end engine under a plan, with
+//!   [`ResyncPolicy`](rts_core::ResyncPolicy)-driven timer re-anchoring
+//!   available on the client for graceful degradation, and
+//!   [`rate_schedule_for_server`] to project link faults onto the
+//!   server-only runner.
+//!
+//! Determinism is load-bearing: a faulted run is a pure function of
+//! `(stream, config, plan, policy)` — every random draw comes from the
+//! plan's own [`SplitMix64`](rts_stream::rng::SplitMix64) stream, so a
+//! recorded seed replays the exact failure.
+//!
+//! ```
+//! use rts_core::policy::TailDrop;
+//! use rts_core::tradeoff::SmoothingParams;
+//! use rts_core::ResyncPolicy;
+//! use rts_faults::{simulate_faulted, FaultPlan};
+//! use rts_sim::SimConfig;
+//! use rts_stream::{InputStream, SliceSpec};
+//!
+//! let stream = InputStream::from_frames(vec![vec![SliceSpec::unit(); 3]; 8]);
+//! let params = SmoothingParams::balanced_from_rate_delay(3, 2, 1);
+//! let plan = FaultPlan::parse("outage@3..6", 42).unwrap();
+//! // Room to absorb the post-outage flush (graceful degradation costs
+//! // buffer space on top of latency).
+//! let config = SimConfig { client_capacity: Some(64), ..SimConfig::new(params) };
+//!
+//! // Strict client: the outage costs deadline misses...
+//! let strict = simulate_faulted(&stream, config, plan.clone(), TailDrop::new());
+//! // ...a resyncing client re-anchors and keeps playing.
+//! let graceful =
+//!     simulate_faulted(&stream, config.with_resync(ResyncPolicy::new(6, 1)), plan, TailDrop::new());
+//! assert!(graceful.metrics.played_bytes > strict.metrics.played_bytes);
+//! // Either way, every byte is accounted for.
+//! strict.metrics.check_conservation().unwrap();
+//! graceful.metrics.check_conservation().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod plan;
+mod run;
+
+pub use link::FaultyLink;
+pub use plan::{Fault, FaultParseError, FaultPlan};
+pub use run::{rate_schedule_for_server, simulate_faulted, simulate_faulted_probed};

@@ -1,0 +1,457 @@
+//! Fault models and composable fault plans.
+//!
+//! Each [`Fault`] breaks exactly one modelled assumption of the paper's
+//! Section 2.2 channel: the constant link rate `R` ([`Fault::RateDip`]),
+//! the link's availability ([`Fault::Outage`]), the 0-jitter constant
+//! delay `P` ([`Fault::JitterBurst`]), or the synchronized slotted
+//! clock ([`Fault::ClockDrift`]). A [`FaultPlan`] composes any number
+//! of them with a PRNG seed, so a faulted run is a pure function of
+//! `(stream, config, plan)` — bit-for-bit reproducible.
+
+use std::fmt;
+
+use rts_core::ClockDrift;
+use rts_obs::FaultKind;
+use rts_stream::{Bytes, Time};
+
+/// One injected fault. Windowed faults cover the half-open slot range
+/// `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The link's egress is capped at `capacity` bytes per slot over
+    /// the window (a partial degradation of the constant rate `R`;
+    /// `capacity = 0` behaves like an outage).
+    RateDip {
+        /// First affected slot.
+        from: Time,
+        /// First slot past the window.
+        until: Time,
+        /// Bytes the link may still deliver per affected slot.
+        capacity: Bytes,
+    },
+    /// The link delivers nothing over the window; held data flushes
+    /// when the window closes.
+    Outage {
+        /// First affected slot.
+        from: Time,
+        /// First slot past the window.
+        until: Time,
+    },
+    /// Chunks leaving the link during the window pick up an extra
+    /// uniform delay in `[0, jmax]` (FIFO order preserved).
+    JitterBurst {
+        /// First affected slot.
+        from: Time,
+        /// First slot past the window.
+        until: Time,
+        /// Largest extra per-chunk delay.
+        jmax: Time,
+    },
+    /// The client's playout clock drifts (see [`ClockDrift`]). Unlike
+    /// the other faults this acts at the client, not on the link; run
+    /// helpers install it on the client config.
+    ClockDrift(ClockDrift),
+}
+
+impl Fault {
+    /// The observability kind of this fault.
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::RateDip { .. } => FaultKind::RateDip,
+            Fault::Outage { .. } => FaultKind::Outage,
+            Fault::JitterBurst { .. } => FaultKind::JitterBurst,
+            Fault::ClockDrift(_) => FaultKind::ClockDrift,
+        }
+    }
+
+    /// The slot the fault takes effect at.
+    pub fn start(&self) -> Time {
+        match *self {
+            Fault::RateDip { from, .. }
+            | Fault::Outage { from, .. }
+            | Fault::JitterBurst { from, .. } => from,
+            Fault::ClockDrift(d) => d.start,
+        }
+    }
+
+    /// Whether a windowed fault covers slot `t` (drift is always
+    /// "active" once started; it has no end).
+    pub fn active_at(&self, t: Time) -> bool {
+        match *self {
+            Fault::RateDip { from, until, .. }
+            | Fault::Outage { from, until }
+            | Fault::JitterBurst { from, until, .. } => from <= t && t < until,
+            Fault::ClockDrift(d) => t >= d.start,
+        }
+    }
+
+    /// Whether the fault acts on the link (everything except drift).
+    pub fn is_link_fault(&self) -> bool {
+        !matches!(self, Fault::ClockDrift(_))
+    }
+
+    /// An upper bound on the extra per-chunk delivery delay this fault
+    /// can introduce beyond the nominal link delay.
+    pub fn extra_delay_bound(&self) -> Time {
+        match *self {
+            // Held or throttled data is flushed no later than the
+            // window's closing slot.
+            Fault::RateDip { from, until, .. } | Fault::Outage { from, until } => {
+                until.saturating_sub(from)
+            }
+            Fault::JitterBurst { jmax, .. } => jmax,
+            Fault::ClockDrift(_) => 0,
+        }
+    }
+}
+
+/// A composable, seeded set of faults: the complete description of one
+/// degraded environment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given PRNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { faults: Vec::new(), seed }
+    }
+
+    /// The plan's PRNG seed (drives jitter draws).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the plan with `seed` replaced (used to derive
+    /// per-session plans from one shared spec).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether any fault acts on the link (drift does not).
+    pub fn has_link_faults(&self) -> bool {
+        self.faults.iter().any(Fault::is_link_fault)
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.push(fault);
+        self
+    }
+
+    /// Adds a fault in place.
+    pub fn push(&mut self, fault: Fault) {
+        if let Fault::ClockDrift(_) = fault {
+            assert!(
+                self.drift().is_none(),
+                "a plan models one client clock: only one drift fault allowed"
+            );
+        }
+        self.faults.push(fault);
+    }
+
+    /// Adds an [`Fault::Outage`] over `[from, until)`.
+    pub fn outage(self, from: Time, until: Time) -> Self {
+        self.with(Fault::Outage { from, until })
+    }
+
+    /// Adds a [`Fault::RateDip`] to `capacity` bytes/slot over
+    /// `[from, until)`.
+    pub fn rate_dip(self, from: Time, until: Time, capacity: Bytes) -> Self {
+        self.with(Fault::RateDip { from, until, capacity })
+    }
+
+    /// Adds a [`Fault::JitterBurst`] of up to `jmax` extra slots over
+    /// `[from, until)`.
+    pub fn jitter_burst(self, from: Time, until: Time, jmax: Time) -> Self {
+        self.with(Fault::JitterBurst { from, until, jmax })
+    }
+
+    /// Adds a [`Fault::ClockDrift`].
+    pub fn clock_drift(self, drift: ClockDrift) -> Self {
+        self.with(Fault::ClockDrift(drift))
+    }
+
+    /// The plan's clock drift, if any.
+    pub fn drift(&self) -> Option<ClockDrift> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ClockDrift(d) => Some(*d),
+            _ => None,
+        })
+    }
+
+    /// An upper bound on the extra per-chunk delivery delay the link
+    /// faults can add beyond the nominal delay (summed pessimistically
+    /// over every fault, for horizon sizing).
+    pub fn extra_delay_bound(&self) -> Time {
+        self.faults
+            .iter()
+            .fold(0u64, |acc, f| acc.saturating_add(f.extra_delay_bound()))
+    }
+
+    /// The kinds of all faults whose window *opens* at slot `t`
+    /// (drives [`Event::LinkFault`](rts_obs::Event::LinkFault)
+    /// emission).
+    pub fn starting_at(&self, t: Time) -> Vec<FaultKind> {
+        self.faults.iter().filter(|f| f.start() == t).map(Fault::kind).collect()
+    }
+
+    /// The tightest egress byte budget the link faults impose at slot
+    /// `t`: `None` when unconstrained, `Some(0)` during an outage.
+    pub fn egress_budget(&self, t: Time) -> Option<Bytes> {
+        let mut budget: Option<Bytes> = None;
+        for f in &self.faults {
+            if !f.active_at(t) {
+                continue;
+            }
+            let cap = match *f {
+                Fault::Outage { .. } => 0,
+                Fault::RateDip { capacity, .. } => capacity,
+                _ => continue,
+            };
+            budget = Some(budget.map_or(cap, |b| b.min(cap)));
+        }
+        budget
+    }
+
+    /// The largest extra jitter delay applicable to a chunk leaving the
+    /// link at slot `t` (0 when no burst is active).
+    pub fn jitter_bound(&self, t: Time) -> Time {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(t))
+            .map(|f| match *f {
+                Fault::JitterBurst { jmax, .. } => jmax,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Why a fault spec string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending clause of the spec.
+    pub clause: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad fault clause {:?}: {}", self.clause, self.reason)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
+fn err(clause: &str, reason: impl Into<String>) -> FaultParseError {
+    FaultParseError { clause: clause.to_string(), reason: reason.into() }
+}
+
+fn parse_window(clause: &str, range: &str) -> Result<(Time, Time), FaultParseError> {
+    let (a, b) = range
+        .split_once("..")
+        .ok_or_else(|| err(clause, "expected a slot window like 10..20"))?;
+    let from: Time = a.parse().map_err(|_| err(clause, format!("bad window start {a:?}")))?;
+    let until: Time = b.parse().map_err(|_| err(clause, format!("bad window end {b:?}")))?;
+    if until <= from {
+        return Err(err(clause, format!("empty window {from}..{until}")));
+    }
+    Ok((from, until))
+}
+
+impl FaultPlan {
+    /// Parses the `--faults` mini-language: clauses separated by `,` or
+    /// `;`, each one of
+    ///
+    /// * `outage@A..B` — no delivery over slots `[A, B)`;
+    /// * `dip@A..B=CAP` — at most `CAP` bytes/slot over `[A, B)`;
+    /// * `jitter@A..B+J` — up to `J` slots of extra delay over `[A, B)`;
+    /// * `drift@S-1/P` — clock runs *slow*, losing 1 slot every `P`
+    ///   from slot `S` (plays late); `drift@S+1/P` runs *fast*.
+    ///
+    /// `seed` becomes the plan's PRNG seed.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, FaultParseError> {
+        let mut plan = FaultPlan::new(seed);
+        for clause in spec.split([',', ';']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, body) = clause
+                .split_once('@')
+                .ok_or_else(|| err(clause, "expected <kind>@<window>, e.g. outage@10..20"))?;
+            let fault = match name {
+                "outage" => {
+                    let (from, until) = parse_window(clause, body)?;
+                    Fault::Outage { from, until }
+                }
+                "dip" => {
+                    let (range, cap) = body
+                        .split_once('=')
+                        .ok_or_else(|| err(clause, "expected dip@A..B=CAP"))?;
+                    let (from, until) = parse_window(clause, range)?;
+                    let capacity = cap
+                        .parse()
+                        .map_err(|_| err(clause, format!("bad dip capacity {cap:?}")))?;
+                    Fault::RateDip { from, until, capacity }
+                }
+                "jitter" => {
+                    let (range, j) = body
+                        .split_once('+')
+                        .ok_or_else(|| err(clause, "expected jitter@A..B+J"))?;
+                    let (from, until) = parse_window(clause, range)?;
+                    let jmax =
+                        j.parse().map_err(|_| err(clause, format!("bad jitter bound {j:?}")))?;
+                    Fault::JitterBurst { from, until, jmax }
+                }
+                "drift" => {
+                    let slow = body.contains('-');
+                    let (start, rest) = body
+                        .split_once(['+', '-'])
+                        .ok_or_else(|| err(clause, "expected drift@S-1/P or drift@S+1/P"))?;
+                    let start: Time = start
+                        .parse()
+                        .map_err(|_| err(clause, format!("bad drift start {start:?}")))?;
+                    let (unit, period) = rest
+                        .split_once('/')
+                        .ok_or_else(|| err(clause, "expected drift@S-1/P or drift@S+1/P"))?;
+                    if unit != "1" {
+                        return Err(err(clause, "drift rate must be 1/P (one slot per period)"));
+                    }
+                    let period: Time = period
+                        .parse()
+                        .map_err(|_| err(clause, format!("bad drift period {period:?}")))?;
+                    if period < 2 {
+                        return Err(err(clause, "drift period must be at least 2"));
+                    }
+                    if plan.drift().is_some() {
+                        return Err(err(clause, "only one drift clause allowed"));
+                    }
+                    Fault::ClockDrift(ClockDrift::new(start, period, slow))
+                }
+                other => {
+                    return Err(err(
+                        clause,
+                        format!("unknown fault kind {other:?} (outage, dip, jitter, drift)"),
+                    ))
+                }
+            };
+            plan.push(fault);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let plan = FaultPlan::new(7)
+            .outage(5, 8)
+            .rate_dip(10, 12, 3)
+            .jitter_burst(20, 25, 4)
+            .clock_drift(ClockDrift::new(0, 10, true));
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.faults().len(), 4);
+        assert!(!plan.is_empty());
+        assert!(plan.has_link_faults());
+        assert_eq!(plan.drift(), Some(ClockDrift::new(0, 10, true)));
+        assert_eq!(plan.extra_delay_bound(), 3 + 2 + 4);
+        assert_eq!(plan.with_seed(9).seed(), 9);
+    }
+
+    #[test]
+    fn egress_budget_composes_outage_and_dip() {
+        let plan = FaultPlan::new(0).outage(5, 8).rate_dip(7, 12, 3);
+        assert_eq!(plan.egress_budget(4), None);
+        assert_eq!(plan.egress_budget(5), Some(0));
+        assert_eq!(plan.egress_budget(7), Some(0), "outage wins inside the overlap");
+        assert_eq!(plan.egress_budget(8), Some(3));
+        assert_eq!(plan.egress_budget(11), Some(3));
+        assert_eq!(plan.egress_budget(12), None, "windows are half-open");
+    }
+
+    #[test]
+    fn jitter_bound_tracks_active_bursts() {
+        let plan = FaultPlan::new(0).jitter_burst(3, 6, 2).jitter_burst(5, 9, 7);
+        assert_eq!(plan.jitter_bound(2), 0);
+        assert_eq!(plan.jitter_bound(3), 2);
+        assert_eq!(plan.jitter_bound(5), 7, "overlap takes the larger bound");
+        assert_eq!(plan.jitter_bound(8), 7);
+        assert_eq!(plan.jitter_bound(9), 0);
+    }
+
+    #[test]
+    fn starting_at_reports_window_openings_once() {
+        let plan = FaultPlan::new(0).outage(5, 8).rate_dip(5, 6, 1).jitter_burst(7, 9, 1);
+        assert_eq!(plan.starting_at(5), vec![FaultKind::Outage, FaultKind::RateDip]);
+        assert_eq!(plan.starting_at(6), vec![]);
+        assert_eq!(plan.starting_at(7), vec![FaultKind::JitterBurst]);
+    }
+
+    #[test]
+    fn spec_roundtrip_covers_every_kind() {
+        let plan =
+            FaultPlan::parse("outage@5..8, dip@10..12=3; jitter@20..25+4,drift@30-1/10", 42)
+                .unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan::new(42)
+                .outage(5, 8)
+                .rate_dip(10, 12, 3)
+                .jitter_burst(20, 25, 4)
+                .clock_drift(ClockDrift::new(30, 10, true))
+        );
+        let fast = FaultPlan::parse("drift@0+1/4", 0).unwrap();
+        assert_eq!(fast.drift(), Some(ClockDrift::new(0, 4, false)));
+        assert!(FaultPlan::parse("", 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn spec_errors_are_descriptive() {
+        for (spec, needle) in [
+            ("gremlins@1..2", "unknown fault kind"),
+            ("outage@5", "slot window"),
+            ("outage@8..5", "empty window"),
+            ("dip@1..2", "dip@A..B=CAP"),
+            ("dip@1..2=x", "bad dip capacity"),
+            ("jitter@1..2", "jitter@A..B+J"),
+            ("drift@1-1/1", "at least 2"),
+            ("drift@1-2/4", "one slot per period"),
+            ("drift@0-1/4,drift@1-1/4", "only one drift"),
+            ("outage", "expected <kind>@<window>"),
+        ] {
+            let e = FaultPlan::parse(spec, 0).unwrap_err();
+            assert!(
+                e.to_string().contains(needle),
+                "spec {spec:?} gave {e} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one drift")]
+    fn second_drift_rejected_by_builder() {
+        let _ = FaultPlan::new(0)
+            .clock_drift(ClockDrift::new(0, 2, true))
+            .clock_drift(ClockDrift::new(1, 2, false));
+    }
+}

@@ -376,7 +376,9 @@ mod tests {
                 rts_obs::Event::SliceAdmitted { session, .. }
                 | rts_obs::Event::SliceSent { session, .. }
                 | rts_obs::Event::SliceDropped { session, .. }
-                | rts_obs::Event::SlicePlayed { session, .. } => {
+                | rts_obs::Event::SlicePlayed { session, .. }
+                | rts_obs::Event::LinkFault { session, .. }
+                | rts_obs::Event::ClientResync { session, .. } => {
                     seen.insert(*session);
                 }
                 rts_obs::Event::SlotEnd { .. } => slot_ends += 1,

@@ -3,8 +3,9 @@
 
 use rts_core::policy::DropPolicy;
 use rts_core::tradeoff::SmoothingParams;
-use rts_core::{Client, ClientStep, Server, ServerStep};
-use rts_obs::Probe;
+use rts_core::{Client, ClientStep, ClockDrift, ResyncPolicy, Server, ServerStep};
+use rts_faults::{FaultPlan, FaultyLink};
+use rts_obs::{Event, Probe};
 use rts_sim::{Link, LinkModel};
 use rts_stream::{Bytes, InputStream, Slice, Time, Weight};
 
@@ -24,6 +25,11 @@ pub struct SessionSpec {
     pub policy: Box<dyn DropPolicy>,
     /// Display label for reports.
     pub label: String,
+    /// Faults injected on this session's link (and, via a clock-drift
+    /// fault, on its client). `None` keeps the ideal channel.
+    pub faults: Option<FaultPlan>,
+    /// Graceful-degradation policy for this session's client.
+    pub resync: Option<ResyncPolicy>,
 }
 
 impl SessionSpec {
@@ -36,6 +42,8 @@ impl SessionSpec {
             weight: 1,
             policy,
             label,
+            faults: None,
+            resync: None,
         }
     }
 
@@ -48,6 +56,18 @@ impl SessionSpec {
     /// Sets the display label.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = label.into();
+        self
+    }
+
+    /// Installs a [`FaultPlan`] on the session's link.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Installs a client [`ResyncPolicy`] for graceful degradation.
+    pub fn with_resync(mut self, policy: ResyncPolicy) -> Self {
+        self.resync = Some(policy);
         self
     }
 }
@@ -132,9 +152,11 @@ pub(crate) struct SlotOutcome {
 pub(crate) struct Session {
     server: Server<Box<dyn DropPolicy>>,
     client: Client,
-    link: Link,
+    link: FaultyLink<Link>,
     stream: InputStream,
     next_frame: usize,
+    drift: Option<ClockDrift>,
+    resync: Option<ResyncPolicy>,
     pub(crate) weight: Weight,
     pub(crate) metrics: SessionMetrics,
 }
@@ -147,18 +169,28 @@ impl Session {
             weight,
             policy,
             label,
+            faults,
+            resync,
         } = spec;
         let policy_name = policy.name();
         // Nominal rate must be positive for `Server::new`; the per-slot
         // budget overrides it anyway.
         let server = Server::new(params.buffer, params.rate.max(1), policy);
-        let client = Client::new(
+        let plan = faults.unwrap_or_default();
+        let drift = plan.drift();
+        let mut client = Client::new(
             // As in `SimConfig`, the client provisions the same B.
             params.buffer.max(1),
             params.delay,
             params.link_delay,
         );
-        let link = Link::new(params.link_delay);
+        if let Some(policy) = resync {
+            client = client.with_resync(policy);
+        }
+        if let Some(d) = drift {
+            client = client.with_drift(d);
+        }
+        let link = FaultyLink::new(Link::new(params.link_delay), plan);
         let metrics = SessionMetrics {
             label,
             policy: policy_name,
@@ -173,6 +205,8 @@ impl Session {
             link,
             stream,
             next_frame: 0,
+            drift,
+            resync,
             weight,
             metrics,
         }
@@ -220,6 +254,11 @@ impl Session {
 
         self.link.submit(&sstep.sent);
         let delivered = self.link.deliver(t);
+        if probe.enabled() {
+            for kind in self.link.fault_events(t) {
+                probe.on_event(&Event::LinkFault { time: t, session: 0, kind });
+            }
+        }
         let cstep: ClientStep = self.client.step_probed(t, &delivered, probe);
         for played in &cstep.played {
             self.metrics.played_slices += 1;
@@ -247,11 +286,18 @@ impl Session {
 
     /// A loose upper bound on when the session must have finished.
     pub(crate) fn horizon_bound(&self) -> Time {
-        self.stream.last_arrival().unwrap_or(0)
-            + self.link.delay()
+        let mut bound = self.stream.last_arrival().unwrap_or(0)
+            + self.link.worst_case_delay()
             + self.client.delay()
             + self.stream.total_bytes()
-            + 4
+            + 4;
+        if let Some(policy) = self.resync {
+            bound = bound.saturating_add(policy.max_skew);
+        }
+        if let Some(drift) = self.drift {
+            bound = bound.max(drift.wall_bound(bound));
+        }
+        bound
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use rts_stream::{Bytes, Time, Weight};
 
-use crate::event::{DropReason, DropSite, Event};
+use crate::event::{DropReason, DropSite, Event, FaultKind};
 use crate::hist::{Counter, Gauge, LogHistogram};
 use crate::probe::Probe;
 
@@ -66,6 +66,12 @@ pub struct Collector {
     pub client_occupancy_max: Gauge,
     /// Link-rate high-water mark (rate requirement `R`).
     pub link_rate_max: Gauge,
+    /// Injected link-fault windows, keyed by fault kind.
+    pub faults: BTreeMap<FaultKind, u64>,
+    /// Client playout-timer resyncs.
+    pub resyncs: Counter,
+    /// Timer skews absorbed by resyncs (slots).
+    pub resync_skew: LogHistogram,
     /// Slots observed via [`Event::SlotEnd`].
     pub slots: Counter,
     /// `RunStart` time, if one was seen.
@@ -122,6 +128,11 @@ impl Collector {
             e.bytes += d.bytes;
             e.weight += d.weight;
         }
+        for (kind, n) in &other.faults {
+            *self.faults.entry(*kind).or_default() += n;
+        }
+        self.resyncs.add(other.resyncs.get());
+        self.resync_skew.merge(&other.resync_skew);
         self.sojourn.merge(&other.sojourn);
         self.drop_size.merge(&other.drop_size);
         self.server_occupancy.merge(&other.server_occupancy);
@@ -182,6 +193,17 @@ impl Collector {
                 d.weight
             ));
         }
+        if !self.faults.is_empty() || self.resyncs.get() > 0 {
+            let mut parts = Vec::new();
+            for (kind, n) in &self.faults {
+                parts.push(format!("{}={n}", kind.name()));
+            }
+            parts.push(format!("resyncs={}", self.resyncs.get()));
+            out.push_str(&format!("faults: {}\n", parts.join(" ")));
+            if self.resync_skew.count() > 0 {
+                out.push_str(&format!("resync_skew: {}\n", self.resync_skew.brief()));
+            }
+        }
         out.push_str(&format!(
             "requirements: server_buffer={} client_buffer={} link_rate={}\n",
             self.server_occupancy_max.max(),
@@ -229,6 +251,13 @@ impl Probe for Collector {
                 self.played_weight.add(weight);
                 self.sojourn.record(sojourn);
             }
+            Event::LinkFault { kind, .. } => {
+                *self.faults.entry(kind).or_default() += 1;
+            }
+            Event::ClientResync { skew, .. } => {
+                self.resyncs.inc();
+                self.resync_skew.record(skew);
+            }
             Event::SlotEnd { server_occupancy, client_occupancy, link_bytes, .. } => {
                 self.slots.inc();
                 self.server_occupancy.record(server_occupancy);
@@ -264,6 +293,8 @@ mod tests {
             site: DropSite::Server,
             reason: DropReason::Overflow,
         });
+        c.on_event(&Event::LinkFault { time: 2, session: 0, kind: FaultKind::Outage });
+        c.on_event(&Event::ClientResync { time: 4, session: 0, skew: 3 });
         c.on_event(&Event::SlotEnd { time: 0, server_occupancy: 10, client_occupancy: 0, link_bytes: 6 });
         c.on_event(&Event::SlotEnd { time: 1, server_occupancy: 4, client_occupancy: 6, link_bytes: 4 });
         c.on_event(&Event::RunEnd { time: 5, slots: 5 });
@@ -287,6 +318,9 @@ mod tests {
         assert_eq!(c.server_occupancy_max.max(), 10);
         assert_eq!(c.link_rate_max.max(), 6);
         assert_eq!(c.sojourn.max(), 4);
+        assert_eq!(c.faults[&FaultKind::Outage], 1);
+        assert_eq!(c.resyncs.get(), 1);
+        assert_eq!(c.resync_skew.max(), 3);
         assert_eq!(c.slots.get(), 2);
         assert_eq!(c.run_end, Some((5, 5)));
         assert_eq!(c.sessions, 2);
@@ -302,6 +336,9 @@ mod tests {
         feed(&mut a);
         feed(&mut b);
         a.merge(&b);
+        assert_eq!(a.faults, whole.faults);
+        assert_eq!(a.resyncs.get(), whole.resyncs.get());
+        assert_eq!(a.resync_skew, whole.resync_skew);
         assert_eq!(a.admitted_bytes.get(), whole.admitted_bytes.get());
         assert_eq!(a.sent_bytes.get(), whole.sent_bytes.get());
         assert_eq!(a.dropped_bytes(), whole.dropped_bytes());
@@ -320,5 +357,16 @@ mod tests {
         assert!(s.contains("server/overflow: slices=1 bytes=7 weight=2"), "{s}");
         assert!(s.contains("link_rate=6"), "{s}");
         assert!(s.contains("sojourn:"), "{s}");
+        assert!(s.contains("faults: outage=1 resyncs=1"), "{s}");
+        assert!(s.contains("resync_skew:"), "{s}");
+    }
+
+    #[test]
+    fn summary_omits_fault_lines_without_faults() {
+        let mut c = Collector::new();
+        c.on_event(&Event::RunStart { time: 0, sessions: 1 });
+        let s = c.summary();
+        assert!(!s.contains("faults:"), "{s}");
+        assert!(!s.contains("resync_skew:"), "{s}");
     }
 }

@@ -60,6 +60,45 @@ impl DropReason {
     }
 }
 
+/// Which modelled assumption of the paper a link fault violates.
+///
+/// The fault *parameters* live in `rts-faults`; the observability layer
+/// only needs the kind so probes can count and label faults without
+/// depending on the fault models themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// The link's constant rate `R` dipped below nominal.
+    RateDip,
+    /// The link delivered nothing at all for a window of slots.
+    Outage,
+    /// Per-chunk delivery delay became variable (FIFO is preserved).
+    JitterBurst,
+    /// The client's playout timer ran fast or slow relative to the
+    /// server clock.
+    ClockDrift,
+}
+
+impl FaultKind {
+    /// Every fault kind, for iteration in tests and summaries.
+    pub const ALL: [FaultKind; 4] =
+        [FaultKind::RateDip, FaultKind::Outage, FaultKind::JitterBurst, FaultKind::ClockDrift];
+
+    /// Stable lower-case name (used by the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::RateDip => "rate_dip",
+            FaultKind::Outage => "outage",
+            FaultKind::JitterBurst => "jitter_burst",
+            FaultKind::ClockDrift => "clock_drift",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
 /// One observability event.
 ///
 /// `session` tags slice-level events with the originating session in a
@@ -134,6 +173,26 @@ pub enum Event {
         /// real-time schedule, Definition 2.5).
         sojourn: Time,
     },
+    /// An injected link fault window opened this slot (emitted once per
+    /// fault, at its first slot).
+    LinkFault {
+        /// The slot the fault window starts at.
+        time: Time,
+        /// Session whose link faulted (0 for single-stream runs).
+        session: u32,
+        /// Which paper assumption the fault violates.
+        kind: FaultKind,
+    },
+    /// The client re-anchored its playout timer after delivery slipped
+    /// past a deadline (graceful degradation instead of a Late drop).
+    ClientResync {
+        /// The slot the resync happened in.
+        time: Time,
+        /// Session whose client resynced (0 for single-stream runs).
+        session: u32,
+        /// How many slots the playout timer was pushed back.
+        skew: Time,
+    },
     /// End-of-slot state sample.
     SlotEnd {
         /// The slot that just ended.
@@ -163,6 +222,8 @@ impl Event {
             Event::SliceSent { .. } => "slice_sent",
             Event::SliceDropped { .. } => "slice_dropped",
             Event::SlicePlayed { .. } => "slice_played",
+            Event::LinkFault { .. } => "link_fault",
+            Event::ClientResync { .. } => "client_resync",
             Event::SlotEnd { .. } => "slot_end",
             Event::RunEnd { .. } => "run_end",
         }
@@ -176,6 +237,8 @@ impl Event {
             | Event::SliceSent { time, .. }
             | Event::SliceDropped { time, .. }
             | Event::SlicePlayed { time, .. }
+            | Event::LinkFault { time, .. }
+            | Event::ClientResync { time, .. }
             | Event::SlotEnd { time, .. }
             | Event::RunEnd { time, .. } => time,
         }
@@ -188,7 +251,9 @@ impl Event {
             Event::SliceAdmitted { session, .. }
             | Event::SliceSent { session, .. }
             | Event::SliceDropped { session, .. }
-            | Event::SlicePlayed { session, .. } => *session = tag,
+            | Event::SlicePlayed { session, .. }
+            | Event::LinkFault { session, .. }
+            | Event::ClientResync { session, .. } => *session = tag,
             Event::RunStart { .. } | Event::SlotEnd { .. } | Event::RunEnd { .. } => {}
         }
         self
@@ -215,8 +280,10 @@ mod tests {
                 reason: DropReason::Overflow,
             },
             Event::SlicePlayed { time: 4, session: 0, id: 0, bytes: 2, weight: 3, sojourn: 4 },
-            Event::SlotEnd { time: 5, server_occupancy: 1, client_occupancy: 2, link_bytes: 3 },
-            Event::RunEnd { time: 6, slots: 6 },
+            Event::LinkFault { time: 5, session: 0, kind: FaultKind::Outage },
+            Event::ClientResync { time: 6, session: 0, skew: 2 },
+            Event::SlotEnd { time: 7, server_occupancy: 1, client_occupancy: 2, link_bytes: 3 },
+            Event::RunEnd { time: 8, slots: 8 },
         ];
         let kinds: Vec<_> = events.iter().map(Event::kind).collect();
         assert_eq!(
@@ -227,6 +294,8 @@ mod tests {
                 "slice_sent",
                 "slice_dropped",
                 "slice_played",
+                "link_fault",
+                "client_resync",
                 "slot_end",
                 "run_end"
             ]
@@ -240,6 +309,10 @@ mod tests {
     fn with_session_retags_slice_events_only() {
         let e = Event::SliceSent { time: 0, session: 0, id: 7, bytes: 1, completed: false };
         assert!(matches!(e.with_session(3), Event::SliceSent { session: 3, .. }));
+        let fault = Event::LinkFault { time: 0, session: 0, kind: FaultKind::RateDip };
+        assert!(matches!(fault.with_session(4), Event::LinkFault { session: 4, .. }));
+        let resync = Event::ClientResync { time: 0, session: 0, skew: 1 };
+        assert!(matches!(resync.with_session(5), Event::ClientResync { session: 5, .. }));
         let slot = Event::SlotEnd { time: 0, server_occupancy: 0, client_occupancy: 0, link_bytes: 0 };
         assert_eq!(slot.with_session(9), slot);
     }
@@ -252,5 +325,14 @@ mod tests {
         assert_eq!(DropReason::Policy.name(), "policy");
         assert_eq!(DropReason::Late.name(), "late");
         assert_eq!(DropReason::Incomplete.name(), "incomplete");
+    }
+
+    #[test]
+    fn fault_kind_names_roundtrip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FaultKind::Outage.name(), "outage");
+        assert_eq!(FaultKind::from_name("bogus"), None);
     }
 }

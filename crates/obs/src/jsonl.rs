@@ -17,7 +17,7 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use crate::event::{DropReason, DropSite, Event};
+use crate::event::{DropReason, DropSite, Event, FaultKind};
 use crate::probe::Probe;
 
 /// Encodes one event as its JSONL line (no trailing newline).
@@ -39,6 +39,13 @@ pub fn encode(event: &Event) -> String {
         ),
         Event::SlicePlayed { time, session, id, bytes, weight, sojourn } => format!(
             "{{\"ev\":\"slice_played\",\"t\":{time},\"session\":{session},\"id\":{id},\"bytes\":{bytes},\"weight\":{weight},\"sojourn\":{sojourn}}}"
+        ),
+        Event::LinkFault { time, session, kind } => format!(
+            "{{\"ev\":\"link_fault\",\"t\":{time},\"session\":{session},\"kind\":\"{}\"}}",
+            kind.name()
+        ),
+        Event::ClientResync { time, session, skew } => format!(
+            "{{\"ev\":\"client_resync\",\"t\":{time},\"session\":{session},\"skew\":{skew}}}"
         ),
         Event::SlotEnd { time, server_occupancy, client_occupancy, link_bytes } => format!(
             "{{\"ev\":\"slot_end\",\"t\":{time},\"server_occupancy\":{server_occupancy},\"client_occupancy\":{client_occupancy},\"link_bytes\":{link_bytes}}}"
@@ -196,6 +203,20 @@ pub fn decode(line: &str) -> Result<Event, ParseError> {
                 weight: map.int("weight")?,
                 sojourn: map.int("sojourn")?,
             },
+            "link_fault" => Event::LinkFault {
+                time,
+                session: map.int("session")? as u32,
+                kind: {
+                    let name = map.string("kind")?;
+                    FaultKind::from_name(name)
+                        .ok_or_else(|| format!("unknown fault kind {name:?}"))?
+                },
+            },
+            "client_resync" => Event::ClientResync {
+                time,
+                session: map.int("session")? as u32,
+                skew: map.int("skew")?,
+            },
             "slot_end" => Event::SlotEnd {
                 time,
                 server_occupancy: map.int("server_occupancy")?,
@@ -317,6 +338,8 @@ mod tests {
                 reason: DropReason::Late,
             },
             Event::SlicePlayed { time: 5, session: 2, id: 9, bytes: 100, weight: 24, sojourn: 4 },
+            Event::LinkFault { time: 5, session: 1, kind: FaultKind::JitterBurst },
+            Event::ClientResync { time: 5, session: 1, skew: 3 },
             Event::SlotEnd { time: 5, server_occupancy: 7, client_occupancy: 8, link_bytes: 9 },
             Event::RunEnd { time: 6, slots: 6 },
         ]
@@ -344,6 +367,8 @@ mod tests {
             "{\"ev\":\"run_end\",\"t\":0}",
             "{\"ev\":\"run_end\",\"t\":-1,\"slots\":0}",
             "{\"ev\":\"slice_dropped\",\"t\":0,\"session\":0,\"id\":0,\"bytes\":0,\"weight\":0,\"site\":\"moon\",\"reason\":\"late\"}",
+            "{\"ev\":\"link_fault\",\"t\":0,\"session\":0,\"kind\":\"gremlins\"}",
+            "{\"ev\":\"client_resync\",\"t\":0,\"session\":0}",
         ] {
             assert!(decode(bad).is_err(), "accepted {bad:?}");
         }

@@ -109,6 +109,68 @@ fn merge_equals_recording_everything_in_one_histogram() {
 }
 
 #[test]
+fn top_quantile_is_the_exact_max_despite_bucketing() {
+    // quantile(1.0) must return the exact observed maximum, not the
+    // upper bound of the max's (wide, log-scale) bucket — the fault
+    // metrics report worst-case skews through this path.
+    let mut rng = SplitMix64::new(0xD1CE);
+    for _ in 0..50 {
+        let mut h = LogHistogram::new();
+        let mut max = 0;
+        for _ in 0..rng.range_u64(1, 300) {
+            let v = skewed(&mut rng);
+            h.record(v);
+            max = max.max(v);
+        }
+        assert_eq!(h.quantile(1.0), max);
+        assert_eq!(h.quantile(1.0), h.max());
+        // Out-of-range q clamps rather than reading past the buckets.
+        assert_eq!(h.quantile(2.5), max);
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity_both_ways() {
+    let mut filled = LogHistogram::new();
+    for v in [1u64, 70_000, 3, 3, 9_999_999] {
+        filled.record(v);
+    }
+    let snapshot = filled.clone();
+
+    // filled ∪ ∅ leaves everything untouched.
+    filled.merge(&LogHistogram::new());
+    assert_eq!(filled, snapshot);
+
+    // ∅ ∪ filled adopts min/max/count/sum from the other side.
+    let mut empty = LogHistogram::new();
+    empty.merge(&snapshot);
+    assert_eq!(empty, snapshot);
+    assert_eq!(empty.min(), 1);
+    assert_eq!(empty.max(), 9_999_999);
+    assert_eq!(empty.quantile(1.0), 9_999_999);
+
+    // ∅ ∪ ∅ stays a neutral element.
+    let mut both = LogHistogram::new();
+    both.merge(&LogHistogram::new());
+    assert_eq!(both.count(), 0);
+    assert_eq!(both.quantile(0.5), 0);
+}
+
+#[test]
+fn single_sample_quantiles_all_hit_the_sample() {
+    for v in [0u64, 1, 17, 4_096, u64::MAX] {
+        let mut h = LogHistogram::new();
+        h.record(v);
+        for q in [0.0, 0.001, 0.25, 0.5, 0.75, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), v, "q={q} for single sample {v}");
+        }
+        assert_eq!(h.min(), v);
+        assert_eq!(h.max(), v);
+        assert_eq!(h.mean(), v as f64);
+    }
+}
+
+#[test]
 fn quantiles_are_monotone_and_within_one_bucket_of_exact() {
     let mut rng = SplitMix64::new(0x1234_5678);
     for _ in 0..20 {

@@ -159,10 +159,20 @@ impl MinCostFlow {
             total_flow += bottleneck;
             total_cost += path_cost * bottleneck as i64;
 
-            // Update potentials for the reachable set.
+            // Update potentials. Nodes the Dijkstra round did not reach
+            // must not keep their old potential unchanged: once a later
+            // augmentation reopens a residual arc into them, the stale
+            // value can make a reduced cost negative. Capping the
+            // increment at `dist[t]` (the standard fix) keeps every
+            // residual arc's reduced cost non-negative — for an arc
+            // u→v with both reached, the Dijkstra relaxation bounds it;
+            // with v unreached, v gets the full `dist[t]` ≥ `dist[u]`
+            // increment; arcs out of unreached nodes have
+            // `dist[u] = dist[t]` ≥ `dist[v]` capped on the other side.
+            let dt = dist[t];
             for v in 0..n {
-                if dist[v] < INF && potential[v] < INF {
-                    potential[v] += dist[v];
+                if potential[v] < INF {
+                    potential[v] += dist[v].min(dt);
                 }
             }
         }
@@ -288,5 +298,51 @@ mod tests {
     #[should_panic(expected = "node out of range")]
     fn rejects_bad_nodes() {
         MinCostFlow::new(2).add_edge(0, 5, 1, 0);
+    }
+
+    #[test]
+    fn disconnect_then_reconnect_keeps_potentials_consistent() {
+        // Exercises the stale-potential path: the first augmentation
+        // saturates region {v}'s only cheap in-arc, the next rounds run
+        // with v unreached by Dijkstra (dist[v] = INF, potential capped
+        // at dist[t]), and the final round re-enters v through the
+        // reverse arc its first augmentation opened. Every round must
+        // keep all residual reduced costs non-negative (debug_assert in
+        // max_profit) and land on the exact optimum.
+        let mut net = MinCostFlow::new(5);
+        let s = 0;
+        let (a, v) = (1, 2);
+        let t = 4;
+        let sv = net.add_edge(s, v, 1, -9); // round 1: s→v→t, profit 9
+        let vt = net.add_edge(v, t, 2, 0);
+        let sa = net.add_edge(s, a, 3, -1); // rounds 2+: s→a→t, profit 2 each
+        let at = net.add_edge(a, t, 2, -1);
+        let av = net.add_edge(a, v, 1, -8); // reconnect: s→a→v→t, profit 9
+        let (flow, cost) = net.max_profit(s, t);
+        assert_eq!(flow, 4);
+        // Optimal: s→v→t (9) + s→a→v→t (9) + two of s→a→t (2 each) = 22.
+        assert_eq!(cost, -22);
+        assert_eq!(net.flow_on(sv), 1);
+        assert_eq!(net.flow_on(vt), 2);
+        assert_eq!(net.flow_on(sa), 3);
+        assert_eq!(net.flow_on(at), 2);
+        assert_eq!(net.flow_on(av), 1);
+    }
+
+    #[test]
+    fn repeated_solves_after_reconnecting_edges() {
+        // Incremental use: solve, add a reconnecting edge into the
+        // drained region, solve again. Potentials are rebuilt per call;
+        // the second call must pick up only the newly profitable path.
+        let mut net = MinCostFlow::new(4);
+        net.add_edge(0, 1, 1, -5);
+        net.add_edge(1, 3, 1, 0);
+        net.add_edge(0, 2, 1, -1);
+        let (flow, cost) = net.max_profit(0, 3);
+        assert_eq!((flow, cost), (1, -5));
+        // Reconnect node 2 to the sink and resolve.
+        net.add_edge(2, 3, 1, -1);
+        let (flow, cost) = net.max_profit(0, 3);
+        assert_eq!((flow, cost), (1, -2));
     }
 }

@@ -2,7 +2,7 @@
 //! client buffer → playout, following the event order of Section 2.2.
 
 use rts_core::tradeoff::SmoothingParams;
-use rts_core::{Client, DropPolicy, Server};
+use rts_core::{Client, ClockDrift, DropPolicy, ResyncPolicy, Server};
 use rts_obs::{Event, NoopProbe, Probe};
 use rts_stream::{Bytes, InputStream, Time};
 
@@ -20,6 +20,14 @@ pub struct SimConfig {
     pub params: SmoothingParams,
     /// Client buffer capacity; `None` means `params.buffer`.
     pub client_capacity: Option<Bytes>,
+    /// Graceful-degradation policy for the client: re-anchor the playout
+    /// timer (instead of dropping late data) after delivery slips, e.g.
+    /// across an injected outage. `None` keeps the paper's strict
+    /// semantics.
+    pub resync: Option<ResyncPolicy>,
+    /// Deterministic client clock drift. `None` keeps the paper's
+    /// synchronous slotted clock.
+    pub drift: Option<ClockDrift>,
 }
 
 impl SimConfig {
@@ -28,12 +36,26 @@ impl SimConfig {
         SimConfig {
             params,
             client_capacity: None,
+            resync: None,
+            drift: None,
         }
     }
 
     /// The effective client capacity.
     pub fn client_capacity(&self) -> Bytes {
         self.client_capacity.unwrap_or(self.params.buffer)
+    }
+
+    /// Returns the config with a client [`ResyncPolicy`] installed.
+    pub fn with_resync(mut self, policy: ResyncPolicy) -> Self {
+        self.resync = Some(policy);
+        self
+    }
+
+    /// Returns the config with a client [`ClockDrift`] installed.
+    pub fn with_drift(mut self, drift: ClockDrift) -> Self {
+        self.drift = Some(drift);
+        self
     }
 }
 
@@ -133,15 +155,29 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
     let params = config.params;
     let mut server = Server::new(params.buffer, params.rate, policy);
     let mut client = Client::new(config.client_capacity(), params.delay, params.link_delay);
+    if let Some(policy) = config.resync {
+        client = client.with_resync(policy);
+    }
+    if let Some(drift) = config.drift {
+        client = client.with_drift(drift);
+    }
     let mut record = ScheduleRecord::for_slices(stream.slices());
     let policy_name = server.policy_name();
 
     let last_arrival = stream.last_arrival().unwrap_or(0);
-    let horizon = last_arrival
+    let mut horizon = last_arrival
         + link.worst_case_delay().max(params.link_delay)
         + params.delay
         + stream.total_bytes() / params.rate
         + 4;
+    // A resync offset delays playout by up to the absorbed skew; a slow
+    // client clock stretches every deadline in wall time.
+    if let Some(policy) = config.resync {
+        horizon = horizon.saturating_add(policy.max_skew);
+    }
+    if let Some(drift) = config.drift {
+        horizon = horizon.max(drift.wall_bound(horizon));
+    }
 
     if probe.enabled() {
         probe.on_event(&Event::RunStart { time: 0, sessions: 1 });
@@ -169,6 +205,11 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
         // 2. The link carries the submitted bytes; deliveries of step t.
         link.submit(&sstep.sent);
         let delivered = link.deliver(t);
+        if probe.enabled() {
+            for kind in link.fault_events(t) {
+                probe.on_event(&Event::LinkFault { time: t, session: 0, kind });
+            }
+        }
 
         // 3. The client absorbs deliveries and plays frame t - P - D.
         let cstep = client.step_probed(t, &delivered, probe);

@@ -63,5 +63,8 @@ pub use server_only::{
 };
 pub use summary::Percentiles;
 pub use sweep::parallel_map;
-pub use tandem::{simulate_tandem, simulate_tandem_probed, tandem_delay, HopConfig, TandemReport};
+pub use tandem::{
+    simulate_tandem, simulate_tandem_probed, simulate_tandem_with_links,
+    simulate_tandem_with_links_probed, tandem_delay, HopConfig, TandemReport,
+};
 pub use validate::validate;

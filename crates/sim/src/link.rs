@@ -7,6 +7,7 @@
 use std::collections::VecDeque;
 
 use rts_core::SentChunk;
+use rts_obs::FaultKind;
 use rts_stream::{Bytes, Time};
 
 /// A communication channel between the server and the client.
@@ -32,6 +33,16 @@ pub trait LinkModel {
     /// An upper bound on the per-chunk delay (used to size the
     /// simulation horizon and the client's playout point).
     fn worst_case_delay(&self) -> Time;
+
+    /// Fault windows *opening* at slot `t`, for observability. The
+    /// paper's ideal links never fault, so the default is none; a
+    /// fault-injecting wrapper (`rts-faults`) overrides this and the
+    /// engine forwards each kind as an
+    /// [`Event::LinkFault`](rts_obs::Event::LinkFault).
+    fn fault_events(&self, t: Time) -> Vec<FaultKind> {
+        let _ = t;
+        Vec::new()
+    }
 }
 
 /// A constant-delay FIFO link.

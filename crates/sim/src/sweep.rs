@@ -5,12 +5,13 @@
 //! over OS threads (`std::thread::scope` — no `'static` bounds needed),
 //! preserving input order in the output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 /// Applies `f` to every item on a pool of `threads` workers (defaults to
 /// the machine's available parallelism when `None`), returning results in
 /// input order.
+///
+/// The input is pre-split into one contiguous chunk per worker and each
+/// worker writes into the matching disjoint slice of the output, so
+/// result writes never contend on a shared lock.
 ///
 /// `f` must be `Sync` because multiple workers call it concurrently.
 ///
@@ -39,27 +40,22 @@ where
         return items.iter().map(&f).collect();
     }
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let chunk = items.len().div_ceil(worker_count);
+    let mut results: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        for (input, output) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (item, slot) in input.iter().zip(output) {
+                    *slot = Some(f(item));
                 }
-                let out = f(&items[i]);
-                results.lock().expect("no panics while holding lock")[i] = Some(out);
             });
         }
     });
 
     results
-        .into_inner()
-        .expect("scope joined all workers")
         .into_iter()
-        .map(|o| o.expect("every index was processed"))
+        .map(|o| o.expect("every slot was filled by its worker"))
         .collect()
 }
 
@@ -90,6 +86,32 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(&[7u64], Some(32), |&x| x);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn order_preserved_with_many_threads() {
+        // More workers than cores, uneven chunk boundaries, and inputs
+        // that finish at wildly different speeds: output order must
+        // still match input order exactly.
+        let input: Vec<u64> = (0..503).collect();
+        for threads in [2, 3, 7, 16, 64] {
+            let out = parallel_map(&input, Some(threads), |&x| {
+                if x % 5 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 3
+            });
+            assert_eq!(out, input.iter().map(|&x| x * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_clamped() {
+        // `usize::MAX` workers must clamp to the item count rather than
+        // panic on chunk-size arithmetic or spawn failures.
+        let input: Vec<u64> = (0..9).collect();
+        let out = parallel_map(&input, Some(usize::MAX), |&x| x + 100);
+        assert_eq!(out, (100..109).collect::<Vec<u64>>());
     }
 
     #[test]

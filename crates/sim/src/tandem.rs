@@ -167,11 +167,58 @@ where
     F: Fn(usize) -> P,
     Pr: Probe,
 {
+    let links: Vec<Link> = hops.iter().map(|h| Link::new(h.link_delay)).collect();
+    simulate_tandem_with_links_probed(stream, hops, delay, make_policy, links, probe)
+}
+
+/// [`simulate_tandem`] over caller-supplied links — one [`LinkModel`]
+/// per hop, in hop order. This is how fault-injecting links (the
+/// `FaultyLink` wrapper of `rts-faults`) are threaded through a tandem:
+/// the client still budgets the *nominal* per-hop delays, so any extra
+/// delay a faulty link introduces surfaces as accounted late/incomplete
+/// drops rather than silent corruption.
+///
+/// # Panics
+///
+/// Panics if `hops` is empty, or `links.len() != hops.len()`.
+pub fn simulate_tandem_with_links<P, F, L>(
+    stream: &InputStream,
+    hops: &[HopConfig],
+    delay: Time,
+    make_policy: F,
+    links: Vec<L>,
+) -> TandemReport
+where
+    P: DropPolicy,
+    F: Fn(usize) -> P,
+    L: LinkModel,
+{
+    simulate_tandem_with_links_probed(stream, hops, delay, make_policy, links, &mut NoopProbe)
+}
+
+/// [`simulate_tandem_with_links`] with an observability probe (see
+/// [`simulate_tandem_probed`] for tagging; additionally each link's
+/// fault windows are emitted as [`Event::LinkFault`] tagged with the
+/// hop index).
+pub fn simulate_tandem_with_links_probed<P, F, L, Pr>(
+    stream: &InputStream,
+    hops: &[HopConfig],
+    delay: Time,
+    make_policy: F,
+    mut links: Vec<L>,
+    probe: &mut Pr,
+) -> TandemReport
+where
+    P: DropPolicy,
+    F: Fn(usize) -> P,
+    L: LinkModel,
+    Pr: Probe,
+{
     assert!(!hops.is_empty(), "a tandem needs at least one hop");
+    assert_eq!(links.len(), hops.len(), "one link per hop");
     let total_link_delay: Time = hops.iter().map(|h| h.link_delay).sum();
 
     let mut origin = Server::new(hops[0].buffer, hops[0].rate, make_policy(0));
-    let mut links: Vec<Link> = hops.iter().map(|h| Link::new(h.link_delay)).collect();
     let mut relays: Vec<Relay<P>> = hops
         .iter()
         .enumerate()
@@ -192,9 +239,10 @@ where
         offered_bytes: stream.total_bytes(),
     };
 
+    let worst_link_delay: Time = links.iter().map(|l| l.worst_case_delay()).sum();
     let last_arrival = stream.last_arrival().unwrap_or(0);
     let horizon = last_arrival
-        + total_link_delay
+        + total_link_delay.max(worst_link_delay)
         + delay
         + (stream.total_bytes() + 1) * hops.len() as u64
             / hops.iter().map(|h| h.rate).min().unwrap_or(1).max(1)
@@ -218,6 +266,13 @@ where
         report.hop_drops[0] += step0.dropped.len() as u64;
         slot_sent += step0.sent_bytes();
         links[0].submit(&step0.sent);
+        if probe.enabled() {
+            for (hop, link) in links.iter().enumerate() {
+                for kind in link.fault_events(t) {
+                    probe.on_event(&Event::LinkFault { time: t, session: hop as u32, kind });
+                }
+            }
+        }
 
         // Relays: deliveries from the previous link, reassembly, send.
         for (i, relay) in relays.iter_mut().enumerate() {
@@ -274,7 +329,7 @@ where
 
         let drained = t >= last_arrival
             && origin.is_drained()
-            && links.iter().all(Link::is_empty)
+            && links.iter().all(|l| l.is_empty())
             && relays
                 .iter()
                 .all(|r| r.server.is_drained() && r.partial.is_empty())

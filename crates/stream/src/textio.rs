@@ -53,6 +53,9 @@ pub fn write_stream(stream: &InputStream) -> String {
 /// [`StreamError::NonMonotonicTime`] for out-of-order frames, and
 /// [`StreamError::EmptySlice`] for zero-size slices.
 pub fn parse_stream(text: &str) -> Result<InputStream, StreamError> {
+    // Editors on some platforms prepend a UTF-8 byte-order mark; without
+    // stripping it the first record reads as `'\u{feff}frame'`.
+    let text = strip_bom(text);
     let mut builder = StreamBuilder::new();
     let mut current: Option<(Time, Vec<SliceSpec>)> = None;
 
@@ -130,6 +133,7 @@ pub fn parse_stream(text: &str) -> Result<InputStream, StreamError> {
 /// # }
 /// ```
 pub fn parse_frame_sizes(text: &str) -> Result<crate::slicing::FrameSizeTrace, StreamError> {
+    let text = strip_bom(text);
     let mut frames = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -172,6 +176,11 @@ pub fn write_frame_sizes(trace: &crate::slicing::FrameSizeTrace) -> String {
         let _ = writeln!(out, "{} {}", kind.letter(), size);
     }
     out
+}
+
+/// Drops a single leading UTF-8 byte-order mark, if present.
+fn strip_bom(text: &str) -> &str {
+    text.strip_prefix('\u{feff}').unwrap_or(text)
 }
 
 fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u64, StreamError> {
@@ -226,6 +235,28 @@ mod tests {
         let s = parse_stream(text).unwrap();
         assert_eq!(s.slice_count(), 1);
         assert_eq!(s.slices().next().unwrap().weight, 5);
+    }
+
+    #[test]
+    fn bom_and_crlf_traces_roundtrip() {
+        let s = sample();
+        // A trace saved by a BOM-writing editor with Windows line
+        // endings must parse back to the identical stream.
+        let text = format!("\u{feff}{}", write_stream(&s).replace('\n', "\r\n"));
+        assert_eq!(parse_stream(&text).unwrap(), s);
+        // The BOM is consumed exactly once — a BOM mid-file is still an
+        // error, and a bare BOM is an empty trace.
+        assert!(parse_stream("frame 0\n\u{feff}frame 1\n").is_err());
+        assert_eq!(parse_stream("\u{feff}").unwrap(), InputStream::builder().build());
+    }
+
+    #[test]
+    fn frame_sizes_bom_and_crlf() {
+        let t = parse_frame_sizes("\u{feff}I 120\r\n38\r\nB 12\r\n").unwrap();
+        assert_eq!(t.frames()[0], (FrameKind::I, 120));
+        assert_eq!(t.total_bytes(), 170);
+        let back = parse_frame_sizes(&write_frame_sizes(&t)).unwrap();
+        assert_eq!(t, back);
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`offline`] ([`rts_offline`]) — exact offline optima (min-cost
 //!   flow, occupancy DP, brute force);
 //! * [`mux`] ([`rts_mux`]) — shared-link multiplexing of many sessions
-//!   with link schedulers, admission control, and per-session metrics.
+//!   with link schedulers, admission control, and per-session metrics;
+//! * [`faults`] ([`rts_faults`]) — deterministic fault injection
+//!   (outages, rate dips, jitter bursts, clock drift) and the
+//!   graceful-degradation client resync policy.
 //!
 //! The most common items are re-exported at the top level.
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use rts_core as core;
+pub use rts_faults as faults;
 pub use rts_mux as mux;
 pub use rts_offline as offline;
 pub use rts_sim as sim;
@@ -58,7 +62,8 @@ pub use rts_core::policy::{
     TailDrop,
 };
 pub use rts_core::tradeoff::{SmoothingParams, TradeoffClass};
-pub use rts_core::{Client, Server};
+pub use rts_core::{Client, ClockDrift, ResyncPolicy, Server};
+pub use rts_faults::{simulate_faulted, Fault, FaultPlan, FaultyLink};
 pub use rts_mux::{
     AdmissionController, AdmissionError, GreedyAcrossSessions, LinkScheduler, Mux, MuxReport,
     RoundRobin, SessionMetrics, SessionSpec, WeightedFair,

@@ -49,13 +49,13 @@ fn zero_client_capacity_only_plays_same_step_arrivals() {
     // the buffer between steps).
     let stream = InputStream::from_frames([vec![SliceSpec::unit(); 4], vec![], vec![], vec![]]);
     let config = SimConfig {
-        params: SmoothingParams {
+        client_capacity: Some(0),
+        ..SimConfig::new(SmoothingParams {
             buffer: 4,
             rate: 1,
             delay: 3,
             link_delay: 0,
-        },
-        client_capacity: Some(0),
+        })
     };
     let report = simulate(&stream, config, TailDrop::new());
     validate(&report).unwrap();

@@ -162,8 +162,8 @@ fn small_client_buffer_overflows_exactly_when_below_rd() {
     let starved = simulate(
         &stream,
         SimConfig {
-            params,
             client_capacity: Some(3),
+            ..SimConfig::new(params)
         },
         TailDrop::new(),
     );

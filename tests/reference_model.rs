@@ -178,8 +178,8 @@ fn engine_outcome<P: realtime_smoothing::DropPolicy>(
     policy: P,
 ) -> RefOutcome {
     let config = SimConfig {
-        params,
         client_capacity: Some(client_capacity),
+        ..SimConfig::new(params)
     };
     let report = simulate(stream, config, policy);
     let mut played: Vec<(SliceId, Time)> = report
