@@ -1,0 +1,182 @@
+//! Hot-path throughput suite: measures slices/sec on the Section-5
+//! MPEG workload and writes `BENCH_hotpath.json` for the regression
+//! gate (`scripts/bench_check.sh`).
+//!
+//! Usage:
+//!
+//! ```text
+//! hotpath [--smoke] [--out PATH]        run the suite, write the JSON
+//! hotpath --validate [PATH]             assert an existing JSON parses
+//! hotpath --check [BASELINE]            run full suite, compare medians
+//!                                       against the committed baseline
+//!                                       (tolerance: slower by more than
+//!                                       TOLERANCE x fails; default 1.6)
+//! ```
+//!
+//! `--check` also enforces the ring-vs-map ablation: the committed
+//! baseline must record a ratio >= 1.5 and the fresh run >= 1.3 (the
+//! looser live bound absorbs machine noise; the ratio is relative, so
+//! it is stable across machine speeds).
+
+use std::process::ExitCode;
+
+use rts_bench::hotpath::{self, extract_medians, extract_mode, extract_ratio};
+
+const DEFAULT_OUT: &str = "BENCH_hotpath.json";
+const BASELINE_RATIO_FLOOR: f64 = 1.5;
+const LIVE_RATIO_FLOOR: f64 = 1.3;
+const DEFAULT_TOLERANCE: f64 = 1.6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut validate: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--validate" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                validate = Some(next.cloned().unwrap_or_else(|| DEFAULT_OUT.into()));
+                i += usize::from(next.is_some());
+            }
+            "--check" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                check = Some(next.cloned().unwrap_or_else(|| DEFAULT_OUT.into()));
+                i += usize::from(next.is_some());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        return run_validate(&path);
+    }
+    if let Some(baseline) = check {
+        return run_check(&baseline);
+    }
+
+    let suite = hotpath::run(smoke);
+    report(&suite);
+    std::fs::write(&out, suite.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn report(suite: &hotpath::Suite) {
+    println!("hotpath suite ({} mode, {} frames):", suite.mode, suite.frames);
+    for t in &suite.timings {
+        println!(
+            "  {:<22} median {:>10.3} ms  ({:>12.0} slices/s, {} runs)",
+            t.name,
+            t.median_ns as f64 / 1e6,
+            t.slices_per_sec,
+            t.runs
+        );
+    }
+    println!(
+        "  simulate ring-vs-map ratio: {:.2}x",
+        suite.ratio_simulate_ring_vs_map
+    );
+}
+
+fn run_validate(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match (extract_medians(&json), extract_ratio(&json), extract_mode(&json)) {
+        (Some(medians), Some(ratio), Some(mode)) => {
+            println!(
+                "validate: {path} ok ({} benchmarks, mode {mode}, ratio {ratio:.2}x)",
+                medians.len()
+            );
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("validate: {path} is not a hotpath suite JSON");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(baseline_path: &str) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(base_medians), Some(base_ratio), Some(base_mode)) = (
+        extract_medians(&baseline),
+        extract_ratio(&baseline),
+        extract_mode(&baseline),
+    ) else {
+        eprintln!("check: baseline {baseline_path} is corrupt");
+        return ExitCode::FAILURE;
+    };
+    if base_mode != "full" {
+        eprintln!("check: baseline {baseline_path} is a {base_mode} run; commit a full run");
+        return ExitCode::FAILURE;
+    }
+    if base_ratio < BASELINE_RATIO_FLOOR {
+        eprintln!(
+            "check: baseline ring-vs-map ratio {base_ratio:.2}x < required {BASELINE_RATIO_FLOOR}x"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let tolerance: f64 = std::env::var("BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let suite = hotpath::run(false);
+    report(&suite);
+
+    let mut failed = false;
+    for t in &suite.timings {
+        let Some(&(_, base_ns)) = base_medians.iter().find(|(n, _)| *n == t.name) else {
+            println!("  {}: new benchmark (no baseline entry), skipped", t.name);
+            continue;
+        };
+        // Absolute medians differ across machines; the gate only fires
+        // on large relative regressions.
+        let factor = t.median_ns as f64 / base_ns as f64;
+        if factor > tolerance {
+            eprintln!(
+                "  REGRESSION {}: {:.3} ms vs baseline {:.3} ms ({factor:.2}x > {tolerance:.2}x)",
+                t.name,
+                t.median_ns as f64 / 1e6,
+                base_ns as f64 / 1e6
+            );
+            failed = true;
+        }
+    }
+    if suite.ratio_simulate_ring_vs_map < LIVE_RATIO_FLOOR {
+        eprintln!(
+            "  REGRESSION ring-vs-map ratio {:.2}x < floor {LIVE_RATIO_FLOOR}x",
+            suite.ratio_simulate_ring_vs_map
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("check: within tolerance ({tolerance:.2}x) of {baseline_path}");
+        ExitCode::SUCCESS
+    }
+}

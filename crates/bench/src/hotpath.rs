@@ -1,0 +1,382 @@
+//! The hot-path throughput suite behind `BENCH_hotpath.json`.
+//!
+//! Measures end-to-end slices/second on the canonical Section-5 MPEG
+//! workload for the three pipelines the repo exercises most — the
+//! single-session engine ([`rts_sim::simulate`]), the shared-link
+//! multiplexer, and the offline-optimal DPs — plus a ring-vs-map
+//! server-buffer ablation on the simulate pipeline. Timings are
+//! median-of-N whole-run measurements, deliberately coarse: the suite
+//! exists to catch order-of-magnitude regressions and to pin the
+//! ring-buffer speedup, not to do criterion-grade statistics.
+//!
+//! The emitted JSON is flat and hand-rolled (the workspace has no
+//! external dependencies); [`extract_medians`] and [`extract_ratio`]
+//! parse back exactly what [`Suite::to_json`] writes, which is all the
+//! regression gate needs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use rts_core::policy::{GreedyByteValue, TailDrop};
+use rts_core::tradeoff::SmoothingParams;
+use rts_core::{BufferBacking, DropPolicy};
+use rts_mux::{Mux, SessionSpec, WeightedFair};
+use rts_sim::{simulate, SimConfig};
+use rts_stream::slicing::Slicing;
+use rts_stream::weight::WeightAssignment;
+use rts_stream::InputStream;
+
+use crate::workload;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Benchmark name (`pipeline/variant`).
+    pub name: String,
+    /// Number of timed runs (the median is over these).
+    pub runs: usize,
+    /// Median whole-run wall time in nanoseconds.
+    pub median_ns: u64,
+    /// Fastest run in nanoseconds.
+    pub best_ns: u64,
+    /// Slices processed per run.
+    pub slices: u64,
+    /// Throughput at the median: `slices / median`.
+    pub slices_per_sec: f64,
+}
+
+/// The whole suite's results, ready for JSON serialization.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// `"full"` or `"smoke"`.
+    pub mode: &'static str,
+    /// Workload seed (the Section-5 trace seed).
+    pub seed: u64,
+    /// Trace length in frames.
+    pub frames: usize,
+    /// Per-benchmark timings, in execution order.
+    pub timings: Vec<Timing>,
+    /// Simulate-pipeline ablation: map-backed median over ring-backed
+    /// median (>1 means the ring is faster).
+    pub ratio_simulate_ring_vs_map: f64,
+}
+
+/// Times `runs` executions of `f` and summarizes them.
+fn time_runs<R, F: FnMut() -> R>(name: &str, slices: u64, runs: usize, mut f: F) -> Timing {
+    assert!(runs >= 1);
+    let mut samples: Vec<u64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let median_ns = samples[samples.len() / 2];
+    Timing {
+        name: name.to_string(),
+        runs,
+        median_ns,
+        best_ns: samples[0],
+        slices,
+        slices_per_sec: slices as f64 / (median_ns as f64 / 1e9),
+    }
+}
+
+fn simulate_bench<P: DropPolicy, F: Fn() -> P>(
+    name: &str,
+    stream: &InputStream,
+    params: SmoothingParams,
+    backing: BufferBacking,
+    runs: usize,
+    make_policy: F,
+) -> Timing {
+    time_runs(name, stream.slice_count() as u64, runs, || {
+        simulate(
+            stream,
+            SimConfig::new(params).with_backing(backing),
+            make_policy(),
+        )
+    })
+}
+
+/// Runs the full suite. Smoke mode shrinks the workload and the run
+/// count so CI can execute it in seconds; its numbers are for parse
+/// checks only, never for regression comparison.
+pub fn run(smoke: bool) -> Suite {
+    let (frames, runs) = if smoke { (300, 3) } else { (workload::FRAMES, 9) };
+    let trace = rts_stream::gen::MpegSource::new(
+        rts_stream::gen::MpegConfig::cnn_like(),
+        workload::SEED,
+    )
+    .frames(frames);
+    let by_byte = trace.materialize(Slicing::PerByte, WeightAssignment::MPEG_12_8_1);
+    let by_frame = trace.materialize(Slicing::WholeFrame, WeightAssignment::MPEG_12_8_1);
+    // Slightly under-provisioned so the drop machinery (the pushout
+    // path the ring buffer optimizes) sees real traffic every run.
+    let rate = workload::rate_at(&trace, 0.95);
+    let params = SmoothingParams::balanced_from_rate_delay(rate, 6, 2);
+
+    let mut timings = Vec::new();
+
+    // Simulate pipeline: ring vs map ablation (Tail-Drop keeps the
+    // measured difference purely in the buffer store), plus the paper's
+    // Greedy policy on the fast path.
+    let ring = simulate_bench(
+        "simulate/ring",
+        &by_byte,
+        params,
+        BufferBacking::Ring,
+        runs,
+        TailDrop::new,
+    );
+    let map = simulate_bench(
+        "simulate/map",
+        &by_byte,
+        params,
+        BufferBacking::Map,
+        runs,
+        TailDrop::new,
+    );
+    let ratio = map.median_ns as f64 / ring.median_ns as f64;
+    timings.push(ring);
+    timings.push(map);
+    timings.push(simulate_bench(
+        "simulate/greedy-ring",
+        &by_byte,
+        params,
+        BufferBacking::Ring,
+        runs,
+        GreedyByteValue::new,
+    ));
+    timings.push(simulate_bench(
+        "simulate/frame-ring",
+        &by_frame,
+        params,
+        BufferBacking::Ring,
+        runs,
+        TailDrop::new,
+    ));
+
+    // Mux pipeline: four whole-frame sessions sharing one link under
+    // weighted-fair scheduling.
+    let session_rate = workload::rate_at(&trace, 1.0);
+    let session_params = SmoothingParams::balanced_from_rate_delay(session_rate, 6, 2);
+    let link_rate = session_rate * 4;
+    timings.push(time_runs(
+        "mux/wfq-4",
+        4 * by_frame.slice_count() as u64,
+        runs,
+        || {
+            let mut mux = Mux::new(link_rate, WeightedFair::new());
+            for w in 1..=4u64 {
+                mux.admit(
+                    SessionSpec::new(
+                        by_frame.clone(),
+                        session_params,
+                        Box::new(TailDrop::new()),
+                    )
+                    .with_weight(w),
+                )
+                .expect("session admits at nominal capacity");
+            }
+            mux.run()
+        },
+    ));
+
+    // Offline optima: the unit-slice LP-free DP on the per-byte stream
+    // and the whole-frame DP, both at the simulate parameters.
+    timings.push(time_runs(
+        "offline/unit-dp",
+        by_byte.slice_count() as u64,
+        runs,
+        || {
+            rts_offline::optimal_unit_benefit(&by_byte, params.buffer, params.rate)
+                .expect("per-byte stream has unit slices")
+        },
+    ));
+    timings.push(time_runs(
+        "offline/frame-dp",
+        by_frame.slice_count() as u64,
+        runs,
+        || {
+            rts_offline::optimal_frame_benefit(&by_frame, params.buffer, params.rate)
+                .expect("whole-frame stream is frame-aligned")
+        },
+    ));
+
+    Suite {
+        mode: if smoke { "smoke" } else { "full" },
+        seed: workload::SEED,
+        frames,
+        timings,
+        ratio_simulate_ring_vs_map: ratio,
+    }
+}
+
+impl Suite {
+    /// Serializes the suite as pretty-printed JSON (hand-rolled; the
+    /// flat shape is what [`extract_medians`] parses back).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"suite\": \"hotpath\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"frames\": {},\n", self.frames));
+        s.push_str(&format!(
+            "  \"ratio_simulate_ring_vs_map\": {:.4},\n",
+            self.ratio_simulate_ring_vs_map
+        ));
+        s.push_str("  \"benchmarks\": [\n");
+        for (i, t) in self.timings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"runs\": {}, \"median_ns\": {}, \"best_ns\": {}, \"slices\": {}, \"slices_per_sec\": {:.1}}}{}\n",
+                t.name,
+                t.runs,
+                t.median_ns,
+                t.best_ns,
+                t.slices,
+                t.slices_per_sec,
+                if i + 1 < self.timings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Extracts `(name, median_ns)` pairs from a suite JSON produced by
+/// [`Suite::to_json`]. Returns `None` on any shape it does not
+/// recognize — the caller treats that as a corrupt baseline.
+pub fn extract_medians(json: &str) -> Option<Vec<(String, u64)>> {
+    if !json.contains("\"suite\": \"hotpath\"") {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"name\": \"") {
+            continue;
+        }
+        let name = line.strip_prefix("{\"name\": \"")?.split('"').next()?;
+        let median = line
+            .split("\"median_ns\": ")
+            .nth(1)?
+            .split([',', '}'])
+            .next()?
+            .trim()
+            .parse()
+            .ok()?;
+        out.push((name.to_string(), median));
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Extracts the recorded ring-vs-map ratio from a suite JSON.
+pub fn extract_ratio(json: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| l.trim_start().starts_with("\"ratio_simulate_ring_vs_map\""))?
+        .split(": ")
+        .nth(1)?
+        .trim_end_matches(',')
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Extracts the recorded mode (`"full"` / `"smoke"`) from a suite JSON.
+pub fn extract_mode(json: &str) -> Option<String> {
+    let line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"mode\""))?;
+    Some(line.split('"').nth(3)?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_suite() -> Suite {
+        Suite {
+            mode: "full",
+            seed: 1,
+            frames: 2,
+            timings: vec![
+                Timing {
+                    name: "simulate/ring".into(),
+                    runs: 3,
+                    median_ns: 1_000,
+                    best_ns: 900,
+                    slices: 50,
+                    slices_per_sec: 5.0e7,
+                },
+                Timing {
+                    name: "simulate/map".into(),
+                    runs: 3,
+                    median_ns: 1_700,
+                    best_ns: 1_600,
+                    slices: 50,
+                    slices_per_sec: 2.9e7,
+                },
+            ],
+            ratio_simulate_ring_vs_map: 1.7,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_extractors() {
+        let json = sample_suite().to_json();
+        let medians = extract_medians(&json).expect("parses");
+        assert_eq!(
+            medians,
+            vec![
+                ("simulate/ring".to_string(), 1_000),
+                ("simulate/map".to_string(), 1_700),
+            ]
+        );
+        assert_eq!(extract_ratio(&json), Some(1.7));
+        assert_eq!(extract_mode(&json).as_deref(), Some("full"));
+    }
+
+    #[test]
+    fn extractors_reject_garbage() {
+        assert_eq!(extract_medians("not json"), None);
+        assert_eq!(extract_medians("{\"suite\": \"hotpath\"}"), None);
+        assert_eq!(extract_ratio(""), None);
+        assert_eq!(extract_mode(""), None);
+    }
+
+    #[test]
+    fn time_runs_reports_a_median() {
+        let t = time_runs("demo", 10, 5, std::thread::yield_now);
+        assert_eq!(t.runs, 5);
+        assert!(t.best_ns <= t.median_ns);
+        assert!(t.slices_per_sec > 0.0);
+    }
+
+    #[test]
+    fn smoke_suite_produces_every_benchmark() {
+        let suite = run(true);
+        assert_eq!(suite.mode, "smoke");
+        let names: Vec<&str> = suite.timings.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "simulate/ring",
+                "simulate/map",
+                "simulate/greedy-ring",
+                "simulate/frame-ring",
+                "mux/wfq-4",
+                "offline/unit-dp",
+                "offline/frame-dp",
+            ]
+        );
+        assert!(suite.ratio_simulate_ring_vs_map > 0.0);
+        let json = suite.to_json();
+        assert_eq!(extract_medians(&json).map(|m| m.len()), Some(7));
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod adversary;
 pub mod figures;
+pub mod hotpath;
 pub mod plot;
 pub mod results;
 pub mod table;

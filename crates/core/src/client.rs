@@ -161,6 +161,18 @@ pub struct ClientStep {
     pub resyncs: Vec<Time>,
 }
 
+impl ClientStep {
+    /// Resets the step for reuse, keeping the allocated capacity of its
+    /// vectors (the `*_into` step methods call this before refilling).
+    pub fn clear(&mut self) {
+        self.played.clear();
+        self.dropped.clear();
+        self.resyncs.clear();
+        self.occupancy = 0;
+        self.peak_occupancy = 0;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Pending {
     slice: Slice,
@@ -336,9 +348,18 @@ impl Client {
     /// (this is what makes `Bc = B` sufficient in Lemma 3.4).
     pub fn step(&mut self, t: Time, delivered: &[SentChunk]) -> ClientStep {
         let mut out = ClientStep::default();
+        self.step_into(t, delivered, &mut out);
+        out
+    }
+
+    /// [`step`](Self::step) writing into a caller-held [`ClientStep`]
+    /// (cleared and refilled), so a driving loop can reuse one step
+    /// across slots without per-slot allocation.
+    pub fn step_into(&mut self, t: Time, delivered: &[SentChunk], out: &mut ClientStep) {
+        out.clear();
 
         for chunk in delivered {
-            self.receive(t, chunk, &mut out);
+            self.receive(t, chunk, out);
         }
         out.peak_occupancy = self.occupancy;
 
@@ -389,7 +410,7 @@ impl Client {
             if let Some(id) = victim {
                 if let Some(p) = self.pending.get(&id) {
                     let slice = p.slice;
-                    self.discard(id, slice, ClientDropReason::Overflow, &mut out);
+                    self.discard(id, slice, ClientDropReason::Overflow, out);
                 }
             }
         }
@@ -403,7 +424,6 @@ impl Client {
         }
 
         out.occupancy = self.occupancy;
-        out
     }
 
     /// [`step`](Self::step) with an observability probe: each playout
@@ -416,7 +436,21 @@ impl Client {
         delivered: &[SentChunk],
         probe: &mut Pr,
     ) -> ClientStep {
-        let out = self.step(t, delivered);
+        let mut out = ClientStep::default();
+        self.step_into_probed(t, delivered, &mut out, probe);
+        out
+    }
+
+    /// [`step_into`](Self::step_into) with an observability probe (see
+    /// [`step_probed`](Self::step_probed) for the events emitted).
+    pub fn step_into_probed<Pr: Probe>(
+        &mut self,
+        t: Time,
+        delivered: &[SentChunk],
+        out: &mut ClientStep,
+        probe: &mut Pr,
+    ) {
+        self.step_into(t, delivered, out);
         if probe.enabled() {
             for &skew in &out.resyncs {
                 probe.on_event(&Event::ClientResync { time: t, session: 0, skew });
@@ -443,7 +477,6 @@ impl Client {
                 });
             }
         }
-        out
     }
 
     fn receive(&mut self, t: Time, chunk: &SentChunk, out: &mut ClientStep) {

@@ -64,6 +64,15 @@ pub trait DropPolicy {
         let _ = buffer;
         None
     }
+
+    /// Housekeeping hook called by the server once at the end of every
+    /// step, after transmission. Policies that keep lazy indexes use it
+    /// to bound their memory against the live buffer
+    /// ([`GreedyByteValue`] compacts its heap here); the default does
+    /// nothing. Must not change which victim the policy would select.
+    fn end_of_step(&mut self, buffer: &ServerBuffer) {
+        let _ = buffer;
+    }
 }
 
 /// Boxed policies delegate, so heterogeneous policy sets (one per
@@ -87,6 +96,10 @@ impl<P: DropPolicy + ?Sized> DropPolicy for Box<P> {
 
     fn early_victim(&mut self, buffer: &ServerBuffer) -> Option<Seq> {
         (**self).early_victim(buffer)
+    }
+
+    fn end_of_step(&mut self, buffer: &ServerBuffer) {
+        (**self).end_of_step(buffer)
     }
 }
 
@@ -192,16 +205,34 @@ impl PartialOrd for GreedyKey {
 ///
 /// Internally a lazy min-heap: removals are not deleted eagerly; stale
 /// keys are skipped when popped, so the total cost over a run is
-/// O(n log n) in admitted slices.
+/// O(n log n) in admitted slices. A stale counter tracks removals, and
+/// the heap is rebuilt against the live buffer whenever stale entries
+/// outnumber live ones ([`end_of_step`](DropPolicy::end_of_step)), so
+/// the heap stays O(buffer) even on long drop-free runs where
+/// [`next_victim`](DropPolicy::next_victim) — the lazy cleanup path —
+/// is never invoked.
 #[derive(Debug, Clone, Default)]
 pub struct GreedyByteValue {
     heap: BinaryHeap<GreedyKey>,
+    /// Upper bound on the stale (already-removed) entries in `heap`. An
+    /// over-count is possible — `next_victim` permanently pops protected
+    /// entries whose later `on_remove` still increments this — which at
+    /// worst compacts a little early, never incorrectly.
+    stale: usize,
 }
 
 impl GreedyByteValue {
     /// Creates the policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Current heap size, stale entries included. Exposed for the
+    /// memory-regression test: after
+    /// [`end_of_step`](DropPolicy::end_of_step) this is bounded by twice
+    /// the live buffer length plus one.
+    pub fn index_len(&self) -> usize {
+        self.heap.len()
     }
 }
 
@@ -219,21 +250,41 @@ impl DropPolicy for GreedyByteValue {
     }
 
     fn on_remove(&mut self, _seq: Seq) {
-        // Lazy: stale heap entries are discarded on pop.
+        // Lazy: the heap entry stays; count it for compaction.
+        self.stale += 1;
     }
 
     fn next_victim(&mut self, buffer: &ServerBuffer) -> Option<Seq> {
         let protected = buffer.protected();
         while let Some(&key) = self.heap.peek() {
-            if !buffer.contains(key.seq) || Some(key.seq) == protected {
-                // Stale (already removed) or permanently undroppable (a
-                // slice in transmission is never dropped later either).
+            if !buffer.contains(key.seq) {
+                // Stale (already removed): discard and un-count.
+                self.heap.pop();
+                self.stale = self.stale.saturating_sub(1);
+                continue;
+            }
+            if Some(key.seq) == protected {
+                // Permanently undroppable (a slice in transmission is
+                // never dropped later either). Its eventual `on_remove`
+                // will over-count `stale` by one — harmless, see above.
                 self.heap.pop();
                 continue;
             }
             return Some(key.seq);
         }
         None
+    }
+
+    fn end_of_step(&mut self, buffer: &ServerBuffer) {
+        if self.heap.is_empty() {
+            self.stale = 0;
+            return;
+        }
+        let stale = self.stale.min(self.heap.len());
+        if stale > self.heap.len() - stale {
+            self.heap.retain(|k| buffer.contains(k.seq));
+            self.stale = 0;
+        }
     }
 }
 
@@ -472,6 +523,10 @@ impl DropPolicy for EarlyValueDrop {
         self.inner.next_victim(buffer)
     }
 
+    fn end_of_step(&mut self, buffer: &ServerBuffer) {
+        self.inner.end_of_step(buffer);
+    }
+
     fn early_victim(&mut self, buffer: &ServerBuffer) -> Option<Seq> {
         if !self.above_threshold(buffer.occupancy()) {
             return None;
@@ -656,6 +711,85 @@ mod tests {
         let mut b = ServerBuffer::new();
         fill(&mut p, &mut b, &[slice(0, 1, 1)]);
         assert_eq!(p.early_victim(&b), None);
+    }
+
+    #[test]
+    fn default_end_of_step_is_a_noop() {
+        let mut p = TailDrop::new();
+        let mut b = ServerBuffer::new();
+        let seqs = fill(&mut p, &mut b, &[slice(0, 1, 1), slice(1, 1, 1)]);
+        p.end_of_step(&b);
+        assert_eq!(p.next_victim(&b), Some(seqs[1]));
+    }
+
+    #[test]
+    fn greedy_compacts_heap_when_stale_outnumber_live() {
+        let mut p = GreedyByteValue::new();
+        let mut b = ServerBuffer::new();
+        // Simulate a long drop-free run: slices flow through the buffer
+        // while next_victim (the lazy cleanup path) is never called.
+        for i in 0..1000 {
+            let s = slice(i, 1, 1);
+            let seq = b.admit(s);
+            p.on_admit(seq, &s);
+            let sent = b.transmit(1);
+            assert_eq!(sent.len(), 1);
+            p.on_remove(sent[0].0);
+            p.end_of_step(&b);
+            assert!(
+                p.index_len() <= 2 * b.len() + 1,
+                "heap grew to {} with {} live slices at step {i}",
+                p.index_len(),
+                b.len()
+            );
+        }
+        assert!(b.is_empty());
+        assert_eq!(p.index_len(), 0);
+    }
+
+    #[test]
+    fn greedy_compaction_preserves_victim_order() {
+        let slices = [
+            slice(0, 1, 7),
+            slice(1, 2, 1),
+            slice(2, 1, 4),
+            slice(3, 3, 2),
+            slice(4, 2, 9),
+        ];
+        let mut compacted = GreedyByteValue::new();
+        let mut lazy = GreedyByteValue::new();
+        let mut b1 = ServerBuffer::new();
+        let mut b2 = ServerBuffer::new();
+        fill(&mut compacted, &mut b1, &slices);
+        fill(&mut lazy, &mut b2, &slices);
+        // Remove three of five out-of-band (stale 3 > live 2), then run
+        // the hook on one copy only; victim order must be unaffected.
+        for b in [&mut b1, &mut b2] {
+            b.drop_slice(Seq(1));
+            b.drop_slice(Seq(3));
+            b.drop_slice(Seq(4));
+        }
+        for p in [&mut compacted, &mut lazy] {
+            p.on_remove(Seq(1));
+            p.on_remove(Seq(3));
+            p.on_remove(Seq(4));
+        }
+        compacted.end_of_step(&b1);
+        assert!(compacted.index_len() < lazy.index_len());
+        loop {
+            let v1 = compacted.next_victim(&b1);
+            let v2 = lazy.next_victim(&b2);
+            assert_eq!(v1, v2);
+            match v1 {
+                Some(v) => {
+                    b1.drop_slice(v);
+                    compacted.on_remove(v);
+                    b2.drop_slice(v);
+                    lazy.on_remove(v);
+                }
+                None => break,
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use rts_obs::{DropReason, DropSite, Event, NoopProbe, Probe};
 use rts_stream::{Bytes, Slice, Time};
 
-use crate::buffer::{Seq, ServerBuffer};
+use crate::buffer::{BufferBacking, Seq, ServerBuffer};
 use crate::policy::DropPolicy;
 
 /// A contiguous group of bytes of one slice submitted to the link in one
@@ -58,6 +58,15 @@ impl ServerStep {
     pub fn dropped_bytes(&self) -> Bytes {
         self.dropped.iter().map(|s| s.size).sum()
     }
+
+    /// Empties the step in place, keeping the allocations. The `*_into`
+    /// step methods call this on entry, so a caller-held `ServerStep`
+    /// can be reused across slots without per-slot allocation.
+    pub fn clear(&mut self) {
+        self.sent.clear();
+        self.dropped.clear();
+        self.occupancy = 0;
+    }
 }
 
 /// The generic algorithm's server: buffer capacity `B`, link rate `R`,
@@ -83,6 +92,10 @@ pub struct Server<P> {
     policy: P,
     capacity: Bytes,
     rate: Bytes,
+    /// Reusable transmit scratch: filled by
+    /// [`ServerBuffer::transmit_into`] each step, so the steady-state
+    /// step makes no allocation of its own.
+    tx_scratch: Vec<(Seq, Slice, Bytes, bool)>,
 }
 
 impl<P: DropPolicy> Server<P> {
@@ -93,12 +106,23 @@ impl<P: DropPolicy> Server<P> {
     ///
     /// Panics if `rate == 0` (the link could never drain).
     pub fn new(capacity: Bytes, rate: Bytes, policy: P) -> Self {
+        Self::with_buffer(capacity, rate, policy, ServerBuffer::new())
+    }
+
+    /// [`new`](Self::new) with an explicit [`BufferBacking`] (ring vs
+    /// the map-backed differential reference).
+    pub fn with_backing(capacity: Bytes, rate: Bytes, policy: P, backing: BufferBacking) -> Self {
+        Self::with_buffer(capacity, rate, policy, ServerBuffer::with_backing(backing))
+    }
+
+    fn with_buffer(capacity: Bytes, rate: Bytes, policy: P, buffer: ServerBuffer) -> Self {
         assert!(rate > 0, "link rate must be positive");
         Server {
-            buffer: ServerBuffer::new(),
+            buffer,
             policy,
             capacity,
             rate,
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -129,6 +153,12 @@ impl<P: DropPolicy> Server<P> {
     /// Access to the underlying buffer (for inspection).
     pub fn buffer(&self) -> &ServerBuffer {
         &self.buffer
+    }
+
+    /// Access to the drop policy (for inspection, e.g. index-size
+    /// assertions in memory-regression tests).
+    pub fn policy(&self) -> &P {
+        &self.policy
     }
 
     /// The policy's display name.
@@ -241,8 +271,48 @@ impl<P: DropPolicy> Server<P> {
         budget: Bytes,
         probe: &mut Pr,
     ) -> ServerStep {
+        let mut out = ServerStep::default();
+        self.step_admitted_into_probed(time, budget, &mut out, probe);
+        out
+    }
+
+    /// [`step`](Self::step) writing into a caller-held [`ServerStep`]
+    /// (cleared and refilled), so a driving loop can reuse one step
+    /// across slots without per-slot allocation.
+    pub fn step_into(&mut self, time: Time, arrivals: &[Slice], out: &mut ServerStep) {
+        self.step_into_probed(time, arrivals, out, &mut NoopProbe);
+    }
+
+    /// [`step_into`](Self::step_into) with a probe.
+    pub fn step_into_probed<Pr: Probe>(
+        &mut self,
+        time: Time,
+        arrivals: &[Slice],
+        out: &mut ServerStep,
+        probe: &mut Pr,
+    ) {
+        self.admit_arrivals_probed(arrivals, probe);
+        self.step_admitted_into_probed(time, self.rate, out, probe);
+    }
+
+    /// [`step_admitted`](Self::step_admitted) writing into a caller-held
+    /// [`ServerStep`] (cleared and refilled).
+    pub fn step_admitted_into(&mut self, time: Time, budget: Bytes, out: &mut ServerStep) {
+        self.step_admitted_into_probed(time, budget, out, &mut NoopProbe);
+    }
+
+    /// [`step_admitted_into`](Self::step_admitted_into) with a probe.
+    /// This is the allocation-free core every other step method wraps.
+    pub fn step_admitted_into_probed<Pr: Probe>(
+        &mut self,
+        time: Time,
+        budget: Bytes,
+        out: &mut ServerStep,
+        probe: &mut Pr,
+    ) {
+        out.clear();
+
         // 2a. Early drops, if the policy is proactive (Section 2.1).
-        let mut dropped = Vec::new();
         while let Some(victim) = self.policy.early_victim(&self.buffer) {
             self.validate_victim(victim);
             let slice = self.buffer.drop_slice(victim);
@@ -250,7 +320,7 @@ impl<P: DropPolicy> Server<P> {
             if probe.enabled() {
                 probe.on_event(&Self::drop_event(time, &slice, DropReason::Policy));
             }
-            dropped.push(slice);
+            out.dropped.push(slice);
         }
 
         // 2b. Overflow resolution. After sending min(budget, occ) bytes
@@ -273,35 +343,37 @@ impl<P: DropPolicy> Server<P> {
             if probe.enabled() {
                 probe.on_event(&Self::drop_event(time, &slice, DropReason::Overflow));
             }
-            dropped.push(slice);
+            out.dropped.push(slice);
         }
 
-        // 3. Transmission at the maximal granted rate, FIFO order.
-        let sent: Vec<SentChunk> = self
-            .buffer
-            .transmit(budget)
-            .into_iter()
-            .map(|(seq, slice, bytes, completed)| {
-                if completed {
-                    self.policy.on_remove(seq);
-                }
-                if probe.enabled() {
-                    probe.on_event(&Event::SliceSent {
-                        time,
-                        session: 0,
-                        id: slice.id.0,
-                        bytes,
-                        completed,
-                    });
-                }
-                SentChunk {
+        // 3. Transmission at the maximal granted rate, FIFO order, via
+        // the persistent scratch (no allocation in steady state).
+        self.tx_scratch.clear();
+        self.buffer.transmit_into(budget, &mut self.tx_scratch);
+        for &(seq, slice, bytes, completed) in &self.tx_scratch {
+            if completed {
+                self.policy.on_remove(seq);
+            }
+            if probe.enabled() {
+                probe.on_event(&Event::SliceSent {
                     time,
-                    slice,
+                    session: 0,
+                    id: slice.id.0,
                     bytes,
                     completed,
-                }
-            })
-            .collect();
+                });
+            }
+            out.sent.push(SentChunk {
+                time,
+                slice,
+                bytes,
+                completed,
+            });
+        }
+
+        // 4. End-of-step housekeeping: lazy policy indexes compact
+        // against the live buffer here (bounded even on drop-free runs).
+        self.policy.end_of_step(&self.buffer);
 
         debug_assert!(
             self.buffer.occupancy() <= self.capacity,
@@ -310,11 +382,7 @@ impl<P: DropPolicy> Server<P> {
             self.capacity
         );
 
-        ServerStep {
-            sent,
-            dropped,
-            occupancy: self.buffer.occupancy(),
-        }
+        out.occupancy = self.buffer.occupancy();
     }
 
     /// Runs drain steps (no arrivals) until the buffer empties, starting
@@ -624,5 +692,48 @@ mod tests {
         assert_eq!(s0.sent_bytes(), 2);
         assert_eq!(s0.dropped_bytes(), 1);
         assert_eq!(s0.occupancy, 0);
+    }
+
+    #[test]
+    fn step_into_matches_step_and_reuses_the_scratch() {
+        let stream = unit_frames(&[5, 0, 9, 2, 0, 0, 4]);
+        let mut plain = Server::new(3, 2, GreedyByteValue::new());
+        let mut reused = Server::new(3, 2, GreedyByteValue::new());
+        let mut scratch = ServerStep::default();
+        for frame in stream.frames() {
+            let a = plain.step(frame.time, &frame.slices);
+            reused.step_into(frame.time, &frame.slices, &mut scratch);
+            assert_eq!(a, scratch);
+        }
+    }
+
+    #[test]
+    fn greedy_index_stays_bounded_on_a_long_drop_free_run() {
+        // Memory regression for the lazy heap: a drop-free run never
+        // calls next_victim, so without end-of-step compaction the heap
+        // would accumulate one stale entry per transmitted slice
+        // (~20_000 here). With compaction it stays within a small
+        // multiple of the live buffer.
+        use rts_stream::{FrameKind, SliceId};
+        let unit = |id: u64| Slice {
+            id: SliceId(id),
+            frame: 0,
+            arrival: 0,
+            size: 1,
+            weight: 1,
+            kind: FrameKind::Generic,
+        };
+        let mut server = Server::new(8, 4, GreedyByteValue::new());
+        let mut scratch = ServerStep::default();
+        for t in 0..20_000u64 {
+            let arrivals: Vec<Slice> = (0..4).map(|i| unit(4 * t + i)).collect();
+            server.step_into(t, &arrivals, &mut scratch);
+            assert!(scratch.dropped.is_empty(), "run must stay drop-free");
+            assert!(
+                server.policy().index_len() <= 64,
+                "lazy heap grew to {} entries at t={t}",
+                server.policy().index_len()
+            );
+        }
     }
 }

@@ -41,6 +41,8 @@ pub struct FaultyLink<L> {
     last_release: Time,
     /// Fast path: true when the plan has no link faults at all.
     passthrough: bool,
+    /// Reusable scratch for draining the inner link during absorb.
+    absorb_scratch: Vec<SentChunk>,
 }
 
 impl<L: LinkModel> FaultyLink<L> {
@@ -57,6 +59,7 @@ impl<L: LinkModel> FaultyLink<L> {
             egress_bytes: 0,
             last_release: 0,
             passthrough,
+            absorb_scratch: Vec::new(),
         }
     }
 
@@ -74,7 +77,12 @@ impl<L: LinkModel> FaultyLink<L> {
     /// queue, applying any active jitter burst.
     fn absorb(&mut self, t: Time) {
         let jmax = self.plan.jitter_bound(t);
-        for c in self.inner.deliver(t) {
+        // The scratch is taken (not borrowed) so the inner link and the
+        // egress queue can be touched while it is filled/drained.
+        let mut scratch = std::mem::take(&mut self.absorb_scratch);
+        scratch.clear();
+        self.inner.deliver_into(t, &mut scratch);
+        for &c in &scratch {
             let extra = if jmax == 0 { 0 } else { self.rng.range_u64(0, jmax) };
             // A FIFO channel cannot reorder: a chunk never overtakes
             // its predecessor's release slot.
@@ -83,13 +91,14 @@ impl<L: LinkModel> FaultyLink<L> {
             self.egress_bytes += c.bytes;
             self.egress.push_back((due, c));
         }
+        self.absorb_scratch = scratch;
     }
 
     /// Releases everything due at `t` that fits the slot's fault
     /// budget, splitting the head chunk when the budget cuts it.
-    fn release(&mut self, t: Time) -> Vec<SentChunk> {
+    /// Appends into `out` so the caller's scratch vector is reused.
+    fn release_into(&mut self, t: Time, out: &mut Vec<SentChunk>) {
         let mut budget = self.plan.egress_budget(t);
-        let mut out = Vec::new();
         while let Some(&(due, _)) = self.egress.front() {
             if due > t || budget == Some(0) {
                 break;
@@ -115,7 +124,6 @@ impl<L: LinkModel> FaultyLink<L> {
             self.egress_bytes -= c.bytes;
             out.push(c);
         }
-        out
     }
 }
 
@@ -125,11 +133,18 @@ impl<L: LinkModel> LinkModel for FaultyLink<L> {
     }
 
     fn deliver(&mut self, t: Time) -> Vec<SentChunk> {
+        let mut out = Vec::new();
+        self.deliver_into(t, &mut out);
+        out
+    }
+
+    fn deliver_into(&mut self, t: Time, out: &mut Vec<SentChunk>) {
         if self.passthrough {
-            return self.inner.deliver(t);
+            self.inner.deliver_into(t, out);
+            return;
         }
         self.absorb(t);
-        self.release(t)
+        self.release_into(t, out);
     }
 
     fn in_flight_bytes(&self) -> Bytes {

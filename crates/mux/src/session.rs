@@ -159,6 +159,11 @@ pub(crate) struct Session {
     resync: Option<ResyncPolicy>,
     pub(crate) weight: Weight,
     pub(crate) metrics: SessionMetrics,
+    // Per-slot scratch, allocated once per session and reused so the
+    // transmit/play path is allocation-free in steady state.
+    sstep: ServerStep,
+    cstep: ClientStep,
+    delivered: Vec<rts_core::SentChunk>,
 }
 
 impl Session {
@@ -209,6 +214,9 @@ impl Session {
             resync,
             weight,
             metrics,
+            sstep: ServerStep::default(),
+            cstep: ClientStep::default(),
+            delivered: Vec::new(),
         }
     }
 
@@ -245,7 +253,9 @@ impl Session {
         grant: Bytes,
         probe: &mut Pr,
     ) -> SlotOutcome {
-        let sstep: ServerStep = self.server.step_admitted_probed(t, grant, probe);
+        self.server
+            .step_admitted_into_probed(t, grant, &mut self.sstep, probe);
+        let sstep = &self.sstep;
         let sent = sstep.sent_bytes();
         self.metrics.sent_bytes += sent;
         self.metrics.server_dropped_slices += sstep.dropped.len() as u64;
@@ -253,13 +263,16 @@ impl Session {
         self.metrics.server_occupancy_max = self.metrics.server_occupancy_max.max(sstep.occupancy);
 
         self.link.submit(&sstep.sent);
-        let delivered = self.link.deliver(t);
+        self.delivered.clear();
+        self.link.deliver_into(t, &mut self.delivered);
         if probe.enabled() {
             for kind in self.link.fault_events(t) {
                 probe.on_event(&Event::LinkFault { time: t, session: 0, kind });
             }
         }
-        let cstep: ClientStep = self.client.step_probed(t, &delivered, probe);
+        self.client
+            .step_into_probed(t, &self.delivered, &mut self.cstep, probe);
+        let cstep = &self.cstep;
         for played in &cstep.played {
             self.metrics.played_slices += 1;
             self.metrics.delivered_bytes += played.size;
@@ -270,8 +283,8 @@ impl Session {
             self.metrics.client_occupancy_max.max(cstep.peak_occupancy);
         SlotOutcome {
             sent,
-            server_occupancy: sstep.occupancy,
-            client_occupancy: cstep.occupancy,
+            server_occupancy: self.sstep.occupancy,
+            client_occupancy: self.cstep.occupancy,
         }
     }
 

@@ -2,7 +2,10 @@
 //! client buffer → playout, following the event order of Section 2.2.
 
 use rts_core::tradeoff::SmoothingParams;
-use rts_core::{Client, ClockDrift, DropPolicy, ResyncPolicy, Server};
+use rts_core::{
+    BufferBacking, Client, ClientStep, ClockDrift, DropPolicy, ResyncPolicy, SentChunk, Server,
+    ServerStep,
+};
 use rts_obs::{Event, NoopProbe, Probe};
 use rts_stream::{Bytes, InputStream, Time};
 
@@ -28,6 +31,10 @@ pub struct SimConfig {
     /// Deterministic client clock drift. `None` keeps the paper's
     /// synchronous slotted clock.
     pub drift: Option<ClockDrift>,
+    /// Server-buffer backing store. The default [`BufferBacking::Ring`]
+    /// is the fast path; [`BufferBacking::Map`] keeps the map-backed
+    /// reference for differential tests and ablation benchmarks.
+    pub backing: BufferBacking,
 }
 
 impl SimConfig {
@@ -38,6 +45,7 @@ impl SimConfig {
             client_capacity: None,
             resync: None,
             drift: None,
+            backing: BufferBacking::default(),
         }
     }
 
@@ -55,6 +63,13 @@ impl SimConfig {
     /// Returns the config with a client [`ClockDrift`] installed.
     pub fn with_drift(mut self, drift: ClockDrift) -> Self {
         self.drift = Some(drift);
+        self
+    }
+
+    /// Returns the config with the given server-buffer backing (the
+    /// differential tests pin [`BufferBacking::Map`] here).
+    pub fn with_backing(mut self, backing: BufferBacking) -> Self {
+        self.backing = backing;
         self
     }
 }
@@ -153,7 +168,7 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
     probe: &mut Pr,
 ) -> SimReport {
     let params = config.params;
-    let mut server = Server::new(params.buffer, params.rate, policy);
+    let mut server = Server::with_backing(params.buffer, params.rate, policy, config.backing);
     let mut client = Client::new(config.client_capacity(), params.delay, params.link_delay);
     if let Some(policy) = config.resync {
         client = client.with_resync(policy);
@@ -178,6 +193,10 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
     if let Some(drift) = config.drift {
         horizon = horizon.max(drift.wall_bound(horizon));
     }
+    // Typical schedules drain well before the horizon; reserving the
+    // drain-time estimate (not the full horizon) avoids reallocation in
+    // the common case without over-committing memory.
+    record.reserve_steps((last_arrival + params.delay + stream.total_bytes() / params.rate) as usize + 2);
 
     if probe.enabled() {
         probe.on_event(&Event::RunStart { time: 0, sessions: 1 });
@@ -185,6 +204,10 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
 
     let mut frames = stream.frames().iter().peekable();
     let mut t: Time = 0;
+    // Per-slot scratch, allocated once and reused across the whole run.
+    let mut sstep = ServerStep::default();
+    let mut cstep = ClientStep::default();
+    let mut delivered: Vec<SentChunk> = Vec::new();
     loop {
         // 1. Arrivals of this step enter the server.
         let arrivals: &[_] = match frames.peek() {
@@ -194,7 +217,7 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
             }
             _ => &[],
         };
-        let sstep = server.step_probed(t, arrivals, probe);
+        server.step_into_probed(t, arrivals, &mut sstep, probe);
         for d in &sstep.dropped {
             record.resolve(d.id, Fate::ServerDropped { time: t });
         }
@@ -204,7 +227,8 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
 
         // 2. The link carries the submitted bytes; deliveries of step t.
         link.submit(&sstep.sent);
-        let delivered = link.deliver(t);
+        delivered.clear();
+        link.deliver_into(t, &mut delivered);
         if probe.enabled() {
             for kind in link.fault_events(t) {
                 probe.on_event(&Event::LinkFault { time: t, session: 0, kind });
@@ -212,7 +236,7 @@ pub fn simulate_with_link_probed<P: DropPolicy, L: LinkModel, Pr: Probe>(
         }
 
         // 3. The client absorbs deliveries and plays frame t - P - D.
-        let cstep = client.step_probed(t, &delivered, probe);
+        client.step_into_probed(t, &delivered, &mut cstep, probe);
         for s in &cstep.played {
             record.resolve(s.id, Fate::Played { playout: t });
         }

@@ -24,6 +24,14 @@ pub trait LinkModel {
     /// Releases every chunk due at time `t`, preserving FIFO order.
     fn deliver(&mut self, t: Time) -> Vec<SentChunk>;
 
+    /// [`deliver`](Self::deliver) appending into a caller-held scratch
+    /// vector instead of allocating. The default forwards to `deliver`;
+    /// allocation-sensitive implementations should override it (the sim
+    /// engines call this in their per-slot loop).
+    fn deliver_into(&mut self, t: Time, out: &mut Vec<SentChunk>) {
+        out.extend(self.deliver(t));
+    }
+
     /// Bytes currently in flight.
     fn in_flight_bytes(&self) -> Bytes;
 
@@ -87,6 +95,11 @@ impl LinkModel for Link {
     /// order.
     fn deliver(&mut self, t: Time) -> Vec<SentChunk> {
         let mut out = Vec::new();
+        self.deliver_into(t, &mut out);
+        out
+    }
+
+    fn deliver_into(&mut self, t: Time, out: &mut Vec<SentChunk>) {
         while let Some(front) = self.in_flight.front() {
             if front.time + self.delay > t {
                 break;
@@ -101,7 +114,6 @@ impl LinkModel for Link {
             self.in_flight_bytes -= c.bytes;
             out.push(c);
         }
-        out
     }
 
     fn in_flight_bytes(&self) -> Bytes {

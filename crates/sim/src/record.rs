@@ -90,6 +90,17 @@ impl ScheduleRecord {
         }
     }
 
+    /// Reserves capacity for `n` more step samples. The engines call
+    /// this with a horizon-derived hint so the steady-state loop never
+    /// reallocates the step series; the hint is capped internally, so a
+    /// pathological horizon cannot balloon the reservation.
+    pub fn reserve_steps(&mut self, n: usize) {
+        // 1 Mi samples ≈ 48 MiB — far beyond any committed experiment,
+        // close enough to skip for the ones that do exceed it.
+        const CAP: usize = 1 << 20;
+        self.steps.reserve(n.min(CAP));
+    }
+
     /// All slice records, indexed by slice id.
     pub fn slices(&self) -> &[SliceRecord] {
         &self.slices

@@ -121,6 +121,7 @@ pub fn run_server_only_probed<P: DropPolicy, Pr: Probe>(
 
     let mut frames = stream.frames().iter().peekable();
     let mut t = 0;
+    let mut step = rts_core::ServerStep::default();
     while let Some(f) = frames.peek() {
         let arrivals: &[_] = if f.time == t {
             let f = frames.next().expect("peeked");
@@ -128,12 +129,12 @@ pub fn run_server_only_probed<P: DropPolicy, Pr: Probe>(
         } else {
             &[]
         };
-        let step = server.step_probed(t, arrivals, probe);
+        server.step_into_probed(t, arrivals, &mut step, probe);
         absorb(&mut run, &step, t, probe);
         t += 1;
     }
     while !server.is_drained() {
-        let step = server.step_probed(t, &[], probe);
+        server.step_into_probed(t, &[], &mut step, probe);
         absorb(&mut run, &step, t, probe);
         t += 1;
     }
@@ -184,6 +185,7 @@ pub fn run_server_with_rate_schedule<P: DropPolicy>(
     let mut changes = schedule.iter().copied().peekable();
     let mut frames = stream.frames().iter().peekable();
     let mut t = 0;
+    let mut step = rts_core::ServerStep::default();
     loop {
         while let Some(&(at, rate)) = changes.peek() {
             if at > t {
@@ -196,7 +198,7 @@ pub fn run_server_with_rate_schedule<P: DropPolicy>(
             Some(f) if f.time == t => &frames.next().expect("peeked").slices,
             _ => &[],
         };
-        let step = server.step(t, arrivals);
+        server.step_into(t, arrivals, &mut step);
         absorb(&mut run, &step);
         let arrivals_done = frames.peek().is_none();
         if arrivals_done && server.is_drained() && changes.peek().is_none() {

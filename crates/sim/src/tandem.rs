@@ -101,10 +101,9 @@ impl<P: DropPolicy> Relay<P> {
         }
     }
 
-    /// Absorbs upstream deliveries; returns the slices that completed
-    /// reassembly this step (in FIFO completion order).
-    fn absorb(&mut self, delivered: &[SentChunk]) -> Vec<Slice> {
-        let mut ready = Vec::new();
+    /// Absorbs upstream deliveries; appends the slices that completed
+    /// reassembly this step into `ready` (in FIFO completion order).
+    fn absorb_into(&mut self, delivered: &[SentChunk], ready: &mut Vec<Slice>) {
         for c in delivered {
             let entry = self.partial.entry(c.slice.id).or_insert((c.slice, 0));
             entry.1 += c.bytes;
@@ -116,7 +115,6 @@ impl<P: DropPolicy> Relay<P> {
             }
         }
         self.reassembly_peak = self.reassembly_peak.max(self.reassembly_bytes);
-        ready
     }
 }
 
@@ -254,6 +252,12 @@ where
 
     let mut frames = stream.frames().iter().peekable();
     let mut t: Time = 0;
+    // Per-slot scratch shared by every stage (stages run sequentially
+    // within a slot), allocated once for the whole run.
+    let mut step = rts_core::ServerStep::default();
+    let mut cstep = rts_core::ClientStep::default();
+    let mut delivered: Vec<SentChunk> = Vec::new();
+    let mut ready: Vec<Slice> = Vec::new();
     loop {
         let mut slot_sent: Bytes = 0;
 
@@ -262,10 +266,10 @@ where
             Some(f) if f.time == t => &frames.next().expect("peeked").slices,
             _ => &[],
         };
-        let step0 = origin.step_probed(t, arrivals, &mut Tagged::new(probe, 0));
-        report.hop_drops[0] += step0.dropped.len() as u64;
-        slot_sent += step0.sent_bytes();
-        links[0].submit(&step0.sent);
+        origin.step_into_probed(t, arrivals, &mut step, &mut Tagged::new(probe, 0));
+        report.hop_drops[0] += step.dropped.len() as u64;
+        slot_sent += step.sent_bytes();
+        links[0].submit(&step.sent);
         if probe.enabled() {
             for (hop, link) in links.iter().enumerate() {
                 for kind in link.fault_events(t) {
@@ -276,11 +280,13 @@ where
 
         // Relays: deliveries from the previous link, reassembly, send.
         for (i, relay) in relays.iter_mut().enumerate() {
-            let delivered = links[i].deliver(t);
-            let ready = relay.absorb(&delivered);
-            let step = relay
+            delivered.clear();
+            links[i].deliver_into(t, &mut delivered);
+            ready.clear();
+            relay.absorb_into(&delivered, &mut ready);
+            relay
                 .server
-                .step_probed(t, &ready, &mut Tagged::new(probe, i as u32 + 1));
+                .step_into_probed(t, &ready, &mut step, &mut Tagged::new(probe, i as u32 + 1));
             report.hop_drops[i + 1] += step.dropped.len() as u64;
             report.reassembly_peak[i + 1] = relay.reassembly_peak;
             slot_sent += step.sent_bytes();
@@ -291,19 +297,18 @@ where
         // its send time on the *last* link; the client's deadline check
         // uses the total link delay, so re-express the chunk as if it
         // had traversed one link of that total delay.
-        let delivered: Vec<SentChunk> = links
+        delivered.clear();
+        links
             .last_mut()
             .expect("non-empty")
-            .deliver(t)
-            .into_iter()
-            .map(|c| SentChunk {
-                time: t - total_link_delay.min(t),
-                ..c
-            })
-            .collect();
-        let cstep = client.step_probed(
+            .deliver_into(t, &mut delivered);
+        for c in &mut delivered {
+            c.time = t - total_link_delay.min(t);
+        }
+        client.step_into_probed(
             t,
             &delivered,
+            &mut cstep,
             &mut Tagged::new(probe, hops.len() as u32 - 1),
         );
         for s in &cstep.played {

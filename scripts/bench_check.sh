@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: reruns the hotpath suite (full mode) and
+# compares each benchmark's median against the committed baseline
+# BENCH_hotpath.json with a tolerance band (default 1.6x; override with
+# BENCH_TOLERANCE). Also enforces the ring-vs-map ablation floors
+# (baseline >= 1.5x, live run >= 1.3x). Medians are machine-relative,
+# so only large relative regressions fail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rts-bench --bin hotpath
+./target/release/hotpath --check "${1:-BENCH_hotpath.json}"

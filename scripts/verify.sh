@@ -9,4 +9,12 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --all-targets --workspace -- -D warnings
 
-echo "verify: build, tests, and clippy all clean"
+# The ring-vs-map differential test in release mode (10k-frame streams,
+# all four policies, both slicing modes) and a smoke pass of the
+# hotpath suite, so verification exercises the fast buffer path
+# end to end.
+cargo test -q --release --test buffer_diff
+./target/release/hotpath --smoke --out /tmp/BENCH_hotpath_smoke.json
+./target/release/hotpath --validate /tmp/BENCH_hotpath_smoke.json
+
+echo "verify: build, tests, clippy, buffer differential, and bench smoke all clean"
