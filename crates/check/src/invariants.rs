@@ -1,0 +1,440 @@
+//! The invariant library: the paper's guarantees as machine-checked
+//! predicates over generated instances.
+//!
+//! Each check binds one statement of the paper (or a structural model
+//! invariant) to an executable property:
+//!
+//! | check | binds |
+//! |---|---|
+//! | `conservation` | Definition 2.2 accounting: every offered byte is played or lost |
+//! | `fifo-order` | Section 3.1.1: the link is driven in FIFO order, no send before arrival |
+//! | `resource-bounds` | Lemmas 3.1–3.2: occupancy ≤ B, per-slot sends ≤ R |
+//! | `balanced-no-client-loss` | Lemmas 3.3–3.4: with `Bc = B = R·D` the client never drops |
+//! | `sojourn-constant` | Definition 2.5: every played slice's sojourn is exactly `P + D` |
+//! | `thm35-unit-loss` | Theorem 3.5: on unit slices the generic algorithm is loss-optimal for any policy |
+//! | `thm39-throughput-floor` | Theorem 3.9: throughput ≥ `(B − Lmax + 1)/B` of optimal |
+//! | `thm41-greedy-competitive` | Theorem 4.1: OPT ≤ `4B/(B − 2(Lmax − 1))` · Greedy |
+//! | `opt-dominates-online` | The offline optimum upper-bounds every online policy |
+//! | `planned-drops-optimal` | The optimal plan replays through the generic server exactly |
+//! | `resync-skew-bounded` | Fault model: resync skew ≤ `max_skew`, catch-up terminates, conservation holds |
+
+use rts_core::policy::{GreedyByteValue, TailDrop};
+use rts_core::PlannedDrops;
+use rts_faults::simulate_faulted_probed;
+use rts_obs::{Event, VecProbe};
+use rts_sim::{run_server_only, simulate, validate, SimConfig};
+use rts_stream::{InputStream, SliceSpec};
+
+use crate::engine::{run_property, CheckConfig, CheckStats, Failure, Verdict};
+use crate::gen::{FaultCase, GenProfile, SimCase};
+use crate::{Check, CheckKind};
+
+type CheckResult = Result<CheckStats, Box<Failure>>;
+
+/// The stream with every weight replaced by the slice's size, so the
+/// optimal *benefit* of the reweighted stream is the optimal
+/// *throughput* of the original.
+fn by_size(stream: &InputStream) -> InputStream {
+    let mut b = InputStream::builder();
+    for frame in stream.frames() {
+        b.frame(
+            frame.time,
+            frame.slices.iter().map(|s| SliceSpec {
+                size: s.size,
+                weight: s.size,
+                kind: s.kind,
+            }),
+        );
+    }
+    b.build()
+}
+
+fn conservation(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let report = simulate(&stream, SimConfig::new(case.params), case.policy.build());
+            let m = &report.metrics;
+            if m.played_bytes + m.lost_bytes() != m.offered_bytes {
+                return Verdict::fail(format!(
+                    "byte leak: played {} + lost {} != offered {}",
+                    m.played_bytes,
+                    m.lost_bytes(),
+                    m.offered_bytes
+                ));
+            }
+            let resolved = m.played_slices + m.server_dropped_slices + m.client_dropped_slices;
+            if resolved != stream.slice_count() as u64 {
+                return Verdict::fail(format!(
+                    "slice leak: {resolved} resolved of {}",
+                    stream.slice_count()
+                ));
+            }
+            if let Err(errs) = validate(&report) {
+                return Verdict::fail(format!("validator rejected: {}", errs.join("; ")));
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+fn fifo_order(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let report = simulate(&stream, SimConfig::new(case.params), case.policy.build());
+            let mut last_first = 0;
+            let mut last_last = 0;
+            for rec in report.record.slices() {
+                if let Some(first) = rec.first_send {
+                    if first < rec.slice.arrival {
+                        return Verdict::fail(format!(
+                            "slice {} sent at {first} before arrival {}",
+                            rec.slice.id, rec.slice.arrival
+                        ));
+                    }
+                    if first < last_first {
+                        return Verdict::fail(format!(
+                            "FIFO violated: slice {} first-sent at {first} after a later id sent at {last_first}",
+                            rec.slice.id
+                        ));
+                    }
+                    last_first = first;
+                }
+                if let Some(last) = rec.last_send {
+                    if last < last_last {
+                        return Verdict::fail(format!(
+                            "FIFO violated: slice {} completed at {last} after a later id completed at {last_last}",
+                            rec.slice.id
+                        ));
+                    }
+                    last_last = last;
+                }
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+fn resource_bounds(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let report = simulate(&stream, SimConfig::new(case.params), case.policy.build());
+            for step in report.record.steps() {
+                if step.server_occupancy > case.params.buffer {
+                    return Verdict::fail(format!(
+                        "occupancy {} > B {} at t={}",
+                        step.server_occupancy, case.params.buffer, step.time
+                    ));
+                }
+                if step.sent_bytes > case.params.rate {
+                    return Verdict::fail(format!(
+                        "link driven at {} > R {} at t={}",
+                        step.sent_bytes, case.params.rate, step.time
+                    ));
+                }
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+fn balanced_no_client_loss(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_balanced(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let report = simulate(&stream, SimConfig::new(case.params), case.policy.build());
+            let m = &report.metrics;
+            if m.client_dropped_slices != 0 {
+                return Verdict::fail(format!(
+                    "balanced config dropped {} slices at the client ({:?})",
+                    m.client_dropped_slices, m.client_drop_reasons
+                ));
+            }
+            if m.client_occupancy_max > case.params.buffer {
+                return Verdict::fail(format!(
+                    "client occupancy {} > B {}",
+                    m.client_occupancy_max, case.params.buffer
+                ));
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+fn sojourn_constant(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_balanced(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let report = simulate(&stream, SimConfig::new(case.params), case.policy.build());
+            let latency = case.params.delay + case.params.link_delay;
+            for (rec, playout) in report.record.played() {
+                if playout - rec.slice.arrival != latency {
+                    return Verdict::fail(format!(
+                        "slice {} sojourn {} != P + D = {latency}",
+                        rec.slice.id,
+                        playout - rec.slice.arrival
+                    ));
+                }
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+fn thm35_unit_loss(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::unit()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let (b, r) = (case.params.buffer, case.params.rate);
+            let online = run_server_only(&stream, b, r, case.policy.build()).throughput;
+            let opt = rts_offline::optimal_unit_throughput(&stream, b, r)
+                .expect("unit profile generates unit slices");
+            Verdict::ensure(online == opt, || {
+                format!(
+                    "policy {} delivered {online} of the optimal {opt} unit slices (Theorem 3.5 \
+                     says any pushout policy is loss-optimal)",
+                    case.policy.name()
+                )
+            })
+        },
+    )
+}
+
+fn thm39_throughput_floor(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::small()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let (b, r) = (case.params.buffer, case.params.rate);
+            let lmax = case.stream.lmax();
+            let Some((num, den)) = rts_core::bounds::throughput_guarantee(b, lmax) else {
+                return Verdict::Discard; // bound undefined (B = 0 or Lmax > B)
+            };
+            let online = run_server_only(&stream, b, r, case.policy.build()).throughput;
+            let opt = rts_offline::optimal_mixed_benefit(&by_size(&stream), b, r);
+            // online / opt >= num / den, in integers.
+            Verdict::ensure(online * den >= opt * num, || {
+                format!(
+                    "throughput {online} < ({num}/{den}) x optimal {opt} \
+                     (B={b}, Lmax={lmax}; Theorem 3.9 floor violated)"
+                )
+            })
+        },
+    )
+}
+
+fn thm41_greedy_competitive(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        // Half the cases probe the whole parameter space; the other
+        // half sit in the theorem's stress regime (overloaded unit-rate
+        // link, bimodal byte values), where the bound is tight enough
+        // for a mis-sorted Greedy heap to actually violate it.
+        |rng| {
+            if rng.chance(0.5) {
+                SimCase::gen_any(rng, &GenProfile::small())
+            } else {
+                SimCase::gen_greedy_stress(rng)
+            }
+        },
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let (b, r) = (case.params.buffer, case.params.rate);
+            let lmax = case.stream.lmax();
+            let Some((num, den)) = rts_core::bounds::greedy_upper_bound(b, lmax) else {
+                return Verdict::Discard; // bound undefined (B ≤ 2(Lmax − 1))
+            };
+            let greedy = run_server_only(&stream, b, r, GreedyByteValue::new()).benefit;
+            let opt = rts_offline::optimal_mixed_benefit(&stream, b, r);
+            // opt / greedy <= num / den, in integers.
+            Verdict::ensure(opt * den <= greedy * num, || {
+                format!(
+                    "OPT {opt} > ({num}/{den}) x Greedy {greedy} \
+                     (B={b}, Lmax={lmax}; Theorem 4.1 bound violated)"
+                )
+            })
+        },
+    )
+}
+
+fn opt_dominates_online(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::unit()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let (b, r) = (case.params.buffer, case.params.rate);
+            let opt = rts_offline::optimal_unit_benefit(&stream, b, r)
+                .expect("unit profile generates unit slices");
+            let greedy = run_server_only(&stream, b, r, GreedyByteValue::new()).benefit;
+            let tail = run_server_only(&stream, b, r, TailDrop::new()).benefit;
+            Verdict::ensure(opt >= greedy && opt >= tail, || {
+                format!("OPT {opt} beaten by an online policy (greedy {greedy}, tail {tail})")
+            })
+        },
+    )
+}
+
+fn planned_drops_optimal(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| SimCase::gen_any(rng, &GenProfile::unit()),
+        SimCase::shrink,
+        SimCase::describe,
+        |case| {
+            let stream = case.stream.stream();
+            let (b, r) = (case.params.buffer, case.params.rate);
+            let (opt, rejected) = rts_offline::optimal_unit_plan(&stream, b, r)
+                .expect("unit profile generates unit slices");
+            let replay = run_server_only(&stream, b, r, PlannedDrops::new(rejected));
+            Verdict::ensure(replay.benefit == opt, || {
+                format!(
+                    "replaying the optimal plan achieved {} of the planned optimum {opt}",
+                    replay.benefit
+                )
+            })
+        },
+    )
+}
+
+fn resync_skew_bounded(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        |rng| FaultCase::gen(rng, &GenProfile::small()),
+        FaultCase::shrink,
+        FaultCase::describe,
+        |case| {
+            let stream = case.sim.stream.stream();
+            let config = SimConfig::new(case.sim.params).with_resync(case.resync_policy());
+            let mut probe = VecProbe::new();
+            let report = simulate_faulted_probed(
+                &stream,
+                config,
+                case.plan(),
+                case.sim.policy.build(),
+                &mut probe,
+            );
+            let max_skew = case.resync.0;
+            for ev in &probe.events {
+                if let Event::ClientResync { time, skew, .. } = ev {
+                    if *skew > max_skew {
+                        return Verdict::fail(format!(
+                            "resync at t={time} absorbed skew {skew} > max_skew {max_skew}"
+                        ));
+                    }
+                }
+            }
+            // The run returned, so catch-up terminated within the
+            // engine's drain horizon; conservation must still hold.
+            if let Err(e) = report.metrics.check_conservation() {
+                return Verdict::fail(format!("conservation broken under faults: {e}"));
+            }
+            Verdict::Pass
+        },
+    )
+}
+
+/// The invariant checks, in catalog order.
+pub fn checks() -> Vec<Check> {
+    vec![
+        Check {
+            name: "conservation",
+            binds: "Definition 2.2: every offered byte is played or lost; validator accepts",
+            kind: CheckKind::Invariant,
+            run: conservation,
+        },
+        Check {
+            name: "fifo-order",
+            binds: "Section 3.1.1: FIFO link order, no send before arrival",
+            kind: CheckKind::Invariant,
+            run: fifo_order,
+        },
+        Check {
+            name: "resource-bounds",
+            binds: "Lemmas 3.1-3.2: occupancy <= B, per-slot sends <= R",
+            kind: CheckKind::Invariant,
+            run: resource_bounds,
+        },
+        Check {
+            name: "balanced-no-client-loss",
+            binds: "Lemmas 3.3-3.4: with Bc = B = R*D the client never drops",
+            kind: CheckKind::Invariant,
+            run: balanced_no_client_loss,
+        },
+        Check {
+            name: "sojourn-constant",
+            binds: "Definition 2.5: played slices have sojourn exactly P + D",
+            kind: CheckKind::Invariant,
+            run: sojourn_constant,
+        },
+        Check {
+            name: "thm35-unit-loss",
+            binds: "Theorem 3.5: unit-slice loss-optimality of any pushout policy",
+            kind: CheckKind::Invariant,
+            run: thm35_unit_loss,
+        },
+        Check {
+            name: "thm39-throughput-floor",
+            binds: "Theorem 3.9: throughput >= (B - Lmax + 1)/B of optimal",
+            kind: CheckKind::Invariant,
+            run: thm39_throughput_floor,
+        },
+        Check {
+            name: "thm41-greedy-competitive",
+            binds: "Theorem 4.1: OPT <= 4B/(B - 2(Lmax - 1)) x Greedy",
+            kind: CheckKind::Invariant,
+            run: thm41_greedy_competitive,
+        },
+        Check {
+            name: "opt-dominates-online",
+            binds: "OPT is an upper bound over all schedules",
+            kind: CheckKind::Invariant,
+            run: opt_dominates_online,
+        },
+        Check {
+            name: "planned-drops-optimal",
+            binds: "optimal_unit_plan replays through the generic server exactly",
+            kind: CheckKind::Invariant,
+            run: planned_drops_optimal,
+        },
+        Check {
+            name: "resync-skew-bounded",
+            binds: "Fault model: resync skew <= max_skew, catch-up terminates, conservation holds",
+            kind: CheckKind::Invariant,
+            run: resync_skew_bounded,
+        },
+    ]
+}

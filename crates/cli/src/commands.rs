@@ -39,6 +39,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "mux" => mux_cmd(args),
         "obs" => obs_cmd(args),
         "frontier" => frontier(args),
+        "check" => check_cmd(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown subcommand '{other}' (try 'smoothctl help')"
@@ -660,6 +661,52 @@ fn frontier(args: &Args) -> Result<String, CliError> {
         );
     }
     Ok(out)
+}
+
+/// Parses a seed that may be decimal or `0x`-prefixed hex (the form the
+/// failure reports print).
+fn parse_seed(what: &str, v: &str) -> Result<u64, CliError> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse::<u64>(),
+    };
+    parsed.map_err(|_| CliError::usage(format!("{what}: cannot parse seed {v:?}")))
+}
+
+fn check_cmd(args: &Args) -> Result<String, CliError> {
+    if args.positional(0, "").map(|p| p == "list").unwrap_or(false) {
+        return Ok(rts_check::list_checks());
+    }
+    let cases: u64 = args.opt_or("cases", 100)?;
+    let seed: u64 = args.opt_or("seed", 1)?;
+    let filter = args.opt("filter");
+    // Replay mode: --case-seed wins, else the CHECK_SEED environment
+    // variable (the exact form a failure report prints).
+    let case_seed = match args.opt("case-seed") {
+        Some(v) => Some(parse_seed("--case-seed", v)?),
+        None => match std::env::var("CHECK_SEED") {
+            Ok(v) => Some(parse_seed("CHECK_SEED", &v)?),
+            Err(_) => None,
+        },
+    };
+    if case_seed.is_some() && filter.is_none() {
+        return Err(CliError::usage(
+            "replaying a CHECK_SEED needs --filter NAME (the failing check)",
+        ));
+    }
+    let mut cfg = rts_check::CheckConfig::new(cases, seed);
+    if let Some(s) = case_seed {
+        cfg = cfg.with_case_seed(s);
+    }
+    let report = rts_check::run_checks(&cfg, filter);
+    if report.ok() {
+        Ok(report.text)
+    } else {
+        Err(CliError::Check {
+            failed: report.failed.len(),
+            report: report.text,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,14 @@ pub enum CliError {
         /// The underlying error (I/O or malformed line).
         source: rts_obs::ReplayError,
     },
+    /// One or more `smoothctl check` properties failed; the report
+    /// carries the shrunk reproducers and their `CHECK_SEED`s.
+    Check {
+        /// The full deterministic check report.
+        report: String,
+        /// Number of failed checks.
+        failed: usize,
+    },
 }
 
 impl CliError {
@@ -64,6 +72,9 @@ impl fmt::Display for CliError {
             CliError::Events { path, source } => {
                 write!(f, "cannot replay event trace {path}: {source}")
             }
+            CliError::Check { report, failed } => {
+                write!(f, "{} check(s) failed\n{}", failed, report.trim_end())
+            }
         }
     }
 }
@@ -74,7 +85,7 @@ impl Error for CliError {
             CliError::Io { source, .. } => Some(source),
             CliError::Trace(e) => Some(e),
             CliError::Events { source, .. } => Some(source),
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Check { .. } => None,
         }
     }
 }

@@ -13,7 +13,9 @@
 //!   compare schedulers and drop policies against dedicated links;
 //! * `obs` — replay a `--trace-out` JSONL event trace through the
 //!   streaming collector and print its summary;
-//! * `frontier` — the lossless rate–delay frontier of a trace.
+//! * `frontier` — the lossless rate–delay frontier of a trace;
+//! * `check` — run the rts-check property catalog (theorem-bound
+//!   invariants and differential oracles) with seed replay.
 //!
 //! Every command is a pure function from parsed arguments to an output
 //! string (errors are typed), so the whole surface is unit-tested; the
@@ -61,6 +63,13 @@ USAGE:
             (replay a --trace-out event trace and print the streaming
             summary: counts, drops by site/reason, quantiles)
   smoothctl frontier FILE [--delays 0,1,2,4,8,...]
+  smoothctl check [--cases N] [--seed S] [--filter NAME]
+            [--case-seed CHECK_SEED]
+            (run the rts-check property catalog: paper-theorem
+            invariants and differential oracles; 'smoothctl check list'
+            prints the catalog. A failure prints a shrunk reproducer and
+            a CHECK_SEED; rerun with --case-seed (or the CHECK_SEED
+            environment variable) and --filter NAME to replay it)
   smoothctl help
 
 Traces use the plain-text format of rts-stream (see its docs).

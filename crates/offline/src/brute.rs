@@ -10,25 +10,42 @@ use std::collections::HashSet;
 
 use rts_stream::{Bytes, InputStream, SliceId, Weight};
 
+use crate::error::OfflineError;
 use crate::feasible::is_feasible_subset;
 
 /// Maximum subsets size (in slices) the brute force accepts; beyond this
 /// the enumeration is too expensive to be useful.
 pub const MAX_BRUTE_SLICES: usize = 22;
 
-/// Computes the exact optimal benefit by subset enumeration.
+/// Computes the exact optimal benefit by subset enumeration, rejecting
+/// instances whose enumeration would blow up.
+///
+/// A stream of `n` slices costs `2^n` feasibility simulations; past
+/// [`MAX_BRUTE_SLICES`] that silently turns into hours, so the oracle
+/// refuses with [`OfflineError::BruteTooLarge`] instead of running —
+/// callers generating random instances (the `rts-check` differential
+/// oracles) can then discard rather than hang.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::BruteTooLarge`] if the stream has more than
+/// [`MAX_BRUTE_SLICES`] slices.
 ///
 /// # Panics
 ///
-/// Panics if the stream has more than [`MAX_BRUTE_SLICES`] slices or if
-/// `rate == 0`.
-pub fn optimal_brute_force(stream: &InputStream, buffer: Bytes, rate: Bytes) -> Weight {
+/// Panics if `rate == 0`.
+pub fn try_optimal_brute_force(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<Weight, OfflineError> {
     let slices: Vec<_> = stream.slices().copied().collect();
-    assert!(
-        slices.len() <= MAX_BRUTE_SLICES,
-        "brute force limited to {MAX_BRUTE_SLICES} slices, got {}",
-        slices.len()
-    );
+    if slices.len() > MAX_BRUTE_SLICES {
+        return Err(OfflineError::BruteTooLarge {
+            slices: slices.len(),
+            max: MAX_BRUTE_SLICES,
+        });
+    }
     assert!(rate > 0, "link rate must be positive");
 
     let n = slices.len();
@@ -49,7 +66,21 @@ pub fn optimal_brute_force(stream: &InputStream, buffer: Bytes, rate: Bytes) -> 
             best = weight;
         }
     }
-    best
+    Ok(best)
+}
+
+/// Computes the exact optimal benefit by subset enumeration.
+///
+/// # Panics
+///
+/// Panics if the stream has more than [`MAX_BRUTE_SLICES`] slices or if
+/// `rate == 0`. Use [`try_optimal_brute_force`] to get a typed
+/// [`OfflineError::BruteTooLarge`] instead of the panic.
+pub fn optimal_brute_force(stream: &InputStream, buffer: Bytes, rate: Bytes) -> Weight {
+    match try_optimal_brute_force(stream, buffer, rate) {
+        Ok(best) => best,
+        Err(e) => panic!("brute force limited to {MAX_BRUTE_SLICES} slices: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +130,24 @@ mod tests {
     fn refuses_large_instances() {
         let s = InputStream::from_frames([vec![SliceSpec::unit(); MAX_BRUTE_SLICES + 1]]);
         optimal_brute_force(&s, 1, 1);
+    }
+
+    #[test]
+    fn too_large_is_a_typed_error_not_a_hang() {
+        // Regression: above the enumeration ceiling the fallible entry
+        // point must return immediately with the typed refusal (2^23+
+        // feasibility simulations would otherwise run "forever").
+        let s = InputStream::from_frames([vec![SliceSpec::unit(); MAX_BRUTE_SLICES + 1]]);
+        let err = try_optimal_brute_force(&s, 1, 1).unwrap_err();
+        assert_eq!(
+            err,
+            OfflineError::BruteTooLarge {
+                slices: MAX_BRUTE_SLICES + 1,
+                max: MAX_BRUTE_SLICES,
+            }
+        );
+        // At the ceiling itself the oracle still answers.
+        let ok = InputStream::from_frames([vec![SliceSpec::unit(); 3]]);
+        assert_eq!(try_optimal_brute_force(&ok, 1, 1), Ok(2));
     }
 }

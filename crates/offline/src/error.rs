@@ -21,6 +21,15 @@ pub enum OfflineError {
         /// How many slices it carries.
         slices: usize,
     },
+    /// The brute-force oracle's subset enumeration would blow up: the
+    /// instance has more slices than
+    /// [`MAX_BRUTE_SLICES`](crate::MAX_BRUTE_SLICES).
+    BruteTooLarge {
+        /// Number of slices in the instance.
+        slices: usize,
+        /// The enumeration ceiling.
+        max: usize,
+    },
 }
 
 impl fmt::Display for OfflineError {
@@ -35,6 +44,10 @@ impl fmt::Display for OfflineError {
             OfflineError::NotWholeFrame { time, slices } => write!(
                 f,
                 "frame at time {time} has {slices} slices; the frame optimum requires at most 1"
+            ),
+            OfflineError::BruteTooLarge { slices, max } => write!(
+                f,
+                "instance has {slices} slices; brute-force enumeration is limited to {max}"
             ),
         }
     }
@@ -58,6 +71,12 @@ mod tests {
         );
         let e = OfflineError::NotWholeFrame { time: 2, slices: 4 };
         assert!(e.to_string().contains("frame at time 2 has 4 slices"));
+        let e = OfflineError::BruteTooLarge {
+            slices: 30,
+            max: 22,
+        };
+        assert!(e.to_string().contains("30 slices"));
+        assert!(e.to_string().contains("limited to 22"));
     }
 
     #[test]

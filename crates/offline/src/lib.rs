@@ -46,7 +46,7 @@ pub mod lossless;
 mod mixed;
 mod unit;
 
-pub use brute::{optimal_brute_force, MAX_BRUTE_SLICES};
+pub use brute::{optimal_brute_force, try_optimal_brute_force, MAX_BRUTE_SLICES};
 pub use error::OfflineError;
 pub use framedp::{optimal_frame_benefit, optimal_frame_plan};
 pub use lossless::{min_lossless_delay, min_lossless_rate, peak_rate, rate_delay_frontier};

@@ -338,4 +338,72 @@ mod tests {
         let err = parse_frame_sizes("ok\nI 1\nbogus line").unwrap_err();
         assert!(matches!(err, StreamError::Parse { line: 1, .. }));
     }
+
+    #[test]
+    fn empty_inputs_parse_to_the_empty_stream() {
+        // Every flavour of "nothing": no bytes, newlines only, CRLF
+        // only, comments only, and whitespace with a BOM.
+        for text in ["", "\n", "\r\n\r\n", "# only a comment\n", "\u{feff}\r\n# hi\r\n", "   \n\t\n"] {
+            let s = parse_stream(text)
+                .unwrap_or_else(|e| panic!("empty-ish input {text:?} rejected: {e}"));
+            assert_eq!(s, InputStream::builder().build(), "input {text:?}");
+            assert_eq!(s.slice_count(), 0);
+        }
+    }
+
+    #[test]
+    fn single_slice_frames_roundtrip() {
+        // The whole-frame slicing extreme: exactly one slice per frame.
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::new(4, 9, FrameKind::I)]);
+        b.frame(1, [SliceSpec::new(1, 1, FrameKind::B)]);
+        b.frame(5, [SliceSpec::new(7, 0, FrameKind::P)]);
+        let s = b.build();
+        let back = parse_stream(&write_stream(&s)).unwrap();
+        assert_eq!(back, s);
+        assert!(back.frames().iter().all(|f| f.slices.len() == 1));
+        // The time gap (frame 1 -> frame 5) survives the trip.
+        assert_eq!(back.frames()[2].time, 5);
+    }
+
+    #[test]
+    fn empty_frames_survive_the_roundtrip() {
+        // A frame line with no following slices is a real (idle) frame,
+        // not a parse artifact, and must not be collapsed.
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::new(1, 1, FrameKind::Generic)]);
+        b.frame(3, std::iter::empty::<SliceSpec>());
+        b.frame(4, [SliceSpec::new(2, 2, FrameKind::Generic)]);
+        let s = b.build();
+        let back = parse_stream(&write_stream(&s)).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.frames().len(), 3);
+        assert!(back.frames()[1].slices.is_empty());
+    }
+
+    #[test]
+    fn maximal_slices_roundtrip_without_overflow() {
+        // Lmax at the representation ceiling: u64::MAX sizes, weights,
+        // and frame times must print and re-parse exactly.
+        let mut b = InputStream::builder();
+        b.frame(0, [SliceSpec::new(u64::MAX, u64::MAX, FrameKind::I)]);
+        b.frame(u64::MAX, [SliceSpec::new(1, 0, FrameKind::Generic)]);
+        let s = b.build();
+        let back = parse_stream(&write_stream(&s)).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.frames()[0].slices[0].size, u64::MAX);
+        assert_eq!(back.frames()[1].time, u64::MAX);
+        // One past u64::MAX is a parse error, not a silent wrap.
+        assert!(parse_stream("frame 0\nslice 18446744073709551616 1 G\n").is_err());
+    }
+
+    #[test]
+    fn frame_sizes_empty_inputs() {
+        for text in ["", "\r\n", "\u{feff}# nothing\n"] {
+            let t = parse_frame_sizes(text)
+                .unwrap_or_else(|e| panic!("empty-ish sizes {text:?} rejected: {e}"));
+            assert_eq!(t.frames().len(), 0, "input {text:?}");
+            assert_eq!(t.total_bytes(), 0);
+        }
+    }
 }

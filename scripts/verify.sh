@@ -17,4 +17,12 @@ cargo test -q --release --test buffer_diff
 ./target/release/hotpath --smoke --out /tmp/BENCH_hotpath_smoke.json
 ./target/release/hotpath --validate /tmp/BENCH_hotpath_smoke.json
 
-echo "verify: build, tests, clippy, buffer differential, and bench smoke all clean"
+# The property/fuzz catalog (rts-check): theorem-bound invariants and
+# differential oracles with shrinking and CHECK_SEED replay. Run twice
+# and compare byte-for-byte — the report must be a pure function of
+# (cases, seed).
+./target/release/smoothctl check --cases 200 --seed 1 > /tmp/rts_check_a.txt
+./target/release/smoothctl check --cases 200 --seed 1 > /tmp/rts_check_b.txt
+cmp /tmp/rts_check_a.txt /tmp/rts_check_b.txt
+
+echo "verify: build, tests, clippy, buffer differential, bench smoke, and check catalog all clean"

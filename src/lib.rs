@@ -71,7 +71,7 @@ pub use rts_mux::{
 pub use rts_offline::{
     min_lossless_delay, min_lossless_rate, optimal_brute_force, optimal_frame_benefit,
     optimal_frame_plan, optimal_mixed_benefit, optimal_mixed_plan, optimal_unit_benefit,
-    optimal_unit_plan, optimal_unit_throughput, peak_rate,
+    optimal_unit_plan, optimal_unit_throughput, peak_rate, try_optimal_brute_force,
 };
 pub use rts_sim::{
     parallel_map, run_server_only, simulate, simulate_tandem, simulate_with_link, validate,

@@ -8,7 +8,7 @@ use realtime_smoothing::{
 };
 use rts_sim::{simulate_tandem, simulate_tandem_with_links, HopConfig, Link};
 use rts_faults::simulate_faulted_probed;
-use rts_obs::VecProbe;
+use rts_obs::{Event, VecProbe};
 use rts_stream::gen::{MpegConfig, MpegSource};
 use rts_stream::slicing::Slicing;
 use rts_stream::weight::WeightAssignment;
@@ -227,4 +227,154 @@ fn mux_sessions_fail_independently_under_per_session_plans() {
     assert_eq!(faulted.sessions[0].delivered_bytes, clean.sessions[0].delivered_bytes);
     assert_eq!(faulted.sessions[2].delivered_bytes, clean.sessions[2].delivered_bytes);
     assert!(faulted.sessions[1].delivered_bytes <= clean.sessions[1].delivered_bytes);
+}
+
+/// ResyncPolicy x ClockDrift interaction: a fast client clock makes
+/// deadlines slip repeatedly, and every slip the resync policy absorbs
+/// must be within `max_skew` — across drift directions, periods, and
+/// catch-up rates, with and without a concurrent outage.
+#[test]
+fn resync_skews_stay_bounded_under_clock_drift() {
+    let stream = mpeg_stream(13, 120);
+    let config = roomy_config_for(&stream);
+    // (spec, max_skew, catchup, drift direction makes deadlines slip?)
+    let matrix = [
+        ("drift@0+1/5", 4, 1, true),
+        ("drift@0+1/3", 9, 2, true),
+        ("drift@10-1/4", 6, 1, false),
+        ("drift@0+1/4,outage@30..40", 15, 3, true),
+    ];
+    for (spec, max_skew, catchup, slips) in matrix {
+        let plan = FaultPlan::parse(spec, 42).unwrap();
+        let mut probe = VecProbe::new();
+        let report = simulate_faulted_probed(
+            &stream,
+            config.with_resync(ResyncPolicy::new(max_skew, catchup)),
+            plan,
+            TailDrop::new(),
+            &mut probe,
+        );
+        let skews: Vec<u64> = probe
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                Event::ClientResync { skew, .. } => Some(*skew),
+                _ => None,
+            })
+            .collect();
+        if slips {
+            assert!(
+                !skews.is_empty(),
+                "{spec}: a fast clock must force timer re-anchors"
+            );
+        }
+        for &skew in &skews {
+            assert!(
+                skew <= max_skew,
+                "{spec}: absorbed skew {skew} > max_skew {max_skew}"
+            );
+        }
+        report
+            .metrics
+            .check_conservation()
+            .unwrap_or_else(|e| panic!("{spec}: conservation under drift+resync: {e}"));
+        assert_eq!(
+            report.metrics.residual_bytes, 0,
+            "{spec}: catch-up must terminate so the run drains"
+        );
+    }
+}
+
+/// Catch-up terminates: after one absorbed skew the re-anchor offset is
+/// clawed back at `catchup` slots per step, reaching zero, and later
+/// on-time slices play strictly at their original deadlines again.
+#[test]
+fn resync_catchup_recovers_the_timer_offset() {
+    use rts_core::{Client, SentChunk};
+    use rts_stream::{FrameKind, Slice, SliceId};
+
+    let unit = |id: u64, arrival: u64| Slice {
+        id: SliceId(id),
+        frame: id,
+        arrival,
+        size: 1,
+        weight: 1,
+        kind: FrameKind::Generic,
+    };
+    let chunk = |time: u64, slice: Slice| SentChunk {
+        time,
+        slice,
+        bytes: 1,
+        completed: true,
+    };
+
+    let mut client = Client::new(100, 3, 0).with_resync(ResyncPolicy::new(5, 1));
+    // Slice 0: deadline 3, delivered at 5 -> skew 2 absorbed.
+    for t in 0..5 {
+        assert!(client.step(t, &[]).resyncs.is_empty());
+    }
+    let st = client.step(5, &[chunk(5, unit(0, 0))]);
+    assert_eq!(st.resyncs, vec![2], "the slip must be absorbed, not dropped");
+    assert_eq!(st.played.len(), 1, "the late slice still plays");
+
+    // The offset decays by catchup = 1 per step and never rebounds.
+    let mut offsets = vec![client.resync_offset()];
+    for t in 6..10 {
+        client.step(t, &[]);
+        offsets.push(client.resync_offset());
+    }
+    assert!(
+        offsets.windows(2).all(|w| w[1] <= w[0]),
+        "offset must decay monotonically: {offsets:?}"
+    );
+    assert_eq!(
+        client.resync_offset(),
+        0,
+        "catch-up must fully recover the offset: {offsets:?}"
+    );
+
+    // A later on-time slice plays exactly at its own deadline again.
+    let late = unit(1, 20);
+    client.step(20, &[chunk(20, late)]);
+    for t in 21..23 {
+        assert!(client.step(t, &[]).played.is_empty(), "t={t}: too early");
+    }
+    let st = client.step(23, &[]);
+    assert_eq!(
+        st.played.len(),
+        1,
+        "after recovery the original timetable holds"
+    );
+    assert!(client.is_drained());
+}
+
+/// Drift and resync interact with the catch-up rate: a faster catch-up
+/// never plays fewer bytes than a slower one under the same fast-clock
+/// drift (it merely trades latency back sooner), and both stay within
+/// the no-drift ideal.
+#[test]
+fn faster_catchup_never_costs_playout_under_drift() {
+    let stream = mpeg_stream(29, 120);
+    let config = roomy_config_for(&stream);
+    let plan = || FaultPlan::parse("drift@0+1/4", 8).unwrap();
+    let ideal = simulate(&stream, config, TailDrop::new());
+    let mut played = Vec::new();
+    for catchup in [1, 2, 4] {
+        let report = simulate_faulted(
+            &stream,
+            config.with_resync(ResyncPolicy::new(10, catchup)),
+            plan(),
+            TailDrop::new(),
+        );
+        report.metrics.check_conservation().unwrap();
+        assert!(
+            report.metrics.played_bytes <= ideal.metrics.played_bytes,
+            "catchup {catchup}: drift cannot beat the no-drift ideal"
+        );
+        played.push(report.metrics.played_bytes);
+    }
+    assert!(
+        played.windows(2).all(|w| w[1] >= w[0]),
+        "played bytes must not regress as catch-up accelerates: {played:?}"
+    );
 }

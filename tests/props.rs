@@ -1,269 +1,191 @@
-//! Randomized property tests over the whole stack: random streams,
-//! random parameters, and the model invariants that must hold for every
-//! one of them.
+//! Randomized property tests over the whole stack, driven by the
+//! rts-check catalog (`crates/check`).
 //!
-//! Cases are generated with the workspace's own deterministic
-//! [`SplitMix64`] PRNG (no external test-framework dependency, so the
-//! suite runs offline). Every assertion message carries the case index;
-//! reproduce a failure by re-running the test — the sequence is fixed.
+//! Each test runs one named check from the catalog — the same checks
+//! `smoothctl check` and the CI fuzz-smoke job run. On a failure the
+//! harness shrinks the counterexample and the assertion message carries
+//! a minimal reproducer plus a `CHECK_SEED`; replay it with
+//!
+//! ```text
+//! CHECK_SEED=0x... smoothctl check --filter <name>
+//! ```
+//!
+//! Cases are generated with the workspace's own deterministic SplitMix64
+//! PRNG (no external test-framework dependency, so the suite runs
+//! offline and every run sees the same cases).
 
-use realtime_smoothing::{
-    optimal_unit_benefit, simulate, validate, GreedyByteValue, InputStream, SimConfig, SliceSpec,
-    SmoothingParams, TailDrop,
-};
-use rts_sim::run_server_only;
-use rts_stream::rng::SplitMix64;
-use rts_stream::textio;
-use rts_stream::FrameKind;
+use rts_check::{all_checks, run_checks, CheckConfig};
 
 const CASES: u64 = 64;
+const SEED: u64 = 0x5eed;
 
-fn kind(rng: &mut SplitMix64) -> FrameKind {
-    match rng.range_u64(0, 3) {
-        0 => FrameKind::I,
-        1 => FrameKind::P,
-        2 => FrameKind::B,
-        _ => FrameKind::Generic,
+/// Runs one catalog check by exact name and asserts it passes, printing
+/// the shrunk reproducer report on failure.
+fn check(name: &str) {
+    let cfg = CheckConfig::new(CASES, SEED);
+    let selected: Vec<_> = all_checks().into_iter().filter(|c| c.name == name).collect();
+    assert_eq!(selected.len(), 1, "no catalog check named {name:?}");
+    match (selected[0].run)(&cfg) {
+        Ok(stats) => assert!(
+            stats.passed > 0,
+            "{name}: every case was discarded ({} discards)",
+            stats.discarded
+        ),
+        Err(failure) => panic!(
+            "{name} failed:\n{}",
+            failure
+                .to_string()
+                .replace("--filter <name>", &format!("--filter {name}"))
+        ),
     }
 }
 
-/// A random stream as per-frame lists of (size, weight, kind).
-fn random_stream(
-    rng: &mut SplitMix64,
-    max_steps: u64,
-    max_per_step: u64,
-    max_size: u64,
-) -> InputStream {
-    let steps = rng.range_u64(1, max_steps);
-    let frames: Vec<Vec<SliceSpec>> = (0..steps)
-        .map(|_| {
-            let n = rng.range_u64(0, max_per_step);
-            (0..n)
-                .map(|_| {
-                    SliceSpec::new(
-                        rng.range_u64(1, max_size),
-                        rng.range_u64(0, 49),
-                        kind(rng),
-                    )
-                })
-                .collect()
-        })
-        .collect();
-    InputStream::from_frames(frames)
-}
+// ------------------------------------------------------------------
+// Invariants: the paper's bounds as predicates over generated runs.
+// ------------------------------------------------------------------
 
-/// Unit-size slices only.
-fn random_unit_stream(rng: &mut SplitMix64, max_steps: u64, max_per_step: u64) -> InputStream {
-    random_stream(rng, max_steps, max_per_step, 1)
-}
-
-/// Conservation: every offered byte is either played or lost, for
-/// arbitrary (even unbalanced) configurations.
 #[test]
 fn conservation_holds_for_any_configuration() {
-    let mut rng = SplitMix64::new(0x00D0_0001);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 12, 4, 3);
-        let params = SmoothingParams {
-            buffer: rng.range_u64(0, 11),
-            rate: rng.range_u64(1, 4),
-            delay: rng.range_u64(0, 5),
-            link_delay: rng.range_u64(0, 3),
-        };
-        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
-        let m = &report.metrics;
-        assert_eq!(m.played_bytes + m.lost_bytes(), m.offered_bytes, "case {case}");
-        assert_eq!(
-            m.played_slices + m.server_dropped_slices + m.client_dropped_slices,
-            stream.slice_count() as u64,
-            "case {case}"
-        );
-        // The structural validator accepts every schedule the engine
-        // produces (balanced-only clauses fire only when balanced).
-        assert!(
-            validate(&report).is_ok(),
-            "case {case}: validator rejected: {:?}",
-            validate(&report).err()
-        );
-    }
+    check("conservation");
 }
 
-/// Balanced configurations never lose at the client, and the pipeline
-/// equals the single-buffer model.
 #[test]
-fn balanced_equals_server_only() {
-    let mut rng = SplitMix64::new(0x00D0_0002);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 12, 4, 2);
-        let params = SmoothingParams::balanced_from_rate_delay(
-            rng.range_u64(1, 4),
-            rng.range_u64(1, 5),
-            rng.range_u64(0, 2),
-        );
-        if params.buffer < 2 {
-            continue; // room for the largest slice
-        }
-        let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
-        let single = run_server_only(&stream, params.buffer, params.rate, GreedyByteValue::new());
-        assert_eq!(report.metrics.benefit, single.benefit, "case {case}");
-        assert_eq!(report.metrics.client_dropped_slices, 0, "case {case}");
-    }
+fn link_is_driven_in_fifo_order() {
+    check("fifo-order");
 }
 
-/// The server buffer never exceeds its capacity and the link is never
-/// over-driven, for any policy and configuration.
 #[test]
 fn resource_requirements_respected() {
-    let mut rng = SplitMix64::new(0x00D0_0003);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 10, 5, 3);
-        let buffer = rng.range_u64(3, 14);
-        let rate = rng.range_u64(1, 5);
-        let run = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
-        assert!(run.throughput <= stream.total_bytes(), "case {case}");
-        let params = SmoothingParams::balanced_from_buffer_rate(buffer, rate, 1);
-        let report = simulate(&stream, SimConfig::new(params), GreedyByteValue::new());
-        assert!(report.metrics.server_occupancy_max <= buffer, "case {case}");
-        assert!(report.metrics.link_rate_max <= rate, "case {case}");
-    }
+    check("resource-bounds");
 }
 
-/// The offline optimum dominates every online policy (it had better: it
-/// is an upper bound over all schedules).
 #[test]
-fn optimal_dominates_online() {
-    let mut rng = SplitMix64::new(0x00D0_0004);
-    for case in 0..CASES {
-        let stream = random_unit_stream(&mut rng, 10, 5);
-        let buffer = rng.range_u64(0, 7);
-        let rate = rng.range_u64(1, 3);
-        let opt = optimal_unit_benefit(&stream, buffer, rate).unwrap();
-        let greedy = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).benefit;
-        let tail = run_server_only(&stream, buffer, rate, TailDrop::new()).benefit;
-        assert!(opt >= greedy, "case {case}: opt {opt} < greedy {greedy}");
-        assert!(opt >= tail, "case {case}: opt {opt} < tail {tail}");
-        // And within the Theorem 4.1 factor of greedy.
-        assert!(opt <= 4 * greedy.max(1) || opt == 0, "case {case}");
-    }
+fn balanced_configurations_never_drop_at_the_client() {
+    check("balanced-no-client-loss");
 }
 
-/// Text trace round-trip is lossless for arbitrary streams.
-#[test]
-fn textio_roundtrip() {
-    let mut rng = SplitMix64::new(0x00D0_0005);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 8, 4, 5);
-        let text = textio::write_stream(&stream);
-        let back = textio::parse_stream(&text).unwrap();
-        assert_eq!(stream, back, "case {case}");
-    }
-}
-
-/// Sojourn times are constant (the real-time property) for every played
-/// slice under any balanced configuration.
 #[test]
 fn constant_sojourn_for_played_slices() {
-    let mut rng = SplitMix64::new(0x00D0_0006);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 10, 4, 2);
-        let link_delay = rng.range_u64(0, 2);
-        let params = SmoothingParams::balanced_from_rate_delay(
-            rng.range_u64(1, 3),
-            rng.range_u64(1, 4),
-            link_delay,
-        );
-        let report = simulate(&stream, SimConfig::new(params), TailDrop::new());
-        for (rec, playout) in report.record.played() {
-            assert_eq!(
-                playout - rec.slice.arrival,
-                link_delay + params.delay,
-                "case {case}"
-            );
-        }
-    }
+    check("sojourn-constant");
 }
 
-/// Unit-slice throughput is policy-independent (the Theorem 3.5
-/// under-specification), on arbitrary streams and configurations.
 #[test]
 fn unit_throughput_policy_independent() {
-    let mut rng = SplitMix64::new(0x00D0_0007);
-    for case in 0..CASES {
-        let stream = random_unit_stream(&mut rng, 12, 6);
-        let buffer = rng.range_u64(0, 9);
-        let rate = rng.range_u64(1, 3);
-        let a = run_server_only(&stream, buffer, rate, TailDrop::new()).throughput;
-        let b = run_server_only(&stream, buffer, rate, GreedyByteValue::new()).throughput;
-        assert_eq!(a, b, "case {case}");
-    }
+    check("thm35-unit-loss");
 }
 
-/// Differential test: the lazy-heap greedy and the O(n) rescan greedy
-/// produce byte-identical schedules on arbitrary weighted variable-size
-/// streams.
 #[test]
-fn greedy_heap_equals_greedy_rescan() {
-    let mut rng = SplitMix64::new(0x00D0_0008);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 14, 5, 4);
-        let buffer = rng.range_u64(0, 13);
-        let rate = rng.range_u64(1, 4);
-        let heap = run_server_only(&stream, buffer, rate, GreedyByteValue::new());
-        let scan = run_server_only(&stream, buffer, rate, rts_core::GreedyRescan::new());
-        assert_eq!(heap, scan, "case {case}");
-    }
+fn throughput_floor_of_theorem_39_holds() {
+    check("thm39-throughput-floor");
 }
 
-/// Replaying the offline plan through the server achieves the optimum
-/// for arbitrary weighted unit-slice streams.
+#[test]
+fn greedy_competitive_bound_of_theorem_41_holds() {
+    check("thm41-greedy-competitive");
+}
+
+#[test]
+fn optimal_dominates_online() {
+    check("opt-dominates-online");
+}
+
 #[test]
 fn planned_drops_always_achieve_the_optimum() {
-    let mut rng = SplitMix64::new(0x00D0_0009);
-    for case in 0..CASES {
-        let stream = random_unit_stream(&mut rng, 12, 5);
-        let buffer = rng.range_u64(0, 7);
-        let rate = rng.range_u64(1, 3);
-        let (opt, rejected) = rts_offline::optimal_unit_plan(&stream, buffer, rate).unwrap();
-        let replay = run_server_only(&stream, buffer, rate, rts_core::PlannedDrops::new(rejected));
-        assert_eq!(replay.benefit, opt, "case {case}");
+    check("planned-drops-optimal");
+}
+
+#[test]
+fn resync_skew_stays_within_policy_bounds() {
+    check("resync-skew-bounded");
+}
+
+// ------------------------------------------------------------------
+// Differential oracles: paired implementations must agree exactly.
+// ------------------------------------------------------------------
+
+#[test]
+fn ring_and_map_backings_agree() {
+    check("ring-vs-map");
+}
+
+#[test]
+fn probes_never_change_the_schedule() {
+    check("probed-vs-unprobed");
+}
+
+#[test]
+fn empty_fault_plan_equals_plain_engine() {
+    check("faults-empty-vs-plain");
+}
+
+#[test]
+fn single_session_mux_equals_simulator() {
+    check("mux-single-vs-sim");
+}
+
+#[test]
+fn client_step_equals_step_into() {
+    check("client-step-vs-into");
+}
+
+#[test]
+fn timer_client_equals_closed_form_client() {
+    check("client-timer-vs-known");
+}
+
+#[test]
+fn greedy_heap_equals_greedy_rescan() {
+    check("greedy-heap-vs-rescan");
+}
+
+#[test]
+fn unit_flow_optimum_equals_brute_force() {
+    check("flow-vs-brute");
+}
+
+#[test]
+fn frame_dp_optimum_equals_brute_force() {
+    check("framedp-vs-brute");
+}
+
+#[test]
+fn mixed_optimum_equals_brute_force() {
+    check("mixed-vs-brute");
+}
+
+#[test]
+fn balanced_equals_server_only() {
+    check("sim-vs-server-only");
+}
+
+#[test]
+fn textio_roundtrip() {
+    check("textio-roundtrip");
+}
+
+// ------------------------------------------------------------------
+// The catalog runner itself.
+// ------------------------------------------------------------------
+
+#[test]
+fn every_catalog_check_has_a_test_above() {
+    // Keep this file in lock-step with the catalog: adding a check
+    // without a tier-1 test here is a wiring bug.
+    let here = include_str!("props.rs");
+    for check in all_checks() {
+        assert!(
+            here.contains(&format!("check(\"{}\")", check.name)),
+            "catalog check {:?} has no test in tests/props.rs",
+            check.name
+        );
     }
 }
 
-/// The timer-based client (Section 3.1.2's deployment mechanism, which
-/// never learns the link delay) plays exactly what the closed-form
-/// client plays, at exactly the same times, on arbitrary schedules
-/// produced by the generic server.
 #[test]
-fn timer_client_equals_closed_form_client() {
-    use rts_core::{Client, Server};
-    use rts_sim::{Link, LinkModel};
-
-    let mut rng = SplitMix64::new(0x00D0_000A);
-    for case in 0..CASES {
-        let stream = random_stream(&mut rng, 10, 4, 2);
-        let buffer = rng.range_u64(1, 9);
-        let rate = rng.range_u64(1, 3);
-        let delay = rng.range_u64(0, 4);
-        let link_delay = rng.range_u64(0, 3);
-
-        let mut server = Server::new(buffer, rate, TailDrop::new());
-        let mut link = Link::new(link_delay);
-        let mut known = Client::new(buffer.max(4), delay, link_delay);
-        let mut timer = Client::with_timer(buffer.max(4), delay);
-
-        let horizon = stream.horizon() + link_delay + delay + stream.total_bytes() + 4;
-        let mut frames = stream.frames().iter().peekable();
-        for t in 0..horizon {
-            let arrivals: &[_] = match frames.peek() {
-                Some(f) if f.time == t => &frames.next().unwrap().slices,
-                _ => &[],
-            };
-            let sstep = server.step(t, arrivals);
-            link.submit(&sstep.sent);
-            let delivered = link.deliver(t);
-            let a = known.step(t, &delivered);
-            let b = timer.step(t, &delivered);
-            assert_eq!(a, b, "case {case}: diverged at t={t}");
-        }
-    }
+fn full_catalog_report_is_deterministic() {
+    let cfg = CheckConfig::new(8, 7);
+    let a = run_checks(&cfg, None);
+    let b = run_checks(&cfg, None);
+    assert_eq!(a, b, "catalog run is not a pure function of (cases, seed)");
+    assert!(a.ok(), "{}", a.text);
 }
