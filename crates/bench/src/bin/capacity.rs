@@ -1,0 +1,156 @@
+//! smoothd capacity ramp: measures sustained slices/sec and per-slot
+//! latency at 1k → 1M resident sessions and writes
+//! `BENCH_capacity.json` for the regression gate
+//! (`scripts/bench_check.sh`).
+//!
+//! Usage:
+//!
+//! ```text
+//! capacity [--smoke] [--out PATH]       run the ramp, write the JSON
+//! capacity --validate [PATH]            assert an existing JSON parses
+//! capacity --check [BASELINE]           run the ramp to 100k, compare
+//!                                       slices/s per rung against the
+//!                                       committed baseline (slower by
+//!                                       more than TOLERANCE x fails;
+//!                                       default 1.6)
+//! ```
+//!
+//! Smoke mode still climbs to the 100k rung CI must sustain, with
+//! short windows; its numbers are for parse checks only.
+
+use std::process::ExitCode;
+
+use rts_bench::capacity::{self, extract_mode, extract_rungs};
+
+const DEFAULT_OUT: &str = "BENCH_capacity.json";
+const DEFAULT_TOLERANCE: f64 = 1.6;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut validate: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                out = args.get(i).expect("--out needs a path").clone();
+            }
+            "--validate" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                validate = Some(next.cloned().unwrap_or_else(|| DEFAULT_OUT.into()));
+                i += usize::from(next.is_some());
+            }
+            "--check" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                check = Some(next.cloned().unwrap_or_else(|| DEFAULT_OUT.into()));
+                i += usize::from(next.is_some());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        return run_validate(&path);
+    }
+    if let Some(baseline) = check {
+        return run_check(&baseline);
+    }
+
+    let suite = capacity::run(if smoke { "smoke" } else { "full" });
+    report(&suite);
+    std::fs::write(&out, suite.to_json()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}
+
+fn report(suite: &capacity::Suite) {
+    println!(
+        "capacity ramp ({} mode, {} shard(s)):",
+        suite.mode, suite.shards
+    );
+    for r in &suite.rungs {
+        println!(
+            "  {:>9} sessions ({:>9} resident): {:>12.0} slices/s, {:>6} slots, p50 {:>10} ns, p99 {:>12} ns/slot",
+            r.sessions, r.resident, r.slices_per_sec, r.slots, r.p50_slot_ns, r.p99_slot_ns
+        );
+    }
+}
+
+fn run_validate(path: &str) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("validate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match (extract_rungs(&json), extract_mode(&json)) {
+        (Some(rungs), Some(mode)) => {
+            println!("validate: {path} ok ({} rungs, mode {mode})", rungs.len());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("validate: {path} is not a capacity suite JSON");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(baseline_path: &str) -> ExitCode {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("check: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(base_rungs), Some(base_mode)) =
+        (extract_rungs(&baseline), extract_mode(&baseline))
+    else {
+        eprintln!("check: baseline {baseline_path} is corrupt");
+        return ExitCode::FAILURE;
+    };
+    if base_mode != "full" {
+        eprintln!("check: baseline {baseline_path} is a {base_mode} run; commit a full run");
+        return ExitCode::FAILURE;
+    }
+
+    let tolerance: f64 = std::env::var("BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let suite = capacity::run("check");
+    report(&suite);
+
+    let mut failed = false;
+    for r in &suite.rungs {
+        let Some(&(_, base_rate, _)) = base_rungs.iter().find(|(s, _, _)| *s == r.sessions) else {
+            println!("  {} sessions: new rung (no baseline entry), skipped", r.sessions);
+            continue;
+        };
+        // Absolute rates differ across machines; the gate only fires
+        // on large relative regressions.
+        let factor = base_rate / r.slices_per_sec.max(1.0);
+        if factor > tolerance {
+            eprintln!(
+                "  REGRESSION {} sessions: {:.0} slices/s vs baseline {:.0} ({factor:.2}x slower > {tolerance:.2}x)",
+                r.sessions, r.slices_per_sec, base_rate
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("check: within tolerance ({tolerance:.2}x) of {baseline_path}");
+        ExitCode::SUCCESS
+    }
+}

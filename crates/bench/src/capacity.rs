@@ -1,0 +1,306 @@
+//! The smoothd capacity ramp behind `BENCH_capacity.json`.
+//!
+//! Each rung starts a fresh daemon, admits N identical lightweight CBR
+//! sessions (unbounded lifetime, `B = R·D` balanced buffers), lets the
+//! shard workers free-run for a fixed wall window, and reports the
+//! sustained played-slices/second together with the per-slot wall
+//! latency quantiles from the shard workers' own histograms. The full
+//! ramp climbs to one million resident sessions; smoke mode stops at
+//! the 100k rung CI must sustain, and check mode stops at 100k too so
+//! the regression gate stays fast.
+//!
+//! Numbers are whole-daemon (admission routing, command queues, fair
+//! grants, playout rings), not a microbenchmark of one loop: the suite
+//! exists to catch order-of-magnitude capacity regressions.
+
+use std::time::{Duration, Instant};
+
+use rts_smoothd::{AdmitRequest, Daemon, DaemonConfig, WirePolicy};
+
+/// Per-session reserved rate (bytes per slot) for the ramp workload.
+pub const SESSION_RATE: u64 = 4;
+
+/// One ramp rung's measurements.
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// Sessions requested.
+    pub sessions: u64,
+    /// Sessions actually resident during the window (must equal
+    /// `sessions`: the per-shard link is provisioned to fit them all).
+    pub resident: u64,
+    /// Wall time spent admitting them, nanoseconds.
+    pub admit_ns: u64,
+    /// Measurement window, nanoseconds.
+    pub measure_ns: u64,
+    /// Shard slots processed inside the window.
+    pub slots: u64,
+    /// Slices played inside the window.
+    pub played_slices: u64,
+    /// Sustained throughput: `played_slices / window`.
+    pub slices_per_sec: f64,
+    /// Median per-slot wall latency over the whole run, nanoseconds.
+    pub p50_slot_ns: u64,
+    /// 99th-percentile per-slot wall latency, nanoseconds.
+    pub p99_slot_ns: u64,
+    /// Worst per-slot wall latency, nanoseconds.
+    pub max_slot_ns: u64,
+}
+
+/// The whole ramp's results, ready for JSON serialization.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// `"full"`, `"smoke"`, or `"check"`.
+    pub mode: &'static str,
+    /// Shard (worker) count used.
+    pub shards: u32,
+    /// Rungs in ramp order.
+    pub rungs: Vec<Rung>,
+}
+
+fn measure_rung(sessions: u64, window: Duration, warmup: Duration) -> Rung {
+    let cfg = DaemonConfig {
+        // Provision each shard's link for exactly its share of the
+        // workload so every admission fits (B = R·D accounting).
+        shard_link_rate: {
+            let shards = DaemonConfig::default().shards.max(1) as u64;
+            (SESSION_RATE * sessions.div_ceil(shards)).max(1 << 16)
+        },
+        queue_capacity: 4096,
+        record_events: false,
+        ..DaemonConfig::default()
+    };
+    let shards = cfg.shards;
+    let mut daemon = Daemon::start(cfg);
+    let req = AdmitRequest {
+        rate: SESSION_RATE,
+        delay: 4,
+        link_delay: 1,
+        buffer: 0, // balanced B = R·D
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: SESSION_RATE as u32,
+        slice_size: SESSION_RATE as u32,
+        lifetime: 0, // unbounded: pure steady state
+    };
+    let t_admit = Instant::now();
+    for _ in 0..sessions {
+        daemon
+            .admit(&req)
+            .expect("link provisioned for the whole rung");
+    }
+    let admit_ns = t_admit.elapsed().as_nanos() as u64;
+    // Admission bookkeeping is synchronous but session creation rides
+    // the shard command queues, so residency lags `admit()` at the top
+    // rungs: wait until every session has materialized before timing.
+    let settle = Instant::now();
+    while daemon.live_sessions() < sessions && settle.elapsed() < Duration::from_secs(300) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let resident = daemon.live_sessions();
+    std::thread::sleep(warmup);
+
+    let s0 = daemon.stats();
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    let mut s1 = daemon.stats();
+    // A single slot at the million-session rung takes a large fraction
+    // of a second; extend past the nominal window until enough slots
+    // complete that the rate is never computed over an empty sample.
+    const MIN_SLOTS: u64 = 4;
+    while s1.slots - s0.slots < MIN_SLOTS && t0.elapsed() < Duration::from_secs(120) {
+        std::thread::sleep(Duration::from_millis(20));
+        s1 = daemon.stats();
+    }
+    let measure_ns = t0.elapsed().as_nanos() as u64;
+
+    let report = daemon.shutdown(false); // evict: sources are unbounded
+    let played_slices = s1.slices_played - s0.slices_played;
+    let _ = shards;
+    Rung {
+        sessions,
+        resident,
+        admit_ns,
+        measure_ns,
+        slots: s1.slots - s0.slots,
+        played_slices,
+        slices_per_sec: played_slices as f64 / (measure_ns as f64 / 1e9),
+        p50_slot_ns: report.latency.quantile(0.50),
+        p99_slot_ns: report.latency.quantile(0.99),
+        max_slot_ns: report.latency.max(),
+    }
+}
+
+/// Runs the ramp. `mode` is `"full"` (to 1M sessions), `"smoke"`
+/// (to the 100k rung CI must sustain, short windows), or `"check"`
+/// (full windows, stops at 100k for the regression gate).
+pub fn run(mode: &'static str) -> Suite {
+    let (counts, window, warmup): (&[u64], Duration, Duration) = match mode {
+        "full" => (
+            &[1_000, 10_000, 100_000, 1_000_000],
+            Duration::from_millis(2_000),
+            Duration::from_millis(200),
+        ),
+        "check" => (
+            &[1_000, 10_000, 100_000],
+            Duration::from_millis(2_000),
+            Duration::from_millis(200),
+        ),
+        "smoke" => (
+            &[1_000, 100_000],
+            Duration::from_millis(300),
+            Duration::from_millis(50),
+        ),
+        other => panic!("unknown capacity mode {other:?}"),
+    };
+    let rungs = counts
+        .iter()
+        .map(|&n| measure_rung(n, window, warmup))
+        .collect();
+    Suite {
+        mode,
+        shards: DaemonConfig::default().shards,
+        rungs,
+    }
+}
+
+impl Suite {
+    /// Serializes the ramp as pretty-printed JSON (hand-rolled; the
+    /// flat shape is what [`extract_rungs`] parses back).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"suite\": \"capacity\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"shards\": {},\n", self.shards));
+        s.push_str(&format!("  \"rate_per_session\": {SESSION_RATE},\n"));
+        s.push_str("  \"rungs\": [\n");
+        for (i, r) in self.rungs.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"sessions\": {}, \"resident\": {}, \"admit_ns\": {}, \"measure_ns\": {}, \"slots\": {}, \"played_slices\": {}, \"slices_per_sec\": {:.1}, \"p50_slot_ns\": {}, \"p99_slot_ns\": {}, \"max_slot_ns\": {}}}{}\n",
+                r.sessions,
+                r.resident,
+                r.admit_ns,
+                r.measure_ns,
+                r.slots,
+                r.played_slices,
+                r.slices_per_sec,
+                r.p50_slot_ns,
+                r.p99_slot_ns,
+                r.max_slot_ns,
+                if i + 1 < self.rungs.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Extracts `(sessions, slices_per_sec, p99_slot_ns)` triples from a
+/// suite JSON produced by [`Suite::to_json`]. Returns `None` on any
+/// shape it does not recognize.
+pub fn extract_rungs(json: &str) -> Option<Vec<(u64, f64, u64)>> {
+    if !json.contains("\"suite\": \"capacity\"") {
+        return None;
+    }
+    let field = |line: &str, key: &str| -> Option<String> {
+        Some(
+            line.split(&format!("\"{key}\": "))
+                .nth(1)?
+                .split([',', '}'])
+                .next()?
+                .trim()
+                .to_string(),
+        )
+    };
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"sessions\": ") {
+            continue;
+        }
+        out.push((
+            field(line, "sessions")?.parse().ok()?,
+            field(line, "slices_per_sec")?.parse().ok()?,
+            field(line, "p99_slot_ns")?.parse().ok()?,
+        ));
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Extracts the recorded mode (`"full"` / `"smoke"` / `"check"`) from
+/// a suite JSON.
+pub fn extract_mode(json: &str) -> Option<String> {
+    let line = json
+        .lines()
+        .find(|l| l.trim_start().starts_with("\"mode\""))?;
+    Some(line.split('"').nth(3)?.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_suite() -> Suite {
+        Suite {
+            mode: "full",
+            shards: 2,
+            rungs: vec![
+                Rung {
+                    sessions: 1_000,
+                    resident: 1_000,
+                    admit_ns: 5_000_000,
+                    measure_ns: 2_000_000_000,
+                    slots: 40_000,
+                    played_slices: 30_000_000,
+                    slices_per_sec: 1.5e7,
+                    p50_slot_ns: 40_000,
+                    p99_slot_ns: 90_000,
+                    max_slot_ns: 500_000,
+                },
+                Rung {
+                    sessions: 10_000,
+                    resident: 10_000,
+                    admit_ns: 50_000_000,
+                    measure_ns: 2_000_000_000,
+                    slots: 4_000,
+                    played_slices: 28_000_000,
+                    slices_per_sec: 1.4e7,
+                    p50_slot_ns: 400_000,
+                    p99_slot_ns: 900_000,
+                    max_slot_ns: 5_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_extractors() {
+        let json = sample_suite().to_json();
+        let rungs = extract_rungs(&json).expect("parses");
+        assert_eq!(rungs.len(), 2);
+        assert_eq!(rungs[0].0, 1_000);
+        assert!((rungs[0].1 - 1.5e7).abs() < 1.0);
+        assert_eq!(rungs[1].2, 900_000);
+        assert_eq!(extract_mode(&json).as_deref(), Some("full"));
+    }
+
+    #[test]
+    fn extractors_reject_garbage() {
+        assert_eq!(extract_rungs("not json"), None);
+        assert_eq!(extract_rungs("{\"suite\": \"capacity\"}"), None);
+        assert_eq!(extract_mode(""), None);
+    }
+
+    #[test]
+    fn tiny_rung_measures_real_throughput() {
+        let r = measure_rung(64, Duration::from_millis(120), Duration::from_millis(20));
+        assert_eq!(r.resident, 64, "provisioned link must fit every session");
+        assert!(r.played_slices > 0, "sessions must make progress");
+        assert!(r.slices_per_sec > 0.0);
+        assert!(r.p99_slot_ns >= r.p50_slot_ns);
+    }
+}

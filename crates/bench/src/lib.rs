@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod capacity;
 pub mod figures;
 pub mod hotpath;
 pub mod plot;

@@ -24,6 +24,7 @@ pub mod engine;
 pub mod gen;
 pub mod invariants;
 pub mod oracles;
+pub mod smoothd;
 
 pub use engine::{
     run_property, shrink_u64, shrink_vec, CheckConfig, CheckStats, Failure, Verdict,
@@ -65,6 +66,7 @@ pub struct Check {
 pub fn all_checks() -> Vec<Check> {
     let mut checks = invariants::checks();
     checks.extend(oracles::checks());
+    checks.extend(smoothd::checks());
     checks
 }
 

@@ -1,0 +1,435 @@
+//! Property checks for the `smoothd` serving layer.
+//!
+//! | check | binds |
+//! |---|---|
+//! | `smoothd-frame-roundtrip` | the ingest frame codec is lossless: decode(encode(f)) = f, consuming exactly the encoding |
+//! | `smoothd-frame-fuzz` | the decoder is total: arbitrary (and corrupted) bytes yield a typed `FrameError` or a canonically re-encodable frame, never a panic |
+//! | `smoothd-churn-conservation` | session churn under `B = R·D` admission never loses or duplicates bytes, never oversubscribes the link, never overcommits the bookable rate |
+//!
+//! The churn check drives a real [`Shard`] — the exact state machine
+//! the daemon's worker threads run — through randomized
+//! admit/push/drain/evict/step scripts, so the conservation ledger and
+//! the admission accounting are exercised with the same code paths as
+//! production, minus the threads.
+
+use rts_smoothd::{decode_frame, encode_frame, AdmitRequest, Frame, Shard, StatsSnapshot, WirePolicy};
+use rts_stream::rng::SplitMix64;
+
+use crate::engine::{run_property, shrink_u64, shrink_vec, CheckConfig, CheckStats, Failure, Verdict};
+use crate::{Check, CheckKind};
+
+type CheckResult = Result<CheckStats, Box<Failure>>;
+
+// ---------------------------------------------------------------- frames
+
+const REASONS: [rts_obs::RejectReason; 6] = rts_obs::RejectReason::ALL;
+
+fn gen_frame(rng: &mut SplitMix64) -> Frame {
+    match rng.range_u64(0, 12) {
+        0 => Frame::Hello {
+            version: rng.range_u64(0, u64::from(u16::MAX) + 1) as u16,
+        },
+        1 => Frame::Admit(AdmitRequest {
+            rate: rng.range_u64(0, 1 << 20),
+            delay: rng.range_u64(0, 1 << 16),
+            link_delay: rng.range_u64(0, 1 << 10),
+            buffer: rng.range_u64(0, 1 << 20),
+            weight: rng.range_u64(0, 1 << 16),
+            policy: match rng.range_u64(0, 3) {
+                0 => WirePolicy::Tail,
+                1 => WirePolicy::Head,
+                _ => WirePolicy::Greedy,
+            },
+            per_slot: rng.range_u64(0, 1 << 16) as u32,
+            slice_size: rng.range_u64(0, 1 << 16) as u32,
+            lifetime: rng.next_u64() >> 16,
+        }),
+        2 => {
+            let n = rng.range_u64(0, 33);
+            Frame::Data {
+                session: rng.next_u64(),
+                slices: (0..n)
+                    .map(|_| (rng.range_u64(1, 1 << 20), rng.range_u64(0, 1 << 20)))
+                    .collect(),
+            }
+        }
+        3 => Frame::Drain {
+            session: rng.next_u64(),
+        },
+        4 => Frame::Evict {
+            session: rng.next_u64(),
+        },
+        5 => Frame::Stats,
+        6 => Frame::Goodbye,
+        7 => Frame::Welcome {
+            version: rng.range_u64(0, u64::from(u16::MAX) + 1) as u16,
+        },
+        8 => Frame::Admitted {
+            session: rng.next_u64(),
+            shard: rng.range_u64(0, 1 << 16) as u32,
+        },
+        9 => Frame::Rejected {
+            session: rng.next_u64(),
+            reason: REASONS[rng.range_u64(0, REASONS.len() as u64 - 1) as usize],
+        },
+        10 => Frame::StatsReply(StatsSnapshot {
+            sessions: rng.next_u64(),
+            slices_played: rng.next_u64(),
+            slots: rng.next_u64(),
+            retired: rng.next_u64(),
+        }),
+        _ => Frame::Bye,
+    }
+}
+
+fn describe_frame(f: &Frame) -> String {
+    format!("{f:?}")
+}
+
+fn frame_roundtrip(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_frame,
+        |_| Vec::new(), // frames are already minimal-ish; no shrink
+        describe_frame,
+        |frame| {
+            let bytes = encode_frame(frame);
+            match decode_frame(&bytes) {
+                Ok((decoded, consumed)) => {
+                    if consumed != bytes.len() {
+                        return Verdict::fail(format!(
+                            "consumed {consumed} of {} encoded bytes",
+                            bytes.len()
+                        ));
+                    }
+                    Verdict::ensure(&decoded == frame, || {
+                        format!("decode(encode(f)) = {decoded:?} != {frame:?}")
+                    })
+                }
+                Err(e) => Verdict::fail(format!("own encoding rejected: {e}")),
+            }
+        },
+    )
+}
+
+/// A fuzz input: raw bytes, usually a valid encoding corrupted at a
+/// few positions (plus pure noise some of the time).
+fn gen_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes = if rng.range_u64(0, 4) == 0 {
+        let n = rng.range_u64(0, 64) as usize;
+        (0..n).map(|_| rng.next_u64() as u8).collect()
+    } else {
+        encode_frame(&gen_frame(rng))
+    };
+    for _ in 0..rng.range_u64(0, 4) {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = rng.range_u64(0, bytes.len() as u64 - 1) as usize;
+        bytes[at] = rng.next_u64() as u8;
+    }
+    // Truncate sometimes: incomplete frames must be typed, not panics.
+    if rng.range_u64(0, 3) == 0 && !bytes.is_empty() {
+        bytes.truncate(rng.range_u64(0, bytes.len() as u64) as usize);
+    }
+    bytes
+}
+
+fn frame_fuzz(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_fuzz_bytes,
+        |bytes| shrink_vec(bytes, |&b| shrink_u64(u64::from(b), 0).into_iter().map(|v| v as u8).collect()),
+        |bytes| format!("{bytes:?}"),
+        |bytes| match decode_frame(bytes) {
+            // Accepted frames must re-encode to exactly what was
+            // consumed: the codec admits only its canonical form.
+            Ok((frame, consumed)) => {
+                if consumed > bytes.len() {
+                    return Verdict::fail(format!(
+                        "consumed {consumed} > buffer {}",
+                        bytes.len()
+                    ));
+                }
+                Verdict::ensure(encode_frame(&frame) == bytes[..consumed], || {
+                    format!("non-canonical acceptance of {frame:?}")
+                })
+            }
+            // Every rejection is a typed error; Display must not panic
+            // either (it feeds protocol rejections).
+            Err(e) => {
+                let _ = e.to_string();
+                let _ = e.is_incomplete();
+                Verdict::Pass
+            }
+        },
+    )
+}
+
+// ----------------------------------------------------------------- churn
+
+/// One step of a churn script, interpreted against a [`Shard`].
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    /// Admit a CBR session (may be refused: that path counts too).
+    Admit {
+        rate: u64,
+        delay: u64,
+        lifetime: u64,
+    },
+    /// Admit an externally-fed session, then push some slices.
+    Feed { sizes: Vec<u64> },
+    /// Drain the `k`-th ever-admitted session (mod count).
+    Drain { k: u64 },
+    /// Evict the `k`-th ever-admitted session (mod count).
+    Evict { k: u64 },
+    /// Process some slots.
+    Step { slots: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct ChurnCase {
+    link_rate: u64,
+    overbook: (u64, u64),
+    ops: Vec<ChurnOp>,
+}
+
+fn gen_churn(rng: &mut SplitMix64) -> ChurnCase {
+    let link_rate = rng.range_u64(8, 65);
+    let overbook = if rng.range_u64(0, 2) == 0 { (1, 1) } else { (3, 2) };
+    let n = rng.range_u64(1, 25);
+    let ops = (0..n)
+        .map(|_| match rng.range_u64(0, 5) {
+            0 => ChurnOp::Admit {
+                rate: rng.range_u64(0, 17), // 0 exercises the ZeroRate reject
+                delay: rng.range_u64(1, 9),
+                lifetime: rng.range_u64(1, 13),
+            },
+            1 => ChurnOp::Feed {
+                sizes: (0..rng.range_u64(1, 7))
+                    .map(|_| rng.range_u64(1, 25))
+                    .collect(),
+            },
+            2 => ChurnOp::Drain {
+                k: rng.range_u64(0, 8),
+            },
+            3 => ChurnOp::Evict {
+                k: rng.range_u64(0, 8),
+            },
+            _ => ChurnOp::Step {
+                slots: rng.range_u64(1, 13),
+            },
+        })
+        .collect();
+    ChurnCase {
+        link_rate,
+        overbook,
+        ops,
+    }
+}
+
+fn shrink_churn(case: &ChurnCase) -> Vec<ChurnCase> {
+    let mut out: Vec<ChurnCase> = shrink_vec(&case.ops, |op| match op {
+        ChurnOp::Step { slots } => shrink_u64(*slots, 1)
+            .into_iter()
+            .map(|s| ChurnOp::Step { slots: s })
+            .collect(),
+        ChurnOp::Admit {
+            rate,
+            delay,
+            lifetime,
+        } => shrink_u64(*lifetime, 1)
+            .into_iter()
+            .map(|l| ChurnOp::Admit {
+                rate: *rate,
+                delay: *delay,
+                lifetime: l,
+            })
+            .collect(),
+        ChurnOp::Feed { sizes } => shrink_vec(sizes, |&s| shrink_u64(s, 1))
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|sizes| ChurnOp::Feed { sizes })
+            .collect(),
+        _ => Vec::new(),
+    })
+    .into_iter()
+    .map(|ops| ChurnCase {
+        link_rate: case.link_rate,
+        overbook: case.overbook,
+        ops,
+    })
+    .collect();
+    for lr in shrink_u64(case.link_rate, 8) {
+        out.push(ChurnCase {
+            link_rate: lr,
+            overbook: case.overbook,
+            ops: case.ops.clone(),
+        });
+    }
+    out
+}
+
+fn describe_churn(case: &ChurnCase) -> String {
+    let mut s = format!(
+        "link_rate {} overbook {}/{}\n",
+        case.link_rate, case.overbook.0, case.overbook.1
+    );
+    for op in &case.ops {
+        s.push_str(&format!("  {op:?}\n"));
+    }
+    s
+}
+
+fn run_churn(case: &ChurnCase) -> Verdict {
+    let mut shard = Shard::new(0, case.link_rate, case.overbook);
+    let bookable = shard.admission().bookable_capacity();
+    let mut admitted: Vec<u64> = Vec::new();
+    let mut next_id: u64 = 1;
+    let base = AdmitRequest {
+        rate: 1,
+        delay: 2,
+        link_delay: 1,
+        buffer: 0,
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: 0,
+        slice_size: 0,
+        lifetime: 0,
+    };
+    for op in &case.ops {
+        match op {
+            ChurnOp::Admit {
+                rate,
+                delay,
+                lifetime,
+            } => {
+                let req = AdmitRequest {
+                    rate: *rate,
+                    delay: *delay,
+                    per_slot: (*rate).min(u64::from(u32::MAX)) as u32,
+                    slice_size: (*rate).min(u64::from(u32::MAX)) as u32,
+                    lifetime: *lifetime,
+                    ..base
+                };
+                if shard.admit(next_id, &req).is_ok() {
+                    admitted.push(next_id);
+                }
+                next_id += 1;
+            }
+            ChurnOp::Feed { sizes } => {
+                let req = AdmitRequest {
+                    rate: sizes.iter().copied().max().unwrap_or(1),
+                    ..base
+                };
+                if shard.admit(next_id, &req).is_ok() {
+                    let slices: Vec<(u64, u64)> = sizes.iter().map(|&s| (s, 1)).collect();
+                    if shard.inject(next_id, &slices).is_err() {
+                        return Verdict::fail("freshly admitted session refused data");
+                    }
+                    admitted.push(next_id);
+                }
+                next_id += 1;
+            }
+            ChurnOp::Drain { k } => {
+                if !admitted.is_empty() {
+                    let victim = admitted[(*k % admitted.len() as u64) as usize];
+                    let _ = shard.drain(victim); // may already be retired
+                }
+            }
+            ChurnOp::Evict { k } => {
+                if !admitted.is_empty() {
+                    let victim = admitted[(*k % admitted.len() as u64) as usize];
+                    let _ = shard.evict(victim);
+                }
+            }
+            ChurnOp::Step { slots } => {
+                for _ in 0..*slots {
+                    shard.process_slot();
+                    if shard.stats().max_slot_sent > case.link_rate {
+                        return Verdict::fail(format!(
+                            "link oversubscribed: sent {} > B = {} in one slot",
+                            shard.stats().max_slot_sent,
+                            case.link_rate
+                        ));
+                    }
+                }
+            }
+        }
+        let committed = shard.admission().committed();
+        if committed > bookable {
+            return Verdict::fail(format!(
+                "admission overcommitted: {committed} > bookable {bookable}"
+            ));
+        }
+        let totals = shard.totals();
+        let accounted = totals.resolved_bytes() + shard.pool_bytes();
+        if totals.offered_bytes != accounted {
+            return Verdict::fail(format!(
+                "mid-run byte leak: offered {} != resolved+pool {}",
+                totals.offered_bytes, accounted
+            ));
+        }
+    }
+    shard.drain_all();
+    if !shard.run_until_drained(100_000) {
+        return Verdict::fail("drain did not terminate within 100k slots");
+    }
+    let totals = shard.totals();
+    if !totals.conserved() {
+        return Verdict::fail(format!("final ledger does not conserve: {totals:?}"));
+    }
+    let mut retirements = Vec::new();
+    shard.take_retirements(&mut retirements);
+    for r in &retirements {
+        if !r.counters.conserved() {
+            return Verdict::fail(format!(
+                "session {} retirement ledger does not conserve: {:?}",
+                r.session, r.counters
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+fn churn_conservation(cfg: &CheckConfig) -> CheckResult {
+    run_property(cfg, gen_churn, shrink_churn, describe_churn, run_churn)
+}
+
+/// The smoothd checks, in catalog order.
+pub fn checks() -> Vec<Check> {
+    vec![
+        Check {
+            name: "smoothd-frame-roundtrip",
+            binds: "ingest codec: decode(encode(f)) = f, consuming the exact encoding",
+            kind: CheckKind::Oracle,
+            run: frame_roundtrip,
+        },
+        Check {
+            name: "smoothd-frame-fuzz",
+            binds: "ingest codec: arbitrary bytes give typed errors or canonical frames, never panic",
+            kind: CheckKind::Invariant,
+            run: frame_fuzz,
+        },
+        Check {
+            name: "smoothd-churn-conservation",
+            binds: "daemon churn: bytes conserve, per-slot sends <= B, committed <= bookable under admit/drain/evict",
+            kind: CheckKind::Invariant,
+            run: churn_conservation,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_checks_pass_on_a_quick_run() {
+        let cfg = CheckConfig::new(40, 0x5eed);
+        for check in checks() {
+            let stats = (check.run)(&cfg).unwrap_or_else(|f| panic!("{}: {f}", check.name));
+            assert!(stats.passed > 0, "{} ran no cases", check.name);
+        }
+    }
+}

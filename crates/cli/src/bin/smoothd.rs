@@ -1,0 +1,17 @@
+//! `smoothd` binary: shorthand for `smoothctl serve`.
+
+fn main() {
+    let mut raw: Vec<String> = vec!["serve".into()];
+    raw.extend(std::env::args().skip(1));
+    let result = rts_cli::Args::parse(raw).and_then(|args| rts_cli::run(&args));
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("smoothd: {e}");
+            if matches!(e, rts_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", rts_cli::USAGE);
+            }
+            std::process::exit(e.exit_code());
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //!   streaming collector and print its summary;
 //! * `frontier` — the lossless rate–delay frontier of a trace;
 //! * `check` — run the rts-check property catalog (theorem-bound
-//!   invariants and differential oracles) with seed replay.
+//!   invariants and differential oracles) with seed replay;
+//! * `serve` — run the sharded `smoothd` daemon: loopback CBR
+//!   sessions, trace replay, and/or a frame-protocol ingest socket
+//!   (the `smoothd` binary is a shortcut for this subcommand).
 //!
 //! Every command is a pure function from parsed arguments to an output
 //! string (errors are typed), so the whole surface is unit-tested; the
@@ -27,6 +30,7 @@
 mod args;
 mod commands;
 mod error;
+mod serve;
 
 pub use args::Args;
 pub use commands::run;
@@ -70,6 +74,18 @@ USAGE:
             prints the catalog. A failure prints a shrunk reproducer and
             a CHECK_SEED; rerun with --case-seed (or the CHECK_SEED
             environment variable) and --filter NAME to replay it)
+  smoothctl serve [--sessions K] [--rate R] [--delay D] [--link-delay P]
+            [--slice-size S] [--per-slot N] [--lifetime SLOTS]
+            [--shards W] [--shard-link-rate C] [--overbook NUM/DEN]
+            [--queue Q] [--policy tail|head|greedy] [--slot-us U]
+            [--listen tcp:HOST:PORT|uds:PATH] [--run-secs T]
+            [--replay TRACE.jsonl] [--evict-on-exit true]
+            [--trace-out JSONL]
+            (run the sharded smoothd daemon: K loopback CBR sessions
+            (--lifetime 0 = unbounded), sessions replayed from a
+            recorded event trace, and/or a frame-protocol ingest
+            socket served for --run-secs. The 'smoothd' binary is
+            shorthand for this subcommand)
   smoothctl help
 
 Traces use the plain-text format of rts-stream (see its docs).

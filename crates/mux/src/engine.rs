@@ -383,6 +383,11 @@ mod tests {
                 }
                 rts_obs::Event::SlotEnd { .. } => slot_ends += 1,
                 rts_obs::Event::RunEnd { slots, .. } => assert_eq!(*slots, slot_ends),
+                rts_obs::Event::SessionJoined { .. }
+                | rts_obs::Event::SessionRetired { .. }
+                | rts_obs::Event::IngestRejected { .. } => {
+                    panic!("batch mux runs never emit daemon lifecycle events")
+                }
             }
         }
         assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![0, 1]);

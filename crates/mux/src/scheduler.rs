@@ -34,6 +34,21 @@ pub trait LinkScheduler {
     /// Returns one grant per session with `Σ grants ≤ capacity` and
     /// `grants[i] ≤ sessions[i].pending`.
     fn grants(&mut self, sessions: &[SessionDemand<'_>], capacity: Bytes) -> Vec<Bytes>;
+
+    /// [`grants`](Self::grants) writing into a caller-held scratch
+    /// vector (cleared and refilled to `sessions.len()`), so per-slot
+    /// loops can avoid allocating. The default forwards to `grants`;
+    /// allocation-sensitive schedulers override it ([`RoundRobin`]'s
+    /// override is allocation-free in steady state).
+    fn grants_into(
+        &mut self,
+        sessions: &[SessionDemand<'_>],
+        capacity: Bytes,
+        out: &mut Vec<Bytes>,
+    ) {
+        out.clear();
+        out.extend(self.grants(sessions, capacity));
+    }
 }
 
 /// Boxed schedulers delegate, so a run can pick its scheduler at
@@ -46,6 +61,15 @@ impl<S: LinkScheduler + ?Sized> LinkScheduler for Box<S> {
     fn grants(&mut self, sessions: &[SessionDemand<'_>], capacity: Bytes) -> Vec<Bytes> {
         (**self).grants(sessions, capacity)
     }
+
+    fn grants_into(
+        &mut self,
+        sessions: &[SessionDemand<'_>],
+        capacity: Bytes,
+        out: &mut Vec<Bytes>,
+    ) {
+        (**self).grants_into(sessions, capacity, out)
+    }
 }
 
 /// Byte-granular round-robin: repeatedly hand one byte to each session
@@ -54,6 +78,9 @@ impl<S: LinkScheduler + ?Sized> LinkScheduler for Box<S> {
 #[derive(Debug, Clone, Default)]
 pub struct RoundRobin {
     cursor: usize,
+    // Reusable scratch for the still-hungry index list, so
+    // `grants_into` allocates nothing once its capacity has grown.
+    active: Vec<usize>,
 }
 
 impl RoundRobin {
@@ -69,10 +96,22 @@ impl LinkScheduler for RoundRobin {
     }
 
     fn grants(&mut self, sessions: &[SessionDemand<'_>], capacity: Bytes) -> Vec<Bytes> {
+        let mut grants = Vec::new();
+        self.grants_into(sessions, capacity, &mut grants);
+        grants
+    }
+
+    fn grants_into(
+        &mut self,
+        sessions: &[SessionDemand<'_>],
+        capacity: Bytes,
+        out: &mut Vec<Bytes>,
+    ) {
         let n = sessions.len();
-        let mut grants = vec![0; n];
+        out.clear();
+        out.resize(n, 0);
         if n == 0 {
-            return grants;
+            return;
         }
         let mut remaining = capacity;
         let start = self.cursor % n;
@@ -80,30 +119,29 @@ impl LinkScheduler for RoundRobin {
         // Speed up the common all-backlogged case with an equal floor,
         // then finish byte-by-byte (the floor never overshoots max-min).
         loop {
-            let active: Vec<usize> = (0..n)
-                .filter(|&i| grants[i] < sessions[i].pending)
-                .collect();
-            if active.is_empty() || remaining == 0 {
+            self.active.clear();
+            self.active
+                .extend((0..n).filter(|&i| out[i] < sessions[i].pending));
+            if self.active.is_empty() || remaining == 0 {
                 break;
             }
-            let floor = remaining / active.len() as u64;
+            let floor = remaining / self.active.len() as u64;
             if floor > 0 {
-                for &i in &active {
-                    let take = floor.min(sessions[i].pending - grants[i]);
-                    grants[i] += take;
+                for &i in &self.active {
+                    let take = floor.min(sessions[i].pending - out[i]);
+                    out[i] += take;
                     remaining -= take;
                 }
             } else {
                 for k in 0..n {
                     let i = (start + k) % n;
-                    if remaining > 0 && grants[i] < sessions[i].pending {
-                        grants[i] += 1;
+                    if remaining > 0 && out[i] < sessions[i].pending {
+                        out[i] += 1;
                         remaining -= 1;
                     }
                 }
             }
         }
-        grants
     }
 }
 
@@ -378,6 +416,27 @@ mod tests {
         let d = demands(&bufs, &[1, 1]);
         let grants = GreedyAcrossSessions::new().grants(&d, 100);
         assert_eq!(grants.iter().sum::<u64>(), 6); // all demand served
+    }
+
+    #[test]
+    fn grants_into_matches_grants() {
+        let bufs = [
+            buffer_with(&[(1, 1)]),
+            buffer_with(&[(100, 1)]),
+            buffer_with(&[(2, 1)]),
+        ];
+        let d = demands(&bufs, &[1, 1, 1]);
+        let mut a = RoundRobin::new();
+        let mut b = RoundRobin::new();
+        let mut scratch = Vec::new();
+        for capacity in [0, 3, 10, 200] {
+            a.grants_into(&d, capacity, &mut scratch);
+            assert_eq!(scratch, b.grants(&d, capacity), "capacity {capacity}");
+        }
+        // The default grants_into (WeightedFair) agrees with grants too.
+        let mut w = WeightedFair::new();
+        w.grants_into(&d, 10, &mut scratch);
+        assert_eq!(scratch, WeightedFair::new().grants(&d, 10));
     }
 
     #[test]

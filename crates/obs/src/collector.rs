@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use rts_stream::{Bytes, Time, Weight};
 
-use crate::event::{DropReason, DropSite, Event, FaultKind};
+use crate::event::{DropReason, DropSite, Event, FaultKind, RejectReason, RetireReason};
 use crate::hist::{Counter, Gauge, LogHistogram};
 use crate::probe::Probe;
 
@@ -72,6 +72,12 @@ pub struct Collector {
     pub resyncs: Counter,
     /// Timer skews absorbed by resyncs (slots).
     pub resync_skew: LogHistogram,
+    /// Daemon sessions admitted ([`Event::SessionJoined`]).
+    pub sessions_joined: Counter,
+    /// Daemon sessions retired, keyed by reason.
+    pub sessions_retired: BTreeMap<RetireReason, u64>,
+    /// Ingest refusals, keyed by reason.
+    pub ingest_rejected: BTreeMap<RejectReason, u64>,
     /// Slots observed via [`Event::SlotEnd`].
     pub slots: Counter,
     /// `RunStart` time, if one was seen.
@@ -130,6 +136,13 @@ impl Collector {
         }
         for (kind, n) in &other.faults {
             *self.faults.entry(*kind).or_default() += n;
+        }
+        self.sessions_joined.add(other.sessions_joined.get());
+        for (reason, n) in &other.sessions_retired {
+            *self.sessions_retired.entry(*reason).or_default() += n;
+        }
+        for (reason, n) in &other.ingest_rejected {
+            *self.ingest_rejected.entry(*reason).or_default() += n;
         }
         self.resyncs.add(other.resyncs.get());
         self.resync_skew.merge(&other.resync_skew);
@@ -192,6 +205,23 @@ impl Collector {
                 d.bytes,
                 d.weight
             ));
+        }
+        if self.sessions_joined.get() > 0
+            || !self.sessions_retired.is_empty()
+            || !self.ingest_rejected.is_empty()
+        {
+            let retired: u64 = self.sessions_retired.values().sum();
+            out.push_str(&format!(
+                "daemon: joined={} retired={}\n",
+                self.sessions_joined.get(),
+                retired
+            ));
+            for (reason, n) in &self.sessions_retired {
+                out.push_str(&format!("  retired/{}: {n}\n", reason.name()));
+            }
+            for (reason, n) in &self.ingest_rejected {
+                out.push_str(&format!("  rejected/{}: {n}\n", reason.name()));
+            }
         }
         if !self.faults.is_empty() || self.resyncs.get() > 0 {
             let mut parts = Vec::new();
@@ -270,6 +300,15 @@ impl Probe for Collector {
             Event::RunEnd { time, slots } => {
                 self.run_end = Some((time, slots));
             }
+            Event::SessionJoined { .. } => {
+                self.sessions_joined.inc();
+            }
+            Event::SessionRetired { reason, .. } => {
+                *self.sessions_retired.entry(reason).or_default() += 1;
+            }
+            Event::IngestRejected { reason, .. } => {
+                *self.ingest_rejected.entry(reason).or_default() += 1;
+            }
         }
     }
 }
@@ -297,6 +336,14 @@ mod tests {
         c.on_event(&Event::ClientResync { time: 4, session: 0, skew: 3 });
         c.on_event(&Event::SlotEnd { time: 0, server_occupancy: 10, client_occupancy: 0, link_bytes: 6 });
         c.on_event(&Event::SlotEnd { time: 1, server_occupancy: 4, client_occupancy: 6, link_bytes: 4 });
+        c.on_event(&Event::SessionJoined { time: 0, session: 9, shard: 0, rate: 2 });
+        c.on_event(&Event::SessionRetired {
+            time: 4,
+            session: 9,
+            shard: 0,
+            reason: RetireReason::Completed,
+        });
+        c.on_event(&Event::IngestRejected { time: 2, session: 0, reason: RejectReason::Capacity });
         c.on_event(&Event::RunEnd { time: 5, slots: 5 });
     }
 
@@ -324,6 +371,9 @@ mod tests {
         assert_eq!(c.slots.get(), 2);
         assert_eq!(c.run_end, Some((5, 5)));
         assert_eq!(c.sessions, 2);
+        assert_eq!(c.sessions_joined.get(), 1);
+        assert_eq!(c.sessions_retired[&RetireReason::Completed], 1);
+        assert_eq!(c.ingest_rejected[&RejectReason::Capacity], 1);
     }
 
     #[test]
@@ -337,6 +387,9 @@ mod tests {
         feed(&mut b);
         a.merge(&b);
         assert_eq!(a.faults, whole.faults);
+        assert_eq!(a.sessions_joined.get(), whole.sessions_joined.get());
+        assert_eq!(a.sessions_retired, whole.sessions_retired);
+        assert_eq!(a.ingest_rejected, whole.ingest_rejected);
         assert_eq!(a.resyncs.get(), whole.resyncs.get());
         assert_eq!(a.resync_skew, whole.resync_skew);
         assert_eq!(a.admitted_bytes.get(), whole.admitted_bytes.get());
@@ -359,6 +412,9 @@ mod tests {
         assert!(s.contains("sojourn:"), "{s}");
         assert!(s.contains("faults: outage=1 resyncs=1"), "{s}");
         assert!(s.contains("resync_skew:"), "{s}");
+        assert!(s.contains("daemon: joined=1 retired=1"), "{s}");
+        assert!(s.contains("retired/completed: 1"), "{s}");
+        assert!(s.contains("rejected/capacity: 1"), "{s}");
     }
 
     #[test]
@@ -368,5 +424,6 @@ mod tests {
         let s = c.summary();
         assert!(!s.contains("faults:"), "{s}");
         assert!(!s.contains("resync_skew:"), "{s}");
+        assert!(!s.contains("daemon:"), "{s}");
     }
 }

@@ -99,12 +99,103 @@ impl FaultKind {
     }
 }
 
+/// Why a daemon session left the serving set.
+///
+/// Emitted by `smoothd` with [`Event::SessionRetired`]; the paper's
+/// batch runs never retire sessions, so only the daemon produces these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RetireReason {
+    /// The session's arrival source ended and its pipeline drained.
+    Completed,
+    /// A drain was requested; the pipeline flushed in-flight data first.
+    Drained,
+    /// An evict was requested; unresolved bytes were discarded.
+    Evicted,
+}
+
+impl RetireReason {
+    /// Every retire reason, for iteration in tests and summaries.
+    pub const ALL: [RetireReason; 3] =
+        [RetireReason::Completed, RetireReason::Drained, RetireReason::Evicted];
+
+    /// Stable lower-case name (used by the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            RetireReason::Completed => "completed",
+            RetireReason::Drained => "drained",
+            RetireReason::Evicted => "evicted",
+        }
+    }
+
+    /// Inverse of [`RetireReason::name`].
+    pub fn from_name(name: &str) -> Option<RetireReason> {
+        RetireReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// Why the daemon refused work at the ingest boundary.
+///
+/// Tagged on [`Event::IngestRejected`]: admission-control refusals
+/// mirror [`rts-mux`'s `AdmissionError`], `Backpressure` is a full
+/// shard queue shedding load, and `Protocol`/`UnknownSession` are
+/// framed-ingest faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectReason {
+    /// The session's nominal rate does not fit the residual capacity.
+    Capacity,
+    /// `B > R·D`: infeasible smoothing tradeoff (Theorem 3.5).
+    Infeasible,
+    /// The session asked for a zero nominal rate.
+    ZeroRate,
+    /// The target shard's command queue was full (load shed).
+    Backpressure,
+    /// A command referenced a session id the daemon does not know.
+    UnknownSession,
+    /// A malformed or out-of-order ingest frame.
+    Protocol,
+}
+
+impl RejectReason {
+    /// Every reject reason, for iteration in tests and summaries.
+    pub const ALL: [RejectReason; 6] = [
+        RejectReason::Capacity,
+        RejectReason::Infeasible,
+        RejectReason::ZeroRate,
+        RejectReason::Backpressure,
+        RejectReason::UnknownSession,
+        RejectReason::Protocol,
+    ];
+
+    /// Stable lower-case name (used by the JSONL encoding).
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Capacity => "capacity",
+            RejectReason::Infeasible => "infeasible",
+            RejectReason::ZeroRate => "zero_rate",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::UnknownSession => "unknown_session",
+            RejectReason::Protocol => "protocol",
+        }
+    }
+
+    /// Inverse of [`RejectReason::name`].
+    pub fn from_name(name: &str) -> Option<RejectReason> {
+        RejectReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
 /// One observability event.
 ///
 /// `session` tags slice-level events with the originating session in a
 /// multiplexed run (hop index in a tandem run); single-stream runs use
 /// session 0. [`Event::with_session`] retags an event, which is how the
 /// [`Tagged`](crate::Tagged) adapter scopes a shared probe.
+///
+/// The daemon lifecycle events ([`Event::SessionJoined`],
+/// [`Event::SessionRetired`], [`Event::IngestRejected`]) carry `u64`
+/// session ids in a daemon-wide namespace (a long-running `smoothd`
+/// outlives any `u32` of churned sessions) and are *not* retagged by
+/// [`Event::with_session`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A run began (span open).
@@ -211,6 +302,38 @@ pub enum Event {
         /// Total number of slots simulated.
         slots: u64,
     },
+    /// A daemon admitted a session into a shard (`smoothd` churn).
+    SessionJoined {
+        /// Daemon slot the admission landed in.
+        time: Time,
+        /// Daemon-wide session id.
+        session: u64,
+        /// The shard now serving the session.
+        shard: u32,
+        /// The nominal rate committed under B = R·D accounting.
+        rate: Bytes,
+    },
+    /// A daemon session left the serving set.
+    SessionRetired {
+        /// Daemon slot the retirement was observed in.
+        time: Time,
+        /// Daemon-wide session id.
+        session: u64,
+        /// The shard that was serving the session.
+        shard: u32,
+        /// Why it retired.
+        reason: RetireReason,
+    },
+    /// The daemon refused work at the ingest boundary.
+    IngestRejected {
+        /// Daemon slot of the refusal.
+        time: Time,
+        /// The session involved (0 when no id was ever assigned, e.g. a
+        /// rejected admission request).
+        session: u64,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
 }
 
 impl Event {
@@ -226,6 +349,9 @@ impl Event {
             Event::ClientResync { .. } => "client_resync",
             Event::SlotEnd { .. } => "slot_end",
             Event::RunEnd { .. } => "run_end",
+            Event::SessionJoined { .. } => "session_joined",
+            Event::SessionRetired { .. } => "session_retired",
+            Event::IngestRejected { .. } => "ingest_rejected",
         }
     }
 
@@ -240,7 +366,10 @@ impl Event {
             | Event::LinkFault { time, .. }
             | Event::ClientResync { time, .. }
             | Event::SlotEnd { time, .. }
-            | Event::RunEnd { time, .. } => time,
+            | Event::RunEnd { time, .. }
+            | Event::SessionJoined { time, .. }
+            | Event::SessionRetired { time, .. }
+            | Event::IngestRejected { time, .. } => time,
         }
     }
 
@@ -254,7 +383,12 @@ impl Event {
             | Event::SlicePlayed { session, .. }
             | Event::LinkFault { session, .. }
             | Event::ClientResync { session, .. } => *session = tag,
-            Event::RunStart { .. } | Event::SlotEnd { .. } | Event::RunEnd { .. } => {}
+            Event::RunStart { .. }
+            | Event::SlotEnd { .. }
+            | Event::RunEnd { .. }
+            | Event::SessionJoined { .. }
+            | Event::SessionRetired { .. }
+            | Event::IngestRejected { .. } => {}
         }
         self
     }
@@ -284,6 +418,14 @@ mod tests {
             Event::ClientResync { time: 6, session: 0, skew: 2 },
             Event::SlotEnd { time: 7, server_occupancy: 1, client_occupancy: 2, link_bytes: 3 },
             Event::RunEnd { time: 8, slots: 8 },
+            Event::SessionJoined { time: 9, session: 1 << 40, shard: 3, rate: 2 },
+            Event::SessionRetired {
+                time: 10,
+                session: 1 << 40,
+                shard: 3,
+                reason: RetireReason::Drained,
+            },
+            Event::IngestRejected { time: 11, session: 0, reason: RejectReason::Backpressure },
         ];
         let kinds: Vec<_> = events.iter().map(Event::kind).collect();
         assert_eq!(
@@ -297,7 +439,10 @@ mod tests {
                 "link_fault",
                 "client_resync",
                 "slot_end",
-                "run_end"
+                "run_end",
+                "session_joined",
+                "session_retired",
+                "ingest_rejected"
             ]
         );
         for (i, e) in events.iter().enumerate() {
@@ -315,6 +460,11 @@ mod tests {
         assert!(matches!(resync.with_session(5), Event::ClientResync { session: 5, .. }));
         let slot = Event::SlotEnd { time: 0, server_occupancy: 0, client_occupancy: 0, link_bytes: 0 };
         assert_eq!(slot.with_session(9), slot);
+        // Daemon lifecycle events keep their u64 ids untouched.
+        let joined = Event::SessionJoined { time: 0, session: 7, shard: 1, rate: 1 };
+        assert_eq!(joined.with_session(9), joined);
+        let rejected = Event::IngestRejected { time: 0, session: 7, reason: RejectReason::Protocol };
+        assert_eq!(rejected.with_session(9), rejected);
     }
 
     #[test]
@@ -334,5 +484,19 @@ mod tests {
         }
         assert_eq!(FaultKind::Outage.name(), "outage");
         assert_eq!(FaultKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn retire_and_reject_names_roundtrip() {
+        for reason in RetireReason::ALL {
+            assert_eq!(RetireReason::from_name(reason.name()), Some(reason));
+        }
+        for reason in RejectReason::ALL {
+            assert_eq!(RejectReason::from_name(reason.name()), Some(reason));
+        }
+        assert_eq!(RetireReason::Evicted.name(), "evicted");
+        assert_eq!(RejectReason::Backpressure.name(), "backpressure");
+        assert_eq!(RetireReason::from_name("bogus"), None);
+        assert_eq!(RejectReason::from_name("bogus"), None);
     }
 }

@@ -17,7 +17,7 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use crate::event::{DropReason, DropSite, Event, FaultKind};
+use crate::event::{DropReason, DropSite, Event, FaultKind, RejectReason, RetireReason};
 use crate::probe::Probe;
 
 /// Encodes one event as its JSONL line (no trailing newline).
@@ -53,6 +53,17 @@ pub fn encode(event: &Event) -> String {
         Event::RunEnd { time, slots } => {
             format!("{{\"ev\":\"run_end\",\"t\":{time},\"slots\":{slots}}}")
         }
+        Event::SessionJoined { time, session, shard, rate } => format!(
+            "{{\"ev\":\"session_joined\",\"t\":{time},\"session\":{session},\"shard\":{shard},\"rate\":{rate}}}"
+        ),
+        Event::SessionRetired { time, session, shard, reason } => format!(
+            "{{\"ev\":\"session_retired\",\"t\":{time},\"session\":{session},\"shard\":{shard},\"reason\":\"{}\"}}",
+            reason.name()
+        ),
+        Event::IngestRejected { time, session, reason } => format!(
+            "{{\"ev\":\"ingest_rejected\",\"t\":{time},\"session\":{session},\"reason\":\"{}\"}}",
+            reason.name()
+        ),
     }
 }
 
@@ -224,6 +235,31 @@ pub fn decode(line: &str) -> Result<Event, ParseError> {
                 link_bytes: map.int("link_bytes")?,
             },
             "run_end" => Event::RunEnd { time, slots: map.int("slots")? },
+            "session_joined" => Event::SessionJoined {
+                time,
+                session: map.int("session")?,
+                shard: map.int("shard")? as u32,
+                rate: map.int("rate")?,
+            },
+            "session_retired" => Event::SessionRetired {
+                time,
+                session: map.int("session")?,
+                shard: map.int("shard")? as u32,
+                reason: {
+                    let name = map.string("reason")?;
+                    RetireReason::from_name(name)
+                        .ok_or_else(|| format!("unknown retire reason {name:?}"))?
+                },
+            },
+            "ingest_rejected" => Event::IngestRejected {
+                time,
+                session: map.int("session")?,
+                reason: {
+                    let name = map.string("reason")?;
+                    RejectReason::from_name(name)
+                        .ok_or_else(|| format!("unknown reject reason {name:?}"))?
+                },
+            },
             other => return Err(format!("unknown event kind {other:?}")),
         })
     })()
@@ -342,6 +378,14 @@ mod tests {
             Event::ClientResync { time: 5, session: 1, skew: 3 },
             Event::SlotEnd { time: 5, server_occupancy: 7, client_occupancy: 8, link_bytes: 9 },
             Event::RunEnd { time: 6, slots: 6 },
+            Event::SessionJoined { time: 7, session: u64::MAX, shard: 5, rate: 3 },
+            Event::SessionRetired {
+                time: 8,
+                session: u64::MAX,
+                shard: 5,
+                reason: RetireReason::Evicted,
+            },
+            Event::IngestRejected { time: 9, session: 0, reason: RejectReason::Capacity },
         ]
     }
 
@@ -369,6 +413,9 @@ mod tests {
             "{\"ev\":\"slice_dropped\",\"t\":0,\"session\":0,\"id\":0,\"bytes\":0,\"weight\":0,\"site\":\"moon\",\"reason\":\"late\"}",
             "{\"ev\":\"link_fault\",\"t\":0,\"session\":0,\"kind\":\"gremlins\"}",
             "{\"ev\":\"client_resync\",\"t\":0,\"session\":0}",
+            "{\"ev\":\"session_retired\",\"t\":0,\"session\":0,\"shard\":0,\"reason\":\"vibes\"}",
+            "{\"ev\":\"ingest_rejected\",\"t\":0,\"session\":0,\"reason\":\"vibes\"}",
+            "{\"ev\":\"session_joined\",\"t\":0,\"session\":0,\"shard\":0}",
         ] {
             assert!(decode(bad).is_err(), "accepted {bad:?}");
         }

@@ -55,7 +55,7 @@ mod sink;
 
 pub use collector::{Collector, DropStats};
 pub use csv::{CsvTimeSeries, CSV_HEADER};
-pub use event::{DropReason, DropSite, Event, FaultKind};
+pub use event::{DropReason, DropSite, Event, FaultKind, RejectReason, RetireReason};
 pub use hist::{Counter, Gauge, LogHistogram};
 pub use jsonl::{decode, encode, replay, JsonlWriter, ParseError, ReplayError};
 pub use probe::{NoopProbe, Probe, Tagged, Tee, VecProbe};

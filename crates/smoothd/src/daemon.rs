@@ -1,0 +1,750 @@
+//! The daemon proper: shard worker threads and the control plane.
+//!
+//! Sessions are partitioned across shards; each shard runs on its own
+//! worker thread, stepping [`Shard::process_slot`] in a tight loop and
+//! draining a bounded command queue between slots. The control plane
+//! (admissions, data injection, drain/evict, stats) talks to workers
+//! only through those queues, so the hot loop never takes a lock.
+//!
+//! Admission control happens twice, deliberately:
+//!
+//! 1. The control plane keeps a per-shard atomic mirror of committed
+//!    rate and performs the `B = R·D` feasibility and capacity checks
+//!    before enqueueing, so rejects are immediate and typed
+//!    ([`RejectReason`]). The mirror is conservative: it is
+//!    incremented before the worker sees the admit and decremented
+//!    only after the worker has released the reservation.
+//! 2. The shard's own [`rts_mux::AdmissionController`] remains the
+//!    authority inside the worker; by the ordering above it can never
+//!    see more committed rate than the mirror allowed.
+//!
+//! Backpressure is explicit: when a shard's queue is full, data-plane
+//! operations fail with [`RejectReason::Backpressure`] instead of
+//! blocking the listener.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rts_obs::{Event, LogHistogram, RejectReason};
+use rts_stream::{Bytes, Time, Weight};
+
+use crate::frame::{AdmitRequest, StatsSnapshot};
+use crate::session::{ArrivalSource, SessionCounters, SessionId};
+use crate::shard::{Retirement, Shard};
+
+/// Daemon sizing and behaviour.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker (shard) count.
+    pub shards: u32,
+    /// Link rate guarded by each shard, bytes per slot.
+    pub shard_link_rate: Bytes,
+    /// Admission overbooking factor `num/den` per shard.
+    pub overbook: (u64, u64),
+    /// Bound of each shard's command queue; a full queue sheds with
+    /// [`RejectReason::Backpressure`].
+    pub queue_capacity: usize,
+    /// Optional pacing: sleep this long after every slot (`None` =
+    /// free-running, for capacity benchmarks).
+    pub slot_interval: Option<Duration>,
+    /// Record lifecycle events (joined/retired/rejected) for the
+    /// trace sink. Off for pure benchmarks.
+    pub record_events: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            shard_link_rate: 1 << 16,
+            overbook: (1, 1),
+            queue_capacity: 1024,
+            slot_interval: None,
+            record_events: true,
+        }
+    }
+}
+
+enum Command {
+    Admit {
+        id: SessionId,
+        req: AdmitRequest,
+        source: Option<ArrivalSource>,
+    },
+    Inject {
+        id: SessionId,
+        slices: Vec<(Bytes, Weight)>,
+    },
+    Drain {
+        id: SessionId,
+    },
+    Evict {
+        id: SessionId,
+    },
+    Stop {
+        drain: bool,
+    },
+}
+
+#[derive(Default)]
+struct SharedShard {
+    sessions: AtomicU64,
+    slots: AtomicU64,
+    played: AtomicU64,
+}
+
+struct ShardHandle {
+    tx: SyncSender<Command>,
+    committed: Arc<AtomicU64>,
+    shared: Arc<SharedShard>,
+    retired: Arc<Mutex<Vec<Retirement>>>,
+    join: JoinHandle<Shard>,
+}
+
+/// Final per-shard accounting, extracted at shutdown.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Shard id.
+    pub id: u32,
+    /// Slots the worker processed.
+    pub slots: u64,
+    /// Link rate it guarded.
+    pub link_rate: Bytes,
+    /// Combined ledger of every session it ever hosted.
+    pub counters: SessionCounters,
+    /// Largest single-slot byte total sent (`<= link_rate` always).
+    pub max_slot_sent: Bytes,
+    /// Most sessions resident at once.
+    pub peak_sessions: usize,
+    /// Per-slot wall latency, nanoseconds.
+    pub latency: LogHistogram,
+}
+
+/// What the daemon did over its lifetime.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Per-shard breakdowns.
+    pub shards: Vec<ShardReport>,
+    /// Ledger summed over all shards (conserved after a drained
+    /// shutdown).
+    pub totals: SessionCounters,
+    /// Sessions retired over the daemon's lifetime.
+    pub retired_sessions: u64,
+    /// Merged per-slot latency histogram.
+    pub latency: LogHistogram,
+}
+
+impl DaemonReport {
+    /// Total slots processed across shards.
+    pub fn total_slots(&self) -> u64 {
+        self.shards.iter().map(|s| s.slots).sum()
+    }
+}
+
+fn worker(
+    mut shard: Shard,
+    rx: Receiver<Command>,
+    committed: Arc<AtomicU64>,
+    shared: Arc<SharedShard>,
+    retired_sink: Arc<Mutex<Vec<Retirement>>>,
+    slot_interval: Option<Duration>,
+) -> Shard {
+    let mut stopping = false;
+    let mut retire_buf: Vec<Retirement> = Vec::new();
+    loop {
+        // Drain the command queue without blocking the slot cadence.
+        loop {
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    if apply(&mut shard, cmd) {
+                        stopping = true;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    stopping = true;
+                    break;
+                }
+            }
+        }
+        if shard.sessions() == 0 {
+            if stopping {
+                break;
+            }
+            // Idle: wait for work instead of spinning.
+            match rx.recv_timeout(Duration::from_millis(2)) {
+                Ok(cmd) => {
+                    if apply(&mut shard, cmd) {
+                        stopping = true;
+                        if shard.sessions() == 0 {
+                            break;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            continue;
+        }
+        let t0 = Instant::now();
+        shard.process_slot();
+        let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        shard.stats_mut().latency.record(nanos);
+        shared
+            .sessions
+            .store(shard.sessions() as u64, Ordering::Relaxed);
+        shared.slots.store(shard.now(), Ordering::Relaxed);
+        shared
+            .played
+            .store(shard.stats().played_slices, Ordering::Relaxed);
+        if shard.has_retirements() {
+            shard.take_retirements(&mut retire_buf);
+            for r in &retire_buf {
+                committed.fetch_sub(r.rate, Ordering::Relaxed);
+            }
+            retired_sink
+                .lock()
+                .expect("retirement sink poisoned")
+                .append(&mut retire_buf);
+        }
+        if let Some(pause) = slot_interval {
+            std::thread::sleep(pause);
+        }
+    }
+    // Flush anything the final slots produced.
+    if shard.has_retirements() {
+        shard.take_retirements(&mut retire_buf);
+        for r in &retire_buf {
+            committed.fetch_sub(r.rate, Ordering::Relaxed);
+        }
+        retired_sink
+            .lock()
+            .expect("retirement sink poisoned")
+            .append(&mut retire_buf);
+    }
+    shared
+        .sessions
+        .store(shard.sessions() as u64, Ordering::Relaxed);
+    shared.slots.store(shard.now(), Ordering::Relaxed);
+    shared
+        .played
+        .store(shard.stats().played_slices, Ordering::Relaxed);
+    shard
+}
+
+/// Applies one command; returns `true` when the worker should stop.
+fn apply(shard: &mut Shard, cmd: Command) -> bool {
+    match cmd {
+        Command::Admit { id, req, source } => {
+            let admitted = match source {
+                Some(src) => shard.admit_with_source(id, &req, src),
+                None => shard.admit(id, &req),
+            };
+            debug_assert!(
+                admitted.is_ok(),
+                "control plane pre-checked admission: {admitted:?}"
+            );
+            false
+        }
+        Command::Inject { id, slices } => {
+            // A session may have retired between enqueue and apply;
+            // stale injections are dropped on the floor.
+            let _ = shard.inject(id, &slices);
+            false
+        }
+        Command::Drain { id } => {
+            let _ = shard.drain(id);
+            false
+        }
+        Command::Evict { id } => {
+            let _ = shard.evict(id);
+            false
+        }
+        Command::Stop { drain } => {
+            if drain {
+                shard.drain_all();
+                while shard.sessions() > 0 {
+                    shard.process_slot();
+                }
+            } else {
+                shard.evict_all();
+            }
+            true
+        }
+    }
+}
+
+/// Handle to a running daemon: admissions, data plane, stats, and
+/// shutdown. All methods take `&mut self`; wrap in a `Mutex` to share
+/// with listener threads (control operations are short).
+pub struct Daemon {
+    cfg: DaemonConfig,
+    handles: Vec<ShardHandle>,
+    directory: HashMap<SessionId, u32>,
+    next_id: SessionId,
+    bookable_per_shard: Bytes,
+    retired_sessions: u64,
+    events: Vec<Event>,
+    retire_scratch: Vec<Retirement>,
+}
+
+impl Daemon {
+    /// Spawns `cfg.shards` workers and returns the control handle.
+    pub fn start(cfg: DaemonConfig) -> Daemon {
+        assert!(cfg.shards > 0, "daemon needs at least one shard");
+        assert!(cfg.shard_link_rate > 0, "shard link rate must be positive");
+        let bookable = Shard::new(u32::MAX, cfg.shard_link_rate, cfg.overbook)
+            .admission()
+            .bookable_capacity();
+        let handles = (0..cfg.shards)
+            .map(|i| {
+                let shard = Shard::new(i, cfg.shard_link_rate, cfg.overbook);
+                let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+                let committed = Arc::new(AtomicU64::new(0));
+                let shared = Arc::new(SharedShard::default());
+                let retired = Arc::new(Mutex::new(Vec::new()));
+                let join = {
+                    let committed = Arc::clone(&committed);
+                    let shared = Arc::clone(&shared);
+                    let retired = Arc::clone(&retired);
+                    let pause = cfg.slot_interval;
+                    std::thread::Builder::new()
+                        .name(format!("smoothd-shard-{i}"))
+                        .spawn(move || worker(shard, rx, committed, shared, retired, pause))
+                        .expect("spawn shard worker")
+                };
+                ShardHandle {
+                    tx,
+                    committed,
+                    shared,
+                    retired,
+                    join,
+                }
+            })
+            .collect();
+        Daemon {
+            cfg,
+            handles,
+            directory: HashMap::new(),
+            next_id: 1,
+            bookable_per_shard: bookable,
+            retired_sessions: 0,
+            events: Vec::new(),
+            retire_scratch: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, event: Event) {
+        if self.cfg.record_events {
+            self.events.push(event);
+        }
+    }
+
+    /// Moves accumulated lifecycle events into `out`.
+    pub fn take_events(&mut self, out: &mut Vec<Event>) {
+        out.append(&mut self.events);
+    }
+
+    /// Picks the shard with the most residual bookable rate that still
+    /// fits `rate`, reserving it in the mirror.
+    fn reserve(&mut self, rate: Bytes) -> Option<u32> {
+        let mut best: Option<(u32, Bytes)> = None;
+        for (i, h) in self.handles.iter().enumerate() {
+            let committed = h.committed.load(Ordering::Relaxed);
+            let residual = self.bookable_per_shard.saturating_sub(committed);
+            if residual >= rate && best.map(|(_, r)| residual > r).unwrap_or(true) {
+                best = Some((i as u32, residual));
+            }
+        }
+        let (shard, _) = best?;
+        self.handles[shard as usize]
+            .committed
+            .fetch_add(rate, Ordering::Relaxed);
+        Some(shard)
+    }
+
+    fn admit_inner(
+        &mut self,
+        req: &AdmitRequest,
+        source: Option<ArrivalSource>,
+        blocking: bool,
+    ) -> Result<(SessionId, u32), RejectReason> {
+        let params = Shard::params_of(req)?;
+        if params.buffer > params.delay_bandwidth_product() {
+            return Err(RejectReason::Infeasible);
+        }
+        let Some(shard) = self.reserve(params.rate) else {
+            return Err(RejectReason::Capacity);
+        };
+        let id = self.next_id;
+        let cmd = Command::Admit {
+            id,
+            req: *req,
+            source,
+        };
+        let h = &self.handles[shard as usize];
+        if blocking {
+            if h.tx.send(cmd).is_err() {
+                h.committed.fetch_sub(params.rate, Ordering::Relaxed);
+                return Err(RejectReason::Backpressure);
+            }
+        } else {
+            match h.tx.try_send(cmd) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    h.committed.fetch_sub(params.rate, Ordering::Relaxed);
+                    return Err(RejectReason::Backpressure);
+                }
+            }
+        }
+        self.next_id += 1;
+        self.directory.insert(id, shard);
+        let time = self.handles[shard as usize]
+            .shared
+            .slots
+            .load(Ordering::Relaxed);
+        self.record(Event::SessionJoined {
+            time,
+            session: id,
+            shard,
+            rate: params.rate,
+        });
+        Ok((id, shard))
+    }
+
+    /// Admits a session, blocking while the target shard's queue is
+    /// full (loader / benchmark path).
+    pub fn admit(&mut self, req: &AdmitRequest) -> Result<(SessionId, u32), RejectReason> {
+        self.admit_with_outcome(req, None, true)
+    }
+
+    /// Admits without blocking; a full queue rejects with
+    /// [`RejectReason::Backpressure`] (ingest path).
+    pub fn try_admit(&mut self, req: &AdmitRequest) -> Result<(SessionId, u32), RejectReason> {
+        self.admit_with_outcome(req, None, false)
+    }
+
+    /// Admits with an explicit arrival source (trace replay).
+    pub fn admit_with_source(
+        &mut self,
+        req: &AdmitRequest,
+        source: ArrivalSource,
+    ) -> Result<(SessionId, u32), RejectReason> {
+        self.admit_with_outcome(req, Some(source), true)
+    }
+
+    fn admit_with_outcome(
+        &mut self,
+        req: &AdmitRequest,
+        source: Option<ArrivalSource>,
+        blocking: bool,
+    ) -> Result<(SessionId, u32), RejectReason> {
+        match self.admit_inner(req, source, blocking) {
+            Ok(ok) => Ok(ok),
+            Err(reason) => {
+                let time = self.max_slots();
+                self.record(Event::IngestRejected {
+                    time,
+                    session: 0,
+                    reason,
+                });
+                Err(reason)
+            }
+        }
+    }
+
+    fn shard_of(&self, id: SessionId) -> Result<u32, RejectReason> {
+        self.directory
+            .get(&id)
+            .copied()
+            .ok_or(RejectReason::UnknownSession)
+    }
+
+    fn push(&mut self, id: SessionId, cmd: Command) -> Result<(), RejectReason> {
+        let shard = self.shard_of(id)?;
+        match self.handles[shard as usize].tx.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                let time = self.max_slots();
+                self.record(Event::IngestRejected {
+                    time,
+                    session: id,
+                    reason: RejectReason::Backpressure,
+                });
+                Err(RejectReason::Backpressure)
+            }
+        }
+    }
+
+    /// Feeds slices to an externally-sourced session.
+    pub fn inject(
+        &mut self,
+        id: SessionId,
+        slices: Vec<(Bytes, Weight)>,
+    ) -> Result<(), RejectReason> {
+        self.push(id, Command::Inject { id, slices })
+    }
+
+    /// Requests a graceful drain of one session.
+    pub fn drain(&mut self, id: SessionId) -> Result<(), RejectReason> {
+        self.push(id, Command::Drain { id })
+    }
+
+    /// Evicts one session immediately.
+    pub fn evict(&mut self, id: SessionId) -> Result<(), RejectReason> {
+        self.push(id, Command::Evict { id })
+    }
+
+    /// Harvests worker retirements: updates the directory, counts
+    /// them, and records `SessionRetired` events. Returns how many
+    /// sessions retired since the last poll.
+    pub fn poll(&mut self) -> u64 {
+        let mut harvested = std::mem::take(&mut self.retire_scratch);
+        harvested.clear();
+        for h in &self.handles {
+            let mut sink = h.retired.lock().expect("retirement sink poisoned");
+            harvested.append(&mut sink);
+        }
+        let n = harvested.len() as u64;
+        self.retired_sessions += n;
+        let events_on = self.cfg.record_events;
+        for r in &harvested {
+            self.directory.remove(&r.session);
+            if events_on {
+                self.events.push(Event::SessionRetired {
+                    time: r.slot,
+                    session: r.session,
+                    shard: r.shard,
+                    reason: r.cause.as_obs(),
+                });
+            }
+        }
+        harvested.clear();
+        self.retire_scratch = harvested;
+        n
+    }
+
+    /// Live session count as published by the workers.
+    pub fn live_sessions(&self) -> u64 {
+        self.handles
+            .iter()
+            .map(|h| h.shared.sessions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn max_slots(&self) -> Time {
+        self.handles
+            .iter()
+            .map(|h| h.shared.slots.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// A point-in-time aggregate snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions: self.live_sessions(),
+            slices_played: self
+                .handles
+                .iter()
+                .map(|h| h.shared.played.load(Ordering::Relaxed))
+                .sum(),
+            slots: self.max_slots(),
+            retired: self.retired_sessions,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.cfg.shards
+    }
+
+    /// Polls until every session has retired or `timeout` elapses.
+    /// Returns `true` when fully idle.
+    pub fn wait_idle(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll();
+            if self.live_sessions() == 0 && self.directory.is_empty() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops the workers — draining every session first when `drain`
+    /// is true, evicting otherwise — and merges the final report.
+    pub fn shutdown(mut self, drain: bool) -> DaemonReport {
+        for h in &self.handles {
+            // Blocking send: Stop must arrive even on a full queue.
+            let _ = h.tx.send(Command::Stop { drain });
+        }
+        let mut shards = Vec::with_capacity(self.handles.len());
+        let mut totals = SessionCounters::default();
+        let mut latency = LogHistogram::new();
+        let events_on = self.cfg.record_events;
+        let handles = std::mem::take(&mut self.handles);
+        for h in handles {
+            drop(h.tx);
+            let shard = h.join.join().expect("shard worker panicked");
+            // Final harvest for events and the directory.
+            let mut sink = h.retired.lock().expect("retirement sink poisoned");
+            for r in sink.drain(..) {
+                self.retired_sessions += 1;
+                self.directory.remove(&r.session);
+                if events_on {
+                    self.events.push(Event::SessionRetired {
+                        time: r.slot,
+                        session: r.session,
+                        shard: r.shard,
+                        reason: r.cause.as_obs(),
+                    });
+                }
+            }
+            drop(sink);
+            let counters = shard.totals();
+            totals.add(&counters);
+            latency.merge(&shard.stats().latency);
+            shards.push(ShardReport {
+                id: shard.id(),
+                slots: shard.stats().slots,
+                link_rate: shard.admission().link_rate(),
+                counters,
+                max_slot_sent: shard.stats().max_slot_sent,
+                peak_sessions: shard.stats().peak_sessions,
+                latency: shard.stats().latency.clone(),
+            });
+        }
+        DaemonReport {
+            shards,
+            totals,
+            retired_sessions: self.retired_sessions,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::WirePolicy;
+
+    fn cbr_request(rate: Bytes, lifetime: u64) -> AdmitRequest {
+        AdmitRequest {
+            rate,
+            delay: 3,
+            link_delay: 1,
+            buffer: 0,
+            weight: 1,
+            policy: WirePolicy::Tail,
+            per_slot: rate as u32,
+            slice_size: 1,
+            lifetime,
+        }
+    }
+
+    fn small_config(shards: u32, rate: Bytes) -> DaemonConfig {
+        DaemonConfig {
+            shards,
+            shard_link_rate: rate,
+            overbook: (1, 1),
+            queue_capacity: 64,
+            slot_interval: None,
+            record_events: true,
+        }
+    }
+
+    #[test]
+    fn sessions_complete_and_ledger_conserves() {
+        let mut d = Daemon::start(small_config(2, 64));
+        for _ in 0..16 {
+            d.admit(&cbr_request(4, 12)).expect("capacity available");
+        }
+        assert!(d.wait_idle(Duration::from_secs(20)), "sessions must finish");
+        let report = d.shutdown(true);
+        assert!(report.totals.conserved(), "daemon ledger must balance");
+        assert_eq!(report.totals.offered_bytes, 16 * 4 * 12);
+        assert_eq!(
+            report.totals.played_bytes, report.totals.offered_bytes,
+            "uncontended sessions play everything"
+        );
+        assert_eq!(report.retired_sessions, 16);
+        for s in &report.shards {
+            assert!(s.max_slot_sent <= s.link_rate);
+        }
+    }
+
+    #[test]
+    fn capacity_rejection_is_typed_and_released_on_retirement() {
+        let mut d = Daemon::start(small_config(1, 8));
+        let (id, _) = d.admit(&cbr_request(8, 0)).unwrap();
+        assert_eq!(d.admit(&cbr_request(1, 4)), Err(RejectReason::Capacity));
+        d.drain(id).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(20)));
+        d.admit(&cbr_request(8, 4)).expect("capacity came back");
+        assert!(d.wait_idle(Duration::from_secs(20)));
+        let report = d.shutdown(true);
+        assert!(report.totals.conserved());
+        assert_eq!(report.retired_sessions, 2);
+    }
+
+    #[test]
+    fn eviction_shutdown_still_balances_the_ledger() {
+        let mut d = Daemon::start(small_config(2, 32));
+        for _ in 0..8 {
+            d.admit(&cbr_request(4, 0)).unwrap(); // unbounded
+        }
+        // Give the workers a moment to move bytes.
+        std::thread::sleep(Duration::from_millis(20));
+        let report = d.shutdown(false);
+        assert!(report.totals.conserved(), "evicted ledgers must balance");
+        assert!(report.totals.evicted_bytes > 0, "eviction charged the pools");
+        assert_eq!(report.retired_sessions, 8);
+    }
+
+    #[test]
+    fn lifecycle_events_are_recorded() {
+        let mut d = Daemon::start(small_config(1, 8));
+        let (id, _) = d.admit(&cbr_request(4, 6)).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(20)));
+        assert_eq!(d.admit(&cbr_request(0, 1)), Err(RejectReason::ZeroRate));
+        let mut events = Vec::new();
+        d.take_events(&mut events);
+        assert!(events.iter().any(
+            |e| matches!(e, Event::SessionJoined { session, rate, .. } if *session == id && *rate == 4)
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::SessionRetired {
+                session,
+                reason: rts_obs::RetireReason::Completed,
+                ..
+            } if *session == id
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::IngestRejected { reason: RejectReason::ZeroRate, .. })));
+        d.shutdown(true);
+    }
+
+    #[test]
+    fn unknown_session_operations_reject() {
+        let mut d = Daemon::start(small_config(1, 8));
+        assert_eq!(d.drain(999), Err(RejectReason::UnknownSession));
+        assert_eq!(d.evict(999), Err(RejectReason::UnknownSession));
+        assert_eq!(
+            d.inject(999, vec![(1, 1)]),
+            Err(RejectReason::UnknownSession)
+        );
+        d.shutdown(true);
+    }
+}

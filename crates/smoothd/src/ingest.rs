@@ -1,0 +1,369 @@
+//! Network ingest: TCP (and Unix-socket) listeners speaking the frame
+//! protocol.
+//!
+//! Each accepted connection gets its own thread running the same
+//! generic handler: reassemble frames with [`FrameReader`], dispatch
+//! against the shared [`Daemon`] control handle, and reply with typed
+//! frames. The daemon's own queues provide backpressure — a full
+//! shard queue surfaces as a [`Frame::Rejected`] with
+//! `RejectReason::Backpressure` rather than blocking the socket.
+//!
+//! Sessions admitted over a connection are drained when it closes
+//! (graceful default: bytes already in flight still play out).
+//! Protocol violations — bad magic, unknown kinds, truncated or
+//! oversized frames — answer with a `Protocol` rejection and close;
+//! the decoder is total, so hostile bytes can never panic the daemon.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rts_obs::RejectReason;
+
+use crate::daemon::Daemon;
+use crate::frame::{encode_frame, Frame, FrameReader, PROTOCOL_VERSION};
+use crate::session::SessionId;
+
+/// How long a connection thread blocks in `read` before re-checking
+/// the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// A running listener; dropping it does **not** stop the threads —
+/// call [`IngestServer::stop`].
+pub struct IngestServer {
+    shutdown: Arc<AtomicBool>,
+    accept_join: JoinHandle<()>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl IngestServer {
+    /// The bound TCP address (None for Unix sockets); lets tests bind
+    /// port 0 and discover the port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// Signals every thread to finish and joins the accept loop (which
+    /// in turn joins its connection threads).
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.accept_join.join();
+    }
+}
+
+/// Serves the frame protocol on a TCP listener. `addr` is a
+/// `host:port` pair; port 0 picks a free port (see
+/// [`IngestServer::local_addr`]).
+pub fn serve_tcp(daemon: Arc<Mutex<Daemon>>, addr: &str) -> std::io::Result<IngestServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_join = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name("smoothd-accept".into())
+            .spawn(move || accept_loop(listener, daemon, shutdown))
+            .expect("spawn accept loop")
+    };
+    Ok(IngestServer {
+        shutdown,
+        accept_join,
+        local_addr: Some(local_addr),
+    })
+}
+
+fn accept_loop(listener: TcpListener, daemon: Arc<Mutex<Daemon>>, shutdown: Arc<AtomicBool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if prepare(&stream).is_err() {
+                    continue;
+                }
+                let daemon = Arc::clone(&daemon);
+                let shutdown = Arc::clone(&shutdown);
+                if let Ok(join) = std::thread::Builder::new()
+                    .name("smoothd-conn".into())
+                    .spawn(move || handle_conn(stream, &daemon, &shutdown))
+                {
+                    conns.push(join);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        // Reap finished connection threads so the vec stays small.
+        conns.retain(|j| !j.is_finished());
+    }
+    for join in conns {
+        let _ = join.join();
+    }
+}
+
+fn prepare(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true)
+}
+
+/// Serves one connection: any blocking `Read + Write` stream whose
+/// reads time out periodically (so shutdown is honored).
+fn handle_conn<S: Read + Write>(mut stream: S, daemon: &Mutex<Daemon>, shutdown: &AtomicBool) {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let mut greeted = false;
+    let mut my_sessions: Vec<SessionId> = Vec::new();
+    'conn: loop {
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = stream.write_all(&encode_frame(&Frame::Bye));
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        reader.extend(&buf[..n]);
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    // Typed protocol violation: reject and hang up.
+                    let _ = stream.write_all(&encode_frame(&Frame::Rejected {
+                        session: 0,
+                        reason: RejectReason::Protocol,
+                    }));
+                    break 'conn;
+                }
+            };
+            match dispatch(frame, &mut stream, daemon, &mut greeted, &mut my_sessions) {
+                Flow::Continue => {}
+                Flow::Close => break 'conn,
+            }
+        }
+    }
+    // Graceful teardown: whatever this connection admitted drains out.
+    if !my_sessions.is_empty() {
+        let mut d = daemon.lock().expect("daemon mutex poisoned");
+        for id in my_sessions {
+            let _ = d.drain(id);
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn dispatch<S: Write>(
+    frame: Frame,
+    stream: &mut S,
+    daemon: &Mutex<Daemon>,
+    greeted: &mut bool,
+    my_sessions: &mut Vec<SessionId>,
+) -> Flow {
+    let reply = |stream: &mut S, frame: &Frame| stream.write_all(&encode_frame(frame)).is_ok();
+    if !*greeted {
+        return match frame {
+            Frame::Hello { version } if version == PROTOCOL_VERSION => {
+                *greeted = true;
+                if reply(
+                    stream,
+                    &Frame::Welcome {
+                        version: PROTOCOL_VERSION,
+                    },
+                ) {
+                    Flow::Continue
+                } else {
+                    Flow::Close
+                }
+            }
+            _ => {
+                // Wrong version or anything before Hello.
+                let _ = reply(
+                    stream,
+                    &Frame::Rejected {
+                        session: 0,
+                        reason: RejectReason::Protocol,
+                    },
+                );
+                Flow::Close
+            }
+        };
+    }
+    match frame {
+        Frame::Hello { .. } => {
+            let _ = reply(
+                stream,
+                &Frame::Rejected {
+                    session: 0,
+                    reason: RejectReason::Protocol,
+                },
+            );
+            Flow::Close
+        }
+        Frame::Admit(req) => {
+            let outcome = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .try_admit(&req);
+            let ok = match outcome {
+                Ok((session, shard)) => {
+                    my_sessions.push(session);
+                    reply(stream, &Frame::Admitted { session, shard })
+                }
+                Err(reason) => reply(stream, &Frame::Rejected { session: 0, reason }),
+            };
+            if ok {
+                Flow::Continue
+            } else {
+                Flow::Close
+            }
+        }
+        Frame::Data { session, slices } => {
+            // Data is not acked on success; errors come back typed.
+            let outcome = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .inject(session, slices);
+            match outcome {
+                Ok(()) => Flow::Continue,
+                Err(reason) => {
+                    if reply(stream, &Frame::Rejected { session, reason }) {
+                        Flow::Continue
+                    } else {
+                        Flow::Close
+                    }
+                }
+            }
+        }
+        Frame::Drain { session } => {
+            let outcome = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .drain(session);
+            if let Err(reason) = outcome {
+                let _ = reply(stream, &Frame::Rejected { session, reason });
+            } else {
+                my_sessions.retain(|&s| s != session);
+            }
+            Flow::Continue
+        }
+        Frame::Evict { session } => {
+            let outcome = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .evict(session);
+            if let Err(reason) = outcome {
+                let _ = reply(stream, &Frame::Rejected { session, reason });
+            } else {
+                my_sessions.retain(|&s| s != session);
+            }
+            Flow::Continue
+        }
+        Frame::Stats => {
+            let snapshot = {
+                let mut d = daemon.lock().expect("daemon mutex poisoned");
+                d.poll();
+                d.stats()
+            };
+            if reply(stream, &Frame::StatsReply(snapshot)) {
+                Flow::Continue
+            } else {
+                Flow::Close
+            }
+        }
+        Frame::Goodbye => {
+            let _ = reply(stream, &Frame::Bye);
+            Flow::Close
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations.
+        Frame::Welcome { .. }
+        | Frame::Admitted { .. }
+        | Frame::Rejected { .. }
+        | Frame::StatsReply(_)
+        | Frame::Bye => {
+            let _ = reply(
+                stream,
+                &Frame::Rejected {
+                    session: 0,
+                    reason: RejectReason::Protocol,
+                },
+            );
+            Flow::Close
+        }
+    }
+}
+
+/// Unix-domain-socket listener (same protocol as TCP).
+#[cfg(unix)]
+pub fn serve_uds(
+    daemon: Arc<Mutex<Daemon>>,
+    path: &std::path::Path,
+) -> std::io::Result<IngestServer> {
+    use std::os::unix::net::UnixListener;
+    // A stale socket file from a previous run would fail the bind.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_join = {
+        let shutdown = Arc::clone(&shutdown);
+        let path = path.to_path_buf();
+        std::thread::Builder::new()
+            .name("smoothd-accept-uds".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let ok = stream
+                                .set_nonblocking(false)
+                                .and_then(|()| stream.set_read_timeout(Some(READ_TICK)));
+                            if ok.is_err() {
+                                continue;
+                            }
+                            let daemon = Arc::clone(&daemon);
+                            let shutdown = Arc::clone(&shutdown);
+                            if let Ok(join) = std::thread::Builder::new()
+                                .name("smoothd-conn-uds".into())
+                                .spawn(move || handle_conn(stream, &daemon, &shutdown))
+                            {
+                                conns.push(join);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                    conns.retain(|j| !j.is_finished());
+                }
+                for join in conns {
+                    let _ = join.join();
+                }
+                let _ = std::fs::remove_file(&path);
+            })
+            .expect("spawn accept loop")
+    };
+    Ok(IngestServer {
+        shutdown,
+        accept_join,
+        local_addr: None,
+    })
+}

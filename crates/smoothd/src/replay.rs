@@ -1,0 +1,133 @@
+//! Feeding recorded `rts-obs` traces back through the daemon.
+//!
+//! Any JSONL trace that carries `slice_admitted` events — the output
+//! of `smoothctl run --out`, the mux engine, or the daemon itself —
+//! can be regrouped into per-session arrival schedules and admitted as
+//! [`crate::ArrivalSource::scheduled`] sessions, so recorded workloads
+//! replay against a live daemon.
+
+use std::io::BufRead;
+
+use rts_obs::{Event, Probe, ReplayError};
+use rts_stream::{Bytes, Time};
+
+use crate::session::QueuedSlice;
+
+/// One session reconstructed from a trace.
+#[derive(Debug, Clone)]
+pub struct ReplaySession {
+    /// The session tag the trace used.
+    pub tag: u32,
+    /// Arrival schedule, times rebased so the first slice arrives at
+    /// the session's local slot 0.
+    pub slices: Vec<QueuedSlice>,
+    /// Total bytes across the schedule.
+    pub total_bytes: Bytes,
+    /// Last local arrival slot.
+    pub horizon: Time,
+}
+
+#[derive(Default)]
+struct ArrivalCollector {
+    sessions: Vec<(u32, Vec<QueuedSlice>)>,
+}
+
+impl ArrivalCollector {
+    fn slot_for(&mut self, tag: u32) -> &mut Vec<QueuedSlice> {
+        // Traces interleave a handful of sessions; linear probe keeps
+        // ordering stable without a map.
+        if let Some(pos) = self.sessions.iter().position(|(t, _)| *t == tag) {
+            return &mut self.sessions[pos].1;
+        }
+        self.sessions.push((tag, Vec::new()));
+        &mut self.sessions.last_mut().expect("just pushed").1
+    }
+}
+
+impl Probe for ArrivalCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Event::SliceAdmitted {
+            time,
+            session,
+            bytes,
+            weight,
+            ..
+        } = event
+        {
+            self.slot_for(*session).push(QueuedSlice {
+                at: *time,
+                size: *bytes,
+                weight: *weight,
+            });
+        }
+    }
+}
+
+/// Reads a JSONL trace and reconstructs one [`ReplaySession`] per
+/// session tag that admitted at least one slice.
+pub fn replay_sessions<R: BufRead>(reader: R) -> Result<Vec<ReplaySession>, ReplayError> {
+    let mut collector = ArrivalCollector::default();
+    rts_obs::replay(reader, &mut collector)?;
+    Ok(collector
+        .sessions
+        .into_iter()
+        .map(|(tag, mut slices)| {
+            let base = slices.iter().map(|s| s.at).min().unwrap_or(0);
+            for s in &mut slices {
+                s.at -= base;
+            }
+            slices.sort_by_key(|s| s.at);
+            ReplaySession {
+                tag,
+                total_bytes: slices.iter().map(|s| s.size).sum(),
+                horizon: slices.last().map(|s| s.at).unwrap_or(0),
+                slices,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regroups_interleaved_sessions_and_rebases_time() {
+        let trace = "\
+{\"ev\":\"slice_admitted\",\"t\":5,\"session\":1,\"id\":0,\"bytes\":2,\"weight\":1}\n\
+{\"ev\":\"slice_admitted\",\"t\":5,\"session\":2,\"id\":0,\"bytes\":3,\"weight\":1}\n\
+{\"ev\":\"slot_end\",\"t\":5,\"server_occupancy\":0,\"client_occupancy\":0,\"link_bytes\":0}\n\
+{\"ev\":\"slice_admitted\",\"t\":7,\"session\":1,\"id\":1,\"bytes\":4,\"weight\":2}\n";
+        let sessions = replay_sessions(trace.as_bytes()).expect("valid trace");
+        assert_eq!(sessions.len(), 2);
+        let s1 = sessions.iter().find(|s| s.tag == 1).unwrap();
+        assert_eq!(s1.total_bytes, 6);
+        assert_eq!(s1.horizon, 2);
+        assert_eq!(
+            s1.slices,
+            vec![
+                QueuedSlice {
+                    at: 0,
+                    size: 2,
+                    weight: 1
+                },
+                QueuedSlice {
+                    at: 2,
+                    size: 4,
+                    weight: 2
+                }
+            ]
+        );
+        let s2 = sessions.iter().find(|s| s.tag == 2).unwrap();
+        assert_eq!(s2.slices.len(), 1);
+    }
+
+    #[test]
+    fn garbage_trace_is_a_typed_error() {
+        assert!(replay_sessions("not json\n".as_bytes()).is_err());
+    }
+}

@@ -3,10 +3,14 @@
 # compares each benchmark's median against the committed baseline
 # BENCH_hotpath.json with a tolerance band (default 1.6x; override with
 # BENCH_TOLERANCE). Also enforces the ring-vs-map ablation floors
-# (baseline >= 1.5x, live run >= 1.3x). Medians are machine-relative,
-# so only large relative regressions fail.
+# (baseline >= 1.5x, live run >= 1.3x), then reruns the smoothd
+# capacity ramp (up to the 100k-session rung) and gates each rung's
+# slices/s against the committed BENCH_capacity.json with the same
+# tolerance. Medians and rates are machine-relative, so only large
+# relative regressions fail.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p rts-bench --bin hotpath
+cargo build --release -p rts-bench --bin hotpath --bin capacity
 ./target/release/hotpath --check "${1:-BENCH_hotpath.json}"
+./target/release/capacity --check "${2:-BENCH_capacity.json}"

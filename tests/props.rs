@@ -164,6 +164,25 @@ fn textio_roundtrip() {
 }
 
 // ------------------------------------------------------------------
+// The smoothd serving layer: ingest codec and churn accounting.
+// ------------------------------------------------------------------
+
+#[test]
+fn smoothd_frame_codec_roundtrips() {
+    check("smoothd-frame-roundtrip");
+}
+
+#[test]
+fn smoothd_frame_decoder_is_total_on_fuzzed_bytes() {
+    check("smoothd-frame-fuzz");
+}
+
+#[test]
+fn smoothd_churn_conserves_bytes_and_capacity() {
+    check("smoothd-churn-conservation");
+}
+
+// ------------------------------------------------------------------
 // The catalog runner itself.
 // ------------------------------------------------------------------
 

@@ -1,0 +1,422 @@
+//! Integration tests for the smoothd serving layer: the daemon
+//! end-to-end, the TCP ingest path speaking real frames over a
+//! loopback socket, backpressure shedding, trace replay, and the
+//! session-churn conservation guarantees of ISSUE 6.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rts_obs::RejectReason;
+use rts_smoothd::{
+    decode_frame, encode_frame, replay_sessions, serve_tcp, AdmitRequest, ArrivalSource, Daemon,
+    DaemonConfig, Frame, FrameReader, Shard, WirePolicy, PROTOCOL_VERSION,
+};
+
+fn cbr_request(rate: u64, lifetime: u64) -> AdmitRequest {
+    AdmitRequest {
+        rate,
+        delay: 4,
+        link_delay: 1,
+        buffer: 0, // balanced B = R·D
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: rate as u32,
+        slice_size: rate as u32,
+        lifetime,
+    }
+}
+
+fn external_request(rate: u64) -> AdmitRequest {
+    AdmitRequest {
+        per_slot: 0, // externally fed
+        slice_size: 0,
+        lifetime: 0,
+        ..cbr_request(rate, 0)
+    }
+}
+
+#[test]
+fn daemon_completes_cbr_sessions_and_conserves_every_byte() {
+    let mut daemon = Daemon::start(DaemonConfig {
+        shards: 2,
+        shard_link_rate: 1 << 12,
+        queue_capacity: 256,
+        record_events: false,
+        ..DaemonConfig::default()
+    });
+    for _ in 0..64 {
+        daemon.admit(&cbr_request(4, 16)).expect("fits the link");
+    }
+    assert!(
+        daemon.wait_idle(Duration::from_secs(30)),
+        "finite sessions must all retire"
+    );
+    let report = daemon.shutdown(true);
+    assert!(report.totals.conserved(), "ledger: {:?}", report.totals);
+    assert_eq!(report.totals.offered_bytes, 64 * 4 * 16);
+    assert_eq!(report.totals.played_bytes, report.totals.offered_bytes);
+    assert_eq!(report.retired_sessions, 64);
+    for shard in &report.shards {
+        assert!(
+            shard.max_slot_sent <= shard.link_rate,
+            "shard {} oversubscribed its link: {} > {}",
+            shard.id,
+            shard.max_slot_sent,
+            shard.link_rate
+        );
+    }
+}
+
+/// A tiny blocking frame client for the loopback tests.
+struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("loopback connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            stream,
+            reader: FrameReader::new(),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) {
+        self.stream.write_all(&encode_frame(frame)).expect("send");
+    }
+
+    fn recv(&mut self) -> Frame {
+        let mut buf = [0u8; 1024];
+        loop {
+            if let Some(frame) = self.reader.next_frame().expect("well-formed reply") {
+                return frame;
+            }
+            let n = self.stream.read(&mut buf).expect("read reply");
+            assert!(n > 0, "server closed before replying");
+            self.reader.extend(&buf[..n]);
+        }
+    }
+
+    fn hello(&mut self) {
+        self.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        match self.recv() {
+            Frame::Welcome { version } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tcp_ingest_round_trips_a_framed_session() {
+    let daemon = Daemon::start(DaemonConfig {
+        shards: 1,
+        shard_link_rate: 1 << 10,
+        queue_capacity: 256,
+        record_events: false,
+        ..DaemonConfig::default()
+    });
+    let shared = Arc::new(Mutex::new(daemon));
+    let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").expect("bind loopback");
+    let addr = server.local_addr().expect("tcp listener has an address");
+
+    let mut client = Client::connect(addr);
+    client.hello();
+
+    client.send(&Frame::Admit(external_request(8)));
+    let session = match client.recv() {
+        Frame::Admitted { session, .. } => session,
+        other => panic!("expected Admitted, got {other:?}"),
+    };
+
+    // Three slices of 8 bytes: within B = R·D = 32, so nothing drops.
+    client.send(&Frame::Data {
+        session,
+        slices: vec![(8, 1), (8, 1), (8, 1)],
+    });
+    client.send(&Frame::Drain { session });
+
+    // Poll Stats until the session retires (the drain empties the
+    // pipeline in a handful of slots).
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let retired = loop {
+        client.send(&Frame::Stats);
+        match client.recv() {
+            Frame::StatsReply(s) if s.retired >= 1 => break s.retired,
+            Frame::StatsReply(_) => {
+                assert!(Instant::now() < deadline, "session never retired");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected StatsReply, got {other:?}"),
+        }
+    };
+    assert_eq!(retired, 1);
+
+    client.send(&Frame::Goodbye);
+    match client.recv() {
+        Frame::Bye => {}
+        other => panic!("expected Bye, got {other:?}"),
+    }
+
+    server.stop();
+    let daemon = Arc::try_unwrap(shared)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+    let report = daemon.shutdown(true);
+    assert!(report.totals.conserved());
+    assert_eq!(report.totals.offered_bytes, 24);
+    assert_eq!(report.totals.played_bytes, 24, "all fed bytes must play");
+}
+
+#[test]
+fn tcp_ingest_rejects_admissions_beyond_capacity_with_a_typed_reason() {
+    let daemon = Daemon::start(DaemonConfig {
+        shards: 1,
+        shard_link_rate: 8,
+        queue_capacity: 64,
+        record_events: false,
+        ..DaemonConfig::default()
+    });
+    let shared = Arc::new(Mutex::new(daemon));
+    let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(server.local_addr().unwrap());
+    client.hello();
+
+    client.send(&Frame::Admit(external_request(8)));
+    assert!(matches!(client.recv(), Frame::Admitted { .. }));
+    client.send(&Frame::Admit(external_request(8)));
+    match client.recv() {
+        Frame::Rejected { reason, .. } => assert_eq!(reason, RejectReason::Capacity),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    // Unknown session ids are refused, not ignored.
+    client.send(&Frame::Data {
+        session: 999,
+        slices: vec![(1, 1)],
+    });
+    match client.recv() {
+        Frame::Rejected { session, reason } => {
+            assert_eq!(session, 999);
+            assert_eq!(reason, RejectReason::UnknownSession);
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    server.stop();
+    let daemon = Arc::try_unwrap(shared)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+    daemon.shutdown(true);
+}
+
+#[test]
+fn tcp_ingest_answers_protocol_garbage_with_a_protocol_reject() {
+    let daemon = Daemon::start(DaemonConfig {
+        shards: 1,
+        shard_link_rate: 64,
+        queue_capacity: 16,
+        record_events: false,
+        ..DaemonConfig::default()
+    });
+    let shared = Arc::new(Mutex::new(daemon));
+    let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(server.local_addr().unwrap());
+    client.hello();
+
+    // A declared length beyond MAX_FRAME is a protocol violation; the
+    // server must answer with a typed reject and hang up, not panic.
+    client
+        .stream
+        .write_all(&(1_000_000u32).to_le_bytes())
+        .unwrap();
+    match client.recv() {
+        Frame::Rejected { reason, .. } => assert_eq!(reason, RejectReason::Protocol),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    let closed = client.stream.read_to_end(&mut rest);
+    assert!(closed.is_ok() && rest.is_empty(), "server must close");
+
+    server.stop();
+    let daemon = Arc::try_unwrap(shared)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+    daemon.shutdown(false);
+}
+
+#[test]
+fn full_command_queues_shed_with_typed_backpressure() {
+    // One slow shard: a long slot interval keeps the worker asleep
+    // while we flood its bounded queue.
+    let mut daemon = Daemon::start(DaemonConfig {
+        shards: 1,
+        shard_link_rate: 1 << 10,
+        queue_capacity: 2,
+        slot_interval: Some(Duration::from_millis(50)),
+        record_events: true,
+        ..DaemonConfig::default()
+    });
+    let (id, _) = daemon.admit(&external_request(8)).expect("fits");
+    let mut backpressured = 0;
+    for _ in 0..2_000 {
+        match daemon.inject(id, vec![(1, 1)]) {
+            Ok(()) => {}
+            Err(RejectReason::Backpressure) => backpressured += 1,
+            Err(other) => panic!("unexpected reject {other:?}"),
+        }
+    }
+    assert!(
+        backpressured > 0,
+        "a 2-deep queue against a sleeping worker must shed"
+    );
+    let mut events = Vec::new();
+    daemon.take_events(&mut events);
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            rts_obs::Event::IngestRejected {
+                reason: RejectReason::Backpressure,
+                ..
+            }
+        )),
+        "backpressure must surface as a typed rts-obs event"
+    );
+    let report = daemon.shutdown(false);
+    // Shed commands never entered a session, so the ledger still
+    // balances over what was actually enqueued.
+    assert!(report.totals.conserved(), "ledger: {:?}", report.totals);
+}
+
+#[test]
+fn churn_sequences_conserve_bytes_and_never_oversubscribe_the_link() {
+    // Deterministic admit/feed/drain/evict interleavings on one shard,
+    // the exact loop the daemon workers run (satellite: tests/smoothd.rs
+    // churn conservation).
+    let link_rate = 32;
+    let mut shard = Shard::new(0, link_rate, (1, 1));
+    let mut live: Vec<u64> = Vec::new();
+    for round in 0..6u64 {
+        for k in 0..4u64 {
+            let id = round * 10 + k;
+            if shard.admit(id, &cbr_request(4, 12)).is_ok() {
+                live.push(id);
+            }
+        }
+        for _ in 0..5 {
+            shard.process_slot();
+            assert!(
+                shard.stats().max_slot_sent <= link_rate,
+                "slot {} oversubscribed: {} > {}",
+                shard.now(),
+                shard.stats().max_slot_sent,
+                link_rate
+            );
+            let totals = shard.totals();
+            assert_eq!(
+                totals.offered_bytes,
+                totals.resolved_bytes() + shard.pool_bytes(),
+                "mid-run leak at slot {}",
+                shard.now()
+            );
+        }
+        // Churn: drain one, evict one (when present).
+        if let Some(&victim) = live.first() {
+            let _ = shard.drain(victim);
+            live.remove(0);
+        }
+        if let Some(&victim) = live.first() {
+            let _ = shard.evict(victim);
+            live.remove(0);
+        }
+    }
+    shard.drain_all();
+    assert!(shard.run_until_drained(10_000), "drain must terminate");
+    let totals = shard.totals();
+    assert!(totals.conserved(), "final ledger: {totals:?}");
+    assert!(totals.offered_bytes > 0, "the scenario must move bytes");
+    let mut retirements = Vec::new();
+    shard.take_retirements(&mut retirements);
+    for r in &retirements {
+        assert!(
+            r.counters.conserved(),
+            "session {} ledger: {:?}",
+            r.session,
+            r.counters
+        );
+    }
+}
+
+#[test]
+fn recorded_traces_replay_into_the_daemon() {
+    let trace = "\
+{\"ev\":\"slice_admitted\",\"t\":3,\"session\":1,\"id\":0,\"bytes\":4,\"weight\":1}\n\
+{\"ev\":\"slice_admitted\",\"t\":4,\"session\":1,\"id\":1,\"bytes\":4,\"weight\":1}\n\
+{\"ev\":\"slice_admitted\",\"t\":3,\"session\":2,\"id\":0,\"bytes\":6,\"weight\":2}\n";
+    let sessions = replay_sessions(trace.as_bytes()).expect("valid trace");
+    assert_eq!(sessions.len(), 2);
+    let total: u64 = sessions.iter().map(|s| s.total_bytes).sum();
+
+    let mut daemon = Daemon::start(DaemonConfig {
+        shards: 1,
+        shard_link_rate: 64,
+        queue_capacity: 16,
+        record_events: false,
+        ..DaemonConfig::default()
+    });
+    for s in &sessions {
+        daemon
+            .admit_with_source(
+                &external_request(8),
+                ArrivalSource::scheduled(s.slices.clone()),
+            )
+            .expect("trace sessions fit");
+    }
+    assert!(daemon.wait_idle(Duration::from_secs(20)));
+    let report = daemon.shutdown(true);
+    assert!(report.totals.conserved());
+    assert_eq!(report.totals.offered_bytes, total);
+    assert_eq!(report.totals.played_bytes, total);
+}
+
+#[test]
+fn frame_codec_agrees_with_itself_over_a_split_stream() {
+    // Chunked reassembly sanity at the integration level: many frames,
+    // 1-byte feeds.
+    let frames = vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+        Frame::Admit(cbr_request(7, 3)),
+        Frame::Data {
+            session: 42,
+            slices: vec![(1, 1), (2, 2)],
+        },
+        Frame::Stats,
+        Frame::Goodbye,
+    ];
+    let mut wire = Vec::new();
+    for f in &frames {
+        wire.extend_from_slice(&encode_frame(f));
+    }
+    let mut reader = FrameReader::new();
+    let mut decoded = Vec::new();
+    for byte in wire {
+        reader.extend(&[byte]);
+        while let Some(f) = reader.next_frame().expect("valid stream") {
+            decoded.push(f);
+        }
+    }
+    assert_eq!(decoded, frames);
+    // And the one-shot decoder rejects a truncated tail with a typed,
+    // non-panicking error.
+    let bytes = encode_frame(&frames[1]);
+    let err = decode_frame(&bytes[..bytes.len() - 1]).unwrap_err();
+    assert!(err.is_incomplete());
+}

@@ -1,0 +1,173 @@
+//! Long-run memory regression test for the smoothd shard loop
+//! (ISSUE 6 acceptance: the steady-state slot loop is allocation-free).
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warmup phase lets every scratch vector, ring, and queue reach its
+//! high-water capacity, a long measured run of [`Shard::process_slot`]
+//! must perform **zero** heap allocations and free nothing — the same
+//! style as the PR 4 hot-path bound, but over the whole serving loop
+//! (fair grants, server steps, link delivery, playout rings) instead
+//! of one policy.
+//!
+//! The test drives `Shard` directly on the test thread: the daemon's
+//! workers run exactly this loop, and a single thread keeps the global
+//! counter attributable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rts_smoothd::{AdmitRequest, Shard, WirePolicy};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are updated with
+// atomics and never touch the allocator's own invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::SeqCst),
+        DEALLOCS.load(Ordering::SeqCst),
+    )
+}
+
+#[test]
+fn steady_state_shard_loop_is_allocation_free() {
+    let sessions = 128u64;
+    let rate = 4u64;
+    let mut shard = Shard::new(0, rate * sessions, (1, 1));
+    let req = AdmitRequest {
+        rate,
+        delay: 4,
+        link_delay: 1,
+        buffer: 0, // balanced B = R·D
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: rate as u32,
+        slice_size: rate as u32,
+        lifetime: 0, // unbounded: pure steady state, no retirements
+    };
+    for id in 0..sessions {
+        shard.admit(id, &req).expect("link provisioned exactly");
+    }
+
+    // Warmup: scratch vectors, server rings, link queues, and playout
+    // rings all reach their steady capacity within the first pipeline
+    // fill (P + D slots) — 256 slots is far past any doubling.
+    for _ in 0..256 {
+        shard.process_slot();
+    }
+
+    let (a0, d0) = snapshot();
+    const MEASURED_SLOTS: u64 = 2_000;
+    for _ in 0..MEASURED_SLOTS {
+        shard.process_slot();
+    }
+    let (a1, d1) = snapshot();
+
+    assert_eq!(
+        a1 - a0,
+        0,
+        "steady-state shard loop allocated {} time(s) over {MEASURED_SLOTS} slots",
+        a1 - a0
+    );
+    assert_eq!(
+        d1 - d0,
+        0,
+        "steady-state shard loop freed {} time(s) over {MEASURED_SLOTS} slots \
+         (something is churning heap memory)",
+        d1 - d0
+    );
+
+    // The loop did real work the whole time.
+    let totals = shard.totals();
+    assert!(
+        totals.played_bytes >= sessions * rate * MEASURED_SLOTS / 2,
+        "sessions stalled: only {} bytes played",
+        totals.played_bytes
+    );
+}
+
+#[test]
+fn session_churn_returns_memory_to_the_allocator() {
+    // Not allocation-free (admission and eviction may allocate), but
+    // net heap growth across full churn cycles must stay bounded: the
+    // daemon cannot leak a session's worth of state per admit/evict.
+    let rate = 4u64;
+    let mut shard = Shard::new(0, rate * 64, (1, 1));
+    let req = AdmitRequest {
+        rate,
+        delay: 4,
+        link_delay: 1,
+        buffer: 0,
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: rate as u32,
+        slice_size: rate as u32,
+        lifetime: 8,
+    };
+    let mut retirements = Vec::new();
+    // Warmup cycles.
+    let mut next_id = 0u64;
+    for _ in 0..8 {
+        for _ in 0..32 {
+            shard.admit(next_id, &req).expect("fits");
+            next_id += 1;
+        }
+        while shard.sessions() > 0 {
+            shard.process_slot();
+        }
+        shard.take_retirements(&mut retirements);
+        retirements.clear();
+    }
+
+    let (a0, _) = snapshot();
+    let net0 = ALLOCS.load(Ordering::SeqCst) as i64 - DEALLOCS.load(Ordering::SeqCst) as i64;
+    for _ in 0..32 {
+        for _ in 0..32 {
+            shard.admit(next_id, &req).expect("fits");
+            next_id += 1;
+        }
+        while shard.sessions() > 0 {
+            shard.process_slot();
+        }
+        shard.take_retirements(&mut retirements);
+        retirements.clear();
+    }
+    let net1 = ALLOCS.load(Ordering::SeqCst) as i64 - DEALLOCS.load(Ordering::SeqCst) as i64;
+    let (a1, _) = snapshot();
+
+    // Live-allocation count must not trend upward with cycles: allow a
+    // small constant slack for lazily grown scratch, nothing per-cycle.
+    assert!(
+        net1 - net0 <= 64,
+        "heap grows with churn: {} net live allocations over 32 cycles \
+         ({} total allocations)",
+        net1 - net0,
+        a1 - a0
+    );
+}
