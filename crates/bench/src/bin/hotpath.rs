@@ -16,7 +16,9 @@
 //! `--check` also enforces the ring-vs-map ablation: the committed
 //! baseline must record a ratio >= 1.5 and the fresh run >= 1.3 (the
 //! looser live bound absorbs machine noise; the ratio is relative, so
-//! it is stable across machine speeds).
+//! it is stable across machine speeds). It likewise caps the smoothd
+//! telemetry-on/off overhead ratio at 1.5x: the lock-free instruments
+//! must stay close to free on the slot hot path.
 
 use std::process::ExitCode;
 
@@ -25,6 +27,7 @@ use rts_bench::hotpath::{self, extract_medians, extract_mode, extract_ratio};
 const DEFAULT_OUT: &str = "BENCH_hotpath.json";
 const BASELINE_RATIO_FLOOR: f64 = 1.5;
 const LIVE_RATIO_FLOOR: f64 = 1.3;
+const TELEMETRY_OVERHEAD_CEILING: f64 = 1.5;
 const DEFAULT_TOLERANCE: f64 = 1.6;
 
 fn main() -> ExitCode {
@@ -87,6 +90,10 @@ fn report(suite: &hotpath::Suite) {
     println!(
         "  simulate ring-vs-map ratio: {:.2}x",
         suite.ratio_simulate_ring_vs_map
+    );
+    println!(
+        "  smoothd telemetry on-vs-off ratio: {:.2}x",
+        suite.ratio_smoothd_telemetry_on_vs_off
     );
 }
 
@@ -170,6 +177,15 @@ fn run_check(baseline_path: &str) -> ExitCode {
         eprintln!(
             "  REGRESSION ring-vs-map ratio {:.2}x < floor {LIVE_RATIO_FLOOR}x",
             suite.ratio_simulate_ring_vs_map
+        );
+        failed = true;
+    }
+    // The overhead ratio is relative (on/off on the same machine, same
+    // run), so it needs no baseline entry to be meaningful.
+    if suite.ratio_smoothd_telemetry_on_vs_off > TELEMETRY_OVERHEAD_CEILING {
+        eprintln!(
+            "  REGRESSION telemetry overhead {:.2}x > ceiling {TELEMETRY_OVERHEAD_CEILING}x",
+            suite.ratio_smoothd_telemetry_on_vs_off
         );
         failed = true;
     }

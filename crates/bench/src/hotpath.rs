@@ -22,6 +22,8 @@ use rts_core::tradeoff::SmoothingParams;
 use rts_core::{BufferBacking, DropPolicy};
 use rts_mux::{Mux, SessionSpec, WeightedFair};
 use rts_sim::{simulate, SimConfig};
+use rts_smoothd::{AdmitRequest, Shard, WirePolicy};
+use rts_telemetry::ShardTelemetry;
 use rts_stream::slicing::Slicing;
 use rts_stream::weight::WeightAssignment;
 use rts_stream::InputStream;
@@ -59,6 +61,10 @@ pub struct Suite {
     /// Simulate-pipeline ablation: map-backed median over ring-backed
     /// median (>1 means the ring is faster).
     pub ratio_simulate_ring_vs_map: f64,
+    /// Daemon-shard ablation: telemetry-instrumented median over the
+    /// bare slot loop (1.0 = free; the gate caps how far above 1 the
+    /// lock-free instrumentation may drift).
+    pub ratio_smoothd_telemetry_on_vs_off: f64,
 }
 
 /// Times `runs` executions of `f` and summarizes them.
@@ -97,6 +103,63 @@ fn simulate_bench<P: DropPolicy, F: Fn() -> P>(
             make_policy(),
         )
     })
+}
+
+/// One smoothd shard run: 32 CBR sessions stepped to retirement.
+/// With `telemetry`, every slot is mirrored into the lock-free
+/// instruments exactly as the daemon worker does (timing, delta
+/// counters, session gauge), so the on/off pair isolates the cost of
+/// the telemetry plane itself.
+fn smoothd_shard_run(lifetime: u64, telemetry: Option<&ShardTelemetry>) -> u64 {
+    let mut shard = Shard::new(0, 128, (1, 1));
+    let req = AdmitRequest {
+        rate: 4,
+        delay: 4,
+        link_delay: 1,
+        buffer: 0, // balanced B = R·D
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: 4,
+        slice_size: 1,
+        lifetime,
+    };
+    for id in 0..32u64 {
+        shard.admit(id, &req).expect("32 x rate 4 fits a 128-byte link");
+    }
+    // Playback lags the offer by the smoothing delay, so step until
+    // every session retires (bounded: the tail drains within the
+    // delay + link pipeline after the lifetime ends).
+    let cap = lifetime + 64;
+    match telemetry {
+        None => {
+            for _ in 0..cap {
+                shard.process_slot();
+                if shard.sessions() == 0 {
+                    break;
+                }
+            }
+        }
+        Some(t) => {
+            let (mut prev_played, mut prev_sent, mut prev_slots) = (0u64, 0u64, 0u64);
+            for _ in 0..cap {
+                let t0 = Instant::now();
+                shard.process_slot();
+                t.process.record(t0.elapsed().as_nanos() as u64);
+                let stats = shard.stats();
+                t.slots.add(stats.slots - prev_slots);
+                prev_slots = stats.slots;
+                t.played_slices.add(stats.played_slices - prev_played);
+                prev_played = stats.played_slices;
+                t.sent_bytes.add(stats.sent_bytes - prev_sent);
+                prev_sent = stats.sent_bytes;
+                t.sessions.set(shard.sessions() as u64);
+                if shard.sessions() == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    shard.stats().played_slices
 }
 
 /// Runs the full suite. Smoke mode shrinks the workload and the run
@@ -204,12 +267,28 @@ pub fn run(smoke: bool) -> Suite {
         },
     ));
 
+    // Daemon shard: the worker slot loop bare vs mirrored into the
+    // rts-telemetry instruments (the overhead the regression gate caps).
+    let shard_slots: u64 = if smoke { 200 } else { 2_000 };
+    let shard_slices = 32 * 4 * shard_slots;
+    let off = time_runs("smoothd/telemetry-off", shard_slices, runs, || {
+        smoothd_shard_run(shard_slots, None)
+    });
+    let shard_telemetry = ShardTelemetry::default();
+    let on = time_runs("smoothd/telemetry-on", shard_slices, runs, || {
+        smoothd_shard_run(shard_slots, Some(&shard_telemetry))
+    });
+    let telemetry_ratio = on.median_ns as f64 / off.median_ns as f64;
+    timings.push(off);
+    timings.push(on);
+
     Suite {
         mode: if smoke { "smoke" } else { "full" },
         seed: workload::SEED,
         frames,
         timings,
         ratio_simulate_ring_vs_map: ratio,
+        ratio_smoothd_telemetry_on_vs_off: telemetry_ratio,
     }
 }
 
@@ -226,6 +305,10 @@ impl Suite {
         s.push_str(&format!(
             "  \"ratio_simulate_ring_vs_map\": {:.4},\n",
             self.ratio_simulate_ring_vs_map
+        ));
+        s.push_str(&format!(
+            "  \"ratio_smoothd_telemetry_on_vs_off\": {:.4},\n",
+            self.ratio_smoothd_telemetry_on_vs_off
         ));
         s.push_str("  \"benchmarks\": [\n");
         for (i, t) in self.timings.iter().enumerate() {
@@ -276,16 +359,26 @@ pub fn extract_medians(json: &str) -> Option<Vec<(String, u64)>> {
     }
 }
 
-/// Extracts the recorded ring-vs-map ratio from a suite JSON.
-pub fn extract_ratio(json: &str) -> Option<f64> {
+fn extract_named_ratio(json: &str, key: &str) -> Option<f64> {
     json.lines()
-        .find(|l| l.trim_start().starts_with("\"ratio_simulate_ring_vs_map\""))?
+        .find(|l| l.trim_start().starts_with(&format!("\"{key}\"")))?
         .split(": ")
         .nth(1)?
         .trim_end_matches(',')
         .trim()
         .parse()
         .ok()
+}
+
+/// Extracts the recorded ring-vs-map ratio from a suite JSON.
+pub fn extract_ratio(json: &str) -> Option<f64> {
+    extract_named_ratio(json, "ratio_simulate_ring_vs_map")
+}
+
+/// Extracts the recorded telemetry on-vs-off overhead ratio from a
+/// suite JSON (`None` for baselines that predate the telemetry pair).
+pub fn extract_telemetry_ratio(json: &str) -> Option<f64> {
+    extract_named_ratio(json, "ratio_smoothd_telemetry_on_vs_off")
 }
 
 /// Extracts the recorded mode (`"full"` / `"smoke"`) from a suite JSON.
@@ -324,6 +417,7 @@ mod tests {
                 },
             ],
             ratio_simulate_ring_vs_map: 1.7,
+            ratio_smoothd_telemetry_on_vs_off: 1.05,
         }
     }
 
@@ -339,6 +433,7 @@ mod tests {
             ]
         );
         assert_eq!(extract_ratio(&json), Some(1.7));
+        assert_eq!(extract_telemetry_ratio(&json), Some(1.05));
         assert_eq!(extract_mode(&json).as_deref(), Some("full"));
     }
 
@@ -347,6 +442,7 @@ mod tests {
         assert_eq!(extract_medians("not json"), None);
         assert_eq!(extract_medians("{\"suite\": \"hotpath\"}"), None);
         assert_eq!(extract_ratio(""), None);
+        assert_eq!(extract_telemetry_ratio(""), None);
         assert_eq!(extract_mode(""), None);
     }
 
@@ -373,10 +469,24 @@ mod tests {
                 "mux/wfq-4",
                 "offline/unit-dp",
                 "offline/frame-dp",
+                "smoothd/telemetry-off",
+                "smoothd/telemetry-on",
             ]
         );
         assert!(suite.ratio_simulate_ring_vs_map > 0.0);
+        assert!(suite.ratio_smoothd_telemetry_on_vs_off > 0.0);
         let json = suite.to_json();
-        assert_eq!(extract_medians(&json).map(|m| m.len()), Some(7));
+        assert_eq!(extract_medians(&json).map(|m| m.len()), Some(9));
+    }
+
+    #[test]
+    fn shard_run_plays_the_full_cbr_offer() {
+        // 32 sessions x 4 slices/slot x lifetime, instrumented or not.
+        assert_eq!(smoothd_shard_run(8, None), 32 * 4 * 8);
+        let t = ShardTelemetry::default();
+        assert_eq!(smoothd_shard_run(8, Some(&t)), 32 * 4 * 8);
+        assert_eq!(t.played_slices.get(), 32 * 4 * 8);
+        assert!(t.slots.get() >= 8, "ran at least the lifetime");
+        assert_eq!(t.process.count(), t.slots.get());
     }
 }

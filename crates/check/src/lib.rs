@@ -25,6 +25,7 @@ pub mod gen;
 pub mod invariants;
 pub mod oracles;
 pub mod smoothd;
+pub mod telemetry;
 
 pub use engine::{
     run_property, shrink_u64, shrink_vec, CheckConfig, CheckStats, Failure, Verdict,
@@ -67,6 +68,7 @@ pub fn all_checks() -> Vec<Check> {
     let mut checks = invariants::checks();
     checks.extend(oracles::checks());
     checks.extend(smoothd::checks());
+    checks.extend(telemetry::checks());
     checks
 }
 

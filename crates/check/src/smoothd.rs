@@ -4,6 +4,8 @@
 //! |---|---|
 //! | `smoothd-frame-roundtrip` | the ingest frame codec is lossless: decode(encode(f)) = f, consuming exactly the encoding |
 //! | `smoothd-frame-fuzz` | the decoder is total: arbitrary (and corrupted) bytes yield a typed `FrameError` or a canonically re-encodable frame, never a panic |
+//! | `smoothd-stats-roundtrip` | the variable-length telemetry stats frames round-trip losslessly up to the `MAX_STATS_SHARDS` row cap |
+//! | `smoothd-stats-fuzz` | corrupted/truncated stats replies decode to typed errors or canonical frames, never a panic |
 //! | `smoothd-churn-conservation` | session churn under `B = R·D` admission never loses or duplicates bytes, never oversubscribes the link, never overcommits the bookable rate |
 //!
 //! The churn check drives a real [`Shard`] — the exact state machine
@@ -12,7 +14,10 @@
 //! the admission accounting are exercised with the same code paths as
 //! production, minus the threads.
 
-use rts_smoothd::{decode_frame, encode_frame, AdmitRequest, Frame, Shard, StatsSnapshot, WirePolicy};
+use rts_smoothd::{
+    decode_frame, encode_frame, AdmitRequest, Frame, HistSummary, Shard, ShardRow, StatsDetail,
+    StatsSnapshot, WirePolicy, MAX_STATS_SHARDS,
+};
 use rts_stream::rng::SplitMix64;
 
 use crate::engine::{run_property, shrink_u64, shrink_vec, CheckConfig, CheckStats, Failure, Verdict};
@@ -24,8 +29,74 @@ type CheckResult = Result<CheckStats, Box<Failure>>;
 
 const REASONS: [rts_obs::RejectReason; 6] = rts_obs::RejectReason::ALL;
 
+fn gen_hist_summary(rng: &mut SplitMix64) -> HistSummary {
+    HistSummary {
+        count: rng.next_u64() >> 16,
+        p50: rng.next_u64() >> 8,
+        p90: rng.next_u64() >> 8,
+        p99: rng.next_u64() >> 8,
+        max: rng.next_u64() >> 8,
+    }
+}
+
+fn gen_stats_detail(rng: &mut SplitMix64) -> StatsDetail {
+    let rows = rng.range_u64(0, 8) as usize;
+    let mut rejects = [0u64; 6];
+    for r in &mut rejects {
+        *r = rng.range_u64(0, 1 << 20);
+    }
+    StatsDetail {
+        retired: rng.next_u64() >> 16,
+        rejects,
+        lateness: gen_hist_summary(rng),
+        stages: [
+            gen_hist_summary(rng),
+            gen_hist_summary(rng),
+            gen_hist_summary(rng),
+            gen_hist_summary(rng),
+        ],
+        shards: (0..rows)
+            .map(|i| ShardRow {
+                shard: i as u32,
+                sessions: rng.range_u64(0, 1 << 20),
+                slots: rng.next_u64() >> 16,
+                played: rng.next_u64() >> 16,
+                sent_bytes: rng.next_u64() >> 8,
+                deadline_misses: rng.range_u64(0, 1 << 20),
+                slot_overruns: rng.range_u64(0, 1 << 20),
+                latency: gen_hist_summary(rng),
+            })
+            .collect(),
+    }
+}
+
+/// Generator restricted to the two telemetry stats frames, including
+/// a full-width reply right at the [`MAX_STATS_SHARDS`] frame cap.
+fn gen_stats_frame(rng: &mut SplitMix64) -> Frame {
+    match rng.range_u64(0, 4) {
+        0 => Frame::StatsDetail,
+        1 => {
+            let mut detail = gen_stats_detail(rng);
+            detail
+                .shards
+                .resize_with(MAX_STATS_SHARDS, || ShardRow {
+                    shard: 0,
+                    sessions: 0,
+                    slots: 0,
+                    played: 0,
+                    sent_bytes: 0,
+                    deadline_misses: 0,
+                    slot_overruns: 0,
+                    latency: HistSummary::default(),
+                });
+            Frame::StatsDetailReply(Box::new(detail))
+        }
+        _ => Frame::StatsDetailReply(Box::new(gen_stats_detail(rng))),
+    }
+}
+
 fn gen_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.range_u64(0, 12) {
+    match rng.range_u64(0, 14) {
         0 => Frame::Hello {
             version: rng.range_u64(0, u64::from(u16::MAX) + 1) as u16,
         },
@@ -78,6 +149,8 @@ fn gen_frame(rng: &mut SplitMix64) -> Frame {
             slots: rng.next_u64(),
             retired: rng.next_u64(),
         }),
+        11 => Frame::StatsDetail,
+        12 => Frame::StatsDetailReply(Box::new(gen_stats_detail(rng))),
         _ => Frame::Bye,
     }
 }
@@ -86,41 +159,46 @@ fn describe_frame(f: &Frame) -> String {
     format!("{f:?}")
 }
 
+fn roundtrip_property(frame: &Frame) -> Verdict {
+    let bytes = encode_frame(frame);
+    match decode_frame(&bytes) {
+        Ok((decoded, consumed)) => {
+            if consumed != bytes.len() {
+                return Verdict::fail(format!(
+                    "consumed {consumed} of {} encoded bytes",
+                    bytes.len()
+                ));
+            }
+            Verdict::ensure(&decoded == frame, || {
+                format!("decode(encode(f)) = {decoded:?} != {frame:?}")
+            })
+        }
+        Err(e) => Verdict::fail(format!("own encoding rejected: {e}")),
+    }
+}
+
 fn frame_roundtrip(cfg: &CheckConfig) -> CheckResult {
     run_property(
         cfg,
         gen_frame,
         |_| Vec::new(), // frames are already minimal-ish; no shrink
         describe_frame,
-        |frame| {
-            let bytes = encode_frame(frame);
-            match decode_frame(&bytes) {
-                Ok((decoded, consumed)) => {
-                    if consumed != bytes.len() {
-                        return Verdict::fail(format!(
-                            "consumed {consumed} of {} encoded bytes",
-                            bytes.len()
-                        ));
-                    }
-                    Verdict::ensure(&decoded == frame, || {
-                        format!("decode(encode(f)) = {decoded:?} != {frame:?}")
-                    })
-                }
-                Err(e) => Verdict::fail(format!("own encoding rejected: {e}")),
-            }
-        },
+        roundtrip_property,
     )
 }
 
-/// A fuzz input: raw bytes, usually a valid encoding corrupted at a
-/// few positions (plus pure noise some of the time).
-fn gen_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
-    let mut bytes = if rng.range_u64(0, 4) == 0 {
-        let n = rng.range_u64(0, 64) as usize;
-        (0..n).map(|_| rng.next_u64() as u8).collect()
-    } else {
-        encode_frame(&gen_frame(rng))
-    };
+fn stats_roundtrip(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_stats_frame,
+        |_| Vec::new(),
+        describe_frame,
+        roundtrip_property,
+    )
+}
+
+/// Corrupts, then sometimes truncates, an encoding in place.
+fn mangle_bytes(rng: &mut SplitMix64, bytes: &mut Vec<u8>) {
     for _ in 0..rng.range_u64(0, 4) {
         if bytes.is_empty() {
             break;
@@ -132,37 +210,77 @@ fn gen_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
     if rng.range_u64(0, 3) == 0 && !bytes.is_empty() {
         bytes.truncate(rng.range_u64(0, bytes.len() as u64) as usize);
     }
+}
+
+/// A fuzz input: raw bytes, usually a valid encoding corrupted at a
+/// few positions (plus pure noise some of the time).
+fn gen_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes = if rng.range_u64(0, 4) == 0 {
+        let n = rng.range_u64(0, 64) as usize;
+        (0..n).map(|_| rng.next_u64() as u8).collect()
+    } else {
+        encode_frame(&gen_frame(rng))
+    };
+    mangle_bytes(rng, &mut bytes);
     bytes
+}
+
+/// Fuzz input drawn from the telemetry stats frames only, so the long
+/// variable-length reply body gets concentrated corruption coverage.
+fn gen_stats_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes = encode_frame(&gen_stats_frame(rng));
+    mangle_bytes(rng, &mut bytes);
+    bytes
+}
+
+fn fuzz_property(bytes: &[u8]) -> Verdict {
+    match decode_frame(bytes) {
+        // Accepted frames must re-encode to exactly what was
+        // consumed: the codec admits only its canonical form.
+        Ok((frame, consumed)) => {
+            if consumed > bytes.len() {
+                return Verdict::fail(format!("consumed {consumed} > buffer {}", bytes.len()));
+            }
+            Verdict::ensure(encode_frame(&frame) == bytes[..consumed], || {
+                format!("non-canonical acceptance of {frame:?}")
+            })
+        }
+        // Every rejection is a typed error; Display must not panic
+        // either (it feeds protocol rejections).
+        Err(e) => {
+            let _ = e.to_string();
+            let _ = e.is_incomplete();
+            Verdict::Pass
+        }
+    }
+}
+
+fn shrink_fuzz_bytes(bytes: &[u8]) -> Vec<Vec<u8>> {
+    shrink_vec(bytes, |&b| {
+        shrink_u64(u64::from(b), 0)
+            .into_iter()
+            .map(|v| v as u8)
+            .collect()
+    })
 }
 
 fn frame_fuzz(cfg: &CheckConfig) -> CheckResult {
     run_property(
         cfg,
         gen_fuzz_bytes,
-        |bytes| shrink_vec(bytes, |&b| shrink_u64(u64::from(b), 0).into_iter().map(|v| v as u8).collect()),
+        |bytes| shrink_fuzz_bytes(bytes),
         |bytes| format!("{bytes:?}"),
-        |bytes| match decode_frame(bytes) {
-            // Accepted frames must re-encode to exactly what was
-            // consumed: the codec admits only its canonical form.
-            Ok((frame, consumed)) => {
-                if consumed > bytes.len() {
-                    return Verdict::fail(format!(
-                        "consumed {consumed} > buffer {}",
-                        bytes.len()
-                    ));
-                }
-                Verdict::ensure(encode_frame(&frame) == bytes[..consumed], || {
-                    format!("non-canonical acceptance of {frame:?}")
-                })
-            }
-            // Every rejection is a typed error; Display must not panic
-            // either (it feeds protocol rejections).
-            Err(e) => {
-                let _ = e.to_string();
-                let _ = e.is_incomplete();
-                Verdict::Pass
-            }
-        },
+        |bytes| fuzz_property(bytes),
+    )
+}
+
+fn stats_fuzz(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_stats_fuzz_bytes,
+        |bytes| shrink_fuzz_bytes(bytes),
+        |bytes| format!("{bytes:?}"),
+        |bytes| fuzz_property(bytes),
     )
 }
 
@@ -410,6 +528,18 @@ pub fn checks() -> Vec<Check> {
             binds: "ingest codec: arbitrary bytes give typed errors or canonical frames, never panic",
             kind: CheckKind::Invariant,
             run: frame_fuzz,
+        },
+        Check {
+            name: "smoothd-stats-roundtrip",
+            binds: "telemetry stats frames: decode(encode(f)) = f up to the MAX_STATS_SHARDS row cap",
+            kind: CheckKind::Oracle,
+            run: stats_roundtrip,
+        },
+        Check {
+            name: "smoothd-stats-fuzz",
+            binds: "telemetry stats frames: corrupted/truncated replies give typed errors, never panic",
+            kind: CheckKind::Invariant,
+            run: stats_fuzz,
         },
         Check {
             name: "smoothd-churn-conservation",

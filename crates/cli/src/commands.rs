@@ -41,6 +41,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "frontier" => frontier(args),
         "check" => check_cmd(args),
         "serve" => crate::serve::serve_cmd(args),
+        "top" => crate::top::top_cmd(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown subcommand '{other}' (try 'smoothctl help')"

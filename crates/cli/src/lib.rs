@@ -18,7 +18,10 @@
 //!   invariants and differential oracles) with seed replay;
 //! * `serve` — run the sharded `smoothd` daemon: loopback CBR
 //!   sessions, trace replay, and/or a frame-protocol ingest socket
-//!   (the `smoothd` binary is a shortcut for this subcommand).
+//!   (the `smoothd` binary is a shortcut for this subcommand);
+//! * `top` — live terminal dashboard for a running daemon: polls
+//!   detailed stats frames over the ingest socket and renders
+//!   per-shard throughput, slot latency, and deadline-miss rates.
 //!
 //! Every command is a pure function from parsed arguments to an output
 //! string (errors are typed), so the whole surface is unit-tested; the
@@ -31,6 +34,7 @@ mod args;
 mod commands;
 mod error;
 mod serve;
+mod top;
 
 pub use args::Args;
 pub use commands::run;
@@ -80,12 +84,22 @@ USAGE:
             [--queue Q] [--policy tail|head|greedy] [--slot-us U]
             [--listen tcp:HOST:PORT|uds:PATH] [--run-secs T]
             [--replay TRACE.jsonl] [--evict-on-exit true]
-            [--trace-out JSONL]
+            [--trace-out JSONL] [--metrics-addr HOST:PORT]
             (run the sharded smoothd daemon: K loopback CBR sessions
             (--lifetime 0 = unbounded), sessions replayed from a
             recorded event trace, and/or a frame-protocol ingest
-            socket served for --run-secs. The 'smoothd' binary is
-            shorthand for this subcommand)
+            socket served for --run-secs. --slot-us paces every shard
+            with an absolute-deadline slot clock and accounts misses;
+            --metrics-addr serves Prometheus-style text exposition
+            over plain TCP. The 'smoothd' binary is shorthand for
+            this subcommand)
+  smoothctl top --addr HOST:PORT [--interval-ms MS] [--count N]
+            [--plain true]
+            (live dashboard for a running daemon: polls detailed stats
+            frames over the ingest socket and refreshes per-shard
+            sessions, slices/s, p50/p99 slot latency, and deadline-miss
+            rates in place. --count N prints N boards and exits;
+            --plain true skips the ANSI screen clearing)
   smoothctl help
 
 Traces use the plain-text format of rts-stream (see its docs).

@@ -23,8 +23,9 @@ use std::time::{Duration, Instant};
 use rts_obs::{JsonlWriter, Probe};
 use rts_smoothd::{
     replay_sessions, serve_tcp, AdmitRequest, ArrivalSource, Daemon, DaemonConfig, DaemonReport,
-    IngestServer, QueuedSlice, WirePolicy,
+    IngestServer, QueuedSlice, SlotPacing, WirePolicy,
 };
+use rts_telemetry::{render_exposition, MetricsServer};
 
 use crate::{Args, CliError};
 
@@ -131,7 +132,14 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
 
     let mut cfg = DaemonConfig {
         queue_capacity: queue.max(1),
-        slot_interval: (slot_us > 0).then(|| Duration::from_micros(slot_us)),
+        // --slot-us selects absolute-deadline pacing: the realized
+        // slot period holds at the configured value (work permitting)
+        // with misses accounted, instead of drifting by work time.
+        pacing: if slot_us > 0 {
+            SlotPacing::Deadline(Duration::from_micros(slot_us))
+        } else {
+            SlotPacing::Free
+        },
         record_events: args.opt("trace-out").is_some(),
         overbook,
         ..DaemonConfig::default()
@@ -151,6 +159,29 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
 
     let started = Instant::now();
     let mut daemon = Daemon::start(cfg.clone());
+    let mut out = String::new();
+
+    // The exposition listener reads the registry directly, so it works
+    // in every mode — loopback, replay, and socket ingest alike — and
+    // keeps serving fresh snapshots without the daemon mutex.
+    let metrics = match args.opt("metrics-addr") {
+        Some(addr) => {
+            let registry = daemon.registry();
+            let render = Arc::new(move || render_exposition(&registry.snapshot()));
+            match MetricsServer::serve(addr, render) {
+                Ok(server) => {
+                    let _ = writeln!(out, "metrics:       tcp:{}", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    daemon.shutdown(false);
+                    return Err(CliError::io(addr, e));
+                }
+            }
+        }
+        None => None,
+    };
+
     let req = AdmitRequest {
         rate,
         delay,
@@ -201,7 +232,6 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
         }
     }
 
-    let mut out = String::new();
     let listener = match &listen {
         Some(spec) => {
             // The daemon moves behind a mutex for the ingest threads;
@@ -253,6 +283,9 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     daemon.poll();
     daemon.take_events(&mut events);
     let report = daemon.shutdown(!evict);
+    if let Some(mut server) = metrics {
+        server.stop();
+    }
 
     render(
         &mut out,
@@ -342,6 +375,23 @@ fn render(
             report.latency.max()
         );
     }
+    if let SlotPacing::Deadline(period) = cfg.pacing {
+        let misses: u64 = report.shards.iter().map(|s| s.deadline_misses).sum();
+        let overruns: u64 = report.shards.iter().map(|s| s.slot_overruns).sum();
+        let _ = writeln!(
+            out,
+            "pacing:        deadline {} us/slot, {misses} deadline miss(es), {overruns} overrun(s)",
+            period.as_micros()
+        );
+    }
+    if report.rejects.iter().any(|&n| n > 0) {
+        let breakdown = report
+            .rejects_by_reason()
+            .map(|(reason, n)| format!("{}={n}", reason.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "rejects:       {breakdown}");
+    }
 }
 
 #[cfg(test)]
@@ -367,6 +417,85 @@ mod tests {
             ledger.contains("played 960 + server-drop 0 + client-drop 0 + evicted 0"),
             "{ledger}"
         );
+    }
+
+    #[test]
+    fn paced_loopback_prints_pacing_line_and_serves_metrics() {
+        let args = parse(&[
+            "serve",
+            "--sessions",
+            "4",
+            "--rate",
+            "4",
+            "--delay",
+            "3",
+            "--lifetime",
+            "10",
+            "--shards",
+            "1",
+            "--slot-us",
+            "500",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ]);
+        let out = serve_cmd(&args).unwrap();
+        assert!(out.contains("admitted 4, rejected 0, retired 4"), "{out}");
+        assert!(out.contains("pacing:        deadline 500 us/slot"), "{out}");
+        assert!(out.contains("metrics:       tcp:127.0.0.1:"), "{out}");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_exposition() {
+        use rts_telemetry::{parse_exposition, series_value};
+        use std::io::{Read as _, Write as _};
+
+        // Drive the daemon pieces directly so the scrape happens while
+        // the metrics listener is up and counters are final.
+        let cfg = DaemonConfig {
+            shards: 1,
+            shard_link_rate: 64,
+            overbook: (1, 1),
+            queue_capacity: 64,
+            pacing: SlotPacing::Deadline(Duration::from_micros(200)),
+            record_events: false,
+        };
+        let mut daemon = Daemon::start(cfg);
+        let registry = daemon.registry();
+        let render = Arc::new(move || render_exposition(&registry.snapshot()));
+        let mut server = MetricsServer::serve("127.0.0.1:0", render).unwrap();
+        let req = AdmitRequest {
+            rate: 4,
+            delay: 3,
+            link_delay: 1,
+            buffer: 0,
+            weight: 1,
+            policy: WirePolicy::Tail,
+            per_slot: 4,
+            slice_size: 1,
+            lifetime: 10,
+        };
+        for _ in 0..3 {
+            daemon.admit(&req).unwrap();
+        }
+        assert!(daemon.wait_idle(Duration::from_secs(20)));
+        daemon.poll();
+
+        let mut conn = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        conn.read_to_string(&mut text).unwrap();
+        let body = text.split("\r\n\r\n").nth(1).expect("http body");
+        let parsed = parse_exposition(body).expect("exposition parses");
+        assert_eq!(
+            series_value(&parsed, "smoothd_retired_total"),
+            Some(3.0),
+            "{body}"
+        );
+        let slots = series_value(&parsed, "smoothd_slots_total{shard=\"0\"}").unwrap();
+        assert!(slots >= 10.0, "paced shard stepped its slots: {slots}");
+
+        server.stop();
+        daemon.shutdown(true);
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! `smoothctl top`: a live terminal dashboard for a running daemon.
+//!
+//! Connects to a smoothd ingest socket, performs the Hello/Welcome
+//! handshake, then polls [`Frame::StatsDetail`] at a fixed interval
+//! and renders per-shard rows — sessions, slices/sec, p50/p99 slot
+//! latency, deadline-miss rate — plus the stage-timer and reject
+//! footers, refreshing in place (ANSI clear; `--plain` disables the
+//! escape codes for logs and tests). Rates are deltas between
+//! successive polls; the first frame shows absolute totals only.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rts_smoothd::{
+    encode_frame, Frame, FrameReader, HistSummary, StatsDetail, MAGIC, PROTOCOL_VERSION,
+};
+
+use crate::{Args, CliError};
+
+/// Executes `smoothctl top`.
+pub(crate) fn top_cmd(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .opt("addr")
+        .ok_or_else(|| CliError::usage("option --addr HOST:PORT is required (smoothd --listen)"))?;
+    let interval_ms: u64 = args.opt_or("interval-ms", 500)?;
+    let count: u64 = args.opt_or("count", 0)?;
+    let plain = args.opt("plain").is_some() || args.opt("count").is_some();
+
+    let mut conn = Conn::open(addr)?;
+    let mut prev: Option<StatsDetail> = None;
+    let interval = Duration::from_millis(interval_ms.max(50));
+    let mut frames = 0u64;
+    loop {
+        let detail = conn.poll()?;
+        let board = render_board(&detail, prev.as_ref(), interval);
+        frames += 1;
+        if count > 0 && frames >= count {
+            conn.goodbye();
+            return Ok(board);
+        }
+        if plain {
+            println!("{board}");
+        } else {
+            // Clear screen + home, then the fresh board.
+            print!("\x1b[2J\x1b[H{board}");
+            let _ = std::io::stdout().flush();
+        }
+        prev = Some(detail);
+        std::thread::sleep(interval);
+    }
+}
+
+/// A framed connection with the handshake already done.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    addr: String,
+}
+
+impl Conn {
+    fn open(addr: &str) -> Result<Conn, CliError> {
+        let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| CliError::io(addr, e))?;
+        let mut conn = Conn {
+            stream,
+            reader: FrameReader::new(),
+            addr: addr.to_string(),
+        };
+        let _ = MAGIC; // carried inside the encoded Hello
+        conn.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match conn.recv()? {
+            Frame::Welcome { .. } => Ok(conn),
+            other => Err(conn.protocol_err(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), CliError> {
+        self.stream
+            .write_all(&encode_frame(frame))
+            .map_err(|e| CliError::io(&self.addr, e))
+    }
+
+    fn recv(&mut self) -> Result<Frame, CliError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(frame) = self
+                .reader
+                .next_frame()
+                .map_err(|e| self.protocol_err(e.to_string()))?
+            {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut buf).map_err(|e| CliError::io(&self.addr, e))?;
+            if n == 0 {
+                return Err(self.protocol_err("connection closed".into()));
+            }
+            self.reader.extend(&buf[..n]);
+        }
+    }
+
+    fn poll(&mut self) -> Result<StatsDetail, CliError> {
+        self.send(&Frame::StatsDetail)?;
+        match self.recv()? {
+            Frame::StatsDetailReply(detail) => Ok(*detail),
+            other => Err(self.protocol_err(format!("expected StatsDetailReply, got {other:?}"))),
+        }
+    }
+
+    fn goodbye(&mut self) {
+        let _ = self.send(&Frame::Goodbye);
+        let _ = self.recv(); // Bye (best effort)
+    }
+
+    fn protocol_err(&self, detail: String) -> CliError {
+        CliError::io(
+            &self.addr,
+            std::io::Error::new(std::io::ErrorKind::InvalidData, detail),
+        )
+    }
+}
+
+fn fmt_rate(delta: u64, interval: Duration) -> String {
+    let secs = interval.as_secs_f64().max(1e-9);
+    format!("{:.0}", delta as f64 / secs)
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one dashboard frame. `prev` (the previous poll) turns the
+/// cumulative counters into per-second rates.
+fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Duration) -> String {
+    let mut out = String::with_capacity(1024);
+    let sessions: u64 = detail.shards.iter().map(|s| s.sessions).sum();
+    let slots: u64 = detail.shards.iter().map(|s| s.slots).sum();
+    let misses: u64 = detail.shards.iter().map(|s| s.deadline_misses).sum();
+    let _ = writeln!(
+        out,
+        "smoothd top — {} shard(s), {sessions} session(s), {slots} slot(s), {} retired, {misses} deadline miss(es)",
+        detail.shards.len(),
+        detail.retired
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}",
+        "shard", "sessions", "slices/s", "slots/s", "p50", "p99", "miss%", "overrun"
+    );
+    for s in &detail.shards {
+        let prev_row = prev.and_then(|p| p.shards.iter().find(|r| r.shard == s.shard));
+        let slices_rate = prev_row
+            .map(|p| fmt_rate(s.played.saturating_sub(p.played), interval))
+            .unwrap_or_else(|| "-".into());
+        let slots_rate = prev_row
+            .map(|p| fmt_rate(s.slots.saturating_sub(p.slots), interval))
+            .unwrap_or_else(|| "-".into());
+        let miss_pct = if s.slots > 0 {
+            format!("{:.2}", 100.0 * s.deadline_misses as f64 / s.slots as f64)
+        } else {
+            "-".into()
+        };
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}",
+            s.shard,
+            s.sessions,
+            slices_rate,
+            slots_rate,
+            fmt_ns(s.latency.p50),
+            fmt_ns(s.latency.p99),
+            miss_pct,
+            s.slot_overruns
+        );
+    }
+    let stage = |name: &str, h: &HistSummary| {
+        if h.count == 0 {
+            format!("{name} -")
+        } else {
+            format!("{name} p50 {} p99 {}", fmt_ns(h.p50), fmt_ns(h.p99))
+        }
+    };
+    let _ = writeln!(
+        out,
+        "stages:  {} | {} | {} | {}",
+        stage("decode", &detail.stages[0]),
+        stage("admit", &detail.stages[1]),
+        stage("process", &detail.stages[2]),
+        stage("retire", &detail.stages[3]),
+    );
+    if detail.lateness.count > 0 {
+        let _ = writeln!(
+            out,
+            "lateness: p50 {} p99 {} max {} over {} miss(es)",
+            fmt_ns(detail.lateness.p50),
+            fmt_ns(detail.lateness.p99),
+            fmt_ns(detail.lateness.max),
+            detail.lateness.count
+        );
+    }
+    let reasons = ["capacity", "infeasible", "zero_rate", "backpressure", "unknown_session", "protocol"];
+    let rejects: Vec<String> = reasons
+        .iter()
+        .zip(detail.rejects.iter())
+        .filter(|&(_, &n)| n > 0)
+        .map(|(name, n)| format!("{name}={n}"))
+        .collect();
+    if !rejects.is_empty() {
+        let _ = writeln!(out, "rejects: {}", rejects.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_smoothd::{serve_tcp, AdmitRequest, Daemon, DaemonConfig, SlotPacing, WirePolicy};
+    use std::sync::{Arc, Mutex};
+
+    fn parse(argv: &[&str]) -> Args {
+        Args::parse(argv.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn top_renders_one_board_against_a_live_daemon() {
+        let cfg = DaemonConfig {
+            shards: 2,
+            shard_link_rate: 64,
+            overbook: (1, 1),
+            queue_capacity: 64,
+            pacing: SlotPacing::Free,
+            record_events: false,
+        };
+        let mut daemon = Daemon::start(cfg);
+        let req = AdmitRequest {
+            rate: 4,
+            delay: 3,
+            link_delay: 1,
+            buffer: 0,
+            weight: 1,
+            policy: WirePolicy::Tail,
+            per_slot: 4,
+            slice_size: 1,
+            lifetime: 10,
+        };
+        for _ in 0..4 {
+            daemon.admit(&req).unwrap();
+        }
+        assert!(daemon.wait_idle(Duration::from_secs(20)));
+        let shared = Arc::new(Mutex::new(daemon));
+        let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+
+        let out = top_cmd(&parse(&["top", "--addr", &addr, "--count", "1"])).unwrap();
+        assert!(out.contains("smoothd top — 2 shard(s)"), "{out}");
+        assert!(out.contains("4 retired"), "{out}");
+        assert!(out.lines().count() >= 4, "board has header + rows:\n{out}");
+
+        server.stop();
+        let daemon = Arc::try_unwrap(shared)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+        daemon.shutdown(true);
+    }
+
+    #[test]
+    fn top_requires_an_addr() {
+        let e = top_cmd(&parse(&["top"])).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn top_against_a_dead_port_is_an_io_error() {
+        // Port 1 on localhost: connection refused immediately.
+        let e = top_cmd(&parse(&["top", "--addr", "127.0.0.1:1", "--count", "1"])).unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn rates_appear_from_the_second_board() {
+        let mk = |slots: u64, played: u64| StatsDetail {
+            retired: 0,
+            rejects: [0; 6],
+            lateness: HistSummary::default(),
+            stages: [HistSummary::default(); 4],
+            shards: vec![rts_smoothd::ShardRow {
+                shard: 0,
+                sessions: 1,
+                slots,
+                played,
+                sent_bytes: 0,
+                deadline_misses: 0,
+                slot_overruns: 0,
+                latency: HistSummary::default(),
+            }],
+        };
+        let first = render_board(&mk(100, 500), None, Duration::from_millis(500));
+        assert!(first.contains(" - "), "no rates without a prior poll:\n{first}");
+        let second = render_board(
+            &mk(150, 900),
+            Some(&mk(100, 500)),
+            Duration::from_millis(500),
+        );
+        // 400 slices / 0.5 s = 800/s; 50 slots / 0.5 s = 100/s.
+        assert!(second.contains("800"), "{second}");
+        assert!(second.contains("100"), "{second}");
+    }
+}

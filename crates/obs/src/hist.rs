@@ -52,8 +52,9 @@ impl LogHistogram {
     /// Index 0 holds only the value 0; values below `2^5` get exact
     /// singleton buckets; above that, each octave `[2^k, 2^{k+1})` is
     /// split into 16 equal sub-buckets. Indices are monotone in the
-    /// value.
-    pub fn bucket_of(value: u64) -> usize {
+    /// value. `const` so fixed-size bucket arrays (the lock-free
+    /// mirrors in `rts-telemetry`) can be sized at compile time.
+    pub const fn bucket_of(value: u64) -> usize {
         if value < 2 * SUB {
             return value as usize;
         }
@@ -61,6 +62,11 @@ impl LogHistogram {
         let shift = k - SUB_BITS;
         ((shift as u64 * SUB) + (value >> shift)) as usize
     }
+
+    /// Number of buckets needed to cover the whole `u64` range: one
+    /// past the index of `u64::MAX`. Fixed-size mirrors (atomic bucket
+    /// arrays) allocate exactly this many slots.
+    pub const BUCKETS: usize = LogHistogram::bucket_of(u64::MAX) + 1;
 
     /// The inclusive `[low, high]` value range of a bucket index.
     pub fn bucket_bounds(index: usize) -> (u64, u64) {
@@ -140,7 +146,15 @@ impl LogHistogram {
     /// Nearest-rank quantile, `q` in `[0, 1]`, resolved to the upper
     /// bound of the containing bucket and clamped to the exact extremes
     /// (so `quantile(0.0) == min()` and `quantile(1.0) == max()`).
-    /// Returns 0 when empty.
+    ///
+    /// On an **empty** histogram every quantile is defined to be `0`
+    /// for every `q` (including NaN): the same neutral value `min()`
+    /// and `max()` report, so scrapers and renderers never see a
+    /// partially-defined summary. Callers that must distinguish "no
+    /// samples" from "all samples were zero" check [`count`] first —
+    /// that is what the telemetry exposition encoder does.
+    ///
+    /// [`count`]: LogHistogram::count
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -181,6 +195,50 @@ impl LogHistogram {
         }
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Exact sum of every recorded value.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw bucket counts, lowest index first. The vector is grown
+    /// lazily, so its length is one past the highest occupied bucket
+    /// (and the final element is nonzero whenever any value was
+    /// recorded).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from raw parts: per-bucket counts plus the
+    /// exact `count`/`sum`/`min`/`max` sidecar values. Trailing zero
+    /// buckets are trimmed so the result compares equal (`==`) to a
+    /// histogram grown by [`record`](LogHistogram::record)ing the same
+    /// samples. This is the bridge from lock-free atomic mirrors
+    /// (which keep fixed-size bucket arrays) back to the mergeable
+    /// plain form.
+    ///
+    /// The caller is responsible for consistency between the buckets
+    /// and the sidecar; `debug_assert`s catch a mismatched count.
+    pub fn from_parts(mut buckets: Vec<u64>, count: u64, sum: u128, min: u64, max: u64) -> Self {
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        debug_assert_eq!(
+            buckets.iter().sum::<u64>(),
+            count,
+            "bucket counts disagree with the sidecar count"
+        );
+        if count == 0 {
+            return LogHistogram::new();
+        }
+        LogHistogram {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
     }
 
     /// One-line summary: `n=… mean=… p50=… p90=… p99=… max=…`.
@@ -320,6 +378,30 @@ mod tests {
         let copy = m.clone();
         m.merge(&h);
         assert_eq!(m, copy, "merging an empty histogram changes nothing");
+    }
+
+    #[test]
+    fn empty_quantile_is_zero_for_every_q() {
+        let h = LogHistogram::new();
+        for q in [f64::NEG_INFINITY, -1.0, 0.0, 0.37, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_trims() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 7, 7, 300, 1 << 40] {
+            h.record(v);
+        }
+        let mut raw = h.buckets().to_vec();
+        raw.extend_from_slice(&[0, 0, 0]); // fixed-size mirrors carry trailing zeros
+        let rebuilt = LogHistogram::from_parts(raw, h.count(), h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt, h);
+        let empty = LogHistogram::from_parts(vec![0; LogHistogram::BUCKETS], 0, 0, u64::MAX, 0);
+        assert_eq!(empty, LogHistogram::new());
     }
 
     #[test]

@@ -31,8 +31,11 @@ use std::time::{Duration, Instant};
 
 use rts_obs::{Event, LogHistogram, RejectReason};
 use rts_stream::{Bytes, Time, Weight};
+use rts_telemetry::{MonotonicClock, Registry, ShardTelemetry, SlotClock, SlotPacing};
 
-use crate::frame::{AdmitRequest, StatsSnapshot};
+use crate::frame::{
+    AdmitRequest, HistSummary, ShardRow, StatsDetail, StatsSnapshot, MAX_STATS_SHARDS,
+};
 use crate::session::{ArrivalSource, SessionCounters, SessionId};
 use crate::shard::{Retirement, Shard};
 
@@ -48,9 +51,10 @@ pub struct DaemonConfig {
     /// Bound of each shard's command queue; a full queue sheds with
     /// [`RejectReason::Backpressure`].
     pub queue_capacity: usize,
-    /// Optional pacing: sleep this long after every slot (`None` =
-    /// free-running, for capacity benchmarks).
-    pub slot_interval: Option<Duration>,
+    /// How workers pace their slot loop. [`SlotPacing::Free`] runs
+    /// flat out (capacity benchmarks); [`SlotPacing::Deadline`] holds
+    /// an absolute-deadline slot period and accounts misses.
+    pub pacing: SlotPacing,
     /// Record lifecycle events (joined/retired/rejected) for the
     /// trace sink. Off for pure benchmarks.
     pub record_events: bool,
@@ -65,7 +69,7 @@ impl Default for DaemonConfig {
             shard_link_rate: 1 << 16,
             overbook: (1, 1),
             queue_capacity: 1024,
-            slot_interval: None,
+            pacing: SlotPacing::Free,
             record_events: true,
         }
     }
@@ -124,6 +128,10 @@ pub struct ShardReport {
     pub peak_sessions: usize,
     /// Per-slot wall latency, nanoseconds.
     pub latency: LogHistogram,
+    /// Slots that finished past their deadline (deadline pacing only).
+    pub deadline_misses: u64,
+    /// Slots whose work alone exceeded the configured period.
+    pub slot_overruns: u64,
 }
 
 /// What the daemon did over its lifetime.
@@ -138,6 +146,19 @@ pub struct DaemonReport {
     pub retired_sessions: u64,
     /// Merged per-slot latency histogram.
     pub latency: LogHistogram,
+    /// Ingest rejections by reason, [`RejectReason::ALL`] order (the
+    /// per-reason breakdown of the aggregate `IngestRejected` count).
+    pub rejects: [u64; 6],
+}
+
+impl DaemonReport {
+    /// `(reason, count)` pairs for the nonzero reject reasons.
+    pub fn rejects_by_reason(&self) -> impl Iterator<Item = (RejectReason, u64)> + '_ {
+        RejectReason::ALL
+            .into_iter()
+            .zip(self.rejects.iter().copied())
+            .filter(|&(_, n)| n > 0)
+    }
 }
 
 impl DaemonReport {
@@ -153,15 +174,27 @@ fn worker(
     committed: Arc<AtomicU64>,
     shared: Arc<SharedShard>,
     retired_sink: Arc<Mutex<Vec<Retirement>>>,
-    slot_interval: Option<Duration>,
+    telemetry: Arc<ShardTelemetry>,
+    pacing: SlotPacing,
 ) -> Shard {
     let mut stopping = false;
     let mut retire_buf: Vec<Retirement> = Vec::new();
+    let mut clock = SlotClock::new(MonotonicClock::new(), pacing);
+    let period_ns = pacing.period().map(|p| p.as_nanos() as u64);
+    // Deltas for the monotone telemetry counters (shard stats are
+    // cumulative; the registry wants increments so merges stay exact).
+    let mut prev_played = 0u64;
+    let mut prev_sent = 0u64;
+    let mut prev_slots = 0u64;
+    let mut was_idle = true;
     loop {
         // Drain the command queue without blocking the slot cadence.
+        let drain_started = Instant::now();
+        let mut applied = false;
         loop {
             match rx.try_recv() {
                 Ok(cmd) => {
+                    applied = true;
                     if apply(&mut shard, cmd) {
                         stopping = true;
                     }
@@ -173,10 +206,17 @@ fn worker(
                 }
             }
         }
+        if applied {
+            telemetry
+                .admit
+                .record(drain_started.elapsed().as_nanos() as u64);
+        }
         if shard.sessions() == 0 {
             if stopping {
                 break;
             }
+            was_idle = true;
+            telemetry.sessions.set(0);
             // Idle: wait for work instead of spinning.
             match rx.recv_timeout(Duration::from_millis(2)) {
                 Ok(cmd) => {
@@ -192,10 +232,27 @@ fn worker(
             }
             continue;
         }
+        if was_idle {
+            // Time parked waiting for work is not lateness: re-anchor
+            // the deadline to the moment work actually resumed.
+            clock.arm();
+            was_idle = false;
+        }
         let t0 = Instant::now();
         shard.process_slot();
         let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         shard.stats_mut().latency.record(nanos);
+        telemetry.process.record(nanos);
+        let slots = shard.stats().slots;
+        telemetry.slots.add(slots - prev_slots);
+        prev_slots = slots;
+        telemetry.sessions.set(shard.sessions() as u64);
+        let played = shard.stats().played_slices;
+        telemetry.played_slices.add(played - prev_played);
+        prev_played = played;
+        let sent = shard.stats().sent_bytes;
+        telemetry.sent_bytes.add(sent - prev_sent);
+        prev_sent = sent;
         shared
             .sessions
             .store(shard.sessions() as u64, Ordering::Relaxed);
@@ -204,6 +261,7 @@ fn worker(
             .played
             .store(shard.stats().played_slices, Ordering::Relaxed);
         if shard.has_retirements() {
+            let retire_started = Instant::now();
             shard.take_retirements(&mut retire_buf);
             for r in &retire_buf {
                 committed.fetch_sub(r.rate, Ordering::Relaxed);
@@ -212,9 +270,21 @@ fn worker(
                 .lock()
                 .expect("retirement sink poisoned")
                 .append(&mut retire_buf);
+            telemetry
+                .retire
+                .record(retire_started.elapsed().as_nanos() as u64);
         }
-        if let Some(pause) = slot_interval {
-            std::thread::sleep(pause);
+        if let Some(period) = period_ns {
+            if nanos > period {
+                telemetry.slot_overruns.inc();
+            }
+        }
+        let outcome = clock.pace();
+        if outcome.missed {
+            telemetry.deadline_misses.inc();
+            telemetry
+                .lateness
+                .record(outcome.lateness.as_nanos().min(u64::MAX as u128) as u64);
         }
     }
     // Flush anything the final slots produced.
@@ -235,6 +305,10 @@ fn worker(
     shared
         .played
         .store(shard.stats().played_slices, Ordering::Relaxed);
+    telemetry.sessions.set(shard.sessions() as u64);
+    telemetry.slots.add(shard.stats().slots - prev_slots);
+    telemetry.played_slices.add(shard.stats().played_slices - prev_played);
+    telemetry.sent_bytes.add(shard.stats().sent_bytes - prev_sent);
     shard
 }
 
@@ -292,6 +366,7 @@ pub struct Daemon {
     retired_sessions: u64,
     events: Vec<Event>,
     retire_scratch: Vec<Retirement>,
+    registry: Arc<Registry>,
 }
 
 impl Daemon {
@@ -302,6 +377,7 @@ impl Daemon {
         let bookable = Shard::new(u32::MAX, cfg.shard_link_rate, cfg.overbook)
             .admission()
             .bookable_capacity();
+        let registry = Arc::new(Registry::new(cfg.shards as usize));
         let handles = (0..cfg.shards)
             .map(|i| {
                 let shard = Shard::new(i, cfg.shard_link_rate, cfg.overbook);
@@ -313,10 +389,13 @@ impl Daemon {
                     let committed = Arc::clone(&committed);
                     let shared = Arc::clone(&shared);
                     let retired = Arc::clone(&retired);
-                    let pause = cfg.slot_interval;
+                    let telemetry = registry.shard(i as usize);
+                    let pacing = cfg.pacing;
                     std::thread::Builder::new()
                         .name(format!("smoothd-shard-{i}"))
-                        .spawn(move || worker(shard, rx, committed, shared, retired, pause))
+                        .spawn(move || {
+                            worker(shard, rx, committed, shared, retired, telemetry, pacing)
+                        })
                         .expect("spawn shard worker")
                 };
                 ShardHandle {
@@ -337,7 +416,15 @@ impl Daemon {
             retired_sessions: 0,
             events: Vec::new(),
             retire_scratch: Vec::new(),
+            registry,
         }
+    }
+
+    /// The live instrument registry. Cloneable handle: scrapers (the
+    /// metrics listener, ingest decode timing) read and write it
+    /// without holding the daemon lock.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     fn record(&mut self, event: Event) {
@@ -454,6 +541,7 @@ impl Daemon {
                     session: 0,
                     reason,
                 });
+                self.registry.record_reject(reason);
                 Err(reason)
             }
         }
@@ -477,6 +565,7 @@ impl Daemon {
                     session: id,
                     reason: RejectReason::Backpressure,
                 });
+                self.registry.record_reject(RejectReason::Backpressure);
                 Err(RejectReason::Backpressure)
             }
         }
@@ -513,6 +602,7 @@ impl Daemon {
         }
         let n = harvested.len() as u64;
         self.retired_sessions += n;
+        self.registry.retired.add(n);
         let events_on = self.cfg.record_events;
         for r in &harvested {
             self.directory.remove(&r.session);
@@ -565,6 +655,40 @@ impl Daemon {
         self.cfg.shards
     }
 
+    /// The detailed live telemetry frame: per-shard rows plus stage
+    /// digests, built from the registry without stopping any worker.
+    /// Truncated to [`MAX_STATS_SHARDS`] rows (one frame's worth).
+    pub fn stats_detail(&self) -> StatsDetail {
+        let snap = self.registry.snapshot();
+        let shards = snap
+            .shards
+            .iter()
+            .take(MAX_STATS_SHARDS)
+            .map(|s| ShardRow {
+                shard: s.shard as u32,
+                sessions: s.sessions,
+                slots: s.slots,
+                played: s.played_slices,
+                sent_bytes: s.sent_bytes,
+                deadline_misses: s.deadline_misses,
+                slot_overruns: s.slot_overruns,
+                latency: HistSummary::from_histogram(&s.latency),
+            })
+            .collect();
+        StatsDetail {
+            retired: snap.retired,
+            rejects: snap.rejects,
+            lateness: HistSummary::from_histogram(&snap.lateness),
+            stages: [
+                HistSummary::from_histogram(&snap.ingest_decode),
+                HistSummary::from_histogram(&snap.admit),
+                HistSummary::from_histogram(&snap.process),
+                HistSummary::from_histogram(&snap.retire),
+            ],
+            shards,
+        }
+    }
+
     /// Polls until every session has retired or `timeout` elapses.
     /// Returns `true` when fully idle.
     pub fn wait_idle(&mut self, timeout: Duration) -> bool {
@@ -600,6 +724,7 @@ impl Daemon {
             let mut sink = h.retired.lock().expect("retirement sink poisoned");
             for r in sink.drain(..) {
                 self.retired_sessions += 1;
+                self.registry.retired.inc();
                 self.directory.remove(&r.session);
                 if events_on {
                     self.events.push(Event::SessionRetired {
@@ -614,6 +739,7 @@ impl Daemon {
             let counters = shard.totals();
             totals.add(&counters);
             latency.merge(&shard.stats().latency);
+            let telemetry = self.registry.shard(shard.id() as usize);
             shards.push(ShardReport {
                 id: shard.id(),
                 slots: shard.stats().slots,
@@ -622,6 +748,8 @@ impl Daemon {
                 max_slot_sent: shard.stats().max_slot_sent,
                 peak_sessions: shard.stats().peak_sessions,
                 latency: shard.stats().latency.clone(),
+                deadline_misses: telemetry.deadline_misses.get(),
+                slot_overruns: telemetry.slot_overruns.get(),
             });
         }
         DaemonReport {
@@ -629,6 +757,7 @@ impl Daemon {
             totals,
             retired_sessions: self.retired_sessions,
             latency,
+            rejects: self.registry.rejects(),
         }
     }
 }
@@ -658,7 +787,7 @@ mod tests {
             shard_link_rate: rate,
             overbook: (1, 1),
             queue_capacity: 64,
-            slot_interval: None,
+            pacing: SlotPacing::Free,
             record_events: true,
         }
     }
@@ -733,6 +862,100 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::IngestRejected { reason: RejectReason::ZeroRate, .. })));
+        d.shutdown(true);
+    }
+
+    #[test]
+    fn deadline_pacing_holds_the_period_on_an_idle_shard() {
+        // An idle shard (one tiny CBR session, sub-microsecond slot
+        // work) under deadline pacing must realize ≈ slots·period of
+        // wall time: the clock absorbs per-slot work instead of adding
+        // the interval on top. Lower bound only — a loaded CI box can
+        // stretch time, never compress it.
+        let period = Duration::from_millis(2);
+        let mut cfg = small_config(1, 64);
+        cfg.pacing = SlotPacing::Deadline(period);
+        let mut d = Daemon::start(cfg);
+        let started = Instant::now();
+        d.admit(&cbr_request(4, 20)).expect("capacity available");
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let elapsed = started.elapsed();
+        let report = d.shutdown(true);
+        let slots = report.total_slots();
+        assert!(slots >= 20, "session lives ≥ its 20-slot lifetime");
+        // All but the final slot must each have consumed a full period
+        // (admission latency can delay the first arm, hence -1).
+        let floor = period * (slots.saturating_sub(1) as u32);
+        assert!(
+            elapsed >= floor,
+            "paced run finished too fast: {elapsed:?} < {slots}·{period:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_sleep_pacing_still_runs_and_reports_no_misses() {
+        // The Sleep variant is kept for drift comparison: period =
+        // work + interval, so it can never miss a deadline (there is
+        // none) — the deterministic drift law itself is pinned by the
+        // ManualClock tests in rts-telemetry.
+        let mut cfg = small_config(1, 64);
+        cfg.pacing = SlotPacing::Sleep(Duration::from_micros(200));
+        let mut d = Daemon::start(cfg);
+        d.admit(&cbr_request(4, 10)).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let report = d.shutdown(true);
+        assert!(report.totals.conserved());
+        for s in &report.shards {
+            assert_eq!(s.deadline_misses, 0);
+            assert_eq!(s.slot_overruns, 0);
+        }
+    }
+
+    #[test]
+    fn report_surfaces_per_reason_rejects() {
+        let mut d = Daemon::start(small_config(1, 8));
+        let (id, _) = d.admit(&cbr_request(8, 0)).unwrap();
+        assert_eq!(d.admit(&cbr_request(1, 4)), Err(RejectReason::Capacity));
+        assert_eq!(d.admit(&cbr_request(0, 1)), Err(RejectReason::ZeroRate));
+        assert_eq!(d.admit(&cbr_request(0, 1)), Err(RejectReason::ZeroRate));
+        d.drain(id).unwrap();
+        assert!(d.wait_idle(Duration::from_secs(20)));
+        let report = d.shutdown(true);
+        let by_reason: Vec<_> = report.rejects_by_reason().collect();
+        assert_eq!(
+            by_reason,
+            vec![(RejectReason::Capacity, 1), (RejectReason::ZeroRate, 2)]
+        );
+        assert_eq!(
+            report.rejects.iter().sum::<u64>(),
+            3,
+            "per-reason counts add up to the aggregate"
+        );
+    }
+
+    #[test]
+    fn stats_detail_mirrors_the_registry() {
+        let mut d = Daemon::start(small_config(2, 64));
+        for _ in 0..8 {
+            d.admit(&cbr_request(4, 10)).unwrap();
+        }
+        assert_eq!(d.admit(&cbr_request(0, 1)), Err(RejectReason::ZeroRate));
+        assert!(d.wait_idle(Duration::from_secs(20)));
+        d.poll();
+        let detail = d.stats_detail();
+        assert_eq!(detail.shards.len(), 2);
+        assert_eq!(detail.retired, 8);
+        assert_eq!(detail.rejects.iter().sum::<u64>(), 1);
+        let total_slots: u64 = detail.shards.iter().map(|s| s.slots).sum();
+        assert!(total_slots > 0, "workers stepped slots");
+        // 8 sessions × 4 one-byte slices per slot × 10 slots.
+        let total_played: u64 = detail.shards.iter().map(|s| s.played).sum();
+        assert_eq!(total_played, 8 * 4 * 10, "every generated slice played");
+        // The per-shard latency digests cover every stepped slot.
+        let digest_count: u64 = detail.shards.iter().map(|s| s.latency.count).sum();
+        assert_eq!(digest_count, total_slots);
+        // Stage digests: process mirrors the per-shard latency count.
+        assert_eq!(detail.stages[2].count, total_slots);
         d.shutdown(true);
     }
 

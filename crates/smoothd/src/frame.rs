@@ -45,11 +45,13 @@ const K_DRAIN: u8 = 0x04;
 const K_EVICT: u8 = 0x05;
 const K_STATS: u8 = 0x06;
 const K_GOODBYE: u8 = 0x07;
+const K_STATS_DETAIL: u8 = 0x08;
 const K_WELCOME: u8 = 0x81;
 const K_ADMITTED: u8 = 0x82;
 const K_REJECTED: u8 = 0x83;
 const K_STATS_REPLY: u8 = 0x84;
 const K_BYE: u8 = 0x85;
+const K_STATS_DETAIL_REPLY: u8 = 0x86;
 
 /// Drop policy selector on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +128,86 @@ pub struct StatsSnapshot {
     pub retired: u64,
 }
 
+/// Fixed quantile digest of one latency histogram, as carried on the
+/// wire (40 bytes: five `u64`s). Quantiles follow the telemetry
+/// exposition's summary set (p50/p90/p99); an empty histogram is all
+/// zeros with `count == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct HistSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median (ns).
+    pub p50: u64,
+    /// 90th percentile (ns).
+    pub p90: u64,
+    /// 99th percentile (ns).
+    pub p99: u64,
+    /// Exact maximum (ns).
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Digest a full histogram down to the wire quantile set.
+    pub fn from_histogram(h: &rts_obs::LogHistogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// Per-shard row of a [`Frame::StatsDetailReply`] (92 bytes on the
+/// wire).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct ShardRow {
+    /// Shard index.
+    pub shard: u32,
+    /// Resident sessions.
+    pub sessions: u64,
+    /// Slots stepped since start.
+    pub slots: u64,
+    /// Slices delivered to playout since start.
+    pub played: u64,
+    /// Bytes sent over the shard link since start.
+    pub sent_bytes: u64,
+    /// Slots that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Slots whose work alone exceeded the period.
+    pub slot_overruns: u64,
+    /// `process_slot` latency digest (ns).
+    pub latency: HistSummary,
+}
+
+/// Detailed telemetry returned by [`Frame::StatsDetailReply`]:
+/// daemon-wide counters plus one [`ShardRow`] per shard.
+///
+/// `stages` digests the four self-profiling timers in
+/// ingest-decode / admit / process / retire order (the
+/// `rts_telemetry::STAGES` ordering); `rejects` counts ingest
+/// rejections in [`RejectReason::ALL`] order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsDetail {
+    /// Sessions fully retired and harvested.
+    pub retired: u64,
+    /// Per-reason reject counts, [`RejectReason::ALL`] order.
+    pub rejects: [u64; 6],
+    /// Deadline lateness digest (ns), merged across shards.
+    pub lateness: HistSummary,
+    /// Stage timer digests: ingest-decode, admit, process, retire.
+    pub stages: [HistSummary; 4],
+    /// Per-shard rows, shard 0 first. At most
+    /// [`MAX_STATS_SHARDS`] rows fit one frame; the daemon truncates
+    /// (it never has that many shards on real hardware).
+    pub shards: Vec<ShardRow>,
+}
+
+/// Most shard rows one [`Frame::StatsDetailReply`] can carry without
+/// exceeding [`MAX_FRAME`]: `1 + 258 + 92·n ≤ 4096 ⇒ n ≤ 41`.
+pub const MAX_STATS_SHARDS: usize = 41;
+
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -155,6 +237,8 @@ pub enum Frame {
     },
     /// Request a [`Frame::StatsReply`].
     Stats,
+    /// Request a [`Frame::StatsDetailReply`].
+    StatsDetail,
     /// Client is closing the connection.
     Goodbye,
     /// Server handshake answer.
@@ -178,6 +262,8 @@ pub enum Frame {
     },
     /// Aggregate counters.
     StatsReply(StatsSnapshot),
+    /// Detailed live telemetry (per-shard rows + stage digests).
+    StatsDetailReply(Box<StatsDetail>),
     /// Server is closing the connection.
     Bye,
 }
@@ -315,6 +401,24 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn read_hist_summary(r: &mut Reader<'_>) -> Result<HistSummary, FrameError> {
+    Ok(HistSummary {
+        count: r.u64()?,
+        p50: r.u64()?,
+        p90: r.u64()?,
+        p99: r.u64()?,
+        max: r.u64()?,
+    })
+}
+
+fn write_hist_summary(body: &mut Vec<u8>, h: &HistSummary) {
+    body.extend_from_slice(&h.count.to_le_bytes());
+    body.extend_from_slice(&h.p50.to_le_bytes());
+    body.extend_from_slice(&h.p90.to_le_bytes());
+    body.extend_from_slice(&h.p99.to_le_bytes());
+    body.extend_from_slice(&h.max.to_le_bytes());
+}
+
 fn reject_code(reason: RejectReason) -> u8 {
     RejectReason::ALL
         .iter()
@@ -401,6 +505,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         K_DRAIN => Frame::Drain { session: r.u64()? },
         K_EVICT => Frame::Evict { session: r.u64()? },
         K_STATS => Frame::Stats,
+        K_STATS_DETAIL => Frame::StatsDetail,
         K_GOODBYE => Frame::Goodbye,
         K_WELCOME => Frame::Welcome { version: r.u16()? },
         K_ADMITTED => Frame::Admitted {
@@ -421,6 +526,39 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
             slots: r.u64()?,
             retired: r.u64()?,
         }),
+        K_STATS_DETAIL_REPLY => {
+            let retired = r.u64()?;
+            let mut rejects = [0u64; 6];
+            for slot in &mut rejects {
+                *slot = r.u64()?;
+            }
+            let lateness = read_hist_summary(&mut r)?;
+            let mut stages = [HistSummary::default(); 4];
+            for stage in &mut stages {
+                *stage = read_hist_summary(&mut r)?;
+            }
+            let count = r.u16()? as usize;
+            let mut shards = Vec::with_capacity(count.min(MAX_STATS_SHARDS));
+            for _ in 0..count {
+                shards.push(ShardRow {
+                    shard: r.u32()?,
+                    sessions: r.u64()?,
+                    slots: r.u64()?,
+                    played: r.u64()?,
+                    sent_bytes: r.u64()?,
+                    deadline_misses: r.u64()?,
+                    slot_overruns: r.u64()?,
+                    latency: read_hist_summary(&mut r)?,
+                });
+            }
+            Frame::StatsDetailReply(Box::new(StatsDetail {
+                retired,
+                rejects,
+                lateness,
+                stages,
+                shards,
+            }))
+        }
         K_BYE => Frame::Bye,
         other => return Err(FrameError::UnknownKind(other)),
     };
@@ -489,6 +627,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.extend_from_slice(&session.to_le_bytes());
         }
         Frame::Stats => body.push(K_STATS),
+        Frame::StatsDetail => body.push(K_STATS_DETAIL),
         Frame::Goodbye => body.push(K_GOODBYE),
         Frame::Welcome { version } => {
             body.push(K_WELCOME);
@@ -510,6 +649,34 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.extend_from_slice(&s.slices_played.to_le_bytes());
             body.extend_from_slice(&s.slots.to_le_bytes());
             body.extend_from_slice(&s.retired.to_le_bytes());
+        }
+        Frame::StatsDetailReply(d) => {
+            body.push(K_STATS_DETAIL_REPLY);
+            body.extend_from_slice(&d.retired.to_le_bytes());
+            for n in &d.rejects {
+                body.extend_from_slice(&n.to_le_bytes());
+            }
+            write_hist_summary(&mut body, &d.lateness);
+            for stage in &d.stages {
+                write_hist_summary(&mut body, stage);
+            }
+            let count =
+                u16::try_from(d.shards.len()).expect("stats reply holds at most 2^16 rows");
+            assert!(
+                d.shards.len() <= MAX_STATS_SHARDS,
+                "stats reply holds at most MAX_STATS_SHARDS rows"
+            );
+            body.extend_from_slice(&count.to_le_bytes());
+            for row in &d.shards {
+                body.extend_from_slice(&row.shard.to_le_bytes());
+                body.extend_from_slice(&row.sessions.to_le_bytes());
+                body.extend_from_slice(&row.slots.to_le_bytes());
+                body.extend_from_slice(&row.played.to_le_bytes());
+                body.extend_from_slice(&row.sent_bytes.to_le_bytes());
+                body.extend_from_slice(&row.deadline_misses.to_le_bytes());
+                body.extend_from_slice(&row.slot_overruns.to_le_bytes());
+                write_hist_summary(&mut body, &row.latency);
+            }
         }
         Frame::Bye => body.push(K_BYE),
     }
@@ -606,8 +773,42 @@ mod tests {
                 slots: 3,
                 retired: 4,
             }),
+            Frame::StatsDetail,
+            Frame::StatsDetailReply(Box::new(sample_stats_detail())),
             Frame::Bye,
         ]
+    }
+
+    fn sample_stats_detail() -> StatsDetail {
+        let digest = |base: u64| HistSummary {
+            count: base,
+            p50: base * 10,
+            p90: base * 20,
+            p99: base * 30,
+            max: base * 40,
+        };
+        StatsDetail {
+            retired: 11,
+            rejects: [0, 1, 2, 3, 4, 5],
+            lateness: digest(2),
+            stages: [digest(3), digest(4), digest(5), digest(6)],
+            shards: vec![
+                ShardRow {
+                    shard: 0,
+                    sessions: 100,
+                    slots: 5000,
+                    played: 40000,
+                    sent_bytes: 1 << 30,
+                    deadline_misses: 7,
+                    slot_overruns: 2,
+                    latency: digest(7),
+                },
+                ShardRow {
+                    shard: 1,
+                    ..ShardRow::default()
+                },
+            ],
+        }
     }
 
     #[test]
@@ -675,6 +876,44 @@ mod tests {
         let mut hello = encode_frame(&Frame::Hello { version: 1 });
         hello[5] ^= 0xff;
         assert!(matches!(decode_frame(&hello), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn stats_detail_reply_sizes_and_cap() {
+        // Empty-shard reply: 1 kind + 8 retired + 48 rejects + 5·40
+        // digests + 2 row count = 259 body bytes.
+        let empty = Frame::StatsDetailReply(Box::default());
+        assert_eq!(encode_frame(&empty).len() - 4, 259);
+        // Each row adds 92 bytes; MAX_STATS_SHARDS rows still fit.
+        let mut full = sample_stats_detail();
+        full.shards = (0..MAX_STATS_SHARDS as u32)
+            .map(|shard| ShardRow {
+                shard,
+                ..ShardRow::default()
+            })
+            .collect();
+        let wire = encode_frame(&Frame::StatsDetailReply(Box::new(full.clone())));
+        assert!(wire.len() - 4 <= MAX_FRAME, "{}", wire.len());
+        assert_eq!(wire.len() - 4, 259 + 92 * MAX_STATS_SHARDS);
+        let (back, _) = decode_frame(&wire).unwrap();
+        assert_eq!(back, Frame::StatsDetailReply(Box::new(full)));
+    }
+
+    #[test]
+    fn stats_detail_reply_truncated_rows_are_typed() {
+        let wire = encode_frame(&Frame::StatsDetailReply(Box::new(sample_stats_detail())));
+        // Cut inside the second shard row (keep the length header
+        // honest so the failure is Truncated, not Incomplete).
+        let keep = wire.len() - 40;
+        let mut cut = wire[..keep].to_vec();
+        let body_len = (keep - 4) as u32;
+        cut[..4].copy_from_slice(&body_len.to_le_bytes());
+        assert_eq!(
+            decode_frame(&cut),
+            Err(FrameError::Truncated {
+                kind: K_STATS_DETAIL_REPLY
+            })
+        );
     }
 
     #[test]

@@ -119,6 +119,12 @@ fn handle_conn<S: Read + Write>(mut stream: S, daemon: &Mutex<Daemon>, shutdown:
     let mut buf = [0u8; 4096];
     let mut greeted = false;
     let mut my_sessions: Vec<SessionId> = Vec::new();
+    // One registry handle per connection: frame-decode timing goes
+    // straight to the atomics, without touching the daemon mutex.
+    let telemetry = daemon
+        .lock()
+        .expect("daemon mutex poisoned")
+        .registry();
     'conn: loop {
         if shutdown.load(Ordering::SeqCst) {
             let _ = stream.write_all(&encode_frame(&Frame::Bye));
@@ -137,8 +143,14 @@ fn handle_conn<S: Read + Write>(mut stream: S, daemon: &Mutex<Daemon>, shutdown:
         };
         reader.extend(&buf[..n]);
         loop {
+            let decode_started = std::time::Instant::now();
             let frame = match reader.next_frame() {
-                Ok(Some(frame)) => frame,
+                Ok(Some(frame)) => {
+                    telemetry
+                        .ingest_decode
+                        .record(decode_started.elapsed().as_nanos() as u64);
+                    frame
+                }
                 Ok(None) => break,
                 Err(_) => {
                     // Typed protocol violation: reject and hang up.
@@ -287,6 +299,18 @@ fn dispatch<S: Write>(
                 Flow::Close
             }
         }
+        Frame::StatsDetail => {
+            let detail = {
+                let mut d = daemon.lock().expect("daemon mutex poisoned");
+                d.poll();
+                d.stats_detail()
+            };
+            if reply(stream, &Frame::StatsDetailReply(Box::new(detail))) {
+                Flow::Continue
+            } else {
+                Flow::Close
+            }
+        }
         Frame::Goodbye => {
             let _ = reply(stream, &Frame::Bye);
             Flow::Close
@@ -297,6 +321,7 @@ fn dispatch<S: Write>(
         | Frame::Admitted { .. }
         | Frame::Rejected { .. }
         | Frame::StatsReply(_)
+        | Frame::StatsDetailReply(_)
         | Frame::Bye => {
             let _ = reply(
                 stream,

@@ -41,9 +41,11 @@ mod shard;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonReport, ShardReport};
 pub use frame::{
-    decode_frame, encode_frame, AdmitRequest, Frame, FrameError, FrameReader, StatsSnapshot,
-    WirePolicy, MAGIC, MAX_FRAME, PROTOCOL_VERSION,
+    decode_frame, encode_frame, AdmitRequest, Frame, FrameError, FrameReader, HistSummary,
+    ShardRow, StatsDetail, StatsSnapshot, WirePolicy, MAGIC, MAX_FRAME, MAX_STATS_SHARDS,
+    PROTOCOL_VERSION,
 };
+pub use rts_telemetry::SlotPacing;
 #[cfg(unix)]
 pub use ingest::serve_uds;
 pub use ingest::{serve_tcp, IngestServer};

@@ -1,0 +1,213 @@
+//! Lock-free instruments: atomic counters and log-bucketed histograms.
+//!
+//! The data plane (shard workers, the ingest loop) writes these with
+//! `Relaxed` atomics and never allocates or blocks; a scraper thread
+//! reads them at any time without stopping writers. Snapshots are
+//! *racy but monotone*: a snapshot taken mid-record may see a bucket
+//! increment without the matching `sum` update (or vice versa), but
+//! every field individually never goes backwards, and a snapshot taken
+//! while no writer is active equals the histogram a single-threaded
+//! [`LogHistogram`] would have produced from the same samples — the
+//! `snapshot-equals-live` oracle in `rts-check` pins this down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rts_obs::LogHistogram;
+
+/// A monotone event counter writable from many threads.
+#[derive(Debug, Default)]
+pub struct AtomicCounter(AtomicU64);
+
+impl AtomicCounter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        AtomicCounter(AtomicU64::new(0))
+    }
+
+    /// Add `n` occurrences.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one occurrence.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value (gauge semantics, e.g. resident sessions).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free mirror of [`LogHistogram`]: a fixed-size array of
+/// atomic bucket counters (one per [`LogHistogram::BUCKETS`] slot)
+/// plus the exact `count`/`sum`/`min`/`max` sidecar.
+///
+/// `record` is a handful of `Relaxed` read-modify-write ops and never
+/// allocates — the bucket array is sized for the whole `u64` range up
+/// front (~7.6 KiB per histogram), so the hot path has no resize
+/// branch. `sum` is kept in a `u64`: the recorded values here are
+/// nanosecond durations of per-slot work, so even 2^32 samples of
+/// 4-second slots fit without overflow.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram with every bucket allocated.
+    pub fn new() -> Self {
+        let buckets = (0..LogHistogram::BUCKETS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        AtomicHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample. Allocation-free; safe from any thread.
+    pub fn record(&self, value: u64) {
+        self.buckets[LogHistogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Fold a plain histogram's contents in (used when a worker already
+    /// aggregated locally and flushes in bulk).
+    pub fn merge(&self, other: &LogHistogram) {
+        if other.count() == 0 {
+            return;
+        }
+        for (idx, &n) in other.buckets().iter().enumerate() {
+            if n > 0 {
+                self.buckets[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum() as u64, Ordering::Relaxed);
+        self.min.fetch_min(other.min(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Materialize a plain, mergeable [`LogHistogram`] from the live
+    /// atomics. The bucket array is read first and the sidecar count is
+    /// re-derived from it, so the snapshot is always internally
+    /// consistent even if writers raced the scrape.
+    pub fn snapshot(&self) -> LogHistogram {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return LogHistogram::new();
+        }
+        let sum = self.sum.load(Ordering::Relaxed) as u128;
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        LogHistogram::from_parts(buckets, count, sum, min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_set_get() {
+        let c = AtomicCounter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn snapshot_equals_live_single_threaded() {
+        let a = AtomicHistogram::new();
+        let mut live = LogHistogram::new();
+        for v in [0u64, 1, 17, 17, 4096, 1 << 33] {
+            a.record(v);
+            live.record(v);
+        }
+        assert_eq!(a.snapshot(), live);
+    }
+
+    #[test]
+    fn empty_snapshot_is_empty() {
+        let a = AtomicHistogram::new();
+        assert_eq!(a.snapshot(), LogHistogram::new());
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_plain_merge() {
+        let a = AtomicHistogram::new();
+        let mut x = LogHistogram::new();
+        let mut y = LogHistogram::new();
+        for v in [3u64, 9, 200] {
+            x.record(v);
+        }
+        for v in [5u64, 5, 1 << 20] {
+            y.record(v);
+        }
+        a.merge(&x);
+        a.merge(&y);
+        let mut expect = x.clone();
+        expect.merge(&y);
+        assert_eq!(a.snapshot(), expect);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        use std::sync::Arc;
+        let a = Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        a.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = a.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 3999);
+    }
+}

@@ -1,0 +1,213 @@
+//! Prometheus-style text exposition, hand-rolled (no deps).
+//!
+//! Format: `# TYPE` comment lines followed by
+//! `name{label="v",...} value` samples, one per line, newline
+//! terminated. Quantiles are exposed the `summary` way — a `quantile`
+//! label on the base metric plus `_count` and `_max` companions —
+//! computed from [`LogHistogram`] snapshots at scrape time. An empty
+//! histogram exposes `_count 0` and omits quantile lines (the
+//! histogram's 0-on-empty quantile would otherwise read as a real
+//! measurement; callers distinguish via `_count`, as documented on
+//! [`LogHistogram::quantile`]).
+
+use std::fmt::Write as _;
+
+use rts_obs::{LogHistogram, RejectReason};
+
+use crate::registry::{RegistrySnapshot, STAGES};
+
+/// The quantiles every summary exposes.
+pub const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+fn counter(out: &mut String, name: &str, labels: &str, value: u64) {
+    if labels.is_empty() {
+        let _ = writeln!(out, "{name} {value}");
+    } else {
+        let _ = writeln!(out, "{name}{{{labels}}} {value}");
+    }
+}
+
+fn summary(out: &mut String, name: &str, labels: &str, h: &LogHistogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    if h.count() > 0 {
+        for (q, qs) in QUANTILES {
+            let _ = writeln!(
+                out,
+                "{name}{{{labels}{sep}quantile=\"{qs}\"}} {}",
+                h.quantile(q)
+            );
+        }
+        counter(out, &format!("{name}_max"), labels, h.max());
+    }
+    counter(out, &format!("{name}_count"), labels, h.count());
+}
+
+/// Render a registry snapshot as exposition text.
+pub fn render_exposition(snap: &RegistrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# TYPE smoothd_sessions gauge\n");
+    out.push_str("# TYPE smoothd_slots_total counter\n");
+    out.push_str("# TYPE smoothd_played_slices_total counter\n");
+    out.push_str("# TYPE smoothd_sent_bytes_total counter\n");
+    out.push_str("# TYPE smoothd_deadline_miss_total counter\n");
+    out.push_str("# TYPE smoothd_slot_overrun_total counter\n");
+    out.push_str("# TYPE smoothd_slot_latency_ns summary\n");
+    for s in &snap.shards {
+        let labels = format!("shard=\"{}\"", s.shard);
+        counter(&mut out, "smoothd_sessions", &labels, s.sessions);
+        counter(&mut out, "smoothd_slots_total", &labels, s.slots);
+        counter(&mut out, "smoothd_played_slices_total", &labels, s.played_slices);
+        counter(&mut out, "smoothd_sent_bytes_total", &labels, s.sent_bytes);
+        counter(&mut out, "smoothd_deadline_miss_total", &labels, s.deadline_misses);
+        counter(&mut out, "smoothd_slot_overrun_total", &labels, s.slot_overruns);
+        summary(&mut out, "smoothd_slot_latency_ns", &labels, &s.latency);
+    }
+    out.push_str("# TYPE smoothd_stage_ns summary\n");
+    let stages = [&snap.ingest_decode, &snap.admit, &snap.process, &snap.retire];
+    for (name, h) in STAGES.iter().zip(stages) {
+        summary(&mut out, "smoothd_stage_ns", &format!("stage=\"{name}\""), h);
+    }
+    out.push_str("# TYPE smoothd_lateness_ns summary\n");
+    summary(&mut out, "smoothd_lateness_ns", "", &snap.lateness);
+    out.push_str("# TYPE smoothd_rejects_total counter\n");
+    for (reason, &n) in RejectReason::ALL.iter().zip(&snap.rejects) {
+        counter(
+            &mut out,
+            "smoothd_rejects_total",
+            &format!("reason=\"{}\"", reason.name()),
+            n,
+        );
+    }
+    out.push_str("# TYPE smoothd_retired_total counter\n");
+    counter(&mut out, "smoothd_retired_total", "", snap.retired);
+    out
+}
+
+/// Parse exposition text back into `(series, value)` pairs, where
+/// `series` is the metric name with its label set attached verbatim
+/// (e.g. `smoothd_slots_total{shard="0"}`). Used by tests and the
+/// smoke harness to assert the format stays machine-readable; not a
+/// full Prometheus parser.
+pub fn parse_exposition(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let split_at = match line.rfind(' ') {
+            Some(i) => i,
+            None => return Err(format!("line {}: no value: {line:?}", lineno + 1)),
+        };
+        let (series, value) = line.split_at(split_at);
+        let series = series.trim_end();
+        if series.is_empty() {
+            return Err(format!("line {}: empty series name", lineno + 1));
+        }
+        if let Some(open) = series.find('{') {
+            if !series.ends_with('}') {
+                return Err(format!("line {}: unterminated label set", lineno + 1));
+            }
+            let name = &series[..open];
+            if name.is_empty() {
+                return Err(format!("line {}: empty metric name", lineno + 1));
+            }
+        }
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad value: {e}", lineno + 1))?;
+        out.push((series.to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Look up one series by exact name (with labels) in parsed output.
+pub fn series_value(parsed: &[(String, f64)], series: &str) -> Option<f64> {
+    parsed
+        .iter()
+        .find(|(s, _)| s == series)
+        .map(|&(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use rts_obs::RejectReason;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let reg = Registry::new(2);
+        let s0 = reg.shard(0);
+        s0.sessions.set(5);
+        s0.slots.add(100);
+        s0.played_slices.add(400);
+        s0.sent_bytes.add(12800);
+        s0.deadline_misses.add(2);
+        s0.lateness.record(1500);
+        s0.lateness.record(2500);
+        for v in [100u64, 200, 300, 400] {
+            s0.process.record(v);
+        }
+        s0.admit.record(50);
+        s0.retire.record(75);
+        reg.ingest_decode.record(30);
+        reg.record_reject(RejectReason::Backpressure);
+        reg.retired.add(9);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn exposition_round_trips_through_parser() {
+        let snap = sample_snapshot();
+        let text = render_exposition(&snap);
+        let parsed = parse_exposition(&text).expect("own output must parse");
+        assert_eq!(
+            series_value(&parsed, "smoothd_slots_total{shard=\"0\"}"),
+            Some(100.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_sessions{shard=\"0\"}"),
+            Some(5.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_deadline_miss_total{shard=\"0\"}"),
+            Some(2.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_rejects_total{reason=\"backpressure\"}"),
+            Some(1.0)
+        );
+        assert_eq!(series_value(&parsed, "smoothd_retired_total"), Some(9.0));
+        assert_eq!(
+            series_value(&parsed, "smoothd_slot_latency_ns_count{shard=\"0\"}"),
+            Some(4.0)
+        );
+        assert!(series_value(
+            &parsed,
+            "smoothd_slot_latency_ns{shard=\"0\",quantile=\"0.5\"}"
+        )
+        .is_some());
+        assert_eq!(
+            series_value(&parsed, "smoothd_stage_ns_count{stage=\"ingest-decode\"}"),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn empty_histograms_expose_count_but_no_quantiles() {
+        let reg = Registry::new(1);
+        let text = render_exposition(&reg.snapshot());
+        assert!(text.contains("smoothd_slot_latency_ns_count{shard=\"0\"} 0"));
+        assert!(!text.contains("quantile=\"0.5\"}"), "{text}");
+        parse_exposition(&text).expect("empty registry output must parse");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_exposition("metric_without_value").is_err());
+        assert!(parse_exposition("name{unterminated 3").is_err());
+        assert!(parse_exposition("series notanumber").is_err());
+        assert!(parse_exposition("# just a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! `rts-telemetry`: the live metrics plane for the smoothing daemon.
+//!
+//! The paper's guarantees are per-slot — resource bounds, smoothness,
+//! and loss are all functions of what happens inside each length-`D`
+//! window — so a daemon stepping a million sessions needs a live view
+//! of slot timing, not just an exit report. This crate provides it
+//! with zero external dependencies and zero locks on the data plane:
+//!
+//! * [`Registry`] / [`ShardTelemetry`] — per-shard instrument blocks
+//!   (atomic counters plus fixed-size [`AtomicHistogram`] mirrors of
+//!   `rts_obs::LogHistogram`) that workers write allocation-free and
+//!   scrapers read without stopping anything.
+//! * [`SlotClock`] / [`SlotPacing`] — absolute-deadline slot pacing
+//!   that holds the configured period (instead of drifting by per-slot
+//!   work time like a post-slot sleep) and accounts deadline misses,
+//!   slot overruns, and lateness.
+//! * [`render_exposition`] / [`MetricsServer`] — a hand-rolled
+//!   Prometheus-style text encoder and a minimal HTTP/1.0-over-TCP
+//!   listener (`--metrics-addr`) so external scrapers and tests can
+//!   poll a running daemon.
+//!
+//! The daemon additionally surfaces the same numbers over its own
+//! frame protocol (`smoothctl top` consumes those), and an `rts-check`
+//! oracle pins snapshot-equals-live for the atomic histograms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod clock;
+mod expo;
+mod registry;
+mod server;
+
+pub use atomic::{AtomicCounter, AtomicHistogram};
+pub use clock::{Clock, ManualClock, MonotonicClock, SlotClock, SlotOutcome, SlotPacing};
+pub use expo::{parse_exposition, render_exposition, series_value, QUANTILES};
+pub use registry::{reject_index, Registry, RegistrySnapshot, ShardSnapshot, ShardTelemetry, STAGES};
+pub use server::{MetricsServer, RenderFn};

@@ -1,0 +1,167 @@
+//! The `--metrics-addr` listener: a minimal HTTP/1.0 responder over
+//! plain TCP that serves the text exposition to any scraper
+//! (`curl`, a Prometheus agent, the CI smoke step).
+//!
+//! Deliberately tiny: one accept thread, one short-lived blocking read
+//! per connection (scrape requests are a few hundred bytes), the whole
+//! response written in one shot, connection closed. The render
+//! callback runs per scrape, so each response is a fresh registry
+//! snapshot; the data plane is never paused.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Renders the current exposition body on demand.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running metrics listener. Dropping it stops the accept loop.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and serve `render()` output to
+    /// every connection until [`stop`](MetricsServer::stop) or drop.
+    pub fn serve<A: ToSocketAddrs>(addr: A, render: RenderFn) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("smoothd-metrics".into())
+            .spawn(move || accept_loop(listener, render, stop_flag))
+            .expect("spawn metrics thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            join: Some(join),
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, render: RenderFn, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                // Serve inline: scrapes are small and rare relative to
+                // the slot rate, and a stuck client only stalls this
+                // thread (bounded by the read timeout), never a worker.
+                let _ = serve_one(conn, &render);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_one(mut conn: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    conn.set_nonblocking(false)?;
+    conn.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request headers (or timeout / 4 KiB):
+    // we answer every request path identically, so the request bytes
+    // only need to be drained, not routed.
+    let mut req = [0u8; 4096];
+    let mut seen = 0;
+    while seen < req.len() {
+        match conn.read(&mut req[seen..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen += n;
+                if req[..seen].windows(4).any(|w| w == b"\r\n\r\n")
+                    || req[..seen].windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let body = render();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(header.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut buf = String::new();
+        conn.read_to_string(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn serves_fresh_bodies_per_scrape() {
+        use std::sync::atomic::AtomicU64;
+        let hits = Arc::new(AtomicU64::new(0));
+        let render_hits = Arc::clone(&hits);
+        let render: RenderFn = Arc::new(move || {
+            let n = render_hits.fetch_add(1, Ordering::Relaxed) + 1;
+            format!("scrape_count {n}\n")
+        });
+        let mut server = MetricsServer::serve("127.0.0.1:0", render).unwrap();
+        let first = scrape(server.local_addr());
+        let second = scrape(server.local_addr());
+        assert!(first.starts_with("HTTP/1.0 200 OK\r\n"), "{first}");
+        assert!(first.contains("Content-Type: text/plain"), "{first}");
+        assert!(first.ends_with("scrape_count 1\n"), "{first}");
+        assert!(second.ends_with("scrape_count 2\n"), "{second}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_unbinds() {
+        let render: RenderFn = Arc::new(|| String::from("x 1\n"));
+        let mut server = MetricsServer::serve("127.0.0.1:0", render).unwrap();
+        let addr = server.local_addr();
+        server.stop();
+        server.stop();
+        // After stop the port is free again (drop also stops, but the
+        // loop must have exited by now).
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

@@ -178,8 +178,27 @@ fn smoothd_frame_decoder_is_total_on_fuzzed_bytes() {
 }
 
 #[test]
+fn smoothd_stats_frames_roundtrip() {
+    check("smoothd-stats-roundtrip");
+}
+
+#[test]
+fn smoothd_stats_decoder_is_total_on_fuzzed_bytes() {
+    check("smoothd-stats-fuzz");
+}
+
+#[test]
 fn smoothd_churn_conserves_bytes_and_capacity() {
     check("smoothd-churn-conservation");
+}
+
+// ------------------------------------------------------------------
+// The telemetry plane: histogram merge algebra and atomic snapshots.
+// ------------------------------------------------------------------
+
+#[test]
+fn histogram_merge_is_order_free_and_snapshots_agree() {
+    check("hist-merge-oracle");
 }
 
 // ------------------------------------------------------------------

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use rts_obs::RejectReason;
 use rts_smoothd::{
     decode_frame, encode_frame, replay_sessions, serve_tcp, AdmitRequest, ArrivalSource, Daemon,
-    DaemonConfig, Frame, FrameReader, Shard, WirePolicy, PROTOCOL_VERSION,
+    DaemonConfig, Frame, FrameReader, Shard, SlotPacing, WirePolicy, PROTOCOL_VERSION,
 };
 
 fn cbr_request(rate: u64, lifetime: u64) -> AdmitRequest {
@@ -259,7 +259,7 @@ fn full_command_queues_shed_with_typed_backpressure() {
         shards: 1,
         shard_link_rate: 1 << 10,
         queue_capacity: 2,
-        slot_interval: Some(Duration::from_millis(50)),
+        pacing: SlotPacing::Sleep(Duration::from_millis(50)),
         record_events: true,
         ..DaemonConfig::default()
     });
