@@ -13,21 +13,30 @@
 //!                                       TOLERANCE x fails; default 1.6)
 //! ```
 //!
-//! `--check` also enforces the ring-vs-map ablation: the committed
-//! baseline must record a ratio >= 1.5 and the fresh run >= 1.3 (the
-//! looser live bound absorbs machine noise; the ratio is relative, so
-//! it is stable across machine speeds). It likewise caps the smoothd
-//! telemetry-on/off overhead ratio at 1.5x: the lock-free instruments
-//! must stay close to free on the slot hot path.
+//! `--check` also enforces the ablation ratios: the committed baseline
+//! must record ring-vs-map >= 1.5 and the fresh run >= 1.3 (the looser
+//! live bound absorbs machine noise; the ratios are relative, so they
+//! are stable across machine speeds). It caps the smoothd
+//! telemetry-on/off overhead ratio at 1.5x (the lock-free instruments
+//! must stay close to free on the slot hot path), and it keeps the
+//! offline fast paths fast: chain-vs-generic >= 5x in the baseline /
+//! 4x live, and warm-vs-cold sweeps >= 10x in the baseline / 8x live.
 
 use std::process::ExitCode;
 
-use rts_bench::hotpath::{self, extract_medians, extract_mode, extract_ratio};
+use rts_bench::hotpath::{
+    self, extract_medians, extract_mode, extract_offline_chain_ratio, extract_offline_warm_ratio,
+    extract_ratio,
+};
 
 const DEFAULT_OUT: &str = "BENCH_hotpath.json";
 const BASELINE_RATIO_FLOOR: f64 = 1.5;
 const LIVE_RATIO_FLOOR: f64 = 1.3;
 const TELEMETRY_OVERHEAD_CEILING: f64 = 1.5;
+const CHAIN_BASELINE_FLOOR: f64 = 5.0;
+const CHAIN_LIVE_FLOOR: f64 = 4.0;
+const WARM_BASELINE_FLOOR: f64 = 10.0;
+const WARM_LIVE_FLOOR: f64 = 8.0;
 const DEFAULT_TOLERANCE: f64 = 1.6;
 
 fn main() -> ExitCode {
@@ -95,6 +104,14 @@ fn report(suite: &hotpath::Suite) {
         "  smoothd telemetry on-vs-off ratio: {:.2}x",
         suite.ratio_smoothd_telemetry_on_vs_off
     );
+    println!(
+        "  offline chain-vs-generic ratio: {:.2}x",
+        suite.ratio_offline_chain_vs_generic
+    );
+    println!(
+        "  offline warm-vs-cold sweep ratio: {:.2}x",
+        suite.ratio_offline_warm_vs_cold
+    );
 }
 
 fn run_validate(path: &str) -> ExitCode {
@@ -146,6 +163,32 @@ fn run_check(baseline_path: &str) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
+    match extract_offline_chain_ratio(&baseline) {
+        Some(r) if r >= CHAIN_BASELINE_FLOOR => {}
+        Some(r) => {
+            eprintln!(
+                "check: baseline chain-vs-generic ratio {r:.2}x < required {CHAIN_BASELINE_FLOOR}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("check: baseline {baseline_path} predates the offline chain benchmarks");
+            return ExitCode::FAILURE;
+        }
+    }
+    match extract_offline_warm_ratio(&baseline) {
+        Some(r) if r >= WARM_BASELINE_FLOOR => {}
+        Some(r) => {
+            eprintln!(
+                "check: baseline warm-vs-cold ratio {r:.2}x < required {WARM_BASELINE_FLOOR}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("check: baseline {baseline_path} predates the offline sweep benchmarks");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let tolerance: f64 = std::env::var("BENCH_TOLERANCE")
         .ok()
@@ -186,6 +229,20 @@ fn run_check(baseline_path: &str) -> ExitCode {
         eprintln!(
             "  REGRESSION telemetry overhead {:.2}x > ceiling {TELEMETRY_OVERHEAD_CEILING}x",
             suite.ratio_smoothd_telemetry_on_vs_off
+        );
+        failed = true;
+    }
+    if suite.ratio_offline_chain_vs_generic < CHAIN_LIVE_FLOOR {
+        eprintln!(
+            "  REGRESSION chain-vs-generic ratio {:.2}x < floor {CHAIN_LIVE_FLOOR}x",
+            suite.ratio_offline_chain_vs_generic
+        );
+        failed = true;
+    }
+    if suite.ratio_offline_warm_vs_cold < WARM_LIVE_FLOOR {
+        eprintln!(
+            "  REGRESSION warm-vs-cold sweep ratio {:.2}x < floor {WARM_LIVE_FLOOR}x",
+            suite.ratio_offline_warm_vs_cold
         );
         failed = true;
     }

@@ -1,0 +1,27 @@
+//! Regret sweep: online policies against the exact offline optimum
+//! across the Figure-2 buffer sweep, with the optimum evaluated through
+//! one warm `OptimalSweep` (stream analyzed once, every (B, R) point
+//! answered incrementally) instead of per-point cold solves.
+//!
+//! `--smoke` runs the same sweep on a 300-frame trace — fast enough for
+//! the CI smoke step — and skips the CSV.
+
+use rts_stream::gen::{MpegConfig, MpegSource};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let table = if smoke {
+        let trace = MpegSource::new(MpegConfig::cnn_like(), rts_bench::workload::SEED).frames(300);
+        rts_bench::figures::regret_sweep_on(&trace, 1.1, "regret_sweep_smoke")
+    } else {
+        rts_bench::figures::regret_sweep()
+    };
+    print!("{}", table.render());
+    if smoke {
+        return;
+    }
+    match table.write_csv(&rts_bench::results_dir()) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

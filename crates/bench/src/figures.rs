@@ -84,6 +84,62 @@ pub fn fig3() -> Table {
     loss_sweep_on(&workload::section5_trace(), 0.9, "fig3")
 }
 
+/// The regret sweep: online-vs-optimal benefit ratios across the
+/// buffer sweep, with the optimum evaluated through one warm
+/// [`OptimalSweep`](rts_offline::OptimalSweep) instead of per-point
+/// cold solves — the fast path that makes optimal-in-the-loop sweeps
+/// practical at full trace lengths.
+///
+/// Regret is `OPT / policy benefit` (≥ 1, lower is better; `inf` never
+/// occurs on these traces since every policy delivers something).
+pub fn regret_sweep_on(trace: &FrameSizeTrace, rate_factor: f64, name: &str) -> Table {
+    let stream = workload::byte_stream(trace);
+    let rate = workload::rate_at(trace, rate_factor);
+    let sweep = workload::buffer_sweep(trace);
+    let warm = rts_offline::OptimalSweep::new(&stream).expect("byte stream has unit slices");
+    let mut table = Table::new(
+        name,
+        format!(
+            "Online-vs-Optimal regret (OPT / policy benefit) vs buffer size, \
+             R = {rate_factor} x avg rate (R = {rate} units/step), byte slices, \
+             weights 12:8:1, OPT via warm OptimalSweep"
+        ),
+        &[
+            "k_max_frames",
+            "buffer",
+            "optimal",
+            "tail_drop",
+            "greedy",
+            "regret_tail",
+            "regret_greedy",
+        ],
+    );
+    let rows = parallel_map(&sweep, None, |&(k, b)| {
+        let opt = warm.benefit(b, rate);
+        let tail = run_server_only(&stream, b, rate, TailDrop::new()).benefit;
+        let greedy = run_server_only(&stream, b, rate, GreedyByteValue::new()).benefit;
+        (k, b, opt, tail, greedy)
+    });
+    for (k, b, opt, tail, greedy) in rows {
+        table.push(vec![
+            k.to_string(),
+            b.to_string(),
+            opt.to_string(),
+            tail.to_string(),
+            greedy.to_string(),
+            f4(opt as f64 / tail.max(1) as f64),
+            f4(opt as f64 / greedy.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+/// The regret sweep on the canonical Section-5 workload at `1.1×` the
+/// average rate (the Figure 2 operating point).
+pub fn regret_sweep() -> Table {
+    regret_sweep_on(&workload::section5_trace(), 1.1, "regret_sweep")
+}
+
 /// Figure 4: benefit (fraction of total weight delivered) of Tail-Drop,
 /// Greedy and Optimal as the link rate varies from `0.4×` to `1.4×` the
 /// average rate; byte slices, buffer fixed at `buffer_frames ×` the
@@ -1103,6 +1159,7 @@ pub fn all() -> Vec<Table> {
         thm47(),
         thm48(),
         ratio_audit(),
+        regret_sweep(),
         jitter(),
         lossless_frontier(),
         granularity(),

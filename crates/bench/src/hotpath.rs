@@ -65,6 +65,14 @@ pub struct Suite {
     /// bare slot loop (1.0 = free; the gate caps how far above 1 the
     /// lock-free instrumentation may drift).
     pub ratio_smoothd_telemetry_on_vs_off: f64,
+    /// Offline-optimal ablation: generic min-cost-flow median over the
+    /// dense chain solver median on the same trace (>1 means the chain
+    /// solver is faster; the gate keeps the speedup from regressing).
+    pub ratio_offline_chain_vs_generic: f64,
+    /// Sweep ablation: cold per-point re-solves median over the
+    /// warm-started [`OptimalSweep`](rts_offline::OptimalSweep) median
+    /// on the same buffer grid.
+    pub ratio_offline_warm_vs_cold: f64,
 }
 
 /// Times `runs` executions of `f` and summarizes them.
@@ -246,17 +254,63 @@ pub fn run(smoke: bool) -> Suite {
         },
     ));
 
-    // Offline optima: the unit-slice LP-free DP on the per-byte stream
-    // and the whole-frame DP, both at the simulate parameters.
-    timings.push(time_runs(
+    // Offline optima on the per-byte stream: the generic min-cost-flow
+    // reference (the historical `unit-dp` entry, kept on the flow path
+    // so the committed baseline stays comparable) vs the dense chain
+    // solver, plus the warm-started sweep against cold re-solves and
+    // the windowed streaming estimator.
+    let generic = time_runs(
         "offline/unit-dp",
+        by_byte.slice_count() as u64,
+        runs,
+        || {
+            rts_offline::optimal_unit_benefit_flow(&by_byte, params.buffer, params.rate)
+                .expect("per-byte stream has unit slices")
+        },
+    );
+    let chain = time_runs(
+        "offline/unit-chain",
         by_byte.slice_count() as u64,
         runs,
         || {
             rts_offline::optimal_unit_benefit(&by_byte, params.buffer, params.rate)
                 .expect("per-byte stream has unit slices")
         },
+    );
+    let chain_ratio = generic.median_ns as f64 / chain.median_ns as f64;
+    timings.push(generic);
+    timings.push(chain);
+
+    // A regret-curve-shaped buffer grid: 32 points at fixed rate.
+    let grid: Vec<u64> = (0..32).map(|i| params.buffer * i / 8 + 1).collect();
+    let grid_slices = by_byte.slice_count() as u64 * grid.len() as u64;
+    let cold = time_runs("offline/sweep-cold", grid_slices, runs, || {
+        grid.iter()
+            .map(|&b| {
+                rts_offline::optimal_unit_benefit(&by_byte, b, params.rate)
+                    .expect("per-byte stream has unit slices")
+            })
+            .sum::<u64>()
+    });
+    let warm = time_runs("offline/sweep-warm", grid_slices, runs, || {
+        let sweep =
+            rts_offline::OptimalSweep::new(&by_byte).expect("per-byte stream has unit slices");
+        sweep.sweep_buffers(params.rate, &grid).iter().sum::<u64>()
+    });
+    let warm_ratio = cold.median_ns as f64 / warm.median_ns as f64;
+    timings.push(cold);
+    timings.push(warm);
+
+    timings.push(time_runs(
+        "offline/windowed",
+        by_byte.slice_count() as u64,
+        runs,
+        || {
+            rts_offline::optimal_unit_windowed(&by_byte, params.buffer, params.rate, 64)
+                .expect("per-byte stream has unit slices")
+        },
     ));
+
     timings.push(time_runs(
         "offline/frame-dp",
         by_frame.slice_count() as u64,
@@ -289,6 +343,8 @@ pub fn run(smoke: bool) -> Suite {
         timings,
         ratio_simulate_ring_vs_map: ratio,
         ratio_smoothd_telemetry_on_vs_off: telemetry_ratio,
+        ratio_offline_chain_vs_generic: chain_ratio,
+        ratio_offline_warm_vs_cold: warm_ratio,
     }
 }
 
@@ -309,6 +365,14 @@ impl Suite {
         s.push_str(&format!(
             "  \"ratio_smoothd_telemetry_on_vs_off\": {:.4},\n",
             self.ratio_smoothd_telemetry_on_vs_off
+        ));
+        s.push_str(&format!(
+            "  \"ratio_offline_chain_vs_generic\": {:.4},\n",
+            self.ratio_offline_chain_vs_generic
+        ));
+        s.push_str(&format!(
+            "  \"ratio_offline_warm_vs_cold\": {:.4},\n",
+            self.ratio_offline_warm_vs_cold
         ));
         s.push_str("  \"benchmarks\": [\n");
         for (i, t) in self.timings.iter().enumerate() {
@@ -381,6 +445,18 @@ pub fn extract_telemetry_ratio(json: &str) -> Option<f64> {
     extract_named_ratio(json, "ratio_smoothd_telemetry_on_vs_off")
 }
 
+/// Extracts the recorded chain-vs-generic offline speedup ratio from a
+/// suite JSON (`None` for baselines that predate the chain solver).
+pub fn extract_offline_chain_ratio(json: &str) -> Option<f64> {
+    extract_named_ratio(json, "ratio_offline_chain_vs_generic")
+}
+
+/// Extracts the recorded warm-vs-cold sweep speedup ratio from a suite
+/// JSON (`None` for baselines that predate `OptimalSweep`).
+pub fn extract_offline_warm_ratio(json: &str) -> Option<f64> {
+    extract_named_ratio(json, "ratio_offline_warm_vs_cold")
+}
+
 /// Extracts the recorded mode (`"full"` / `"smoke"`) from a suite JSON.
 pub fn extract_mode(json: &str) -> Option<String> {
     let line = json
@@ -418,6 +494,8 @@ mod tests {
             ],
             ratio_simulate_ring_vs_map: 1.7,
             ratio_smoothd_telemetry_on_vs_off: 1.05,
+            ratio_offline_chain_vs_generic: 25.0,
+            ratio_offline_warm_vs_cold: 18.5,
         }
     }
 
@@ -434,6 +512,8 @@ mod tests {
         );
         assert_eq!(extract_ratio(&json), Some(1.7));
         assert_eq!(extract_telemetry_ratio(&json), Some(1.05));
+        assert_eq!(extract_offline_chain_ratio(&json), Some(25.0));
+        assert_eq!(extract_offline_warm_ratio(&json), Some(18.5));
         assert_eq!(extract_mode(&json).as_deref(), Some("full"));
     }
 
@@ -443,6 +523,8 @@ mod tests {
         assert_eq!(extract_medians("{\"suite\": \"hotpath\"}"), None);
         assert_eq!(extract_ratio(""), None);
         assert_eq!(extract_telemetry_ratio(""), None);
+        assert_eq!(extract_offline_chain_ratio(""), None);
+        assert_eq!(extract_offline_warm_ratio(""), None);
         assert_eq!(extract_mode(""), None);
     }
 
@@ -468,6 +550,10 @@ mod tests {
                 "simulate/frame-ring",
                 "mux/wfq-4",
                 "offline/unit-dp",
+                "offline/unit-chain",
+                "offline/sweep-cold",
+                "offline/sweep-warm",
+                "offline/windowed",
                 "offline/frame-dp",
                 "smoothd/telemetry-off",
                 "smoothd/telemetry-on",
@@ -475,8 +561,10 @@ mod tests {
         );
         assert!(suite.ratio_simulate_ring_vs_map > 0.0);
         assert!(suite.ratio_smoothd_telemetry_on_vs_off > 0.0);
+        assert!(suite.ratio_offline_chain_vs_generic > 0.0);
+        assert!(suite.ratio_offline_warm_vs_cold > 0.0);
         let json = suite.to_json();
-        assert_eq!(extract_medians(&json).map(|m| m.len()), Some(9));
+        assert_eq!(extract_medians(&json).map(|m| m.len()), Some(13));
     }
 
     #[test]

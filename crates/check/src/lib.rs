@@ -23,6 +23,7 @@
 pub mod engine;
 pub mod gen;
 pub mod invariants;
+pub mod offline;
 pub mod oracles;
 pub mod smoothd;
 pub mod telemetry;
@@ -67,6 +68,7 @@ pub struct Check {
 pub fn all_checks() -> Vec<Check> {
     let mut checks = invariants::checks();
     checks.extend(oracles::checks());
+    checks.extend(offline::checks());
     checks.extend(smoothd::checks());
     checks.extend(telemetry::checks());
     checks

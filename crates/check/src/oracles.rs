@@ -15,7 +15,7 @@
 //! | `client-step-vs-into` | `Client::step` vs the scratch-reusing `step_into` |
 //! | `client-timer-vs-known` | timer-anchored playout vs known-link-delay playout |
 //! | `greedy-heap-vs-rescan` | lazy-heap Greedy vs the O(n) rescan reference |
-//! | `flow-vs-brute` | min-cost-flow unit optimum vs 2^n enumeration |
+//! | `flow-vs-brute` | min-cost-flow unit reference vs 2^n enumeration |
 //! | `framedp-vs-brute` | whole-frame DP optimum vs 2^n enumeration |
 //! | `mixed-vs-brute` | general mixed optimum vs 2^n enumeration |
 //! | `sim-vs-server-only` | full pipeline benefit vs server-only (balanced) |
@@ -332,7 +332,7 @@ fn flow_vs_brute(cfg: &CheckConfig) -> CheckResult {
         ..GenProfile::tiny()
     };
     against_brute(cfg, unit_tiny, "min-cost-flow", |s, b, r| {
-        rts_offline::optimal_unit_benefit(s, b, r).ok()
+        rts_offline::optimal_unit_benefit_flow(s, b, r).ok()
     })
 }
 

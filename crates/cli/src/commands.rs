@@ -39,6 +39,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "mux" => mux_cmd(args),
         "obs" => obs_cmd(args),
         "frontier" => frontier(args),
+        "optimal" => optimal_cmd(args),
         "check" => check_cmd(args),
         "serve" => crate::serve::serve_cmd(args),
         "top" => crate::top::top_cmd(args),
@@ -665,6 +666,82 @@ fn frontier(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a comma-separated `u64` list option (`--buffers 0,8,64`).
+fn parse_u64_list(what: &str, spec: &str) -> Result<Vec<u64>, CliError> {
+    spec.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u64>()
+                .map_err(|_| CliError::usage(format!("bad value {tok:?} in --{what}")))
+        })
+        .collect()
+}
+
+fn optimal_cmd(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace file")?;
+    let stream = load(path)?;
+    let sweep = rts_offline::OptimalSweep::new(&stream)
+        .map_err(|e| CliError::usage(format!("{path}: {e} ('optimal' needs unit slices; regenerate with --slicing byte)")))?;
+    let total = stream.total_weight();
+    let offered = stream.slice_count() as u64;
+
+    // One warm sweep answers every point: --buffers at a fixed --rate
+    // (the default axis), or --rates at a fixed --buffer.
+    let rate_axis = args.opt("rates");
+    let (points, axis): (Vec<(u64, u64)>, &str) = match rate_axis {
+        Some(spec) => {
+            let buffer: u64 = args.require("buffer")?;
+            let rates = parse_u64_list("rates", spec)?;
+            if rates.contains(&0) {
+                return Err(CliError::usage("--rates entries must be positive"));
+            }
+            (rates.into_iter().map(|r| (buffer, r)).collect(), "rate")
+        }
+        None => {
+            let rate: u64 = args.require("rate")?;
+            if rate == 0 {
+                return Err(CliError::usage("--rate must be positive"));
+            }
+            let buffers = match args.opt("buffers") {
+                Some(spec) => parse_u64_list("buffers", spec)?,
+                None => vec![0, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+            };
+            (buffers.into_iter().map(|b| (b, rate)).collect(), "buffer")
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "offline optimum of {path} ({offered} unit slices, total weight {total}):"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6} {:>12} {:>9} {:>12} {:>9}",
+        "buffer", "rate", "benefit", "benefit%", "throughput", "loss%"
+    );
+    for (b, r) in points {
+        let benefit = sweep.benefit(b, r);
+        let tp = sweep.throughput(b, r);
+        let kept = if total > 0 {
+            benefit as f64 / total as f64
+        } else {
+            1.0
+        };
+        let _ = writeln!(
+            out,
+            "{b:>8} {r:>6} {benefit:>12} {:>8.2}% {tp:>12} {:>8.2}%",
+            100.0 * kept,
+            100.0 * (1.0 - kept)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(exact optima via the dense chain solver, warm-started across the {axis} sweep)"
+    );
+    Ok(out)
+}
+
 /// Parses a seed that may be decimal or `0x`-prefixed hex (the form the
 /// failure reports print).
 fn parse_seed(what: &str, v: &str) -> Result<u64, CliError> {
@@ -777,6 +854,49 @@ mod tests {
         let out = run_line(&["frontier", &file, "--delays", "0,4,16"]).unwrap();
         assert_eq!(out.lines().count(), 2 + 3);
 
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn optimal_sweeps_buffers_and_rates() {
+        let file = tmp("optimal");
+        run_line(&[
+            "generate", "--out", &file, "--frames", "60", "--seed", "3", "--slicing", "byte",
+        ])
+        .unwrap();
+        let out = run_line(&["optimal", &file, "--rate", "40", "--buffers", "0,8,64"]).unwrap();
+        assert_eq!(out.lines().count(), 2 + 3 + 1, "{out}");
+        assert!(out.contains("warm-started"));
+        // A generous rate sweep ends lossless: the last row reads 0.00%.
+        let out = run_line(&["optimal", &file, "--buffer", "4096", "--rates", "1,200"]).unwrap();
+        assert_eq!(out.lines().count(), 2 + 2 + 1, "{out}");
+        let last_row = out.lines().nth(3).unwrap();
+        assert!(last_row.trim_end().ends_with("0.00%"), "{last_row}");
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn optimal_rejects_bad_inputs() {
+        let file = tmp("optimal_bad");
+        run_line(&[
+            "generate", "--out", &file, "--frames", "30", "--slicing", "frame",
+        ])
+        .unwrap();
+        // Whole-frame slices are not unit slices.
+        let e = run_line(&["optimal", &file, "--rate", "40"]).unwrap_err();
+        assert!(e.to_string().contains("unit slices"), "{e}");
+        let _ = std::fs::remove_file(&file);
+
+        let file = tmp("optimal_bad2");
+        run_line(&[
+            "generate", "--out", &file, "--frames", "30", "--slicing", "byte",
+        ])
+        .unwrap();
+        assert!(run_line(&["optimal", &file]).is_err()); // no axis at all
+        assert!(run_line(&["optimal", &file, "--rate", "0"]).is_err());
+        assert!(run_line(&["optimal", &file, "--rates", "10,0", "--buffer", "8"]).is_err());
+        assert!(run_line(&["optimal", &file, "--rates", "10"]).is_err()); // missing --buffer
+        assert!(run_line(&["optimal", &file, "--rate", "9", "--buffers", "1,x"]).is_err());
         let _ = std::fs::remove_file(&file);
     }
 

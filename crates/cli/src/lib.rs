@@ -14,6 +14,8 @@
 //! * `obs` — replay a `--trace-out` JSONL event trace through the
 //!   streaming collector and print its summary;
 //! * `frontier` — the lossless rate–delay frontier of a trace;
+//! * `optimal` — exact offline optima across a buffer or rate sweep,
+//!   warm-started so the whole sweep costs one stream analysis;
 //! * `check` — run the rts-check property catalog (theorem-bound
 //!   invariants and differential oracles) with seed replay;
 //! * `serve` — run the sharded `smoothd` daemon: loopback CBR
@@ -71,6 +73,12 @@ USAGE:
             (replay a --trace-out event trace and print the streaming
             summary: counts, drops by site/reason, quantiles)
   smoothctl frontier FILE [--delays 0,1,2,4,8,...]
+  smoothctl optimal FILE (--rate R [--buffers B1,B2,...]
+            | --buffer B --rates R1,R2,...)
+            (exact offline optimum — benefit, throughput, weighted
+            loss — across a buffer or rate sweep; the whole sweep is
+            warm-started from one analysis of the trace. Needs unit
+            slices, i.e. traces generated with --slicing byte)
   smoothctl check [--cases N] [--seed S] [--filter NAME]
             [--case-seed CHECK_SEED]
             (run the rts-check property catalog: paper-theorem

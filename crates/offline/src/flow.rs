@@ -96,13 +96,18 @@ impl MinCostFlow {
     ///
     /// # Panics
     ///
-    /// Panics if `s == t` or either is out of range.
+    /// Panics if `s == t` or either is out of range, or if the total
+    /// cost overflows `i64` (per-path costs are bounded by `INF =
+    /// i64::MAX / 4`, but `path_cost × bottleneck` summed over paths
+    /// can exceed `i64` for wide edges with extreme costs; the
+    /// accumulation runs in `i128` so the overflow is detected at the
+    /// end instead of wrapping silently).
     pub fn max_profit(&mut self, s: usize, t: usize) -> (u64, i64) {
         assert!(s < self.adj.len() && t < self.adj.len() && s != t);
         let n = self.adj.len();
         let mut potential = self.bellman_ford(s);
         let mut total_flow = 0u64;
-        let mut total_cost = 0i64;
+        let mut total_cost = 0i128;
 
         loop {
             // Dijkstra on reduced costs.
@@ -157,7 +162,9 @@ impl MinCostFlow {
                 v = self.arcs[id ^ 1].to;
             }
             total_flow += bottleneck;
-            total_cost += path_cost * bottleneck as i64;
+            // i128: path_cost ≤ INF in magnitude and bottleneck ≤ u64::MAX,
+            // so the product fits i128 even though it can exceed i64.
+            total_cost += i128::from(path_cost) * i128::from(bottleneck);
 
             // Update potentials. Nodes the Dijkstra round did not reach
             // must not keep their old potential unchanged: once a later
@@ -176,6 +183,8 @@ impl MinCostFlow {
                 }
             }
         }
+        let total_cost = i64::try_from(total_cost)
+            .expect("total flow cost exceeds i64 — weights × capacities are too large");
         (total_flow, total_cost)
     }
 
@@ -298,6 +307,31 @@ mod tests {
     #[should_panic(expected = "node out of range")]
     fn rejects_bad_nodes() {
         MinCostFlow::new(2).add_edge(0, 5, 1, 0);
+    }
+
+    #[test]
+    fn huge_cost_times_wide_bottleneck_is_exact() {
+        // A single augmentation of cost −2^60 over a width-7 edge:
+        // the product −7·2^60 exceeds neither i128 nor (just barely)
+        // i64, and must come out exact — the old i64 accumulation
+        // wrapped on intermediate sums one edge wider.
+        let c = 1i64 << 60;
+        let mut net = MinCostFlow::new(2);
+        net.add_edge(0, 1, 7, -c);
+        let (flow, cost) = net.max_profit(0, 1);
+        assert_eq!(flow, 7);
+        assert_eq!(cost, -7 * c);
+    }
+
+    #[test]
+    #[should_panic(expected = "total flow cost exceeds i64")]
+    fn overflowing_total_cost_panics_instead_of_wrapping() {
+        // Per-path cost near the INF sentinel times a wide bottleneck:
+        // the true total ≈ −16 · i64::MAX/4 cannot be represented, so
+        // the solver must panic rather than return a wrapped value.
+        let mut net = MinCostFlow::new(2);
+        net.add_edge(0, 1, 16, -(INF - 1));
+        net.max_profit(0, 1);
     }
 
     #[test]

@@ -6,13 +6,20 @@
 //! This crate computes that optimum exactly for the paper's two slicing
 //! extremes, plus the machinery to verify both:
 //!
-//! * [`optimal_unit_benefit`] — unit-size slices, via a min-cost flow
-//!   over the time chain ([`flow`]); exact and polynomial;
+//! * [`optimal_unit_benefit`] — unit-size slices, via a dense one-pass
+//!   chain solver (serve-heaviest / push-out-lightest greedy, `O(n log
+//!   B)`); [`optimal_unit_benefit_flow`] keeps the original min-cost
+//!   flow over the time chain ([`flow`]) as the differential reference;
+//! * [`OptimalSweep`] — warm-started evaluation of the unit optimum at
+//!   many `(B, R)` points over one stream (regret curves), via the
+//!   matroid threshold decomposition;
+//! * [`optimal_unit_windowed`] — a windowed streaming estimator with a
+//!   certified `seams · B · w_max` additive gap bound for long traces;
 //! * [`optimal_frame_benefit`] — whole-frame slices, via dynamic
 //!   programming over buffer occupancy (an occupancy DP); exact in
 //!   `O(T · B)`;
 //! * [`optimal_brute_force`] — subset enumeration for any slice sizes
-//!   (subset enumeration); the oracle the two fast solvers are tested against;
+//!   (subset enumeration); the oracle the fast solvers are tested against;
 //! * [`feasible`] — the `(σ = B, ρ = R)` leaky-bucket characterization of
 //!   deliverable subsets.
 //!
@@ -38,17 +45,25 @@
 #![warn(missing_docs)]
 
 mod brute;
+mod chain;
 mod error;
 pub mod feasible;
 pub mod flow;
 mod framedp;
 pub mod lossless;
 mod mixed;
+mod sweep;
 mod unit;
+mod windowed;
 
 pub use brute::{optimal_brute_force, try_optimal_brute_force, MAX_BRUTE_SLICES};
 pub use error::OfflineError;
 pub use framedp::{optimal_frame_benefit, optimal_frame_plan};
 pub use lossless::{min_lossless_delay, min_lossless_rate, peak_rate, rate_delay_frontier};
 pub use mixed::{optimal_mixed_benefit, optimal_mixed_plan};
-pub use unit::{optimal_unit_benefit, optimal_unit_plan, optimal_unit_throughput};
+pub use sweep::OptimalSweep;
+pub use unit::{
+    optimal_unit_benefit, optimal_unit_benefit_flow, optimal_unit_plan, optimal_unit_plan_flow,
+    optimal_unit_throughput,
+};
+pub use windowed::{optimal_unit_windowed, WindowedOptimal};

@@ -1,11 +1,22 @@
-//! Offline optimal benefit for unit-size slices, via min-cost flow.
+//! Offline optimal benefit for unit-size slices.
 //!
 //! The paper's "Optimal" comparator (Section 5): the best benefit any
 //! schedule — online or offline — can extract from a buffer of size `B`
 //! drained at rate `R`. For unit slices the accepted sets are exactly the
 //! `(σ = B, ρ = R)` leaky-bucket-conformant substreams (see
-//! [`feasible`](crate::feasible)), and the optimum is computed exactly by
-//! a flow over the time chain:
+//! [`feasible`](crate::feasible)).
+//!
+//! Two solvers compute the optimum exactly:
+//!
+//! * the **chain solver** ([`chain`](crate::chain)) — a one-pass
+//!   serve-heaviest / push-out-lightest greedy that the public API
+//!   ([`optimal_unit_benefit`], [`optimal_unit_plan`],
+//!   [`optimal_unit_throughput`]) runs on; `O(n log B)`;
+//! * the **generic flow network** ([`optimal_unit_benefit_flow`],
+//!   [`optimal_unit_plan_flow`]) — a min-cost flow over the time chain,
+//!   kept as the independent reference implementation the fast path is
+//!   differentially tested against (the `unit-chain-vs-flow` rts-check
+//!   oracle and the tests below):
 //!
 //! ```text
 //! source ──(count, −w)──► node_t ──(R, 0)──► sink        (transmit at t)
@@ -22,11 +33,15 @@ use std::collections::{BTreeMap, HashSet};
 
 use rts_stream::{Bytes, InputStream, SliceId, Weight};
 
+use crate::chain;
 use crate::error::OfflineError;
 use crate::flow::MinCostFlow;
 
 /// Computes the maximum total weight deliverable from `stream` through a
 /// server buffer of size `buffer` and a link of rate `rate`.
+///
+/// Runs the dense chain solver; [`optimal_unit_benefit_flow`] is the
+/// slower reference with identical results.
 ///
 /// # Errors
 ///
@@ -42,7 +57,9 @@ pub fn optimal_unit_benefit(
     buffer: Bytes,
     rate: Bytes,
 ) -> Result<Weight, OfflineError> {
-    solve(stream, buffer, rate, false).map(|(benefit, _)| benefit)
+    assert!(rate > 0, "link rate must be positive");
+    chain::validate_unit(stream)?;
+    Ok(chain::benefit_of_frames(stream.frames(), buffer, rate))
 }
 
 /// Like [`optimal_unit_benefit`], but also returns the set of slices an
@@ -53,7 +70,8 @@ pub fn optimal_unit_benefit(
 /// reproduce the optimum exactly — the optimum is a real schedule, not
 /// just a bound. Slices of weight 0 are always placed in the rejected
 /// set (accepting them cannot add benefit). Ties within a
-/// `(time, weight)` class are broken by accepting the lowest ids.
+/// `(time, weight)` class are broken by accepting the lowest ids — the
+/// plan is canonical and independent of builder insertion order.
 ///
 /// # Errors
 ///
@@ -67,26 +85,62 @@ pub fn optimal_unit_plan(
     buffer: Bytes,
     rate: Bytes,
 ) -> Result<(Weight, HashSet<SliceId>), OfflineError> {
-    solve(stream, buffer, rate, true)
+    assert!(rate > 0, "link rate must be positive");
+    chain::validate_unit(stream)?;
+    Ok(chain::pushout_plan(stream, buffer, rate))
+}
+
+/// Reference implementation of [`optimal_unit_benefit`] on the generic
+/// [`MinCostFlow`] network — exact but roughly two orders of magnitude
+/// slower than the chain solver; kept for differential testing.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1.
+///
+/// # Panics
+///
+/// Panics if `rate == 0`.
+pub fn optimal_unit_benefit_flow(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<Weight, OfflineError> {
+    solve_flow(stream, buffer, rate, false).map(|(benefit, _)| benefit)
+}
+
+/// Reference implementation of [`optimal_unit_plan`] on the generic
+/// flow network. The returned benefit is bit-identical to the chain
+/// solver's; the rejected set is *an* optimal plan with the same
+/// per-class lowest-ids tie-break, which may differ from the canonical
+/// chain plan only in which equal-weight **class** gives up a slice
+/// (optimal plans are not unique across classes).
+///
+/// # Errors
+///
+/// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1.
+///
+/// # Panics
+///
+/// Panics if `rate == 0`.
+pub fn optimal_unit_plan_flow(
+    stream: &InputStream,
+    buffer: Bytes,
+    rate: Bytes,
+) -> Result<(Weight, HashSet<SliceId>), OfflineError> {
+    solve_flow(stream, buffer, rate, true)
         .map(|(benefit, rejected)| (benefit, rejected.expect("plan requested")))
 }
 
 #[allow(clippy::type_complexity)]
-fn solve(
+fn solve_flow(
     stream: &InputStream,
     buffer: Bytes,
     rate: Bytes,
     want_plan: bool,
 ) -> Result<(Weight, Option<HashSet<SliceId>>), OfflineError> {
     assert!(rate > 0, "link rate must be positive");
-    for s in stream.slices() {
-        if s.size != 1 {
-            return Err(OfflineError::NonUnitSlice {
-                id: s.id,
-                size: s.size,
-            });
-        }
-    }
+    chain::validate_unit(stream)?;
     let horizon = stream.horizon() as usize;
     if horizon == 0 {
         return Ok((0, want_plan.then(HashSet::new)));
@@ -112,10 +166,13 @@ fn solve(
                 classes.entry(s.weight).or_default().push(s.id);
             }
         }
-        for (w, ids) in classes {
+        for (w, mut ids) in classes {
             let cost = -i64::try_from(w).expect("weights fit in i64");
             let edge = net.add_edge(source, node(frame.time as usize), ids.len() as u64, cost);
             if want_plan {
+                // Builders may emit class ids out of order; the
+                // documented tie-break accepts the lowest ids.
+                ids.sort_unstable();
                 class_edges.push((edge, ids));
             }
         }
@@ -152,32 +209,32 @@ fn solve(
 ///
 /// By Theorem 3.5 this equals the throughput of the generic algorithm
 /// with any drop policy — the integration tests verify exactly that.
+/// Runs as a pure occupancy counting pass (no stream copy, no heap).
 ///
 /// # Errors
 ///
 /// Returns [`OfflineError::NonUnitSlice`] if any slice has size ≠ 1.
+///
+/// # Panics
+///
+/// Panics if `rate == 0`.
 pub fn optimal_unit_throughput(
     stream: &InputStream,
     buffer: Bytes,
     rate: Bytes,
 ) -> Result<u64, OfflineError> {
-    let mut b = InputStream::builder();
-    for frame in stream.frames() {
-        b.frame(
-            frame.time,
-            frame.slices.iter().map(|s| rts_stream::SliceSpec {
-                size: s.size,
-                weight: 1,
-                kind: s.kind,
-            }),
-        );
-    }
-    optimal_unit_benefit(&b.build(), buffer, rate)
+    assert!(rate > 0, "link rate must be positive");
+    chain::validate_unit(stream)?;
+    let frames = stream.frames();
+    let times: Vec<_> = frames.iter().map(|f| f.time).collect();
+    let counts: Vec<u64> = frames.iter().map(|f| f.slices.len() as u64).collect();
+    Ok(chain::rank_count(&times, &counts, buffer, rate))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rts_stream::rng::SplitMix64;
     use rts_stream::{FrameKind, SliceSpec};
 
     fn units(frames: &[&[Weight]]) -> InputStream {
@@ -232,12 +289,15 @@ mod tests {
     fn empty_stream() {
         let s = InputStream::builder().build();
         assert_eq!(optimal_unit_benefit(&s, 5, 1).unwrap(), 0);
+        assert_eq!(optimal_unit_benefit_flow(&s, 5, 1).unwrap(), 0);
     }
 
     #[test]
     fn rejects_variable_slices() {
         let s = InputStream::from_frames([[SliceSpec::new(3, 1, FrameKind::Generic)]]);
         let err = optimal_unit_benefit(&s, 5, 1).unwrap_err();
+        assert!(matches!(err, OfflineError::NonUnitSlice { size: 3, .. }));
+        let err = optimal_unit_benefit_flow(&s, 5, 1).unwrap_err();
         assert!(matches!(err, OfflineError::NonUnitSlice { size: 3, .. }));
     }
 
@@ -256,5 +316,71 @@ mod tests {
         b.frame(3, vec![SliceSpec::unit(); 3]);
         let s = b.build();
         assert_eq!(optimal_unit_benefit(&s, 2, 1).unwrap(), 6);
+    }
+
+    #[test]
+    fn chain_matches_flow_on_random_streams() {
+        let mut rng = SplitMix64::new(0xcafe);
+        for _ in 0..60 {
+            let steps = rng.range_u64(1, 10);
+            let s = InputStream::from_frames((0..steps).map(|_| {
+                (0..rng.range_u64(0, 5))
+                    .map(|_| SliceSpec::new(1, rng.range_u64(0, 12), FrameKind::Generic))
+                    .collect::<Vec<_>>()
+            }));
+            let b = rng.range_u64(0, 6);
+            let r = rng.range_u64(1, 4);
+            assert_eq!(
+                optimal_unit_benefit(&s, b, r).unwrap(),
+                optimal_unit_benefit_flow(&s, b, r).unwrap(),
+                "B={b} R={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_and_flow_plans_are_both_optimal() {
+        let mut rng = SplitMix64::new(0xfeed);
+        for _ in 0..30 {
+            let steps = rng.range_u64(1, 8);
+            let s = InputStream::from_frames((0..steps).map(|_| {
+                (0..rng.range_u64(0, 4))
+                    .map(|_| SliceSpec::new(1, rng.range_u64(0, 9), FrameKind::Generic))
+                    .collect::<Vec<_>>()
+            }));
+            let b = rng.range_u64(0, 4);
+            let r = rng.range_u64(1, 3);
+            let (chain_benefit, chain_rej) = optimal_unit_plan(&s, b, r).unwrap();
+            let (flow_benefit, flow_rej) = optimal_unit_plan_flow(&s, b, r).unwrap();
+            assert_eq!(chain_benefit, flow_benefit);
+            for rejected in [&chain_rej, &flow_rej] {
+                let kept: Weight = s
+                    .slices()
+                    .filter(|sl| !rejected.contains(&sl.id))
+                    .map(|sl| sl.weight)
+                    .sum();
+                assert_eq!(kept, chain_benefit);
+                let accepted: HashSet<SliceId> = s
+                    .slices()
+                    .map(|sl| sl.id)
+                    .filter(|id| !rejected.contains(id))
+                    .collect();
+                assert!(crate::feasible::is_feasible_subset(&s, &accepted, b, r));
+            }
+        }
+    }
+
+    #[test]
+    fn flow_plan_sorts_class_ids_before_splitting() {
+        // Build a frame whose equal-weight class ids arrive out of
+        // order: interleave two weights so the id sequence within each
+        // class is still ascending per builder, then check the rejected
+        // ids are the *highest* of the class either way.
+        let s = units(&[&[5, 5, 5, 5]]);
+        let (benefit, rejected) = optimal_unit_plan_flow(&s, 1, 1).unwrap();
+        assert_eq!(benefit, 10);
+        let mut ids: Vec<u64> = rejected.iter().map(|id| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
     }
 }

@@ -3,8 +3,10 @@
 # compares each benchmark's median against the committed baseline
 # BENCH_hotpath.json with a tolerance band (default 1.6x; override with
 # BENCH_TOLERANCE). Also enforces the ring-vs-map ablation floors
-# (baseline >= 1.5x, live run >= 1.3x) and caps the smoothd
-# telemetry-on/off overhead ratio at 1.5x, then reruns the smoothd
+# (baseline >= 1.5x, live run >= 1.3x), caps the smoothd
+# telemetry-on/off overhead ratio at 1.5x, and keeps the offline fast
+# paths fast: chain-vs-generic >= 5x baseline / 4x live, and
+# warm-vs-cold sweeps >= 10x baseline / 8x live. It then reruns the smoothd
 # capacity ramp (up to the 100k-session rung) and gates each rung's
 # slices/s against the committed BENCH_capacity.json with the same
 # tolerance. Medians and rates are machine-relative, so only large

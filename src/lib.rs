@@ -14,8 +14,9 @@
 //!   competitive bounds;
 //! * [`sim`] ([`rts_sim`]) — the end-to-end slotted-time simulator with
 //!   schedule recording and validation;
-//! * [`offline`] ([`rts_offline`]) — exact offline optima (min-cost
-//!   flow, occupancy DP, brute force);
+//! * [`offline`] ([`rts_offline`]) — exact offline optima (dense chain
+//!   solver with warm-started sweeps and a windowed streaming
+//!   estimator, min-cost flow reference, occupancy DP, brute force);
 //! * [`mux`] ([`rts_mux`]) — shared-link multiplexing of many sessions
 //!   with link schedulers, admission control, and per-session metrics;
 //! * [`faults`] ([`rts_faults`]) — deterministic fault injection
@@ -71,7 +72,8 @@ pub use rts_mux::{
 pub use rts_offline::{
     min_lossless_delay, min_lossless_rate, optimal_brute_force, optimal_frame_benefit,
     optimal_frame_plan, optimal_mixed_benefit, optimal_mixed_plan, optimal_unit_benefit,
-    optimal_unit_plan, optimal_unit_throughput, peak_rate, try_optimal_brute_force,
+    optimal_unit_benefit_flow, optimal_unit_plan, optimal_unit_plan_flow, optimal_unit_throughput,
+    optimal_unit_windowed, peak_rate, try_optimal_brute_force, OptimalSweep, WindowedOptimal,
 };
 pub use rts_sim::{
     parallel_map, run_server_only, simulate, simulate_tandem, simulate_with_link, validate,

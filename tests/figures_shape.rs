@@ -214,6 +214,35 @@ fn ratio_audit_within_bound_and_throughput_optimal() {
 }
 
 #[test]
+fn regret_sweep_shape() {
+    let trace = small_trace();
+    let t = figures::regret_sweep_on(&trace, 1.1, "regret_sweep_test");
+    assert_eq!(t.rows.len(), 26, "one row per sweep point");
+    let opt = t.column_f64("optimal");
+    let regret_tail = t.column_f64("regret_tail");
+    let regret_greedy = t.column_f64("regret_greedy");
+    // OPT is exact, so no policy can beat it: every regret >= 1.
+    for (rt, rg) in regret_tail.iter().zip(&regret_greedy) {
+        assert!(*rt >= 1.0 - 1e-9, "tail-drop regret {rt} below 1");
+        assert!(*rg >= 1.0 - 1e-9, "greedy regret {rg} below 1");
+        // Theorem 4.1: greedy is 4-competitive.
+        assert!(*rg <= 4.0 + 1e-9, "greedy regret {rg} above the bound 4");
+    }
+    // Greedy never does worse than Tail-Drop on these workloads.
+    assert_dominates(&regret_greedy, &regret_tail, "regret greedy<=tail");
+    // The optimum is weakly increasing in the buffer.
+    for w in opt.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "optimal benefit decreased: {opt:?}");
+    }
+    // The warm-sweep column matches a cold exact solve (spot check).
+    let stream = rts_bench::workload::byte_stream(&trace);
+    let rate = rts_bench::workload::rate_at(&trace, 1.1);
+    let (_, b0) = rts_bench::workload::buffer_sweep(&trace)[0];
+    let cold = rts_offline::optimal_unit_benefit(&stream, b0, rate).expect("unit slices");
+    assert_eq!(opt[0] as u64, cold, "warm sweep diverges from cold solve");
+}
+
+#[test]
 fn renegotiated_schedules_are_lossless_under_simulation() {
     // The fluid per-window bound must be honoured by the real server:
     // running the computed schedule with an ample buffer loses nothing.

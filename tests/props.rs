@@ -159,6 +159,26 @@ fn balanced_equals_server_only() {
 }
 
 #[test]
+fn chain_solver_equals_flow_reference() {
+    check("unit-chain-vs-flow");
+}
+
+#[test]
+fn optimal_plans_are_canonical() {
+    check("unit-plan-canonical");
+}
+
+#[test]
+fn warm_sweeps_equal_cold_solves() {
+    check("sweep-warm-vs-cold");
+}
+
+#[test]
+fn windowed_estimate_respects_its_gap_bound() {
+    check("windowed-gap");
+}
+
+#[test]
 fn textio_roundtrip() {
     check("textio-roundtrip");
 }
