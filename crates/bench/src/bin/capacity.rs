@@ -1,7 +1,8 @@
 //! smoothd capacity ramp: measures sustained slices/sec and per-slot
-//! latency at 1k → 1M resident sessions and writes
-//! `BENCH_capacity.json` for the regression gate
-//! (`scripts/bench_check.sh`).
+//! latency at 1k → 1M resident sessions — across 1/2/4-shard and
+//! deliberately skewed placements — plus the batched-admission speedup
+//! and the ingest-pool socket soak, and writes `BENCH_capacity.json`
+//! for the regression gate (`scripts/bench_check.sh`).
 //!
 //! Usage:
 //!
@@ -9,21 +10,29 @@
 //! capacity [--smoke] [--out PATH]       run the ramp, write the JSON
 //! capacity --validate [PATH]            assert an existing JSON parses
 //! capacity --check [BASELINE]           run the ramp to 100k, compare
-//!                                       slices/s per rung against the
-//!                                       committed baseline (slower by
-//!                                       more than TOLERANCE x fails;
-//!                                       default 1.6)
+//!                                       slices/s and admissions/s per
+//!                                       rung against the committed
+//!                                       baseline (slower by more than
+//!                                       TOLERANCE x fails; default
+//!                                       1.6), hold the batched-admit
+//!                                       speedup at >= 5x, the soak at
+//!                                       zero thread growth, and (on
+//!                                       multi-core machines) 2-shard
+//!                                       skewed throughput at >= 1.7x
+//!                                       the 1-shard rung
 //! ```
 //!
-//! Smoke mode still climbs to the 100k rung CI must sustain, with
-//! short windows; its numbers are for parse checks only.
+//! Smoke mode keeps short windows and a small soak; its numbers are
+//! for parse checks only.
 
 use std::process::ExitCode;
 
-use rts_bench::capacity::{self, extract_mode, extract_rungs};
+use rts_bench::capacity::{self, extract_admit, extract_mode, extract_rungs};
 
 const DEFAULT_OUT: &str = "BENCH_capacity.json";
 const DEFAULT_TOLERANCE: f64 = 1.6;
+const ADMIT_SPEEDUP_FLOOR: f64 = 5.0;
+const SCALING_FLOOR: f64 = 1.7;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,15 +82,38 @@ fn main() -> ExitCode {
 
 fn report(suite: &capacity::Suite) {
     println!(
-        "capacity ramp ({} mode, {} shard(s)):",
-        suite.mode, suite.shards
+        "capacity ramp ({} mode, {} core(s)):",
+        suite.mode, suite.cores
     );
     for r in &suite.rungs {
         println!(
-            "  {:>9} sessions ({:>9} resident): {:>12.0} slices/s, {:>6} slots, p50 {:>10} ns, p99 {:>12} ns/slot",
-            r.sessions, r.resident, r.slices_per_sec, r.slots, r.p50_slot_ns, r.p99_slot_ns
+            "  {:>9} sessions x{} {:<7} ({:>9} resident): {:>12.0} slices/s, {:>10.0} admits/s, {:>4} migration(s), p50 {:>10} ns, p99 {:>12} ns/slot",
+            r.sessions,
+            r.shards,
+            r.workload,
+            r.resident,
+            r.slices_per_sec,
+            r.admit_sessions_per_sec,
+            r.migrations,
+            r.p50_slot_ns,
+            r.p99_slot_ns
         );
     }
+    println!(
+        "  admit phase at {}: sequential {:.2} s vs batched {:.3} s ({:.1}x)",
+        suite.admit.sessions,
+        suite.admit.sequential_ns as f64 / 1e9,
+        suite.admit.batch_ns as f64 / 1e9,
+        suite.admit.speedup
+    );
+    println!(
+        "  ingest soak: {} socket(s), {} welcomed, pool of {} thread(s), process threads {} -> {}",
+        suite.soak.sockets,
+        suite.soak.welcomed,
+        suite.soak.pool_threads,
+        suite.soak.threads_before,
+        suite.soak.threads_during
+    );
 }
 
 fn run_validate(path: &str) -> ExitCode {
@@ -94,7 +126,14 @@ fn run_validate(path: &str) -> ExitCode {
     };
     match (extract_rungs(&json), extract_mode(&json)) {
         (Some(rungs), Some(mode)) => {
-            println!("validate: {path} ok ({} rungs, mode {mode})", rungs.len());
+            let admit = match extract_admit(&json) {
+                Some((n, speedup)) => format!(", admit {speedup:.1}x at {n}"),
+                None => String::new(),
+            };
+            println!(
+                "validate: {path} ok ({} rungs, mode {mode}{admit})",
+                rungs.len()
+            );
             ExitCode::SUCCESS
         }
         _ => {
@@ -132,21 +171,100 @@ fn run_check(baseline_path: &str) -> ExitCode {
 
     let mut failed = false;
     for r in &suite.rungs {
-        let Some(&(_, base_rate, _)) = base_rungs.iter().find(|(s, _, _)| *s == r.sessions) else {
-            println!("  {} sessions: new rung (no baseline entry), skipped", r.sessions);
+        let Some(base) = base_rungs
+            .iter()
+            .find(|b| b.sessions == r.sessions && b.shards == r.shards && b.workload == r.workload)
+        else {
+            println!(
+                "  {} sessions x{} {}: new rung (no baseline entry), skipped",
+                r.sessions, r.shards, r.workload
+            );
             continue;
         };
         // Absolute rates differ across machines; the gate only fires
         // on large relative regressions.
-        let factor = base_rate / r.slices_per_sec.max(1.0);
+        let factor = base.slices_per_sec / r.slices_per_sec.max(1.0);
         if factor > tolerance {
             eprintln!(
-                "  REGRESSION {} sessions: {:.0} slices/s vs baseline {:.0} ({factor:.2}x slower > {tolerance:.2}x)",
-                r.sessions, r.slices_per_sec, base_rate
+                "  REGRESSION {} sessions x{} {}: {:.0} slices/s vs baseline {:.0} ({factor:.2}x slower > {tolerance:.2}x)",
+                r.sessions, r.shards, r.workload, r.slices_per_sec, base.slices_per_sec
             );
             failed = true;
         }
+        // Per-rung admission is a one-shot measurement (a 1k-session
+        // batch admits in ~70 us, so small rungs are timing noise);
+        // gate only the big rungs and with a wider band — losing the
+        // batch path is a 60x+ cliff, far outside it. The tight >= 5x
+        // floor lives in the dedicated admit phase below.
+        let admit_tolerance = tolerance * 2.5;
+        if base.admit_sessions_per_sec > 0.0 && r.sessions >= 10_000 {
+            let factor = base.admit_sessions_per_sec / r.admit_sessions_per_sec.max(1.0);
+            if factor > admit_tolerance {
+                eprintln!(
+                    "  REGRESSION {} sessions x{} {}: {:.0} admits/s vs baseline {:.0} ({factor:.2}x slower > {admit_tolerance:.2}x)",
+                    r.sessions,
+                    r.shards,
+                    r.workload,
+                    r.admit_sessions_per_sec,
+                    base.admit_sessions_per_sec
+                );
+                failed = true;
+            }
+        }
     }
+
+    // Absolute floors: these hold on any machine.
+    if suite.admit.speedup < ADMIT_SPEEDUP_FLOOR {
+        eprintln!(
+            "  REGRESSION admit phase: batched path only {:.1}x faster than sequential (floor {ADMIT_SPEEDUP_FLOOR:.1}x)",
+            suite.admit.speedup
+        );
+        failed = true;
+    }
+    if suite.soak.welcomed < suite.soak.sockets {
+        eprintln!(
+            "  REGRESSION ingest soak: {}/{} sockets greeted",
+            suite.soak.welcomed, suite.soak.sockets
+        );
+        failed = true;
+    }
+    if suite.soak.threads_before > 0 && suite.soak.threads_during > suite.soak.threads_before {
+        eprintln!(
+            "  REGRESSION ingest soak: thread count grew {} -> {} while holding {} sockets",
+            suite.soak.threads_before, suite.soak.threads_during, suite.soak.sockets
+        );
+        failed = true;
+    }
+
+    // The shards-vs-throughput scaling floor only means something when
+    // the workers actually have cores to spread across.
+    let rung = |shards: u32, workload: &str| {
+        suite
+            .rungs
+            .iter()
+            .find(|r| r.sessions == 100_000 && r.shards == shards && r.workload == workload)
+    };
+    match (rung(1, "uniform"), rung(2, "skewed")) {
+        (Some(one), Some(two)) if suite.cores >= 2 => {
+            let scaling = two.slices_per_sec / one.slices_per_sec.max(1.0);
+            if scaling < SCALING_FLOOR {
+                eprintln!(
+                    "  REGRESSION scaling: 2-shard skewed rung at {scaling:.2}x the 1-shard rung (floor {SCALING_FLOOR:.1}x)"
+                );
+                failed = true;
+            } else {
+                println!("  scaling: 2-shard skewed at {scaling:.2}x the 1-shard rung");
+            }
+        }
+        (Some(_), Some(_)) => {
+            println!(
+                "  scaling: {} core(s) — multi-shard floor not binding on this machine",
+                suite.cores
+            );
+        }
+        _ => {}
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {

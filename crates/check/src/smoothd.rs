@@ -7,6 +7,7 @@
 //! | `smoothd-stats-roundtrip` | the variable-length telemetry stats frames round-trip losslessly up to the `MAX_STATS_SHARDS` row cap |
 //! | `smoothd-stats-fuzz` | corrupted/truncated stats replies decode to typed errors or canonical frames, never a panic |
 //! | `smoothd-churn-conservation` | session churn under `B = R·D` admission never loses or duplicates bytes, never oversubscribes the link, never overcommits the bookable rate |
+//! | `smoothd-migrate-conservation` | a session set split across two shards with live `export`/`import` migration between them is slot-for-slot identical to the same set on one double-capacity shard: byte ledgers, FIFO playout, and every retirement match exactly, including the receiver-full fault path |
 //!
 //! The churn check drives a real [`Shard`] — the exact state machine
 //! the daemon's worker threads run — through randomized
@@ -47,6 +48,9 @@ fn gen_stats_detail(rng: &mut SplitMix64) -> StatsDetail {
     }
     StatsDetail {
         retired: rng.next_u64() >> 16,
+        migrations: rng.next_u64() >> 16,
+        last_migration_from: rng.next_u64() as u32,
+        last_migration_to: rng.next_u64() as u32,
         rejects,
         lateness: gen_hist_summary(rng),
         stages: [
@@ -64,6 +68,7 @@ fn gen_stats_detail(rng: &mut SplitMix64) -> StatsDetail {
                 sent_bytes: rng.next_u64() >> 8,
                 deadline_misses: rng.range_u64(0, 1 << 20),
                 slot_overruns: rng.range_u64(0, 1 << 20),
+                imbalance_milli: rng.range_u64(0, 1 << 20),
                 latency: gen_hist_summary(rng),
             })
             .collect(),
@@ -77,18 +82,7 @@ fn gen_stats_frame(rng: &mut SplitMix64) -> Frame {
         0 => Frame::StatsDetail,
         1 => {
             let mut detail = gen_stats_detail(rng);
-            detail
-                .shards
-                .resize_with(MAX_STATS_SHARDS, || ShardRow {
-                    shard: 0,
-                    sessions: 0,
-                    slots: 0,
-                    played: 0,
-                    sent_bytes: 0,
-                    deadline_misses: 0,
-                    slot_overruns: 0,
-                    latency: HistSummary::default(),
-                });
+            detail.shards.resize_with(MAX_STATS_SHARDS, ShardRow::default);
             Frame::StatsDetailReply(Box::new(detail))
         }
         _ => Frame::StatsDetailReply(Box::new(gen_stats_detail(rng))),
@@ -96,7 +90,7 @@ fn gen_stats_frame(rng: &mut SplitMix64) -> Frame {
 }
 
 fn gen_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.range_u64(0, 14) {
+    match rng.range_u64(0, 16) {
         0 => Frame::Hello {
             version: rng.range_u64(0, u64::from(u16::MAX) + 1) as u16,
         },
@@ -151,6 +145,24 @@ fn gen_frame(rng: &mut SplitMix64) -> Frame {
         }),
         11 => Frame::StatsDetail,
         12 => Frame::StatsDetailReply(Box::new(gen_stats_detail(rng))),
+        13 => Frame::AdmitBatch {
+            count: rng.range_u64(0, 1 << 20) as u32,
+            req: AdmitRequest {
+                rate: rng.range_u64(1, 1 << 16),
+                delay: rng.range_u64(1, 1 << 10),
+                link_delay: rng.range_u64(0, 1 << 8),
+                buffer: 0,
+                weight: rng.range_u64(1, 1 << 8),
+                policy: WirePolicy::Tail,
+                per_slot: rng.range_u64(0, 1 << 16) as u32,
+                slice_size: rng.range_u64(1, 1 << 10) as u32,
+                lifetime: rng.next_u64() >> 32,
+            },
+        },
+        14 => Frame::AdmittedBatch {
+            first_session: rng.next_u64(),
+            count: rng.next_u64() as u32,
+        },
         _ => Frame::Bye,
     }
 }
@@ -514,6 +526,340 @@ fn churn_conservation(cfg: &CheckConfig) -> CheckResult {
     run_property(cfg, gen_churn, shrink_churn, describe_churn, run_churn)
 }
 
+// ------------------------------------------------------------- migration
+
+/// One step of a migration script against a pair of shards.
+#[derive(Debug, Clone)]
+enum MigrateOp {
+    /// Admit a CBR session onto shard `to` (may be refused).
+    Admit {
+        to: u8,
+        rate: u64,
+        delay: u64,
+        lifetime: u64,
+    },
+    /// Admit an externally-fed session onto shard `to`, then feed it.
+    Feed { to: u8, sizes: Vec<u64> },
+    /// Export the `k`-th live session from its shard and import it
+    /// into the other (the receiver may refuse: fault path).
+    Migrate { k: u64 },
+    /// Drain the `k`-th live session.
+    Drain { k: u64 },
+    /// Evict the `k`-th live session.
+    Evict { k: u64 },
+    /// Step both shards (and the reference) in lockstep.
+    Step { slots: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct MigrateCase {
+    link_rate: u64,
+    ops: Vec<MigrateOp>,
+}
+
+fn gen_migrate(rng: &mut SplitMix64) -> MigrateCase {
+    let link_rate = rng.range_u64(8, 33);
+    let n = rng.range_u64(4, 33);
+    let ops = (0..n)
+        .map(|_| match rng.range_u64(0, 8) {
+            0 | 1 => MigrateOp::Admit {
+                to: rng.range_u64(0, 2) as u8,
+                rate: rng.range_u64(1, 9),
+                delay: rng.range_u64(1, 9),
+                lifetime: rng.range_u64(0, 17), // 0 = unbounded
+            },
+            2 => MigrateOp::Feed {
+                to: rng.range_u64(0, 2) as u8,
+                sizes: (0..rng.range_u64(1, 7))
+                    .map(|_| rng.range_u64(1, 13))
+                    .collect(),
+            },
+            // Migration is the subject under test: weight it heavily.
+            3..=5 => MigrateOp::Migrate {
+                k: rng.range_u64(0, 8),
+            },
+            6 => {
+                if rng.range_u64(0, 2) == 0 {
+                    MigrateOp::Drain {
+                        k: rng.range_u64(0, 8),
+                    }
+                } else {
+                    MigrateOp::Evict {
+                        k: rng.range_u64(0, 8),
+                    }
+                }
+            }
+            _ => MigrateOp::Step {
+                slots: rng.range_u64(1, 9),
+            },
+        })
+        .collect();
+    MigrateCase { link_rate, ops }
+}
+
+fn shrink_migrate(case: &MigrateCase) -> Vec<MigrateCase> {
+    let mut out: Vec<MigrateCase> = shrink_vec(&case.ops, |op| match op {
+        MigrateOp::Step { slots } => shrink_u64(*slots, 1)
+            .into_iter()
+            .map(|s| MigrateOp::Step { slots: s })
+            .collect(),
+        MigrateOp::Feed { to, sizes } => shrink_vec(sizes, |&s| shrink_u64(s, 1))
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|sizes| MigrateOp::Feed { to: *to, sizes })
+            .collect(),
+        _ => Vec::new(),
+    })
+    .into_iter()
+    .map(|ops| MigrateCase {
+        link_rate: case.link_rate,
+        ops,
+    })
+    .collect();
+    for lr in shrink_u64(case.link_rate, 8) {
+        out.push(MigrateCase {
+            link_rate: lr,
+            ops: case.ops.clone(),
+        });
+    }
+    out
+}
+
+fn describe_migrate(case: &MigrateCase) -> String {
+    let mut s = format!("link_rate {} (x2 shards)\n", case.link_rate);
+    for op in &case.ops {
+        s.push_str(&format!("  {op:?}\n"));
+    }
+    s
+}
+
+/// Oracle: a session set split across two shards — with live sessions
+/// exported/imported between them mid-run — behaves *identically* to
+/// the same set on one double-capacity shard with no migration.
+///
+/// The equivalence is exact because every shard here books at most its
+/// link rate ((1,1) overbooking) and [`LiveSession::demand`] is capped
+/// at the session's reserved rate, so max-min fair grants always cover
+/// full demand on every shard: each session's trajectory is a function
+/// of its own local clock only, and migration moves that clock (and the
+/// ring and ledger) wholesale. Checked after every op: combined byte
+/// ledgers equal the reference's (so the handoff conserves bytes and
+/// preserves FIFO playout order, slot for slot), and at the end every
+/// retirement matches cause-for-cause and counter-for-counter.
+fn run_migrate(case: &MigrateCase) -> Verdict {
+    let mut split = [
+        Shard::new(0, case.link_rate, (1, 1)),
+        Shard::new(1, case.link_rate, (1, 1)),
+    ];
+    let mut reference = Shard::new(9, case.link_rate * 2, (1, 1));
+    // Live sessions in admit order with their current split-side shard.
+    let mut live: Vec<(u64, usize)> = Vec::new();
+    let mut split_ret = Vec::new();
+    let mut ref_ret = Vec::new();
+    let mut next_id: u64 = 1;
+    let base = AdmitRequest {
+        rate: 1,
+        delay: 2,
+        link_delay: 1,
+        buffer: 0,
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: 0,
+        slice_size: 0,
+        lifetime: 0,
+    };
+    for op in &case.ops {
+        match op {
+            MigrateOp::Admit {
+                to,
+                rate,
+                delay,
+                lifetime,
+            } => {
+                let req = AdmitRequest {
+                    rate: *rate,
+                    delay: *delay,
+                    per_slot: *rate as u32,
+                    slice_size: 1,
+                    lifetime: *lifetime,
+                    ..base
+                };
+                let to = (*to as usize) % 2;
+                if split[to].admit(next_id, &req).is_ok() {
+                    if reference.admit(next_id, &req).is_err() {
+                        return Verdict::fail(
+                            "reference refused a session the split shards accepted",
+                        );
+                    }
+                    live.push((next_id, to));
+                }
+                next_id += 1;
+            }
+            MigrateOp::Feed { to, sizes } => {
+                let req = AdmitRequest {
+                    rate: sizes.iter().copied().max().unwrap_or(1),
+                    ..base
+                };
+                let to = (*to as usize) % 2;
+                if split[to].admit(next_id, &req).is_ok() {
+                    if reference.admit(next_id, &req).is_err() {
+                        return Verdict::fail(
+                            "reference refused a session the split shards accepted",
+                        );
+                    }
+                    let slices: Vec<(u64, u64)> = sizes.iter().map(|&s| (s, 1)).collect();
+                    if split[to].inject(next_id, &slices).is_err()
+                        || reference.inject(next_id, &slices).is_err()
+                    {
+                        return Verdict::fail("freshly admitted session refused data");
+                    }
+                    live.push((next_id, to));
+                }
+                next_id += 1;
+            }
+            MigrateOp::Migrate { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let li = (*k % live.len() as u64) as usize;
+                let (id, from) = live[li];
+                let session = match split[from].export(id) {
+                    Ok(s) => s,
+                    // Already retired between ops; stale entry.
+                    Err(_) => continue,
+                };
+                match split[1 - from].import(session) {
+                    Ok(()) => live[li].1 = 1 - from,
+                    Err(session) => {
+                        // Fault path: the receiver was full. The donor
+                        // just released this very reservation, so it
+                        // must take its session back.
+                        if split[from].import(session).is_err() {
+                            return Verdict::fail("donor refused its own session back");
+                        }
+                    }
+                }
+            }
+            MigrateOp::Drain { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let li = (*k % live.len() as u64) as usize;
+                let (id, from) = live[li];
+                let a = split[from].drain(id);
+                let b = reference.drain(id);
+                if a.is_ok() != b.is_ok() {
+                    return Verdict::fail(format!(
+                        "drain({id}) diverged: split {a:?} vs reference {b:?}"
+                    ));
+                }
+            }
+            MigrateOp::Evict { k } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let li = (*k % live.len() as u64) as usize;
+                let (id, from) = live[li];
+                let a = split[from].evict(id);
+                let b = reference.evict(id);
+                if a.is_ok() != b.is_ok() {
+                    return Verdict::fail(format!(
+                        "evict({id}) diverged: split {a:?} vs reference {b:?}"
+                    ));
+                }
+                live.remove(li);
+            }
+            MigrateOp::Step { slots } => {
+                for _ in 0..*slots {
+                    split[0].process_slot();
+                    split[1].process_slot();
+                    reference.process_slot();
+                }
+                // Retired sessions leave the victim pool on both sides
+                // simultaneously (identical trajectories); harvesting
+                // retirements keeps `live` accurate without mutating
+                // any still-running session.
+                split[0].take_retirements(&mut split_ret);
+                split[1].take_retirements(&mut split_ret);
+                reference.take_retirements(&mut ref_ret);
+                live.retain(|&(id, _)| !split_ret.iter().any(|r| r.session == id));
+            }
+        }
+        let mut combined = split[0].totals();
+        combined.add(&split[1].totals());
+        if combined != reference.totals() {
+            return Verdict::fail(format!(
+                "ledger diverged after {op:?}:\n  split    {combined:?}\n  reference {:?}",
+                reference.totals()
+            ));
+        }
+    }
+    // Wind down in lockstep and compare every retirement exactly.
+    split[0].drain_all();
+    split[1].drain_all();
+    reference.drain_all();
+    for _ in 0..100_000 {
+        if split[0].sessions() == 0 && split[1].sessions() == 0 && reference.sessions() == 0 {
+            break;
+        }
+        split[0].process_slot();
+        split[1].process_slot();
+        reference.process_slot();
+    }
+    if split[0].sessions() + split[1].sessions() + reference.sessions() > 0 {
+        return Verdict::fail("drain did not terminate within 100k slots");
+    }
+    let mut combined = split[0].totals();
+    combined.add(&split[1].totals());
+    if !combined.conserved() {
+        return Verdict::fail(format!("combined split ledger leaks: {combined:?}"));
+    }
+    if combined != reference.totals() {
+        return Verdict::fail(format!(
+            "final ledgers diverge:\n  split    {combined:?}\n  reference {:?}",
+            reference.totals()
+        ));
+    }
+    split[0].take_retirements(&mut split_ret);
+    split[1].take_retirements(&mut split_ret);
+    reference.take_retirements(&mut ref_ret);
+    if split_ret.len() != ref_ret.len() {
+        return Verdict::fail(format!(
+            "retirement counts diverge: split {} vs reference {}",
+            split_ret.len(),
+            ref_ret.len()
+        ));
+    }
+    for r in &split_ret {
+        let Some(m) = ref_ret.iter().find(|m| m.session == r.session) else {
+            return Verdict::fail(format!("session {} retired only in the split run", r.session));
+        };
+        if r.cause != m.cause || r.counters != m.counters {
+            return Verdict::fail(format!(
+                "session {} retirement diverged across migration:\n  split    {:?} {:?}\n  reference {:?} {:?}",
+                r.session, r.cause, r.counters, m.cause, m.counters
+            ));
+        }
+        if !r.counters.conserved() {
+            return Verdict::fail(format!(
+                "session {} migrated ledger does not conserve: {:?}",
+                r.session, r.counters
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+fn migrate_conservation(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_migrate,
+        shrink_migrate,
+        describe_migrate,
+        run_migrate,
+    )
+}
+
 /// The smoothd checks, in catalog order.
 pub fn checks() -> Vec<Check> {
     vec![
@@ -546,6 +892,12 @@ pub fn checks() -> Vec<Check> {
             binds: "daemon churn: bytes conserve, per-slot sends <= B, committed <= bookable under admit/drain/evict",
             kind: CheckKind::Invariant,
             run: churn_conservation,
+        },
+        Check {
+            name: "smoothd-migrate-conservation",
+            binds: "live migration: byte ledgers and FIFO playout order stay exact across Export/Import under churn, including receiver-full fault recovery",
+            kind: CheckKind::Oracle,
+            run: migrate_conservation,
         },
     ]
 }

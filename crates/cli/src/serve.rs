@@ -22,8 +22,8 @@ use std::time::{Duration, Instant};
 
 use rts_obs::{JsonlWriter, Probe};
 use rts_smoothd::{
-    replay_sessions, serve_tcp, AdmitRequest, ArrivalSource, Daemon, DaemonConfig, DaemonReport,
-    IngestServer, QueuedSlice, SlotPacing, WirePolicy,
+    replay_sessions, serve_tcp_with, AdmitRequest, ArrivalSource, Daemon, DaemonConfig,
+    DaemonReport, IngestConfig, IngestServer, QueuedSlice, RebalanceConfig, SlotPacing, WirePolicy,
 };
 use rts_telemetry::{render_exposition, MetricsServer};
 
@@ -75,10 +75,11 @@ fn parse_policy(spec: &str) -> Result<WirePolicy, CliError> {
 fn start_listener(
     daemon: Arc<Mutex<Daemon>>,
     listen: &Listen,
+    ingest: IngestConfig,
 ) -> Result<(IngestServer, String), CliError> {
     match listen {
         Listen::Tcp(addr) => {
-            let server = serve_tcp(daemon, addr).map_err(|e| CliError::io(addr, e))?;
+            let server = serve_tcp_with(daemon, addr, ingest).map_err(|e| CliError::io(addr, e))?;
             let bound = server
                 .local_addr()
                 .map(|a| a.to_string())
@@ -87,7 +88,7 @@ fn start_listener(
         }
         #[cfg(unix)]
         Listen::Uds(path) => {
-            let server = rts_smoothd::serve_uds(daemon, std::path::Path::new(path))
+            let server = rts_smoothd::serve_uds_with(daemon, std::path::Path::new(path), ingest)
                 .map_err(|e| CliError::io(path, e))?;
             Ok((server, format!("uds:{path}")))
         }
@@ -113,6 +114,8 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     let lifetime: u64 = args.opt_or("lifetime", 256)?;
     let shards: u32 = args.opt_or("shards", 0)?;
     let queue: usize = args.opt_or("queue", 1024)?;
+    let ingest_threads: usize =
+        args.opt_or("ingest-threads", rts_smoothd::DEFAULT_INGEST_THREADS)?;
     let slot_us: u64 = args.opt_or("slot-us", 0)?;
     let run_secs: f64 = args.opt_or("run-secs", 0.0)?;
     let policy = parse_policy(args.opt("policy").unwrap_or("tail"))?;
@@ -142,6 +145,12 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
         },
         record_events: args.opt("trace-out").is_some(),
         overbook,
+        // --rebalance true turns on skew-aware migration with the
+        // default hysteresis constants.
+        rebalance: RebalanceConfig {
+            enabled: args.opt("rebalance") == Some("true"),
+            ..RebalanceConfig::default()
+        },
         ..DaemonConfig::default()
     };
     if shards > 0 {
@@ -196,10 +205,19 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
         lifetime,
     };
 
+    // --skew true pins every loopback admission onto shard 0 instead
+    // of cost-routing, building the deliberately unbalanced population
+    // the rebalancer exists to fix (CI's migration smoke uses this).
+    let skew = args.opt("skew") == Some("true");
     let mut admitted: u64 = 0;
     let mut rejected: u64 = 0;
     for _ in 0..sessions {
-        match daemon.admit(&req) {
+        let outcome = if skew {
+            daemon.admit_pinned(&req, 0).map(|id| (id, 0))
+        } else {
+            daemon.admit(&req)
+        };
+        match outcome {
             Ok(_) => admitted += 1,
             Err(_) => rejected += 1,
         }
@@ -238,7 +256,10 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
             // admissions over the socket may be unbounded CBR.
             unbounded = true;
             let shared = Arc::new(Mutex::new(daemon));
-            let (server, bound) = match start_listener(Arc::clone(&shared), spec) {
+            let ingest = IngestConfig {
+                threads: ingest_threads.max(1),
+            };
+            let (server, bound) = match start_listener(Arc::clone(&shared), spec, ingest) {
                 Ok(ok) => ok,
                 Err(e) => {
                     // Tear the workers down before surfacing the error.
@@ -249,7 +270,11 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
                     return Err(e);
                 }
             };
-            let _ = writeln!(out, "listening:     {bound}");
+            let _ = writeln!(
+                out,
+                "listening:     {bound} ({} ingest thread(s))",
+                server.pool_threads()
+            );
             let deadline = Instant::now() + Duration::from_secs_f64(run_secs.max(0.05));
             while Instant::now() < deadline {
                 std::thread::sleep(Duration::from_millis(20));
@@ -265,8 +290,14 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     };
 
     if !listener && run_secs > 0.0 {
-        std::thread::sleep(Duration::from_secs_f64(run_secs));
-        daemon.poll();
+        // Poll on the same cadence as the socket loop so the
+        // rebalancer (and event harvest) runs during the window, not
+        // just once at the end.
+        let deadline = Instant::now() + Duration::from_secs_f64(run_secs);
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+            daemon.poll();
+        }
     }
 
     // Finite workloads: wait for full retirement so the exit ledger
@@ -279,6 +310,7 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     };
     let evict = args.opt("evict-on-exit") == Some("true");
     let stats = daemon.stats();
+    let migrations = daemon.registry().snapshot().migrations;
     let mut events = Vec::new();
     daemon.poll();
     daemon.take_events(&mut events);
@@ -297,6 +329,9 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
         drained,
         started.elapsed(),
     );
+    if migrations > 0 {
+        let _ = writeln!(out, "rebalance:     {migrations} migration(s)");
+    }
 
     if let Some(path) = args.opt("trace-out") {
         let resolved = rts_obs::resolve_out_path(std::path::Path::new(path))
@@ -458,6 +493,7 @@ mod tests {
             queue_capacity: 64,
             pacing: SlotPacing::Deadline(Duration::from_micros(200)),
             record_events: false,
+            rebalance: Default::default(),
         };
         let mut daemon = Daemon::start(cfg);
         let registry = daemon.registry();
@@ -496,6 +532,29 @@ mod tests {
 
         server.stop();
         daemon.shutdown(true);
+    }
+
+    #[test]
+    fn skewed_loopback_run_migrates_and_reports_it() {
+        // All 32 sessions pinned onto shard 0 of 2; the rebalancer must
+        // move some across during the run and the summary must say so.
+        let args = parse(&[
+            "serve", "--sessions", "32", "--rate", "4", "--delay", "3", "--lifetime", "0",
+            "--shards", "2", "--skew", "true", "--rebalance", "true", "--run-secs", "1.5",
+            "--evict-on-exit", "true",
+        ]);
+        let out = serve_cmd(&args).unwrap();
+        assert!(out.contains("admitted 32, rejected 0"), "{out}");
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("rebalance:"))
+            .unwrap_or_else(|| panic!("no rebalance line in:\n{out}"));
+        let n: u64 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|w| w.parse().ok())
+            .unwrap_or(0);
+        assert!(n >= 1, "{line}");
     }
 
     #[test]

@@ -155,8 +155,8 @@ fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Dura
     );
     let _ = writeln!(
         out,
-        "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}",
-        "shard", "sessions", "slices/s", "slots/s", "p50", "p99", "miss%", "overrun"
+        "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>6}",
+        "shard", "sessions", "slices/s", "slots/s", "p50", "p99", "miss%", "overrun", "imb"
     );
     for s in &detail.shards {
         let prev_row = prev.and_then(|p| p.shards.iter().find(|r| r.shard == s.shard));
@@ -171,9 +171,17 @@ fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Dura
         } else {
             "-".into()
         };
+        // Imbalance gauge: this shard's rebalancer cost relative to the
+        // mean (1.00 = perfectly balanced), published by the control
+        // plane each rebalance tick.
+        let imb = if s.imbalance_milli > 0 {
+            format!("{:.2}", s.imbalance_milli as f64 / 1000.0)
+        } else {
+            "-".into()
+        };
         let _ = writeln!(
             out,
-            "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8}",
+            "{:>5} {:>9} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>6}",
             s.shard,
             s.sessions,
             slices_rate,
@@ -181,7 +189,8 @@ fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Dura
             fmt_ns(s.latency.p50),
             fmt_ns(s.latency.p99),
             miss_pct,
-            s.slot_overruns
+            s.slot_overruns,
+            imb
         );
     }
     let stage = |name: &str, h: &HistSummary| {
@@ -219,6 +228,17 @@ fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Dura
     if !rejects.is_empty() {
         let _ = writeln!(out, "rejects: {}", rejects.join(" "));
     }
+    if detail.migrations > 0 {
+        let last = if detail.last_migration_from != u32::MAX {
+            format!(
+                ", last {}\u{2192}{}",
+                detail.last_migration_from, detail.last_migration_to
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "rebalance: {} migration(s){last}", detail.migrations);
+    }
     out
 }
 
@@ -241,6 +261,7 @@ mod tests {
             queue_capacity: 64,
             pacing: SlotPacing::Free,
             record_events: false,
+            rebalance: Default::default(),
         };
         let mut daemon = Daemon::start(cfg);
         let req = AdmitRequest {
@@ -291,6 +312,9 @@ mod tests {
     fn rates_appear_from_the_second_board() {
         let mk = |slots: u64, played: u64| StatsDetail {
             retired: 0,
+            migrations: 0,
+            last_migration_from: u32::MAX,
+            last_migration_to: u32::MAX,
             rejects: [0; 6],
             lateness: HistSummary::default(),
             stages: [HistSummary::default(); 4],
@@ -302,6 +326,7 @@ mod tests {
                 sent_bytes: 0,
                 deadline_misses: 0,
                 slot_overruns: 0,
+                imbalance_milli: 0,
                 latency: HistSummary::default(),
             }],
         };
@@ -315,5 +340,43 @@ mod tests {
         // 400 slices / 0.5 s = 800/s; 50 slots / 0.5 s = 100/s.
         assert!(second.contains("800"), "{second}");
         assert!(second.contains("100"), "{second}");
+    }
+
+    #[test]
+    fn rebalance_footer_and_imbalance_gauge_render() {
+        let row = |shard: u32, imbalance_milli: u64| rts_smoothd::ShardRow {
+            shard,
+            sessions: 10,
+            slots: 5,
+            played: 0,
+            sent_bytes: 0,
+            deadline_misses: 0,
+            slot_overruns: 0,
+            imbalance_milli,
+            latency: HistSummary::default(),
+        };
+        let detail = StatsDetail {
+            retired: 0,
+            migrations: 7,
+            last_migration_from: 1,
+            last_migration_to: 0,
+            rejects: [0; 6],
+            lateness: HistSummary::default(),
+            stages: [HistSummary::default(); 4],
+            shards: vec![row(0, 400), row(1, 1600)],
+        };
+        let board = render_board(&detail, None, Duration::from_millis(500));
+        assert!(board.contains("rebalance: 7 migration(s), last 1\u{2192}0"), "{board}");
+        assert!(board.contains("0.40"), "imbalance gauge missing:\n{board}");
+        assert!(board.contains("1.60"), "imbalance gauge missing:\n{board}");
+        // No footer before the first migration.
+        let quiet = StatsDetail {
+            migrations: 0,
+            last_migration_from: u32::MAX,
+            last_migration_to: u32::MAX,
+            ..detail
+        };
+        let board = render_board(&quiet, None, Duration::from_millis(500));
+        assert!(!board.contains("rebalance:"), "{board}");
     }
 }

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,8 +36,44 @@ use rts_telemetry::{MonotonicClock, Registry, ShardTelemetry, SlotClock, SlotPac
 use crate::frame::{
     AdmitRequest, HistSummary, ShardRow, StatsDetail, StatsSnapshot, MAX_STATS_SHARDS,
 };
-use crate::session::{ArrivalSource, SessionCounters, SessionId};
+use crate::session::{ArrivalSource, LiveSession, SessionCounters, SessionId};
 use crate::shard::{Retirement, Shard};
+
+/// Skew-aware rebalancer policy. The control plane evaluates per-shard
+/// cost from the live telemetry registry — sessions weighted by the
+/// recent deadline-miss rate, with slot p99 as the tiebreak — and
+/// migrates sessions from the most expensive shard to the cheapest one
+/// whenever the spread crosses the hysteresis threshold.
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Master switch; off means sessions stay where placement put them.
+    pub enabled: bool,
+    /// Minimum wall time between rebalance evaluations (each one takes
+    /// a registry snapshot, so this bounds control-plane overhead).
+    pub interval: Duration,
+    /// Trigger threshold in milli-ratio: migrate only while
+    /// `donor_cost · 1000 > high_ratio_milli · receiver_cost`. Moving
+    /// to the midpoint afterwards lands the ratio near 1000, so the
+    /// gap between 1000 and this value is the hysteresis band.
+    pub high_ratio_milli: u64,
+    /// Absolute session-count gap below which imbalance is ignored
+    /// (keeps tiny populations from ping-ponging).
+    pub min_gap: u64,
+    /// Most sessions migrated per evaluation.
+    pub max_moves: usize,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            interval: Duration::from_millis(100),
+            high_ratio_milli: 1500,
+            min_gap: 8,
+            max_moves: 1024,
+        }
+    }
+}
 
 /// Daemon sizing and behaviour.
 #[derive(Debug, Clone)]
@@ -58,6 +94,8 @@ pub struct DaemonConfig {
     /// Record lifecycle events (joined/retired/rejected) for the
     /// trace sink. Off for pure benchmarks.
     pub record_events: bool,
+    /// Skew-aware live-migration policy.
+    pub rebalance: RebalanceConfig,
 }
 
 impl Default for DaemonConfig {
@@ -71,6 +109,7 @@ impl Default for DaemonConfig {
             queue_capacity: 1024,
             pacing: SlotPacing::Free,
             record_events: true,
+            rebalance: RebalanceConfig::default(),
         }
     }
 }
@@ -80,6 +119,13 @@ enum Command {
         id: SessionId,
         req: AdmitRequest,
         source: Option<ArrivalSource>,
+    },
+    /// `count` sessions with consecutive ids starting at `first_id`,
+    /// all built from the same request: one queue crossing per chunk.
+    AdmitBatch {
+        first_id: SessionId,
+        count: u32,
+        req: AdmitRequest,
     },
     Inject {
         id: SessionId,
@@ -91,9 +137,34 @@ enum Command {
     Evict {
         id: SessionId,
     },
+    /// Migrate up to `max_sessions` sessions out of this shard into
+    /// shard `to_shard`, whose queue, committed-rate mirror, and
+    /// bookable cap ride along. The donor reserves rate on the
+    /// receiver's mirror *before* sending each session, so the
+    /// receiver-side admission controller can never refuse it.
+    Export {
+        to: SyncSender<Command>,
+        to_committed: Arc<AtomicU64>,
+        to_bookable: Bytes,
+        to_shard: u32,
+        max_sessions: usize,
+    },
+    /// A live session arriving from another shard — ring, ledger, and
+    /// session-local clock intact.
+    Import {
+        session: Box<LiveSession>,
+    },
     Stop {
         drain: bool,
     },
+}
+
+/// One completed session handoff, harvested by [`Daemon::poll`] to
+/// update the directory and the migration counters.
+struct MigrationRecord {
+    session: SessionId,
+    from: u32,
+    to: u32,
 }
 
 #[derive(Default)]
@@ -101,6 +172,38 @@ struct SharedShard {
     sessions: AtomicU64,
     slots: AtomicU64,
     played: AtomicU64,
+    /// Wall nanoseconds of the most recent `process_slot`, published
+    /// every slot: the measured cost signal the admission router uses.
+    slot_ns: AtomicU64,
+}
+
+/// Condvar the workers bump whenever retirements land, so
+/// [`Daemon::wait_idle`] blocks instead of busy-polling.
+#[derive(Default)]
+struct IdleSignal {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl IdleSignal {
+    fn observe(&self) -> u64 {
+        *self.epoch.lock().expect("idle signal poisoned")
+    }
+
+    fn bump(&self) {
+        *self.epoch.lock().expect("idle signal poisoned") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the epoch advances past `observed` or `timeout`
+    /// elapses.
+    fn wait_past(&self, observed: u64, timeout: Duration) {
+        let guard = self.epoch.lock().expect("idle signal poisoned");
+        let _unused = self
+            .cv
+            .wait_timeout_while(guard, timeout, |epoch| *epoch == observed)
+            .expect("idle signal poisoned");
+    }
 }
 
 struct ShardHandle {
@@ -109,6 +212,16 @@ struct ShardHandle {
     shared: Arc<SharedShard>,
     retired: Arc<Mutex<Vec<Retirement>>>,
     join: JoinHandle<Shard>,
+}
+
+/// Outcome of [`Daemon::admit_batch`]: `admitted` sessions with
+/// consecutive ids starting at `first`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAdmission {
+    /// First assigned session id.
+    pub first: SessionId,
+    /// How many sessions were admitted (`first..first + admitted`).
+    pub admitted: u64,
 }
 
 /// Final per-shard accounting, extracted at shutdown.
@@ -168,6 +281,20 @@ impl DaemonReport {
     }
 }
 
+/// Worker-side context [`apply`] needs beyond the shard itself: the
+/// control plane's committed-rate mirror, the shared migration sink,
+/// this shard's telemetry block, and the stop mode once one arrived
+/// (an [`Command::Import`] landing after Stop must follow the same
+/// drain/evict policy or the worker would never exit).
+struct WorkerCtx {
+    committed: Arc<AtomicU64>,
+    telemetry: Arc<ShardTelemetry>,
+    migrated: Arc<Mutex<Vec<MigrationRecord>>>,
+    idle: Arc<IdleSignal>,
+    stop: Option<bool>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn worker(
     mut shard: Shard,
     rx: Receiver<Command>,
@@ -175,9 +302,17 @@ fn worker(
     shared: Arc<SharedShard>,
     retired_sink: Arc<Mutex<Vec<Retirement>>>,
     telemetry: Arc<ShardTelemetry>,
+    migrated: Arc<Mutex<Vec<MigrationRecord>>>,
+    idle: Arc<IdleSignal>,
     pacing: SlotPacing,
 ) -> Shard {
-    let mut stopping = false;
+    let mut ctx = WorkerCtx {
+        committed,
+        telemetry,
+        migrated,
+        idle,
+        stop: None,
+    };
     let mut retire_buf: Vec<Retirement> = Vec::new();
     let mut clock = SlotClock::new(MonotonicClock::new(), pacing);
     let period_ns = pacing.period().map(|p| p.as_nanos() as u64);
@@ -195,36 +330,34 @@ fn worker(
             match rx.try_recv() {
                 Ok(cmd) => {
                     applied = true;
-                    if apply(&mut shard, cmd) {
-                        stopping = true;
-                    }
+                    apply(&mut shard, cmd, &mut ctx);
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
-                    stopping = true;
+                    if ctx.stop.is_none() {
+                        ctx.stop = Some(false);
+                    }
                     break;
                 }
             }
         }
         if applied {
-            telemetry
+            ctx.telemetry
                 .admit
                 .record(drain_started.elapsed().as_nanos() as u64);
         }
         if shard.sessions() == 0 {
-            if stopping {
+            if ctx.stop.is_some() {
                 break;
             }
             was_idle = true;
-            telemetry.sessions.set(0);
+            ctx.telemetry.sessions.set(0);
             // Idle: wait for work instead of spinning.
             match rx.recv_timeout(Duration::from_millis(2)) {
                 Ok(cmd) => {
-                    if apply(&mut shard, cmd) {
-                        stopping = true;
-                        if shard.sessions() == 0 {
-                            break;
-                        }
+                    apply(&mut shard, cmd, &mut ctx);
+                    if ctx.stop.is_some() && shard.sessions() == 0 {
+                        break;
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
@@ -242,16 +375,16 @@ fn worker(
         shard.process_slot();
         let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         shard.stats_mut().latency.record(nanos);
-        telemetry.process.record(nanos);
+        ctx.telemetry.process.record(nanos);
         let slots = shard.stats().slots;
-        telemetry.slots.add(slots - prev_slots);
+        ctx.telemetry.slots.add(slots - prev_slots);
         prev_slots = slots;
-        telemetry.sessions.set(shard.sessions() as u64);
+        ctx.telemetry.sessions.set(shard.sessions() as u64);
         let played = shard.stats().played_slices;
-        telemetry.played_slices.add(played - prev_played);
+        ctx.telemetry.played_slices.add(played - prev_played);
         prev_played = played;
         let sent = shard.stats().sent_bytes;
-        telemetry.sent_bytes.add(sent - prev_sent);
+        ctx.telemetry.sent_bytes.add(sent - prev_sent);
         prev_sent = sent;
         shared
             .sessions
@@ -260,29 +393,31 @@ fn worker(
         shared
             .played
             .store(shard.stats().played_slices, Ordering::Relaxed);
+        shared.slot_ns.store(nanos, Ordering::Relaxed);
         if shard.has_retirements() {
             let retire_started = Instant::now();
             shard.take_retirements(&mut retire_buf);
             for r in &retire_buf {
-                committed.fetch_sub(r.rate, Ordering::Relaxed);
+                ctx.committed.fetch_sub(r.rate, Ordering::Relaxed);
             }
             retired_sink
                 .lock()
                 .expect("retirement sink poisoned")
                 .append(&mut retire_buf);
-            telemetry
+            ctx.idle.bump();
+            ctx.telemetry
                 .retire
                 .record(retire_started.elapsed().as_nanos() as u64);
         }
         if let Some(period) = period_ns {
             if nanos > period {
-                telemetry.slot_overruns.inc();
+                ctx.telemetry.slot_overruns.inc();
             }
         }
         let outcome = clock.pace();
         if outcome.missed {
-            telemetry.deadline_misses.inc();
-            telemetry
+            ctx.telemetry.deadline_misses.inc();
+            ctx.telemetry
                 .lateness
                 .record(outcome.lateness.as_nanos().min(u64::MAX as u128) as u64);
         }
@@ -291,7 +426,7 @@ fn worker(
     if shard.has_retirements() {
         shard.take_retirements(&mut retire_buf);
         for r in &retire_buf {
-            committed.fetch_sub(r.rate, Ordering::Relaxed);
+            ctx.committed.fetch_sub(r.rate, Ordering::Relaxed);
         }
         retired_sink
             .lock()
@@ -305,15 +440,20 @@ fn worker(
     shared
         .played
         .store(shard.stats().played_slices, Ordering::Relaxed);
-    telemetry.sessions.set(shard.sessions() as u64);
-    telemetry.slots.add(shard.stats().slots - prev_slots);
-    telemetry.played_slices.add(shard.stats().played_slices - prev_played);
-    telemetry.sent_bytes.add(shard.stats().sent_bytes - prev_sent);
+    ctx.telemetry.sessions.set(shard.sessions() as u64);
+    ctx.telemetry.slots.add(shard.stats().slots - prev_slots);
+    ctx.telemetry
+        .played_slices
+        .add(shard.stats().played_slices - prev_played);
+    ctx.telemetry
+        .sent_bytes
+        .add(shard.stats().sent_bytes - prev_sent);
+    ctx.idle.bump();
     shard
 }
 
-/// Applies one command; returns `true` when the worker should stop.
-fn apply(shard: &mut Shard, cmd: Command) -> bool {
+/// Applies one command; records a stop request in `ctx.stop`.
+fn apply(shard: &mut Shard, cmd: Command, ctx: &mut WorkerCtx) {
     match cmd {
         Command::Admit { id, req, source } => {
             let admitted = match source {
@@ -324,33 +464,132 @@ fn apply(shard: &mut Shard, cmd: Command) -> bool {
                 admitted.is_ok(),
                 "control plane pre-checked admission: {admitted:?}"
             );
-            false
+        }
+        Command::AdmitBatch {
+            first_id,
+            count,
+            req,
+        } => {
+            for k in 0..count as u64 {
+                let admitted = shard.admit(first_id + k, &req);
+                debug_assert!(
+                    admitted.is_ok(),
+                    "control plane pre-checked batch admission: {admitted:?}"
+                );
+            }
         }
         Command::Inject { id, slices } => {
             // A session may have retired between enqueue and apply;
             // stale injections are dropped on the floor.
             let _ = shard.inject(id, &slices);
-            false
         }
         Command::Drain { id } => {
             let _ = shard.drain(id);
-            false
         }
         Command::Evict { id } => {
             let _ = shard.evict(id);
-            false
+        }
+        Command::Export {
+            to,
+            to_committed,
+            to_bookable,
+            to_shard,
+            max_sessions,
+        } => {
+            for _ in 0..max_sessions {
+                let Some(s) = shard.export_any() else { break };
+                let rate = s.rate();
+                // Reserve on the receiver's mirror first; admissions
+                // racing this can only see the conservative sum, so
+                // the receiver-side controller never over-commits.
+                let prev = to_committed.fetch_add(rate, Ordering::Relaxed);
+                if prev + rate > to_bookable {
+                    to_committed.fetch_sub(rate, Ordering::Relaxed);
+                    reimport(shard, s);
+                    break;
+                }
+                let id = s.id();
+                match to.try_send(Command::Import {
+                    session: Box::new(s),
+                }) {
+                    Ok(()) => {
+                        ctx.committed.fetch_sub(rate, Ordering::Relaxed);
+                        ctx.telemetry.migrations_out.inc();
+                        ctx.migrated
+                            .lock()
+                            .expect("migration sink poisoned")
+                            .push(MigrationRecord {
+                                session: id,
+                                from: shard.id(),
+                                to: to_shard,
+                            });
+                    }
+                    Err(e) => {
+                        // Receiver queue full or worker gone: undo the
+                        // reservation and keep the session here. The
+                        // session rode inside the rejected command.
+                        to_committed.fetch_sub(rate, Ordering::Relaxed);
+                        let (TrySendError::Full(cmd) | TrySendError::Disconnected(cmd)) = e;
+                        if let Command::Import { session } = cmd {
+                            reimport(shard, *session);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Command::Import { session } => {
+            let id = session.id();
+            match shard.import(*session) {
+                Ok(()) => {
+                    ctx.telemetry.migrations_in.inc();
+                    // A stop that already passed governs latecomers
+                    // too, or a drain-stop worker would spin forever
+                    // on an unbounded imported session.
+                    match ctx.stop {
+                        Some(true) => {
+                            let _ = shard.drain(id);
+                        }
+                        Some(false) => {
+                            let _ = shard.evict(id);
+                        }
+                        None => {}
+                    }
+                }
+                Err(sess) => {
+                    // Unreachable by construction (the donor reserved
+                    // rate on our mirror before sending); keep the
+                    // ledger conserved anyway by evicting in place.
+                    debug_assert!(false, "import admission cannot fail");
+                    let counters = sess.evict();
+                    shard.absorb_retired(&counters);
+                }
+            }
         }
         Command::Stop { drain } => {
-            if drain {
-                shard.drain_all();
-                while shard.sessions() > 0 {
-                    shard.process_slot();
+            if ctx.stop.is_none() {
+                if drain {
+                    shard.drain_all();
+                    while shard.sessions() > 0 {
+                        shard.process_slot();
+                    }
+                } else {
+                    shard.evict_all();
                 }
-            } else {
-                shard.evict_all();
+                ctx.stop = Some(drain);
             }
-            true
         }
+    }
+}
+
+/// Puts an export candidate back where it came from; infallible
+/// because the caller just released the reservation it needs.
+fn reimport(shard: &mut Shard, session: LiveSession) {
+    let back = shard.import(session);
+    debug_assert!(back.is_ok(), "reimport into the donor cannot fail");
+    if let Err(sess) = back {
+        let counters = sess.evict();
+        shard.absorb_retired(&counters);
     }
 }
 
@@ -367,6 +606,13 @@ pub struct Daemon {
     events: Vec<Event>,
     retire_scratch: Vec<Retirement>,
     registry: Arc<Registry>,
+    migrated: Arc<Mutex<Vec<MigrationRecord>>>,
+    idle: Arc<IdleSignal>,
+    last_migration: Option<(u32, u32)>,
+    last_rebalance: Instant,
+    /// Per-shard (slots, deadline misses) at the previous rebalance
+    /// evaluation, for windowed miss rates.
+    rebalance_marks: Vec<(u64, u64)>,
 }
 
 impl Daemon {
@@ -378,6 +624,8 @@ impl Daemon {
             .admission()
             .bookable_capacity();
         let registry = Arc::new(Registry::new(cfg.shards as usize));
+        let migrated = Arc::new(Mutex::new(Vec::new()));
+        let idle = Arc::new(IdleSignal::default());
         let handles = (0..cfg.shards)
             .map(|i| {
                 let shard = Shard::new(i, cfg.shard_link_rate, cfg.overbook);
@@ -390,11 +638,16 @@ impl Daemon {
                     let shared = Arc::clone(&shared);
                     let retired = Arc::clone(&retired);
                     let telemetry = registry.shard(i as usize);
+                    let migrated = Arc::clone(&migrated);
+                    let idle = Arc::clone(&idle);
                     let pacing = cfg.pacing;
                     std::thread::Builder::new()
                         .name(format!("smoothd-shard-{i}"))
                         .spawn(move || {
-                            worker(shard, rx, committed, shared, retired, telemetry, pacing)
+                            worker(
+                                shard, rx, committed, shared, retired, telemetry, migrated,
+                                idle, pacing,
+                            )
                         })
                         .expect("spawn shard worker")
                 };
@@ -407,6 +660,7 @@ impl Daemon {
                 }
             })
             .collect();
+        let shards = cfg.shards as usize;
         Daemon {
             cfg,
             handles,
@@ -417,6 +671,11 @@ impl Daemon {
             events: Vec::new(),
             retire_scratch: Vec::new(),
             registry,
+            migrated,
+            idle,
+            last_migration: None,
+            last_rebalance: Instant::now(),
+            rebalance_marks: vec![(0, 0); shards],
         }
     }
 
@@ -438,18 +697,54 @@ impl Daemon {
         out.append(&mut self.events);
     }
 
-    /// Picks the shard with the most residual bookable rate that still
-    /// fits `rate`, reserving it in the mirror.
-    fn reserve(&mut self, rate: Bytes) -> Option<u32> {
-        let mut best: Option<(u32, Bytes)> = None;
+    /// Routes by measured shard cost: projects each shard's next slot
+    /// time as `sessions · μ` where `μ` is the measured per-session
+    /// slot cost (last published `process_slot` nanoseconds divided by
+    /// resident sessions), and picks the candidate whose projection
+    /// after taking `pending[i]` more sessions is smallest. Shards
+    /// whose residual bookable rate cannot fit `rate` are skipped. An
+    /// idle shard borrows the cheapest measured μ so it is preferred
+    /// exactly when it would finish first, and the projection
+    /// degenerates to least-session-count when every μ is equal.
+    fn route(&self, rate: Bytes, pending: &[u64]) -> Option<u32> {
+        let mut min_mu = u64::MAX;
+        for h in &self.handles {
+            let live = h.shared.sessions.load(Ordering::Relaxed);
+            let ns = h.shared.slot_ns.load(Ordering::Relaxed);
+            if let Some(mu) = ns.checked_div(live) {
+                min_mu = min_mu.min(mu.max(1));
+            }
+        }
+        if min_mu == u64::MAX {
+            min_mu = 1; // no shard has measured anything yet
+        }
+        let mut best: Option<(u32, u128)> = None;
         for (i, h) in self.handles.iter().enumerate() {
             let committed = h.committed.load(Ordering::Relaxed);
             let residual = self.bookable_per_shard.saturating_sub(committed);
-            if residual >= rate && best.map(|(_, r)| residual > r).unwrap_or(true) {
-                best = Some((i as u32, residual));
+            if residual < rate {
+                continue;
+            }
+            let live = h.shared.sessions.load(Ordering::Relaxed);
+            let mu = h
+                .shared
+                .slot_ns
+                .load(Ordering::Relaxed)
+                .checked_div(live)
+                .map_or(min_mu, |m| m.max(1));
+            let projected = (live + pending[i] + 1) as u128 * mu as u128;
+            if best.map(|(_, c)| projected < c).unwrap_or(true) {
+                best = Some((i as u32, projected));
             }
         }
-        let (shard, _) = best?;
+        best.map(|(i, _)| i)
+    }
+
+    /// Picks a shard by measured cost and reserves `rate` on its
+    /// mirror.
+    fn reserve(&mut self, rate: Bytes) -> Option<u32> {
+        let pending = vec![0u64; self.handles.len()];
+        let shard = self.route(rate, &pending)?;
         self.handles[shard as usize]
             .committed
             .fetch_add(rate, Ordering::Relaxed);
@@ -526,6 +821,121 @@ impl Daemon {
         self.admit_with_outcome(req, Some(source), true)
     }
 
+    /// Admits one session onto an explicit shard, bypassing the cost
+    /// router (load-testing hook: benches and tests use it to build
+    /// deliberately skewed populations for the rebalancer to fix).
+    pub fn admit_pinned(
+        &mut self,
+        req: &AdmitRequest,
+        shard: u32,
+    ) -> Result<SessionId, RejectReason> {
+        let params = Shard::params_of(req)?;
+        if params.buffer > params.delay_bandwidth_product() {
+            return Err(RejectReason::Infeasible);
+        }
+        let h = self
+            .handles
+            .get(shard as usize)
+            .ok_or(RejectReason::UnknownSession)?;
+        let committed = h.committed.load(Ordering::Relaxed);
+        if self.bookable_per_shard.saturating_sub(committed) < params.rate {
+            return Err(RejectReason::Capacity);
+        }
+        h.committed.fetch_add(params.rate, Ordering::Relaxed);
+        let id = self.next_id;
+        let cmd = Command::Admit {
+            id,
+            req: *req,
+            source: None,
+        };
+        if self.handles[shard as usize].tx.send(cmd).is_err() {
+            self.handles[shard as usize]
+                .committed
+                .fetch_sub(params.rate, Ordering::Relaxed);
+            return Err(RejectReason::Backpressure);
+        }
+        self.next_id += 1;
+        self.directory.insert(id, shard);
+        Ok(id)
+    }
+
+    /// Admits up to `count` identical sessions through the batched
+    /// path: ids are consecutive from the returned first id, placement
+    /// routes whole chunks by measured shard cost, and each chunk
+    /// costs one bounded-queue push instead of one per session.
+    /// Returns how many were actually admitted (capacity may truncate;
+    /// zero admissions reject with the blocking reason).
+    pub fn admit_batch(
+        &mut self,
+        req: &AdmitRequest,
+        count: u64,
+    ) -> Result<BatchAdmission, RejectReason> {
+        let params = Shard::params_of(req)?;
+        if params.buffer > params.delay_bandwidth_product() {
+            return Err(RejectReason::Infeasible);
+        }
+        let first = self.next_id;
+        let mut admitted = 0u64;
+        let mut pending = vec![0u64; self.handles.len()];
+        // Chunks small enough to spread across shards, large enough to
+        // amortize the queue crossing.
+        const CHUNK: u64 = 1024;
+        let mut reject = RejectReason::Capacity;
+        while admitted < count {
+            let Some(shard) = self.route(params.rate, &pending) else {
+                break;
+            };
+            let h = &self.handles[shard as usize];
+            let committed = h.committed.load(Ordering::Relaxed);
+            let residual = self.bookable_per_shard.saturating_sub(committed);
+            let chunk = (count - admitted).min(CHUNK).min(residual / params.rate);
+            if chunk == 0 {
+                break;
+            }
+            h.committed
+                .fetch_add(params.rate * chunk, Ordering::Relaxed);
+            let cmd = Command::AdmitBatch {
+                first_id: self.next_id,
+                count: chunk as u32,
+                req: *req,
+            };
+            if h.tx.send(cmd).is_err() {
+                h.committed
+                    .fetch_sub(params.rate * chunk, Ordering::Relaxed);
+                reject = RejectReason::Backpressure;
+                break;
+            }
+            let time = h.shared.slots.load(Ordering::Relaxed);
+            for k in 0..chunk {
+                self.directory.insert(self.next_id + k, shard);
+            }
+            if self.cfg.record_events {
+                for k in 0..chunk {
+                    self.events.push(Event::SessionJoined {
+                        time,
+                        session: self.next_id + k,
+                        shard,
+                        rate: params.rate,
+                    });
+                }
+            }
+            self.next_id += chunk;
+            pending[shard as usize] += chunk;
+            admitted += chunk;
+        }
+        if admitted == 0 {
+            let time = self.max_slots();
+            self.record(Event::IngestRejected {
+                time,
+                session: 0,
+                reason: reject,
+            });
+            self.registry.record_reject(reject);
+            return Err(reject);
+        }
+        Ok(BatchAdmission { first, admitted })
+    }
+
     fn admit_with_outcome(
         &mut self,
         req: &AdmitRequest,
@@ -590,10 +1000,40 @@ impl Daemon {
         self.push(id, Command::Evict { id })
     }
 
+    /// Harvests completed migrations: repoints directory entries and
+    /// bumps the daemon-wide counters. Ordered before the retirement
+    /// harvest inside [`Daemon::poll`] — a record for a session whose
+    /// retirement was already harvested is skipped (the directory
+    /// presence check), never resurrected.
+    fn harvest_migrations(&mut self) -> u64 {
+        let mut records = self.migrated.lock().expect("migration sink poisoned");
+        if records.is_empty() {
+            return 0;
+        }
+        let drained: Vec<MigrationRecord> = records.drain(..).collect();
+        drop(records);
+        let n = drained.len() as u64;
+        self.registry.migrations.add(n);
+        for m in &drained {
+            if let Some(entry) = self.directory.get_mut(&m.session) {
+                *entry = m.to;
+            }
+            self.last_migration = Some((m.from, m.to));
+        }
+        n
+    }
+
     /// Harvests worker retirements: updates the directory, counts
     /// them, and records `SessionRetired` events. Returns how many
-    /// sessions retired since the last poll.
+    /// sessions retired since the last poll. Also drives the
+    /// rebalancer when it is enabled and its interval has elapsed.
     pub fn poll(&mut self) -> u64 {
+        self.harvest_migrations();
+        if self.cfg.rebalance.enabled
+            && self.last_rebalance.elapsed() >= self.cfg.rebalance.interval
+        {
+            self.rebalance_now();
+        }
         let mut harvested = std::mem::take(&mut self.retire_scratch);
         harvested.clear();
         for h in &self.handles {
@@ -672,12 +1112,17 @@ impl Daemon {
                 sent_bytes: s.sent_bytes,
                 deadline_misses: s.deadline_misses,
                 slot_overruns: s.slot_overruns,
+                imbalance_milli: s.imbalance_milli,
                 latency: HistSummary::from_histogram(&s.latency),
             })
             .collect();
+        let (last_from, last_to) = self.last_migration.unwrap_or((u32::MAX, u32::MAX));
         StatsDetail {
             retired: snap.retired,
             rejects: snap.rejects,
+            migrations: snap.migrations,
+            last_migration_from: last_from,
+            last_migration_to: last_to,
             lateness: HistSummary::from_histogram(&snap.lateness),
             stages: [
                 HistSummary::from_histogram(&snap.ingest_decode),
@@ -689,19 +1134,110 @@ impl Daemon {
         }
     }
 
+    /// One rebalance evaluation, regardless of the configured
+    /// interval: reads the per-shard registry (sessions, recent
+    /// deadline-miss rate, slot p99), refreshes the per-shard
+    /// imbalance gauges, and — when the donor/receiver cost spread
+    /// crosses the hysteresis threshold — asks the donor to migrate
+    /// sessions toward the cost midpoint. Returns the number of
+    /// sessions requested to move (0 when balanced).
+    pub fn rebalance_now(&mut self) -> u64 {
+        self.last_rebalance = Instant::now();
+        if self.handles.len() < 2 {
+            return 0;
+        }
+        let snap = self.registry.snapshot();
+        // Cost per shard: resident sessions scaled by the windowed
+        // deadline-miss rate (milli-units). A shard missing half its
+        // deadlines costs 1.5x its session count.
+        let mut costs = Vec::with_capacity(self.handles.len());
+        let mut total_cost: u128 = 0;
+        for (i, s) in snap.shards.iter().enumerate() {
+            let (last_slots, last_misses) = self.rebalance_marks[i];
+            let slots_d = s.slots.saturating_sub(last_slots);
+            let miss_d = s.deadline_misses.saturating_sub(last_misses);
+            self.rebalance_marks[i] = (s.slots, s.deadline_misses);
+            let miss_milli = (miss_d * 1000).checked_div(slots_d).unwrap_or(0).min(1000);
+            let cost = s.sessions * (1000 + miss_milli);
+            total_cost += cost as u128;
+            costs.push(cost);
+        }
+        // Publish the imbalance gauges (cost over mean, milli-units)
+        // whether or not anything moves.
+        let n = costs.len() as u128;
+        let mean_cost = (total_cost / n).max(1);
+        for (i, &cost) in costs.iter().enumerate() {
+            let gauge = (cost as u128 * 1000 / mean_cost).min(u64::MAX as u128) as u64;
+            self.registry.shard(i).imbalance_milli.set(gauge);
+        }
+        // Donor: max cost, slot p99 breaking ties; receiver: min cost.
+        let p99 = |i: usize| snap.shards[i].latency.quantile(0.99);
+        let mut donor = 0usize;
+        let mut receiver = 0usize;
+        for i in 1..costs.len() {
+            if costs[i] > costs[donor] || (costs[i] == costs[donor] && p99(i) > p99(donor)) {
+                donor = i;
+            }
+            if costs[i] < costs[receiver]
+                || (costs[i] == costs[receiver] && p99(i) < p99(receiver))
+            {
+                receiver = i;
+            }
+        }
+        let donor_sessions = snap.shards[donor].sessions;
+        let receiver_sessions = snap.shards[receiver].sessions;
+        if donor_sessions.saturating_sub(receiver_sessions) < self.cfg.rebalance.min_gap {
+            return 0;
+        }
+        if costs[donor] * 1000 <= self.cfg.rebalance.high_ratio_milli * costs[receiver].max(1) {
+            return 0;
+        }
+        let moves = ((donor_sessions - receiver_sessions) / 2)
+            .min(self.cfg.rebalance.max_moves as u64)
+            .min((self.cfg.queue_capacity / 2).max(1) as u64)
+            .max(1);
+        let rh = &self.handles[receiver];
+        let cmd = Command::Export {
+            to: rh.tx.clone(),
+            to_committed: Arc::clone(&rh.committed),
+            to_bookable: self.bookable_per_shard,
+            to_shard: receiver as u32,
+            max_sessions: moves as usize,
+        };
+        match self.handles[donor].tx.try_send(cmd) {
+            Ok(()) => moves,
+            // Donor busy: skip this cycle, the next interval retries.
+            Err(_) => 0,
+        }
+    }
+
+    /// Cumulative completed migrations (post-harvest view).
+    pub fn migrations(&self) -> u64 {
+        self.registry.migrations.get()
+    }
+
     /// Polls until every session has retired or `timeout` elapses.
-    /// Returns `true` when fully idle.
+    /// Returns `true` when fully idle. Blocks on the workers'
+    /// retirement condvar between polls instead of busy-sleeping, so
+    /// idle detection is prompt and contention-free.
     pub fn wait_idle(&mut self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
+            // Observe the epoch *before* polling: a retirement landing
+            // mid-poll advances it and the wait returns immediately.
+            let observed = self.idle.observe();
             self.poll();
             if self.live_sessions() == 0 && self.directory.is_empty() {
                 return true;
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            // Defensive cap so a missed publication can only delay,
+            // never wedge; the common path wakes on the condvar bump.
+            let wait = (deadline - now).min(Duration::from_millis(250));
+            self.idle.wait_past(observed, wait);
         }
     }
 
@@ -712,6 +1248,7 @@ impl Daemon {
             // Blocking send: Stop must arrive even on a full queue.
             let _ = h.tx.send(Command::Stop { drain });
         }
+        self.harvest_migrations();
         let mut shards = Vec::with_capacity(self.handles.len());
         let mut totals = SessionCounters::default();
         let mut latency = LogHistogram::new();
@@ -752,6 +1289,9 @@ impl Daemon {
                 slot_overruns: telemetry.slot_overruns.get(),
             });
         }
+        // Exports applied between the Stop send and the worker joins
+        // can still have produced records; count them all.
+        self.harvest_migrations();
         DaemonReport {
             shards,
             totals,
@@ -789,6 +1329,7 @@ mod tests {
             queue_capacity: 64,
             pacing: SlotPacing::Free,
             record_events: true,
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -969,5 +1510,111 @@ mod tests {
             Err(RejectReason::UnknownSession)
         );
         d.shutdown(true);
+    }
+
+    #[test]
+    fn batched_admission_assigns_consecutive_ids_and_conserves() {
+        // 2 shards x link 64, rate 4 => 16 bookable per shard, 32 total.
+        let mut d = Daemon::start(small_config(2, 64));
+        let req = cbr_request(4, 10);
+        let batch = d.admit_batch(&req, 24).unwrap();
+        assert_eq!(batch.admitted, 24);
+        // Ids are consecutive from `first`: every one is addressable.
+        for id in batch.first..batch.first + batch.admitted {
+            assert!(d.drain(id).is_ok(), "id {id} not admitted");
+        }
+        // A second oversized batch truncates at residual capacity...
+        let rest = d.admit_batch(&req, 100).unwrap();
+        assert_eq!(rest.admitted, 8);
+        // ...and a third finds nothing left.
+        assert_eq!(d.admit_batch(&req, 1), Err(RejectReason::Capacity));
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let report = d.shutdown(true);
+        assert_eq!(report.retired_sessions, 32);
+        assert!(report.totals.conserved(), "{:?}", report.totals);
+        assert_eq!(report.totals.evicted_bytes, 0);
+    }
+
+    #[test]
+    fn rebalancer_migrates_a_skewed_population_without_losing_bytes() {
+        let mut cfg = small_config(2, 256);
+        cfg.rebalance = RebalanceConfig {
+            enabled: true,
+            min_gap: 8,
+            ..RebalanceConfig::default()
+        };
+        let mut d = Daemon::start(cfg);
+        // All load pinned onto shard 0: maximal skew, unbounded CBR so
+        // nothing retires out from under the rebalancer.
+        let req = cbr_request(4, 0);
+        for _ in 0..32 {
+            d.admit_pinned(&req, 0).unwrap();
+        }
+        // The sessions gauge is published by the worker loop; give the
+        // queued admissions a moment to land before reading the skew.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut moves = 0;
+        while moves == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+            moves = d.rebalance_now();
+        }
+        assert!(moves >= 8, "skewed run scheduled only {moves} move(s)");
+        while d.migrations() == 0 && Instant::now() < deadline {
+            d.poll();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(d.migrations() >= 1, "no migration completed");
+        let detail = d.stats_detail();
+        assert!(detail.migrations >= 1);
+        assert_eq!(detail.last_migration_from, 0);
+        assert_eq!(detail.last_migration_to, 1);
+        let moved: u64 = detail.shards[1].sessions;
+        assert!(moved >= 1, "receiver shard still empty: {detail:?}");
+        // Migrated sessions stay addressable at their new home.
+        let report = d.shutdown(false);
+        assert_eq!(report.retired_sessions, 32);
+        assert!(report.totals.conserved(), "{:?}", report.totals);
+    }
+
+    #[test]
+    fn balanced_population_does_not_migrate() {
+        let mut cfg = small_config(2, 64);
+        cfg.rebalance.enabled = true;
+        let mut d = Daemon::start(cfg);
+        let req = cbr_request(4, 0);
+        for shard in 0..2 {
+            for _ in 0..8 {
+                d.admit_pinned(&req, shard).unwrap();
+            }
+        }
+        // Hysteresis: equal costs are left alone.
+        assert_eq!(d.rebalance_now(), 0);
+        assert_eq!(d.migrations(), 0);
+        let report = d.shutdown(false);
+        assert!(report.totals.conserved(), "{:?}", report.totals);
+    }
+
+    #[test]
+    fn wait_idle_returns_promptly_after_the_last_retirement() {
+        // Deadline pacing, 1 ms slots, 40-slot lifetimes: retirement
+        // lands ~40 ms in. The condvar wait must pick it up without
+        // burning the rest of the (generous) timeout.
+        let cfg = DaemonConfig {
+            pacing: SlotPacing::Deadline(Duration::from_millis(1)),
+            ..small_config(1, 64)
+        };
+        let mut d = Daemon::start(cfg);
+        for _ in 0..4 {
+            d.admit(&cbr_request(4, 40)).unwrap();
+        }
+        let started = Instant::now();
+        assert!(d.wait_idle(Duration::from_secs(60)));
+        let waited = started.elapsed();
+        assert!(
+            waited < Duration::from_secs(10),
+            "wait_idle took {waited:?} for a ~40 ms workload"
+        );
+        let report = d.shutdown(true);
+        assert_eq!(report.retired_sessions, 4);
     }
 }

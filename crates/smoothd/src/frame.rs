@@ -46,12 +46,14 @@ const K_EVICT: u8 = 0x05;
 const K_STATS: u8 = 0x06;
 const K_GOODBYE: u8 = 0x07;
 const K_STATS_DETAIL: u8 = 0x08;
+const K_ADMIT_BATCH: u8 = 0x09;
 const K_WELCOME: u8 = 0x81;
 const K_ADMITTED: u8 = 0x82;
 const K_REJECTED: u8 = 0x83;
 const K_STATS_REPLY: u8 = 0x84;
 const K_BYE: u8 = 0x85;
 const K_STATS_DETAIL_REPLY: u8 = 0x86;
+const K_ADMITTED_BATCH: u8 = 0x87;
 
 /// Drop policy selector on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,7 +161,7 @@ impl HistSummary {
     }
 }
 
-/// Per-shard row of a [`Frame::StatsDetailReply`] (92 bytes on the
+/// Per-shard row of a [`Frame::StatsDetailReply`] (100 bytes on the
 /// wire).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct ShardRow {
@@ -177,6 +179,8 @@ pub struct ShardRow {
     pub deadline_misses: u64,
     /// Slots whose work alone exceeded the period.
     pub slot_overruns: u64,
+    /// Rebalancer cost-over-mean gauge (milli-units; 1000 = mean).
+    pub imbalance_milli: u64,
     /// `process_slot` latency digest (ns).
     pub latency: HistSummary,
 }
@@ -192,6 +196,13 @@ pub struct ShardRow {
 pub struct StatsDetail {
     /// Sessions fully retired and harvested.
     pub retired: u64,
+    /// Sessions migrated between shards by the rebalancer.
+    pub migrations: u64,
+    /// Donor shard of the most recent migration, or `u32::MAX` if no
+    /// migration has happened yet.
+    pub last_migration_from: u32,
+    /// Receiver shard of the most recent migration, or `u32::MAX`.
+    pub last_migration_to: u32,
     /// Per-reason reject counts, [`RejectReason::ALL`] order.
     pub rejects: [u64; 6],
     /// Deadline lateness digest (ns), merged across shards.
@@ -205,8 +216,8 @@ pub struct StatsDetail {
 }
 
 /// Most shard rows one [`Frame::StatsDetailReply`] can carry without
-/// exceeding [`MAX_FRAME`]: `1 + 258 + 92·n ≤ 4096 ⇒ n ≤ 41`.
-pub const MAX_STATS_SHARDS: usize = 41;
+/// exceeding [`MAX_FRAME`]: `1 + 274 + 100·n ≤ 4096 ⇒ n ≤ 38`.
+pub const MAX_STATS_SHARDS: usize = 38;
 
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -218,6 +229,15 @@ pub enum Frame {
     },
     /// Admit a new session.
     Admit(AdmitRequest),
+    /// Admit `count` identical sessions in one round trip (the batched
+    /// admission fast path; answered by [`Frame::AdmittedBatch`] or
+    /// [`Frame::Rejected`]).
+    AdmitBatch {
+        /// Number of sessions to admit (must be nonzero).
+        count: u32,
+        /// Parameters shared by every session in the batch.
+        req: AdmitRequest,
+    },
     /// Feed slices to an externally-sourced session.
     Data {
         /// Daemon-assigned session id.
@@ -252,6 +272,16 @@ pub enum Frame {
         session: u64,
         /// Shard the session landed on.
         shard: u32,
+    },
+    /// Batch admission succeeded: ids are `first_session ..
+    /// first_session + count` (contiguous), spread across shards by
+    /// measured cost.
+    AdmittedBatch {
+        /// First assigned session id.
+        first_session: u64,
+        /// Number of sessions admitted (may be less than requested
+        /// when capacity ran out mid-batch).
+        count: u32,
     },
     /// Admission (or another per-session request) was refused.
     Rejected {
@@ -401,6 +431,46 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn read_admit_request(r: &mut Reader<'_>) -> Result<AdmitRequest, FrameError> {
+    let rate = r.u32()? as Bytes;
+    let delay = r.u32()? as Time;
+    let link_delay = r.u32()? as Time;
+    let buffer = r.u32()? as Bytes;
+    let weight = r.u32()? as Weight;
+    let policy_code = r.u8()?;
+    let policy = WirePolicy::from_code(policy_code).ok_or(FrameError::BadPolicy(policy_code))?;
+    let per_slot = r.u32()?;
+    let slice_size = r.u32()?;
+    let lifetime = r.u64()?;
+    Ok(AdmitRequest {
+        rate,
+        delay,
+        link_delay,
+        buffer,
+        weight,
+        policy,
+        per_slot,
+        slice_size,
+        lifetime,
+    })
+}
+
+fn write_admit_request(body: &mut Vec<u8>, req: &AdmitRequest) {
+    body.extend_from_slice(&u32::try_from(req.rate).expect("rate fits u32").to_le_bytes());
+    body.extend_from_slice(&u32::try_from(req.delay).expect("delay fits u32").to_le_bytes());
+    body.extend_from_slice(
+        &u32::try_from(req.link_delay)
+            .expect("link delay fits u32")
+            .to_le_bytes(),
+    );
+    body.extend_from_slice(&u32::try_from(req.buffer).expect("buffer fits u32").to_le_bytes());
+    body.extend_from_slice(&u32::try_from(req.weight).expect("weight fits u32").to_le_bytes());
+    body.push(req.policy.code());
+    body.extend_from_slice(&req.per_slot.to_le_bytes());
+    body.extend_from_slice(&req.slice_size.to_le_bytes());
+    body.extend_from_slice(&req.lifetime.to_le_bytes());
+}
+
 fn read_hist_summary(r: &mut Reader<'_>) -> Result<HistSummary, FrameError> {
     Ok(HistSummary {
         count: r.u64()?,
@@ -464,29 +534,11 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
             }
             Frame::Hello { version }
         }
-        K_ADMIT => {
-            let rate = r.u32()? as Bytes;
-            let delay = r.u32()? as Time;
-            let link_delay = r.u32()? as Time;
-            let buffer = r.u32()? as Bytes;
-            let weight = r.u32()? as Weight;
-            let policy_code = r.u8()?;
-            let policy =
-                WirePolicy::from_code(policy_code).ok_or(FrameError::BadPolicy(policy_code))?;
-            let per_slot = r.u32()?;
-            let slice_size = r.u32()?;
-            let lifetime = r.u64()?;
-            Frame::Admit(AdmitRequest {
-                rate,
-                delay,
-                link_delay,
-                buffer,
-                weight,
-                policy,
-                per_slot,
-                slice_size,
-                lifetime,
-            })
+        K_ADMIT => Frame::Admit(read_admit_request(&mut r)?),
+        K_ADMIT_BATCH => {
+            let count = r.u32()?;
+            let req = read_admit_request(&mut r)?;
+            Frame::AdmitBatch { count, req }
         }
         K_DATA => {
             let session = r.u64()?;
@@ -512,6 +564,10 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
             session: r.u64()?,
             shard: r.u32()?,
         },
+        K_ADMITTED_BATCH => Frame::AdmittedBatch {
+            first_session: r.u64()?,
+            count: r.u32()?,
+        },
         K_REJECTED => {
             let session = r.u64()?;
             let code = r.u8()?;
@@ -528,6 +584,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         }),
         K_STATS_DETAIL_REPLY => {
             let retired = r.u64()?;
+            let migrations = r.u64()?;
+            let last_migration_from = r.u32()?;
+            let last_migration_to = r.u32()?;
             let mut rejects = [0u64; 6];
             for slot in &mut rejects {
                 *slot = r.u64()?;
@@ -548,11 +607,15 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
                     sent_bytes: r.u64()?,
                     deadline_misses: r.u64()?,
                     slot_overruns: r.u64()?,
+                    imbalance_milli: r.u64()?,
                     latency: read_hist_summary(&mut r)?,
                 });
             }
             Frame::StatsDetailReply(Box::new(StatsDetail {
                 retired,
+                migrations,
+                last_migration_from,
+                last_migration_to,
                 rejects,
                 lateness,
                 stages,
@@ -583,25 +646,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::Admit(req) => {
             body.push(K_ADMIT);
-            body.extend_from_slice(&u32::try_from(req.rate).expect("rate fits u32").to_le_bytes());
-            body.extend_from_slice(
-                &u32::try_from(req.delay).expect("delay fits u32").to_le_bytes(),
-            );
-            body.extend_from_slice(
-                &u32::try_from(req.link_delay)
-                    .expect("link delay fits u32")
-                    .to_le_bytes(),
-            );
-            body.extend_from_slice(
-                &u32::try_from(req.buffer).expect("buffer fits u32").to_le_bytes(),
-            );
-            body.extend_from_slice(
-                &u32::try_from(req.weight).expect("weight fits u32").to_le_bytes(),
-            );
-            body.push(req.policy.code());
-            body.extend_from_slice(&req.per_slot.to_le_bytes());
-            body.extend_from_slice(&req.slice_size.to_le_bytes());
-            body.extend_from_slice(&req.lifetime.to_le_bytes());
+            write_admit_request(&mut body, req);
+        }
+        Frame::AdmitBatch { count, req } => {
+            body.push(K_ADMIT_BATCH);
+            body.extend_from_slice(&count.to_le_bytes());
+            write_admit_request(&mut body, req);
         }
         Frame::Data { session, slices } => {
             body.push(K_DATA);
@@ -638,6 +688,14 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             body.extend_from_slice(&session.to_le_bytes());
             body.extend_from_slice(&shard.to_le_bytes());
         }
+        Frame::AdmittedBatch {
+            first_session,
+            count,
+        } => {
+            body.push(K_ADMITTED_BATCH);
+            body.extend_from_slice(&first_session.to_le_bytes());
+            body.extend_from_slice(&count.to_le_bytes());
+        }
         Frame::Rejected { session, reason } => {
             body.push(K_REJECTED);
             body.extend_from_slice(&session.to_le_bytes());
@@ -653,6 +711,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::StatsDetailReply(d) => {
             body.push(K_STATS_DETAIL_REPLY);
             body.extend_from_slice(&d.retired.to_le_bytes());
+            body.extend_from_slice(&d.migrations.to_le_bytes());
+            body.extend_from_slice(&d.last_migration_from.to_le_bytes());
+            body.extend_from_slice(&d.last_migration_to.to_le_bytes());
             for n in &d.rejects {
                 body.extend_from_slice(&n.to_le_bytes());
             }
@@ -675,6 +736,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 body.extend_from_slice(&row.sent_bytes.to_le_bytes());
                 body.extend_from_slice(&row.deadline_misses.to_le_bytes());
                 body.extend_from_slice(&row.slot_overruns.to_le_bytes());
+                body.extend_from_slice(&row.imbalance_milli.to_le_bytes());
                 write_hist_summary(&mut body, &row.latency);
             }
         }
@@ -748,6 +810,20 @@ mod tests {
                 slice_size: 2,
                 lifetime: 100,
             }),
+            Frame::AdmitBatch {
+                count: 5000,
+                req: AdmitRequest {
+                    rate: 4,
+                    delay: 8,
+                    link_delay: 0,
+                    buffer: 0,
+                    weight: 1,
+                    policy: WirePolicy::Tail,
+                    per_slot: 4,
+                    slice_size: 4,
+                    lifetime: 0,
+                },
+            },
             Frame::Data {
                 session: u64::MAX,
                 slices: vec![(3, 1), (1, 7)],
@@ -762,6 +838,10 @@ mod tests {
             Frame::Admitted {
                 session: 42,
                 shard: 3,
+            },
+            Frame::AdmittedBatch {
+                first_session: 42,
+                count: 4999,
             },
             Frame::Rejected {
                 session: 0,
@@ -789,6 +869,9 @@ mod tests {
         };
         StatsDetail {
             retired: 11,
+            migrations: 12,
+            last_migration_from: 0,
+            last_migration_to: 1,
             rejects: [0, 1, 2, 3, 4, 5],
             lateness: digest(2),
             stages: [digest(3), digest(4), digest(5), digest(6)],
@@ -801,6 +884,7 @@ mod tests {
                     sent_bytes: 1 << 30,
                     deadline_misses: 7,
                     slot_overruns: 2,
+                    imbalance_milli: 1710,
                     latency: digest(7),
                 },
                 ShardRow {
@@ -880,11 +964,12 @@ mod tests {
 
     #[test]
     fn stats_detail_reply_sizes_and_cap() {
-        // Empty-shard reply: 1 kind + 8 retired + 48 rejects + 5·40
-        // digests + 2 row count = 259 body bytes.
+        // Empty-shard reply: 1 kind + 8 retired + 8 migrations + 2·4
+        // last-migration shards + 48 rejects + 5·40 digests + 2 row
+        // count = 275 body bytes.
         let empty = Frame::StatsDetailReply(Box::default());
-        assert_eq!(encode_frame(&empty).len() - 4, 259);
-        // Each row adds 92 bytes; MAX_STATS_SHARDS rows still fit.
+        assert_eq!(encode_frame(&empty).len() - 4, 275);
+        // Each row adds 100 bytes; MAX_STATS_SHARDS rows still fit.
         let mut full = sample_stats_detail();
         full.shards = (0..MAX_STATS_SHARDS as u32)
             .map(|shard| ShardRow {
@@ -894,7 +979,7 @@ mod tests {
             .collect();
         let wire = encode_frame(&Frame::StatsDetailReply(Box::new(full.clone())));
         assert!(wire.len() - 4 <= MAX_FRAME, "{}", wire.len());
-        assert_eq!(wire.len() - 4, 259 + 92 * MAX_STATS_SHARDS);
+        assert_eq!(wire.len() - 4, 275 + 100 * MAX_STATS_SHARDS);
         let (back, _) = decode_frame(&wire).unwrap();
         assert_eq!(back, Frame::StatsDetailReply(Box::new(full)));
     }

@@ -1,12 +1,21 @@
 //! Network ingest: TCP (and Unix-socket) listeners speaking the frame
 //! protocol.
 //!
-//! Each accepted connection gets its own thread running the same
-//! generic handler: reassemble frames with [`FrameReader`], dispatch
-//! against the shared [`Daemon`] control handle, and reply with typed
-//! frames. The daemon's own queues provide backpressure — a full
-//! shard queue surfaces as a [`Frame::Rejected`] with
-//! `RejectReason::Backpressure` rather than blocking the socket.
+//! Connections are multiplexed over a **fixed pool** of readiness-loop
+//! threads instead of one thread per socket: the accept loop makes
+//! each accepted stream nonblocking and deals it round-robin to a pool
+//! worker, and every worker sweeps its own connection set — read until
+//! `WouldBlock`, dispatch complete frames against the shared
+//! [`Daemon`] control handle, buffer replies, flush as the socket
+//! allows. An idle worker backs off exponentially (100 µs to 5 ms)
+//! so thousands of quiet sockets cost a handful of threads and no
+//! spinning. The pool is std-only — no epoll wrapper, no external
+//! event library.
+//!
+//! The daemon's own queues provide backpressure — a full shard queue
+//! surfaces as a [`Frame::Rejected`] with `RejectReason::Backpressure`
+//! rather than blocking the socket. The Hello-first handshake is
+//! enforced per connection exactly as before.
 //!
 //! Sessions admitted over a connection are drained when it closes
 //! (graceful default: bytes already in flight still play out).
@@ -14,22 +23,53 @@
 //! oversized frames — answer with a `Protocol` rejection and close;
 //! the decoder is total, so hostile bytes can never panic the daemon.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rts_obs::RejectReason;
+use rts_telemetry::Registry;
 
 use crate::daemon::Daemon;
 use crate::frame::{encode_frame, Frame, FrameReader, PROTOCOL_VERSION};
 use crate::session::SessionId;
 
-/// How long a connection thread blocks in `read` before re-checking
-/// the shutdown flag.
-const READ_TICK: Duration = Duration::from_millis(50);
+/// Default readiness-loop thread count for the ingest pool.
+pub const DEFAULT_INGEST_THREADS: usize = 2;
+
+/// Idle-sweep backoff bounds: a worker that made no progress sleeps
+/// `BACKOFF_MIN`, doubling up to `BACKOFF_MAX` until bytes move again.
+const BACKOFF_MIN: Duration = Duration::from_micros(100);
+const BACKOFF_MAX: Duration = Duration::from_millis(5);
+
+/// Stop reading a connection once this many reply bytes are queued;
+/// the flush has to catch up first (per-connection memory bound).
+const OUTBUF_HIGH_WATER: usize = 64 * 1024;
+
+/// Ingest pool tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Readiness-loop threads sharing all connections (min 1).
+    pub threads: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            threads: DEFAULT_INGEST_THREADS,
+        }
+    }
+}
+
+/// Any nonblocking byte stream the pool can drive (TCP or Unix).
+trait Transport: Read + Write + Send {}
+impl<T: Read + Write + Send> Transport for T {}
+
+type BoxStream = Box<dyn Transport>;
 
 /// A running listener; dropping it does **not** stop the threads —
 /// call [`IngestServer::stop`].
@@ -37,6 +77,7 @@ pub struct IngestServer {
     shutdown: Arc<AtomicBool>,
     accept_join: JoinHandle<()>,
     local_addr: Option<SocketAddr>,
+    pool_threads: usize,
 }
 
 impl IngestServer {
@@ -46,133 +87,281 @@ impl IngestServer {
         self.local_addr
     }
 
+    /// Number of readiness-loop threads serving all connections.
+    pub fn pool_threads(&self) -> usize {
+        self.pool_threads
+    }
+
     /// Signals every thread to finish and joins the accept loop (which
-    /// in turn joins its connection threads).
+    /// in turn joins the pool workers).
     pub fn stop(self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = self.accept_join.join();
     }
 }
 
-/// Serves the frame protocol on a TCP listener. `addr` is a
-/// `host:port` pair; port 0 picks a free port (see
+/// Serves the frame protocol on a TCP listener with the default pool.
+/// `addr` is a `host:port` pair; port 0 picks a free port (see
 /// [`IngestServer::local_addr`]).
 pub fn serve_tcp(daemon: Arc<Mutex<Daemon>>, addr: &str) -> std::io::Result<IngestServer> {
+    serve_tcp_with(daemon, addr, IngestConfig::default())
+}
+
+/// [`serve_tcp`] with explicit pool tuning.
+pub fn serve_tcp_with(
+    daemon: Arc<Mutex<Daemon>>,
+    addr: &str,
+    cfg: IngestConfig,
+) -> std::io::Result<IngestServer> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = cfg.threads.max(1);
+    // Spawn the pool before returning so the server's thread footprint
+    // is complete the moment the bind succeeds — connection load never
+    // adds a thread.
+    let pool = spawn_pool(&daemon, &shutdown, threads);
     let accept_join = {
         let shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
             .name("smoothd-accept".into())
-            .spawn(move || accept_loop(listener, daemon, shutdown))
+            .spawn(move || accept_loop(listener, pool, shutdown))
             .expect("spawn accept loop")
     };
     Ok(IngestServer {
         shutdown,
         accept_join,
         local_addr: Some(local_addr),
+        pool_threads: threads,
     })
 }
 
-fn accept_loop(listener: TcpListener, daemon: Arc<Mutex<Daemon>>, shutdown: Arc<AtomicBool>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(listener: TcpListener, pool: Pool, shutdown: Arc<AtomicBool>) {
+    let mut next = 0usize;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if prepare(&stream).is_err() {
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
                     continue;
                 }
-                let daemon = Arc::clone(&daemon);
-                let shutdown = Arc::clone(&shutdown);
-                if let Ok(join) = std::thread::Builder::new()
-                    .name("smoothd-conn".into())
-                    .spawn(move || handle_conn(stream, &daemon, &shutdown))
-                {
-                    conns.push(join);
-                }
+                let _ = pool.feeds[next % pool.feeds.len()].send(Box::new(stream));
+                next += 1;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
             }
             Err(_) => break,
         }
-        // Reap finished connection threads so the vec stays small.
-        conns.retain(|j| !j.is_finished());
     }
-    for join in conns {
+    drop(pool.feeds);
+    for join in pool.joins {
         let _ = join.join();
     }
 }
 
-fn prepare(stream: &TcpStream) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_nodelay(true)
+struct Pool {
+    feeds: Vec<Sender<BoxStream>>,
+    joins: Vec<JoinHandle<()>>,
 }
 
-/// Serves one connection: any blocking `Read + Write` stream whose
-/// reads time out periodically (so shutdown is honored).
-fn handle_conn<S: Read + Write>(mut stream: S, daemon: &Mutex<Daemon>, shutdown: &AtomicBool) {
-    let mut reader = FrameReader::new();
-    let mut buf = [0u8; 4096];
-    let mut greeted = false;
-    let mut my_sessions: Vec<SessionId> = Vec::new();
-    // One registry handle per connection: frame-decode timing goes
+fn spawn_pool(daemon: &Arc<Mutex<Daemon>>, shutdown: &Arc<AtomicBool>, threads: usize) -> Pool {
+    // One registry handle per worker: frame-decode timing goes
     // straight to the atomics, without touching the daemon mutex.
-    let telemetry = daemon
-        .lock()
-        .expect("daemon mutex poisoned")
-        .registry();
-    'conn: loop {
-        if shutdown.load(Ordering::SeqCst) {
-            let _ = stream.write_all(&encode_frame(&Frame::Bye));
-            break;
+    let registry = daemon.lock().expect("daemon mutex poisoned").registry();
+    let mut feeds = Vec::with_capacity(threads);
+    let mut joins = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let (tx, rx) = mpsc::channel::<BoxStream>();
+        let daemon = Arc::clone(daemon);
+        let shutdown = Arc::clone(shutdown);
+        let registry = Arc::clone(&registry);
+        let join = std::thread::Builder::new()
+            .name(format!("smoothd-ingest-{i}"))
+            .spawn(move || pool_worker(rx, daemon, shutdown, registry))
+            .expect("spawn ingest pool worker");
+        feeds.push(tx);
+        joins.push(join);
+    }
+    Pool { feeds, joins }
+}
+
+/// Per-connection state a pool worker sweeps over.
+struct Conn {
+    stream: BoxStream,
+    reader: FrameReader,
+    /// Replies queued behind a socket that would block.
+    outbuf: Vec<u8>,
+    greeted: bool,
+    /// Set when the connection is winding down: no more reads, drop
+    /// once `outbuf` is flushed.
+    closing: bool,
+    my_sessions: Vec<SessionId>,
+}
+
+impl Conn {
+    fn new(stream: BoxStream) -> Conn {
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            outbuf: Vec::new(),
+            greeted: false,
+            closing: false,
+            my_sessions: Vec::new(),
         }
-        let n = match stream.read(&mut buf) {
-            Ok(0) => break, // EOF
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
+    }
+}
+
+fn pool_worker(
+    rx: Receiver<BoxStream>,
+    daemon: Arc<Mutex<Daemon>>,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = [0u8; 4096];
+    let mut backoff = BACKOFF_MIN;
+    while !shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+        // Empty and Disconnected both stop draining; Disconnected
+        // (accept loop gone) still serves what we have until shutdown.
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Conn::new(stream));
+            progress = true;
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            if sweep_conn(&mut conns[i], &daemon, &registry, &mut buf, &mut progress) {
+                i += 1;
+            } else {
+                let conn = conns.swap_remove(i);
+                release_sessions(&conn, &daemon);
+                progress = true;
             }
-            Err(_) => break,
-        };
-        reader.extend(&buf[..n]);
+        }
+        if progress {
+            backoff = BACKOFF_MIN;
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(BACKOFF_MAX);
+        }
+    }
+    // Shutdown: best-effort Bye, then graceful drain of everything
+    // the surviving connections admitted.
+    for conn in &mut conns {
+        conn.outbuf.extend_from_slice(&encode_frame(&Frame::Bye));
+        let _ = flush(conn);
+    }
+    for conn in &conns {
+        release_sessions(conn, &daemon);
+    }
+}
+
+/// One readiness sweep over a single connection; false means drop it.
+fn sweep_conn(
+    conn: &mut Conn,
+    daemon: &Mutex<Daemon>,
+    registry: &Registry,
+    buf: &mut [u8],
+    progress: &mut bool,
+) -> bool {
+    if !conn.closing {
         loop {
-            let decode_started = std::time::Instant::now();
-            let frame = match reader.next_frame() {
-                Ok(Some(frame)) => {
-                    telemetry
-                        .ingest_decode
-                        .record(decode_started.elapsed().as_nanos() as u64);
-                    frame
+            if conn.outbuf.len() >= OUTBUF_HIGH_WATER {
+                break; // flush before reading more
+            }
+            match conn.stream.read(buf) {
+                Ok(0) => {
+                    conn.closing = true; // EOF
+                    break;
                 }
-                Ok(None) => break,
-                Err(_) => {
-                    // Typed protocol violation: reject and hang up.
-                    let _ = stream.write_all(&encode_frame(&Frame::Rejected {
-                        session: 0,
-                        reason: RejectReason::Protocol,
-                    }));
-                    break 'conn;
+                Ok(n) => {
+                    *progress = true;
+                    conn.reader.extend(&buf[..n]);
+                    if !pump_frames(conn, daemon, registry) {
+                        conn.closing = true;
+                        break;
+                    }
                 }
-            };
-            match dispatch(frame, &mut stream, daemon, &mut greeted, &mut my_sessions) {
-                Flow::Continue => {}
-                Flow::Close => break 'conn,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
             }
         }
     }
-    // Graceful teardown: whatever this connection admitted drains out.
-    if !my_sessions.is_empty() {
-        let mut d = daemon.lock().expect("daemon mutex poisoned");
-        for id in my_sessions {
-            let _ = d.drain(id);
+    match flush(conn) {
+        Ok(written) => {
+            if written > 0 {
+                *progress = true;
+            }
         }
+        Err(()) => return false,
+    }
+    !(conn.closing && conn.outbuf.is_empty())
+}
+
+/// Decodes and dispatches every complete frame buffered on `conn`;
+/// false means the connection must close (protocol violation or a
+/// dispatch that ends the conversation). Replies land in
+/// `conn.outbuf`.
+fn pump_frames(conn: &mut Conn, daemon: &Mutex<Daemon>, registry: &Registry) -> bool {
+    loop {
+        let decode_started = std::time::Instant::now();
+        let frame = match conn.reader.next_frame() {
+            Ok(Some(frame)) => {
+                registry
+                    .ingest_decode
+                    .record(decode_started.elapsed().as_nanos() as u64);
+                frame
+            }
+            Ok(None) => return true,
+            Err(_) => {
+                // Typed protocol violation: reject and hang up.
+                conn.outbuf.extend_from_slice(&encode_frame(&Frame::Rejected {
+                    session: 0,
+                    reason: RejectReason::Protocol,
+                }));
+                return false;
+            }
+        };
+        match dispatch(
+            frame,
+            &mut conn.outbuf,
+            daemon,
+            &mut conn.greeted,
+            &mut conn.my_sessions,
+        ) {
+            Flow::Continue => {}
+            Flow::Close => return false,
+        }
+    }
+}
+
+/// Writes as much queued reply data as the socket accepts right now;
+/// `Err` means the peer is gone.
+fn flush(conn: &mut Conn) -> Result<usize, ()> {
+    let mut written = 0;
+    while written < conn.outbuf.len() {
+        match conn.stream.write(&conn.outbuf[written..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.outbuf.drain(..written);
+    Ok(written)
+}
+
+/// Graceful teardown: whatever this connection admitted drains out.
+fn release_sessions(conn: &Conn, daemon: &Mutex<Daemon>) {
+    if conn.my_sessions.is_empty() {
+        return;
+    }
+    let mut d = daemon.lock().expect("daemon mutex poisoned");
+    for &id in &conn.my_sessions {
+        let _ = d.drain(id);
     }
 }
 
@@ -181,33 +370,30 @@ enum Flow {
     Close,
 }
 
-fn dispatch<S: Write>(
+fn dispatch(
     frame: Frame,
-    stream: &mut S,
+    out: &mut Vec<u8>,
     daemon: &Mutex<Daemon>,
     greeted: &mut bool,
     my_sessions: &mut Vec<SessionId>,
 ) -> Flow {
-    let reply = |stream: &mut S, frame: &Frame| stream.write_all(&encode_frame(frame)).is_ok();
+    let reply = |out: &mut Vec<u8>, frame: &Frame| out.extend_from_slice(&encode_frame(frame));
     if !*greeted {
         return match frame {
             Frame::Hello { version } if version == PROTOCOL_VERSION => {
                 *greeted = true;
-                if reply(
-                    stream,
+                reply(
+                    out,
                     &Frame::Welcome {
                         version: PROTOCOL_VERSION,
                     },
-                ) {
-                    Flow::Continue
-                } else {
-                    Flow::Close
-                }
+                );
+                Flow::Continue
             }
             _ => {
                 // Wrong version or anything before Hello.
-                let _ = reply(
-                    stream,
+                reply(
+                    out,
                     &Frame::Rejected {
                         session: 0,
                         reason: RejectReason::Protocol,
@@ -219,8 +405,8 @@ fn dispatch<S: Write>(
     }
     match frame {
         Frame::Hello { .. } => {
-            let _ = reply(
-                stream,
+            reply(
+                out,
                 &Frame::Rejected {
                     session: 0,
                     reason: RejectReason::Protocol,
@@ -233,18 +419,44 @@ fn dispatch<S: Write>(
                 .lock()
                 .expect("daemon mutex poisoned")
                 .try_admit(&req);
-            let ok = match outcome {
+            match outcome {
                 Ok((session, shard)) => {
                     my_sessions.push(session);
-                    reply(stream, &Frame::Admitted { session, shard })
+                    reply(out, &Frame::Admitted { session, shard });
                 }
-                Err(reason) => reply(stream, &Frame::Rejected { session: 0, reason }),
-            };
-            if ok {
-                Flow::Continue
-            } else {
-                Flow::Close
+                Err(reason) => reply(out, &Frame::Rejected { session: 0, reason }),
             }
+            Flow::Continue
+        }
+        Frame::AdmitBatch { count, req } => {
+            if count == 0 {
+                reply(
+                    out,
+                    &Frame::Rejected {
+                        session: 0,
+                        reason: RejectReason::Protocol,
+                    },
+                );
+                return Flow::Close;
+            }
+            let outcome = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .admit_batch(&req, count as u64);
+            match outcome {
+                Ok(batch) => {
+                    my_sessions.extend(batch.first..batch.first + batch.admitted);
+                    reply(
+                        out,
+                        &Frame::AdmittedBatch {
+                            first_session: batch.first,
+                            count: batch.admitted as u32,
+                        },
+                    );
+                }
+                Err(reason) => reply(out, &Frame::Rejected { session: 0, reason }),
+            }
+            Flow::Continue
         }
         Frame::Data { session, slices } => {
             // Data is not acked on success; errors come back typed.
@@ -252,16 +464,10 @@ fn dispatch<S: Write>(
                 .lock()
                 .expect("daemon mutex poisoned")
                 .inject(session, slices);
-            match outcome {
-                Ok(()) => Flow::Continue,
-                Err(reason) => {
-                    if reply(stream, &Frame::Rejected { session, reason }) {
-                        Flow::Continue
-                    } else {
-                        Flow::Close
-                    }
-                }
+            if let Err(reason) = outcome {
+                reply(out, &Frame::Rejected { session, reason });
             }
+            Flow::Continue
         }
         Frame::Drain { session } => {
             let outcome = daemon
@@ -269,7 +475,7 @@ fn dispatch<S: Write>(
                 .expect("daemon mutex poisoned")
                 .drain(session);
             if let Err(reason) = outcome {
-                let _ = reply(stream, &Frame::Rejected { session, reason });
+                reply(out, &Frame::Rejected { session, reason });
             } else {
                 my_sessions.retain(|&s| s != session);
             }
@@ -281,7 +487,7 @@ fn dispatch<S: Write>(
                 .expect("daemon mutex poisoned")
                 .evict(session);
             if let Err(reason) = outcome {
-                let _ = reply(stream, &Frame::Rejected { session, reason });
+                reply(out, &Frame::Rejected { session, reason });
             } else {
                 my_sessions.retain(|&s| s != session);
             }
@@ -293,11 +499,8 @@ fn dispatch<S: Write>(
                 d.poll();
                 d.stats()
             };
-            if reply(stream, &Frame::StatsReply(snapshot)) {
-                Flow::Continue
-            } else {
-                Flow::Close
-            }
+            reply(out, &Frame::StatsReply(snapshot));
+            Flow::Continue
         }
         Frame::StatsDetail => {
             let detail = {
@@ -305,26 +508,24 @@ fn dispatch<S: Write>(
                 d.poll();
                 d.stats_detail()
             };
-            if reply(stream, &Frame::StatsDetailReply(Box::new(detail))) {
-                Flow::Continue
-            } else {
-                Flow::Close
-            }
+            reply(out, &Frame::StatsDetailReply(Box::new(detail)));
+            Flow::Continue
         }
         Frame::Goodbye => {
-            let _ = reply(stream, &Frame::Bye);
+            reply(out, &Frame::Bye);
             Flow::Close
         }
         // Server-to-client frames arriving at the server are protocol
         // violations.
         Frame::Welcome { .. }
         | Frame::Admitted { .. }
+        | Frame::AdmittedBatch { .. }
         | Frame::Rejected { .. }
         | Frame::StatsReply(_)
         | Frame::StatsDetailReply(_)
         | Frame::Bye => {
-            let _ = reply(
-                stream,
+            reply(
+                out,
                 &Frame::Rejected {
                     session: 0,
                     reason: RejectReason::Protocol,
@@ -335,11 +536,21 @@ fn dispatch<S: Write>(
     }
 }
 
-/// Unix-domain-socket listener (same protocol as TCP).
+/// Unix-domain-socket listener (same protocol and pool as TCP).
 #[cfg(unix)]
 pub fn serve_uds(
     daemon: Arc<Mutex<Daemon>>,
     path: &std::path::Path,
+) -> std::io::Result<IngestServer> {
+    serve_uds_with(daemon, path, IngestConfig::default())
+}
+
+/// [`serve_uds`] with explicit pool tuning.
+#[cfg(unix)]
+pub fn serve_uds_with(
+    daemon: Arc<Mutex<Daemon>>,
+    path: &std::path::Path,
+    cfg: IngestConfig,
 ) -> std::io::Result<IngestServer> {
     use std::os::unix::net::UnixListener;
     // A stale socket file from a previous run would fail the bind.
@@ -347,39 +558,32 @@ pub fn serve_uds(
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = cfg.threads.max(1);
+    let pool = spawn_pool(&daemon, &shutdown, threads);
     let accept_join = {
         let shutdown = Arc::clone(&shutdown);
         let path = path.to_path_buf();
         std::thread::Builder::new()
             .name("smoothd-accept-uds".into())
             .spawn(move || {
-                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                let mut next = 0usize;
                 while !shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            let ok = stream
-                                .set_nonblocking(false)
-                                .and_then(|()| stream.set_read_timeout(Some(READ_TICK)));
-                            if ok.is_err() {
+                            if stream.set_nonblocking(true).is_err() {
                                 continue;
                             }
-                            let daemon = Arc::clone(&daemon);
-                            let shutdown = Arc::clone(&shutdown);
-                            if let Ok(join) = std::thread::Builder::new()
-                                .name("smoothd-conn-uds".into())
-                                .spawn(move || handle_conn(stream, &daemon, &shutdown))
-                            {
-                                conns.push(join);
-                            }
+                            let _ = pool.feeds[next % pool.feeds.len()].send(Box::new(stream));
+                            next += 1;
                         }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
                         }
                         Err(_) => break,
                     }
-                    conns.retain(|j| !j.is_finished());
                 }
-                for join in conns {
+                drop(pool.feeds);
+                for join in pool.joins {
                     let _ = join.join();
                 }
                 let _ = std::fs::remove_file(&path);
@@ -390,5 +594,6 @@ pub fn serve_uds(
         shutdown,
         accept_join,
         local_addr: None,
+        pool_threads: threads,
     })
 }

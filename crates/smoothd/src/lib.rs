@@ -39,7 +39,9 @@ mod replay;
 mod session;
 mod shard;
 
-pub use daemon::{Daemon, DaemonConfig, DaemonReport, ShardReport};
+pub use daemon::{
+    BatchAdmission, Daemon, DaemonConfig, DaemonReport, RebalanceConfig, ShardReport,
+};
 pub use frame::{
     decode_frame, encode_frame, AdmitRequest, Frame, FrameError, FrameReader, HistSummary,
     ShardRow, StatsDetail, StatsSnapshot, WirePolicy, MAGIC, MAX_FRAME, MAX_STATS_SHARDS,
@@ -47,8 +49,8 @@ pub use frame::{
 };
 pub use rts_telemetry::SlotPacing;
 #[cfg(unix)]
-pub use ingest::serve_uds;
-pub use ingest::{serve_tcp, IngestServer};
+pub use ingest::{serve_uds, serve_uds_with};
+pub use ingest::{serve_tcp, serve_tcp_with, IngestConfig, IngestServer, DEFAULT_INGEST_THREADS};
 pub use replay::{replay_sessions, ReplaySession};
 pub use session::{
     ArrivalSource, LiveSession, PlayoutRing, QueuedSlice, RetireCause, SessionCounters, SessionId,

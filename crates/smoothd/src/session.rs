@@ -530,6 +530,12 @@ impl LiveSession {
         self.source.stop();
     }
 
+    /// True once a drain has been requested. Migration skips draining
+    /// sessions when it can: they are about to retire where they are.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
     /// Why this session can retire now, if it can.
     pub fn retire_cause(&self) -> Option<RetireCause> {
         if self.source.done()

@@ -330,6 +330,61 @@ impl Shard {
         s
     }
 
+    /// Removes a session for migration to another shard, releasing its
+    /// admission reservation here. Unlike [`Shard::evict`] this charges
+    /// nothing: the session leaves with its ring, ledger, and local
+    /// clock intact, so byte conservation is the importer's to keep.
+    pub fn export(&mut self, session: SessionId) -> Result<LiveSession, RejectReason> {
+        let idx = *self
+            .index
+            .get(&session)
+            .ok_or(RejectReason::UnknownSession)?;
+        let s = self.remove_at(idx);
+        self.admission.release(s.params());
+        Ok(s)
+    }
+
+    /// Exports some resident session, preferring one that is not
+    /// already draining (a draining session retires soon anyway, so
+    /// moving it buys nothing). Returns `None` on an empty shard.
+    pub fn export_any(&mut self) -> Option<LiveSession> {
+        let id = self
+            .sessions
+            .iter()
+            .rev()
+            .find(|s| !s.is_draining())
+            .or(self.sessions.last())?
+            .id();
+        self.export(id).ok()
+    }
+
+    /// Accepts a migrated session, re-reserving its rate with this
+    /// shard's admission controller. On a capacity conflict the
+    /// session is handed back untouched so the caller can return it
+    /// whence it came.
+    // The large Err IS the recovery path: the refused session travels
+    // back to the donor by value, so boxing would just add a hop.
+    #[allow(clippy::result_large_err)]
+    pub fn import(&mut self, session: LiveSession) -> Result<(), LiveSession> {
+        if self.admission.admit(session.params()).is_err() {
+            return Err(session);
+        }
+        let id = session.id();
+        debug_assert!(!self.index.contains_key(&id), "session ids are unique");
+        self.index.insert(id, self.sessions.len());
+        self.sessions.push(session);
+        self.stats.peak_sessions = self.stats.peak_sessions.max(self.sessions.len());
+        Ok(())
+    }
+
+    /// Folds an already-retired ledger into this shard's totals. Only
+    /// the migration fallback path uses this: a session that could not
+    /// land anywhere is evicted in place, and its counters must still
+    /// appear in exactly one shard's ledger.
+    pub fn absorb_retired(&mut self, counters: &SessionCounters) {
+        self.retired_counters.add(counters);
+    }
+
     /// Advances every session by one slot: arrivals, max-min fair
     /// grants over the shard link, transmit/deliver/play, then the
     /// retirement sweep. Allocation-free while the session set is

@@ -51,6 +51,9 @@ pub fn render_exposition(snap: &RegistrySnapshot) -> String {
     out.push_str("# TYPE smoothd_sent_bytes_total counter\n");
     out.push_str("# TYPE smoothd_deadline_miss_total counter\n");
     out.push_str("# TYPE smoothd_slot_overrun_total counter\n");
+    out.push_str("# TYPE smoothd_migrations_in_total counter\n");
+    out.push_str("# TYPE smoothd_migrations_out_total counter\n");
+    out.push_str("# TYPE smoothd_imbalance_milli gauge\n");
     out.push_str("# TYPE smoothd_slot_latency_ns summary\n");
     for s in &snap.shards {
         let labels = format!("shard=\"{}\"", s.shard);
@@ -60,6 +63,9 @@ pub fn render_exposition(snap: &RegistrySnapshot) -> String {
         counter(&mut out, "smoothd_sent_bytes_total", &labels, s.sent_bytes);
         counter(&mut out, "smoothd_deadline_miss_total", &labels, s.deadline_misses);
         counter(&mut out, "smoothd_slot_overrun_total", &labels, s.slot_overruns);
+        counter(&mut out, "smoothd_migrations_in_total", &labels, s.migrations_in);
+        counter(&mut out, "smoothd_migrations_out_total", &labels, s.migrations_out);
+        counter(&mut out, "smoothd_imbalance_milli", &labels, s.imbalance_milli);
         summary(&mut out, "smoothd_slot_latency_ns", &labels, &s.latency);
     }
     out.push_str("# TYPE smoothd_stage_ns summary\n");
@@ -80,6 +86,8 @@ pub fn render_exposition(snap: &RegistrySnapshot) -> String {
     }
     out.push_str("# TYPE smoothd_retired_total counter\n");
     counter(&mut out, "smoothd_retired_total", "", snap.retired);
+    out.push_str("# TYPE smoothd_migrations_total counter\n");
+    counter(&mut out, "smoothd_migrations_total", "", snap.migrations);
     out
 }
 
@@ -154,6 +162,10 @@ mod tests {
         reg.ingest_decode.record(30);
         reg.record_reject(RejectReason::Backpressure);
         reg.retired.add(9);
+        reg.migrations.add(3);
+        s0.migrations_out.add(3);
+        reg.shard(1).migrations_in.add(3);
+        s0.imbalance_milli.set(1400);
         reg.snapshot()
     }
 
@@ -179,6 +191,19 @@ mod tests {
             Some(1.0)
         );
         assert_eq!(series_value(&parsed, "smoothd_retired_total"), Some(9.0));
+        assert_eq!(series_value(&parsed, "smoothd_migrations_total"), Some(3.0));
+        assert_eq!(
+            series_value(&parsed, "smoothd_migrations_out_total{shard=\"0\"}"),
+            Some(3.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_migrations_in_total{shard=\"1\"}"),
+            Some(3.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_imbalance_milli{shard=\"0\"}"),
+            Some(1400.0)
+        );
         assert_eq!(
             series_value(&parsed, "smoothd_slot_latency_ns_count{shard=\"0\"}"),
             Some(4.0)

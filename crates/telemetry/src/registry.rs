@@ -24,6 +24,13 @@ pub struct ShardTelemetry {
     pub deadline_misses: AtomicCounter,
     /// Slots whose work alone exceeded the configured period.
     pub slot_overruns: AtomicCounter,
+    /// Sessions this shard received from other shards (rebalancing).
+    pub migrations_in: AtomicCounter,
+    /// Sessions this shard handed to other shards (rebalancing).
+    pub migrations_out: AtomicCounter,
+    /// Rebalancer cost-over-mean gauge in milli-units (1000 = exactly
+    /// the fleet mean); written by the control plane each evaluation.
+    pub imbalance_milli: AtomicCounter,
     /// Nanoseconds past the deadline, per missed slot.
     pub lateness: AtomicHistogram,
     /// Nanoseconds spent applying queued commands, per busy drain.
@@ -46,6 +53,8 @@ pub struct Registry {
     pub ingest_decode: AtomicHistogram,
     /// Sessions fully retired and harvested.
     pub retired: AtomicCounter,
+    /// Sessions migrated between shards by the rebalancer.
+    pub migrations: AtomicCounter,
     rejects: [AtomicCounter; RejectReason::ALL.len()],
 }
 
@@ -56,6 +65,7 @@ impl Registry {
             shards: (0..shards).map(|_| Arc::new(ShardTelemetry::default())).collect(),
             ingest_decode: AtomicHistogram::new(),
             retired: AtomicCounter::new(),
+            migrations: AtomicCounter::new(),
             rejects: Default::default(),
         }
     }
@@ -101,6 +111,9 @@ impl Registry {
                 sent_bytes: s.sent_bytes.get(),
                 deadline_misses: s.deadline_misses.get(),
                 slot_overruns: s.slot_overruns.get(),
+                migrations_in: s.migrations_in.get(),
+                migrations_out: s.migrations_out.get(),
+                imbalance_milli: s.imbalance_milli.get(),
                 latency: s.process.snapshot(),
                 lateness: s.lateness.snapshot(),
             })
@@ -124,6 +137,7 @@ impl Registry {
             lateness,
             rejects: self.rejects(),
             retired: self.retired.get(),
+            migrations: self.migrations.get(),
         }
     }
 }
@@ -154,6 +168,12 @@ pub struct ShardSnapshot {
     pub deadline_misses: u64,
     /// Slots whose work alone exceeded the period.
     pub slot_overruns: u64,
+    /// Sessions migrated into this shard.
+    pub migrations_in: u64,
+    /// Sessions migrated out of this shard.
+    pub migrations_out: u64,
+    /// Rebalancer cost-over-mean gauge (milli-units).
+    pub imbalance_milli: u64,
     /// `process_slot` latency distribution (ns).
     pub latency: LogHistogram,
     /// Lateness past missed deadlines (ns).
@@ -179,6 +199,8 @@ pub struct RegistrySnapshot {
     pub rejects: [u64; RejectReason::ALL.len()],
     /// Sessions fully retired and harvested.
     pub retired: u64,
+    /// Sessions migrated between shards by the rebalancer.
+    pub migrations: u64,
 }
 
 impl RegistrySnapshot {

@@ -212,6 +212,11 @@ fn smoothd_churn_conserves_bytes_and_capacity() {
     check("smoothd-churn-conservation");
 }
 
+#[test]
+fn smoothd_migration_is_invisible_to_the_ledger() {
+    check("smoothd-migrate-conservation");
+}
+
 // ------------------------------------------------------------------
 // The telemetry plane: histogram merge algebra and atomic snapshots.
 // ------------------------------------------------------------------

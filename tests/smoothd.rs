@@ -420,3 +420,123 @@ fn frame_codec_agrees_with_itself_over_a_split_stream() {
     let err = decode_frame(&bytes[..bytes.len() - 1]).unwrap_err();
     assert!(err.is_incomplete());
 }
+
+/// Drives one skewed TCP run: every data-bearing session is herded
+/// onto a single shard, fed a fixed byte budget, then drained after
+/// the rebalancer has (or has not) had its chance. Returns the exit
+/// report plus the migration count the wire reported.
+fn skewed_tcp_run(rebalance: bool) -> (rts_smoothd::DaemonReport, u64) {
+    const FED: usize = 10;
+    const SLICES: u64 = 3;
+    const RATE: u64 = 4;
+    let mut cfg = DaemonConfig {
+        shards: 2,
+        shard_link_rate: 1 << 10,
+        queue_capacity: 256,
+        record_events: false,
+        ..DaemonConfig::default()
+    };
+    cfg.rebalance.enabled = rebalance;
+    let daemon = Daemon::start(cfg);
+    let shared = Arc::new(Mutex::new(daemon));
+    let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").expect("bind loopback");
+    let mut client = Client::connect(server.local_addr().unwrap());
+    client.hello();
+
+    // Build the skew with the pinning hook (the cost router would
+    // spread wire admissions evenly, which is the point of it); the
+    // run itself — data, stats, drains — is all wire traffic.
+    let target = 0u32;
+    let fed: Vec<u64> = {
+        let mut d = shared.lock().expect("daemon mutex");
+        (0..FED)
+            .map(|_| d.admit_pinned(&external_request(RATE), target).expect("fits"))
+            .collect()
+    };
+    let admitted_total = FED as u64;
+
+    // A fixed byte budget per fed session, inside B = R*D.
+    for &session in &fed {
+        client.send(&Frame::Data {
+            session,
+            slices: vec![(RATE, 1); SLICES as usize],
+        });
+    }
+
+    // StatsDetail polls run the daemon's control-plane poll (and so
+    // the interval-gated rebalancer) server-side.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut migrations;
+    let mut polls = 0;
+    loop {
+        client.send(&Frame::StatsDetail);
+        let detail = match client.recv() {
+            Frame::StatsDetailReply(d) => d,
+            other => panic!("expected StatsDetailReply, got {other:?}"),
+        };
+        migrations = detail.migrations;
+        polls += 1;
+        if rebalance {
+            if migrations >= 1 {
+                // The skew must be read as such: donor is the loaded
+                // shard, receiver the idle one.
+                assert_eq!(detail.last_migration_from, target, "{detail:?}");
+                break;
+            }
+        } else if polls >= 8 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "rebalancer never migrated");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Drain everything; re-send drains each round because a drain can
+    // race an in-flight export (the command lands on a shard that no
+    // longer owns the session and is dropped, by design).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        for &session in &fed {
+            client.send(&Frame::Drain { session });
+        }
+        client.send(&Frame::Stats);
+        let retired = loop {
+            match client.recv() {
+                // Drains of already-retired sessions reject typed.
+                Frame::Rejected { reason, .. } => {
+                    assert_eq!(reason, RejectReason::UnknownSession)
+                }
+                Frame::StatsReply(s) => break s.retired,
+                other => panic!("expected StatsReply, got {other:?}"),
+            }
+        };
+        if retired == admitted_total {
+            break;
+        }
+        assert!(Instant::now() < deadline, "sessions never retired");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    client.send(&Frame::Goodbye);
+    assert!(matches!(client.recv(), Frame::Bye));
+    server.stop();
+    let daemon = Arc::try_unwrap(shared)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+    let report = daemon.shutdown(true);
+    assert!(report.totals.conserved(), "ledger: {:?}", report.totals);
+    assert_eq!(report.totals.offered_bytes, FED as u64 * SLICES * RATE);
+    assert_eq!(report.totals.played_bytes, report.totals.offered_bytes);
+    (report, migrations)
+}
+
+#[test]
+fn rebalancing_a_skewed_tcp_run_leaves_the_ledger_identical() {
+    let (balanced, migrations) = skewed_tcp_run(true);
+    assert!(migrations >= 1, "skewed run never migrated");
+    let (unbalanced, none) = skewed_tcp_run(false);
+    assert_eq!(none, 0, "rebalance off must not migrate");
+    // Migration is invisible to the byte ledger: both runs end with
+    // exactly the same totals.
+    assert_eq!(balanced.totals, unbalanced.totals);
+    assert_eq!(balanced.retired_sessions, unbalanced.retired_sessions);
+}

@@ -97,6 +97,7 @@ fn stats_frame_and_exposition_report_identical_counters() {
         queue_capacity: 256,
         pacing: SlotPacing::Deadline(Duration::from_millis(1)),
         record_events: false,
+        rebalance: Default::default(),
     };
     let mut daemon = Daemon::start(cfg);
     let registry = daemon.registry();
