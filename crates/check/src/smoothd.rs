@@ -8,6 +8,8 @@
 //! | `smoothd-stats-fuzz` | corrupted/truncated stats replies decode to typed errors or canonical frames, never a panic |
 //! | `smoothd-churn-conservation` | session churn under `B = R·D` admission never loses or duplicates bytes, never oversubscribes the link, never overcommits the bookable rate |
 //! | `smoothd-migrate-conservation` | a session set split across two shards with live `export`/`import` migration between them is slot-for-slot identical to the same set on one double-capacity shard: byte ledgers, FIFO playout, and every retirement match exactly, including the receiver-full fault path |
+//! | `smoothd-snapshot-roundtrip` | a snapshot of a live shard decodes back byte-identically, and a shard restored from it retires every session with exactly the original's causes and ledgers |
+//! | `smoothd-snapshot-fuzz` | `read_snapshot` is total: bit-flipped or truncated snapshot bytes yield a typed `SnapshotError` (or a canonical decode), never a panic |
 //!
 //! The churn check drives a real [`Shard`] — the exact state machine
 //! the daemon's worker threads run — through randomized
@@ -16,8 +18,8 @@
 //! production, minus the threads.
 
 use rts_smoothd::{
-    decode_frame, encode_frame, AdmitRequest, Frame, HistSummary, Shard, ShardRow, StatsDetail,
-    StatsSnapshot, WirePolicy, MAX_STATS_SHARDS,
+    decode_frame, encode_frame, read_snapshot, AdmitRequest, Frame, HistSummary, Shard, ShardRow,
+    SnapshotWriter, StatsDetail, StatsSnapshot, WirePolicy, MAX_SNAPSHOT_CHUNK, MAX_STATS_SHARDS,
 };
 use rts_stream::rng::SplitMix64;
 
@@ -52,6 +54,9 @@ fn gen_stats_detail(rng: &mut SplitMix64) -> StatsDetail {
         last_migration_from: rng.next_u64() as u32,
         last_migration_to: rng.next_u64() as u32,
         rejects,
+        snapshot_bytes: rng.next_u64() >> 8,
+        snapshot_duration_ns: rng.next_u64() >> 8,
+        restored_sessions: rng.next_u64() >> 16,
         lateness: gen_hist_summary(rng),
         stages: [
             gen_hist_summary(rng),
@@ -90,7 +95,7 @@ fn gen_stats_frame(rng: &mut SplitMix64) -> Frame {
 }
 
 fn gen_frame(rng: &mut SplitMix64) -> Frame {
-    match rng.range_u64(0, 16) {
+    match rng.range_u64(0, 19) {
         0 => Frame::Hello {
             version: rng.range_u64(0, u64::from(u16::MAX) + 1) as u16,
         },
@@ -162,6 +167,18 @@ fn gen_frame(rng: &mut SplitMix64) -> Frame {
         14 => Frame::AdmittedBatch {
             first_session: rng.next_u64(),
             count: rng.next_u64() as u32,
+        },
+        15 => Frame::Snapshot,
+        16 => {
+            // Up to (and including) the largest chunk a frame can carry.
+            let n = rng.range_u64(0, MAX_SNAPSHOT_CHUNK as u64) as usize;
+            Frame::SnapshotChunk {
+                data: (0..n).map(|_| rng.next_u64() as u8).collect(),
+            }
+        }
+        17 => Frame::SnapshotAck {
+            sessions: rng.next_u64(),
+            bytes: rng.next_u64(),
         },
         _ => Frame::Bye,
     }
@@ -860,6 +877,271 @@ fn migrate_conservation(cfg: &CheckConfig) -> CheckResult {
     )
 }
 
+// -------------------------------------------------------------- snapshots
+
+/// A snapshot case: a shard population (CBR and externally-fed
+/// sessions) plus a warm-up so the checkpoint catches sessions
+/// mid-stream — buffered slices, in-flight chunks, partially
+/// transmitted heads.
+#[derive(Debug, Clone)]
+enum SnapSession {
+    Cbr { rate: u64, delay: u64, lifetime: u64 },
+    Feed { sizes: Vec<u64> },
+}
+
+#[derive(Debug, Clone)]
+struct SnapCase {
+    link_rate: u64,
+    sessions: Vec<SnapSession>,
+    warmup: u64,
+}
+
+fn gen_snap(rng: &mut SplitMix64) -> SnapCase {
+    let link_rate = rng.range_u64(8, 65);
+    let n = rng.range_u64(1, 9);
+    let sessions = (0..n)
+        .map(|_| {
+            if rng.range_u64(0, 3) == 0 {
+                SnapSession::Feed {
+                    sizes: (1..=rng.range_u64(1, 7))
+                        .map(|_| rng.range_u64(1, 13))
+                        .collect(),
+                }
+            } else {
+                SnapSession::Cbr {
+                    rate: rng.range_u64(1, 9),
+                    delay: rng.range_u64(1, 9),
+                    lifetime: rng.range_u64(0, 17), // 0 = unbounded
+                }
+            }
+        })
+        .collect();
+    SnapCase {
+        link_rate,
+        sessions,
+        warmup: rng.range_u64(0, 13),
+    }
+}
+
+fn shrink_snap(case: &SnapCase) -> Vec<SnapCase> {
+    let mut out: Vec<SnapCase> = shrink_vec(&case.sessions, |_| Vec::new())
+        .into_iter()
+        .map(|sessions| SnapCase {
+            link_rate: case.link_rate,
+            sessions,
+            warmup: case.warmup,
+        })
+        .collect();
+    for w in shrink_u64(case.warmup, 0) {
+        out.push(SnapCase {
+            link_rate: case.link_rate,
+            sessions: case.sessions.clone(),
+            warmup: w,
+        });
+    }
+    out
+}
+
+fn describe_snap(case: &SnapCase) -> String {
+    let mut s = format!("link_rate {} warmup {}\n", case.link_rate, case.warmup);
+    for sess in &case.sessions {
+        s.push_str(&format!("  {sess:?}\n"));
+    }
+    s
+}
+
+/// Builds the case's shard population and runs the warm-up, returning
+/// the shard with pre-snapshot retirements already harvested away.
+fn build_snap_shard(case: &SnapCase) -> Shard {
+    let mut shard = Shard::new(0, case.link_rate, (1, 1));
+    let base = AdmitRequest {
+        rate: 1,
+        delay: 2,
+        link_delay: 1,
+        buffer: 0,
+        weight: 1,
+        policy: WirePolicy::Tail,
+        per_slot: 0,
+        slice_size: 0,
+        lifetime: 0,
+    };
+    for (i, sess) in case.sessions.iter().enumerate() {
+        let id = i as u64 + 1;
+        match sess {
+            SnapSession::Cbr {
+                rate,
+                delay,
+                lifetime,
+            } => {
+                let req = AdmitRequest {
+                    rate: *rate,
+                    delay: *delay,
+                    per_slot: *rate as u32,
+                    slice_size: 1,
+                    lifetime: *lifetime,
+                    ..base
+                };
+                let _ = shard.admit(id, &req); // refusal is fine
+            }
+            SnapSession::Feed { sizes } => {
+                let req = AdmitRequest {
+                    rate: sizes.iter().copied().max().unwrap_or(1),
+                    ..base
+                };
+                if shard.admit(id, &req).is_ok() {
+                    let slices: Vec<(u64, u64)> = sizes.iter().map(|&s| (s, 1)).collect();
+                    let _ = shard.inject(id, &slices);
+                }
+            }
+        }
+    }
+    for _ in 0..case.warmup {
+        shard.process_slot();
+    }
+    let mut pre = Vec::new();
+    shard.take_retirements(&mut pre);
+    shard
+}
+
+/// Oracle: a snapshot of a live shard decodes back to the same state —
+/// the re-encoding is byte-identical — and a shard restored from it
+/// retires every session with exactly the ledger the original does.
+///
+/// The trajectory equivalence holds for the same reason the migration
+/// oracle's does: with `(1,1)` overbooking every booked session's
+/// demand is fully granted each slot, so a session's future depends
+/// only on its own serialized state, which the snapshot carries
+/// wholesale.
+fn run_snap_roundtrip(case: &SnapCase) -> Verdict {
+    let mut original = build_snap_shard(case);
+    let mut writer = SnapshotWriter::new();
+    for s in original.iter_sessions() {
+        writer.add(s);
+    }
+    let live = writer.sessions();
+    let bytes = writer.finish();
+    let decoded = match read_snapshot(&bytes) {
+        Ok(d) => d,
+        Err(e) => return Verdict::fail(format!("own snapshot rejected: {e}")),
+    };
+    if decoded.len() as u64 != live {
+        return Verdict::fail(format!(
+            "snapshot decoded {} sessions, expected {live}",
+            decoded.len()
+        ));
+    }
+    // Canonical form: decode then re-encode reproduces the bytes.
+    let mut rewriter = SnapshotWriter::new();
+    let mut restored = Shard::new(0, case.link_rate, (1, 1));
+    for s in decoded {
+        rewriter.add(&s);
+        if restored.import(s).is_err() {
+            return Verdict::fail("restore refused a session the snapshot booked");
+        }
+    }
+    if rewriter.finish() != bytes {
+        return Verdict::fail("decode/re-encode is not byte-identical");
+    }
+    // Run both shards to retirement and compare every ledger.
+    original.drain_all();
+    restored.drain_all();
+    for _ in 0..100_000 {
+        if original.sessions() == 0 && restored.sessions() == 0 {
+            break;
+        }
+        original.process_slot();
+        restored.process_slot();
+    }
+    if original.sessions() + restored.sessions() > 0 {
+        return Verdict::fail("drain did not terminate within 100k slots");
+    }
+    let mut orig_ret = Vec::new();
+    let mut rest_ret = Vec::new();
+    original.take_retirements(&mut orig_ret);
+    restored.take_retirements(&mut rest_ret);
+    if orig_ret.len() != rest_ret.len() {
+        return Verdict::fail(format!(
+            "retirement counts diverge: original {} vs restored {}",
+            orig_ret.len(),
+            rest_ret.len()
+        ));
+    }
+    for r in &rest_ret {
+        let Some(m) = orig_ret.iter().find(|m| m.session == r.session) else {
+            return Verdict::fail(format!("session {} retired only after restore", r.session));
+        };
+        if r.cause != m.cause || r.counters != m.counters {
+            return Verdict::fail(format!(
+                "session {} diverged across snapshot/restore:\n  restored {:?} {:?}\n  original {:?} {:?}",
+                r.session, r.cause, r.counters, m.cause, m.counters
+            ));
+        }
+        if !r.counters.conserved() {
+            return Verdict::fail(format!(
+                "session {} restored ledger does not conserve: {:?}",
+                r.session, r.counters
+            ));
+        }
+    }
+    Verdict::Pass
+}
+
+fn snapshot_roundtrip(cfg: &CheckConfig) -> CheckResult {
+    run_property(cfg, gen_snap, shrink_snap, describe_snap, run_snap_roundtrip)
+}
+
+/// A snapshot fuzz input: a real snapshot of a random population,
+/// corrupted and/or truncated (plus pure noise some of the time).
+fn gen_snapshot_fuzz_bytes(rng: &mut SplitMix64) -> Vec<u8> {
+    let mut bytes = if rng.range_u64(0, 4) == 0 {
+        let n = rng.range_u64(0, 96) as usize;
+        (0..n).map(|_| rng.next_u64() as u8).collect()
+    } else {
+        let case = gen_snap(rng);
+        let shard = build_snap_shard(&case);
+        let mut writer = SnapshotWriter::new();
+        for s in shard.iter_sessions() {
+            writer.add(s);
+        }
+        writer.finish()
+    };
+    mangle_bytes(rng, &mut bytes);
+    bytes
+}
+
+/// Invariant: [`read_snapshot`] is total. Corrupted or truncated
+/// snapshot bytes give a typed [`rts_smoothd::SnapshotError`] (whose
+/// `Display` must not panic either — it feeds CLI diagnostics), and
+/// anything accepted must be in canonical form: re-encoding the
+/// decoded sessions reproduces the input exactly.
+fn snapshot_fuzz_property(bytes: &[u8]) -> Verdict {
+    match read_snapshot(bytes) {
+        Ok(sessions) => {
+            let mut writer = SnapshotWriter::new();
+            for s in &sessions {
+                writer.add(s);
+            }
+            Verdict::ensure(writer.finish() == bytes, || {
+                format!("non-canonical acceptance of {} session(s)", sessions.len())
+            })
+        }
+        Err(e) => {
+            let _ = e.to_string();
+            Verdict::Pass
+        }
+    }
+}
+
+fn snapshot_fuzz(cfg: &CheckConfig) -> CheckResult {
+    run_property(
+        cfg,
+        gen_snapshot_fuzz_bytes,
+        |bytes| shrink_fuzz_bytes(bytes),
+        |bytes| format!("{bytes:?}"),
+        |bytes| snapshot_fuzz_property(bytes),
+    )
+}
+
 /// The smoothd checks, in catalog order.
 pub fn checks() -> Vec<Check> {
     vec![
@@ -898,6 +1180,18 @@ pub fn checks() -> Vec<Check> {
             binds: "live migration: byte ledgers and FIFO playout order stay exact across Export/Import under churn, including receiver-full fault recovery",
             kind: CheckKind::Oracle,
             run: migrate_conservation,
+        },
+        Check {
+            name: "smoothd-snapshot-roundtrip",
+            binds: "snapshot/restore: a checkpoint of a live shard re-encodes byte-identically and the restored shard retires every session with the exact original ledger",
+            kind: CheckKind::Oracle,
+            run: snapshot_roundtrip,
+        },
+        Check {
+            name: "smoothd-snapshot-fuzz",
+            binds: "snapshot format: bit-flipped/truncated snapshot bytes give typed errors or canonical decodes, never panic",
+            kind: CheckKind::Invariant,
+            run: snapshot_fuzz,
         },
     ]
 }

@@ -43,6 +43,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "check" => check_cmd(args),
         "serve" => crate::serve::serve_cmd(args),
         "top" => crate::top::top_cmd(args),
+        "snapshot" => crate::snapshot::snapshot_cmd(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown subcommand '{other}' (try 'smoothctl help')"

@@ -23,7 +23,11 @@
 //!   (the `smoothd` binary is a shortcut for this subcommand);
 //! * `top` — live terminal dashboard for a running daemon: polls
 //!   detailed stats frames over the ingest socket and renders
-//!   per-shard throughput, slot latency, and deadline-miss rates.
+//!   per-shard throughput, slot latency, and deadline-miss rates;
+//! * `snapshot` — checkpoint a running daemon's resident sessions to
+//!   a CRC-guarded snapshot file over the ingest socket; `serve
+//!   --restore FILE` loads it into a fresh daemon for rolling
+//!   restarts.
 //!
 //! Every command is a pure function from parsed arguments to an output
 //! string (errors are typed), so the whole surface is unit-tested; the
@@ -36,6 +40,7 @@ mod args;
 mod commands;
 mod error;
 mod serve;
+mod snapshot;
 mod top;
 
 pub use args::Args;
@@ -91,7 +96,8 @@ USAGE:
             [--shards W] [--shard-link-rate C] [--overbook NUM/DEN]
             [--queue Q] [--policy tail|head|greedy] [--slot-us U]
             [--listen tcp:HOST:PORT|uds:PATH] [--run-secs T]
-            [--replay TRACE.jsonl] [--evict-on-exit true]
+            [--replay TRACE.jsonl] [--restore SNAPSHOT]
+            [--evict-on-exit true]
             [--trace-out JSONL] [--metrics-addr HOST:PORT]
             (run the sharded smoothd daemon: K loopback CBR sessions
             (--lifetime 0 = unbounded), sessions replayed from a
@@ -101,6 +107,13 @@ USAGE:
             --metrics-addr serves Prometheus-style text exposition
             over plain TCP. The 'smoothd' binary is shorthand for
             this subcommand)
+  smoothctl snapshot --addr HOST:PORT --out FILE
+            (checkpoint a running daemon: every resident session is
+            serialized between slots into a CRC-guarded snapshot file,
+            verified end to end before it is persisted. Restart with
+            'smoothctl serve --restore FILE' (or 'smoothd --restore')
+            to load the same session set, byte-exact, into a fresh
+            daemon — a rolling restart without losing stream state)
   smoothctl top --addr HOST:PORT [--interval-ms MS] [--count N]
             [--plain true]
             (live dashboard for a running daemon: polls detailed stats

@@ -127,9 +127,13 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     if rate == 0 {
         return Err(CliError::usage("option --rate: must be positive"));
     }
-    if sessions == 0 && listen.is_none() && args.opt("replay").is_none() {
+    if sessions == 0
+        && listen.is_none()
+        && args.opt("replay").is_none()
+        && args.opt("restore").is_none()
+    {
         return Err(CliError::usage(
-            "nothing to serve: give --sessions, --replay, and/or --listen",
+            "nothing to serve: give --sessions, --replay, --restore, and/or --listen",
         ));
     }
 
@@ -169,6 +173,34 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
     let started = Instant::now();
     let mut daemon = Daemon::start(cfg.clone());
     let mut out = String::new();
+
+    // --restore loads a snapshot image into the fresh daemon before
+    // any new workload is admitted. All-or-nothing: a torn or corrupt
+    // file (or one that does not fit this daemon's capacity) refuses
+    // the whole start, so a rolling restart never half-loads.
+    let mut restored: u64 = 0;
+    if let Some(path) = args.opt("restore") {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                daemon.shutdown(false);
+                return Err(CliError::io(path, e));
+            }
+        };
+        match daemon.restore(&bytes) {
+            Ok(n) => {
+                restored = n;
+                let _ = writeln!(out, "restored:      {n} session(s) from {path}");
+            }
+            Err(e) => {
+                daemon.shutdown(false);
+                return Err(CliError::io(
+                    path,
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()),
+                ));
+            }
+        }
+    }
 
     // The exposition listener reads the registry directly, so it works
     // in every mode — loopback, replay, and socket ingest alike — and
@@ -223,7 +255,10 @@ pub(crate) fn serve_cmd(args: &Args) -> Result<String, CliError> {
         }
     }
 
-    let mut unbounded = sessions > 0 && lifetime == 0;
+    // Restored sessions keep whatever sources they were checkpointed
+    // with (often unbounded); never block the exit on their
+    // retirement — shutdown's drain settles them either way.
+    let mut unbounded = (sessions > 0 && lifetime == 0) || restored > 0;
     if let Some(path) = args.opt("replay") {
         let file = std::fs::File::open(path).map_err(|e| CliError::io(path, e))?;
         let replayed = replay_sessions(std::io::BufReader::new(file))

@@ -1,0 +1,169 @@
+//! `smoothctl snapshot`: checkpoint a running daemon to a file.
+//!
+//! Connects to a smoothd ingest socket, performs the Hello/Welcome
+//! handshake, sends [`Frame::Snapshot`], and reassembles the chunked
+//! reply — [`Frame::SnapshotChunk`] frames followed by a terminal
+//! [`Frame::SnapshotAck`] carrying the session and byte totals. The
+//! image is verified locally (full decode) before anything touches
+//! disk, then written to a temporary file and renamed into place, so
+//! the named path only ever holds a complete snapshot. A later
+//! `smoothctl serve --restore FILE` (or `smoothd --restore FILE`)
+//! loads it into a fresh daemon with byte-exact session state.
+
+use std::fmt::Write as _;
+
+use rts_smoothd::{read_snapshot, Frame};
+
+use crate::top::Conn;
+use crate::{Args, CliError};
+
+/// Executes `smoothctl snapshot`.
+pub(crate) fn snapshot_cmd(args: &Args) -> Result<String, CliError> {
+    let addr = args
+        .opt("addr")
+        .ok_or_else(|| CliError::usage("option --addr HOST:PORT is required (smoothd --listen)"))?;
+    let out_path = args
+        .opt("out")
+        .ok_or_else(|| CliError::usage("option --out FILE is required"))?;
+
+    let mut conn = Conn::open(addr)?;
+    conn.send(&Frame::Snapshot)?;
+    let mut bytes = Vec::new();
+    let (sessions, total) = loop {
+        match conn.recv()? {
+            Frame::SnapshotChunk { data } => bytes.extend_from_slice(&data),
+            Frame::SnapshotAck {
+                sessions,
+                bytes: total,
+            } => break (sessions, total),
+            other => {
+                return Err(
+                    conn.protocol_err(format!("expected SnapshotChunk or SnapshotAck, got {other:?}"))
+                )
+            }
+        }
+    };
+    conn.goodbye();
+    if bytes.len() as u64 != total {
+        return Err(conn.protocol_err(format!(
+            "snapshot stream incomplete: received {} of {total} bytes",
+            bytes.len()
+        )));
+    }
+    // Decode the whole image before persisting: a snapshot this
+    // command writes is one `--restore` will accept.
+    let decoded = read_snapshot(&bytes).map_err(|e| {
+        conn.protocol_err(format!("daemon sent an undecodable snapshot: {e}"))
+    })?;
+    debug_assert_eq!(decoded.len() as u64, sessions);
+
+    // Write-then-rename: the final path never holds a torn file even
+    // if this process dies mid-write.
+    let tmp = format!("{out_path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| CliError::io(&tmp, e))?;
+    std::fs::rename(&tmp, out_path).map_err(|e| CliError::io(out_path, e))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "snapshot:      {sessions} session(s), {} B -> {out_path}",
+        bytes.len()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rts_smoothd::{serve_tcp, AdmitRequest, Daemon, DaemonConfig, SlotPacing, WirePolicy};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    fn parse(argv: &[&str]) -> Args {
+        Args::parse(argv.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_a_live_socket_and_restores() {
+        let cfg = DaemonConfig {
+            shards: 2,
+            shard_link_rate: 64,
+            overbook: (1, 1),
+            queue_capacity: 64,
+            pacing: SlotPacing::Free,
+            record_events: false,
+            rebalance: Default::default(),
+        };
+        let mut daemon = Daemon::start(cfg.clone());
+        let req = AdmitRequest {
+            rate: 4,
+            delay: 3,
+            link_delay: 1,
+            buffer: 0,
+            weight: 1,
+            policy: WirePolicy::Tail,
+            per_slot: 4,
+            slice_size: 1,
+            lifetime: 0, // unbounded: resident across the checkpoint
+        };
+        for _ in 0..6 {
+            daemon.admit(&req).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        let shared = Arc::new(Mutex::new(daemon));
+        let server = serve_tcp(Arc::clone(&shared), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+
+        let dir = std::env::temp_dir().join(format!("snapctl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.snap");
+        let out = snapshot_cmd(&parse(&[
+            "snapshot",
+            "--addr",
+            &addr,
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("6 session(s)"), "{out}");
+        assert!(!dir.join("live.snap.tmp").exists(), "tmp file renamed away");
+
+        server.stop();
+        let daemon = Arc::try_unwrap(shared)
+            .map(|m| m.into_inner().unwrap())
+            .unwrap_or_else(|_| panic!("ingest threads still hold the daemon"));
+        daemon.shutdown(false);
+
+        // The written file restores into a fresh daemon.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut restored = Daemon::start(cfg);
+        assert_eq!(restored.restore(&bytes).unwrap(), 6);
+        let report = restored.shutdown(false);
+        assert_eq!(report.retired_sessions, 6);
+        assert!(report.totals.conserved(), "{:?}", report.totals);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_requires_addr_and_out() {
+        assert_eq!(parse_err(&["snapshot"]), 2);
+        assert_eq!(parse_err(&["snapshot", "--addr", "127.0.0.1:9"]), 2);
+    }
+
+    fn parse_err(argv: &[&str]) -> i32 {
+        snapshot_cmd(&parse(argv)).unwrap_err().exit_code()
+    }
+
+    #[test]
+    fn snapshot_against_a_dead_port_is_an_io_error() {
+        let e = snapshot_cmd(&parse(&[
+            "snapshot",
+            "--addr",
+            "127.0.0.1:1",
+            "--out",
+            "/tmp/unused.snap",
+        ]))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 1);
+    }
+}

@@ -52,15 +52,16 @@ pub(crate) fn top_cmd(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// A framed connection with the handshake already done.
-struct Conn {
+/// A framed connection with the handshake already done. Shared with
+/// `smoothctl snapshot`, which speaks the same protocol.
+pub(crate) struct Conn {
     stream: TcpStream,
     reader: FrameReader,
     addr: String,
 }
 
 impl Conn {
-    fn open(addr: &str) -> Result<Conn, CliError> {
+    pub(crate) fn open(addr: &str) -> Result<Conn, CliError> {
         let stream = TcpStream::connect(addr).map_err(|e| CliError::io(addr, e))?;
         stream
             .set_read_timeout(Some(Duration::from_secs(5)))
@@ -80,13 +81,13 @@ impl Conn {
         }
     }
 
-    fn send(&mut self, frame: &Frame) -> Result<(), CliError> {
+    pub(crate) fn send(&mut self, frame: &Frame) -> Result<(), CliError> {
         self.stream
             .write_all(&encode_frame(frame))
             .map_err(|e| CliError::io(&self.addr, e))
     }
 
-    fn recv(&mut self) -> Result<Frame, CliError> {
+    pub(crate) fn recv(&mut self) -> Result<Frame, CliError> {
         let mut buf = [0u8; 4096];
         loop {
             if let Some(frame) = self
@@ -112,12 +113,12 @@ impl Conn {
         }
     }
 
-    fn goodbye(&mut self) {
+    pub(crate) fn goodbye(&mut self) {
         let _ = self.send(&Frame::Goodbye);
         let _ = self.recv(); // Bye (best effort)
     }
 
-    fn protocol_err(&self, detail: String) -> CliError {
+    pub(crate) fn protocol_err(&self, detail: String) -> CliError {
         CliError::io(
             &self.addr,
             std::io::Error::new(std::io::ErrorKind::InvalidData, detail),
@@ -239,6 +240,13 @@ fn render_board(detail: &StatsDetail, prev: Option<&StatsDetail>, interval: Dura
         };
         let _ = writeln!(out, "rebalance: {} migration(s){last}", detail.migrations);
     }
+    if detail.snapshot_bytes > 0 || detail.restored_sessions > 0 {
+        let _ = writeln!(
+            out,
+            "snapshot: {} B written, restored {} session(s)",
+            detail.snapshot_bytes, detail.restored_sessions
+        );
+    }
     out
 }
 
@@ -312,6 +320,9 @@ mod tests {
     fn rates_appear_from_the_second_board() {
         let mk = |slots: u64, played: u64| StatsDetail {
             retired: 0,
+            snapshot_bytes: 0,
+            snapshot_duration_ns: 0,
+            restored_sessions: 0,
             migrations: 0,
             last_migration_from: u32::MAX,
             last_migration_to: u32::MAX,
@@ -357,6 +368,9 @@ mod tests {
         };
         let detail = StatsDetail {
             retired: 0,
+            snapshot_bytes: 0,
+            snapshot_duration_ns: 0,
+            restored_sessions: 0,
             migrations: 7,
             last_migration_from: 1,
             last_migration_to: 0,

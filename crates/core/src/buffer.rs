@@ -299,6 +299,28 @@ impl ServerBuffer {
         seq
     }
 
+    /// Admits a slice that already has `sent` of its bytes on the
+    /// wire — the restore path for checkpointed buffers. Only a FIFO
+    /// head can be mid-transmission, so `sent > 0` requires an empty
+    /// buffer; occupancy counts the unsent remainder, as
+    /// [`transmit_into`](Self::transmit_into) would have left it.
+    pub fn admit_in_progress(&mut self, slice: Slice, sent: Bytes) -> Seq {
+        debug_assert!(
+            sent == 0 || self.is_empty(),
+            "only the restored head may carry transmission progress"
+        );
+        debug_assert!(sent < slice.size, "a fully sent slice has left the buffer");
+        let seq = self.admit(slice);
+        if sent > 0 {
+            self.occupancy -= sent;
+            match &mut self.store {
+                Store::Ring(r) => r.entries.back_mut().expect("just admitted").buf.sent = sent,
+                Store::Map(m) => m.get_mut(&seq).expect("just admitted").sent = sent,
+            }
+        }
+        seq
+    }
+
     /// Looks up a stored slice.
     pub fn get(&self, seq: Seq) -> Option<&BufferedSlice> {
         match &self.store {

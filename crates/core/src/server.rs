@@ -253,6 +253,19 @@ impl<P: DropPolicy> Server<P> {
         }
     }
 
+    /// Re-admits one checkpointed slice during a restore, preserving
+    /// `sent` bytes of transmission progress. Call in FIFO order
+    /// starting from an empty buffer; only the first restored slice
+    /// (the old head) may carry progress. The policy index rebuilds
+    /// through the same [`DropPolicy::on_admit`] path as live
+    /// admission, and a restored head is protected from victim
+    /// selection exactly as a live mid-transmission head is.
+    pub fn restore_slice(&mut self, slice: Slice, sent: Bytes) {
+        debug_assert!(slice.size > 0, "streams validate slice sizes");
+        let seq = self.buffer.admit_in_progress(slice, sent);
+        self.policy.on_admit(seq, &slice);
+    }
+
     /// Phases 2–3 of a step: early drops, overflow resolution against a
     /// droppable threshold of `B + budget`, then transmission of up to
     /// `budget` bytes in FIFO order. Arrivals must already have been

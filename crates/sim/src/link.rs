@@ -75,6 +75,13 @@ impl Link {
     pub fn delay(&self) -> Time {
         self.delay
     }
+
+    /// The chunks currently in flight, in FIFO submission order. A
+    /// checkpoint walks this to serialize the pipe; restoring re-submits
+    /// the same chunks with their original times.
+    pub fn in_flight(&self) -> impl Iterator<Item = &SentChunk> {
+        self.in_flight.iter()
+    }
 }
 
 impl LinkModel for Link {

@@ -38,6 +38,7 @@ use crate::frame::{
 };
 use crate::session::{ArrivalSource, LiveSession, SessionCounters, SessionId};
 use crate::shard::{Retirement, Shard};
+use crate::snapshot::{read_snapshot, SnapshotError, SnapshotWriter};
 
 /// Skew-aware rebalancer policy. The control plane evaluates per-shard
 /// cost from the live telemetry registry — sessions weighted by the
@@ -153,6 +154,12 @@ enum Command {
     /// session-local clock intact.
     Import {
         session: Box<LiveSession>,
+    },
+    /// Serialize every resident session between slots and send the
+    /// filled writer back. The worker holds no session across slots,
+    /// so the per-shard checkpoint is slot-consistent by construction.
+    Snapshot {
+        reply: SyncSender<SnapshotWriter>,
     },
     Stop {
         drain: bool,
@@ -565,6 +572,15 @@ fn apply(shard: &mut Shard, cmd: Command, ctx: &mut WorkerCtx) {
                     shard.absorb_retired(&counters);
                 }
             }
+        }
+        Command::Snapshot { reply } => {
+            let mut w = SnapshotWriter::new();
+            for s in shard.iter_sessions() {
+                w.add(s);
+            }
+            // The control plane may have timed out and hung up; a
+            // dropped receiver just discards this shard's checkpoint.
+            let _ = reply.send(w);
         }
         Command::Stop { drain } => {
             if ctx.stop.is_none() {
@@ -1120,6 +1136,9 @@ impl Daemon {
         StatsDetail {
             retired: snap.retired,
             rejects: snap.rejects,
+            snapshot_bytes: snap.snapshot_bytes,
+            snapshot_duration_ns: snap.snapshot_duration_ns,
+            restored_sessions: snap.restored_sessions,
             migrations: snap.migrations,
             last_migration_from: last_from,
             last_migration_to: last_to,
@@ -1132,6 +1151,104 @@ impl Daemon {
             ],
             shards,
         }
+    }
+
+    /// Checkpoints every resident session into the on-disk snapshot
+    /// format without stopping the daemon: each worker serializes its
+    /// shard between slots and keeps running. Returns the session
+    /// count and the encoded bytes ([`crate::read_snapshot`] inverts
+    /// them). Shards checkpoint at independent slot boundaries, which
+    /// is sufficient: a session is a function of its own local clock
+    /// only, so the combined retire ledger after a restore is
+    /// byte-identical to an uninterrupted run.
+    pub fn snapshot(&mut self) -> (u64, Vec<u8>) {
+        let started = Instant::now();
+        let (reply, rx) = mpsc::sync_channel(self.handles.len());
+        let mut expected = 0usize;
+        for h in &self.handles {
+            // Blocking send: the checkpoint must land even when the
+            // queue is momentarily full. A hung-up worker (shutdown
+            // race) is skipped.
+            if h.tx
+                .send(Command::Snapshot {
+                    reply: reply.clone(),
+                })
+                .is_ok()
+            {
+                expected += 1;
+            }
+        }
+        drop(reply);
+        let mut merged = SnapshotWriter::new();
+        for _ in 0..expected {
+            match rx.recv() {
+                Ok(w) => merged.merge(w),
+                Err(_) => break,
+            }
+        }
+        let sessions = merged.sessions();
+        let bytes = merged.finish();
+        self.registry.snapshot_bytes.add(bytes.len() as u64);
+        self.registry
+            .snapshot_duration_ns
+            .add(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        (sessions, bytes)
+    }
+
+    /// Restores every session from `bytes` (a [`Daemon::snapshot`]
+    /// image) into this daemon, routing each through the measured-cost
+    /// placement and reserving its rate before the worker sees it.
+    /// All-or-nothing: a torn or corrupt snapshot, a duplicate or
+    /// already-resident session id, or a population this daemon cannot
+    /// book refuses the whole restore with a typed error and admits
+    /// nothing. Returns the number of sessions restored.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<u64, SnapshotError> {
+        let sessions = read_snapshot(bytes)?;
+        let mut seen = std::collections::HashSet::with_capacity(sessions.len());
+        for s in &sessions {
+            if !seen.insert(s.id()) || self.directory.contains_key(&s.id()) {
+                return Err(SnapshotError::Malformed("duplicate session id"));
+            }
+        }
+        // Plan the full placement against a local residual mirror
+        // before moving anything: widest residual first keeps the plan
+        // feasible whenever any assignment is.
+        let mut residual: Vec<Bytes> = self
+            .handles
+            .iter()
+            .map(|h| {
+                self.bookable_per_shard
+                    .saturating_sub(h.committed.load(Ordering::Relaxed))
+            })
+            .collect();
+        let mut placement = Vec::with_capacity(sessions.len());
+        for s in &sessions {
+            let Some((shard, _)) = residual
+                .iter()
+                .enumerate()
+                .filter(|&(_, r)| *r >= s.rate())
+                .max_by_key(|&(_, r)| *r)
+            else {
+                return Err(SnapshotError::Capacity { rate: s.rate() });
+            };
+            residual[shard] -= s.rate();
+            placement.push(shard as u32);
+        }
+        let count = sessions.len() as u64;
+        for (s, &shard) in sessions.into_iter().zip(&placement) {
+            let id = s.id();
+            let rate = s.rate();
+            let h = &self.handles[shard as usize];
+            h.committed.fetch_add(rate, Ordering::Relaxed);
+            h.tx.send(Command::Import {
+                session: Box::new(s),
+            })
+            .expect("shard worker hung up during restore");
+            self.directory.insert(id, shard);
+            self.next_id = self.next_id.max(id + 1);
+        }
+        self.registry.restored_sessions.add(count);
+        Ok(count)
     }
 
     /// One rebalance evaluation, regardless of the configured
@@ -1515,19 +1632,24 @@ mod tests {
     #[test]
     fn batched_admission_assigns_consecutive_ids_and_conserves() {
         // 2 shards x link 64, rate 4 => 16 bookable per shard, 32 total.
+        // Unbounded sessions (lifetime 0) so nothing retires — and frees
+        // capacity — between the three admission calls below.
         let mut d = Daemon::start(small_config(2, 64));
-        let req = cbr_request(4, 10);
+        let req = cbr_request(4, 0);
         let batch = d.admit_batch(&req, 24).unwrap();
         assert_eq!(batch.admitted, 24);
-        // Ids are consecutive from `first`: every one is addressable.
-        for id in batch.first..batch.first + batch.admitted {
-            assert!(d.drain(id).is_ok(), "id {id} not admitted");
-        }
         // A second oversized batch truncates at residual capacity...
         let rest = d.admit_batch(&req, 100).unwrap();
         assert_eq!(rest.admitted, 8);
         // ...and a third finds nothing left.
         assert_eq!(d.admit_batch(&req, 1), Err(RejectReason::Capacity));
+        // Ids are consecutive from `first`: every one is addressable.
+        for id in batch.first..batch.first + batch.admitted {
+            assert!(d.drain(id).is_ok(), "id {id} not admitted");
+        }
+        for id in rest.first..rest.first + rest.admitted {
+            assert!(d.drain(id).is_ok(), "id {id} not admitted");
+        }
         assert!(d.wait_idle(Duration::from_secs(30)));
         let report = d.shutdown(true);
         assert_eq!(report.retired_sessions, 32);
@@ -1592,6 +1714,60 @@ mod tests {
         assert_eq!(d.migrations(), 0);
         let report = d.shutdown(false);
         assert!(report.totals.conserved(), "{:?}", report.totals);
+    }
+
+    #[test]
+    fn snapshot_restore_moves_a_live_population_between_daemons() {
+        let mut d = Daemon::start(small_config(2, 64));
+        let mut ids = Vec::new();
+        for _ in 0..8 {
+            ids.push(d.admit(&cbr_request(4, 0)).unwrap().0); // unbounded
+        }
+        // Let the workers move bytes so the checkpoint is mid-flight.
+        std::thread::sleep(Duration::from_millis(10));
+        let (n, bytes) = d.snapshot();
+        assert_eq!(n, 8, "all resident sessions checkpointed");
+        // The source daemon keeps running; the checkpoint is passive.
+        assert_eq!(d.live_sessions(), 8);
+
+        let mut restored = Daemon::start(small_config(2, 64));
+        assert_eq!(restored.restore(&bytes).unwrap(), 8);
+        // Restoring the same ids twice must refuse before admitting.
+        assert_eq!(
+            restored.restore(&bytes),
+            Err(SnapshotError::Malformed("duplicate session id"))
+        );
+        // Every restored session is addressable at its original id.
+        for &id in &ids {
+            assert!(restored.drain(id).is_ok(), "id {id} lost in restore");
+        }
+        assert!(restored.wait_idle(Duration::from_secs(20)));
+        let report = restored.shutdown(true);
+        assert_eq!(report.retired_sessions, 8);
+        assert!(report.totals.conserved(), "{:?}", report.totals);
+        let src = d.shutdown(false);
+        assert!(src.totals.conserved());
+    }
+
+    #[test]
+    fn restore_refuses_an_oversized_population() {
+        let mut d = Daemon::start(small_config(1, 64));
+        for _ in 0..4 {
+            d.admit(&cbr_request(16, 0)).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let (n, bytes) = d.snapshot();
+        assert_eq!(n, 4);
+        d.shutdown(false);
+        // A daemon half the size cannot book the rate: nothing lands.
+        let mut small = Daemon::start(small_config(1, 32));
+        assert_eq!(
+            small.restore(&bytes),
+            Err(SnapshotError::Capacity { rate: 16 })
+        );
+        assert_eq!(small.live_sessions(), 0);
+        let report = small.shutdown(true);
+        assert_eq!(report.retired_sessions, 0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ const K_STATS: u8 = 0x06;
 const K_GOODBYE: u8 = 0x07;
 const K_STATS_DETAIL: u8 = 0x08;
 const K_ADMIT_BATCH: u8 = 0x09;
+const K_SNAPSHOT: u8 = 0x0a;
 const K_WELCOME: u8 = 0x81;
 const K_ADMITTED: u8 = 0x82;
 const K_REJECTED: u8 = 0x83;
@@ -54,6 +55,8 @@ const K_STATS_REPLY: u8 = 0x84;
 const K_BYE: u8 = 0x85;
 const K_STATS_DETAIL_REPLY: u8 = 0x86;
 const K_ADMITTED_BATCH: u8 = 0x87;
+const K_SNAPSHOT_CHUNK: u8 = 0x88;
+const K_SNAPSHOT_ACK: u8 = 0x89;
 
 /// Drop policy selector on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,6 +208,12 @@ pub struct StatsDetail {
     pub last_migration_to: u32,
     /// Per-reason reject counts, [`RejectReason::ALL`] order.
     pub rejects: [u64; 6],
+    /// Cumulative bytes written by snapshots since start.
+    pub snapshot_bytes: u64,
+    /// Cumulative wall time spent taking snapshots (ns).
+    pub snapshot_duration_ns: u64,
+    /// Sessions restored from a snapshot at startup.
+    pub restored_sessions: u64,
     /// Deadline lateness digest (ns), merged across shards.
     pub lateness: HistSummary,
     /// Stage timer digests: ingest-decode, admit, process, retire.
@@ -216,8 +225,12 @@ pub struct StatsDetail {
 }
 
 /// Most shard rows one [`Frame::StatsDetailReply`] can carry without
-/// exceeding [`MAX_FRAME`]: `1 + 274 + 100·n ≤ 4096 ⇒ n ≤ 38`.
-pub const MAX_STATS_SHARDS: usize = 38;
+/// exceeding [`MAX_FRAME`]: `1 + 298 + 100·n ≤ 4096 ⇒ n ≤ 37`.
+pub const MAX_STATS_SHARDS: usize = 37;
+
+/// Most payload bytes one [`Frame::SnapshotChunk`] can carry:
+/// `MAX_FRAME` minus the kind byte and the `u16` chunk length.
+pub const MAX_SNAPSHOT_CHUNK: usize = MAX_FRAME - 3;
 
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -259,6 +272,10 @@ pub enum Frame {
     Stats,
     /// Request a [`Frame::StatsDetailReply`].
     StatsDetail,
+    /// Ask the daemon to checkpoint every resident session. Answered
+    /// by a run of [`Frame::SnapshotChunk`]s carrying the snapshot
+    /// bytes, terminated by one [`Frame::SnapshotAck`].
+    Snapshot,
     /// Client is closing the connection.
     Goodbye,
     /// Server handshake answer.
@@ -294,6 +311,20 @@ pub enum Frame {
     StatsReply(StatsSnapshot),
     /// Detailed live telemetry (per-shard rows + stage digests).
     StatsDetailReply(Box<StatsDetail>),
+    /// One slab of snapshot bytes, at most [`MAX_SNAPSHOT_CHUNK`] per
+    /// frame; the snapshot file is the concatenation of every chunk's
+    /// `data` in arrival order.
+    SnapshotChunk {
+        /// Raw snapshot bytes carried by this chunk.
+        data: Vec<u8>,
+    },
+    /// Terminates a snapshot chunk run.
+    SnapshotAck {
+        /// Sessions captured in the snapshot.
+        sessions: u64,
+        /// Total snapshot size in bytes (sum of all chunk payloads).
+        bytes: u64,
+    },
     /// Server is closing the connection.
     Bye,
 }
@@ -317,6 +348,8 @@ pub enum FrameError {
         len: usize,
         /// The cap it exceeded.
         max: usize,
+        /// Kind byte of the offending frame.
+        kind: u8,
     },
     /// Unknown frame kind byte.
     UnknownKind(u8),
@@ -354,8 +387,8 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Incomplete { need } => write!(f, "incomplete frame: need {need} bytes"),
             FrameError::Empty => write!(f, "zero-length frame"),
-            FrameError::Oversized { len, max } => {
-                write!(f, "frame body of {len} bytes exceeds cap {max}")
+            FrameError::Oversized { len, max, kind } => {
+                write!(f, "frame kind {kind:#04x} body of {len} bytes exceeds cap {max}")
             }
             FrameError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
             FrameError::Truncated { kind } => {
@@ -514,9 +547,16 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         return Err(FrameError::Empty);
     }
     if len > MAX_FRAME {
+        // Name the offending kind in the error; its byte always
+        // directly follows the length prefix, so wait for it if the
+        // read stopped exactly on the boundary.
+        if buf.len() < 5 {
+            return Err(FrameError::Incomplete { need: 5 });
+        }
         return Err(FrameError::Oversized {
             len,
             max: MAX_FRAME,
+            kind: buf[4],
         });
     }
     let total = 4 + len;
@@ -558,6 +598,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
         K_EVICT => Frame::Evict { session: r.u64()? },
         K_STATS => Frame::Stats,
         K_STATS_DETAIL => Frame::StatsDetail,
+        K_SNAPSHOT => Frame::Snapshot,
         K_GOODBYE => Frame::Goodbye,
         K_WELCOME => Frame::Welcome { version: r.u16()? },
         K_ADMITTED => Frame::Admitted {
@@ -591,6 +632,9 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
             for slot in &mut rejects {
                 *slot = r.u64()?;
             }
+            let snapshot_bytes = r.u64()?;
+            let snapshot_duration_ns = r.u64()?;
+            let restored_sessions = r.u64()?;
             let lateness = read_hist_summary(&mut r)?;
             let mut stages = [HistSummary::default(); 4];
             for stage in &mut stages {
@@ -617,11 +661,24 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
                 last_migration_from,
                 last_migration_to,
                 rejects,
+                snapshot_bytes,
+                snapshot_duration_ns,
+                restored_sessions,
                 lateness,
                 stages,
                 shards,
             }))
         }
+        K_SNAPSHOT_CHUNK => {
+            let count = r.u16()? as usize;
+            Frame::SnapshotChunk {
+                data: r.take(count)?.to_vec(),
+            }
+        }
+        K_SNAPSHOT_ACK => Frame::SnapshotAck {
+            sessions: r.u64()?,
+            bytes: r.u64()?,
+        },
         K_BYE => Frame::Bye,
         other => return Err(FrameError::UnknownKind(other)),
     };
@@ -678,6 +735,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::Stats => body.push(K_STATS),
         Frame::StatsDetail => body.push(K_STATS_DETAIL),
+        Frame::Snapshot => body.push(K_SNAPSHOT),
         Frame::Goodbye => body.push(K_GOODBYE),
         Frame::Welcome { version } => {
             body.push(K_WELCOME);
@@ -717,6 +775,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             for n in &d.rejects {
                 body.extend_from_slice(&n.to_le_bytes());
             }
+            body.extend_from_slice(&d.snapshot_bytes.to_le_bytes());
+            body.extend_from_slice(&d.snapshot_duration_ns.to_le_bytes());
+            body.extend_from_slice(&d.restored_sessions.to_le_bytes());
             write_hist_summary(&mut body, &d.lateness);
             for stage in &d.stages {
                 write_hist_summary(&mut body, stage);
@@ -739,6 +800,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
                 body.extend_from_slice(&row.imbalance_milli.to_le_bytes());
                 write_hist_summary(&mut body, &row.latency);
             }
+        }
+        Frame::SnapshotChunk { data } => {
+            body.push(K_SNAPSHOT_CHUNK);
+            assert!(
+                data.len() <= MAX_SNAPSHOT_CHUNK,
+                "snapshot chunk exceeds MAX_SNAPSHOT_CHUNK"
+            );
+            let count = u16::try_from(data.len()).expect("chunk length fits u16");
+            body.extend_from_slice(&count.to_le_bytes());
+            body.extend_from_slice(data);
+        }
+        Frame::SnapshotAck { sessions, bytes } => {
+            body.push(K_SNAPSHOT_ACK);
+            body.extend_from_slice(&sessions.to_le_bytes());
+            body.extend_from_slice(&bytes.to_le_bytes());
         }
         Frame::Bye => body.push(K_BYE),
     }
@@ -855,6 +931,15 @@ mod tests {
             }),
             Frame::StatsDetail,
             Frame::StatsDetailReply(Box::new(sample_stats_detail())),
+            Frame::Snapshot,
+            Frame::SnapshotChunk {
+                data: vec![0xab; MAX_SNAPSHOT_CHUNK],
+            },
+            Frame::SnapshotChunk { data: Vec::new() },
+            Frame::SnapshotAck {
+                sessions: 128,
+                bytes: 1 << 20,
+            },
             Frame::Bye,
         ]
     }
@@ -873,6 +958,9 @@ mod tests {
             last_migration_from: 0,
             last_migration_to: 1,
             rejects: [0, 1, 2, 3, 4, 5],
+            snapshot_bytes: 1 << 22,
+            snapshot_duration_ns: 42_000,
+            restored_sessions: 77,
             lateness: digest(2),
             stages: [digest(3), digest(4), digest(5), digest(6)],
             shards: vec![
@@ -931,12 +1019,16 @@ mod tests {
     fn typed_rejections() {
         assert_eq!(decode_frame(&0u32.to_le_bytes()), Err(FrameError::Empty));
         let mut big = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        // The length alone is not enough to report Oversized: the
+        // error names the kind byte, so the decoder waits for it.
+        assert_eq!(decode_frame(&big), Err(FrameError::Incomplete { need: 5 }));
         big.push(K_STATS);
         assert_eq!(
             decode_frame(&big),
             Err(FrameError::Oversized {
                 len: MAX_FRAME + 1,
-                max: MAX_FRAME
+                max: MAX_FRAME,
+                kind: K_STATS
             })
         );
         let unknown = [1, 0, 0, 0, 0x7f];
@@ -965,10 +1057,10 @@ mod tests {
     #[test]
     fn stats_detail_reply_sizes_and_cap() {
         // Empty-shard reply: 1 kind + 8 retired + 8 migrations + 2·4
-        // last-migration shards + 48 rejects + 5·40 digests + 2 row
-        // count = 275 body bytes.
+        // last-migration shards + 48 rejects + 3·8 snapshot counters +
+        // 5·40 digests + 2 row count = 299 body bytes.
         let empty = Frame::StatsDetailReply(Box::default());
-        assert_eq!(encode_frame(&empty).len() - 4, 275);
+        assert_eq!(encode_frame(&empty).len() - 4, 299);
         // Each row adds 100 bytes; MAX_STATS_SHARDS rows still fit.
         let mut full = sample_stats_detail();
         full.shards = (0..MAX_STATS_SHARDS as u32)
@@ -979,7 +1071,7 @@ mod tests {
             .collect();
         let wire = encode_frame(&Frame::StatsDetailReply(Box::new(full.clone())));
         assert!(wire.len() - 4 <= MAX_FRAME, "{}", wire.len());
-        assert_eq!(wire.len() - 4, 275 + 100 * MAX_STATS_SHARDS);
+        assert_eq!(wire.len() - 4, 299 + 100 * MAX_STATS_SHARDS);
         let (back, _) = decode_frame(&wire).unwrap();
         assert_eq!(back, Frame::StatsDetailReply(Box::new(full)));
     }

@@ -511,6 +511,29 @@ fn dispatch(
             reply(out, &Frame::StatsDetailReply(Box::new(detail)));
             Flow::Continue
         }
+        Frame::Snapshot => {
+            let (sessions, bytes) = daemon
+                .lock()
+                .expect("daemon mutex poisoned")
+                .snapshot();
+            let total = bytes.len() as u64;
+            for chunk in bytes.chunks(crate::frame::MAX_SNAPSHOT_CHUNK) {
+                reply(
+                    out,
+                    &Frame::SnapshotChunk {
+                        data: chunk.to_vec(),
+                    },
+                );
+            }
+            reply(
+                out,
+                &Frame::SnapshotAck {
+                    sessions,
+                    bytes: total,
+                },
+            );
+            Flow::Continue
+        }
         Frame::Goodbye => {
             reply(out, &Frame::Bye);
             Flow::Close
@@ -523,6 +546,8 @@ fn dispatch(
         | Frame::Rejected { .. }
         | Frame::StatsReply(_)
         | Frame::StatsDetailReply(_)
+        | Frame::SnapshotChunk { .. }
+        | Frame::SnapshotAck { .. }
         | Frame::Bye => {
             reply(
                 out,

@@ -38,14 +38,15 @@ mod ingest;
 mod replay;
 mod session;
 mod shard;
+mod snapshot;
 
 pub use daemon::{
     BatchAdmission, Daemon, DaemonConfig, DaemonReport, RebalanceConfig, ShardReport,
 };
 pub use frame::{
     decode_frame, encode_frame, AdmitRequest, Frame, FrameError, FrameReader, HistSummary,
-    ShardRow, StatsDetail, StatsSnapshot, WirePolicy, MAGIC, MAX_FRAME, MAX_STATS_SHARDS,
-    PROTOCOL_VERSION,
+    ShardRow, StatsDetail, StatsSnapshot, WirePolicy, MAGIC, MAX_FRAME, MAX_SNAPSHOT_CHUNK,
+    MAX_STATS_SHARDS, PROTOCOL_VERSION,
 };
 pub use rts_telemetry::SlotPacing;
 #[cfg(unix)]
@@ -57,3 +58,7 @@ pub use session::{
     SlotDelta,
 };
 pub use shard::{Retirement, Shard, ShardStats};
+pub use snapshot::{
+    crc32, read_snapshot, SnapshotError, SnapshotWriter, SNAPSHOT_HEADER, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};

@@ -23,6 +23,9 @@ use rts_obs::RetireReason;
 use rts_sim::{Link, LinkModel};
 use rts_stream::{Bytes, FrameKind, Slice, SliceId, Time, Weight};
 
+use crate::frame::WirePolicy;
+use crate::snapshot::{SnapReader, SnapshotError};
+
 /// Daemon-wide session identifier (distinct from the per-run `u32`
 /// tags used by the batch mux).
 pub type SessionId = u64;
@@ -569,6 +572,370 @@ impl LiveSession {
     }
 }
 
+fn frame_kind_code(kind: FrameKind) -> u8 {
+    match kind {
+        FrameKind::I => 0,
+        FrameKind::P => 1,
+        FrameKind::B => 2,
+        FrameKind::Generic => 3,
+    }
+}
+
+fn frame_kind_from(code: u8) -> Result<FrameKind, SnapshotError> {
+    Ok(match code {
+        0 => FrameKind::I,
+        1 => FrameKind::P,
+        2 => FrameKind::B,
+        3 => FrameKind::Generic,
+        _ => return Err(SnapshotError::Malformed("frame-kind code")),
+    })
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_slice(out: &mut Vec<u8>, s: &Slice) {
+    put_u64(out, s.id.0);
+    put_u64(out, s.frame);
+    put_u64(out, s.arrival);
+    put_u64(out, s.size);
+    put_u64(out, s.weight);
+    out.push(frame_kind_code(s.kind));
+}
+
+fn read_slice(r: &mut SnapReader<'_>) -> Result<Slice, SnapshotError> {
+    let id = SliceId(r.u64()?);
+    let frame = r.u64()?;
+    let arrival = r.u64()?;
+    let size = r.u64()?;
+    let weight = r.u64()?;
+    let kind = frame_kind_from(r.u8()?)?;
+    if size == 0 {
+        return Err(SnapshotError::Malformed("zero-byte slice"));
+    }
+    Ok(Slice {
+        id,
+        frame,
+        arrival,
+        size,
+        weight,
+        kind,
+    })
+}
+
+/// Snapshot serialization: one session's complete state, encoded as
+/// fixed-width little-endian fields. The payload travels inside a
+/// CRC-guarded [`crate::snapshot`] record, so the decoder trusts the
+/// bytes to be intact and spends its checks on structural invariants —
+/// anything a corrupted-but-CRC-valid record could violate maps to a
+/// typed [`SnapshotError`], never a panic.
+impl LiveSession {
+    /// Appends this session's state to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's drop policy is not one of the three
+    /// wire policies; daemon admission only ever constructs those.
+    pub(crate) fn encode_state(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.id);
+        put_u64(out, self.params.buffer);
+        put_u64(out, self.params.rate);
+        put_u64(out, self.params.delay);
+        put_u64(out, self.params.link_delay);
+        put_u64(out, self.weight);
+        let policy = match self.server.policy_name() {
+            "Tail-Drop" => WirePolicy::Tail,
+            "Head-Drop" => WirePolicy::Head,
+            "Greedy" => WirePolicy::Greedy,
+            other => panic!("session policy {other:?} has no wire code"),
+        };
+        out.push(policy.code());
+        out.push(self.draining as u8);
+        put_u64(out, self.local_t);
+        put_u64(out, self.next_slice);
+        let c = &self.counters;
+        put_u64(out, c.offered_slices);
+        put_u64(out, c.offered_bytes);
+        put_u64(out, c.played_slices);
+        put_u64(out, c.played_bytes);
+        put_u64(out, c.played_weight);
+        put_u64(out, c.server_dropped_slices);
+        put_u64(out, c.server_dropped_bytes);
+        put_u64(out, c.client_dropped_slices);
+        put_u64(out, c.client_dropped_bytes);
+        put_u64(out, c.evicted_slices);
+        put_u64(out, c.evicted_bytes);
+        put_u64(out, c.sent_bytes);
+        match &self.source {
+            ArrivalSource::Cbr {
+                per_slot,
+                slice_size,
+                weight,
+                lifetime,
+                emitted,
+            } => {
+                out.push(0);
+                put_u64(out, *per_slot);
+                put_u64(out, *slice_size);
+                put_u64(out, *weight);
+                out.push(lifetime.is_some() as u8);
+                put_u64(out, lifetime.unwrap_or(0));
+                put_u64(out, *emitted);
+            }
+            ArrivalSource::Queue { pending, closed } => {
+                out.push(1);
+                out.push(*closed as u8);
+                let count = u32::try_from(pending.len()).expect("queue fits u32");
+                out.extend_from_slice(&count.to_le_bytes());
+                for q in pending {
+                    put_u64(out, q.at);
+                    put_u64(out, q.size);
+                    put_u64(out, q.weight);
+                }
+            }
+        }
+        let buffer = self.server.buffer();
+        let count = u32::try_from(buffer.len()).expect("server queue fits u32");
+        out.extend_from_slice(&count.to_le_bytes());
+        for entry in buffer.iter() {
+            put_slice(out, &entry.slice);
+            put_u64(out, entry.sent);
+        }
+        let chunks = self.link.in_flight().count();
+        let count = u32::try_from(chunks).expect("link pipe fits u32");
+        out.extend_from_slice(&count.to_le_bytes());
+        for chunk in self.link.in_flight() {
+            put_u64(out, chunk.time);
+            put_slice(out, &chunk.slice);
+            put_u64(out, chunk.bytes);
+            out.push(chunk.completed as u8);
+        }
+        match &self.ring.open {
+            Some(open) => {
+                out.push(1);
+                put_u64(out, open.arrival);
+                put_u64(out, open.size);
+                put_u64(out, open.received);
+            }
+            None => out.push(0),
+        }
+        for bucket in &self.ring.ring {
+            put_u64(out, bucket.bytes);
+            put_u64(out, bucket.weight);
+            put_u64(out, bucket.slices);
+        }
+    }
+
+    /// Rebuilds a session from [`encode_state`](Self::encode_state)
+    /// bytes. Total: every malformed input yields a typed error. The
+    /// decoded session re-enters the exact trajectory the original
+    /// would have taken — sessions are functions of their own local
+    /// clock only — and the decoder proves the conservation identity
+    /// (`offered = resolved + in_flight`) before returning.
+    pub(crate) fn decode_state(bytes: &[u8]) -> Result<LiveSession, SnapshotError> {
+        let mut r = SnapReader::new(bytes);
+        let id = r.u64()?;
+        let params = SmoothingParams {
+            buffer: r.u64()?,
+            rate: r.u64()?,
+            delay: r.u64()?,
+            link_delay: r.u64()?,
+        };
+        if params.rate == 0 {
+            return Err(SnapshotError::Malformed("zero session rate"));
+        }
+        let weight = r.u64()?;
+        let policy_code = r.u8()?;
+        let policy =
+            WirePolicy::from_code(policy_code).ok_or(SnapshotError::BadPolicy(policy_code))?;
+        let draining = r.flag("draining flag")?;
+        let local_t = r.u64()?;
+        let next_slice = r.u64()?;
+        let counters = SessionCounters {
+            offered_slices: r.u64()?,
+            offered_bytes: r.u64()?,
+            played_slices: r.u64()?,
+            played_bytes: r.u64()?,
+            played_weight: r.u64()?,
+            server_dropped_slices: r.u64()?,
+            server_dropped_bytes: r.u64()?,
+            client_dropped_slices: r.u64()?,
+            client_dropped_bytes: r.u64()?,
+            evicted_slices: r.u64()?,
+            evicted_bytes: r.u64()?,
+            sent_bytes: r.u64()?,
+        };
+        let source = match r.u8()? {
+            0 => {
+                let per_slot = r.u64()?;
+                let slice_size = r.u64()?;
+                let sweight = r.u64()?;
+                let has_lifetime = r.flag("cbr lifetime flag")?;
+                let lifetime = r.u64()?;
+                let emitted = r.u64()?;
+                ArrivalSource::Cbr {
+                    per_slot,
+                    slice_size: slice_size.max(1),
+                    weight: sweight,
+                    lifetime: has_lifetime.then_some(lifetime),
+                    emitted,
+                }
+            }
+            1 => {
+                let closed = r.flag("queue closed flag")?;
+                let count = r.u32()? as usize;
+                let mut pending = VecDeque::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let at = r.u64()?;
+                    let size = r.u64()?;
+                    let qweight = r.u64()?;
+                    if size == 0 {
+                        return Err(SnapshotError::Malformed("zero-byte queued slice"));
+                    }
+                    pending.push_back(QueuedSlice {
+                        at,
+                        size,
+                        weight: qweight,
+                    });
+                }
+                ArrivalSource::Queue { pending, closed }
+            }
+            t => return Err(SnapshotError::BadSourceTag(t)),
+        };
+        let mut server = Server::new(
+            params.buffer,
+            params.rate.max(1),
+            crate::shard::policy_box(policy),
+        );
+        let count = r.u32()? as usize;
+        let mut buffered: u128 = 0;
+        for i in 0..count {
+            let slice = read_slice(&mut r)?;
+            let sent = r.u64()?;
+            if sent >= slice.size {
+                return Err(SnapshotError::Malformed("sent bytes reach slice size"));
+            }
+            if sent > 0 && i != 0 {
+                return Err(SnapshotError::Malformed("transmission progress off the FIFO head"));
+            }
+            buffered += (slice.size - sent) as u128;
+            if buffered > u64::MAX as u128 {
+                return Err(SnapshotError::Malformed("server occupancy overflow"));
+            }
+            server.restore_slice(slice, sent);
+        }
+        let mut link = Link::new(params.link_delay);
+        let count = r.u32()? as usize;
+        let mut in_link: u128 = 0;
+        let mut last_time: Time = 0;
+        for i in 0..count {
+            let time = r.u64()?;
+            let slice = read_slice(&mut r)?;
+            let chunk_bytes = r.u64()?;
+            let completed = r.flag("chunk completed flag")?;
+            if chunk_bytes == 0 || chunk_bytes > slice.size {
+                return Err(SnapshotError::Malformed("chunk byte count"));
+            }
+            if i > 0 && time < last_time {
+                return Err(SnapshotError::Malformed("link chunks out of FIFO order"));
+            }
+            // Between slots, every in-flight chunk was submitted at a
+            // past slot and is still undelivered: due strictly before
+            // `local_t` would already have left the pipe.
+            if time >= local_t {
+                return Err(SnapshotError::Malformed("link chunk from the future"));
+            }
+            match time.checked_add(params.link_delay) {
+                Some(due) if due >= local_t => {}
+                _ => return Err(SnapshotError::Malformed("overdue link chunk")),
+            }
+            last_time = time;
+            in_link += chunk_bytes as u128;
+            if in_link > u64::MAX as u128 {
+                return Err(SnapshotError::Malformed("link occupancy overflow"));
+            }
+            link.submit(std::slice::from_ref(&SentChunk {
+                time,
+                slice,
+                bytes: chunk_bytes,
+                completed,
+            }));
+        }
+        let open = if r.flag("open-slice flag")? {
+            let arrival = r.u64()?;
+            let size = r.u64()?;
+            let received = r.u64()?;
+            if received == 0 || received >= size {
+                return Err(SnapshotError::Malformed("open-slice progress"));
+            }
+            Some(OpenSlice {
+                arrival,
+                size,
+                received,
+            })
+        } else {
+            None
+        };
+        // The ring holds delay+1 buckets of 24 bytes each; refuse a
+        // declared geometry the remaining payload cannot back before
+        // allocating it.
+        let buckets = (params.delay as u128) + 1;
+        if buckets * 24 > r.remaining() as u128 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut ring = PlayoutRing::new(params.buffer, params.delay, params.link_delay);
+        let mut occupancy: u128 = 0;
+        for idx in 0..ring.ring.len() {
+            let bucket_bytes = r.u64()?;
+            let bucket_weight = r.u64()?;
+            let bucket_slices = r.u64()?;
+            occupancy += bucket_bytes as u128;
+            if occupancy > u64::MAX as u128 {
+                return Err(SnapshotError::Malformed("ring occupancy overflow"));
+            }
+            ring.ring[idx] = RingBucket {
+                bytes: bucket_bytes,
+                weight: bucket_weight,
+                slices: bucket_slices,
+            };
+        }
+        ring.occupancy = occupancy as Bytes;
+        ring.open = open;
+        r.finish()?;
+        // The paper's mid-run identity, proven before the session may
+        // rejoin a shard: every offered byte is resolved or in flight.
+        let pool = buffered + in_link + occupancy + open.map(|o| o.received as u128).unwrap_or(0);
+        let resolved = counters.played_bytes as u128
+            + counters.server_dropped_bytes as u128
+            + counters.client_dropped_bytes as u128
+            + counters.evicted_bytes as u128;
+        if counters.offered_bytes as u128 != resolved + pool {
+            return Err(SnapshotError::Malformed("byte conservation"));
+        }
+        let resolved_slices = counters.played_slices as u128
+            + counters.server_dropped_slices as u128
+            + counters.client_dropped_slices as u128
+            + counters.evicted_slices as u128;
+        if resolved_slices > counters.offered_slices as u128 {
+            return Err(SnapshotError::Malformed("slice conservation"));
+        }
+        Ok(LiveSession {
+            id,
+            params,
+            weight,
+            server,
+            link,
+            ring,
+            source,
+            draining,
+            local_t,
+            next_slice,
+            counters,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,6 +1067,69 @@ mod tests {
         assert_eq!(c.offered_bytes, offered);
         assert!(c.conserved());
         assert!(c.evicted_bytes > 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_canonical_and_trajectory_exact() {
+        // A mid-flight session with a partially transmitted head (a
+        // 1-byte grant against size-2 slices splits transmissions),
+        // bytes on the link, and buffered playout.
+        let mut s = session(3, 4, 2, ArrivalSource::cbr(3, 2, 5, Some(12)));
+        let mut twin = session(3, 4, 2, ArrivalSource::cbr(3, 2, 5, Some(12)));
+        let mut sstep = ServerStep::default();
+        let mut delivered = Vec::new();
+        let mut scratch = Vec::new();
+        for _ in 0..7 {
+            s.begin_slot(&mut scratch);
+            s.step(1, &mut sstep, &mut delivered);
+            twin.begin_slot(&mut scratch);
+            twin.step(1, &mut sstep, &mut delivered);
+        }
+        assert!(s.in_flight_bytes() > 0, "mid-flight state required");
+        let mut bytes = Vec::new();
+        s.encode_state(&mut bytes);
+        let mut restored = LiveSession::decode_state(&bytes).expect("own encoding decodes");
+        let mut again = Vec::new();
+        restored.encode_state(&mut again);
+        assert_eq!(bytes, again, "decode ∘ encode must be canonical");
+        // The restored session must finish exactly as the uninterrupted
+        // twin does.
+        let a = run_to_retirement(&mut restored, 64);
+        let b = run_to_retirement(&mut twin, 64);
+        assert_eq!(a, b);
+        assert_eq!(restored.counters(), twin.counters());
+        assert!(restored.counters().conserved());
+    }
+
+    #[test]
+    fn decode_rejects_structural_corruption() {
+        let mut s = session(2, 3, 1, ArrivalSource::cbr(2, 1, 5, Some(6)));
+        let mut sstep = ServerStep::default();
+        let mut delivered = Vec::new();
+        let mut scratch = Vec::new();
+        for _ in 0..4 {
+            s.begin_slot(&mut scratch);
+            s.step(s.demand(), &mut sstep, &mut delivered);
+        }
+        let mut bytes = Vec::new();
+        s.encode_state(&mut bytes);
+        // Truncation anywhere is typed, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                LiveSession::decode_state(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        // A corrupted ledger breaks the conservation proof.
+        let mut mangled = bytes.clone();
+        // offered_bytes sits after id + 4 params + weight + policy +
+        // draining + local_t + next_slice + offered_slices.
+        let off = 8 * 6 + 2 + 8 * 2 + 8;
+        mangled[off] ^= 0x01;
+        assert!(matches!(
+            LiveSession::decode_state(&mangled),
+            Err(crate::snapshot::SnapshotError::Malformed("byte conservation"))
+        ));
     }
 
     #[test]

@@ -129,7 +129,7 @@ pub struct Shard {
     delivered: Vec<SentChunk>,
 }
 
-fn policy_box(policy: WirePolicy) -> Box<dyn DropPolicy + Send> {
+pub(crate) fn policy_box(policy: WirePolicy) -> Box<dyn DropPolicy + Send> {
     match policy {
         WirePolicy::Tail => Box::new(TailDrop::new()),
         WirePolicy::Head => Box::new(HeadDrop::new()),
@@ -375,6 +375,14 @@ impl Shard {
         self.sessions.push(session);
         self.stats.peak_sessions = self.stats.peak_sessions.max(self.sessions.len());
         Ok(())
+    }
+
+    /// Iterates the resident sessions without disturbing them — the
+    /// non-destructive walk a snapshot takes between slots. Order is
+    /// the internal storage order, which is stable while no churn
+    /// command runs.
+    pub fn iter_sessions(&self) -> impl Iterator<Item = &LiveSession> {
+        self.sessions.iter()
     }
 
     /// Folds an already-retired ledger into this shard's totals. Only

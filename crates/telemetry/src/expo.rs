@@ -88,6 +88,22 @@ pub fn render_exposition(snap: &RegistrySnapshot) -> String {
     counter(&mut out, "smoothd_retired_total", "", snap.retired);
     out.push_str("# TYPE smoothd_migrations_total counter\n");
     counter(&mut out, "smoothd_migrations_total", "", snap.migrations);
+    out.push_str("# TYPE smoothd_snapshot_bytes_total counter\n");
+    counter(&mut out, "smoothd_snapshot_bytes_total", "", snap.snapshot_bytes);
+    out.push_str("# TYPE smoothd_snapshot_duration_ns_total counter\n");
+    counter(
+        &mut out,
+        "smoothd_snapshot_duration_ns_total",
+        "",
+        snap.snapshot_duration_ns,
+    );
+    out.push_str("# TYPE smoothd_restored_sessions_total counter\n");
+    counter(
+        &mut out,
+        "smoothd_restored_sessions_total",
+        "",
+        snap.restored_sessions,
+    );
     out
 }
 
@@ -166,6 +182,9 @@ mod tests {
         s0.migrations_out.add(3);
         reg.shard(1).migrations_in.add(3);
         s0.imbalance_milli.set(1400);
+        reg.snapshot_bytes.add(4096);
+        reg.snapshot_duration_ns.add(88_000);
+        reg.restored_sessions.add(6);
         reg.snapshot()
     }
 
@@ -216,6 +235,18 @@ mod tests {
         assert_eq!(
             series_value(&parsed, "smoothd_stage_ns_count{stage=\"ingest-decode\"}"),
             Some(1.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_snapshot_bytes_total"),
+            Some(4096.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_snapshot_duration_ns_total"),
+            Some(88000.0)
+        );
+        assert_eq!(
+            series_value(&parsed, "smoothd_restored_sessions_total"),
+            Some(6.0)
         );
     }
 

@@ -55,6 +55,12 @@ pub struct Registry {
     pub retired: AtomicCounter,
     /// Sessions migrated between shards by the rebalancer.
     pub migrations: AtomicCounter,
+    /// Bytes written by snapshot checkpoints, cumulative.
+    pub snapshot_bytes: AtomicCounter,
+    /// Wall nanoseconds spent building snapshots, cumulative.
+    pub snapshot_duration_ns: AtomicCounter,
+    /// Sessions restored from a snapshot at startup.
+    pub restored_sessions: AtomicCounter,
     rejects: [AtomicCounter; RejectReason::ALL.len()],
 }
 
@@ -66,6 +72,9 @@ impl Registry {
             ingest_decode: AtomicHistogram::new(),
             retired: AtomicCounter::new(),
             migrations: AtomicCounter::new(),
+            snapshot_bytes: AtomicCounter::new(),
+            snapshot_duration_ns: AtomicCounter::new(),
+            restored_sessions: AtomicCounter::new(),
             rejects: Default::default(),
         }
     }
@@ -138,6 +147,9 @@ impl Registry {
             rejects: self.rejects(),
             retired: self.retired.get(),
             migrations: self.migrations.get(),
+            snapshot_bytes: self.snapshot_bytes.get(),
+            snapshot_duration_ns: self.snapshot_duration_ns.get(),
+            restored_sessions: self.restored_sessions.get(),
         }
     }
 }
@@ -201,6 +213,12 @@ pub struct RegistrySnapshot {
     pub retired: u64,
     /// Sessions migrated between shards by the rebalancer.
     pub migrations: u64,
+    /// Bytes written by snapshot checkpoints, cumulative.
+    pub snapshot_bytes: u64,
+    /// Wall nanoseconds spent building snapshots, cumulative.
+    pub snapshot_duration_ns: u64,
+    /// Sessions restored from a snapshot at startup.
+    pub restored_sessions: u64,
 }
 
 impl RegistrySnapshot {

@@ -217,6 +217,16 @@ fn smoothd_migration_is_invisible_to_the_ledger() {
     check("smoothd-migrate-conservation");
 }
 
+#[test]
+fn smoothd_snapshots_restore_state_and_ledgers_exactly() {
+    check("smoothd-snapshot-roundtrip");
+}
+
+#[test]
+fn smoothd_snapshot_reader_is_total_on_fuzzed_bytes() {
+    check("smoothd-snapshot-fuzz");
+}
+
 // ------------------------------------------------------------------
 // The telemetry plane: histogram merge algebra and atomic snapshots.
 // ------------------------------------------------------------------
